@@ -1,0 +1,145 @@
+//===- bench/bench_ablation_costmodel.cpp - Cost-model ablations --------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Ablation studies for the design choices the paper discusses but does not
+// plot:
+//
+//  1. Acc_Conf sensitivity (footnote 5: "the cost-benefit model is not
+//     sensitive to reasonable variations in Acc_Conf (20%-50%)");
+//  2. select-µop overhead (Section 4.4 assumption 4: "negligible; on
+//     average less than 0.5 fetch cycles per entry into dpred-mode");
+//  3. short-hammock heuristic parameters (Section 3.4's 10-instr / 95% /
+//     5% choice);
+//  4. the always-predicate mechanism itself (short hammocks with vs
+//     without the confidence-estimator bypass).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/MathExtras.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace dmp;
+
+namespace {
+
+/// Geomean improvement of All-best-cost over the suite under \p Mutate.
+template <typename MutateFn>
+double geomeanWith(MutateFn Mutate, bool CostMode = true) {
+  std::vector<double> Ratios;
+  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+    harness::ExperimentOptions Options;
+    Mutate(Options);
+    harness::BenchContext Bench(Spec, Options);
+    const sim::SimStats Dmp = Bench.runSelection(
+        CostMode ? core::SelectionFeatures::allBestCost()
+                 : core::SelectionFeatures::allBestHeur());
+    Ratios.push_back(1.0 +
+                     harness::ipcImprovement(Bench.baseline(), Dmp));
+  }
+  return geomean(Ratios) - 1.0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation 1: Acc_Conf sensitivity of the cost model ==\n");
+  std::printf("(paper footnote 5: insensitive within 20%%-50%%)\n");
+  {
+    Table T({"Acc_Conf", "All-best-cost geomean"});
+    for (double Acc : {0.20, 0.30, 0.40, 0.50}) {
+      const double G = geomeanWith(
+          [Acc](harness::ExperimentOptions &O) { O.Selection.AccConf = Acc; });
+      T.addRow({formatPercent(Acc).substr(1), formatPercent(G)});
+    }
+    T.print();
+  }
+
+  std::printf("\n== Ablation 2: select-uop overhead per dpred entry ==\n");
+  std::printf("(paper Section 4.4: < 0.5 fetch cycles per entry)\n");
+  {
+    Table T({"benchmark", "select-uops/entry", "fetch cycles/entry"});
+    double WorstCycles = 0.0;
+    for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+      harness::ExperimentOptions Options;
+      harness::BenchContext Bench(Spec, Options);
+      const sim::SimStats Dmp =
+          Bench.runSelection(core::SelectionFeatures::allBestHeur());
+      const double PerEntry = Dmp.selectUopsPerEntry();
+      const double Cycles = PerEntry / Options.Sim.FetchWidth;
+      WorstCycles = std::max(WorstCycles, Cycles);
+      T.addRow({Spec.Name, formatDouble(PerEntry, 2),
+                formatDouble(Cycles, 2)});
+    }
+    T.print();
+    std::printf("worst case: %.2f fetch cycles/entry (paper: < 0.5 on "
+                "average)\n",
+                WorstCycles);
+  }
+
+  std::printf("\n== Ablation 3: short-hammock thresholds ==\n");
+  {
+    Table T({"max instrs/side", "min merge", "min misp",
+             "All-best-heur geomean"});
+    struct Point {
+      unsigned MaxInstr;
+      double MinMerge;
+      double MinMisp;
+    };
+    const Point Points[] = {
+        {10, 0.95, 0.05}, // paper values
+        {5, 0.95, 0.05},
+        {20, 0.95, 0.05},
+        {10, 0.50, 0.05},
+        {10, 0.95, 0.20},
+    };
+    for (const Point &Pt : Points) {
+      const double G = geomeanWith(
+          [&Pt](harness::ExperimentOptions &O) {
+            O.Selection.ShortHammockMaxInstr = Pt.MaxInstr;
+            O.Selection.ShortHammockMinMergeProb = Pt.MinMerge;
+            O.Selection.ShortHammockMinMispRate = Pt.MinMisp;
+          },
+          /*CostMode=*/false);
+      T.addRow({formatString("%u", Pt.MaxInstr),
+                formatPercent(Pt.MinMerge).substr(1),
+                formatPercent(Pt.MinMisp).substr(1), formatPercent(G)});
+    }
+    T.print();
+  }
+
+  std::printf("\n== Ablation 4: always-predicate vs confidence-gated short "
+              "hammocks ==\n");
+  {
+    // With the short feature, qualifying hammocks bypass the confidence
+    // estimator; without it, the same branches are predicated only when
+    // low-confidence.  The delta is the value of Section 3.4.
+    const double With = geomeanWith([](harness::ExperimentOptions &) {},
+                                    /*CostMode=*/false);
+    double Without;
+    {
+      std::vector<double> Ratios;
+      for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+        harness::ExperimentOptions Options;
+        harness::BenchContext Bench(Spec, Options);
+        core::SelectionFeatures F = core::SelectionFeatures::allBestHeur();
+        F.ShortHammocks = false;
+        const sim::SimStats Dmp = Bench.runSelection(F);
+        Ratios.push_back(1.0 +
+                         harness::ipcImprovement(Bench.baseline(), Dmp));
+      }
+      Without = geomean(Ratios) - 1.0;
+    }
+    std::printf("with always-predicate   : %s\n",
+                formatPercent(With).c_str());
+    std::printf("confidence-gated only   : %s\n",
+                formatPercent(Without).c_str());
+    std::printf("short-hammock increment : %s\n",
+                formatPercent(With - Without).c_str());
+  }
+  return 0;
+}

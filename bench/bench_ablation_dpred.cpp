@@ -1,0 +1,105 @@
+//===- bench/bench_ablation_dpred.cpp - Runtime mechanism ablations -----------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Microarchitecture-side ablations of the dpred mechanism (complementing
+// the compiler-side ablations in bench_ablation_costmodel):
+//
+//  1. CFM points vs pure dual-path execution: strip every CFM point from
+//     the All-best-heur selection, so each episode runs as dual-path until
+//     resolution (footnotes 2/10 describe this mode);
+//  2. dpred-mode instruction budget (window pressure, Figure 7's
+//     "too-large hammocks fill the window" effect);
+//  3. confidence-estimator threshold: lower thresholds enter dpred-mode
+//     less often (fewer wasted entries, fewer saved flushes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/MathExtras.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace dmp;
+
+namespace {
+
+/// Runs All-best-heur over the suite with a simulator-config mutation and a
+/// map transform; returns the geomean improvement.
+template <typename MutateSim, typename MutateMap>
+double geomeanWith(MutateSim MutSim, MutateMap MutMap) {
+  std::vector<double> Ratios;
+  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+    harness::ExperimentOptions Options;
+    MutSim(Options.Sim);
+    harness::BenchContext Bench(Spec, Options);
+    core::DivergeMap Map = Bench.select(
+        core::SelectionFeatures::allBestHeur(), workloads::InputSetKind::Run);
+    MutMap(Map);
+    const sim::SimStats Dmp = Bench.simulateWith(Map);
+    Ratios.push_back(1.0 + harness::ipcImprovement(Bench.baseline(), Dmp));
+  }
+  return geomean(Ratios) - 1.0;
+}
+
+core::DivergeMap stripCfms(const core::DivergeMap &Map) {
+  core::DivergeMap Stripped;
+  for (uint32_t Addr : Map.sortedAddrs()) {
+    core::DivergeAnnotation Ann = *Map.find(Addr);
+    if (Ann.Kind == core::DivergeKind::Loop)
+      continue; // loop predication is meaningless without its CFM
+    Ann.Kind = core::DivergeKind::NoCfm;
+    Ann.Cfms.clear();
+    Ann.AlwaysPredicate = false;
+    Stripped.add(Addr, Ann);
+  }
+  return Stripped;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation A: CFM points vs pure dual-path execution ==\n");
+  {
+    const double WithCfm = geomeanWith([](sim::SimConfig &) {},
+                                       [](core::DivergeMap &) {});
+    const double DualPath =
+        geomeanWith([](sim::SimConfig &) {},
+                    [](core::DivergeMap &Map) { Map = stripCfms(Map); });
+    std::printf("All-best-heur with CFM points : %s\n",
+                formatPercent(WithCfm).c_str());
+    std::printf("same branches, no CFM points  : %s\n",
+                formatPercent(DualPath).c_str());
+    std::printf("value of control-flow merging : %s\n",
+                formatPercent(WithCfm - DualPath).c_str());
+  }
+
+  std::printf("\n== Ablation B: dpred-mode instruction budget ==\n");
+  {
+    Table T({"MaxDpredInstrs", "geomean"});
+    for (unsigned Budget : {50u, 100u, 200u, 400u, 800u}) {
+      const double G = geomeanWith(
+          [Budget](sim::SimConfig &C) { C.MaxDpredInstrs = Budget; },
+          [](core::DivergeMap &) {});
+      T.addRow({formatString("%u", Budget), formatPercent(G)});
+    }
+    T.print();
+  }
+
+  std::printf("\n== Ablation C: confidence threshold (JRS MDC) ==\n");
+  {
+    Table T({"threshold", "geomean"});
+    for (unsigned Threshold : {4u, 8u, 12u, 14u, 15u}) {
+      const double G = geomeanWith(
+          [Threshold](sim::SimConfig &C) { C.ConfThreshold = Threshold; },
+          [](core::DivergeMap &) {});
+      T.addRow({formatString("%u", Threshold), formatPercent(G)});
+    }
+    T.print();
+    std::printf("(higher threshold = more branches treated as low-"
+                "confidence = more dpred entries)\n");
+  }
+  return 0;
+}

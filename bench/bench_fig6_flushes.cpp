@@ -1,0 +1,72 @@
+//===- bench/bench_fig6_flushes.cpp - Figure 6 reproduction -------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Regenerates Figure 6, "Pipeline flushes due to branch mispredictions in
+// the baseline and DMP": flushes per kilo-instruction for the baseline
+// processor and for DMP under each cumulative selection configuration.
+// The paper's shape: flushes decrease monotonically as selection techniques
+// are added.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace dmp;
+
+int main() {
+  harness::ExperimentOptions Options;
+
+  struct Config {
+    const char *Name;
+    core::SelectionFeatures Features;
+  };
+  const Config Configs[] = {
+      {"exact", core::SelectionFeatures::exactOnly()},
+      {"+freq", core::SelectionFeatures::exactFreq()},
+      {"+short", core::SelectionFeatures::exactFreqShort()},
+      {"+ret", core::SelectionFeatures::exactFreqShortRet()},
+      {"+loop", core::SelectionFeatures::allBestHeur()},
+  };
+
+  std::vector<std::string> Header = {"benchmark", "baseline"};
+  for (const Config &C : Configs)
+    Header.push_back(C.Name);
+  Table T(Header);
+
+  double BaseSum = 0.0;
+  std::vector<double> Sums(std::size(Configs), 0.0);
+  size_t Count = 0;
+
+  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+    harness::BenchContext Bench(Spec, Options);
+    std::vector<std::string> Row = {Spec.Name};
+    const double Base = Bench.baseline().flushesPerKiloInstr();
+    Row.push_back(formatDouble(Base, 2));
+    BaseSum += Base;
+    for (size_t I = 0; I < std::size(Configs); ++I) {
+      const sim::SimStats Dmp = Bench.runSelection(Configs[I].Features);
+      const double Flushes = Dmp.flushesPerKiloInstr();
+      Row.push_back(formatDouble(Flushes, 2));
+      Sums[I] += Flushes;
+    }
+    ++Count;
+    T.addRow(Row);
+  }
+
+  T.addSeparator();
+  std::vector<std::string> Mean = {"average",
+                                   formatDouble(BaseSum / Count, 2)};
+  for (double S : Sums)
+    Mean.push_back(formatDouble(S / Count, 2));
+  T.addRow(Mean);
+
+  std::printf("== Figure 6: pipeline flushes per kilo-instruction, baseline "
+              "vs DMP ==\n");
+  T.print();
+  return 0;
+}

@@ -1,0 +1,160 @@
+//===- bench/bench_micro_components.cpp - Component throughput ----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// google-benchmark microbenchmarks of the substrate components: branch
+// predictors, confidence estimator, caches, the functional emulator, the
+// path enumerator, and full baseline/DMP simulation throughput.  These are
+// engineering benchmarks (simulator speed), not paper results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Analysis.h"
+#include "cfg/PathEnumerator.h"
+#include "core/DivergeSelector.h"
+#include "profile/Emulator.h"
+#include "profile/Profiler.h"
+#include "sim/Simulator.h"
+#include "support/RNG.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Cache.h"
+#include "uarch/ConfidenceEstimator.h"
+#include "workloads/SpecSuite.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dmp;
+
+static void BM_PerceptronPredictUpdate(benchmark::State &State) {
+  uarch::PerceptronPredictor Predictor;
+  RNG Rng(1);
+  uint32_t Addr = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Predictor.predict(Addr));
+    Predictor.update(Addr, Rng.nextBool(0.5));
+    Addr = (Addr + 37) & 0xFFFF;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PerceptronPredictUpdate);
+
+static void BM_GSharePredictUpdate(benchmark::State &State) {
+  uarch::GSharePredictor Predictor;
+  RNG Rng(2);
+  uint32_t Addr = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Predictor.predict(Addr));
+    Predictor.update(Addr, Rng.nextBool(0.5));
+    Addr = (Addr + 37) & 0xFFFF;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_GSharePredictUpdate);
+
+static void BM_ConfidenceEstimator(benchmark::State &State) {
+  uarch::ConfidenceEstimator Conf;
+  RNG Rng(3);
+  uint32_t Addr = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Conf.isLowConfidence(Addr));
+    Conf.update(Addr, Rng.nextBool(0.8), Rng.nextBool(0.5));
+    Addr = (Addr + 11) & 0xFFF;
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ConfidenceEstimator);
+
+static void BM_CacheAccess(benchmark::State &State) {
+  uarch::Cache C(64 * 1024, 4, 64, 2);
+  RNG Rng(4);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(C.access(Rng.nextBelow(1 << 20)));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void BM_EmulatorThroughput(benchmark::State &State) {
+  const workloads::Workload W = workloads::buildByName("gzip");
+  const auto Image = W.buildImage(workloads::InputSetKind::Run);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    profile::Emulator Emu(*W.Prog, Image);
+    profile::DynInstr D;
+    uint64_t Budget = 100000;
+    while (Budget-- && Emu.step(D)) {
+    }
+    Instrs += Emu.executedCount();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_EmulatorThroughput)->Unit(benchmark::kMillisecond);
+
+static void BM_PathEnumeration(benchmark::State &State) {
+  const workloads::Workload W = workloads::buildByName("go");
+  cfg::ProgramAnalysis PA(*W.Prog);
+  const auto Prof = profile::collectProfile(
+      *W.Prog, PA, W.buildImage(workloads::InputSetKind::Run));
+  core::SelectionConfig Config;
+  for (auto _ : State) {
+    for (uint32_t Addr : W.Prog->condBranchAddrs()) {
+      if (!Prof.Edges.wasExecuted(Addr))
+        continue;
+      const ir::BasicBlock *Block = W.Prog->blockAt(Addr);
+      const auto &FA = PA.forFunction(*Block->getParent());
+      cfg::PathLimits Limits;
+      Limits.MaxInstr = Config.MaxInstr;
+      Limits.MaxCondBr = Config.MaxCondBr;
+      benchmark::DoNotOptimize(cfg::enumeratePaths(
+          W.Prog->instrAt(Addr).Target, FA.PDT.ipostdom(Block), Prof.Edges,
+          Limits));
+    }
+  }
+}
+BENCHMARK(BM_PathEnumeration)->Unit(benchmark::kMicrosecond);
+
+static void BM_SelectionAllBestHeur(benchmark::State &State) {
+  const workloads::Workload W = workloads::buildByName("go");
+  cfg::ProgramAnalysis PA(*W.Prog);
+  const auto Prof = profile::collectProfile(
+      *W.Prog, PA, W.buildImage(workloads::InputSetKind::Run));
+  core::SelectionConfig Config;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::selectDivergeBranches(
+        PA, Prof, Config, core::SelectionFeatures::allBestHeur()));
+}
+BENCHMARK(BM_SelectionAllBestHeur)->Unit(benchmark::kMicrosecond);
+
+static void BM_SimulatorBaseline(benchmark::State &State) {
+  const workloads::Workload W = workloads::buildByName("gzip");
+  const auto Image = W.buildImage(workloads::InputSetKind::Run);
+  sim::SimConfig Config;
+  Config.MaxInstrs = 100000;
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    const sim::SimStats Stats = sim::simulateBaseline(*W.Prog, Image, Config);
+    Instrs += Stats.RetiredInstrs;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_SimulatorBaseline)->Unit(benchmark::kMillisecond);
+
+static void BM_SimulatorDmp(benchmark::State &State) {
+  const workloads::Workload W = workloads::buildByName("gzip");
+  const auto Image = W.buildImage(workloads::InputSetKind::Run);
+  cfg::ProgramAnalysis PA(*W.Prog);
+  const auto Prof = profile::collectProfile(*W.Prog, PA, Image);
+  core::SelectionConfig SelConfig;
+  const core::DivergeMap Map = core::selectDivergeBranches(
+      PA, Prof, SelConfig, core::SelectionFeatures::allBestHeur());
+  sim::SimConfig Config;
+  Config.MaxInstrs = 100000;
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    const sim::SimStats Stats = sim::simulateDmp(*W.Prog, Map, Image, Config);
+    Instrs += Stats.RetiredInstrs;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+}
+BENCHMARK(BM_SimulatorDmp)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+//===- bench/bench_table1_config.cpp - Table 1 reproduction -------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Prints the simulated machine configuration: the reproduction of Table 1,
+// "Baseline processor configuration and additional support needed for DMP".
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimConfig.h"
+
+#include <cstdio>
+
+using namespace dmp;
+
+int main() {
+  sim::SimConfig Config;
+  Config.EnableDmp = true;
+  std::printf("== Table 1: baseline processor configuration and DMP support "
+              "==\n%s",
+              Config.toString().c_str());
+  std::printf("Branch policy  : minimum misprediction penalty ~%u cycles "
+              "(front end %u + resolution %u)\n",
+              Config.FrontEndDepth + Config.latencyFor(ir::Opcode::CondBr),
+              Config.FrontEndDepth, Config.latencyFor(ir::Opcode::CondBr));
+  return 0;
+}

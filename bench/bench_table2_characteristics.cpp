@@ -1,0 +1,45 @@
+//===- bench/bench_table2_characteristics.cpp - Table 2 reproduction ----------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Regenerates Table 2, "Characteristics of the benchmarks": baseline IPC,
+// MPKI, retired instructions, static conditional branches, static diverge
+// branches under All-best-heur, and the average number of CFM points per
+// diverge branch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace dmp;
+
+int main() {
+  harness::ExperimentOptions Options;
+
+  Table T({"benchmark", "Base IPC", "MPKI", "Insts(K)", "All br.",
+           "Diverge br.", "Avg. # CFM"});
+  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+    harness::BenchContext Bench(Spec, Options);
+    const sim::SimStats &Base = Bench.baseline();
+    const core::DivergeMap Diverge = Bench.select(
+        core::SelectionFeatures::allBestHeur(), workloads::InputSetKind::Run);
+    T.addRow({Spec.Name, formatDouble(Base.ipc(), 2),
+              formatDouble(Base.mpki(), 1),
+              formatString("%llu", static_cast<unsigned long long>(
+                                       Base.RetiredInstrs / 1000)),
+              formatString("%zu",
+                           Bench.workload().Prog->condBranchAddrs().size()),
+              formatString("%zu", Diverge.size()),
+              formatDouble(Diverge.avgCfmPoints(), 2)});
+  }
+
+  std::printf("== Table 2: characteristics of the benchmarks ==\n");
+  std::printf("(synthetic SPEC-like suite; see DESIGN.md for the workload "
+              "substitution)\n");
+  T.print();
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- examples/input_sensitivity.cpp - Profile input-set effects -------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Demonstrates Section 7.3: profile a benchmark with its run input and with
+// a different (train) input, compare the selected diverge-branch sets, and
+// show that performance barely moves — because the confidence estimator
+// re-decides at run time which dynamic instances actually get predicated.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace dmp;
+
+int main() {
+  harness::ExperimentOptions Options;
+  // A benchmark with deliberately borderline selection decisions.
+  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+    if (std::string(Spec.Name) != "crafty")
+      continue;
+    harness::BenchContext Bench(Spec, Options);
+
+    const core::DivergeMap RunMap = Bench.select(
+        core::SelectionFeatures::allBestHeur(), workloads::InputSetKind::Run);
+    const core::DivergeMap TrainMap =
+        Bench.select(core::SelectionFeatures::allBestHeur(),
+                     workloads::InputSetKind::Train);
+
+    std::printf("=== Selected diverge branches (%s) ===\n", Spec.Name);
+    std::printf("%-10s %-12s %-12s\n", "branch", "run-profile",
+                "train-profile");
+    std::vector<uint32_t> Union = RunMap.sortedAddrs();
+    for (uint32_t Addr : TrainMap.sortedAddrs())
+      if (!RunMap.contains(Addr))
+        Union.push_back(Addr);
+    std::sort(Union.begin(), Union.end());
+    for (uint32_t Addr : Union)
+      std::printf("@%-9u %-12s %-12s\n", Addr,
+                  RunMap.contains(Addr) ? "selected" : "-",
+                  TrainMap.contains(Addr) ? "selected" : "-");
+
+    const sim::SimStats &Base = Bench.baseline();
+    const sim::SimStats Same = Bench.simulateWith(RunMap);
+    const sim::SimStats Diff = Bench.simulateWith(TrainMap);
+    std::printf("\nbaseline IPC      : %.3f\n", Base.ipc());
+    std::printf("profile=run  input: IPC %.3f (%+.1f%%)\n", Same.ipc(),
+                100.0 * harness::ipcImprovement(Base, Same));
+    std::printf("profile=train input: IPC %.3f (%+.1f%%)\n", Diff.ipc(),
+                100.0 * harness::ipcImprovement(Base, Diff));
+    std::printf("\nThe gap stays small because branches selected by either "
+                "profile are\nonly *predicated* when the runtime confidence "
+                "estimator flags them,\nso a slightly different static set "
+                "changes little dynamically\n(paper Section 7.3).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+//===- cfg/Analysis.cpp - Cached per-function CFG analyses --------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Analysis.h"
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+ProgramAnalysis::ProgramAnalysis(const ir::Program &P) : P(P) {
+  assert(P.isFinalized() && "analyzing an unfinalized program");
+  Analyses.reserve(P.functions().size());
+  for (const auto &F : P.functions())
+    Analyses.push_back(std::make_unique<FunctionAnalysis>(*F));
+}
+
+const Loop *ProgramAnalysis::innermostLoopAt(uint32_t Addr) const {
+  const ir::BasicBlock *Block = P.blockAt(Addr);
+  return forFunction(*Block->getParent()).LI.loopFor(Block);
+}

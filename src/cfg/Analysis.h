@@ -1,0 +1,64 @@
+//===- cfg/Analysis.h - Cached per-function CFG analyses -----------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramAnalysis: builds and owns the CFG view, dominator tree,
+/// post-dominator tree, and loop info for every function of a finalized
+/// program.  Shared by the profiler, the selection algorithms, and the
+/// cost-benefit model, so each analysis is computed exactly once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_ANALYSIS_H
+#define DMP_CFG_ANALYSIS_H
+
+#include "cfg/Dominators.h"
+#include "cfg/LoopInfo.h"
+#include "ir/Program.h"
+
+#include <memory>
+#include <vector>
+
+namespace dmp::cfg {
+
+/// All analyses of one function.
+struct FunctionAnalysis {
+  explicit FunctionAnalysis(const ir::Function &F)
+      : View(F), DT(View), PDT(View), LI(View, DT) {}
+
+  CFGView View;
+  DominatorTree DT;
+  PostDominatorTree PDT;
+  LoopInfo LI;
+};
+
+/// Program-wide analysis cache.
+class ProgramAnalysis {
+public:
+  explicit ProgramAnalysis(const ir::Program &P);
+
+  const ir::Program &getProgram() const { return P; }
+
+  const FunctionAnalysis &forFunction(const ir::Function &F) const {
+    return *Analyses[F.getId()];
+  }
+
+  /// Analysis of the function containing \p Addr.
+  const FunctionAnalysis &atAddr(uint32_t Addr) const {
+    return forFunction(*P.functionAt(Addr));
+  }
+
+  /// Innermost loop containing the block at \p Addr, or nullptr.
+  const Loop *innermostLoopAt(uint32_t Addr) const;
+
+private:
+  const ir::Program &P;
+  std::vector<std::unique_ptr<FunctionAnalysis>> Analyses;
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_ANALYSIS_H

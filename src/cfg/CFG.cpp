@@ -1,0 +1,54 @@
+//===- cfg/CFG.cpp - Function-level CFG view -----------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CFG.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+CFGView::CFGView(const ir::Function &F) : F(F) {
+  const unsigned N = static_cast<unsigned>(F.blockCount());
+  Blocks.resize(N);
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  for (const auto &Block : F.blocks()) {
+    Blocks[Block->getId()] = Block.get();
+    for (ir::BasicBlock *Succ : Block->successors()) {
+      Succs[Block->getId()].push_back(Succ);
+      Preds[Succ->getId()].push_back(Block.get());
+    }
+  }
+
+  // Iterative DFS postorder from the entry; RPO is its reverse.
+  if (N == 0)
+    return;
+  std::vector<const ir::BasicBlock *> Postorder;
+  std::vector<std::pair<const ir::BasicBlock *, size_t>> Stack;
+  std::vector<bool> Visited(N, false);
+  const ir::BasicBlock *Entry = F.getEntry();
+  Visited[Entry->getId()] = true;
+  Stack.emplace_back(Entry, 0);
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    const auto &SuccList = Succs[Block->getId()];
+    if (NextSucc < SuccList.size()) {
+      const ir::BasicBlock *Succ = SuccList[NextSucc++];
+      if (!Visited[Succ->getId()]) {
+        Visited[Succ->getId()] = true;
+        Stack.emplace_back(Succ, 0);
+      }
+      continue;
+    }
+    Postorder.push_back(Block);
+    Stack.pop_back();
+  }
+  Reachable = Visited;
+  RPO.assign(Postorder.rbegin(), Postorder.rend());
+}

@@ -1,0 +1,66 @@
+//===- cfg/CFG.h - Function-level CFG view -------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFGView: an indexed view of a function's intra-procedural control-flow
+/// graph (successor and predecessor lists, reverse postorder), shared by the
+/// dominator and loop analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_CFG_H
+#define DMP_CFG_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace dmp::cfg {
+
+/// Indexed successor/predecessor lists for one function.
+///
+/// Block indices are ir::BasicBlock::getId(), which is dense in layout
+/// order.  Rebuild the view if the function changes (functions are immutable
+/// after Program::finalize(), so in practice a view is built once).
+class CFGView {
+public:
+  explicit CFGView(const ir::Function &F);
+
+  const ir::Function &getFunction() const { return F; }
+  unsigned blockCount() const { return static_cast<unsigned>(Succs.size()); }
+
+  const std::vector<const ir::BasicBlock *> &successors(unsigned Id) const {
+    return Succs[Id];
+  }
+  const std::vector<const ir::BasicBlock *> &predecessors(unsigned Id) const {
+    return Preds[Id];
+  }
+
+  const ir::BasicBlock *block(unsigned Id) const { return Blocks[Id]; }
+
+  /// Blocks in reverse postorder from the entry.  Unreachable blocks are
+  /// excluded.
+  const std::vector<const ir::BasicBlock *> &reversePostorder() const {
+    return RPO;
+  }
+
+  /// True when \p Block is reachable from the entry.
+  bool isReachable(const ir::BasicBlock *Block) const {
+    return Reachable[Block->getId()];
+  }
+
+private:
+  const ir::Function &F;
+  std::vector<const ir::BasicBlock *> Blocks;
+  std::vector<std::vector<const ir::BasicBlock *>> Succs;
+  std::vector<std::vector<const ir::BasicBlock *>> Preds;
+  std::vector<const ir::BasicBlock *> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_CFG_H

@@ -1,0 +1,148 @@
+//===- cfg/Dominators.cpp - Dominator and post-dominator trees ----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Cooper-Harvey-Kennedy iterative dominance.  We run it on the forward CFG
+// for dominators and on the reverse CFG (augmented with a virtual exit that
+// is the unique predecessor-of-exits) for post-dominators.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+DominanceInfo::DominanceInfo(const CFGView &View, Direction Dir)
+    : View(View), Dir(Dir) {
+  const unsigned N = View.blockCount();
+  VirtualRoot = N; // Only used in Reverse mode.
+  const unsigned NumNodes = (Dir == Direction::Reverse) ? N + 1 : N;
+  Idom.assign(NumNodes, Undef);
+  RpoIndex.assign(NumNodes, Undef);
+
+  // Build the processing order: reverse postorder of the graph rooted at
+  // the root node (entry for Forward; virtual exit for Reverse).
+  //
+  // Edges in processing direction:
+  //   Forward: preds(n) = CFG predecessors.
+  //   Reverse: preds(n) = CFG successors; the virtual exit's "successors"
+  //            are all blocks without CFG successors (Ret/Halt blocks).
+  std::vector<std::vector<unsigned>> Walk(NumNodes); // graph to traverse
+  std::vector<std::vector<unsigned>> Join(NumNodes); // preds used in joins
+  auto addEdge = [&](unsigned From, unsigned To) {
+    Walk[From].push_back(To);
+    Join[To].push_back(From);
+  };
+
+  if (Dir == Direction::Forward) {
+    for (unsigned Id = 0; Id < N; ++Id)
+      for (const ir::BasicBlock *Succ : View.successors(Id))
+        addEdge(Id, Succ->getId());
+  } else {
+    for (unsigned Id = 0; Id < N; ++Id) {
+      const auto &Succs = View.successors(Id);
+      if (Succs.empty()) {
+        // Exit block: reversed edge from the virtual exit.
+        addEdge(VirtualRoot, Id);
+      } else {
+        for (const ir::BasicBlock *Succ : Succs)
+          addEdge(Succ->getId(), Id); // reversed
+      }
+    }
+  }
+
+  const unsigned Root =
+      (Dir == Direction::Forward) ? View.getFunction().getEntry()->getId()
+                                  : VirtualRoot;
+
+  // Iterative DFS postorder over Walk from Root.
+  std::vector<unsigned> Order;
+  {
+    std::vector<std::pair<unsigned, size_t>> Stack;
+    std::vector<bool> Visited(NumNodes, false);
+    Visited[Root] = true;
+    Stack.emplace_back(Root, 0);
+    while (!Stack.empty()) {
+      auto &[Node, Next] = Stack.back();
+      if (Next < Walk[Node].size()) {
+        const unsigned Succ = Walk[Node][Next++];
+        if (!Visited[Succ]) {
+          Visited[Succ] = true;
+          Stack.emplace_back(Succ, 0);
+        }
+        continue;
+      }
+      Order.push_back(Node);
+      Stack.pop_back();
+    }
+    std::reverse(Order.begin(), Order.end()); // now reverse postorder
+  }
+  for (unsigned I = 0; I < Order.size(); ++I)
+    RpoIndex[Order[I]] = I;
+
+  // Cooper-Harvey-Kennedy fixed point.
+  Idom[Root] = Root;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : Order) {
+      if (Node == Root)
+        continue;
+      unsigned NewIdom = Undef;
+      for (unsigned Pred : Join[Node]) {
+        if (Idom[Pred] == Undef)
+          continue; // not processed yet / unreachable
+        NewIdom = (NewIdom == Undef) ? Pred : intersect(Pred, NewIdom);
+      }
+      if (NewIdom != Undef && Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+unsigned DominanceInfo::intersect(unsigned A, unsigned B) const {
+  while (A != B) {
+    while (RpoIndex[A] > RpoIndex[B])
+      A = Idom[A];
+    while (RpoIndex[B] > RpoIndex[A])
+      B = Idom[B];
+  }
+  return A;
+}
+
+const ir::BasicBlock *DominanceInfo::idom(const ir::BasicBlock *Block) const {
+  const unsigned Id = Block->getId();
+  assert(Id < View.blockCount() && "foreign block");
+  const unsigned Parent = Idom[Id];
+  if (Parent == Undef || Parent == Id)
+    return nullptr;
+  if (Dir == Direction::Reverse && Parent == VirtualRoot)
+    return nullptr;
+  return View.block(Parent);
+}
+
+bool DominanceInfo::dominates(const ir::BasicBlock *A,
+                              const ir::BasicBlock *B) const {
+  unsigned Target = A->getId();
+  unsigned Node = B->getId();
+  if (Idom[Node] == Undef)
+    return false; // B unreachable
+  while (true) {
+    if (Node == Target)
+      return true;
+    const unsigned Parent = Idom[Node];
+    if (Parent == Undef || Parent == Node)
+      return false; // reached root
+    if (Dir == Direction::Reverse && Parent == VirtualRoot)
+      return false;
+    Node = Parent;
+  }
+}

@@ -1,0 +1,96 @@
+//===- cfg/Dominators.h - Dominator and post-dominator trees -------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and post-dominator trees using Cooper, Harvey, and Kennedy's
+/// "A Simple, Fast Dominance Algorithm" (SPE 2001) — the algorithm the paper
+/// itself cites for computing immediate post-dominators (IPOSDOM), which
+/// define exact CFM points (Section 3.1).
+///
+/// Post-dominance is computed against a virtual exit node so that functions
+/// with multiple Ret/Halt blocks are handled uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_DOMINATORS_H
+#define DMP_CFG_DOMINATORS_H
+
+#include "cfg/CFG.h"
+
+#include <vector>
+
+namespace dmp::cfg {
+
+/// Shared implementation for dominators (Direction=Forward) and
+/// post-dominators (Direction=Reverse).
+class DominanceInfo {
+public:
+  enum class Direction { Forward, Reverse };
+
+  DominanceInfo(const CFGView &View, Direction Dir);
+
+  /// The immediate (post-)dominator of \p Block, or nullptr when it is the
+  /// root, is unreachable, or its immediate post-dominator is the virtual
+  /// exit (i.e. the paths only rejoin "after" the function returns).
+  const ir::BasicBlock *idom(const ir::BasicBlock *Block) const;
+
+  /// Returns true when \p A (post-)dominates \p B.  A block (post-)dominates
+  /// itself.
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+private:
+  unsigned intersect(unsigned A, unsigned B) const;
+
+  const CFGView &View;
+  Direction Dir;
+  // Node ids: 0..N-1 are blocks; N is the virtual root for Reverse.
+  unsigned VirtualRoot;
+  static constexpr unsigned Undef = ~0u;
+  std::vector<unsigned> Idom;     // per node id
+  std::vector<unsigned> RpoIndex; // processing order index per node id
+};
+
+/// Dominator tree of a function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFGView &View)
+      : Info(View, DominanceInfo::Direction::Forward) {}
+
+  const ir::BasicBlock *idom(const ir::BasicBlock *Block) const {
+    return Info.idom(Block);
+  }
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const {
+    return Info.dominates(A, B);
+  }
+
+private:
+  DominanceInfo Info;
+};
+
+/// Post-dominator tree of a function.  ipostdom() is the "exact CFM point"
+/// of a branch in the paper's terminology.
+class PostDominatorTree {
+public:
+  explicit PostDominatorTree(const CFGView &View)
+      : Info(View, DominanceInfo::Direction::Reverse) {}
+
+  /// Immediate post-dominator, or nullptr when control only rejoins at the
+  /// virtual exit (e.g. paths ending in different return instructions —
+  /// the "return CFM" case of Section 3.5).
+  const ir::BasicBlock *ipostdom(const ir::BasicBlock *Block) const {
+    return Info.idom(Block);
+  }
+  bool postDominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const {
+    return Info.dominates(A, B);
+  }
+
+private:
+  DominanceInfo Info;
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_DOMINATORS_H

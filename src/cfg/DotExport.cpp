@@ -1,0 +1,72 @@
+//===- cfg/DotExport.cpp - Graphviz export of CFGs and selections -------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/DotExport.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+std::string cfg::exportFunctionDot(const ir::Function &F,
+                                   const DotOptions &Options) {
+  // Collect the decoration sets up front.
+  std::unordered_set<const ir::BasicBlock *> DivergeBlocks;
+  std::unordered_set<uint32_t> CfmAddrs;
+  if (Options.Diverge) {
+    for (const auto &Entry : Options.Diverge->all()) {
+      for (const auto &Block : F.blocks()) {
+        const ir::Instruction *Term = Block->getTerminator();
+        if (Term && Term->Addr == Entry.first)
+          DivergeBlocks.insert(Block.get());
+      }
+      for (const core::CfmPoint &Cfm : Entry.second.Cfms)
+        if (Cfm.PointKind == core::CfmPoint::Kind::Address)
+          CfmAddrs.insert(Cfm.Addr);
+    }
+  }
+
+  std::string Out =
+      formatString("digraph \"%s\" {\n  node [shape=box, fontname="
+                   "\"monospace\"];\n",
+                   F.getName().c_str());
+
+  for (const auto &Block : F.blocks()) {
+    std::string Label = Block->getName();
+    if (Options.ShowInstrCounts)
+      Label += formatString("\\n%u instrs @%u", Block->instrCount(),
+                            Block->getStartAddr());
+    std::string Attrs = formatString("label=\"%s\"", Label.c_str());
+    if (DivergeBlocks.count(Block.get()))
+      Attrs += ", peripheries=2, color=red";
+    if (CfmAddrs.count(Block->getStartAddr()))
+      Attrs += ", style=filled, fillcolor=lightblue";
+    Out += formatString("  b%u [%s];\n", Block->getId(), Attrs.c_str());
+  }
+
+  for (const auto &Block : F.blocks()) {
+    const ir::Instruction *Term = Block->getTerminator();
+    const auto Succs = Block->successors();
+    for (size_t I = 0; I < Succs.size(); ++I) {
+      std::string Attrs;
+      if (Term && Term->isCondBr()) {
+        const bool IsTaken = (I == 0);
+        Attrs = IsTaken ? "label=\"T" : "label=\"NT";
+        if (Options.Edges && Options.Edges->wasExecuted(Term->Addr)) {
+          const double P = Options.Edges->takenProb(Term->Addr);
+          Attrs += formatString(" %.2f", IsTaken ? P : 1.0 - P);
+        }
+        Attrs += "\"";
+      }
+      Out += formatString("  b%u -> b%u [%s];\n", Block->getId(),
+                          Succs[I]->getId(), Attrs.c_str());
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

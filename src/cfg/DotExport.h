@@ -1,0 +1,41 @@
+//===- cfg/DotExport.h - Graphviz export of CFGs and selections ----*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (dot) rendering of function CFGs, optionally decorated with
+/// edge-profile probabilities and the selected diverge branches / CFM
+/// points — the visual counterpart of the paper's Figures 2-4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_DOTEXPORT_H
+#define DMP_CFG_DOTEXPORT_H
+
+#include "cfg/EdgeProfile.h"
+#include "core/DivergeInfo.h"
+#include "ir/Function.h"
+
+#include <string>
+
+namespace dmp::cfg {
+
+/// Rendering options.
+struct DotOptions {
+  /// Annotate conditional-branch edges with profiled probabilities.
+  const EdgeProfile *Edges = nullptr;
+  /// Highlight diverge branches (doubled border) and CFM points (filled).
+  const core::DivergeMap *Diverge = nullptr;
+  /// Include per-block instruction counts in node labels.
+  bool ShowInstrCounts = true;
+};
+
+/// Renders one function as a dot digraph.
+std::string exportFunctionDot(const ir::Function &F,
+                              const DotOptions &Options = DotOptions());
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_DOTEXPORT_H

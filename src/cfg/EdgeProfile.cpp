@@ -1,0 +1,14 @@
+//===- cfg/EdgeProfile.cpp - Edge profiling data -------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// EdgeProfile is header-only; this file anchors the translation unit so the
+// library always has an object for the cfg/ profile types.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/EdgeProfile.h"
+
+namespace dmp::cfg {
+// Intentionally empty.
+} // namespace dmp::cfg

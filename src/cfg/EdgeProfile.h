@@ -1,0 +1,86 @@
+//===- cfg/EdgeProfile.h - Edge profiling data ---------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge-profile storage: per-conditional-branch taken/not-taken counts and
+/// per-block execution counts.  Filled by the profiler (profile/Profiler.h)
+/// and consumed by every selection algorithm and the cost-benefit model.
+///
+/// The paper's Section 4.1.1 (footnote 6) notes edge profiling assumes
+/// branch directions are independent; the path enumerator makes the same
+/// assumption when multiplying edge probabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_EDGEPROFILE_H
+#define DMP_CFG_EDGEPROFILE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dmp::cfg {
+
+/// Taken / not-taken execution counts of one static conditional branch.
+struct BranchCounts {
+  uint64_t Taken = 0;
+  uint64_t NotTaken = 0;
+
+  uint64_t total() const { return Taken + NotTaken; }
+  double takenProb() const {
+    const uint64_t Total = total();
+    return Total == 0 ? 0.0 : static_cast<double>(Taken) / Total;
+  }
+};
+
+/// Edge profile of one program run (or of a merged set of runs).
+class EdgeProfile {
+public:
+  /// Records one dynamic execution of the conditional branch at \p Addr.
+  void recordBranch(uint32_t Addr, bool Taken) {
+    BranchCounts &Counts = Branches[Addr];
+    if (Taken)
+      ++Counts.Taken;
+    else
+      ++Counts.NotTaken;
+  }
+
+  /// Records one entry into the block starting at \p StartAddr.
+  void recordBlockExec(uint32_t StartAddr) { ++BlockExec[StartAddr]; }
+
+  /// Counts for the branch at \p Addr (zeros when never executed).
+  BranchCounts branchCounts(uint32_t Addr) const {
+    auto It = Branches.find(Addr);
+    return It == Branches.end() ? BranchCounts() : It->second;
+  }
+
+  /// P(taken) for the branch at \p Addr; 0 when never executed.
+  double takenProb(uint32_t Addr) const {
+    return branchCounts(Addr).takenProb();
+  }
+
+  /// Whether the branch at \p Addr executed at least once during profiling.
+  /// Both Alg-exact and Alg-freq iterate only over executed branches.
+  bool wasExecuted(uint32_t Addr) const {
+    return branchCounts(Addr).total() != 0;
+  }
+
+  uint64_t blockExecCount(uint32_t StartAddr) const {
+    auto It = BlockExec.find(StartAddr);
+    return It == BlockExec.end() ? 0 : It->second;
+  }
+
+  const std::unordered_map<uint32_t, BranchCounts> &branches() const {
+    return Branches;
+  }
+
+private:
+  std::unordered_map<uint32_t, BranchCounts> Branches;
+  std::unordered_map<uint32_t, uint64_t> BlockExec;
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_EDGEPROFILE_H

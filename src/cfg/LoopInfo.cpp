@@ -1,0 +1,142 @@
+//===- cfg/LoopInfo.cpp - Natural loop detection -------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/LoopInfo.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+bool Loop::contains(const ir::BasicBlock *Block) const {
+  return std::find(Blocks.begin(), Blocks.end(), Block) != Blocks.end();
+}
+
+std::vector<const ir::Instruction *> Loop::exitBranches() const {
+  std::vector<const ir::Instruction *> Result;
+  for (const ir::BasicBlock *Block : Blocks) {
+    const ir::Instruction *Term = Block->getTerminator();
+    if (!Term || !Term->isCondBr())
+      continue;
+    bool HasInside = false, HasOutside = false;
+    for (const ir::BasicBlock *Succ : Block->successors()) {
+      if (contains(Succ))
+        HasInside = true;
+      else
+        HasOutside = true;
+    }
+    if (HasInside && HasOutside)
+      Result.push_back(Term);
+  }
+  return Result;
+}
+
+unsigned Loop::bodyInstrCount() const {
+  unsigned Count = 0;
+  for (const ir::BasicBlock *Block : Blocks)
+    Count += Block->instrCount();
+  return Count;
+}
+
+unsigned Loop::writtenRegCount() const {
+  std::set<ir::Reg> Written;
+  for (const ir::BasicBlock *Block : Blocks)
+    for (const ir::Instruction &Inst : Block->instructions())
+      if (Inst.writesReg())
+        Written.insert(Inst.Dst);
+  return static_cast<unsigned>(Written.size());
+}
+
+LoopInfo::LoopInfo(const CFGView &View, const DominatorTree &DT) {
+  const unsigned N = View.blockCount();
+  InnermostOf.assign(N, nullptr);
+
+  // Find back edges in deterministic block order and build each natural
+  // loop by reverse reachability from the tail, stopping at the header.
+  for (unsigned Id = 0; Id < N; ++Id) {
+    const ir::BasicBlock *Tail = View.block(Id);
+    if (!View.isReachable(Tail))
+      continue;
+    for (const ir::BasicBlock *Header : View.successors(Id)) {
+      if (!DT.dominates(Header, Tail))
+        continue;
+      // (Tail -> Header) is a back edge.  Merge into an existing loop with
+      // the same header if any (multiple back edges, one natural loop).
+      Loop *L = nullptr;
+      for (auto &Existing : Loops)
+        if (Existing->getHeader() == Header) {
+          L = Existing.get();
+          break;
+        }
+      if (!L) {
+        Loops.push_back(std::make_unique<Loop>(Header));
+        L = Loops.back().get();
+        L->Blocks.push_back(Header);
+      }
+      // Reverse BFS from Tail.
+      std::vector<const ir::BasicBlock *> Work;
+      if (!L->contains(Tail)) {
+        L->Blocks.push_back(Tail);
+        Work.push_back(Tail);
+      }
+      while (!Work.empty()) {
+        const ir::BasicBlock *Block = Work.back();
+        Work.pop_back();
+        if (Block == Header)
+          continue;
+        for (const ir::BasicBlock *Pred : View.predecessors(Block->getId())) {
+          if (!View.isReachable(Pred) || L->contains(Pred))
+            continue;
+          L->Blocks.push_back(Pred);
+          Work.push_back(Pred);
+        }
+      }
+    }
+  }
+
+  // Establish nesting: loop A is nested in B when B contains A's header and
+  // A != B and A's block set is a subset (containment of header suffices for
+  // natural loops sharing no header).  Compute parent = smallest strict
+  // superset containing the header.
+  for (auto &Inner : Loops) {
+    Loop *Best = nullptr;
+    for (auto &Outer : Loops) {
+      if (Outer.get() == Inner.get())
+        continue;
+      if (!Outer->contains(Inner->getHeader()))
+        continue;
+      if (!Best || Best->Blocks.size() > Outer->Blocks.size())
+        Best = Outer.get();
+    }
+    Inner->Parent = Best;
+  }
+  for (auto &L : Loops) {
+    unsigned Depth = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++Depth;
+    L->Depth = Depth;
+  }
+
+  // Innermost map: deepest loop containing each block.
+  for (auto &L : Loops)
+    for (const ir::BasicBlock *Block : L->blocks()) {
+      const Loop *Current = InnermostOf[Block->getId()];
+      if (!Current || Current->getDepth() < L->getDepth())
+        InnermostOf[Block->getId()] = L.get();
+    }
+}
+
+const Loop *LoopInfo::loopFor(const ir::BasicBlock *Block) const {
+  return InnermostOf[Block->getId()];
+}
+
+const Loop *LoopInfo::loopWithHeader(const ir::BasicBlock *Block) const {
+  for (const auto &L : Loops)
+    if (L->getHeader() == Block)
+      return L.get();
+  return nullptr;
+}

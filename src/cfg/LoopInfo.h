@@ -1,0 +1,82 @@
+//===- cfg/LoopInfo.h - Natural loop detection ---------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection via back edges (tail -> header where the header
+/// dominates the tail).  The loop-diverge-branch selector (paper Section 5)
+/// uses this to find loop exit branches, loop body sizes, and nesting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_LOOPINFO_H
+#define DMP_CFG_LOOPINFO_H
+
+#include "cfg/Dominators.h"
+
+#include <memory>
+#include <vector>
+
+namespace dmp::cfg {
+
+/// One natural loop.
+class Loop {
+public:
+  Loop(const ir::BasicBlock *Header) : Header(Header) {}
+
+  const ir::BasicBlock *getHeader() const { return Header; }
+
+  /// All blocks in the loop, header first; order is deterministic.
+  const std::vector<const ir::BasicBlock *> &blocks() const { return Blocks; }
+
+  bool contains(const ir::BasicBlock *Block) const;
+
+  /// Conditional branches with one successor inside the loop and one
+  /// outside: the "loop exit branch" diverge candidates of Figure 3(d).
+  /// Returned as the terminating instruction of each exiting block.
+  std::vector<const ir::Instruction *> exitBranches() const;
+
+  /// Static instruction count over all loop blocks — N(loop body) in the
+  /// loop cost model, and the STATIC_LOOP_SIZE heuristic input.
+  unsigned bodyInstrCount() const;
+
+  /// Number of distinct registers written in the loop body.  The paper
+  /// found N(select_uops) strongly correlated with body size; we model the
+  /// select-µop count per predicated iteration with exactly this number.
+  unsigned writtenRegCount() const;
+
+  /// Nesting depth; outermost loops have depth 1.
+  unsigned getDepth() const { return Depth; }
+  Loop *getParent() const { return Parent; }
+
+private:
+  friend class LoopInfo;
+  const ir::BasicBlock *Header;
+  std::vector<const ir::BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  unsigned Depth = 1;
+};
+
+/// All natural loops of a function.
+class LoopInfo {
+public:
+  LoopInfo(const CFGView &View, const DominatorTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p Block, or nullptr.
+  const Loop *loopFor(const ir::BasicBlock *Block) const;
+
+  /// Innermost loop headed by \p Block, or nullptr.
+  const Loop *loopWithHeader(const ir::BasicBlock *Block) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<const Loop *> InnermostOf; // indexed by block id
+};
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_LOOPINFO_H

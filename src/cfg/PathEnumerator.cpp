@@ -1,0 +1,247 @@
+//===- cfg/PathEnumerator.cpp - Profile-pruned path exploration ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/PathEnumerator.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+/// Weighted size of \p Block: static instructions plus the call weight for
+/// each Call instruction (dpred-mode fetches through calls).
+static unsigned blockWeight(const ir::BasicBlock &Block, unsigned CallWeight) {
+  unsigned Weight = Block.instrCount();
+  for (const ir::Instruction &Inst : Block.instructions())
+    if (Inst.Op == ir::Opcode::Call)
+      Weight += CallWeight;
+  return Weight;
+}
+
+bool Path::reaches(const ir::BasicBlock *Block,
+                   const ir::BasicBlock *Stop) const {
+  if (Block == Stop && End == PathEnd::ReachedStop)
+    return true;
+  return std::find(Blocks.begin(), Blocks.end(), Block) != Blocks.end();
+}
+
+unsigned Path::instrsBefore(const ir::BasicBlock *Block,
+                            unsigned CallWeight) const {
+  unsigned Count = 0;
+  for (const ir::BasicBlock *B : Blocks) {
+    if (B == Block)
+      return Count;
+    Count += blockWeight(*B, CallWeight);
+  }
+  return Count;
+}
+
+double PathSet::totalProb() const {
+  double Sum = 0.0;
+  for (const Path &P : Paths)
+    Sum += P.Prob;
+  return Sum;
+}
+
+double PathSet::reachProb(const ir::BasicBlock *Block) const {
+  double Sum = 0.0;
+  for (const Path &P : Paths)
+    if (P.reaches(Block, StopBlock))
+      Sum += P.Prob;
+  return Sum;
+}
+
+double PathSet::firstReachProb(
+    const ir::BasicBlock *Block,
+    const std::unordered_set<const ir::BasicBlock *> &Excluded) const {
+  double Sum = 0.0;
+  for (const Path &P : Paths) {
+    bool Blocked = false;
+    bool Reached = false;
+    for (const ir::BasicBlock *B : P.Blocks) {
+      if (B == Block) {
+        Reached = true;
+        break;
+      }
+      if (Excluded.count(B)) {
+        Blocked = true;
+        break;
+      }
+    }
+    if (!Reached && !Blocked && Block == StopBlock &&
+        P.End == PathEnd::ReachedStop)
+      Reached = true;
+    if (Reached && !Blocked)
+      Sum += P.Prob;
+  }
+  return Sum;
+}
+
+double PathSet::returnReachProb() const {
+  double Sum = 0.0;
+  for (const Path &P : Paths)
+    if (P.End == PathEnd::ReachedRet)
+      Sum += P.Prob;
+  return Sum;
+}
+
+unsigned PathSet::maxInstrsTo(const ir::BasicBlock *Block,
+                              unsigned CallWeight) const {
+  // Longest possible fetch distance before merging at \p Block (Eq. 8-9):
+  // paths that never reach the block contribute their whole explored
+  // length, since the machine fetches all of it before the merge/abort.
+  unsigned Best = 0;
+  for (const Path &P : Paths)
+    Best = std::max(Best, P.instrsBefore(Block, CallWeight));
+  return Best;
+}
+
+double PathSet::expectedInstrsTo(const ir::BasicBlock *Block,
+                                 unsigned CallWeight) const {
+  const double Total = totalProb();
+  if (Total <= 0.0)
+    return 0.0;
+  double Sum = 0.0;
+  for (const Path &P : Paths)
+    Sum += P.Prob * static_cast<double>(P.instrsBefore(Block, CallWeight));
+  return Sum / Total;
+}
+
+unsigned PathSet::maxInstrs() const {
+  unsigned Best = 0;
+  for (const Path &P : Paths)
+    Best = std::max(Best, P.Instrs);
+  return Best;
+}
+
+namespace {
+
+/// DFS frame: a partially explored path plus the block to enter next.
+struct WorkItem {
+  Path Partial;
+  const ir::BasicBlock *Next;
+};
+
+} // namespace
+
+PathSet cfg::enumeratePaths(const ir::BasicBlock *Start,
+                            const ir::BasicBlock *Stop,
+                            const EdgeProfile &Profile,
+                            const PathLimits &Limits) {
+  PathSet Result;
+  Result.StopBlock = Stop;
+  assert(Start && "path enumeration needs a start block");
+
+  std::vector<WorkItem> Work;
+  Work.push_back({Path(), Start});
+
+  while (!Work.empty()) {
+    if (Result.Paths.size() >= Limits.MaxPaths) {
+      // Unexplored work is dropped; account its probability mass.
+      Result.Overflowed = true;
+      for (const WorkItem &Item : Work)
+        Result.LostProbMass += Item.Partial.Prob;
+      break;
+    }
+
+    WorkItem Item = std::move(Work.back());
+    Work.pop_back();
+    Path &P = Item.Partial;
+    const ir::BasicBlock *Block = Item.Next;
+
+    // Reaching the stop block finishes the path without including it.
+    if (Block == Stop) {
+      P.End = PathEnd::ReachedStop;
+      Result.Paths.push_back(std::move(P));
+      continue;
+    }
+
+    // A cycle within the path: dynamic predication exploration does not
+    // follow loops (loop diverge branches are handled separately).
+    if (std::find(P.Blocks.begin(), P.Blocks.end(), Block) != P.Blocks.end()) {
+      P.End = PathEnd::Looped;
+      Result.Paths.push_back(std::move(P));
+      continue;
+    }
+
+    P.Blocks.push_back(Block);
+    P.Instrs += blockWeight(*Block, Limits.CallExtraWeight);
+    if (P.Instrs > Limits.MaxInstr) {
+      P.End = PathEnd::Truncated;
+      Result.Paths.push_back(std::move(P));
+      continue;
+    }
+
+    const ir::Instruction *Term = Block->getTerminator();
+    if (!Term) {
+      // Fallthrough block.
+      const ir::BasicBlock *Next = Block->getFallthrough();
+      assert(Next && "verifier guarantees no falling off a function");
+      Work.push_back({std::move(P), Next});
+      continue;
+    }
+
+    switch (Term->Op) {
+    case ir::Opcode::Jmp:
+      Work.push_back({std::move(P), Term->Target});
+      break;
+    case ir::Opcode::Ret:
+      P.End = PathEnd::ReachedRet;
+      P.RetInstr = Term;
+      Result.Paths.push_back(std::move(P));
+      break;
+    case ir::Opcode::Halt:
+      P.End = PathEnd::ReachedHalt;
+      Result.Paths.push_back(std::move(P));
+      break;
+    case ir::Opcode::CondBr: {
+      ++P.CondBrs;
+      if (P.CondBrs > Limits.MaxCondBr) {
+        P.End = PathEnd::Truncated;
+        Result.Paths.push_back(std::move(P));
+        break;
+      }
+      const double TakenProb = Profile.takenProb(Term->Addr);
+      const bool Executed = Profile.wasExecuted(Term->Addr);
+      struct Dir {
+        const ir::BasicBlock *Target;
+        double Prob;
+      };
+      const Dir Dirs[2] = {
+          {Term->Target, TakenProb},
+          {Block->getFallthrough(), Executed ? 1.0 - TakenProb : 0.0}};
+      bool AnyFollowed = false;
+      for (const Dir &D : Dirs) {
+        if (!D.Target || D.Prob < Limits.MinExecProb) {
+          Result.LostProbMass += P.Prob * D.Prob;
+          continue;
+        }
+        Path Child = P;
+        Child.Prob *= D.Prob;
+        if (Child.Prob < Limits.MinPathProb) {
+          Result.LostProbMass += Child.Prob;
+          continue;
+        }
+        Work.push_back({std::move(Child), D.Target});
+        AnyFollowed = true;
+      }
+      if (!AnyFollowed) {
+        // Both directions pruned: materialize as truncated so the partial
+        // path still contributes to overhead estimates.
+        P.End = PathEnd::Truncated;
+        Result.Paths.push_back(std::move(P));
+      }
+      break;
+    }
+    default:
+      DMP_UNREACHABLE("non-terminator as block terminator");
+    }
+  }
+
+  return Result;
+}

@@ -1,0 +1,135 @@
+//===- cfg/PathEnumerator.h - Profile-pruned path exploration -------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded, profile-pruned enumeration of control-flow paths after a branch:
+/// the worklist computation at the heart of Alg-exact and Alg-freq
+/// (paper Algorithms 1 and 2).
+///
+/// Exploration starts at one side of a diverge-branch candidate and follows
+/// only branch directions whose profiled frequency is at least
+/// MIN_EXEC_PROB, up to the IPOSDOM (stop block), MAX_INSTR instructions, or
+/// MAX_CBR conditional branches — exactly the limits of Algorithm 2.  On top
+/// of the paper's limits we bound the number of materialized paths and drop
+/// vanishing-probability paths; both caps are recorded so callers can treat
+/// truncated probability mass conservatively (as "did not merge").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CFG_PATHENUMERATOR_H
+#define DMP_CFG_PATHENUMERATOR_H
+
+#include "cfg/EdgeProfile.h"
+#include "ir/Function.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace dmp::cfg {
+
+/// Exploration limits.  Defaults are the paper's best-performing heuristic
+/// thresholds (Section 7.1.1): MAX_INSTR=50, MAX_CBR=MAX_INSTR/10,
+/// MIN_EXEC_PROB=0.001.
+struct PathLimits {
+  unsigned MaxInstr = 50;
+  unsigned MaxCondBr = 5;
+  double MinExecProb = 0.001;
+
+  /// Implementation caps beyond the paper (Section 6 of DESIGN.md): bound
+  /// the number of explicit paths and prune vanishing-probability paths so
+  /// that MAX_CBR=20 cost-model exploration stays tractable.
+  unsigned MaxPaths = 4096;
+  double MinPathProb = 1e-5;
+
+  /// Extra fetched-instruction weight charged for each Call on a path:
+  /// dpred-mode fetches through calls, so a call contributes callee
+  /// instructions that a static intra-procedural count would miss.
+  unsigned CallExtraWeight = 8;
+};
+
+/// Why a path ended.
+enum class PathEnd : uint8_t {
+  ReachedStop, ///< Reached the stop block (IPOSDOM / CFM search frontier).
+  ReachedRet,  ///< Reached a return instruction (return-CFM candidate).
+  ReachedHalt, ///< Reached program end.
+  Truncated,   ///< Hit MaxInstr/MaxCondBr/probability limits.
+  Looped,      ///< Revisited a block already on this path.
+};
+
+/// One enumerated control-flow path.
+struct Path {
+  /// Blocks visited in order.  Excludes the stop block itself.
+  std::vector<const ir::BasicBlock *> Blocks;
+  /// Product of followed edge probabilities.
+  double Prob = 1.0;
+  /// Weighted instruction count over Blocks (calls weighted per
+  /// PathLimits::CallExtraWeight).
+  unsigned Instrs = 0;
+  /// Conditional branches encountered as terminators along the path.
+  unsigned CondBrs = 0;
+  PathEnd End = PathEnd::Truncated;
+  /// For ReachedRet: the return instruction that ended the path.
+  const ir::Instruction *RetInstr = nullptr;
+
+  /// True when the path contains \p Block or stops at it.
+  bool reaches(const ir::BasicBlock *Block, const ir::BasicBlock *Stop) const;
+
+  /// Weighted instructions before the first occurrence of \p Block; the
+  /// whole path when \p Block is not on it.
+  unsigned instrsBefore(const ir::BasicBlock *Block, unsigned CallWeight) const;
+};
+
+/// All paths explored from one side of a branch.
+struct PathSet {
+  std::vector<Path> Paths;
+  const ir::BasicBlock *StopBlock = nullptr;
+  /// True when MaxPaths was hit; unexplored probability mass exists beyond
+  /// LostProbMass.
+  bool Overflowed = false;
+  /// Probability mass of dropped (sub-MinPathProb or unexecuted-direction)
+  /// continuations.
+  double LostProbMass = 0.0;
+
+  /// Total probability over materialized paths.
+  double totalProb() const;
+
+  /// Probability that this side reaches \p Block: the p_T(X) / p_NT(X)
+  /// terms of Algorithm 2.
+  double reachProb(const ir::BasicBlock *Block) const;
+
+  /// Probability of reaching \p Block without passing through any block of
+  /// \p Excluded first — the "merging at X for the first time" correction
+  /// of footnote 3 (chains of CFM points).
+  double firstReachProb(
+      const ir::BasicBlock *Block,
+      const std::unordered_set<const ir::BasicBlock *> &Excluded) const;
+
+  /// Probability that the side ends at a return instruction (Section 3.5).
+  double returnReachProb() const;
+
+  /// Longest weighted instruction distance to \p Block over paths reaching
+  /// it (cost-model Method 2, Eq. 8-9).  Falls back to the longest path
+  /// overall when nothing reaches \p Block.
+  unsigned maxInstrsTo(const ir::BasicBlock *Block, unsigned CallWeight) const;
+
+  /// Expected weighted instructions fetched on this side before merging at
+  /// \p Block (cost-model Method 3, Eq. 10-11): paths not reaching the
+  /// block contribute their full length.
+  double expectedInstrsTo(const ir::BasicBlock *Block,
+                          unsigned CallWeight) const;
+
+  /// Longest path length regardless of merge point.
+  unsigned maxInstrs() const;
+};
+
+/// Enumerates paths starting at \p Start (one side of a branch), stopping at
+/// \p Stop (usually IPOSDOM of the branch; may be nullptr).
+PathSet enumeratePaths(const ir::BasicBlock *Start, const ir::BasicBlock *Stop,
+                       const EdgeProfile &Profile, const PathLimits &Limits);
+
+} // namespace dmp::cfg
+
+#endif // DMP_CFG_PATHENUMERATOR_H

@@ -1,0 +1,135 @@
+//===- core/AnnotationIO.cpp - DivergeMap serialization -----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AnnotationIO.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace dmp;
+using namespace dmp::core;
+
+static const char *kindToken(DivergeKind Kind) { return divergeKindName(Kind); }
+
+static bool kindFromToken(const std::string &Token, DivergeKind &Kind) {
+  for (DivergeKind K :
+       {DivergeKind::SimpleHammock, DivergeKind::NestedHammock,
+        DivergeKind::FreqHammock, DivergeKind::Loop, DivergeKind::NoCfm}) {
+    if (Token == divergeKindName(K)) {
+      Kind = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string core::serializeDivergeMap(const DivergeMap &Map) {
+  std::string Out = "# dmp-diverge-map v1\n";
+  for (uint32_t Addr : Map.sortedAddrs()) {
+    const DivergeAnnotation &Ann = *Map.find(Addr);
+    Out += formatString("branch %u kind=%s always=%d", Addr,
+                        kindToken(Ann.Kind), Ann.AlwaysPredicate ? 1 : 0);
+    if (Ann.Kind == DivergeKind::Loop)
+      Out += formatString(" header=%u selects=%u stay=%s", Ann.LoopHeaderAddr,
+                          Ann.LoopSelectUops,
+                          Ann.LoopStayTaken ? "taken" : "nottaken");
+    for (const CfmPoint &Cfm : Ann.Cfms) {
+      if (Cfm.PointKind == CfmPoint::Kind::Return)
+        Out += formatString(" cfm=ret:%.6f", Cfm.MergeProb);
+      else
+        Out += formatString(" cfm=addr:%u:%.6f", Cfm.Addr, Cfm.MergeProb);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool core::parseDivergeMap(const std::string &Text, DivergeMap &Map,
+                           std::string &Error) {
+  const std::vector<std::string> Lines = splitString(Text, '\n');
+  bool SawHeader = false;
+  for (size_t LineNo = 0; LineNo < Lines.size(); ++LineNo) {
+    const std::string &Line = Lines[LineNo];
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#') {
+      if (Line.find("dmp-diverge-map v1") != std::string::npos)
+        SawHeader = true;
+      continue;
+    }
+    if (!SawHeader) {
+      Error = formatString("line %zu: missing dmp-diverge-map v1 header",
+                           LineNo + 1);
+      return false;
+    }
+
+    const std::vector<std::string> Tokens = splitString(Line, ' ');
+    if (Tokens.size() < 3 || Tokens[0] != "branch") {
+      Error = formatString("line %zu: expected 'branch <addr> ...'",
+                           LineNo + 1);
+      return false;
+    }
+    DivergeAnnotation Ann;
+    const uint32_t Addr =
+        static_cast<uint32_t>(std::strtoul(Tokens[1].c_str(), nullptr, 10));
+
+    for (size_t T = 2; T < Tokens.size(); ++T) {
+      const std::string &Token = Tokens[T];
+      if (Token.empty())
+        continue;
+      const size_t Eq = Token.find('=');
+      if (Eq == std::string::npos) {
+        Error = formatString("line %zu: malformed token '%s'", LineNo + 1,
+                             Token.c_str());
+        return false;
+      }
+      const std::string Key = Token.substr(0, Eq);
+      const std::string Value = Token.substr(Eq + 1);
+      if (Key == "kind") {
+        if (!kindFromToken(Value, Ann.Kind)) {
+          Error = formatString("line %zu: unknown kind '%s'", LineNo + 1,
+                               Value.c_str());
+          return false;
+        }
+      } else if (Key == "always") {
+        Ann.AlwaysPredicate = (Value == "1");
+      } else if (Key == "header") {
+        Ann.LoopHeaderAddr =
+            static_cast<uint32_t>(std::strtoul(Value.c_str(), nullptr, 10));
+      } else if (Key == "selects") {
+        Ann.LoopSelectUops =
+            static_cast<uint32_t>(std::strtoul(Value.c_str(), nullptr, 10));
+      } else if (Key == "stay") {
+        Ann.LoopStayTaken = (Value == "taken");
+      } else if (Key == "cfm") {
+        const std::vector<std::string> Parts = splitString(Value, ':');
+        if (Parts.size() == 2 && Parts[0] == "ret") {
+          Ann.Cfms.push_back(CfmPoint::atReturn(std::atof(Parts[1].c_str())));
+        } else if (Parts.size() == 3 && Parts[0] == "addr") {
+          Ann.Cfms.push_back(CfmPoint::atAddress(
+              static_cast<uint32_t>(
+                  std::strtoul(Parts[1].c_str(), nullptr, 10)),
+              std::atof(Parts[2].c_str())));
+        } else {
+          Error = formatString("line %zu: malformed cfm '%s'", LineNo + 1,
+                               Value.c_str());
+          return false;
+        }
+      } else {
+        Error = formatString("line %zu: unknown key '%s'", LineNo + 1,
+                             Key.c_str());
+        return false;
+      }
+    }
+    Map.add(Addr, std::move(Ann));
+  }
+  if (!SawHeader) {
+    Error = "missing dmp-diverge-map v1 header";
+    return false;
+  }
+  return true;
+}

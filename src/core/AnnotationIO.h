@@ -1,0 +1,41 @@
+//===- core/AnnotationIO.h - DivergeMap serialization ---------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of the diverge-branch annotation map: the artifact
+/// the paper's toolset "attaches to the binary and passes to the
+/// simulator" (Section 6.1).  The format is a line-oriented, diff-friendly
+/// text format:
+///
+///   # dmp-diverge-map v1
+///   branch 142 kind=freq always=0 cfm=addr:187:0.970 cfm=addr:352:0.240
+///   branch 205 kind=loop always=0 header=198 selects=5 stay=taken
+///          cfm=addr:210:1.000      (single line; wrapped here for width)
+///   branch 96 kind=freq always=0 cfm=ret:0.920
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_ANNOTATIONIO_H
+#define DMP_CORE_ANNOTATIONIO_H
+
+#include "core/DivergeInfo.h"
+
+#include <string>
+
+namespace dmp::core {
+
+/// Serializes \p Map in the v1 text format (deterministic order).
+std::string serializeDivergeMap(const DivergeMap &Map);
+
+/// Parses the v1 text format.  Returns true on success; on failure returns
+/// false and sets \p Error to a one-line diagnostic (lowercase, no trailing
+/// period, per the project's error-message style).
+bool parseDivergeMap(const std::string &Text, DivergeMap &Map,
+                     std::string &Error);
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_ANNOTATIONIO_H

@@ -1,0 +1,121 @@
+//===- core/CostModel.cpp - Analytical cost-benefit model ---------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CostModel.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::core;
+
+/// Per-side fetched-instruction estimate toward one CFM point.
+///
+/// Method 2 (Eq. 8-9): the longest explored path to the CFM.
+/// Method 3 (Eq. 10-11): the edge-profile expectation; paths that do not
+/// reach the CFM contribute their full explored length.
+///
+/// For a return CFM the distance is measured to the path-terminating return
+/// instruction instead of to a block.
+static double sideInstrs(const cfg::PathSet &Set, const CfmCandidate &Cfm,
+                         unsigned CallWeight, OverheadMethod Method) {
+  if (Cfm.IsReturn) {
+    if (Method == OverheadMethod::LongestPath) {
+      unsigned Best = 0;
+      bool Any = false;
+      for (const cfg::Path &P : Set.Paths)
+        if (P.End == cfg::PathEnd::ReachedRet) {
+          Best = std::max(Best, P.Instrs);
+          Any = true;
+        }
+      return Any ? Best : Set.maxInstrs();
+    }
+    const double Total = Set.totalProb();
+    if (Total <= 0.0)
+      return 0.0;
+    double Sum = 0.0;
+    for (const cfg::Path &P : Set.Paths)
+      Sum += P.Prob * static_cast<double>(P.Instrs);
+    return Sum / Total;
+  }
+
+  if (Method == OverheadMethod::LongestPath)
+    return Set.maxInstrsTo(Cfm.Block, CallWeight);
+  return Set.expectedInstrsTo(Cfm.Block, CallWeight);
+}
+
+HammockCost core::evaluateHammockCost(const BranchCandidate &Cand,
+                                      const std::vector<CfmCandidate> &Cfms,
+                                      const SelectionConfig &Config,
+                                      OverheadMethod Method) {
+  HammockCost Result;
+  const double FW = static_cast<double>(Config.FetchWidth);
+  const double Penalty = static_cast<double>(Config.MispPenaltyCycles);
+
+  double MergeSum = 0.0;
+  double WeightedUselessCycles = 0.0;
+  for (const CfmCandidate &Cfm : Cfms) {
+    // N(BH) / N(CH) per Eq. 5: taken side and not-taken side.
+    const double NTaken =
+        sideInstrs(Cand.TakenPaths, Cfm, Config.CallExtraWeight, Method);
+    const double NFall =
+        sideInstrs(Cand.FallPaths, Cfm, Config.CallExtraWeight, Method);
+    const double DpredInsts = NTaken + NFall;
+    // Eq. 12: useful instructions are the correct-path side, weighted by
+    // the probability of each direction being correct.
+    const double Useful =
+        Cand.TakenProb * NTaken + (1.0 - Cand.TakenProb) * NFall;
+    // Eq. 13.
+    const double Useless = std::max(0.0, DpredInsts - Useful);
+
+    Result.DpredInstsPerCfm.push_back(DpredInsts);
+    Result.UselessInstsPerCfm.push_back(Useless);
+    // Eq. 17 numerator terms.
+    WeightedUselessCycles += (Useless / FW) * Cfm.MergeProb;
+    MergeSum += Cfm.MergeProb;
+  }
+  MergeSum = std::min(MergeSum, 1.0);
+  Result.TotalMergeProb = MergeSum;
+
+  // Eq. 16/17: when the paths fail to merge, half the fetch bandwidth is
+  // wasted until the branch resolves.
+  Result.OverheadCycles =
+      WeightedUselessCycles + (1.0 - MergeSum) * (Penalty / 2.0);
+
+  // Eq. 1-3: weight by the confidence estimator's accuracy.
+  const double PCorrect = 1.0 - Config.AccConf; // entered but was correct
+  const double PMisp = Config.AccConf;          // entered and was wrong
+  Result.CostCycles = Result.OverheadCycles * PCorrect +
+                      (Result.OverheadCycles - Penalty) * PMisp;
+  // Eq. 4.
+  Result.Selected = !Cfms.empty() && Result.CostCycles < 0.0;
+  return Result;
+}
+
+LoopCost core::evaluateLoopCost(const LoopCostInputs &In,
+                                const SelectionConfig &Config) {
+  LoopCost Result;
+  const double FW = static_cast<double>(Config.FetchWidth);
+  const double Penalty = static_cast<double>(Config.MispPenaltyCycles);
+
+  // Eq. 18: select-µop fetch overhead per dpred-mode episode.
+  const double SelectOverhead = In.SelectUops * In.DpredIter / FW;
+
+  Result.OverheadCorrect = SelectOverhead;
+  Result.OverheadEarly = SelectOverhead;
+  Result.OverheadNoExit = SelectOverhead;
+  // Eq. 19: late exit additionally fetches the NOPed extra iterations.
+  Result.OverheadLate =
+      In.BodyInstrs * In.DpredExtraIter / FW + SelectOverhead;
+
+  // Eq. 20: only the late-exit case converts a pipeline flush into useful
+  // control-independent fetch, i.e. saves the misprediction penalty.
+  Result.CostCycles = In.PCorrect * Result.OverheadCorrect +
+                      In.PEarlyExit * Result.OverheadEarly +
+                      In.PLateExit * (Result.OverheadLate - Penalty) +
+                      In.PNoExit * Result.OverheadNoExit;
+  Result.Selected = Result.CostCycles < 0.0;
+  return Result;
+}

@@ -1,0 +1,102 @@
+//===- core/CostModel.h - Analytical cost-benefit model -------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's analytical, profile-driven cost-benefit model for dynamic
+/// predication (Section 4), including:
+///
+///  - Eq. 1-4: dpred_cost from dpred_overhead, Acc_Conf, and the machine's
+///    misprediction penalty; a branch is selected when the cost is < 0;
+///  - Eq. 5-13: estimation of N(dpred_insts)/N(useful_dpred_insts) with
+///    Method 2 (longest path, "cost-long") and Method 3 (edge-profile
+///    average, "cost-edge");
+///  - Eq. 14: fetch-cycle overhead;
+///  - Eq. 16: frequently-hammock overhead with merge probability;
+///  - Eq. 17: diverge branches with multiple CFM points;
+///  - Eq. 18-20: the loop cost model (Section 5.1), used analytically (the
+///    paper's loop *selection* uses the Section 5.2 heuristics because the
+///    required per-branch dpred profiling is impractical — we mirror that).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_COSTMODEL_H
+#define DMP_CORE_COSTMODEL_H
+
+#include "core/HammockAnalysis.h"
+#include "core/SelectionConfig.h"
+
+#include <vector>
+
+namespace dmp::core {
+
+/// Which N(dpred_insts) estimation method to use (Section 4.1.1).
+enum class OverheadMethod {
+  LongestPath, ///< Method 2: max instructions over explored paths.
+  EdgeProfile, ///< Method 3: edge-profile expected instructions.
+};
+
+/// Full breakdown of one hammock cost evaluation.
+struct HammockCost {
+  /// Per-CFM N(dpred_insts(Xi)) terms.
+  std::vector<double> DpredInstsPerCfm;
+  /// Per-CFM N(useless_dpred_insts(Xi)) terms (Eq. 13).
+  std::vector<double> UselessInstsPerCfm;
+  /// Sum of per-CFM merge probabilities (capped at 1).
+  double TotalMergeProb = 0.0;
+  /// dpred_overhead in fetch cycles (Eq. 14/16/17).
+  double OverheadCycles = 0.0;
+  /// dpred_cost in cycles (Eq. 1); negative means predication pays off.
+  double CostCycles = 0.0;
+  /// Eq. 4: CostCycles < 0.
+  bool Selected = false;
+};
+
+/// Evaluates the cost of dynamically predicating \p Cand with the CFM set
+/// \p ChosenCfms.
+///
+/// With one CFM of merge probability 1 this reduces to the simple/nested
+/// hammock model (Eq. 14); otherwise the frequently-hammock/multi-CFM model
+/// (Eq. 16/17) applies.
+HammockCost evaluateHammockCost(const BranchCandidate &Cand,
+                                const std::vector<CfmCandidate> &ChosenCfms,
+                                const SelectionConfig &Config,
+                                OverheadMethod Method);
+
+/// Inputs of the loop cost model (Eq. 18-20).
+struct LoopCostInputs {
+  /// N(loop body): static instructions in the loop body.
+  double BodyInstrs = 0.0;
+  /// N(select_uops): select-µops inserted after each predicated iteration.
+  double SelectUops = 0.0;
+  /// dpred_iter: loop iterations fetched during dpred-mode.
+  double DpredIter = 0.0;
+  /// dpred_extra_iter: extra iterations in the late-exit case.
+  double DpredExtraIter = 0.0;
+  /// Probabilities of the four outcomes of predicating the loop branch;
+  /// must sum to (approximately) 1.
+  double PCorrect = 0.0;
+  double PEarlyExit = 0.0;
+  double PLateExit = 0.0;
+  double PNoExit = 0.0;
+};
+
+/// Breakdown of the loop cost model.
+struct LoopCost {
+  double OverheadCorrect = 0.0; ///< Eq. 18.
+  double OverheadEarly = 0.0;   ///< Eq. 18 (flush penalty not saved).
+  double OverheadLate = 0.0;    ///< Eq. 19.
+  double OverheadNoExit = 0.0;  ///< Eq. 18.
+  double CostCycles = 0.0;      ///< Expected cost; negative = beneficial.
+  bool Selected = false;
+};
+
+/// Evaluates Eq. 18-20 for a diverge loop branch.
+LoopCost evaluateLoopCost(const LoopCostInputs &Inputs,
+                          const SelectionConfig &Config);
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_COSTMODEL_H

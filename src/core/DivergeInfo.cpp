@@ -1,0 +1,62 @@
+//===- core/DivergeInfo.cpp - Diverge branch annotations ----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DivergeInfo.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::core;
+
+const char *core::divergeKindName(DivergeKind Kind) {
+  switch (Kind) {
+  case DivergeKind::SimpleHammock:
+    return "simple";
+  case DivergeKind::NestedHammock:
+    return "nested";
+  case DivergeKind::FreqHammock:
+    return "freq";
+  case DivergeKind::Loop:
+    return "loop";
+  case DivergeKind::NoCfm:
+    return "no-cfm";
+  }
+  DMP_UNREACHABLE("unknown diverge kind");
+}
+
+double DivergeAnnotation::totalMergeProb() const {
+  double Sum = 0.0;
+  for (const CfmPoint &Cfm : Cfms)
+    Sum += Cfm.MergeProb;
+  return std::min(Sum, 1.0);
+}
+
+std::vector<uint32_t> DivergeMap::sortedAddrs() const {
+  std::vector<uint32_t> Addrs;
+  Addrs.reserve(Map.size());
+  for (const auto &Entry : Map)
+    Addrs.push_back(Entry.first);
+  std::sort(Addrs.begin(), Addrs.end());
+  return Addrs;
+}
+
+double DivergeMap::avgCfmPoints() const {
+  if (Map.empty())
+    return 0.0;
+  size_t Total = 0;
+  for (const auto &Entry : Map)
+    Total += Entry.second.Cfms.size();
+  return static_cast<double>(Total) / static_cast<double>(Map.size());
+}
+
+std::unordered_map<std::string, size_t> DivergeMap::kindCounts() const {
+  std::unordered_map<std::string, size_t> Counts;
+  for (const auto &Entry : Map)
+    ++Counts[divergeKindName(Entry.second.Kind)];
+  return Counts;
+}

@@ -1,0 +1,274 @@
+//===- core/DivergeSelector.cpp - Selection orchestration ---------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DivergeSelector.h"
+
+#include "core/CostModel.h"
+#include "core/HammockAnalysis.h"
+#include "core/LoopSelect.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::core;
+
+SelectionFeatures SelectionFeatures::exactOnly() { return SelectionFeatures(); }
+
+SelectionFeatures SelectionFeatures::exactFreq() {
+  SelectionFeatures F;
+  F.Freq = true;
+  return F;
+}
+
+SelectionFeatures SelectionFeatures::exactFreqShort() {
+  SelectionFeatures F = exactFreq();
+  F.ShortHammocks = true;
+  return F;
+}
+
+SelectionFeatures SelectionFeatures::exactFreqShortRet() {
+  SelectionFeatures F = exactFreqShort();
+  F.ReturnCfm = true;
+  return F;
+}
+
+SelectionFeatures SelectionFeatures::allBestHeur() {
+  SelectionFeatures F = exactFreqShortRet();
+  F.Loops = true;
+  return F;
+}
+
+SelectionFeatures SelectionFeatures::costLong() {
+  SelectionFeatures F;
+  F.Freq = true;
+  F.Mode = SelectionMode::CostLong;
+  return F;
+}
+
+SelectionFeatures SelectionFeatures::costEdge() {
+  SelectionFeatures F = costLong();
+  F.Mode = SelectionMode::CostEdge;
+  return F;
+}
+
+SelectionFeatures SelectionFeatures::allBestCost() {
+  SelectionFeatures F = costEdge();
+  F.ShortHammocks = true;
+  F.ReturnCfm = true;
+  F.Loops = true;
+  return F;
+}
+
+namespace {
+
+/// Per-branch selection pipeline, shared state bundled for readability.
+class Selector {
+public:
+  Selector(const cfg::ProgramAnalysis &PA, const profile::ProfileData &Prof,
+           const SelectionConfig &Config, const SelectionFeatures &Features,
+           SelectionStats &Stats)
+      : PA(PA), Prof(Prof), Config(Config), Features(Features), Stats(Stats) {}
+
+  DivergeMap run() {
+    DivergeMap Map;
+    for (uint32_t Addr : PA.getProgram().condBranchAddrs()) {
+      if (!Prof.Edges.wasExecuted(Addr))
+        continue;
+      ++Stats.CandidatesConsidered;
+
+      // Loop exit branches go through the Section 5 path exclusively.
+      if (isLoopExitBranch(PA, Addr)) {
+        if (!Features.Loops)
+          continue;
+        DivergeAnnotation Annotation;
+        const LoopDecision Decision =
+            evaluateLoopBranch(PA, Prof, Addr, Config, Annotation);
+        if (Decision.Selected) {
+          ++Stats.SelectedLoop;
+          Map.add(Addr, std::move(Annotation));
+        }
+        continue;
+      }
+
+      DivergeAnnotation Annotation;
+      if (selectHammock(Addr, Annotation))
+        Map.add(Addr, std::move(Annotation));
+    }
+    return Map;
+  }
+
+private:
+  bool selectHammock(uint32_t Addr, DivergeAnnotation &Annotation);
+  bool applyShortHammock(const BranchCandidate &Cand, uint32_t Addr,
+                         DivergeAnnotation &Annotation);
+
+  const cfg::ProgramAnalysis &PA;
+  const profile::ProfileData &Prof;
+  const SelectionConfig &Config;
+  const SelectionFeatures &Features;
+  SelectionStats &Stats;
+};
+
+} // namespace
+
+/// Short hammock check (Section 3.4) for one CFM candidate.
+static bool qualifiesAsShort(const BranchCandidate &Cand,
+                             const CfmCandidate &Cfm, double MispRate,
+                             const SelectionConfig &Config) {
+  if (Cfm.IsReturn)
+    return false;
+  if (MispRate < Config.ShortHammockMinMispRate)
+    return false;
+  if (Cfm.MergeProb < Config.ShortHammockMinMergeProb)
+    return false;
+  const unsigned TakenLen =
+      Cand.TakenPaths.maxInstrsTo(Cfm.Block, Config.CallExtraWeight);
+  const unsigned FallLen =
+      Cand.FallPaths.maxInstrsTo(Cfm.Block, Config.CallExtraWeight);
+  return TakenLen < Config.ShortHammockMaxInstr &&
+         FallLen < Config.ShortHammockMaxInstr;
+}
+
+bool Selector::applyShortHammock(const BranchCandidate &Cand, uint32_t Addr,
+                                 DivergeAnnotation &Annotation) {
+  if (!Features.ShortHammocks)
+    return false;
+  const double MispRate = Prof.Branches.mispRate(Addr);
+  std::vector<CfmPoint> ShortCfms;
+  for (const CfmCandidate &Cfm : Cand.Cfms)
+    if (qualifiesAsShort(Cand, Cfm, MispRate, Config))
+      ShortCfms.push_back(CfmPoint::atAddress(Cfm.addr(), Cfm.MergeProb));
+  if (ShortCfms.empty())
+    return false;
+
+  // Short hammocks are always predicated; CFM candidates that do not
+  // qualify as short are dropped (Section 3.4, last paragraph).
+  if (ShortCfms.size() > Config.MaxCfmPoints)
+    ShortCfms.resize(Config.MaxCfmPoints);
+  Annotation.Kind = Cand.StructKind;
+  Annotation.AlwaysPredicate = true;
+  Annotation.Cfms = std::move(ShortCfms);
+  ++Stats.SelectedShort;
+  return true;
+}
+
+bool Selector::selectHammock(uint32_t Addr, DivergeAnnotation &Annotation) {
+  const bool CostMode = Features.Mode != SelectionMode::Heuristic;
+  const unsigned ScopeInstr =
+      CostMode ? Config.CostScopeMaxInstr : Config.MaxInstr;
+  const unsigned ScopeCbr =
+      CostMode ? Config.CostScopeMaxCondBr : Config.MaxCondBr;
+
+  const BranchCandidate Cand =
+      analyzeBranch(PA, Prof.Edges, Addr, Config, ScopeInstr, ScopeCbr);
+
+  // Short hammocks are checked first: they are selected regardless of the
+  // other filters (their dpred cost is tiny by construction).
+  if (applyShortHammock(Cand, Addr, Annotation))
+    return true;
+
+  const bool IsExactKind = Cand.StructKind == DivergeKind::SimpleHammock ||
+                           Cand.StructKind == DivergeKind::NestedHammock;
+
+  // The exact CFM option: the IPOSDOM, where merging is certain.
+  std::vector<CfmCandidate> ExactSet;
+  if (IsExactKind) {
+    CfmCandidate Exact;
+    Exact.Block = Cand.Iposdom;
+    Exact.ReachTaken = Exact.ReachNotTaken = 1.0;
+    Exact.MergeProb = 1.0;
+    ExactSet.push_back(Exact);
+  }
+
+  // The approximate option: Alg-freq's chain-reduced candidates.
+  std::vector<CfmCandidate> FreqSet;
+  for (const CfmCandidate &Cfm : Cand.Cfms) {
+    if (Cfm.IsReturn) {
+      if (!Features.ReturnCfm)
+        continue;
+      const double Threshold = CostMode
+                                   ? Config.ReturnCfmMinMergeProb
+                                   : std::max(Config.MinMergeProb,
+                                              Config.ReturnCfmMinMergeProb);
+      if (Cfm.MergeProb < Threshold)
+        continue;
+    } else if (!CostMode && Cfm.MergeProb < Config.MinMergeProb) {
+      // Heuristic mode filters by MIN_MERGE_PROB; the cost model uses
+      // every candidate and lets Eq. 17 decide (Section 4 intro).
+      continue;
+    }
+    FreqSet.push_back(Cfm);
+    if (FreqSet.size() >= Config.MaxCfmPoints)
+      break;
+  }
+
+  std::vector<CfmCandidate> Chosen;
+  if (CostMode) {
+    // The cost model evaluates both the exact CFM and Alg-freq's
+    // approximate candidates (it "still uses Alg-exact and Alg-freq to
+    // find candidates", Section 4) and keeps the cheaper selectable set.
+    const OverheadMethod Method = Features.Mode == SelectionMode::CostLong
+                                      ? OverheadMethod::LongestPath
+                                      : OverheadMethod::EdgeProfile;
+    double BestCost = 0.0;
+    for (const auto *Set : {&ExactSet, &FreqSet}) {
+      if (Set->empty())
+        continue;
+      const HammockCost Cost = evaluateHammockCost(Cand, *Set, Config, Method);
+      if (Cost.Selected && Cost.CostCycles < BestCost) {
+        BestCost = Cost.CostCycles;
+        Chosen = *Set;
+      }
+    }
+    if (Chosen.empty()) {
+      ++Stats.RejectedByCost;
+      return false;
+    }
+  } else {
+    // Heuristic mode: Alg-exact handles exact kinds, Alg-freq the rest.
+    if (IsExactKind) {
+      if (!Features.Exact)
+        return false;
+      Chosen = ExactSet;
+    } else {
+      if (!Features.Freq)
+        return false;
+      Chosen = FreqSet;
+    }
+    if (Chosen.empty()) {
+      ++Stats.RejectedByLimits;
+      return false;
+    }
+  }
+
+  Annotation.Kind = Cand.StructKind;
+  bool HasRet = false;
+  for (const CfmCandidate &Cfm : Chosen) {
+    if (Cfm.IsReturn) {
+      Annotation.Cfms.push_back(CfmPoint::atReturn(Cfm.MergeProb));
+      HasRet = true;
+    } else {
+      Annotation.Cfms.push_back(CfmPoint::atAddress(Cfm.addr(), Cfm.MergeProb));
+    }
+  }
+  if (IsExactKind)
+    ++Stats.SelectedExact;
+  else
+    ++Stats.SelectedFreq;
+  if (HasRet)
+    ++Stats.SelectedRet;
+  return true;
+}
+
+DivergeMap core::selectDivergeBranches(const cfg::ProgramAnalysis &PA,
+                                       const profile::ProfileData &Prof,
+                                       const SelectionConfig &Config,
+                                       const SelectionFeatures &Features,
+                                       SelectionStats *Stats) {
+  SelectionStats Local;
+  Selector S(PA, Prof, Config, Features, Stats ? *Stats : Local);
+  return S.run();
+}

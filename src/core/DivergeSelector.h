@@ -1,0 +1,51 @@
+//===- core/DivergeSelector.h - Selection orchestration -------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the compiler: runs Alg-exact, Alg-freq, the short-hammock and
+/// return-CFM optimizations, the loop heuristics, and (optionally) the
+/// cost-benefit model over every profiled conditional branch, and produces
+/// the DivergeMap that is "attached to the binary".
+///
+/// The SelectionFeatures toggles reproduce the cumulative configurations of
+/// Figure 5: exact, exact+freq, exact+freq+short, exact+freq+short+ret,
+/// All-best-heur, cost-long, cost-edge, ..., All-best-cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_DIVERGESELECTOR_H
+#define DMP_CORE_DIVERGESELECTOR_H
+
+#include "cfg/Analysis.h"
+#include "core/DivergeInfo.h"
+#include "core/SelectionConfig.h"
+#include "profile/Profiler.h"
+
+namespace dmp::core {
+
+/// Aggregate statistics of one selection run, for reports and tests.
+struct SelectionStats {
+  size_t CandidatesConsidered = 0;
+  size_t SelectedExact = 0;   ///< Simple + nested hammocks.
+  size_t SelectedFreq = 0;    ///< Frequently-hammocks.
+  size_t SelectedShort = 0;   ///< Marked always-predicate.
+  size_t SelectedRet = 0;     ///< Branches whose CFM set includes a return.
+  size_t SelectedLoop = 0;    ///< Diverge loop branches.
+  size_t RejectedByCost = 0;  ///< Cost model said no.
+  size_t RejectedByLimits = 0;///< Heuristic thresholds said no.
+};
+
+/// Runs diverge-branch selection and returns the annotation map.
+/// \p Stats (optional) receives selection statistics.
+DivergeMap selectDivergeBranches(const cfg::ProgramAnalysis &PA,
+                                 const profile::ProfileData &Prof,
+                                 const SelectionConfig &Config,
+                                 const SelectionFeatures &Features,
+                                 SelectionStats *Stats = nullptr);
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_DIVERGESELECTOR_H

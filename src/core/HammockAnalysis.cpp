@@ -1,0 +1,216 @@
+//===- core/HammockAnalysis.cpp - Per-branch candidate analysis ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HammockAnalysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+using namespace dmp;
+using namespace dmp::core;
+
+unsigned BranchCandidate::maxPathInstrs() const {
+  return std::max(TakenPaths.maxInstrs(), FallPaths.maxInstrs());
+}
+
+/// Returns true when every explored path in \p Set reached the stop block.
+static bool allReachStop(const cfg::PathSet &Set) {
+  if (Set.Paths.empty() || Set.Overflowed)
+    return false;
+  for (const cfg::Path &P : Set.Paths)
+    if (P.End != cfg::PathEnd::ReachedStop)
+      return false;
+  return true;
+}
+
+/// Returns true when no explored path contains a conditional branch.
+static bool noCondBranches(const cfg::PathSet &Set) {
+  for (const cfg::Path &P : Set.Paths)
+    if (P.CondBrs != 0)
+      return false;
+  return true;
+}
+
+/// Collects the blocks reached on both sides: the CFM point candidates of
+/// Algorithm 2 line 4.
+static std::vector<CfmCandidate>
+collectCandidates(const BranchCandidate &Cand) {
+  // Deterministic candidate order: iterate blocks of the taken side in
+  // first-visit order.
+  std::vector<const ir::BasicBlock *> Order;
+  std::unordered_set<const ir::BasicBlock *> Seen;
+  auto consider = [&](const ir::BasicBlock *Block) {
+    if (Block && !Seen.count(Block)) {
+      Seen.insert(Block);
+      Order.push_back(Block);
+    }
+  };
+  for (const cfg::Path &P : Cand.TakenPaths.Paths) {
+    for (const ir::BasicBlock *Block : P.Blocks)
+      consider(Block);
+  }
+  consider(Cand.TakenPaths.StopBlock);
+
+  std::vector<CfmCandidate> Result;
+  for (const ir::BasicBlock *Block : Order) {
+    if (Block == Cand.Block)
+      continue; // Re-reaching the branch block is a loop, not a merge.
+    const double PT = Cand.TakenPaths.reachProb(Block);
+    const double PNT = Cand.FallPaths.reachProb(Block);
+    if (PT <= 0.0 || PNT <= 0.0)
+      continue;
+    CfmCandidate C;
+    C.Block = Block;
+    C.ReachTaken = PT;
+    C.ReachNotTaken = PNT;
+    C.MergeProb = PT * PNT;
+    Result.push_back(C);
+  }
+  return Result;
+}
+
+/// Applies the chain-of-CFM-points reduction of Section 3.3.1.  Two
+/// candidates form a chain when one lies on some explored path to the other;
+/// of each chained pair only one may be selected — the one with the higher
+/// *first-merge* probability (footnote 3: the probability of both paths
+/// merging at X *for the first time*, i.e. without passing through a chained
+/// candidate earlier).
+///
+/// The suppression is pairwise, not group-wise: two alternative merge points
+/// M1 and M2 that never co-occur on a path both chain with a common
+/// downstream block E, yet M1/M2 are independent of each other and may both
+/// be selected (the multi-CFM case of Section 4.3).
+static std::vector<CfmCandidate>
+reduceChains(const BranchCandidate &Cand, std::vector<CfmCandidate> Cands) {
+  const size_t N = Cands.size();
+  if (N <= 1)
+    return Cands;
+
+  // Chained[i][j]: candidates i and j appear on one explored path together.
+  std::vector<std::vector<bool>> Chained(N, std::vector<bool>(N, false));
+  auto markPath = [&](const cfg::Path &P, const cfg::PathSet &Set) {
+    std::vector<size_t> Visit;
+    for (const ir::BasicBlock *Block : P.Blocks)
+      for (size_t I = 0; I < N; ++I)
+        if (Cands[I].Block == Block)
+          Visit.push_back(I);
+    if (P.End == cfg::PathEnd::ReachedStop)
+      for (size_t I = 0; I < N; ++I)
+        if (Cands[I].Block == Set.StopBlock)
+          Visit.push_back(I);
+    for (size_t A = 0; A < Visit.size(); ++A)
+      for (size_t B = A + 1; B < Visit.size(); ++B) {
+        Chained[Visit[A]][Visit[B]] = true;
+        Chained[Visit[B]][Visit[A]] = true;
+      }
+  };
+  for (const cfg::Path &P : Cand.TakenPaths.Paths)
+    markPath(P, Cand.TakenPaths);
+  for (const cfg::Path &P : Cand.FallPaths.Paths)
+    markPath(P, Cand.FallPaths);
+
+  // First-merge probability: exclude each candidate's chain mates.
+  for (size_t I = 0; I < N; ++I) {
+    std::unordered_set<const ir::BasicBlock *> Mates;
+    for (size_t J = 0; J < N; ++J)
+      if (J != I && Chained[I][J])
+        Mates.insert(Cands[J].Block);
+    if (Mates.empty())
+      continue;
+    const double FirstT =
+        Cand.TakenPaths.firstReachProb(Cands[I].Block, Mates);
+    const double FirstNT =
+        Cand.FallPaths.firstReachProb(Cands[I].Block, Mates);
+    Cands[I].MergeProb = FirstT * FirstNT;
+  }
+
+  // Pairwise suppression: the weaker of each chained pair is dropped (ties
+  // break toward the earlier candidate, which was discovered first and is
+  // therefore closer to the branch).
+  std::vector<bool> Dropped(N, false);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J) {
+      if (I == J || !Chained[I][J])
+        continue;
+      if (Cands[J].MergeProb > Cands[I].MergeProb ||
+          (Cands[J].MergeProb == Cands[I].MergeProb && J < I))
+        Dropped[I] = true;
+    }
+
+  std::vector<CfmCandidate> Result;
+  for (size_t I = 0; I < N; ++I)
+    if (!Dropped[I])
+      Result.push_back(Cands[I]);
+  return Result;
+}
+
+BranchCandidate core::analyzeBranch(const cfg::ProgramAnalysis &PA,
+                                    const cfg::EdgeProfile &Edges,
+                                    uint32_t BranchAddr,
+                                    const SelectionConfig &Config,
+                                    unsigned MaxInstr, unsigned MaxCondBr) {
+  const ir::Program &P = PA.getProgram();
+  BranchCandidate Cand;
+  Cand.Branch = &P.instrAt(BranchAddr);
+  assert(Cand.Branch->isCondBr() && "analyzing a non-branch");
+  Cand.Block = P.blockAt(BranchAddr);
+  Cand.TakenProb = Edges.takenProb(BranchAddr);
+
+  const cfg::FunctionAnalysis &FA = PA.forFunction(*Cand.Block->getParent());
+  Cand.Iposdom = FA.PDT.ipostdom(Cand.Block);
+
+  cfg::PathLimits Limits;
+  Limits.MaxInstr = MaxInstr;
+  Limits.MaxCondBr = MaxCondBr;
+  Limits.MinExecProb = Config.MinExecProb;
+  Limits.MaxPaths = Config.MaxPaths;
+  Limits.MinPathProb = Config.MinPathProb;
+  Limits.CallExtraWeight = Config.CallExtraWeight;
+
+  Cand.TakenPaths = cfg::enumeratePaths(Cand.Branch->Target, Cand.Iposdom,
+                                        Edges, Limits);
+  Cand.FallPaths = cfg::enumeratePaths(Cand.Block->getFallthrough(),
+                                       Cand.Iposdom, Edges, Limits);
+
+  Cand.AllPathsReachIposdom = Cand.Iposdom &&
+                              allReachStop(Cand.TakenPaths) &&
+                              allReachStop(Cand.FallPaths);
+
+  // Structural classification (Figure 3).  Loop classification is decided
+  // by the caller via LoopInfo; here we only distinguish the hammock kinds.
+  if (Cand.AllPathsReachIposdom) {
+    Cand.StructKind = (noCondBranches(Cand.TakenPaths) &&
+                       noCondBranches(Cand.FallPaths))
+                          ? DivergeKind::SimpleHammock
+                          : DivergeKind::NestedHammock;
+  } else {
+    Cand.StructKind = DivergeKind::FreqHammock;
+  }
+
+  // CFM candidates: blocks reached on both sides, chain-reduced, plus a
+  // return-CFM candidate when both sides can end at a return.
+  std::vector<CfmCandidate> Cands = collectCandidates(Cand);
+  Cands = reduceChains(Cand, std::move(Cands));
+
+  const double RetT = Cand.TakenPaths.returnReachProb();
+  const double RetNT = Cand.FallPaths.returnReachProb();
+  if (RetT > 0.0 && RetNT > 0.0) {
+    CfmCandidate RetCand;
+    RetCand.IsReturn = true;
+    RetCand.ReachTaken = RetT;
+    RetCand.ReachNotTaken = RetNT;
+    RetCand.MergeProb = RetT * RetNT;
+    Cands.push_back(RetCand);
+  }
+
+  std::stable_sort(Cands.begin(), Cands.end(),
+                   [](const CfmCandidate &A, const CfmCandidate &B) {
+                     return A.MergeProb > B.MergeProb;
+                   });
+  Cand.Cfms = std::move(Cands);
+  return Cand;
+}

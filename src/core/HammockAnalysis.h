@@ -1,0 +1,83 @@
+//===- core/HammockAnalysis.h - Per-branch candidate analysis -------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared per-branch analysis used by Alg-exact, Alg-freq, the short-hammock
+/// heuristic, the return-CFM detector, and the cost-benefit model: path
+/// enumeration on both sides of a conditional branch, structural
+/// classification (simple / nested / frequently-hammock), CFM point
+/// candidates with first-merge probabilities, and chain-of-CFM reduction
+/// (Section 3.3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_HAMMOCKANALYSIS_H
+#define DMP_CORE_HAMMOCKANALYSIS_H
+
+#include "cfg/Analysis.h"
+#include "cfg/PathEnumerator.h"
+#include "core/DivergeInfo.h"
+#include "core/SelectionConfig.h"
+
+#include <vector>
+
+namespace dmp::core {
+
+/// One CFM point candidate of a branch.
+struct CfmCandidate {
+  /// The merge block; nullptr for a return CFM.
+  const ir::BasicBlock *Block = nullptr;
+  bool IsReturn = false;
+  /// Reach probability on each side (p_T / p_NT of Algorithm 2).
+  double ReachTaken = 0.0;
+  double ReachNotTaken = 0.0;
+  /// First-merge probability (footnote 3): reach probability excluding
+  /// paths that pass through another candidate of the same chain first.
+  double MergeProb = 0.0;
+
+  uint32_t addr() const { return Block ? Block->getStartAddr() : 0; }
+};
+
+/// Complete analysis of one conditional-branch diverge candidate.
+struct BranchCandidate {
+  const ir::Instruction *Branch = nullptr;
+  const ir::BasicBlock *Block = nullptr;   ///< Block ending in the branch.
+  const ir::BasicBlock *Iposdom = nullptr; ///< May be null (return merge).
+  cfg::PathSet TakenPaths;
+  cfg::PathSet FallPaths;
+
+  /// Structural classification over the explored (frequent) paths.
+  DivergeKind StructKind = DivergeKind::FreqHammock;
+
+  /// True when every explored path on both sides reaches the IPOSDOM within
+  /// the limits: the acceptance condition of Alg-exact.
+  bool AllPathsReachIposdom = false;
+
+  /// Chain-reduced CFM candidates, highest merge probability first.
+  /// Includes at most one return-CFM entry (at the end when present).
+  std::vector<CfmCandidate> Cfms;
+
+  /// The branch's profiled taken probability: P(AB)/P(AC) of Eq. 12.
+  double TakenProb = 0.0;
+
+  /// Longest explored path length on either side (instructions).
+  unsigned maxPathInstrs() const;
+};
+
+/// Analyzes the conditional branch at \p BranchAddr.
+///
+/// Path exploration uses \p MaxInstr / \p MaxCondBr as scope (Alg-exact and
+/// Alg-freq pass Config.MaxInstr/MaxCondBr; the cost model passes its wider
+/// CostScopeMaxInstr/MaxCondBr per footnote 4).
+BranchCandidate analyzeBranch(const cfg::ProgramAnalysis &PA,
+                              const cfg::EdgeProfile &Edges,
+                              uint32_t BranchAddr,
+                              const SelectionConfig &Config,
+                              unsigned MaxInstr, unsigned MaxCondBr);
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_HAMMOCKANALYSIS_H

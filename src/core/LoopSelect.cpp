@@ -1,0 +1,97 @@
+//===- core/LoopSelect.cpp - Diverge loop branch selection --------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LoopSelect.h"
+
+using namespace dmp;
+using namespace dmp::core;
+
+/// Innermost loop for which the branch at \p BranchAddr is an exit branch,
+/// plus the in-loop and out-of-loop successors.
+namespace {
+struct ExitInfo {
+  const cfg::Loop *L = nullptr;
+  const ir::BasicBlock *StayTarget = nullptr;
+  const ir::BasicBlock *ExitTarget = nullptr;
+  bool StayTaken = false;
+};
+} // namespace
+
+static ExitInfo exitInfoFor(const cfg::ProgramAnalysis &PA,
+                            uint32_t BranchAddr) {
+  ExitInfo Info;
+  const ir::Program &P = PA.getProgram();
+  const ir::Instruction &Branch = P.instrAt(BranchAddr);
+  if (!Branch.isCondBr())
+    return Info;
+  const ir::BasicBlock *Block = P.blockAt(BranchAddr);
+  const cfg::Loop *L = PA.innermostLoopAt(BranchAddr);
+  if (!L)
+    return Info;
+
+  const ir::BasicBlock *Taken = Branch.Target;
+  const ir::BasicBlock *Fall = Block->getFallthrough();
+  if (!Fall)
+    return Info;
+  const bool TakenIn = L->contains(Taken);
+  const bool FallIn = L->contains(Fall);
+  if (TakenIn == FallIn)
+    return Info; // Not an exit branch of the innermost loop.
+  Info.L = L;
+  Info.StayTaken = TakenIn;
+  Info.StayTarget = TakenIn ? Taken : Fall;
+  Info.ExitTarget = TakenIn ? Fall : Taken;
+  return Info;
+}
+
+bool core::isLoopExitBranch(const cfg::ProgramAnalysis &PA,
+                            uint32_t BranchAddr) {
+  return exitInfoFor(PA, BranchAddr).L != nullptr;
+}
+
+LoopDecision core::evaluateLoopBranch(const cfg::ProgramAnalysis &PA,
+                                      const profile::ProfileData &Prof,
+                                      uint32_t BranchAddr,
+                                      const SelectionConfig &Config,
+                                      DivergeAnnotation &Annotation) {
+  LoopDecision Decision;
+  Decision.BranchAddr = BranchAddr;
+
+  const ExitInfo Info = exitInfoFor(PA, BranchAddr);
+  if (!Info.L)
+    return Decision;
+
+  const uint32_t HeaderAddr = Info.L->getHeader()->getStartAddr();
+  Decision.HeaderAddr = HeaderAddr;
+  Decision.StaticBodySize = Info.L->bodyInstrCount();
+
+  const profile::LoopStats *Stats = Prof.Loops.find(HeaderAddr);
+  Decision.AvgDynamicSize = Stats ? Stats->avgDynamicSize() : 0.0;
+  Decision.AvgIterations = Stats ? Stats->avgIterations() : 0.0;
+
+  // Section 5.2 heuristics 1-3.
+  Decision.RejectedStatic = Decision.StaticBodySize > Config.StaticLoopSize;
+  Decision.RejectedDynamic =
+      Decision.AvgDynamicSize > static_cast<double>(Config.DynamicLoopSize);
+  Decision.RejectedIter = Decision.AvgIterations > Config.LoopIter;
+
+  Decision.Selected = !Decision.RejectedStatic && !Decision.RejectedDynamic &&
+                      !Decision.RejectedIter && Stats != nullptr;
+  if (!Decision.Selected)
+    return Decision;
+
+  Annotation = DivergeAnnotation();
+  Annotation.Kind = DivergeKind::Loop;
+  Annotation.LoopHeaderAddr = HeaderAddr;
+  Annotation.LoopSelectUops = Info.L->writtenRegCount();
+  Annotation.LoopStayTaken = Info.StayTaken;
+  // The CFM of a diverge loop branch is the loop exit target: the
+  // control-independent point where fetch continues after a (possibly
+  // late) exit.
+  Annotation.Cfms.push_back(
+      CfmPoint::atAddress(Info.ExitTarget->getStartAddr(), 1.0));
+  return Decision;
+}

@@ -1,0 +1,58 @@
+//===- core/LoopSelect.h - Diverge loop branch selection ------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selection of diverge loop branches (paper Section 5.2).  The full loop
+/// cost model (Section 5.1 / core/CostModel.h) needs per-branch dpred
+/// profiling that "is impractical due to its cost"; the paper therefore uses
+/// three profile-driven heuristics, which we implement verbatim:
+///
+///  1. reject when the static loop body exceeds STATIC_LOOP_SIZE;
+///  2. reject when the average dynamic instructions per loop invocation
+///     exceed DYNAMIC_LOOP_SIZE;
+///  3. reject when the average iteration count exceeds LOOP_ITER.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_LOOPSELECT_H
+#define DMP_CORE_LOOPSELECT_H
+
+#include "cfg/Analysis.h"
+#include "core/DivergeInfo.h"
+#include "core/SelectionConfig.h"
+#include "profile/Profiler.h"
+
+namespace dmp::core {
+
+/// Decision detail for one loop exit branch, for reports and tests.
+struct LoopDecision {
+  uint32_t BranchAddr = 0;
+  uint32_t HeaderAddr = 0;
+  unsigned StaticBodySize = 0;
+  double AvgDynamicSize = 0.0;
+  double AvgIterations = 0.0;
+  bool RejectedStatic = false;
+  bool RejectedDynamic = false;
+  bool RejectedIter = false;
+  bool Selected = false;
+};
+
+/// Examines the loop exit branch at \p BranchAddr.  Returns the decision;
+/// when selected, \p Annotation is filled with a Loop-kind annotation
+/// (header address, select-µop count, stay direction, exit-target CFM).
+LoopDecision evaluateLoopBranch(const cfg::ProgramAnalysis &PA,
+                                const profile::ProfileData &Prof,
+                                uint32_t BranchAddr,
+                                const SelectionConfig &Config,
+                                DivergeAnnotation &Annotation);
+
+/// True when the branch at \p BranchAddr is an exit branch of its innermost
+/// loop (one successor in the loop, one outside).
+bool isLoopExitBranch(const cfg::ProgramAnalysis &PA, uint32_t BranchAddr);
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_LOOPSELECT_H

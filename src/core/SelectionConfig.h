@@ -1,0 +1,109 @@
+//===- core/SelectionConfig.h - Selection thresholds ----------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every tunable of the diverge-branch selection algorithms, in one struct.
+/// Defaults are the paper's best-performing values:
+///
+///  - MAX_INSTR = 50, MAX_CBR = 5 (= MAX_INSTR/10), MIN_MERGE_PROB = 1%
+///    (Section 7.1.1, Figure 7);
+///  - MIN_EXEC_PROB = 0.001, MAX_CFM = 3 (Section 3.3);
+///  - short hammocks: <10 instructions per path, >=95% merge probability,
+///    >=5% misprediction rate (Section 3.4);
+///  - loops: STATIC_LOOP_SIZE = 30, DYNAMIC_LOOP_SIZE = 80, LOOP_ITER = 15
+///    (Section 5.2);
+///  - cost model: Acc_Conf = 40%, fw = 8 wide, 25-cycle misprediction
+///    penalty, scope limits MAX_INSTR = 200 / MAX_CBR = 20 (Section 4,
+///    footnotes 4-5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_SELECTIONCONFIG_H
+#define DMP_CORE_SELECTIONCONFIG_H
+
+namespace dmp::core {
+
+/// How diverge branches are accepted.
+enum class SelectionMode {
+  Heuristic, ///< Threshold heuristics of Section 3 (Alg-exact/Alg-freq).
+  CostLong,  ///< Cost-benefit with Method 2 (longest path) overhead.
+  CostEdge,  ///< Cost-benefit with Method 3 (edge-profile) overhead.
+};
+
+/// Which selection components run (the cumulative bars of Figure 5).
+struct SelectionFeatures {
+  bool Exact = true;         ///< Alg-exact: simple/nested hammocks.
+  bool Freq = false;         ///< Alg-freq: frequently-hammocks.
+  bool ShortHammocks = false;///< Always-predicate short hammocks.
+  bool ReturnCfm = false;    ///< Return CFM points.
+  bool Loops = false;        ///< Diverge loop branches.
+  SelectionMode Mode = SelectionMode::Heuristic;
+
+  /// Named presets used throughout the benches.
+  static SelectionFeatures exactOnly();
+  static SelectionFeatures exactFreq();
+  static SelectionFeatures exactFreqShort();
+  static SelectionFeatures exactFreqShortRet();
+  static SelectionFeatures allBestHeur(); ///< exact+freq+short+ret+loop.
+  static SelectionFeatures costLong();
+  static SelectionFeatures costEdge();
+  static SelectionFeatures allBestCost(); ///< cost-edge+short+ret+loop.
+};
+
+/// All thresholds of Sections 3-5.
+struct SelectionConfig {
+  // Alg-exact / Alg-freq scope (Sections 3.2, 3.3).
+  unsigned MaxInstr = 50;
+  unsigned MaxCondBr = 5;
+  double MinExecProb = 0.001;
+  double MinMergeProb = 0.01;
+  unsigned MaxCfmPoints = 3;
+
+  // Short hammocks (Section 3.4).
+  unsigned ShortHammockMaxInstr = 10;
+  double ShortHammockMinMergeProb = 0.95;
+  double ShortHammockMinMispRate = 0.05;
+
+  // Return CFM points (Section 3.5): minimum probability of both sides
+  // ending at (different) return instructions.
+  double ReturnCfmMinMergeProb = 0.30;
+
+  // Diverge loops (Section 5.2).
+  unsigned StaticLoopSize = 30;
+  unsigned DynamicLoopSize = 80;
+  double LoopIter = 15.0;
+
+  // Cost-benefit model (Section 4).
+  double AccConf = 0.40;
+  unsigned FetchWidth = 8;
+  unsigned MispPenaltyCycles = 25;
+  unsigned CostScopeMaxInstr = 200;
+  unsigned CostScopeMaxCondBr = 20;
+
+  // Path-enumeration implementation caps (DESIGN.md Section 5).
+  unsigned MaxPaths = 4096;
+  double MinPathProb = 1e-5;
+  unsigned CallExtraWeight = 8;
+
+  /// Returns a config with MaxInstr set to \p Value and MaxCondBr kept at
+  /// the paper's MAX_INSTR/10 convention (Section 3.2).
+  SelectionConfig withMaxInstr(unsigned Value) const {
+    SelectionConfig C = *this;
+    C.MaxInstr = Value;
+    C.MaxCondBr = Value >= 10 ? Value / 10 : 1;
+    return C;
+  }
+
+  SelectionConfig withMinMergeProb(double Value) const {
+    SelectionConfig C = *this;
+    C.MinMergeProb = Value;
+    return C;
+  }
+};
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_SELECTIONCONFIG_H

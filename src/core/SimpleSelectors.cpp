@@ -1,0 +1,105 @@
+//===- core/SimpleSelectors.cpp - Baseline selection algorithms ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SimpleSelectors.h"
+
+#include "core/HammockAnalysis.h"
+#include "support/RNG.h"
+
+using namespace dmp;
+using namespace dmp::core;
+
+/// Builds the annotation used by the simple selectors: IPOSDOM as the only
+/// CFM when it exists (footnote 10), otherwise a CFM-less dual-path entry.
+static DivergeAnnotation simpleAnnotation(const cfg::ProgramAnalysis &PA,
+                                          uint32_t Addr) {
+  const ir::Program &P = PA.getProgram();
+  const ir::BasicBlock *Block = P.blockAt(Addr);
+  const cfg::FunctionAnalysis &FA = PA.forFunction(*Block->getParent());
+  const ir::BasicBlock *Iposdom = FA.PDT.ipostdom(Block);
+
+  DivergeAnnotation Annotation;
+  if (Iposdom) {
+    Annotation.Kind = DivergeKind::NestedHammock;
+    Annotation.Cfms.push_back(
+        CfmPoint::atAddress(Iposdom->getStartAddr(), 1.0));
+  } else {
+    Annotation.Kind = DivergeKind::NoCfm;
+  }
+  return Annotation;
+}
+
+DivergeMap core::selectEveryBranch(const cfg::ProgramAnalysis &PA,
+                                   const profile::ProfileData &Prof) {
+  DivergeMap Map;
+  for (uint32_t Addr : PA.getProgram().condBranchAddrs())
+    if (Prof.Edges.wasExecuted(Addr))
+      Map.add(Addr, simpleAnnotation(PA, Addr));
+  return Map;
+}
+
+DivergeMap core::selectRandom50(const cfg::ProgramAnalysis &PA,
+                                const profile::ProfileData &Prof,
+                                uint64_t Seed) {
+  DivergeMap Map;
+  RNG Rng(Seed);
+  for (uint32_t Addr : PA.getProgram().condBranchAddrs()) {
+    if (!Prof.Edges.wasExecuted(Addr))
+      continue;
+    if (Rng.nextBool(0.5))
+      Map.add(Addr, simpleAnnotation(PA, Addr));
+  }
+  return Map;
+}
+
+DivergeMap core::selectHighBP(const cfg::ProgramAnalysis &PA,
+                              const profile::ProfileData &Prof,
+                              double MinMispRate) {
+  DivergeMap Map;
+  for (uint32_t Addr : PA.getProgram().condBranchAddrs()) {
+    if (!Prof.Edges.wasExecuted(Addr))
+      continue;
+    if (Prof.Branches.mispRate(Addr) >= MinMispRate)
+      Map.add(Addr, simpleAnnotation(PA, Addr));
+  }
+  return Map;
+}
+
+DivergeMap core::selectImmediate(const cfg::ProgramAnalysis &PA,
+                                 const profile::ProfileData &Prof) {
+  DivergeMap Map;
+  const ir::Program &P = PA.getProgram();
+  for (uint32_t Addr : P.condBranchAddrs()) {
+    if (!Prof.Edges.wasExecuted(Addr))
+      continue;
+    const ir::BasicBlock *Block = P.blockAt(Addr);
+    const cfg::FunctionAnalysis &FA = PA.forFunction(*Block->getParent());
+    if (FA.PDT.ipostdom(Block))
+      Map.add(Addr, simpleAnnotation(PA, Addr));
+  }
+  return Map;
+}
+
+DivergeMap core::selectIfElse(const cfg::ProgramAnalysis &PA,
+                              const profile::ProfileData &Prof,
+                              const SelectionConfig &Config) {
+  DivergeMap Map;
+  for (uint32_t Addr : PA.getProgram().condBranchAddrs()) {
+    if (!Prof.Edges.wasExecuted(Addr))
+      continue;
+    const BranchCandidate Cand =
+        analyzeBranch(PA, Prof.Edges, Addr, Config, Config.CostScopeMaxInstr,
+                      Config.CostScopeMaxCondBr);
+    if (Cand.StructKind != DivergeKind::SimpleHammock)
+      continue;
+    DivergeAnnotation Annotation;
+    Annotation.Kind = DivergeKind::SimpleHammock;
+    Annotation.Cfms.push_back(
+        CfmPoint::atAddress(Cand.Iposdom->getStartAddr(), 1.0));
+    Map.add(Addr, Annotation);
+  }
+  return Map;
+}

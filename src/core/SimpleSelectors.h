@@ -1,0 +1,61 @@
+//===- core/SimpleSelectors.h - Baseline selection algorithms -------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The alternative simple diverge-branch selectors the paper compares
+/// against (Section 7.2 / Figure 8):
+///
+///  1. Every-br: every executed branch;
+///  2. Random-50: a random half of executed branches;
+///  3. High-BP-5: branches with >= 5% profiled misprediction rate;
+///  4. Immediate: branches that have an IPOSDOM;
+///  5. If-else: only simple hammocks (no intervening control flow).
+///
+/// Per footnote 10, when a branch has an IPOSDOM it becomes the single CFM
+/// point; branches without one are selected with no CFM, in which case the
+/// processor stays in dpred-mode until the branch resolves and any benefit
+/// comes from dual-path execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CORE_SIMPLESELECTORS_H
+#define DMP_CORE_SIMPLESELECTORS_H
+
+#include "cfg/Analysis.h"
+#include "core/DivergeInfo.h"
+#include "core/SelectionConfig.h"
+#include "profile/Profiler.h"
+
+#include <cstdint>
+
+namespace dmp::core {
+
+/// Every executed conditional branch.
+DivergeMap selectEveryBranch(const cfg::ProgramAnalysis &PA,
+                             const profile::ProfileData &Prof);
+
+/// A deterministic random 50% of executed conditional branches.
+DivergeMap selectRandom50(const cfg::ProgramAnalysis &PA,
+                          const profile::ProfileData &Prof,
+                          uint64_t Seed = 0xD113);
+
+/// Branches whose profiled misprediction rate is at least \p MinMispRate.
+DivergeMap selectHighBP(const cfg::ProgramAnalysis &PA,
+                        const profile::ProfileData &Prof,
+                        double MinMispRate = 0.05);
+
+/// Branches that have an immediate post-dominator.
+DivergeMap selectImmediate(const cfg::ProgramAnalysis &PA,
+                           const profile::ProfileData &Prof);
+
+/// Only if / if-else branches with no intervening control flow.
+DivergeMap selectIfElse(const cfg::ProgramAnalysis &PA,
+                        const profile::ProfileData &Prof,
+                        const SelectionConfig &Config);
+
+} // namespace dmp::core
+
+#endif // DMP_CORE_SIMPLESELECTORS_H

@@ -1,0 +1,60 @@
+//===- harness/Experiment.cpp - Profile->select->simulate pipeline ------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+using namespace dmp;
+using namespace dmp::harness;
+
+BenchContext::BenchContext(const workloads::BenchmarkSpec &Spec,
+                           const ExperimentOptions &Options)
+    : Options(Options), W(workloads::buildBenchmark(Spec)) {
+  PA = std::make_unique<cfg::ProgramAnalysis>(*W.Prog);
+  RunImage = W.buildImage(workloads::InputSetKind::Run);
+}
+
+const profile::ProfileData &
+BenchContext::profileData(workloads::InputSetKind Kind) {
+  auto &Slot =
+      Kind == workloads::InputSetKind::Run ? RunProfile : TrainProfile;
+  if (!Slot) {
+    const std::vector<int64_t> Image =
+        Kind == workloads::InputSetKind::Run ? RunImage
+                                             : W.buildImage(Kind);
+    Slot = profile::collectProfile(*W.Prog, *PA, Image, Options.Profile);
+  }
+  return *Slot;
+}
+
+const sim::SimStats &BenchContext::baseline() {
+  if (!BaselineStats)
+    BaselineStats = sim::simulateBaseline(*W.Prog, RunImage, Options.Sim);
+  return *BaselineStats;
+}
+
+sim::SimStats BenchContext::simulateWith(const core::DivergeMap &Diverge) const {
+  return sim::simulateDmp(*W.Prog, Diverge, RunImage, Options.Sim);
+}
+
+core::DivergeMap BenchContext::select(const core::SelectionFeatures &Features,
+                                      workloads::InputSetKind ProfileInput,
+                                      core::SelectionStats *Stats) {
+  return core::selectDivergeBranches(*PA, profileData(ProfileInput),
+                                     Options.Selection, Features, Stats);
+}
+
+sim::SimStats
+BenchContext::runSelection(const core::SelectionFeatures &Features,
+                           workloads::InputSetKind ProfileInput) {
+  return simulateWith(select(Features, ProfileInput));
+}
+
+double harness::ipcImprovement(const sim::SimStats &Base,
+                               const sim::SimStats &Dmp) {
+  if (Base.ipc() <= 0.0)
+    return 0.0;
+  return Dmp.ipc() / Base.ipc() - 1.0;
+}

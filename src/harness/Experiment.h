@@ -1,0 +1,94 @@
+//===- harness/Experiment.h - Profile->select->simulate pipeline ----*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BenchContext: one benchmark prepared for experiments — the built program,
+/// its CFG analyses, lazily collected profiles for both input sets, and a
+/// cached baseline simulation.  All benches and examples run through this,
+/// so identical stages are computed once per benchmark.
+///
+/// The canonical paper pipeline is:
+///   profile(input) -> selectDivergeBranches(...) -> simulateDmp(run input)
+/// compared against simulateBaseline(run input).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_HARNESS_EXPERIMENT_H
+#define DMP_HARNESS_EXPERIMENT_H
+
+#include "cfg/Analysis.h"
+#include "core/DivergeSelector.h"
+#include "profile/Profiler.h"
+#include "sim/SimConfig.h"
+#include "sim/Simulator.h"
+#include "workloads/SpecSuite.h"
+
+#include <memory>
+#include <optional>
+
+namespace dmp::harness {
+
+/// Knobs of one experiment campaign.
+struct ExperimentOptions {
+  profile::ProfileOptions Profile;
+  core::SelectionConfig Selection;
+  sim::SimConfig Sim;
+
+  ExperimentOptions() {
+    // Benches run every benchmark under many configurations; bound each
+    // simulation so full campaigns stay minutes, not hours.  Programs are
+    // ~1-2M dynamic instructions, so most runs complete anyway.
+    Profile.MaxInstrs = 4'000'000;
+    Sim.MaxInstrs = 1'200'000;
+  }
+};
+
+/// One benchmark, prepared once, simulated many times.
+class BenchContext {
+public:
+  BenchContext(const workloads::BenchmarkSpec &Spec,
+               const ExperimentOptions &Options);
+
+  const workloads::Workload &workload() const { return W; }
+  const cfg::ProgramAnalysis &analysis() const { return *PA; }
+  const ExperimentOptions &options() const { return Options; }
+
+  /// Profile collected on the given input set (cached).
+  const profile::ProfileData &profileData(workloads::InputSetKind Kind);
+
+  /// Baseline simulation on the run input (cached).
+  const sim::SimStats &baseline();
+
+  /// DMP simulation on the run input with the given annotations.
+  sim::SimStats simulateWith(const core::DivergeMap &Diverge) const;
+
+  /// Convenience: select with \p Features (profiling on \p ProfileInput)
+  /// and simulate.
+  sim::SimStats runSelection(const core::SelectionFeatures &Features,
+                             workloads::InputSetKind ProfileInput =
+                                 workloads::InputSetKind::Run);
+
+  /// Selection only (no simulation), for selection-centric experiments.
+  core::DivergeMap select(const core::SelectionFeatures &Features,
+                          workloads::InputSetKind ProfileInput,
+                          core::SelectionStats *Stats = nullptr);
+
+private:
+  ExperimentOptions Options;
+  workloads::Workload W;
+  std::unique_ptr<cfg::ProgramAnalysis> PA;
+  std::vector<int64_t> RunImage;
+  std::optional<profile::ProfileData> RunProfile;
+  std::optional<profile::ProfileData> TrainProfile;
+  std::optional<sim::SimStats> BaselineStats;
+};
+
+/// Percent IPC improvement of \p Dmp over \p Base (0.204 = +20.4%).
+double ipcImprovement(const sim::SimStats &Base, const sim::SimStats &Dmp);
+
+} // namespace dmp::harness
+
+#endif // DMP_HARNESS_EXPERIMENT_H

@@ -1,0 +1,59 @@
+//===- harness/Reports.cpp - Paper-style result tables ------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Reports.h"
+
+#include "support/MathExtras.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cassert>
+
+using namespace dmp;
+using namespace dmp::harness;
+
+ImprovementReport::ImprovementReport(std::vector<std::string> Names)
+    : ConfigNames(std::move(Names)) {}
+
+void ImprovementReport::addBenchmark(const std::string &Name,
+                                     const std::vector<double> &Improvements) {
+  assert(Improvements.size() == ConfigNames.size() && "column mismatch");
+  Rows.push_back(Name);
+  Values.push_back(Improvements);
+}
+
+double ImprovementReport::geomeanImprovement(size_t ConfigIndex) const {
+  std::vector<double> Ratios;
+  Ratios.reserve(Values.size());
+  for (const auto &Row : Values)
+    Ratios.push_back(1.0 + Row[ConfigIndex]);
+  return geomean(Ratios) - 1.0;
+}
+
+std::string ImprovementReport::render(const std::string &Title) const {
+  std::vector<std::string> Header;
+  Header.push_back("benchmark");
+  for (const std::string &Name : ConfigNames)
+    Header.push_back(Name);
+  Table T(Header);
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    std::vector<std::string> Cells;
+    Cells.push_back(Rows[R]);
+    for (double V : Values[R])
+      Cells.push_back(formatPercent(V));
+    T.addRow(Cells);
+  }
+  T.addSeparator();
+  std::vector<std::string> Mean;
+  Mean.push_back("geomean");
+  for (size_t C = 0; C < ConfigNames.size(); ++C)
+    Mean.push_back(formatPercent(geomeanImprovement(C)));
+  T.addRow(Mean);
+
+  std::string Out = Title + "\n";
+  Out += T.render();
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- harness/Reports.h - Paper-style result tables ----------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared rendering for the bench binaries: per-benchmark series tables
+/// (the textual equivalent of the paper's bar charts) with a geometric-mean
+/// summary row, matching how the paper reports "average performance
+/// improvement".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_HARNESS_REPORTS_H
+#define DMP_HARNESS_REPORTS_H
+
+#include <string>
+#include <vector>
+
+namespace dmp::harness {
+
+/// A figure-like series table: rows = benchmarks, columns = configurations,
+/// cells = percent improvement over baseline.
+class ImprovementReport {
+public:
+  explicit ImprovementReport(std::vector<std::string> ConfigNames);
+
+  /// Adds one benchmark row; \p Improvements must align with the config
+  /// names (fractions, 0.204 = +20.4%).
+  void addBenchmark(const std::string &Name,
+                    const std::vector<double> &Improvements);
+
+  /// Geometric-mean improvement of one configuration column.
+  double geomeanImprovement(size_t ConfigIndex) const;
+
+  /// Renders benchmarks plus a final "geomean" row.
+  std::string render(const std::string &Title) const;
+
+  size_t benchmarkCount() const { return Rows.size(); }
+  const std::vector<std::vector<double>> &values() const { return Values; }
+
+private:
+  std::vector<std::string> ConfigNames;
+  std::vector<std::string> Rows;
+  std::vector<std::vector<double>> Values; // [bench][config]
+};
+
+} // namespace dmp::harness
+
+#endif // DMP_HARNESS_REPORTS_H

@@ -1,0 +1,49 @@
+//===- ir/BasicBlock.cpp - Basic block --------------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+
+using namespace dmp::ir;
+
+Instruction &BasicBlock::append(const Instruction &Inst) {
+  Insts.push_back(Inst);
+  return Insts.back();
+}
+
+const Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  const Instruction &Last = Insts.back();
+  return Last.isTerminator() ? &Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Result;
+  const Instruction *Term = getTerminator();
+  if (!Term) {
+    if (Fallthrough)
+      Result.push_back(Fallthrough);
+    return Result;
+  }
+  switch (Term->Op) {
+  case Opcode::CondBr:
+    Result.push_back(Term->Target);
+    if (Fallthrough)
+      Result.push_back(Fallthrough);
+    break;
+  case Opcode::Jmp:
+    Result.push_back(Term->Target);
+    break;
+  case Opcode::Ret:
+  case Opcode::Halt:
+    break;
+  default:
+    break;
+  }
+  return Result;
+}

@@ -1,0 +1,77 @@
+//===- ir/BasicBlock.h - Basic block ------------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock: an ordered list of instructions with at most one terminator
+/// at the end.  Blocks without an explicit terminator fall through to the
+/// next block in function layout order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_BASICBLOCK_H
+#define DMP_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace dmp::ir {
+
+class Function;
+
+/// A straight-line sequence of instructions.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name, unsigned Id)
+      : Parent(Parent), Name(std::move(Name)), Id(Id) {}
+
+  Function *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  /// Dense per-function block index, assigned at creation in layout order.
+  unsigned getId() const { return Id; }
+
+  /// Appends \p Inst.  Must not be called after Program::finalize().
+  Instruction &append(const Instruction &Inst);
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  const std::vector<Instruction> &instructions() const { return Insts; }
+  std::vector<Instruction> &instructions() { return Insts; }
+
+  /// Terminator, or nullptr when the block falls through.
+  const Instruction *getTerminator() const;
+
+  /// The block this one falls through to (next block in layout), or nullptr
+  /// for the last block.  Set by the parent Function.
+  BasicBlock *getFallthrough() const { return Fallthrough; }
+  void setFallthrough(BasicBlock *Next) { Fallthrough = Next; }
+
+  /// Address of the first instruction; InvalidAddr before finalize().
+  uint32_t getStartAddr() const {
+    return Insts.empty() ? InvalidAddr : Insts.front().Addr;
+  }
+
+  /// Intra-procedural successor blocks, in (taken, fallthrough) order for
+  /// conditional branches.  Ret and Halt have no successors.
+  std::vector<BasicBlock *> successors() const;
+
+  /// Number of static instructions in this block.  The paper's block size
+  /// N(X) used by the cost model (Section 4.1.1).
+  unsigned instrCount() const { return static_cast<unsigned>(Insts.size()); }
+
+private:
+  Function *Parent;
+  std::string Name;
+  unsigned Id;
+  std::vector<Instruction> Insts;
+  BasicBlock *Fallthrough = nullptr;
+};
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_BASICBLOCK_H

@@ -1,0 +1,26 @@
+//===- ir/Function.cpp - Function --------------------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace dmp::ir;
+
+BasicBlock *Function::createBlock(const std::string &BlockName) {
+  auto Block = std::make_unique<BasicBlock>(
+      this, BlockName, static_cast<unsigned>(Blocks.size()));
+  BasicBlock *Raw = Block.get();
+  if (!Blocks.empty())
+    Blocks.back()->setFallthrough(Raw);
+  Blocks.push_back(std::move(Block));
+  return Raw;
+}
+
+unsigned Function::instrCount() const {
+  unsigned Count = 0;
+  for (const auto &Block : Blocks)
+    Count += Block->instrCount();
+  return Count;
+}

@@ -1,0 +1,68 @@
+//===- ir/Function.h - Function ----------------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function: an ordered list of basic blocks.  Block order is layout order;
+/// the first block is the entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_FUNCTION_H
+#define DMP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmp::ir {
+
+class Program;
+
+/// A function: entry block plus layout-ordered body blocks.
+class Function {
+public:
+  Function(Program *Parent, std::string Name, unsigned Id)
+      : Parent(Parent), Name(std::move(Name)), Id(Id) {}
+
+  Program *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  /// Dense per-program function index.
+  unsigned getId() const { return Id; }
+
+  /// Creates and appends a new block.  Fallthrough links are maintained.
+  BasicBlock *createBlock(const std::string &BlockName);
+
+  BasicBlock *getEntry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  size_t blockCount() const { return Blocks.size(); }
+
+  /// Blocks in layout order.
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Address of the entry instruction; InvalidAddr before finalize().
+  uint32_t getEntryAddr() const {
+    return getEntry() ? getEntry()->getStartAddr() : InvalidAddr;
+  }
+
+  /// Total static instructions.
+  unsigned instrCount() const;
+
+private:
+  Program *Parent;
+  std::string Name;
+  unsigned Id;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_FUNCTION_H

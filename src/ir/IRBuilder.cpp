@@ -1,0 +1,130 @@
+//===- ir/IRBuilder.cpp - Convenience instruction builder --------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+
+using namespace dmp::ir;
+
+Instruction &IRBuilder::emit(const Instruction &Inst) {
+  assert(Insert && "no insertion point set");
+  assert(!Prog.isFinalized() && "cannot emit into a finalized program");
+  assert(!Insert->getTerminator() && "emitting past a terminator");
+  return Insert->append(Inst);
+}
+
+Instruction &IRBuilder::rrr(Opcode Op, Reg Dst, Reg A, Reg B) {
+  assert(Dst != RegZero && "r0 is hardwired to zero");
+  Instruction Inst;
+  Inst.Op = Op;
+  Inst.Dst = Dst;
+  Inst.Src1 = A;
+  Inst.Src2 = B;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::rri(Opcode Op, Reg Dst, Reg A, int64_t Imm) {
+  assert(Dst != RegZero && "r0 is hardwired to zero");
+  Instruction Inst;
+  Inst.Op = Op;
+  Inst.Dst = Dst;
+  Inst.Src1 = A;
+  Inst.Imm = Imm;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::loadImm(Reg Dst, int64_t Imm) {
+  assert(Dst != RegZero && "r0 is hardwired to zero");
+  Instruction Inst;
+  Inst.Op = Opcode::LoadImm;
+  Inst.Dst = Dst;
+  Inst.Imm = Imm;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::load(Reg Dst, Reg Base, int64_t Offset) {
+  assert(Dst != RegZero && "r0 is hardwired to zero");
+  Instruction Inst;
+  Inst.Op = Opcode::Load;
+  Inst.Dst = Dst;
+  Inst.Src1 = Base;
+  Inst.Imm = Offset;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::store(Reg Value, Reg Base, int64_t Offset) {
+  Instruction Inst;
+  Inst.Op = Opcode::Store;
+  Inst.Src1 = Base;
+  Inst.Src2 = Value;
+  Inst.Imm = Offset;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::condBr(BrCond Cond, Reg A, Reg B, BasicBlock *Taken) {
+  assert(Taken && "conditional branch needs a taken target");
+  assert(Taken->getParent() == Insert->getParent() &&
+         "branch target must be in the same function");
+  Instruction Inst;
+  Inst.Op = Opcode::CondBr;
+  Inst.Cond = Cond;
+  Inst.Src1 = A;
+  Inst.Src2 = B;
+  Inst.Target = Taken;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::jmp(BasicBlock *Target) {
+  assert(Target && "jump needs a target");
+  assert(Target->getParent() == Insert->getParent() &&
+         "jump target must be in the same function");
+  Instruction Inst;
+  Inst.Op = Opcode::Jmp;
+  Inst.Target = Target;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::call(Function *Callee) {
+  assert(Callee && "call needs a callee");
+  Instruction Inst;
+  Inst.Op = Opcode::Call;
+  Inst.Callee = Callee;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::ret() {
+  Instruction Inst;
+  Inst.Op = Opcode::Ret;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::nop() {
+  Instruction Inst;
+  Inst.Op = Opcode::Nop;
+  return emit(Inst);
+}
+
+Instruction &IRBuilder::halt() {
+  Instruction Inst;
+  Inst.Op = Opcode::Halt;
+  return emit(Inst);
+}
+
+void IRBuilder::emitFiller(unsigned Count, Reg FirstReg) {
+  assert(FirstReg != RegZero && FirstReg + 3 < NumRegs &&
+         "filler register window out of range");
+  for (unsigned I = 0; I < Count; ++I) {
+    const Reg Dst = static_cast<Reg>(FirstReg + (I % 4));
+    const Reg Src = static_cast<Reg>(FirstReg + ((I + 1) % 4));
+    if (I % 3 == 0)
+      addI(Dst, Src, static_cast<int64_t>(I) + 1);
+    else if (I % 3 == 1)
+      xor_(Dst, Dst, Src);
+    else
+      add(Dst, Dst, Src);
+  }
+}

@@ -1,0 +1,86 @@
+//===- ir/IRBuilder.h - Convenience instruction builder -----------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder: append instructions to a basic block with one call per
+/// instruction.  Used by the workload generators, the examples, and the
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_IRBUILDER_H
+#define DMP_IR_IRBUILDER_H
+
+#include "ir/Program.h"
+
+namespace dmp::ir {
+
+/// Emits instructions at an insertion point (end of a basic block).
+class IRBuilder {
+public:
+  explicit IRBuilder(Program &P) : Prog(P) {}
+
+  Program &getProgram() { return Prog; }
+
+  void setInsertPoint(BasicBlock *Block) { Insert = Block; }
+  BasicBlock *getInsertBlock() const { return Insert; }
+
+  // ALU, register-register.
+  Instruction &add(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Add, Dst, A, B); }
+  Instruction &sub(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Sub, Dst, A, B); }
+  Instruction &mul(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Mul, Dst, A, B); }
+  Instruction &div(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Div, Dst, A, B); }
+  Instruction &and_(Reg Dst, Reg A, Reg B) { return rrr(Opcode::And, Dst, A, B); }
+  Instruction &or_(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Or, Dst, A, B); }
+  Instruction &xor_(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Xor, Dst, A, B); }
+  Instruction &shl(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Shl, Dst, A, B); }
+  Instruction &shr(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Shr, Dst, A, B); }
+  Instruction &slt(Reg Dst, Reg A, Reg B) { return rrr(Opcode::Slt, Dst, A, B); }
+
+  // ALU, register-immediate.
+  Instruction &addI(Reg Dst, Reg A, int64_t Imm) {
+    return rri(Opcode::AddI, Dst, A, Imm);
+  }
+  Instruction &mulI(Reg Dst, Reg A, int64_t Imm) {
+    return rri(Opcode::MulI, Dst, A, Imm);
+  }
+  Instruction &andI(Reg Dst, Reg A, int64_t Imm) {
+    return rri(Opcode::AndI, Dst, A, Imm);
+  }
+  Instruction &sltI(Reg Dst, Reg A, int64_t Imm) {
+    return rri(Opcode::SltI, Dst, A, Imm);
+  }
+  Instruction &loadImm(Reg Dst, int64_t Imm);
+
+  // Memory.
+  Instruction &load(Reg Dst, Reg Base, int64_t Offset);
+  Instruction &store(Reg Value, Reg Base, int64_t Offset);
+
+  // Control flow.
+  Instruction &condBr(BrCond Cond, Reg A, Reg B, BasicBlock *Taken);
+  Instruction &jmp(BasicBlock *Target);
+  Instruction &call(Function *Callee);
+  Instruction &ret();
+  Instruction &nop();
+  Instruction &halt();
+
+  /// Appends \p Count Nop-free ALU filler instructions cycling over
+  /// registers [\p FirstReg, \p FirstReg + 3].  Workload generators use this
+  /// to give blocks their paper-calibrated sizes with real dataflow.
+  void emitFiller(unsigned Count, Reg FirstReg);
+
+private:
+  Instruction &rrr(Opcode Op, Reg Dst, Reg A, Reg B);
+  Instruction &rri(Opcode Op, Reg Dst, Reg A, int64_t Imm);
+  Instruction &emit(const Instruction &Inst);
+
+  Program &Prog;
+  BasicBlock *Insert = nullptr;
+};
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_IRBUILDER_H

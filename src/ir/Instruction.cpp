@@ -1,0 +1,152 @@
+//===- ir/Instruction.cpp - A single ISA instruction -----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace dmp;
+using namespace dmp::ir;
+
+const char *ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Slt:
+    return "slt";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::MulI:
+    return "muli";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::SltI:
+    return "slti";
+  case Opcode::LoadImm:
+    return "li";
+  case Opcode::Load:
+    return "ld";
+  case Opcode::Store:
+    return "st";
+  case Opcode::CondBr:
+    return "br";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Halt:
+    return "halt";
+  }
+  DMP_UNREACHABLE("unknown opcode");
+}
+
+const char *ir::brCondName(BrCond Cond) {
+  switch (Cond) {
+  case BrCond::Eq:
+    return "eq";
+  case BrCond::Ne:
+    return "ne";
+  case BrCond::Lt:
+    return "lt";
+  case BrCond::Ge:
+    return "ge";
+  case BrCond::Ltu:
+    return "ltu";
+  case BrCond::Geu:
+    return "geu";
+  }
+  DMP_UNREACHABLE("unknown branch condition");
+}
+
+bool Instruction::evalCond(int64_t A, int64_t B) const {
+  switch (Cond) {
+  case BrCond::Eq:
+    return A == B;
+  case BrCond::Ne:
+    return A != B;
+  case BrCond::Lt:
+    return A < B;
+  case BrCond::Ge:
+    return A >= B;
+  case BrCond::Ltu:
+    return static_cast<uint64_t>(A) < static_cast<uint64_t>(B);
+  case BrCond::Geu:
+    return static_cast<uint64_t>(A) >= static_cast<uint64_t>(B);
+  }
+  DMP_UNREACHABLE("unknown branch condition");
+}
+
+std::string Instruction::toString() const {
+  std::string Prefix =
+      Addr == InvalidAddr ? std::string("      ") : formatString("%5u ", Addr);
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Slt:
+    return Prefix + formatString("%-5s r%u, r%u, r%u", opcodeName(Op), Dst,
+                                 Src1, Src2);
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::SltI:
+    return Prefix + formatString("%-5s r%u, r%u, %lld", opcodeName(Op), Dst,
+                                 Src1, static_cast<long long>(Imm));
+  case Opcode::LoadImm:
+    return Prefix + formatString("%-5s r%u, %lld", opcodeName(Op), Dst,
+                                 static_cast<long long>(Imm));
+  case Opcode::Load:
+    return Prefix + formatString("%-5s r%u, %lld(r%u)", opcodeName(Op), Dst,
+                                 static_cast<long long>(Imm), Src1);
+  case Opcode::Store:
+    return Prefix + formatString("%-5s r%u, %lld(r%u)", opcodeName(Op), Src2,
+                                 static_cast<long long>(Imm), Src1);
+  case Opcode::CondBr:
+    return Prefix + formatString("br.%-3s r%u, r%u, %s", brCondName(Cond),
+                                 Src1, Src2,
+                                 Target ? Target->getName().c_str() : "?");
+  case Opcode::Jmp:
+    return Prefix + formatString("%-5s %s", opcodeName(Op),
+                                 Target ? Target->getName().c_str() : "?");
+  case Opcode::Call:
+    return Prefix + formatString("%-5s %s", opcodeName(Op),
+                                 Callee ? Callee->getName().c_str() : "?");
+  case Opcode::Ret:
+  case Opcode::Nop:
+  case Opcode::Halt:
+    return Prefix + opcodeName(Op);
+  }
+  DMP_UNREACHABLE("unknown opcode");
+}

@@ -1,0 +1,59 @@
+//===- ir/Instruction.h - A single ISA instruction ---------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Instruction value type.  Instructions are stored by value inside
+/// their BasicBlock; after Program::finalize() their storage and addresses
+/// are frozen and raw pointers into blocks stay valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_INSTRUCTION_H
+#define DMP_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dmp::ir {
+
+class BasicBlock;
+class Function;
+
+/// Sentinel for "no address assigned yet".
+inline constexpr uint32_t InvalidAddr = ~0u;
+
+/// One machine instruction.
+///
+/// Addresses are assigned densely by Program::finalize(): one instruction
+/// occupies one address unit, and the fall-through of any instruction is
+/// Addr + 1.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  BrCond Cond = BrCond::Eq; // Meaningful only for CondBr.
+  Reg Dst = 0;
+  Reg Src1 = 0;
+  Reg Src2 = 0;
+  int64_t Imm = 0;
+  BasicBlock *Target = nullptr; // Taken target of CondBr / target of Jmp.
+  Function *Callee = nullptr;   // Callee of Call.
+  uint32_t Addr = InvalidAddr;  // Assigned by Program::finalize().
+
+  bool isCondBr() const { return Op == Opcode::CondBr; }
+  bool isTerminator() const { return ir::isTerminator(Op); }
+  bool writesReg() const { return ir::writesRegister(Op); }
+
+  /// Evaluates this CondBr's condition on the given operand values.
+  bool evalCond(int64_t A, int64_t B) const;
+
+  /// Renders the instruction as assembly-like text.
+  std::string toString() const;
+};
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_INSTRUCTION_H

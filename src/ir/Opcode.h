@@ -1,0 +1,172 @@
+//===- ir/Opcode.h - Instruction opcodes of the DMP ISA ----------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcode set of the small RISC-like register ISA the reproduction targets.
+///
+/// The paper evaluates Alpha binaries; the compiler algorithms and the DMP
+/// hardware mechanism only depend on control-flow shape and branch-outcome
+/// statistics, so we substitute a minimal ISA that exposes the same control
+/// constructs: conditional branches, unconditional jumps, calls and returns.
+/// See DESIGN.md section 2 for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_OPCODE_H
+#define DMP_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace dmp::ir {
+
+/// Architectural register index.  The ISA has 32 integer registers; r0 is
+/// hardwired to zero (MIPS-style).
+using Reg = uint8_t;
+
+/// Number of architectural integer registers.
+inline constexpr unsigned NumRegs = 32;
+
+/// The hardwired-zero register.
+inline constexpr Reg RegZero = 0;
+
+enum class Opcode : uint8_t {
+  // Register-register ALU.
+  Add,
+  Sub,
+  Mul,
+  Div, // Integer divide; divide-by-zero yields zero (deterministic).
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Slt, // Dst = (Src1 < Src2) ? 1 : 0, signed.
+
+  // Register-immediate ALU.
+  AddI,
+  MulI,
+  AndI,
+  SltI,
+  LoadImm, // Dst = Imm.
+
+  // Memory (word-addressed data memory; address = Src1 + Imm).
+  Load,
+  Store,
+
+  // Control flow.
+  CondBr, // if cond(Src1, Src2) goto Target else fall through.
+  Jmp,    // goto Target.
+  Call,   // push return pc; goto Callee entry.
+  Ret,    // pop return pc.
+
+  // Misc.
+  Nop,
+  Halt, // Ends the program.
+};
+
+/// Condition codes for CondBr.
+enum class BrCond : uint8_t { Eq, Ne, Lt, Ge, Ltu, Geu };
+
+/// Returns a mnemonic string for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns a mnemonic string for \p Cond.
+const char *brCondName(BrCond Cond);
+
+/// Returns true for instructions that may transfer control (CondBr, Jmp,
+/// Call, Ret, Halt).
+inline bool isControlFlow(Opcode Op) {
+  switch (Op) {
+  case Opcode::CondBr:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Returns true for instructions that must terminate a basic block.  Call is
+/// deliberately not a terminator: like most CFG representations, calls sit in
+/// the middle of blocks and the intra-procedural CFG ignores them.
+inline bool isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::CondBr:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Returns true when the instruction writes its Dst register.
+inline bool writesRegister(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Slt:
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::SltI:
+  case Opcode::LoadImm:
+  case Opcode::Load:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Returns true when the instruction reads Src1.
+inline bool readsSrc1(Opcode Op) {
+  switch (Op) {
+  case Opcode::LoadImm:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Nop:
+  case Opcode::Halt:
+    return false;
+  default:
+    return true;
+  }
+}
+
+/// Returns true when the instruction reads Src2.
+inline bool readsSrc2(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Slt:
+  case Opcode::CondBr:
+  case Opcode::Store:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_OPCODE_H

@@ -1,0 +1,36 @@
+//===- ir/Printer.cpp - Textual program dumps ---------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "ir/Program.h"
+#include "support/StringUtils.h"
+
+using namespace dmp;
+using namespace dmp::ir;
+
+std::string ir::printBlock(const BasicBlock &Block) {
+  std::string Out = formatString("%s:\n", Block.getName().c_str());
+  for (const Instruction &Inst : Block.instructions())
+    Out += "  " + Inst.toString() + "\n";
+  return Out;
+}
+
+std::string ir::printFunction(const Function &F) {
+  std::string Out = formatString("func %s {\n", F.getName().c_str());
+  for (const auto &Block : F.blocks())
+    Out += printBlock(*Block);
+  Out += "}\n";
+  return Out;
+}
+
+std::string ir::printProgram(const Program &P) {
+  std::string Out = formatString("program %s  (%u instrs)\n",
+                                 P.getName().c_str(), P.instrCount());
+  for (const auto &F : P.functions())
+    Out += printFunction(*F);
+  return Out;
+}

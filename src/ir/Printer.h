@@ -1,0 +1,30 @@
+//===- ir/Printer.h - Textual program dumps ------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembly-style textual dumps of programs, functions, and blocks, used by
+/// the examples and for debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_PRINTER_H
+#define DMP_IR_PRINTER_H
+
+#include <string>
+
+namespace dmp::ir {
+
+class BasicBlock;
+class Function;
+class Program;
+
+std::string printBlock(const BasicBlock &Block);
+std::string printFunction(const Function &F);
+std::string printProgram(const Program &P);
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_PRINTER_H

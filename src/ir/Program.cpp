@@ -1,0 +1,40 @@
+//===- ir/Program.cpp - Whole program ----------------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+using namespace dmp::ir;
+
+Function *Program::createFunction(const std::string &FnName) {
+  assert(!Finalized && "cannot add functions after finalize()");
+  Functions.push_back(std::make_unique<Function>(
+      this, FnName, static_cast<unsigned>(Functions.size())));
+  return Functions.back().get();
+}
+
+Function *Program::findFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+void Program::finalize() {
+  assert(!Finalized && "finalize() called twice");
+  uint32_t Addr = 0;
+  for (const auto &F : Functions) {
+    for (const auto &Block : F->blocks()) {
+      for (Instruction &Inst : Block->instructions()) {
+        Inst.Addr = Addr++;
+        FlatInstrs.push_back(&Inst);
+        BlockOfAddr.push_back(Block.get());
+        if (Inst.Op == Opcode::CondBr)
+          CondBranches.push_back(Inst.Addr);
+      }
+    }
+  }
+  Finalized = true;
+}

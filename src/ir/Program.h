@@ -1,0 +1,104 @@
+//===- ir/Program.h - Whole program -------------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program: the unit of compilation and simulation.  Owns functions, assigns
+/// the flat address space, and provides address-indexed instruction lookup
+/// used by the profiler and the cycle simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_PROGRAM_H
+#define DMP_IR_PROGRAM_H
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmp::ir {
+
+/// A whole program in a single flat address space.
+///
+/// Typical lifecycle: build functions/blocks/instructions (IRBuilder), call
+/// finalize() once, then treat the program as immutable.  finalize() assigns
+/// one address unit per instruction, in function order then block layout
+/// order, so "fall through" is always Addr + 1.
+class Program {
+public:
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  Program(const Program &) = delete;
+  Program &operator=(const Program &) = delete;
+
+  const std::string &getName() const { return Name; }
+
+  /// Creates a new empty function.  The first function created is the entry
+  /// point ("main").
+  Function *createFunction(const std::string &FnName);
+
+  Function *getMain() const {
+    return Functions.empty() ? nullptr : Functions.front().get();
+  }
+
+  /// Finds a function by name; nullptr when absent.
+  Function *findFunction(const std::string &FnName) const;
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  /// Assigns addresses and builds the flat lookup tables.  Must be called
+  /// exactly once, after all instructions are in place.
+  void finalize();
+
+  bool isFinalized() const { return Finalized; }
+
+  /// Total number of static instructions (== size of the address space).
+  uint32_t instrCount() const {
+    return static_cast<uint32_t>(FlatInstrs.size());
+  }
+
+  /// The instruction at \p Addr.  Program must be finalized.
+  const Instruction &instrAt(uint32_t Addr) const {
+    assert(Finalized && "program not finalized");
+    assert(Addr < FlatInstrs.size() && "address out of range");
+    return *FlatInstrs[Addr];
+  }
+
+  /// The block containing address \p Addr.
+  const BasicBlock *blockAt(uint32_t Addr) const {
+    assert(Finalized && "program not finalized");
+    assert(Addr < BlockOfAddr.size() && "address out of range");
+    return BlockOfAddr[Addr];
+  }
+
+  /// The function containing address \p Addr.
+  const Function *functionAt(uint32_t Addr) const {
+    return blockAt(Addr)->getParent();
+  }
+
+  /// All conditional-branch addresses, in address order.  The candidate
+  /// population that every diverge-branch selector iterates over.
+  const std::vector<uint32_t> &condBranchAddrs() const {
+    assert(Finalized && "program not finalized");
+    return CondBranches;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<const Instruction *> FlatInstrs;
+  std::vector<const BasicBlock *> BlockOfAddr;
+  std::vector<uint32_t> CondBranches;
+  bool Finalized = false;
+};
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_PROGRAM_H

@@ -1,0 +1,47 @@
+//===- ir/Verifier.h - IR structural validation -------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of programs: every workload generator output and
+/// every hand-built test program goes through verifyProgram before it may be
+/// profiled or simulated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_IR_VERIFIER_H
+#define DMP_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace dmp::ir {
+
+class Program;
+
+/// Checks structural invariants of \p P and appends human-readable
+/// diagnostics to \p Errors.  Returns true when the program is well formed.
+///
+/// Checked invariants:
+///  - the program is finalized and has a main function;
+///  - every block is non-empty;
+///  - terminators appear only as the last instruction of a block;
+///  - the last block of a function ends in Ret, Halt, or Jmp (no falling off
+///    the end of a function);
+///  - main's last reachable terminator structure contains a Halt;
+///  - branch/jump targets are blocks of the same function;
+///  - calls reference functions of the same program, and no function ends
+///    without a terminating Ret/Halt;
+///  - no instruction writes r0;
+///  - addresses are dense and consistent with the flat lookup tables.
+bool verifyProgram(const Program &P, std::vector<std::string> &Errors);
+
+/// Convenience wrapper that aborts with the first error.  For tests and
+/// generators where a malformed program is a programming bug.
+void verifyProgramOrDie(const Program &P);
+
+} // namespace dmp::ir
+
+#endif // DMP_IR_VERIFIER_H

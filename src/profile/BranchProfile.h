@@ -1,0 +1,69 @@
+//===- profile/BranchProfile.h - Branch misprediction profile ------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-static-branch misprediction profile, collected by running a
+/// profiling-time predictor alongside functional emulation.  Inputs to the
+/// short-hammock heuristic (misprediction rate >= 5%, Section 3.4) and the
+/// High-BP-5 baseline selector (Section 7.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_PROFILE_BRANCHPROFILE_H
+#define DMP_PROFILE_BRANCHPROFILE_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dmp::profile {
+
+/// Counts for one static conditional branch under the profiling predictor.
+struct BranchStats {
+  uint64_t Executed = 0;
+  uint64_t Taken = 0;
+  uint64_t Mispredicted = 0;
+
+  double mispRate() const {
+    return Executed == 0
+               ? 0.0
+               : static_cast<double>(Mispredicted) /
+                     static_cast<double>(Executed);
+  }
+};
+
+/// Map of static branch address -> profiling-time stats.
+class BranchProfile {
+public:
+  void record(uint32_t Addr, bool Taken, bool Mispredicted) {
+    BranchStats &S = Stats[Addr];
+    ++S.Executed;
+    if (Taken)
+      ++S.Taken;
+    if (Mispredicted)
+      ++S.Mispredicted;
+  }
+
+  BranchStats stats(uint32_t Addr) const {
+    auto It = Stats.find(Addr);
+    return It == Stats.end() ? BranchStats() : It->second;
+  }
+
+  double mispRate(uint32_t Addr) const { return stats(Addr).mispRate(); }
+
+  const std::unordered_map<uint32_t, BranchStats> &all() const {
+    return Stats;
+  }
+
+  /// Total mispredictions across all static branches.
+  uint64_t totalMispredictions() const;
+
+private:
+  std::unordered_map<uint32_t, BranchStats> Stats;
+};
+
+} // namespace dmp::profile
+
+#endif // DMP_PROFILE_BRANCHPROFILE_H

@@ -1,0 +1,149 @@
+//===- profile/Emulator.cpp - Functional ISA emulator --------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Emulator.h"
+
+#include "support/Compiler.h"
+#include "support/MathExtras.h"
+
+using namespace dmp;
+using namespace dmp::ir;
+using namespace dmp::profile;
+
+/// Smallest emulated memory, in 64-bit words.
+static constexpr uint64_t MinMemoryWords = 1ull << 16;
+
+Emulator::Emulator(const Program &P, const std::vector<int64_t> &MemoryImage)
+    : P(P), Memory(MemoryImage) {
+  assert(P.isFinalized() && "emulating an unfinalized program");
+  uint64_t Words = Memory.size() < MinMemoryWords ? MinMemoryWords
+                                                  : Memory.size();
+  if (!isPowerOf2(Words))
+    Words = 1ull << log2Ceil(Words);
+  Memory.resize(Words, 0);
+  AddrMask = Words - 1;
+  PC = P.getMain()->getEntryAddr();
+  CallStack.reserve(64);
+}
+
+bool Emulator::step(DynInstr &Out) {
+  if (Halted)
+    return false;
+
+  const Instruction &I = P.instrAt(PC);
+  Out.I = &I;
+  Out.Addr = PC;
+  Out.Taken = false;
+  Out.MemAddr = 0;
+
+  auto readReg = [this](Reg R) -> int64_t {
+    return R == RegZero ? 0 : Regs[R];
+  };
+  auto writeReg = [this](Reg R, int64_t V) {
+    if (R != RegZero)
+      Regs[R] = V;
+  };
+
+  uint32_t Next = PC + 1;
+  switch (I.Op) {
+  case Opcode::Add:
+    writeReg(I.Dst, readReg(I.Src1) + readReg(I.Src2));
+    break;
+  case Opcode::Sub:
+    writeReg(I.Dst, readReg(I.Src1) - readReg(I.Src2));
+    break;
+  case Opcode::Mul:
+    writeReg(I.Dst, readReg(I.Src1) * readReg(I.Src2));
+    break;
+  case Opcode::Div: {
+    const int64_t Den = readReg(I.Src2);
+    writeReg(I.Dst, Den == 0 ? 0 : readReg(I.Src1) / Den);
+    break;
+  }
+  case Opcode::And:
+    writeReg(I.Dst, readReg(I.Src1) & readReg(I.Src2));
+    break;
+  case Opcode::Or:
+    writeReg(I.Dst, readReg(I.Src1) | readReg(I.Src2));
+    break;
+  case Opcode::Xor:
+    writeReg(I.Dst, readReg(I.Src1) ^ readReg(I.Src2));
+    break;
+  case Opcode::Shl:
+    writeReg(I.Dst, readReg(I.Src1)
+                        << (static_cast<uint64_t>(readReg(I.Src2)) & 63));
+    break;
+  case Opcode::Shr:
+    writeReg(I.Dst, static_cast<int64_t>(
+                        static_cast<uint64_t>(readReg(I.Src1)) >>
+                        (static_cast<uint64_t>(readReg(I.Src2)) & 63)));
+    break;
+  case Opcode::Slt:
+    writeReg(I.Dst, readReg(I.Src1) < readReg(I.Src2) ? 1 : 0);
+    break;
+  case Opcode::AddI:
+    writeReg(I.Dst, readReg(I.Src1) + I.Imm);
+    break;
+  case Opcode::MulI:
+    writeReg(I.Dst, readReg(I.Src1) * I.Imm);
+    break;
+  case Opcode::AndI:
+    writeReg(I.Dst, readReg(I.Src1) & I.Imm);
+    break;
+  case Opcode::SltI:
+    writeReg(I.Dst, readReg(I.Src1) < I.Imm ? 1 : 0);
+    break;
+  case Opcode::LoadImm:
+    writeReg(I.Dst, I.Imm);
+    break;
+  case Opcode::Load: {
+    const uint64_t Addr =
+        static_cast<uint64_t>(readReg(I.Src1) + I.Imm) & AddrMask;
+    Out.MemAddr = Addr;
+    writeReg(I.Dst, Memory[Addr]);
+    break;
+  }
+  case Opcode::Store: {
+    const uint64_t Addr =
+        static_cast<uint64_t>(readReg(I.Src1) + I.Imm) & AddrMask;
+    Out.MemAddr = Addr;
+    Memory[Addr] = readReg(I.Src2);
+    break;
+  }
+  case Opcode::CondBr:
+    Out.Taken = I.evalCond(readReg(I.Src1), readReg(I.Src2));
+    if (Out.Taken)
+      Next = I.Target->getStartAddr();
+    break;
+  case Opcode::Jmp:
+    Next = I.Target->getStartAddr();
+    break;
+  case Opcode::Call:
+    CallStack.push_back(PC + 1);
+    Next = I.Callee->getEntryAddr();
+    break;
+  case Opcode::Ret:
+    if (CallStack.empty()) {
+      Halted = true;
+      Next = PC;
+    } else {
+      Next = CallStack.back();
+      CallStack.pop_back();
+    }
+    break;
+  case Opcode::Nop:
+    break;
+  case Opcode::Halt:
+    Halted = true;
+    Next = PC;
+    break;
+  }
+
+  Out.NextAddr = Next;
+  PC = Next;
+  ++Executed;
+  return true;
+}

@@ -1,0 +1,76 @@
+//===- profile/Emulator.h - Functional ISA emulator ----------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional (architectural) emulator of the DMP ISA.  It is the ground
+/// truth for both the profiler (edge/branch/loop profiles) and the cycle
+/// simulator (which consumes the dynamic instruction stream the emulator
+/// produces: trace-driven timing with execution-driven outcomes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_PROFILE_EMULATOR_H
+#define DMP_PROFILE_EMULATOR_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp::profile {
+
+/// One dynamically executed instruction, as seen by emulator clients.
+struct DynInstr {
+  const ir::Instruction *I = nullptr;
+  uint32_t Addr = 0;
+  /// Address of the next instruction actually executed.
+  uint32_t NextAddr = 0;
+  /// For CondBr: the resolved direction.
+  bool Taken = false;
+  /// For Load/Store: the effective word address.
+  uint64_t MemAddr = 0;
+};
+
+/// Architectural state + stepper.
+///
+/// Memory is a flat array of 64-bit words; effective addresses wrap (are
+/// masked) to the memory size, so every program is memory-safe by
+/// construction.  r0 reads as zero.  Ret in main (empty call stack) halts.
+class Emulator {
+public:
+  /// \p MemoryImage is the input data set; it is copied so one image can
+  /// drive many runs.  Memory is padded to the next power of two, at least
+  /// 64K words.
+  Emulator(const ir::Program &P, const std::vector<int64_t> &MemoryImage);
+
+  /// Executes one instruction.  Returns false (and leaves \p Out untouched)
+  /// when the program has halted.
+  bool step(DynInstr &Out);
+
+  bool isHalted() const { return Halted; }
+  uint64_t executedCount() const { return Executed; }
+
+  int64_t reg(ir::Reg R) const { return R == ir::RegZero ? 0 : Regs[R]; }
+  int64_t memWord(uint64_t WordAddr) const {
+    return Memory[WordAddr & AddrMask];
+  }
+  uint32_t pc() const { return PC; }
+  size_t callDepth() const { return CallStack.size(); }
+
+private:
+  const ir::Program &P;
+  std::vector<int64_t> Memory;
+  uint64_t AddrMask;
+  int64_t Regs[ir::NumRegs] = {};
+  uint32_t PC = 0;
+  std::vector<uint32_t> CallStack;
+  bool Halted = false;
+  uint64_t Executed = 0;
+};
+
+} // namespace dmp::profile
+
+#endif // DMP_PROFILE_EMULATOR_H

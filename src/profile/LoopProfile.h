@@ -1,0 +1,64 @@
+//===- profile/LoopProfile.h - Loop iteration profile --------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-loop profiling data: iteration counts per invocation and dynamic
+/// instruction counts, keyed by the loop header's start address.  Feeds the
+/// diverge-loop selection heuristics of Section 5.2 (STATIC_LOOP_SIZE,
+/// DYNAMIC_LOOP_SIZE, LOOP_ITER).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_PROFILE_LOOPPROFILE_H
+#define DMP_PROFILE_LOOPPROFILE_H
+
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dmp::profile {
+
+/// Profile of one static natural loop.
+struct LoopStats {
+  /// Iterations per invocation.
+  Histogram Iterations;
+  /// Dynamic instructions attributed to the loop (including nested code)
+  /// across all invocations.
+  uint64_t DynamicInstrs = 0;
+  uint64_t Invocations = 0;
+
+  /// Average iterations per invocation (the LOOP_ITER heuristic input).
+  double avgIterations() const { return Iterations.average(); }
+
+  /// Average dynamic instructions from loop entrance to exit (the
+  /// DYNAMIC_LOOP_SIZE heuristic input).
+  double avgDynamicSize() const {
+    return Invocations == 0 ? 0.0
+                            : static_cast<double>(DynamicInstrs) /
+                                  static_cast<double>(Invocations);
+  }
+};
+
+/// Map of loop header start address -> stats.
+class LoopProfile {
+public:
+  LoopStats &statsFor(uint32_t HeaderAddr) { return Stats[HeaderAddr]; }
+
+  const LoopStats *find(uint32_t HeaderAddr) const {
+    auto It = Stats.find(HeaderAddr);
+    return It == Stats.end() ? nullptr : &It->second;
+  }
+
+  const std::unordered_map<uint32_t, LoopStats> &all() const { return Stats; }
+
+private:
+  std::unordered_map<uint32_t, LoopStats> Stats;
+};
+
+} // namespace dmp::profile
+
+#endif // DMP_PROFILE_LOOPPROFILE_H

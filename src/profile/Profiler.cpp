@@ -1,0 +1,155 @@
+//===- profile/Profiler.cpp - Profile collection -------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Profiler.h"
+
+#include "profile/Emulator.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::profile;
+
+double ProfileData::profileMPKI() const {
+  if (DynamicInstrs == 0)
+    return 0.0;
+  return 1000.0 * static_cast<double>(Branches.totalMispredictions()) /
+         static_cast<double>(DynamicInstrs);
+}
+
+uint64_t BranchProfile::totalMispredictions() const {
+  uint64_t Total = 0;
+  for (const auto &Entry : Stats)
+    Total += Entry.second.Mispredicted;
+  return Total;
+}
+
+namespace {
+
+/// Tracks loop invocations/iterations along the dynamic execution, frame by
+/// frame so that calls inside loops do not disturb the caller's loop state.
+class LoopTracker {
+public:
+  LoopTracker(const cfg::ProgramAnalysis &PA, LoopProfile &Out)
+      : PA(PA), Out(Out) {
+    Frames.emplace_back();
+  }
+
+  void onBlockEntry(const ir::BasicBlock *Block) {
+    auto &Active = Frames.back();
+    const cfg::LoopInfo &LI =
+        PA.forFunction(*Block->getParent()).LI;
+
+    // Close loops that no longer contain the new block.
+    while (!Active.empty() && !Active.back().L->contains(Block))
+      closeTop();
+
+    // Open the chain of loops that contain the block and are not active,
+    // outermost first.
+    std::vector<const cfg::Loop *> ToOpen;
+    for (const cfg::Loop *L = LI.loopFor(Block); L; L = L->getParent()) {
+      const bool AlreadyActive =
+          std::any_of(Active.begin(), Active.end(),
+                      [L](const ActiveLoop &A) { return A.L == L; });
+      if (!AlreadyActive)
+        ToOpen.push_back(L);
+    }
+    for (auto It = ToOpen.rbegin(); It != ToOpen.rend(); ++It)
+      Active.push_back({*It, 1});
+
+    // A back edge into the header of the innermost active loop is a new
+    // iteration.
+    if (!Active.empty() && Active.back().L->getHeader() == Block &&
+        ToOpen.empty())
+      ++Active.back().Iterations;
+  }
+
+  void onInstruction() {
+    for (auto &Frame : Frames)
+      for (auto &A : Frame)
+        ++Out.statsFor(A.L->getHeader()->getStartAddr()).DynamicInstrs;
+  }
+
+  void onCall() { Frames.emplace_back(); }
+
+  void onRet() {
+    while (!Frames.back().empty())
+      closeTop();
+    if (Frames.size() > 1)
+      Frames.pop_back();
+  }
+
+  void finish() {
+    while (Frames.size() > 1)
+      onRet();
+    while (!Frames.back().empty())
+      closeTop();
+  }
+
+private:
+  struct ActiveLoop {
+    const cfg::Loop *L;
+    uint64_t Iterations;
+  };
+
+  void closeTop() {
+    auto &Active = Frames.back();
+    const ActiveLoop &A = Active.back();
+    LoopStats &S = Out.statsFor(A.L->getHeader()->getStartAddr());
+    S.Iterations.addSample(A.Iterations);
+    ++S.Invocations;
+    Active.pop_back();
+  }
+
+  const cfg::ProgramAnalysis &PA;
+  LoopProfile &Out;
+  std::vector<std::vector<ActiveLoop>> Frames;
+};
+
+} // namespace
+
+ProfileData profile::collectProfile(const ir::Program &P,
+                                    const cfg::ProgramAnalysis &PA,
+                                    const std::vector<int64_t> &MemoryImage,
+                                    const ProfileOptions &Options) {
+  ProfileData Data;
+  Emulator Emu(P, MemoryImage);
+  auto Predictor = uarch::createPredictor(Options.Predictor);
+  LoopTracker Loops(PA, Data.Loops);
+
+  DynInstr Inst;
+  while (Emu.executedCount() < Options.MaxInstrs && Emu.step(Inst)) {
+    const ir::BasicBlock *Block = P.blockAt(Inst.Addr);
+    if (Inst.Addr == Block->getStartAddr()) {
+      Data.Edges.recordBlockExec(Inst.Addr);
+      Loops.onBlockEntry(Block);
+    }
+    Loops.onInstruction();
+
+    switch (Inst.I->Op) {
+    case ir::Opcode::CondBr: {
+      const bool Predicted = Predictor->predict(Inst.Addr);
+      Predictor->update(Inst.Addr, Inst.Taken);
+      Data.Edges.recordBranch(Inst.Addr, Inst.Taken);
+      Data.Branches.record(Inst.Addr, Inst.Taken, Predicted != Inst.Taken);
+      break;
+    }
+    case ir::Opcode::Call:
+      Loops.onCall();
+      break;
+    case ir::Opcode::Ret:
+      Loops.onRet();
+      break;
+    default:
+      break;
+    }
+  }
+
+  Loops.finish();
+  Data.DynamicInstrs = Emu.executedCount();
+  Data.Completed = Emu.isHalted();
+  return Data;
+}

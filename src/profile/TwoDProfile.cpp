@@ -1,0 +1,104 @@
+//===- profile/TwoDProfile.cpp - Input-dependent branch detection -------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/TwoDProfile.h"
+
+#include "profile/Emulator.h"
+#include "uarch/BranchPredictor.h"
+
+#include <cmath>
+
+using namespace dmp;
+using namespace dmp::profile;
+
+double PhaseStats::meanMispRate() const {
+  double Sum = 0.0;
+  unsigned Active = 0;
+  for (const auto &[Execs, Misps] : Slices) {
+    if (Execs == 0)
+      continue;
+    Sum += static_cast<double>(Misps) / static_cast<double>(Execs);
+    ++Active;
+  }
+  return Active == 0 ? 0.0 : Sum / Active;
+}
+
+double PhaseStats::mispRateStdDev() const {
+  const double Mean = meanMispRate();
+  double SumSq = 0.0;
+  unsigned Active = 0;
+  for (const auto &[Execs, Misps] : Slices) {
+    if (Execs == 0)
+      continue;
+    const double Rate =
+        static_cast<double>(Misps) / static_cast<double>(Execs);
+    SumSq += (Rate - Mean) * (Rate - Mean);
+    ++Active;
+  }
+  return Active == 0 ? 0.0 : std::sqrt(SumSq / Active);
+}
+
+double PhaseStats::overallMispRate() const {
+  uint64_t Execs = 0, Misps = 0;
+  for (const auto &[E, M] : Slices) {
+    Execs += E;
+    Misps += M;
+  }
+  return Execs == 0 ? 0.0
+                    : static_cast<double>(Misps) / static_cast<double>(Execs);
+}
+
+bool TwoDProfileData::isPotentiallyMispredicted(uint32_t Addr,
+                                                double MinMispRate,
+                                                double MinStdDev) const {
+  const PhaseStats *S = find(Addr);
+  if (!S)
+    return false; // never executed
+  return S->overallMispRate() >= MinMispRate ||
+         S->mispRateStdDev() >= MinStdDev;
+}
+
+TwoDProfileData profile::collectTwoDProfile(
+    const ir::Program &P, const std::vector<int64_t> &MemoryImage,
+    unsigned NumSlices, uint64_t MaxInstrs) {
+  TwoDProfileData Data;
+  Emulator Emu(P, MemoryImage);
+  auto Predictor = uarch::createPredictor(uarch::PredictorKind::GShare);
+
+  const uint64_t SliceLen = std::max<uint64_t>(1, MaxInstrs / NumSlices);
+  DynInstr D;
+  while (Emu.executedCount() < MaxInstrs && Emu.step(D)) {
+    if (D.I->Op != ir::Opcode::CondBr)
+      continue;
+    const bool Predicted = Predictor->predict(D.Addr);
+    Predictor->update(D.Addr, D.Taken);
+    const unsigned Slice = static_cast<unsigned>(
+        std::min<uint64_t>(Emu.executedCount() / SliceLen, NumSlices - 1));
+    PhaseStats &S = Data.statsFor(D.Addr);
+    if (S.Slices.size() < NumSlices)
+      S.Slices.resize(NumSlices, {0, 0});
+    ++S.Slices[Slice].first;
+    if (Predicted != D.Taken)
+      ++S.Slices[Slice].second;
+  }
+  return Data;
+}
+
+core::DivergeMap profile::filterAlwaysEasyBranches(
+    const core::DivergeMap &Map, const TwoDProfileData &Profile,
+    size_t *Dropped, double MinMispRate, double MinStdDev) {
+  core::DivergeMap Filtered;
+  size_t DroppedCount = 0;
+  for (uint32_t Addr : Map.sortedAddrs()) {
+    if (Profile.isPotentiallyMispredicted(Addr, MinMispRate, MinStdDev))
+      Filtered.add(Addr, *Map.find(Addr));
+    else
+      ++DroppedCount;
+  }
+  if (Dropped)
+    *Dropped = DroppedCount;
+  return Filtered;
+}

@@ -1,0 +1,85 @@
+//===- profile/TwoDProfile.h - Input-dependent branch detection -----*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 2D-profiling (Kim, Suleman, Mutlu & Patt, 2006), the extension the paper
+/// proposes adopting in Section 8.3 / future work: detect *input-dependent*
+/// branches from a single profiling run by slicing the run into time phases
+/// and measuring how a branch's misprediction rate varies across phases.
+/// Branches whose rate is both low and stable are "always easy to predict";
+/// excluding them from diverge-branch selection reduces static code size
+/// and confidence-estimator aliasing without losing coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_PROFILE_TWODPROFILE_H
+#define DMP_PROFILE_TWODPROFILE_H
+
+#include "core/DivergeInfo.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dmp::profile {
+
+/// Per-branch phase-resolved misprediction statistics.
+struct PhaseStats {
+  /// Per-slice (executed, mispredicted) counts.
+  std::vector<std::pair<uint64_t, uint64_t>> Slices;
+
+  /// Mean per-slice misprediction rate (over slices where the branch ran).
+  double meanMispRate() const;
+  /// Standard deviation of the per-slice misprediction rate: the
+  /// 2D-profiling signal.  High deviation = phase/input-dependent.
+  double mispRateStdDev() const;
+  /// Total misprediction rate over the whole run.
+  double overallMispRate() const;
+};
+
+/// Result of a 2D-profiling run.
+class TwoDProfileData {
+public:
+  PhaseStats &statsFor(uint32_t Addr) { return Stats[Addr]; }
+  const PhaseStats *find(uint32_t Addr) const {
+    auto It = Stats.find(Addr);
+    return It == Stats.end() ? nullptr : &It->second;
+  }
+  const std::unordered_map<uint32_t, PhaseStats> &all() const {
+    return Stats;
+  }
+
+  /// A branch is *potentially mispredicted* when its overall misprediction
+  /// rate exceeds \p MinMispRate or its per-phase rate varies by more than
+  /// \p MinStdDev (it may be easy now but hard with another input).
+  bool isPotentiallyMispredicted(uint32_t Addr, double MinMispRate = 0.02,
+                                 double MinStdDev = 0.02) const;
+
+private:
+  std::unordered_map<uint32_t, PhaseStats> Stats;
+};
+
+/// Runs the program once and collects per-phase branch statistics with a
+/// profiling-time predictor.  \p NumSlices time phases over at most
+/// \p MaxInstrs instructions.
+TwoDProfileData collectTwoDProfile(const ir::Program &P,
+                                   const std::vector<int64_t> &MemoryImage,
+                                   unsigned NumSlices = 16,
+                                   uint64_t MaxInstrs = 20'000'000);
+
+/// The paper's proposed application: drop diverge branches that 2D
+/// profiling shows are always easy to predict.  Returns the filtered map
+/// and (via \p Dropped) how many entries were removed.
+core::DivergeMap filterAlwaysEasyBranches(const core::DivergeMap &Map,
+                                          const TwoDProfileData &Profile,
+                                          size_t *Dropped = nullptr,
+                                          double MinMispRate = 0.02,
+                                          double MinStdDev = 0.02);
+
+} // namespace dmp::profile
+
+#endif // DMP_PROFILE_TWODPROFILE_H

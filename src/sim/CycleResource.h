@@ -1,0 +1,67 @@
+//===- sim/CycleResource.h - Per-cycle bandwidth tracking -----------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CycleResource: a ring-buffer tracker for resources with a fixed per-cycle
+/// capacity (issue ports, retire slots).  reserve(Earliest) returns the
+/// first cycle at or after Earliest with a free slot and consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_CYCLERESOURCE_H
+#define DMP_SIM_CYCLERESOURCE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dmp::sim {
+
+/// Tracks per-cycle slot usage over a sliding window of cycles.
+///
+/// The ring must be large enough to cover the maximum spread between
+/// concurrently live reservations (bounded by ROB size times the longest
+/// latency); 2^18 cycles is far beyond anything the model produces.
+class CycleResource {
+public:
+  explicit CycleResource(unsigned Capacity, unsigned RingBits = 18)
+      : Capacity(Capacity), Mask((1ull << RingBits) - 1),
+        Slots(1ull << RingBits) {
+    assert(Capacity > 0 && "zero-capacity resource");
+  }
+
+  /// Returns the first cycle >= \p Earliest with spare capacity and books
+  /// one slot in it.
+  uint64_t reserve(uint64_t Earliest) {
+    uint64_t Cycle = Earliest;
+    while (true) {
+      Slot &S = Slots[Cycle & Mask];
+      if (S.Cycle != Cycle) {
+        S.Cycle = Cycle;
+        S.Count = 0;
+      }
+      if (S.Count < Capacity) {
+        ++S.Count;
+        return Cycle;
+      }
+      ++Cycle;
+    }
+  }
+
+private:
+  struct Slot {
+    uint64_t Cycle = ~0ull;
+    unsigned Count = 0;
+  };
+
+  unsigned Capacity;
+  uint64_t Mask;
+  std::vector<Slot> Slots;
+};
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_CYCLERESOURCE_H

@@ -1,0 +1,529 @@
+//===- sim/DmpCore.cpp - Cycle-level DMP out-of-order core --------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DmpCore.h"
+
+#include "sim/WrongPathWalker.h"
+
+#include <algorithm>
+
+using namespace dmp;
+using namespace dmp::ir;
+using namespace dmp::sim;
+
+DmpCore::DmpCore(const Program &P, const core::DivergeMap *Diverge,
+                 const SimConfig &Config)
+    : P(P), Diverge(Diverge), Config(Config),
+      DmpEnabled(Config.EnableDmp && Diverge != nullptr),
+      Predictor(uarch::createPredictor(Config.Predictor)),
+      Confidence(Config.ConfIndexBits, Config.ConfHistoryBits,
+                 Config.ConfThreshold),
+      Btb(Config.BtbEntries), Ras(Config.RasEntries), Memory(Config.Memory),
+      IssuePorts(Config.IssueWidth), RetirePorts(Config.RetireWidth),
+      RobRetireRing(Config.RobSize, 0) {}
+
+//===----------------------------------------------------------------------===//
+// Fetch engine
+//===----------------------------------------------------------------------===//
+
+void DmpCore::redirectFetch(uint64_t Cycle) {
+  if (Cycle > FetchCycle) {
+    FetchCycle = Cycle;
+    SlotsUsed = 0;
+    NtBranchesThisCycle = 0;
+  } else {
+    // Redirect into the past cannot happen; same-cycle redirect restarts
+    // the fetch group.
+    SlotsUsed = 0;
+    NtBranchesThisCycle = 0;
+  }
+}
+
+void DmpCore::consumeFetchSlots(unsigned Count) {
+  for (unsigned I = 0; I < Count; ++I) {
+    if (SlotsUsed >= Config.FetchWidth) {
+      ++FetchCycle;
+      SlotsUsed = 0;
+      NtBranchesThisCycle = 0;
+    }
+    ++SlotsUsed;
+  }
+}
+
+uint64_t DmpCore::fetchInstr(const profile::DynInstr &D, bool PredictedTaken) {
+  // ROB back-pressure: instruction i cannot fetch before instruction
+  // i - RobSize retires.
+  const uint64_t RobGate =
+      RobRetireRing[(InstrIndex + PhantomInstrs) % Config.RobSize];
+  if (RobGate > FetchCycle)
+    redirectFetch(RobGate);
+
+  // I-cache: charge the miss latency when crossing into a new line.
+  const uint64_t Line = (static_cast<uint64_t>(D.Addr) * 4) /
+                        Config.Memory.LineBytes;
+  if (Line != CurrentFetchLine) {
+    CurrentFetchLine = Line;
+    const unsigned Lat = Memory.fetchLatency(static_cast<uint64_t>(D.Addr) * 4);
+    if (Lat > Config.Memory.IL1Latency) {
+      FetchCycle += Lat - Config.Memory.IL1Latency;
+      SlotsUsed = 0;
+      NtBranchesThisCycle = 0;
+    }
+  }
+
+  if (SlotsUsed >= Config.FetchWidth) {
+    ++FetchCycle;
+    SlotsUsed = 0;
+    NtBranchesThisCycle = 0;
+  }
+
+  const bool IsCondBr = D.I->Op == Opcode::CondBr;
+  if (IsCondBr && !PredictedTaken) {
+    if (NtBranchesThisCycle >= Config.MaxNotTakenBranchesPerFetch) {
+      ++FetchCycle;
+      SlotsUsed = 0;
+      NtBranchesThisCycle = 0;
+    }
+    ++NtBranchesThisCycle;
+  }
+
+  const uint64_t Assigned = FetchCycle;
+  ++SlotsUsed;
+
+  // In dpred-mode the front end alternates between the two paths: each
+  // correct-path instruction costs one extra slot while the wrong path is
+  // still being fetched.
+  if (Ep.Active && !Ep.IsLoop && Ep.WrongRemaining > 0) {
+    consumeFetchSlots(1);
+    --Ep.WrongRemaining;
+  }
+
+  // Taken control transfers end the fetch group; taken-predicted branches
+  // additionally need the BTB for their target.
+  const bool TakenTransfer =
+      (IsCondBr && PredictedTaken) || D.I->Op == Opcode::Jmp ||
+      D.I->Op == Opcode::Call || D.I->Op == Opcode::Ret;
+  if (TakenTransfer) {
+    SlotsUsed = Config.FetchWidth; // group break
+    if (D.I->Op != Opcode::Ret) {
+      uint32_t Target = 0;
+      if (!Btb.lookup(D.Addr, Target)) {
+        ++Stats.BtbMissBubbles;
+        ++FetchCycle;
+      }
+      Btb.update(D.Addr, D.NextAddr);
+    }
+  }
+  return Assigned;
+}
+
+//===----------------------------------------------------------------------===//
+// Dataflow schedule
+//===----------------------------------------------------------------------===//
+
+uint64_t DmpCore::scheduleInstr(const profile::DynInstr &D,
+                                uint64_t FetchedAt) {
+  const Instruction &I = *D.I;
+  uint64_t Ready = FetchedAt + Config.FrontEndDepth;
+  if (readsSrc1(I.Op) && I.Src1 != RegZero)
+    Ready = std::max(Ready, RegReady[I.Src1]);
+  if (readsSrc2(I.Op) && I.Src2 != RegZero)
+    Ready = std::max(Ready, RegReady[I.Src2]);
+
+  const uint64_t ExecStart = IssuePorts.reserve(Ready);
+
+  unsigned Latency;
+  switch (I.Op) {
+  case Opcode::Load:
+    Latency = Memory.loadLatency(D.MemAddr * 8);
+    break;
+  case Opcode::Store:
+    Memory.storeAccess(D.MemAddr * 8);
+    Latency = 1;
+    break;
+  default:
+    Latency = Config.latencyFor(I.Op);
+    break;
+  }
+  const uint64_t Done = ExecStart + Latency;
+  if (I.writesReg())
+    RegReady[I.Dst] = Done;
+  return Done;
+}
+
+void DmpCore::chargeWrongPathIssue(unsigned Ops, uint64_t FetchedAt) {
+  const uint64_t Base = FetchedAt + Config.FrontEndDepth;
+  for (unsigned K = 0; K < Ops; ++K)
+    IssuePorts.reserve(Base + K / Config.FetchWidth);
+}
+
+void DmpCore::occupyRobPhantoms(unsigned Count, uint64_t RetireCycle) {
+  for (unsigned K = 0; K < Count; ++K) {
+    RobRetireRing[(InstrIndex + PhantomInstrs) % Config.RobSize] =
+        RetireCycle;
+    ++PhantomInstrs;
+  }
+}
+
+uint64_t DmpCore::retireInstr(uint64_t DoneCycle) {
+  const uint64_t Retire =
+      RetirePorts.reserve(std::max(DoneCycle + 1, LastRetireCycle));
+  LastRetireCycle = Retire;
+  RobRetireRing[(InstrIndex + PhantomInstrs) % Config.RobSize] = Retire;
+  return Retire;
+}
+
+//===----------------------------------------------------------------------===//
+// dpred-mode
+//===----------------------------------------------------------------------===//
+
+bool DmpCore::isCfmAddr(uint32_t Addr) const {
+  for (const core::CfmPoint &Cfm : Ep.Ann->Cfms)
+    if (Cfm.PointKind == core::CfmPoint::Kind::Address && Cfm.Addr == Addr)
+      return true;
+  return false;
+}
+
+bool DmpCore::hasReturnCfm() const {
+  for (const core::CfmPoint &Cfm : Ep.Ann->Cfms)
+    if (Cfm.PointKind == core::CfmPoint::Kind::Return)
+      return true;
+  return false;
+}
+
+void DmpCore::insertSelectUops(unsigned Count, uint64_t AtCycle) {
+  if (Count == 0)
+    return;
+  consumeFetchSlots(Count);
+  Stats.SelectUops += Count;
+  // Select-µops serialize the merged registers for one cycle.
+  const uint64_t Avail = AtCycle + Config.FrontEndDepth + 1;
+  for (uint8_t R : Ep.WrittenRegs)
+    RegReady[R] = std::max(RegReady[R], Avail);
+}
+
+void DmpCore::enterHammockDpred(const core::DivergeAnnotation &Ann,
+                                const profile::DynInstr &D,
+                                uint64_t FetchedAt, uint64_t DoneCycle,
+                                bool Mispredicted) {
+  Ep = DpredEpisode();
+  Ep.Active = true;
+  Ep.Ann = &Ann;
+  Ep.ResolveCycle = DoneCycle;
+  Ep.BranchMispredicted = Mispredicted;
+  Ep.AlwaysPredicated = Ann.AlwaysPredicate;
+  Ep.EntryCallDepth = CallDepth;
+
+  ++Stats.DpredEntries;
+  if (Ann.AlwaysPredicate)
+    ++Stats.DpredEntriesAlways;
+  if (!Mispredicted)
+    ++Stats.DpredWastedEntries;
+
+  // The wrong path starts at the direction the program did not take.  It
+  // can only fetch until the diverge branch resolves, at roughly half the
+  // front-end bandwidth (the two paths alternate), so the walk is bounded
+  // by both the window budget and the resolution-time fetch budget.
+  const uint32_t WrongStart =
+      D.Taken ? D.Addr + 1 : D.I->Target->getStartAddr();
+  const uint64_t CyclesToResolve =
+      DoneCycle > FetchedAt ? DoneCycle - FetchedAt : 1;
+  const unsigned FetchBudget = static_cast<unsigned>(std::min<uint64_t>(
+      Config.MaxDpredInstrs,
+      CyclesToResolve * Config.FetchWidth / 2 + Config.FetchWidth));
+  const WrongPathResult WP =
+      walkWrongPath(P, *Predictor, Ann, WrongStart, FetchBudget);
+  Ep.WrongRemaining = WP.InstrsFetched;
+  Ep.WrongReachedCfm = WP.ReachedCfm;
+  Ep.WrongCfmAddr = WP.ReachedCfmAddr;
+  Ep.WrittenRegs = WP.WrittenRegs;
+  Stats.UselessDpredInstrs += WP.InstrsFetched;
+  chargeWrongPathIssue(WP.IssueOps, FetchedAt);
+  occupyRobPhantoms(WP.InstrsFetched, DoneCycle + 1);
+}
+
+void DmpCore::enterLoopDpred(const core::DivergeAnnotation &Ann,
+                             const profile::DynInstr &D, uint64_t FetchedAt,
+                             uint64_t DoneCycle, bool Mispredicted) {
+  Ep = DpredEpisode();
+  Ep.Active = true;
+  Ep.IsLoop = true;
+  Ep.Ann = &Ann;
+  Ep.ResolveCycle = DoneCycle;
+  Ep.BranchMispredicted = Mispredicted;
+  Ep.LoopBranchAddr = D.Addr;
+  ++Stats.DpredEntries;
+  ++Stats.DpredEntriesLoop;
+  if (!Mispredicted)
+    ++Stats.DpredWastedEntries;
+  (void)FetchedAt;
+}
+
+void DmpCore::checkDpredProgress(uint32_t Addr) {
+  assert(Ep.Active && !Ep.IsLoop && "hammock progress without episode");
+
+  const bool CorrectAtCfm = Ep.MergePendingAfterRet || isCfmAddr(Addr);
+  if (CorrectAtCfm) {
+    // Both paths must arrive at the *same* CFM point to merge (Section
+    // 2.2); a return CFM matches any top-level return on both sides.
+    const bool SameCfm =
+        Ep.MergePendingAfterRet || Ep.WrongCfmAddr == Addr;
+    if (Ep.WrongReachedCfm && SameCfm) {
+      // The slower path finishes fetching alone, then the paths merge.
+      if (Ep.WrongRemaining > 0) {
+        consumeFetchSlots(Ep.WrongRemaining);
+        Ep.WrongRemaining = 0;
+      }
+      mergeDpred();
+    } else {
+      // The wrong path never reaches a CFM: fetch stalls until the diverge
+      // branch resolves, then the wrong path is squashed into NOPs.
+      redirectFetch(std::max(FetchCycle, Ep.ResolveCycle + 1));
+      endDpredAtResolve();
+    }
+    return;
+  }
+
+  // Window full, or the diverge branch resolved before the paths merged.
+  if (Ep.CorrectFetched >= Config.MaxDpredInstrs ||
+      FetchCycle > Ep.ResolveCycle)
+    endDpredAtResolve();
+}
+
+void DmpCore::mergeDpred() {
+  ++Stats.DpredMerged;
+  insertSelectUops(static_cast<unsigned>(Ep.WrittenRegs.size()), FetchCycle);
+  if (Ep.BranchMispredicted)
+    ++Stats.DpredSavedFlushes;
+  Ep.Active = false;
+}
+
+void DmpCore::endDpredAtResolve() {
+  ++Stats.DpredNoMerge;
+  if (Ep.BranchMispredicted)
+    ++Stats.DpredSavedFlushes; // Dual-path execution avoided the flush.
+  Ep.Active = false;
+}
+
+bool DmpCore::handleLoopIteration(const profile::DynInstr &D,
+                                  uint64_t FetchedAt, uint64_t DoneCycle,
+                                  bool PredictedTaken) {
+  assert(Ep.Active && Ep.IsLoop && "loop iteration without loop episode");
+
+  ++Stats.CondBranches;
+  const bool Mispredicted = PredictedTaken != D.Taken;
+  if (Mispredicted)
+    ++Stats.Mispredictions;
+  const bool LowConf = Confidence.isLowConfidence(D.Addr);
+  if (LowConf) {
+    ++Stats.LowConfBranches;
+    if (Mispredicted)
+      ++Stats.LowConfMispredicted;
+  }
+
+  Predictor->update(D.Addr, D.Taken);
+  Confidence.update(D.Addr, !Mispredicted, D.Taken);
+
+  classifyLoopInstance(D, FetchedAt, DoneCycle, PredictedTaken);
+  return true;
+}
+
+void DmpCore::classifyLoopInstance(const profile::DynInstr &D,
+                                   uint64_t FetchedAt, uint64_t DoneCycle,
+                                   bool PredictedTaken) {
+  const core::DivergeAnnotation &Ann = *Ep.Ann;
+  ++Ep.IterCount;
+  // Select-µops after each predicated iteration (Section 5.1).
+  consumeFetchSlots(Ann.LoopSelectUops);
+  Stats.SelectUops += Ann.LoopSelectUops;
+
+  const bool StayActual = (D.Taken == Ann.LoopStayTaken);
+  const bool StayPred = (PredictedTaken == Ann.LoopStayTaken);
+
+  if (StayActual && StayPred) {
+    // Keep iterating under predication; bound the episode by the window.
+    if (Ep.IterCount >= Config.MaxLoopDpredIters) {
+      ++Stats.LoopCorrect;
+      Ep.Active = false;
+    }
+    return;
+  }
+
+  if (StayActual && !StayPred) {
+    // Early exit: the predicated stream left the loop too soon; the loop
+    // must run again, so the pipeline flushes (Section 5.1, case 1).
+    ++Stats.LoopEarlyExit;
+    ++Stats.Flushes;
+    redirectFetch(DoneCycle + 1);
+    Ep.Active = false;
+    return;
+  }
+
+  if (!StayActual && StayPred) {
+    // The program exits here but the predictor keeps iterating: fetch the
+    // extra predicated iterations; they become NOPs (late exit) unless the
+    // predictor never exits (no exit -> flush).
+    const uint32_t StayTarget = Ann.LoopStayTaken
+                                    ? D.I->Target->getStartAddr()
+                                    : D.Addr + 1;
+    const unsigned ItersLeft =
+        Config.MaxLoopDpredIters > Ep.IterCount
+            ? Config.MaxLoopDpredIters - Ep.IterCount
+            : 1;
+    // Extra iterations are fetched only until this (exiting) instance
+    // resolves and the predicate squashes the loop path.
+    const uint64_t CyclesToResolve =
+        DoneCycle > FetchedAt ? DoneCycle - FetchedAt : 1;
+    const unsigned FetchBudget = static_cast<unsigned>(std::min<uint64_t>(
+        Config.MaxDpredInstrs, CyclesToResolve * Config.FetchWidth));
+    const ExtraIterResult Extra = walkExtraIterations(
+        P, *Predictor, StayTarget, D.Addr, Ann.LoopStayTaken, ItersLeft,
+        FetchBudget);
+    if (Extra.PredictedExit) {
+      ++Stats.LoopLateExit;
+      Stats.LoopExtraIterInstrs += Extra.InstrsFetched;
+      Stats.UselessDpredInstrs += Extra.InstrsFetched;
+      consumeFetchSlots(Extra.InstrsFetched);
+      chargeWrongPathIssue(Extra.InstrsFetched, FetchedAt);
+      occupyRobPhantoms(Extra.InstrsFetched, DoneCycle + 1);
+      const unsigned Selects = Ann.LoopSelectUops * Extra.Iterations;
+      consumeFetchSlots(Selects);
+      Stats.SelectUops += Selects;
+      // Predicted stay vs actual exit is by definition a misprediction
+      // whose flush the late exit avoided.
+      ++Stats.DpredSavedFlushes;
+    } else {
+      ++Stats.LoopNoExit;
+      ++Stats.Flushes;
+      redirectFetch(DoneCycle + 1);
+    }
+    Ep.Active = false;
+    return;
+  }
+
+  // Correctly predicted exit: the episode ends with only select-µop cost.
+  ++Stats.LoopCorrect;
+  Ep.Active = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Branch handling
+//===----------------------------------------------------------------------===//
+
+void DmpCore::handleCondBranch(const profile::DynInstr &D, uint64_t FetchedAt,
+                               uint64_t DoneCycle, bool PredictedTaken) {
+  ++Stats.CondBranches;
+  const bool Mispredicted = PredictedTaken != D.Taken;
+  if (Mispredicted)
+    ++Stats.Mispredictions;
+
+  const bool LowConf = Confidence.isLowConfidence(D.Addr);
+  if (LowConf) {
+    ++Stats.LowConfBranches;
+    if (Mispredicted)
+      ++Stats.LowConfMispredicted;
+  }
+
+  const core::DivergeAnnotation *Ann =
+      (DmpEnabled && !Ep.Active) ? Diverge->find(D.Addr) : nullptr;
+
+  if (Ann && (LowConf || Ann->AlwaysPredicate)) {
+    // Enter dpred-mode instead of risking (or suffering) a flush.
+    if (Ann->Kind == core::DivergeKind::Loop) {
+      enterLoopDpred(*Ann, D, FetchedAt, DoneCycle, Mispredicted);
+      // The entry instance may itself exit the loop: classify it so a
+      // mispredicted entry pays the correct early/late/no-exit outcome.
+      classifyLoopInstance(D, FetchedAt, DoneCycle, PredictedTaken);
+    } else {
+      enterHammockDpred(*Ann, D, FetchedAt, DoneCycle, Mispredicted);
+    }
+  } else if (Mispredicted) {
+    ++Stats.Flushes;
+    redirectFetch(DoneCycle + 1);
+    if (Ep.Active) {
+      // A mispredicted branch inside the predicated region aborts the
+      // episode (the fetched stream beyond it is wrong on both paths).
+      ++Stats.DpredAborted;
+      Ep.Active = false;
+    }
+  }
+
+  Predictor->update(D.Addr, D.Taken);
+  Confidence.update(D.Addr, !Mispredicted, D.Taken);
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage) {
+  profile::Emulator Emu(P, MemoryImage);
+  profile::DynInstr D;
+
+  while (Emu.executedCount() < Config.MaxInstrs && Emu.step(D)) {
+    if (Ep.Active && !Ep.IsLoop)
+      checkDpredProgress(D.Addr);
+
+    bool PredictedTaken = false;
+    if (D.I->Op == Opcode::CondBr)
+      PredictedTaken = Predictor->predict(D.Addr);
+
+    const uint64_t FetchedAt = fetchInstr(D, PredictedTaken);
+    const uint64_t Done = scheduleInstr(D, FetchedAt);
+
+    if (Ep.Active) {
+      ++Ep.CorrectFetched;
+      ++Stats.UsefulDpredInstrs;
+      if (!Ep.IsLoop && D.I->writesReg())
+        Ep.WrittenRegs.insert(D.I->Dst);
+    }
+
+    switch (D.I->Op) {
+    case Opcode::CondBr:
+      if (Ep.Active && Ep.IsLoop && D.Addr == Ep.LoopBranchAddr)
+        handleLoopIteration(D, FetchedAt, Done, PredictedTaken);
+      else
+        handleCondBranch(D, FetchedAt, Done, PredictedTaken);
+      break;
+    case Opcode::Call:
+      Ras.push(D.Addr + 1);
+      ++CallDepth;
+      break;
+    case Opcode::Ret: {
+      if (CallDepth > 0) {
+        const size_t DepthBefore = CallDepth;
+        --CallDepth;
+        const uint32_t Predicted = Ras.pop();
+        if (Predicted != D.NextAddr) {
+          ++Stats.RasMispredicts;
+          ++Stats.Flushes;
+          redirectFetch(Done + 1);
+          if (Ep.Active) {
+            ++Stats.DpredAborted;
+            Ep.Active = false;
+          }
+        }
+        if (Ep.Active && !Ep.IsLoop && hasReturnCfm() &&
+            DepthBefore == Ep.EntryCallDepth)
+          Ep.MergePendingAfterRet = true;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+
+    retireInstr(Done);
+    ++InstrIndex;
+    ++Stats.RetiredInstrs;
+  }
+
+  Stats.Cycles = std::max(LastRetireCycle, FetchCycle) + 1;
+  Stats.IL1Misses = Memory.il1().missCount();
+  Stats.DL1Misses = Memory.dl1().missCount();
+  Stats.L2Misses = Memory.l2().missCount();
+  return Stats;
+}

@@ -1,0 +1,176 @@
+//===- sim/DmpCore.h - Cycle-level DMP out-of-order core ------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cycle-level processor model: an 8-wide out-of-order core with the
+/// Table 1 configuration, plus the DMP dynamic-predication machinery
+/// (dpred-mode for hammocks, return CFMs, dual-path fallback, and loop
+/// predication with the early/late/no-exit taxonomy of Section 5.1).
+///
+/// Modeling approach (DESIGN.md Section 5): trace-driven timing with
+/// execution-driven outcomes.  The correct-path instruction stream comes
+/// from the functional emulator; timing is computed with a dataflow
+/// scheduling model (in-order fetch and retire, dataflow-limited issue
+/// bounded by issue width); the wrong path of a dynamically predicated
+/// branch is fetched explicitly by walking the program with the live branch
+/// predictor, because its fetch/execute bandwidth cost is precisely the
+/// dpred overhead the paper's cost model reasons about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_DMPCORE_H
+#define DMP_SIM_DMPCORE_H
+
+#include "core/DivergeInfo.h"
+#include "profile/Emulator.h"
+#include "sim/CycleResource.h"
+#include "sim/SimConfig.h"
+#include "sim/SimStats.h"
+#include "uarch/BTB.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Cache.h"
+#include "uarch/ConfidenceEstimator.h"
+#include "uarch/ReturnAddressStack.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace dmp::sim {
+
+/// One simulated core.  Construct per run.
+class DmpCore {
+public:
+  /// \p Diverge may be nullptr (pure baseline, DMP disabled regardless of
+  /// Config.EnableDmp).
+  DmpCore(const ir::Program &P, const core::DivergeMap *Diverge,
+          const SimConfig &Config);
+
+  /// Runs the program on \p MemoryImage until Halt or Config.MaxInstrs and
+  /// returns the statistics.
+  SimStats run(const std::vector<int64_t> &MemoryImage);
+
+private:
+  // -- Fetch engine -------------------------------------------------------
+  /// Assigns a fetch cycle to the next correct-path instruction at \p Addr.
+  /// Handles fetch width, taken-branch group breaks, the not-taken-branch
+  /// limit, I-cache misses, and BTB bubbles.
+  uint64_t fetchInstr(const profile::DynInstr &D, bool PredictedTaken);
+
+  /// Moves the fetch cursor to \p Cycle (redirect); resets group state.
+  void redirectFetch(uint64_t Cycle);
+
+  /// Consumes \p Count raw fetch slots (wrong-path / select-µop slots).
+  void consumeFetchSlots(unsigned Count);
+
+  // -- Dataflow schedule ---------------------------------------------------
+  /// Schedules execution of \p D fetched at \p FetchCycle; returns the
+  /// completion (resolution) cycle.
+  uint64_t scheduleInstr(const profile::DynInstr &D, uint64_t FetchCycle);
+
+  /// Charges issue bandwidth for \p Ops speculative wrong-path operations
+  /// fetched around \p FetchCycle.
+  void chargeWrongPathIssue(unsigned Ops, uint64_t FetchCycle);
+
+  /// Books \p Count wrong-path (phantom) instructions into the reorder
+  /// buffer: they hold entries until \p RetireCycle (the diverge branch's
+  /// resolution, when they become NOPs and drain).  This is what makes
+  /// dynamic predication of oversized hammocks genuinely expensive — the
+  /// window fills and fetch stalls (paper Section 3.2 / Figure 7).
+  void occupyRobPhantoms(unsigned Count, uint64_t RetireCycle);
+
+  /// In-order retirement accounting; returns the retire cycle.
+  uint64_t retireInstr(uint64_t DoneCycle);
+
+  // -- Branch handling -----------------------------------------------------
+  void handleCondBranch(const profile::DynInstr &D, uint64_t FetchCycle,
+                        uint64_t DoneCycle, bool PredictedTaken);
+
+  // -- dpred-mode ----------------------------------------------------------
+  struct DpredEpisode {
+    bool Active = false;
+    bool IsLoop = false;
+    const core::DivergeAnnotation *Ann = nullptr;
+    uint64_t ResolveCycle = 0;
+    bool BranchMispredicted = false;
+    bool AlwaysPredicated = false;
+    // Hammock state.
+    unsigned WrongRemaining = 0;
+    bool WrongReachedCfm = false;
+    uint32_t WrongCfmAddr = ~0u;
+    unsigned CorrectFetched = 0;
+    std::unordered_set<uint8_t> WrittenRegs;
+    bool MergePendingAfterRet = false;
+    size_t EntryCallDepth = 0;
+    // Loop state.
+    uint32_t LoopBranchAddr = 0;
+    unsigned IterCount = 0;
+  };
+
+  void enterHammockDpred(const core::DivergeAnnotation &Ann,
+                         const profile::DynInstr &D, uint64_t FetchCycle,
+                         uint64_t DoneCycle, bool Mispredicted);
+  void enterLoopDpred(const core::DivergeAnnotation &Ann,
+                      const profile::DynInstr &D, uint64_t FetchCycle,
+                      uint64_t DoneCycle, bool Mispredicted);
+  /// Handles a re-fetch of the loop diverge branch during loop dpred-mode.
+  /// Returns true when the generic branch handling must be skipped.
+  bool handleLoopIteration(const profile::DynInstr &D, uint64_t FetchCycle,
+                           uint64_t DoneCycle, bool PredictedTaken);
+  /// Classifies one predicated loop-branch instance (Section 5.1 taxonomy:
+  /// continue / correct / early-exit / late-exit / no-exit) and ends the
+  /// episode when terminal.  Called for the entry instance and for every
+  /// subsequent instance.
+  void classifyLoopInstance(const profile::DynInstr &D, uint64_t FetchCycle,
+                            uint64_t DoneCycle, bool PredictedTaken);
+  /// Checks hammock-mode merge/termination before fetching the instruction
+  /// at \p Addr.
+  void checkDpredProgress(uint32_t Addr);
+  void mergeDpred();
+  void endDpredAtResolve();
+  void insertSelectUops(unsigned Count, uint64_t AtCycle);
+
+  bool isCfmAddr(uint32_t Addr) const;
+  bool hasReturnCfm() const;
+
+  // -- Members -------------------------------------------------------------
+  const ir::Program &P;
+  const core::DivergeMap *Diverge;
+  SimConfig Config;
+  bool DmpEnabled;
+
+  std::unique_ptr<uarch::BranchPredictor> Predictor;
+  uarch::ConfidenceEstimator Confidence;
+  uarch::BTB Btb;
+  uarch::ReturnAddressStack Ras;
+  uarch::MemoryHierarchy Memory;
+
+  CycleResource IssuePorts;
+  CycleResource RetirePorts;
+
+  SimStats Stats;
+  DpredEpisode Ep;
+
+  // Fetch cursor state.
+  uint64_t FetchCycle = 0;
+  unsigned SlotsUsed = 0;
+  unsigned NtBranchesThisCycle = 0;
+  uint64_t CurrentFetchLine = ~0ull;
+
+  // Dataflow state.
+  uint64_t RegReady[ir::NumRegs] = {};
+  uint64_t LastRetireCycle = 0;
+  std::vector<uint64_t> RobRetireRing;
+  uint64_t InstrIndex = 0;
+  /// Cumulative count of phantom (wrong-path) ROB entries; the ROB ring is
+  /// indexed by InstrIndex + PhantomInstrs so phantoms displace real slots.
+  uint64_t PhantomInstrs = 0;
+  size_t CallDepth = 0;
+};
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_DMPCORE_H

@@ -1,0 +1,46 @@
+//===- sim/SimStats.cpp - Simulation statistics --------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimStats.h"
+
+#include "support/StringUtils.h"
+
+using namespace dmp;
+using namespace dmp::sim;
+
+std::string SimStats::toString() const {
+  std::string Out;
+  auto line = [&Out](const char *Name, uint64_t Value) {
+    Out += formatString("%-28s %12llu\n", Name,
+                        static_cast<unsigned long long>(Value));
+  };
+  line("retired instrs", RetiredInstrs);
+  line("cycles", Cycles);
+  Out += formatString("%-28s %12.3f\n", "IPC", ipc());
+  Out += formatString("%-28s %12.2f\n", "MPKI", mpki());
+  Out += formatString("%-28s %12.2f\n", "flushes/kinstr",
+                      flushesPerKiloInstr());
+  line("cond branches", CondBranches);
+  line("mispredictions", Mispredictions);
+  line("flushes", Flushes);
+  line("dpred entries", DpredEntries);
+  line("dpred entries (loop)", DpredEntriesLoop);
+  line("dpred entries (always)", DpredEntriesAlways);
+  line("dpred merged", DpredMerged);
+  line("dpred no-merge", DpredNoMerge);
+  line("dpred saved flushes", DpredSavedFlushes);
+  line("dpred wasted entries", DpredWastedEntries);
+  line("dpred aborted", DpredAborted);
+  line("useful dpred instrs", UsefulDpredInstrs);
+  line("useless dpred instrs", UselessDpredInstrs);
+  line("select uops", SelectUops);
+  line("loop correct", LoopCorrect);
+  line("loop early-exit", LoopEarlyExit);
+  line("loop late-exit", LoopLateExit);
+  line("loop no-exit", LoopNoExit);
+  Out += formatString("%-28s %12.3f\n", "Acc_Conf (PVN)", accConf());
+  return Out;
+}

@@ -1,0 +1,107 @@
+//===- sim/SimStats.h - Simulation statistics ------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Everything one simulation run measures.  The benches derive the paper's
+/// metrics from these: IPC (Table 2, Figures 5/7/8/9), pipeline flushes per
+/// kilo-instruction (Figure 6), MPKI (Table 2), dpred-mode behavior, and
+/// confidence-estimator accuracy (Acc_Conf).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_SIMSTATS_H
+#define DMP_SIM_SIMSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmp::sim {
+
+/// Counters of one simulation run.
+struct SimStats {
+  // Progress.
+  uint64_t RetiredInstrs = 0; ///< Program (correct-path) instructions.
+  uint64_t Cycles = 0;
+
+  // Branches.
+  uint64_t CondBranches = 0;
+  uint64_t Mispredictions = 0; ///< Direction mispredictions (all).
+  uint64_t Flushes = 0;        ///< Pipeline flushes actually taken.
+  uint64_t BtbMissBubbles = 0;
+  uint64_t RasMispredicts = 0;
+
+  // Confidence estimator.
+  uint64_t LowConfBranches = 0;
+  uint64_t LowConfMispredicted = 0;
+
+  // dpred-mode.
+  uint64_t DpredEntries = 0;
+  uint64_t DpredEntriesLoop = 0;
+  uint64_t DpredEntriesAlways = 0; ///< Short hammocks (confidence bypassed).
+  uint64_t DpredMerged = 0;        ///< Both paths reached a CFM point.
+  uint64_t DpredNoMerge = 0;       ///< Episode ended at branch resolution.
+  uint64_t DpredSavedFlushes = 0;  ///< Mispredicted diverge branches whose
+                                   ///< flush dynamic predication avoided.
+  uint64_t DpredWastedEntries = 0; ///< Entered for correctly predicted br.
+  uint64_t DpredAborted = 0;       ///< Inner misprediction aborted episode.
+  uint64_t UsefulDpredInstrs = 0;  ///< Correct-path instrs fetched in dpred.
+  uint64_t UselessDpredInstrs = 0; ///< Wrong-path instrs fetched in dpred.
+  uint64_t SelectUops = 0;
+
+  // Loop dpred outcomes (Section 5.1 taxonomy).
+  uint64_t LoopCorrect = 0;
+  uint64_t LoopEarlyExit = 0;
+  uint64_t LoopLateExit = 0;
+  uint64_t LoopNoExit = 0;
+  uint64_t LoopExtraIterInstrs = 0;
+
+  // Memory.
+  uint64_t IL1Misses = 0;
+  uint64_t DL1Misses = 0;
+  uint64_t L2Misses = 0;
+
+  double ipc() const {
+    return Cycles == 0 ? 0.0
+                       : static_cast<double>(RetiredInstrs) /
+                             static_cast<double>(Cycles);
+  }
+
+  /// Branch mispredictions per kilo-instruction (Table 2's MPKI).
+  double mpki() const {
+    return RetiredInstrs == 0 ? 0.0
+                              : 1000.0 * static_cast<double>(Mispredictions) /
+                                    static_cast<double>(RetiredInstrs);
+  }
+
+  /// Pipeline flushes per kilo-instruction (Figure 6's metric).
+  double flushesPerKiloInstr() const {
+    return RetiredInstrs == 0 ? 0.0
+                              : 1000.0 * static_cast<double>(Flushes) /
+                                    static_cast<double>(RetiredInstrs);
+  }
+
+  /// Measured Acc_Conf (PVN) of the confidence estimator.
+  double accConf() const {
+    return LowConfBranches == 0
+               ? 0.0
+               : static_cast<double>(LowConfMispredicted) /
+                     static_cast<double>(LowConfBranches);
+  }
+
+  /// Average select-µops per dpred entry (paper Section 4.4 reports the
+  /// overhead as < 0.5 fetch cycles per entry).
+  double selectUopsPerEntry() const {
+    return DpredEntries == 0 ? 0.0
+                             : static_cast<double>(SelectUops) /
+                                   static_cast<double>(DpredEntries);
+  }
+
+  std::string toString() const;
+};
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_SIMSTATS_H

@@ -1,0 +1,30 @@
+//===- sim/Simulator.cpp - Simulation entry points -----------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "sim/DmpCore.h"
+
+using namespace dmp;
+using namespace dmp::sim;
+
+SimStats sim::simulateBaseline(const ir::Program &P,
+                               const std::vector<int64_t> &MemoryImage,
+                               const SimConfig &Config) {
+  SimConfig BaselineConfig = Config;
+  BaselineConfig.EnableDmp = false;
+  DmpCore Core(P, nullptr, BaselineConfig);
+  return Core.run(MemoryImage);
+}
+
+SimStats sim::simulateDmp(const ir::Program &P, const core::DivergeMap &Diverge,
+                          const std::vector<int64_t> &MemoryImage,
+                          const SimConfig &Config) {
+  SimConfig DmpConfig = Config;
+  DmpConfig.EnableDmp = true;
+  DmpCore Core(P, &Diverge, DmpConfig);
+  return Core.run(MemoryImage);
+}

@@ -1,0 +1,37 @@
+//===- sim/Simulator.h - Simulation entry points ---------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry points for running the baseline and DMP machines on a
+/// program + input image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_SIMULATOR_H
+#define DMP_SIM_SIMULATOR_H
+
+#include "core/DivergeInfo.h"
+#include "ir/Program.h"
+#include "sim/SimConfig.h"
+#include "sim/SimStats.h"
+
+#include <vector>
+
+namespace dmp::sim {
+
+/// Runs the baseline (no dynamic predication) machine.
+SimStats simulateBaseline(const ir::Program &P,
+                          const std::vector<int64_t> &MemoryImage,
+                          const SimConfig &Config = SimConfig());
+
+/// Runs the DMP machine with the given diverge-branch annotations.
+SimStats simulateDmp(const ir::Program &P, const core::DivergeMap &Diverge,
+                     const std::vector<int64_t> &MemoryImage,
+                     const SimConfig &Config = SimConfig());
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_SIMULATOR_H

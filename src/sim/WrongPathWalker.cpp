@@ -1,0 +1,148 @@
+//===- sim/WrongPathWalker.cpp - Speculative wrong-path fetch -----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/WrongPathWalker.h"
+
+using namespace dmp;
+using namespace dmp::sim;
+using namespace dmp::ir;
+
+/// Whether \p Addr matches one of the annotation's address CFM points.
+static bool isCfmAddr(const core::DivergeAnnotation &Annotation,
+                      uint32_t Addr) {
+  for (const core::CfmPoint &Cfm : Annotation.Cfms)
+    if (Cfm.PointKind == core::CfmPoint::Kind::Address && Cfm.Addr == Addr)
+      return true;
+  return false;
+}
+
+static bool hasReturnCfm(const core::DivergeAnnotation &Annotation) {
+  for (const core::CfmPoint &Cfm : Annotation.Cfms)
+    if (Cfm.PointKind == core::CfmPoint::Kind::Return)
+      return true;
+  return false;
+}
+
+WrongPathResult sim::walkWrongPath(const Program &P,
+                                   const uarch::BranchPredictor &Predictor,
+                                   const core::DivergeAnnotation &Annotation,
+                                   uint32_t StartAddr, unsigned MaxInstrs) {
+  WrongPathResult Result;
+  const bool StopAtReturn = hasReturnCfm(Annotation);
+  std::vector<uint32_t> ShadowStack;
+  uint32_t Addr = StartAddr;
+  uint64_t SpecHist = Predictor.history();
+
+  while (Result.InstrsFetched < MaxInstrs) {
+    if (Addr >= P.instrCount())
+      break;
+    if (isCfmAddr(Annotation, Addr)) {
+      Result.ReachedCfm = true;
+      Result.ReachedCfmAddr = Addr;
+      break;
+    }
+
+    const Instruction &I = P.instrAt(Addr);
+    ++Result.InstrsFetched;
+    ++Result.IssueOps;
+    if (I.writesReg())
+      Result.WrittenRegs.insert(I.Dst);
+
+    switch (I.Op) {
+    case Opcode::CondBr: {
+      const bool Pred = Predictor.predictWithHistory(Addr, SpecHist);
+      SpecHist = (SpecHist << 1) | (Pred ? 1 : 0);
+      Addr = Pred ? I.Target->getStartAddr() : Addr + 1;
+      break;
+    }
+    case Opcode::Jmp:
+      Addr = I.Target->getStartAddr();
+      break;
+    case Opcode::Call:
+      ShadowStack.push_back(Addr + 1);
+      Addr = I.Callee->getEntryAddr();
+      break;
+    case Opcode::Ret:
+      if (ShadowStack.empty()) {
+        // Returning from the diverge branch's own function.
+        if (StopAtReturn)
+          Result.ReachedCfm = true;
+        return Result;
+      }
+      Addr = ShadowStack.back();
+      ShadowStack.pop_back();
+      break;
+    case Opcode::Halt:
+      return Result;
+    default:
+      ++Addr;
+      break;
+    }
+  }
+  return Result;
+}
+
+ExtraIterResult sim::walkExtraIterations(const Program &P,
+                                         const uarch::BranchPredictor &Predictor,
+                                         uint32_t StayTargetAddr,
+                                         uint32_t LoopBranchAddr,
+                                         bool StayTaken, unsigned MaxIters,
+                                         unsigned MaxInstrs) {
+  ExtraIterResult Result;
+  std::vector<uint32_t> ShadowStack;
+  uint32_t Addr = StayTargetAddr;
+  uint64_t SpecHist = Predictor.history();
+
+  while (Result.InstrsFetched < MaxInstrs && Result.Iterations < MaxIters) {
+    if (Addr >= P.instrCount())
+      break;
+    const Instruction &I = P.instrAt(Addr);
+    ++Result.InstrsFetched;
+    if (I.writesReg())
+      Result.WrittenRegs.insert(I.Dst);
+
+    if (Addr == LoopBranchAddr) {
+      ++Result.Iterations;
+      const bool PredTaken = Predictor.predictWithHistory(Addr, SpecHist);
+      SpecHist = (SpecHist << 1) | (PredTaken ? 1 : 0);
+      const bool Stays = (PredTaken == StayTaken);
+      if (!Stays) {
+        Result.PredictedExit = true;
+        return Result;
+      }
+      Addr = PredTaken ? I.Target->getStartAddr() : Addr + 1;
+      continue;
+    }
+
+    switch (I.Op) {
+    case Opcode::CondBr: {
+      const bool Pred = Predictor.predictWithHistory(Addr, SpecHist);
+      SpecHist = (SpecHist << 1) | (Pred ? 1 : 0);
+      Addr = Pred ? I.Target->getStartAddr() : Addr + 1;
+      break;
+    }
+    case Opcode::Jmp:
+      Addr = I.Target->getStartAddr();
+      break;
+    case Opcode::Call:
+      ShadowStack.push_back(Addr + 1);
+      Addr = I.Callee->getEntryAddr();
+      break;
+    case Opcode::Ret:
+      if (ShadowStack.empty())
+        return Result;
+      Addr = ShadowStack.back();
+      ShadowStack.pop_back();
+      break;
+    case Opcode::Halt:
+      return Result;
+    default:
+      ++Addr;
+      break;
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,77 @@
+//===- sim/WrongPathWalker.h - Speculative wrong-path fetch ---------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the instruction stream the front end fetches down the *other*
+/// side of a dynamically predicated branch: a static walk of the program
+/// following the live branch predictor's outputs, exactly what the DMP
+/// hardware does on each path during dpred-mode ("On each path, the
+/// processor follows the branch predictor outcomes until it reaches a CFM
+/// point", Section 2.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_WRONGPATHWALKER_H
+#define DMP_SIM_WRONGPATHWALKER_H
+
+#include "core/DivergeInfo.h"
+#include "ir/Program.h"
+#include "uarch/BranchPredictor.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace dmp::sim {
+
+/// Result of walking one speculative path.
+struct WrongPathResult {
+  /// Instructions fetched before reaching a CFM point (or the budget).
+  unsigned InstrsFetched = 0;
+  /// True when the walk reached one of the CFM points.
+  bool ReachedCfm = false;
+  /// The address CFM it stopped at (~0u for a return CFM or none): dpred
+  /// mode only merges when both paths arrive at the *same* CFM point.
+  uint32_t ReachedCfmAddr = ~0u;
+  /// Destination registers written along the walked path (for select-µop
+  /// counting at the merge point).
+  std::unordered_set<uint8_t> WrittenRegs;
+  /// Instruction latencies encountered (excluding loads, charged as DL1
+  /// hits) — used to charge issue bandwidth for wrong-path execution.
+  unsigned IssueOps = 0;
+};
+
+/// Walks speculatively from \p StartAddr following \p Predictor until one of
+/// \p Annotation's CFM points, a top-level return (for return CFMs), the end
+/// of the program, or \p MaxInstrs.
+///
+/// The walk maintains a shadow call stack so Call/Ret sequences inside the
+/// predicated region are followed like the hardware's RAS would.
+WrongPathResult walkWrongPath(const ir::Program &P,
+                              const uarch::BranchPredictor &Predictor,
+                              const core::DivergeAnnotation &Annotation,
+                              uint32_t StartAddr, unsigned MaxInstrs);
+
+/// Walks speculative extra loop iterations for late-exit modeling: starting
+/// at \p StayTargetAddr, follows the predictor until it predicts the loop
+/// branch at \p LoopBranchAddr exits (direction != stay) or \p MaxIters
+/// iterations pass.  Returns fetched instruction count and iterations.
+struct ExtraIterResult {
+  unsigned InstrsFetched = 0;
+  unsigned Iterations = 0;
+  bool PredictedExit = false;
+  std::unordered_set<uint8_t> WrittenRegs;
+};
+
+ExtraIterResult walkExtraIterations(const ir::Program &P,
+                                    const uarch::BranchPredictor &Predictor,
+                                    uint32_t StayTargetAddr,
+                                    uint32_t LoopBranchAddr, bool StayTaken,
+                                    unsigned MaxIters, unsigned MaxInstrs);
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_WRONGPATHWALKER_H

@@ -1,0 +1,39 @@
+//===- support/Compiler.h - Portability and diagnostics macros -*- C++ -*-===//
+//
+// Part of the dmp-dpred project: a reproduction of "Profile-assisted
+// Compiler Support for Dynamic Predication in Diverge-Merge Processors"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small set of compiler portability macros used across the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_COMPILER_H
+#define DMP_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be reached.  In debug builds it
+/// aborts with a message; in release builds it is an optimizer hint.
+#define DMP_UNREACHABLE(Msg)                                                   \
+  do {                                                                         \
+    assert(false && Msg);                                                      \
+    std::fprintf(stderr, "UNREACHABLE executed: %s (%s:%d)\n", Msg, __FILE__,  \
+                 __LINE__);                                                    \
+    std::abort();                                                              \
+  } while (false)
+
+#if defined(__GNUC__)
+#define DMP_LIKELY(Expr) __builtin_expect(!!(Expr), 1)
+#define DMP_UNLIKELY(Expr) __builtin_expect(!!(Expr), 0)
+#else
+#define DMP_LIKELY(Expr) (Expr)
+#define DMP_UNLIKELY(Expr) (Expr)
+#endif
+
+#endif // DMP_SUPPORT_COMPILER_H

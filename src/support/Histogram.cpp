@@ -1,0 +1,69 @@
+//===- support/Histogram.cpp - Integer histograms --------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dmp;
+
+void Histogram::addSample(uint64_t Value, uint64_t Count) {
+  Buckets[Value] += Count;
+  Samples += Count;
+  Total += Value * Count;
+}
+
+double Histogram::average() const {
+  if (Samples == 0)
+    return 0.0;
+  return static_cast<double>(Total) / static_cast<double>(Samples);
+}
+
+uint64_t Histogram::minValue() const {
+  return Buckets.empty() ? 0 : Buckets.begin()->first;
+}
+
+uint64_t Histogram::maxValue() const {
+  return Buckets.empty() ? 0 : Buckets.rbegin()->first;
+}
+
+uint64_t Histogram::percentile(double Fraction) const {
+  assert(Fraction >= 0.0 && Fraction <= 1.0 && "fraction out of range");
+  if (Samples == 0)
+    return 0;
+  const uint64_t Target =
+      static_cast<uint64_t>(Fraction * static_cast<double>(Samples));
+  uint64_t Seen = 0;
+  for (const auto &Bucket : Buckets) {
+    Seen += Bucket.second;
+    if (Seen >= Target)
+      return Bucket.first;
+  }
+  return Buckets.rbegin()->first;
+}
+
+double Histogram::fractionAbove(uint64_t Threshold) const {
+  if (Samples == 0)
+    return 0.0;
+  uint64_t Above = 0;
+  for (const auto &Bucket : Buckets)
+    if (Bucket.first > Threshold)
+      Above += Bucket.second;
+  return static_cast<double>(Above) / static_cast<double>(Samples);
+}
+
+std::string Histogram::toString() const {
+  std::string Result;
+  char Line[96];
+  for (const auto &Bucket : Buckets) {
+    std::snprintf(Line, sizeof(Line), "%8llu : %llu\n",
+                  static_cast<unsigned long long>(Bucket.first),
+                  static_cast<unsigned long long>(Bucket.second));
+    Result += Line;
+  }
+  return Result;
+}

@@ -1,0 +1,52 @@
+//===- support/Histogram.h - Integer histograms ------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple integer-valued histogram used by the loop profiler (iteration
+/// counts) and the simulator (dpred-mode lengths).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_HISTOGRAM_H
+#define DMP_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dmp {
+
+/// Sparse histogram over non-negative integer samples.
+class Histogram {
+public:
+  void addSample(uint64_t Value, uint64_t Count = 1);
+
+  uint64_t sampleCount() const { return Samples; }
+  uint64_t totalValue() const { return Total; }
+  double average() const;
+  uint64_t minValue() const;
+  uint64_t maxValue() const;
+
+  /// Value at or below which \p Fraction of the samples fall.
+  /// \p Fraction must be in [0, 1].
+  uint64_t percentile(double Fraction) const;
+
+  /// Fraction of samples strictly greater than \p Threshold.
+  double fractionAbove(uint64_t Threshold) const;
+
+  const std::map<uint64_t, uint64_t> &buckets() const { return Buckets; }
+
+  std::string toString() const;
+
+private:
+  std::map<uint64_t, uint64_t> Buckets;
+  uint64_t Samples = 0;
+  uint64_t Total = 0;
+};
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_HISTOGRAM_H

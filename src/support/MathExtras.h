@@ -1,0 +1,73 @@
+//===- support/MathExtras.h - Small math helpers ----------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit and statistics helpers shared by the microarchitecture models and the
+/// experiment harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_MATHEXTRAS_H
+#define DMP_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dmp {
+
+/// Returns true if \p X is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+/// Returns floor(log2(X)).  \p X must be nonzero.
+constexpr unsigned log2Floor(uint64_t X) {
+  assert(X != 0 && "log2Floor of zero");
+  unsigned Result = 0;
+  while (X >>= 1)
+    ++Result;
+  return Result;
+}
+
+/// Returns ceil(log2(X)).  \p X must be nonzero.
+constexpr unsigned log2Ceil(uint64_t X) {
+  assert(X != 0 && "log2Ceil of zero");
+  return X == 1 ? 0 : log2Floor(X - 1) + 1;
+}
+
+/// Divides, treating a zero denominator as a zero result.  Handy for rate
+/// statistics over possibly-empty populations.
+inline double safeDiv(double Num, double Den) {
+  return Den == 0.0 ? 0.0 : Num / Den;
+}
+
+/// Geometric mean of a vector of positive ratios.  The paper reports average
+/// speedups over SPEC benchmarks; we follow the architecture-community
+/// convention of using the geometric mean for speedup ratios.
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Arithmetic mean; zero for an empty vector.
+inline double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_MATHEXTRAS_H

@@ -1,0 +1,104 @@
+//===- support/RNG.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable pseudo-random number generation used by the
+/// synthetic workload generators and the Random-50 branch selector.
+///
+/// Everything in the project that needs randomness goes through this class so
+/// that workloads, profiles, and experiments are bit-reproducible across
+/// runs and platforms.  The generator is xoshiro256** seeded via SplitMix64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_RNG_H
+#define DMP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dmp {
+
+/// Deterministic xoshiro256** PRNG with convenience distributions.
+class RNG {
+public:
+  /// Creates a generator whose entire stream is a pure function of \p Seed.
+  explicit RNG(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using SplitMix64 expansion.
+  void reseed(uint64_t Seed) {
+    uint64_t X = Seed;
+    for (uint64_t &Word : State)
+      Word = splitMix64(X);
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).  \p Bound must be
+  /// nonzero.  Uses Lemire's multiply-shift rejection-free approximation,
+  /// which is unbiased enough for workload synthesis.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow bound must be nonzero");
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniformly distributed integer in the inclusive range
+  /// [\p Lo, \p Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// workload component its own stream.
+  RNG fork() { return RNG(next()); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  static uint64_t splitMix64(uint64_t &X) {
+    X += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_RNG_H

@@ -1,0 +1,42 @@
+//===- support/Statistic.cpp - Named counter registry ---------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <cstdio>
+
+using namespace dmp;
+
+uint64_t &StatisticSet::counter(const std::string &Name) {
+  for (auto &Entry : Entries)
+    if (Entry.first == Name)
+      return Entry.second;
+  Entries.emplace_back(Name, 0);
+  return Entries.back().second;
+}
+
+uint64_t StatisticSet::get(const std::string &Name) const {
+  for (const auto &Entry : Entries)
+    if (Entry.first == Name)
+      return Entry.second;
+  return 0;
+}
+
+void StatisticSet::clear() {
+  for (auto &Entry : Entries)
+    Entry.second = 0;
+}
+
+std::string StatisticSet::toString() const {
+  std::string Result;
+  char Line[160];
+  for (const auto &Entry : Entries) {
+    std::snprintf(Line, sizeof(Line), "%-40s = %llu\n", Entry.first.c_str(),
+                  static_cast<unsigned long long>(Entry.second));
+    Result += Line;
+  }
+  return Result;
+}

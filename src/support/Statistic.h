@@ -1,0 +1,62 @@
+//===- support/Statistic.h - Named counter registry -------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight named-counter facility, in the spirit of LLVM's Statistic
+/// class but instance-based (no static constructors): a StatisticSet owns a
+/// group of named uint64 counters that simulator components update and
+/// reports can iterate deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_STATISTIC_H
+#define DMP_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmp {
+
+/// A deterministic, ordered collection of named counters.
+///
+/// Counters are created on first use and iterate in creation order, so
+/// reports are stable across runs.
+class StatisticSet {
+public:
+  /// Returns a reference to the counter named \p Name, creating it (at zero)
+  /// if needed.  The reference stays valid for the lifetime of the set.
+  uint64_t &counter(const std::string &Name);
+
+  /// Returns the value of \p Name, or zero when it was never created.
+  uint64_t get(const std::string &Name) const;
+
+  /// Adds \p Delta to the counter \p Name.
+  void add(const std::string &Name, uint64_t Delta) {
+    counter(Name) += Delta;
+  }
+
+  /// Resets every counter to zero (the names stay registered).
+  void clear();
+
+  /// All counters in creation order.
+  const std::vector<std::pair<std::string, uint64_t>> &entries() const {
+    return Entries;
+  }
+
+  /// Renders "name = value" lines into a string, for debugging dumps.
+  std::string toString() const;
+
+private:
+  // Deque-like stability is unnecessary because we hand out references into
+  // a deque of values, not into the vector of names.
+  std::vector<std::pair<std::string, uint64_t>> Entries;
+};
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_STATISTIC_H

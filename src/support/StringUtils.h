@@ -1,0 +1,36 @@
+//===- support/StringUtils.h - Formatting helpers ---------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and small string helpers, so library
+/// code never needs <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_STRINGUTILS_H
+#define DMP_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace dmp {
+
+/// printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a ratio as a signed percentage with one decimal, e.g. "+20.4%".
+std::string formatPercent(double Fraction);
+
+/// Formats a double with \p Decimals digits after the point.
+std::string formatDouble(double Value, int Decimals = 2);
+
+/// Splits \p Text on \p Separator (no empty-token suppression).
+std::vector<std::string> splitString(const std::string &Text, char Separator);
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_STRINGUTILS_H

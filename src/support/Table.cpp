@@ -1,0 +1,101 @@
+//===- support/Table.cpp - ASCII table rendering ---------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+using namespace dmp;
+
+Table::Table(std::vector<std::string> HeaderCells)
+    : Header(std::move(HeaderCells)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addSeparator() { Rows.push_back({"\x01"}); }
+
+bool Table::looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != '.' && C != '-' &&
+        C != '+' && C != '%' && C != 'x' && C != 'e')
+      return false;
+  return true;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows) {
+    if (Row.size() == 1 && Row[0] == "\x01")
+      continue;
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+
+  auto renderCell = [&](const std::string &Cell, size_t Width) {
+    std::string Out;
+    const size_t Pad = Width > Cell.size() ? Width - Cell.size() : 0;
+    if (looksNumeric(Cell)) {
+      Out.append(Pad, ' ');
+      Out += Cell;
+    } else {
+      Out += Cell;
+      Out.append(Pad, ' ');
+    }
+    return Out;
+  };
+
+  auto renderSeparator = [&]() {
+    std::string Line;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      if (I != 0)
+        Line += "-+-";
+      Line.append(Widths[I], '-');
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  for (size_t I = 0; I < Header.size(); ++I) {
+    if (I != 0)
+      Out += " | ";
+    Out += renderCell(Header[I], Widths[I]);
+  }
+  Out += '\n';
+  Out += renderSeparator();
+  for (const auto &Row : Rows) {
+    if (Row.size() == 1 && Row[0] == "\x01") {
+      Out += renderSeparator();
+      continue;
+    }
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out += " | ";
+      Out += renderCell(Row[I], Widths[I]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+void Table::print(std::FILE *Stream) const {
+  if (!Stream)
+    Stream = stdout;
+  const std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), Stream);
+}

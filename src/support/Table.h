@@ -1,0 +1,51 @@
+//===- support/Table.h - ASCII table rendering -------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII table rendering used by the benchmark harness to
+/// print paper-style tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_TABLE_H
+#define DMP_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dmp {
+
+/// Builds and renders a rectangular table of strings with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  size_t rowCount() const { return Rows.size(); }
+
+  /// Renders with single-space-padded, right-aligned numeric-looking cells
+  /// and left-aligned text cells.
+  std::string render() const;
+
+  /// Writes render() to \p Stream (stdout by default).
+  void print(std::FILE *Stream = nullptr) const;
+
+private:
+  static bool looksNumeric(const std::string &Cell);
+
+  std::vector<std::string> Header;
+  // A row with the sentinel single cell "\x01" renders as a separator.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_TABLE_H

@@ -1,0 +1,41 @@
+//===- uarch/BTB.cpp - Branch target buffer ------------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/BTB.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace dmp;
+using namespace dmp::uarch;
+
+BTB::BTB(unsigned NumEntries) : NumEntries(NumEntries), Entries(NumEntries) {
+  assert(isPowerOf2(NumEntries) && "BTB size must be a power of two");
+}
+
+bool BTB::lookup(uint32_t Addr, uint32_t &Target) const {
+  const Entry &E = Entries[Addr & (NumEntries - 1)];
+  if (E.Tag == Addr) {
+    ++Hits;
+    Target = E.Target;
+    return true;
+  }
+  ++Misses;
+  return false;
+}
+
+void BTB::update(uint32_t Addr, uint32_t Target) {
+  Entry &E = Entries[Addr & (NumEntries - 1)];
+  E.Tag = Addr;
+  E.Target = Target;
+}
+
+void BTB::reset() {
+  for (auto &E : Entries)
+    E = Entry();
+  Hits = Misses = 0;
+}

@@ -1,0 +1,51 @@
+//===- uarch/BTB.h - Branch target buffer --------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct-mapped branch target buffer (Table 1: 4K entries).  A taken
+/// control transfer whose target misses in the BTB costs one fetch bubble
+/// while the target is computed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_UARCH_BTB_H
+#define DMP_UARCH_BTB_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp::uarch {
+
+/// Direct-mapped BTB.
+class BTB {
+public:
+  explicit BTB(unsigned NumEntries = 4096);
+
+  /// Looks up \p Addr; returns true with \p Target filled on hit.
+  bool lookup(uint32_t Addr, uint32_t &Target) const;
+
+  /// Installs/updates the mapping Addr -> Target.
+  void update(uint32_t Addr, uint32_t Target);
+
+  void reset();
+
+  uint64_t hitCount() const { return Hits; }
+  uint64_t missCount() const { return Misses; }
+
+private:
+  struct Entry {
+    uint32_t Tag = ~0u;
+    uint32_t Target = 0;
+  };
+  unsigned NumEntries;
+  std::vector<Entry> Entries;
+  mutable uint64_t Hits = 0;
+  mutable uint64_t Misses = 0;
+};
+
+} // namespace dmp::uarch
+
+#endif // DMP_UARCH_BTB_H

@@ -1,0 +1,90 @@
+//===- uarch/Cache.cpp - Set-associative caches --------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/Cache.h"
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace dmp;
+using namespace dmp::uarch;
+
+Cache::Cache(uint64_t SizeBytes, unsigned Assoc, unsigned LineBytes,
+             unsigned HitLatency)
+    : Assoc(Assoc), LineShift(log2Floor(LineBytes)), HitLatency(HitLatency) {
+  assert(isPowerOf2(LineBytes) && "line size must be a power of two");
+  assert(SizeBytes % (static_cast<uint64_t>(Assoc) * LineBytes) == 0 &&
+         "size must be divisible by assoc * line");
+  NumSets = static_cast<unsigned>(SizeBytes / (Assoc * LineBytes));
+  assert(isPowerOf2(NumSets) && "set count must be a power of two");
+  Lines.resize(static_cast<size_t>(NumSets) * Assoc);
+}
+
+bool Cache::access(uint64_t ByteAddr) {
+  ++Accesses;
+  ++UseClock;
+  const uint64_t LineAddr = ByteAddr >> LineShift;
+  const unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
+  const uint64_t Tag = LineAddr >> log2Floor(NumSets);
+  Line *Victim = nullptr;
+  for (unsigned Way = 0; Way < Assoc; ++Way) {
+    Line &L = Lines[static_cast<size_t>(Set) * Assoc + Way];
+    if (L.Valid && L.Tag == Tag) {
+      L.LastUse = UseClock;
+      return true;
+    }
+    if (!Victim || !L.Valid ||
+        (Victim->Valid && L.LastUse < Victim->LastUse))
+      Victim = &L;
+  }
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = UseClock;
+  return false;
+}
+
+void Cache::reset() {
+  for (auto &L : Lines)
+    L = Line();
+  Accesses = Misses = UseClock = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &Config)
+    : Config(Config),
+      IL1(Config.IL1Size, Config.IL1Assoc, Config.LineBytes,
+          Config.IL1Latency),
+      DL1(Config.DL1Size, Config.DL1Assoc, Config.LineBytes,
+          Config.DL1Latency),
+      L2(Config.L2Size, Config.L2Assoc, Config.LineBytes, Config.L2Latency) {}
+
+unsigned MemoryHierarchy::fetchLatency(uint64_t ByteAddr) {
+  if (IL1.access(ByteAddr))
+    return Config.IL1Latency;
+  if (L2.access(ByteAddr))
+    return Config.IL1Latency + Config.L2Latency;
+  return Config.IL1Latency + Config.L2Latency + Config.MemoryLatency;
+}
+
+unsigned MemoryHierarchy::loadLatency(uint64_t ByteAddr) {
+  if (DL1.access(ByteAddr))
+    return Config.DL1Latency;
+  if (L2.access(ByteAddr))
+    return Config.DL1Latency + Config.L2Latency;
+  return Config.DL1Latency + Config.L2Latency + Config.MemoryLatency;
+}
+
+void MemoryHierarchy::storeAccess(uint64_t ByteAddr) {
+  if (!DL1.access(ByteAddr))
+    L2.access(ByteAddr);
+}
+
+void MemoryHierarchy::reset() {
+  IL1.reset();
+  DL1.reset();
+  L2.reset();
+}

@@ -1,0 +1,106 @@
+//===- uarch/Cache.h - Set-associative caches ----------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Set-associative LRU caches and the two-level hierarchy of Table 1:
+/// 64KB 2-way 2-cycle I-cache, 64KB 4-way 2-cycle D-cache, 1MB 8-way
+/// 10-cycle unified L2, 300-cycle minimum memory latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_UARCH_CACHE_H
+#define DMP_UARCH_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp::uarch {
+
+/// One set-associative LRU cache level.
+class Cache {
+public:
+  Cache(uint64_t SizeBytes, unsigned Assoc, unsigned LineBytes,
+        unsigned HitLatency);
+
+  /// Accesses \p ByteAddr: returns true on hit.  On miss the line is filled
+  /// (this model has no fill delay bookkeeping; latency is charged by the
+  /// hierarchy).
+  bool access(uint64_t ByteAddr);
+
+  unsigned hitLatency() const { return HitLatency; }
+  uint64_t accessCount() const { return Accesses; }
+  uint64_t missCount() const { return Misses; }
+  double missRate() const {
+    return Accesses == 0
+               ? 0.0
+               : static_cast<double>(Misses) / static_cast<double>(Accesses);
+  }
+
+  void reset();
+
+private:
+  struct Line {
+    uint64_t Tag = ~0ull;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  unsigned NumSets;
+  unsigned Assoc;
+  unsigned LineShift;
+  unsigned HitLatency;
+  std::vector<Line> Lines; // NumSets * Assoc
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  uint64_t UseClock = 0;
+};
+
+/// Latencies and geometry for the full hierarchy.
+struct MemoryConfig {
+  uint64_t IL1Size = 64 * 1024;
+  unsigned IL1Assoc = 2;
+  unsigned IL1Latency = 2;
+  uint64_t DL1Size = 64 * 1024;
+  unsigned DL1Assoc = 4;
+  unsigned DL1Latency = 2;
+  uint64_t L2Size = 1024 * 1024;
+  unsigned L2Assoc = 8;
+  unsigned L2Latency = 10;
+  unsigned LineBytes = 64;
+  unsigned MemoryLatency = 300;
+};
+
+/// The I/D/L2/memory hierarchy.  Returns the total latency of an access.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const MemoryConfig &Config = MemoryConfig());
+
+  /// Latency of an instruction fetch of the line containing \p ByteAddr.
+  unsigned fetchLatency(uint64_t ByteAddr);
+
+  /// Latency of a data load of \p ByteAddr.
+  unsigned loadLatency(uint64_t ByteAddr);
+
+  /// Stores access the DL1/L2 for line allocation; write latency is hidden
+  /// by the store buffer, so no latency is returned.
+  void storeAccess(uint64_t ByteAddr);
+
+  const Cache &il1() const { return IL1; }
+  const Cache &dl1() const { return DL1; }
+  const Cache &l2() const { return L2; }
+
+  void reset();
+
+private:
+  MemoryConfig Config;
+  Cache IL1;
+  Cache DL1;
+  Cache L2;
+};
+
+} // namespace dmp::uarch
+
+#endif // DMP_UARCH_CACHE_H

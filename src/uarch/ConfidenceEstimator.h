@@ -1,0 +1,74 @@
+//===- uarch/ConfidenceEstimator.h - JRS confidence estimation -----*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enhanced JRS confidence estimator (Jacobsen, Rotenberg & Smith MICRO-29;
+/// enhancements per Grunwald et al. ISCA-25): Table 1's "2KB (12-bit
+/// history, threshold 14) enhanced JRS confidence estimator".
+///
+/// DMP enters dpred-mode only for *low-confidence* diverge branches; the
+/// accuracy of this estimator (PVN) is the Acc_Conf input of the paper's
+/// cost-benefit model (Section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_UARCH_CONFIDENCEESTIMATOR_H
+#define DMP_UARCH_CONFIDENCEESTIMATOR_H
+
+#include "support/Saturating.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp::uarch {
+
+/// Miss-distance-counter confidence table indexed by pc XOR branch history.
+class ConfidenceEstimator {
+public:
+  /// \p IndexBits selects table size (4096 entries = 2KB of 4-bit MDCs),
+  /// \p HistoryBits the amount of local history XORed into the index,
+  /// \p Threshold the MDC value at or above which a branch is deemed
+  /// high-confidence.
+  explicit ConfidenceEstimator(unsigned IndexBits = 12,
+                               unsigned HistoryBits = 12,
+                               unsigned Threshold = 14);
+
+  /// True when the branch at \p Addr is currently low-confidence: the
+  /// trigger condition for entering dpred-mode.
+  bool isLowConfidence(uint32_t Addr) const;
+
+  /// Updates with the resolved outcome: correct predictions increment the
+  /// miss distance counter, mispredictions reset it.  Also advances the
+  /// internal outcome history.
+  void update(uint32_t Addr, bool PredictedCorrectly, bool Taken);
+
+  void reset();
+
+  /// Measured PVN (predictive value of a negative/low-confidence estimate):
+  /// the fraction of low-confidence estimates that were actually
+  /// mispredicted.  This is the paper's Acc_Conf, "usually between
+  /// 15%-50%" (Section 4.1).
+  double measuredAccConf() const;
+
+  uint64_t lowConfidenceCount() const { return LowConfTotal; }
+
+private:
+  unsigned indexFor(uint32_t Addr) const;
+
+  unsigned IndexBits;
+  unsigned HistoryBits;
+  unsigned Threshold;
+  std::vector<SaturatingCounter<4>> Table;
+  uint64_t History = 0;
+
+  // PVN bookkeeping.
+  uint64_t LowConfTotal = 0;
+  uint64_t LowConfMispredicted = 0;
+};
+
+} // namespace dmp::uarch
+
+#endif // DMP_UARCH_CONFIDENCEESTIMATOR_H

@@ -1,0 +1,42 @@
+//===- uarch/ReturnAddressStack.cpp - RAS --------------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "uarch/ReturnAddressStack.h"
+
+#include <cassert>
+
+using namespace dmp::uarch;
+
+ReturnAddressStack::ReturnAddressStack(unsigned Capacity)
+    : Slots(Capacity, 0), Capacity(Capacity) {
+  assert(Capacity > 0 && "RAS needs at least one slot");
+}
+
+void ReturnAddressStack::push(uint32_t ReturnAddr) {
+  Slots[Top] = ReturnAddr;
+  Top = (Top + 1) % Capacity;
+  if (Depth < Capacity)
+    ++Depth;
+}
+
+uint32_t ReturnAddressStack::pop() {
+  if (Depth == 0)
+    return 0;
+  Top = (Top + Capacity - 1) % Capacity;
+  --Depth;
+  return Slots[Top];
+}
+
+uint32_t ReturnAddressStack::top() const {
+  if (Depth == 0)
+    return 0;
+  return Slots[(Top + Capacity - 1) % Capacity];
+}
+
+void ReturnAddressStack::reset() {
+  Top = 0;
+  Depth = 0;
+}

@@ -1,0 +1,49 @@
+//===- uarch/ReturnAddressStack.h - RAS -----------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Circular return-address stack (Table 1: 64 entries).  Overflow silently
+/// overwrites the oldest entry, so deep recursion produces the occasional
+/// return misprediction, as in real hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_UARCH_RETURNADDRESSSTACK_H
+#define DMP_UARCH_RETURNADDRESSSTACK_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp::uarch {
+
+/// Fixed-capacity circular return-address stack.
+class ReturnAddressStack {
+public:
+  explicit ReturnAddressStack(unsigned Capacity = 64);
+
+  void push(uint32_t ReturnAddr);
+
+  /// Pops the predicted return address; returns 0 on underflow (which the
+  /// core treats as a mispredicted return).
+  uint32_t pop();
+
+  /// Peek without popping (used by the dpred wrong-path walker).
+  uint32_t top() const;
+
+  void reset();
+
+  unsigned depth() const { return Depth; }
+
+private:
+  std::vector<uint32_t> Slots;
+  unsigned Capacity;
+  unsigned Top = 0;   // next push position
+  unsigned Depth = 0; // live entries, <= Capacity
+};
+
+} // namespace dmp::uarch
+
+#endif // DMP_UARCH_RETURNADDRESSSTACK_H

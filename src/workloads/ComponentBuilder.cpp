@@ -1,0 +1,434 @@
+//===- workloads/ComponentBuilder.cpp - CFG component factory -----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ComponentBuilder.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace dmp;
+using namespace dmp::ir;
+using namespace dmp::workloads;
+
+ComponentBuilder::ComponentBuilder(Program &P) : P(P), B(P) {}
+
+std::string ComponentBuilder::blockName(const char *Tag) const {
+  return formatString("c%u_%s", ComponentIndex, Tag);
+}
+
+BasicBlock *ComponentBuilder::newBlock(const char *Tag) {
+  return Main->createBlock(blockName(Tag));
+}
+
+Reg ComponentBuilder::fillerWindow() {
+  static const Reg Windows[3] = {8, 12, 16};
+  return Windows[ComponentIndex % 3];
+}
+
+void ComponentBuilder::loadSlot(const PatternSlot &Slot, Reg DataReg) {
+  B.load(DataReg, /*Base=*/1, static_cast<int64_t>(Slot.Base));
+}
+
+PatternSlot ComponentBuilder::newSlot(PatternSlot Proto) {
+  Proto.Base = NextBase;
+  NextBase += RegionWords;
+  Slots.push_back(Proto);
+  return Proto;
+}
+
+void ComponentBuilder::beginMain(unsigned OuterIters) {
+  assert(!Main && "beginMain called twice");
+  assert(OuterIters <= RegionWords && "outer loop exceeds pattern regions");
+  Main = P.createFunction("main");
+  // Scratch region for accumulator stores.
+  ScratchBase = NextBase;
+  NextBase += RegionWords;
+
+  BasicBlock *Entry = Main->createBlock("entry");
+  B.setInsertPoint(Entry);
+  B.loadImm(/*Dst=*/1, 0);
+  B.loadImm(/*Dst=*/2, static_cast<int64_t>(OuterIters));
+  B.loadImm(/*Dst=*/20, 0);
+  for (Reg R = 8; R <= 19; ++R)
+    B.loadImm(R, static_cast<int64_t>(R));
+
+  OuterHeader = Main->createBlock("outer");
+  Cur = OuterHeader;
+  B.setInsertPoint(Cur);
+}
+
+void ComponentBuilder::endMain() {
+  assert(Main && "endMain before beginMain");
+  // Store the accumulator so stores exercise the D-cache, bump the index,
+  // and loop.
+  B.setInsertPoint(Cur);
+  B.store(/*Value=*/20, /*Base=*/1, static_cast<int64_t>(ScratchBase));
+  B.addI(/*Dst=*/1, /*Src=*/1, 1);
+  B.condBr(BrCond::Lt, /*A=*/1, /*B=*/2, OuterHeader);
+
+  BasicBlock *Exit = Main->createBlock("exit");
+  B.setInsertPoint(Exit);
+  B.halt();
+}
+
+void ComponentBuilder::addSimpleHammock(const PatternSlot &Cond,
+                                        unsigned BodyLen, unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  loadSlot(Cond, /*DataReg=*/3);
+  BasicBlock *Taken = nullptr; // forward-declared after fall block
+
+  BasicBlock *Fall = nullptr;
+  // We must create the taken block after the fall block for layout, but the
+  // branch needs the taken target first; create both, then emit.
+  Fall = newBlock("F");
+  Taken = newBlock("T");
+  BasicBlock *Merge = newBlock("M");
+  B.condBr(BrCond::Ne, /*A=*/3, /*B=*/0, Taken);
+
+  B.setInsertPoint(Fall);
+  B.emitFiller(BodyLen, W);
+  B.add(/*Dst=*/20, /*A=*/20, W);
+  B.jmp(Merge);
+
+  B.setInsertPoint(Taken);
+  B.emitFiller(BodyLen, W);
+  B.sub(/*Dst=*/20, /*A=*/20, W);
+  // Falls through to Merge.
+
+  B.setInsertPoint(Merge);
+  B.emitFiller(MergeLen, W);
+  Cur = Merge;
+}
+
+void ComponentBuilder::addNestedHammock(const PatternSlot &Outer,
+                                        const PatternSlot &Inner,
+                                        unsigned BodyLen, unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  loadSlot(Outer, /*DataReg=*/3);
+
+  BasicBlock *Fall = newBlock("F");
+  BasicBlock *Taken = newBlock("T");
+  BasicBlock *InnerFall = newBlock("T1");
+  BasicBlock *InnerTaken = newBlock("T2");
+  BasicBlock *Merge = newBlock("M");
+  B.condBr(BrCond::Ne, /*A=*/3, /*B=*/0, Taken);
+
+  B.setInsertPoint(Fall);
+  B.emitFiller(BodyLen, W);
+  B.jmp(Merge);
+
+  B.setInsertPoint(Taken);
+  loadSlot(Inner, /*DataReg=*/5);
+  B.emitFiller(BodyLen / 2, W);
+  B.condBr(BrCond::Ne, /*A=*/5, /*B=*/0, InnerTaken);
+
+  B.setInsertPoint(InnerFall);
+  B.emitFiller(BodyLen / 2, W);
+  B.jmp(Merge);
+
+  B.setInsertPoint(InnerTaken);
+  B.emitFiller(BodyLen / 2, W);
+  // Falls through to Merge.
+
+  B.setInsertPoint(Merge);
+  B.emitFiller(MergeLen, W);
+  Cur = Merge;
+}
+
+void ComponentBuilder::addFreqHammock(const PatternSlot &Cond,
+                                      const PatternSlot &Rare,
+                                      unsigned BodyLen, unsigned RareLen,
+                                      unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  loadSlot(Cond, /*DataReg=*/3);
+
+  BasicBlock *Fall = newBlock("F");
+  BasicBlock *Taken = newBlock("T");
+  BasicBlock *TakenBody = newBlock("T2");
+  BasicBlock *RarePath = newBlock("R");
+  BasicBlock *Merge = newBlock("M");
+  BasicBlock *End = newBlock("E");
+  B.condBr(BrCond::Ne, /*A=*/3, /*B=*/0, Taken);
+
+  B.setInsertPoint(Fall);
+  B.emitFiller(BodyLen, W);
+  B.add(/*Dst=*/20, /*A=*/20, W);
+  B.jmp(Merge);
+
+  // Taken side: usually short work then merge at M, but a rare long path
+  // bypasses M entirely, so M is only an *approximate* CFM point of the
+  // branch in Cur — the defining feature of a frequently-hammock.
+  B.setInsertPoint(Taken);
+  loadSlot(Rare, /*DataReg=*/5);
+  B.condBr(BrCond::Ne, /*A=*/5, /*B=*/0, RarePath);
+
+  B.setInsertPoint(TakenBody);
+  B.emitFiller(BodyLen, W);
+  B.jmp(Merge);
+
+  B.setInsertPoint(RarePath);
+  B.emitFiller(RareLen, W);
+  B.jmp(End);
+
+  // The frequent merge block carries a long control-independent tail, so
+  // the branch's *immediate post-dominator* (End) is far away: selecting
+  // End as the CFM (what the naive Immediate/Every-br selectors do per
+  // footnote 10) cannot merge before resolution, while the frequent merge
+  // M is close — the defining asymmetry of frequently-hammocks.
+  B.setInsertPoint(Merge);
+  B.emitFiller(MergeLen + FreqTailLen, W);
+  // Falls through to End.
+
+  B.setInsertPoint(End);
+  B.emitFiller(2, W);
+  Cur = End;
+}
+
+void ComponentBuilder::addShortHammock(const PatternSlot &Cond,
+                                       unsigned BodyLen, unsigned MergeLen) {
+  assert(BodyLen <= 6 && "short hammocks must stay under 10 instrs/side");
+  addSimpleHammock(Cond, BodyLen, MergeLen);
+}
+
+void ComponentBuilder::addRetFunc(const PatternSlot &Cond, unsigned BodyLen,
+                                  unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+
+  // Callee: a branch whose two paths end in *different* returns, so the
+  // only merge point is the instruction after the call (Section 3.5).
+  Function *F = P.createFunction(formatString("retfn%u", RetFuncIndex++));
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Fall = F->createBlock("F");
+  BasicBlock *Taken = F->createBlock("T");
+
+  B.setInsertPoint(Entry);
+  loadSlot(Cond, /*DataReg=*/3);
+  B.condBr(BrCond::Ne, /*A=*/3, /*B=*/0, Taken);
+
+  B.setInsertPoint(Fall);
+  B.emitFiller(BodyLen, W);
+  B.add(/*Dst=*/20, /*A=*/20, W);
+  B.ret();
+
+  B.setInsertPoint(Taken);
+  B.emitFiller(BodyLen, W);
+  B.sub(/*Dst=*/20, /*A=*/20, W);
+  B.ret();
+
+  // Caller side: call, then control-independent post-return work.
+  B.setInsertPoint(Cur);
+  B.call(F);
+  BasicBlock *Post = newBlock("P");
+  B.setInsertPoint(Post);
+  B.emitFiller(MergeLen, W);
+  Cur = Post;
+}
+
+void ComponentBuilder::addDataLoop(const PatternSlot &Trip, unsigned BodyLen,
+                                   unsigned PostLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  loadSlot(Trip, /*DataReg=*/7);
+  B.loadImm(/*Dst=*/6, 0);
+
+  // do { body } while (++i < trip): a single-block self loop whose exit
+  // branch is the diverge-loop candidate (Figure 3d).
+  BasicBlock *LoopBody = newBlock("L");
+  B.setInsertPoint(LoopBody);
+  B.emitFiller(BodyLen, W);
+  B.addI(/*Dst=*/6, /*Src=*/6, 1);
+  B.condBr(BrCond::Lt, /*A=*/6, /*B=*/7, LoopBody);
+
+  BasicBlock *Post = newBlock("P");
+  B.setInsertPoint(Post);
+  B.emitFiller(PostLen, W);
+  Cur = Post;
+}
+
+void ComponentBuilder::addBigHammock(const PatternSlot &Cond, unsigned BodyLen,
+                                     unsigned MergeLen) {
+  assert(BodyLen >= 60 && "big hammocks should exceed sane MAX_INSTR");
+  addSimpleHammock(Cond, BodyLen, MergeLen);
+}
+
+void ComponentBuilder::addStraightline(unsigned Len) {
+  ++ComponentIndex;
+  B.setInsertPoint(Cur);
+  B.emitFiller(Len, fillerWindow());
+}
+
+void ComponentBuilder::addBorderlineLoop(const PatternSlot &Guard,
+                                         const PatternSlot &Trip,
+                                         unsigned PostLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  // The loop runs on a minority of iterations so its (numerous) exit-branch
+  // instances do not dominate the benchmark's dynamic branch mix.
+  loadSlot(Guard, /*DataReg=*/3);
+
+  BasicBlock *Pre = newBlock("BP");
+  BasicBlock *LoopBody = newBlock("BL");
+  BasicBlock *Skip = nullptr; // Post doubles as the skip target, see below.
+
+  B.setInsertPoint(Pre);
+  loadSlot(Trip, /*DataReg=*/7);
+  B.loadImm(/*Dst=*/6, 0);
+
+  // Tiny body so STATIC_LOOP_SIZE and DYNAMIC_LOOP_SIZE both pass; the
+  // LOOP_ITER heuristic is the one that flips across input sets.
+  B.setInsertPoint(LoopBody);
+  B.emitFiller(3, W);
+  B.addI(/*Dst=*/6, /*Src=*/6, 1);
+  B.condBr(BrCond::Lt, /*A=*/6, /*B=*/7, LoopBody);
+
+  // A tail after the loop pushes every guard-to-merge path beyond the
+  // selection scope: the *guard* must never look like a profitable
+  // frequently-hammock (only the loop's exit branch is the candidate here).
+  BasicBlock *Tail = newBlock("BT");
+  B.setInsertPoint(Tail);
+  B.emitFiller(60, W);
+
+  BasicBlock *Post = newBlock("P");
+  Skip = Post;
+  B.setInsertPoint(Cur);
+  B.condBr(BrCond::Eq, /*A=*/3, /*B=*/0, Skip);
+  B.setInsertPoint(Post);
+  B.emitFiller(PostLen, W);
+  Cur = Post;
+}
+
+void ComponentBuilder::addGuardedHammock(const PatternSlot &Guard,
+                                         const PatternSlot &Cond,
+                                         unsigned BodyLen, unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  loadSlot(Guard, /*DataReg=*/3);
+
+  BasicBlock *Guarded = newBlock("G");
+  BasicBlock *GFall = newBlock("GF");
+  BasicBlock *GTaken = newBlock("GT");
+  BasicBlock *Merge = newBlock("M");
+  // Guard: skip the whole region unless the (input-dependent) guard fires.
+  B.condBr(BrCond::Eq, /*A=*/3, /*B=*/0, Merge);
+
+  B.setInsertPoint(Guarded);
+  loadSlot(Cond, /*DataReg=*/5);
+  B.condBr(BrCond::Ne, /*A=*/5, /*B=*/0, GTaken);
+
+  B.setInsertPoint(GFall);
+  B.emitFiller(BodyLen, W);
+  B.jmp(Merge);
+
+  B.setInsertPoint(GTaken);
+  B.emitFiller(BodyLen, W);
+  // Falls through to Merge.
+
+  B.setInsertPoint(Merge);
+  B.emitFiller(MergeLen, W);
+  Cur = Merge;
+}
+
+void ComponentBuilder::addDualMergeHammock(const PatternSlot &Cond,
+                                           const PatternSlot &Sel,
+                                           unsigned BodyLen,
+                                           unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+  B.setInsertPoint(Cur);
+  loadSlot(Cond, /*DataReg=*/3);
+  loadSlot(Sel, /*DataReg=*/5);
+
+  BasicBlock *Fall = newBlock("F");
+  BasicBlock *F1 = newBlock("F1");
+  BasicBlock *F2 = newBlock("F2");
+  BasicBlock *Taken = newBlock("T");
+  BasicBlock *T1 = newBlock("T1");
+  BasicBlock *T2 = newBlock("T2");
+  BasicBlock *M1 = newBlock("M1");
+  BasicBlock *M2 = newBlock("M2");
+  BasicBlock *End = newBlock("E");
+  B.condBr(BrCond::Ne, /*A=*/3, /*B=*/0, Taken);
+
+  // Each side routes to M1 or M2 on the same selector value, so the merge
+  // block actually reached correlates across the two sides.
+  B.setInsertPoint(Fall);
+  B.condBr(BrCond::Ne, /*A=*/5, /*B=*/0, F2);
+  B.setInsertPoint(F1);
+  B.emitFiller(BodyLen, W);
+  B.jmp(M1);
+  B.setInsertPoint(F2);
+  B.emitFiller(BodyLen, W);
+  B.jmp(M2);
+
+  B.setInsertPoint(Taken);
+  B.condBr(BrCond::Ne, /*A=*/5, /*B=*/0, T2);
+  B.setInsertPoint(T1);
+  B.emitFiller(BodyLen, W);
+  B.jmp(M1);
+  B.setInsertPoint(T2);
+  B.emitFiller(BodyLen, W);
+  B.jmp(M2);
+
+  // The merge blocks are long enough that the common end block E lies
+  // beyond MAX_INSTR, keeping M1/M2 the selectable (independent) CFMs.
+  B.setInsertPoint(M1);
+  B.emitFiller(MergeLen + 50, W);
+  B.jmp(End);
+  B.setInsertPoint(M2);
+  B.emitFiller(MergeLen + 50, W);
+  // Falls through to End.
+
+  B.setInsertPoint(End);
+  B.emitFiller(2, W);
+  Cur = End;
+}
+
+void ComponentBuilder::addCallHammock(const PatternSlot &Cond,
+                                      unsigned BodyLen, unsigned MergeLen) {
+  ++ComponentIndex;
+  const Reg W = fillerWindow();
+
+  if (!Leaf) {
+    Leaf = P.createFunction("leaf");
+    BasicBlock *Entry = Leaf->createBlock("entry");
+    B.setInsertPoint(Entry);
+    B.emitFiller(6, /*FirstReg=*/16);
+    B.ret();
+  }
+
+  B.setInsertPoint(Cur);
+  loadSlot(Cond, /*DataReg=*/3);
+
+  BasicBlock *Fall = newBlock("F");
+  BasicBlock *Taken = newBlock("T");
+  BasicBlock *Merge = newBlock("M");
+  B.condBr(BrCond::Ne, /*A=*/3, /*B=*/0, Taken);
+
+  B.setInsertPoint(Fall);
+  B.emitFiller(BodyLen, W);
+  B.jmp(Merge);
+
+  B.setInsertPoint(Taken);
+  B.emitFiller(BodyLen / 2, W);
+  B.call(Leaf);
+  B.emitFiller(BodyLen / 2, W);
+  // Falls through to Merge.
+
+  B.setInsertPoint(Merge);
+  B.emitFiller(MergeLen, W);
+  Cur = Merge;
+}

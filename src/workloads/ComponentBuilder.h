@@ -1,0 +1,150 @@
+//===- workloads/ComponentBuilder.h - CFG component factory ---------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the control-flow components the synthetic benchmarks are composed
+/// of, one per CFG type in the paper's Figure 3 plus the special cases of
+/// Sections 3.4/3.5:
+///
+///  - simple hammocks (if-else, no control flow inside),
+///  - nested hammocks,
+///  - frequently-hammocks (rare long path that bypasses the frequent merge),
+///  - short hammocks (<10 instructions per side),
+///  - functions whose paths end in different returns (return-CFM),
+///  - data-dependent loops (parser-style unpredictable trip counts),
+///  - oversized hammocks (should be rejected by any sane selector),
+///  - hammocks with calls inside.
+///
+/// Every component reads one word per outer-loop iteration from its own
+/// pattern slot; the slot's data distribution controls the branch's
+/// predictability (see workloads/Patterns.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_WORKLOADS_COMPONENTBUILDER_H
+#define DMP_WORKLOADS_COMPONENTBUILDER_H
+
+#include "ir/IRBuilder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmp::workloads {
+
+/// One memory region feeding one data-dependent branch (or loop trip
+/// count).  The program reads Image[Base + outer_index].
+struct PatternSlot {
+  enum class Kind : uint8_t { Bernoulli, Periodic, Trip, Markov };
+
+  uint64_t Base = 0;
+  Kind PatternKind = Kind::Bernoulli;
+  double P = 0.5;          ///< Bernoulli taken probability.
+  unsigned Period = 3;     ///< Periodic period.
+  int64_t TripLo = 1;      ///< Trip-count range.
+  int64_t TripHi = 8;
+  double TripSticky = 0.0; ///< Probability of repeating the previous trip.
+  double SwitchProb = 0.05; ///< Markov switch probability.
+};
+
+/// Incrementally builds a benchmark program: an outer loop over components.
+///
+/// Register conventions: r1 outer index, r2 outer bound, r3/r5 loaded data,
+/// r6/r7 inner loop counter/bound, r8..r19 filler windows, r20 accumulator.
+class ComponentBuilder {
+public:
+  /// Words per pattern region; outer iteration counts must not exceed it.
+  static constexpr uint64_t RegionWords = 8192;
+
+  /// Control-independent tail appended to a frequently-hammock's frequent
+  /// merge block, pushing the branch's IPOSDOM far beyond the machine's
+  /// resolution-time fetch budget.
+  static constexpr unsigned FreqTailLen = 150;
+
+  explicit ComponentBuilder(ir::Program &P);
+
+  /// Creates main and opens the outer loop.  Must be called first.
+  void beginMain(unsigned OuterIters);
+
+  /// Closes the outer loop and emits the exit/halt path.  Call last.
+  void endMain();
+
+  // Components (append to the outer loop body, in call order).
+  void addSimpleHammock(const PatternSlot &Cond, unsigned BodyLen,
+                        unsigned MergeLen);
+  void addNestedHammock(const PatternSlot &Outer, const PatternSlot &Inner,
+                        unsigned BodyLen, unsigned MergeLen);
+  void addFreqHammock(const PatternSlot &Cond, const PatternSlot &Rare,
+                      unsigned BodyLen, unsigned RareLen, unsigned MergeLen);
+  void addShortHammock(const PatternSlot &Cond, unsigned BodyLen,
+                       unsigned MergeLen);
+  void addRetFunc(const PatternSlot &Cond, unsigned BodyLen,
+                  unsigned MergeLen);
+  void addDataLoop(const PatternSlot &Trip, unsigned BodyLen,
+                   unsigned PostLen);
+  void addBigHammock(const PatternSlot &Cond, unsigned BodyLen,
+                     unsigned MergeLen);
+  void addCallHammock(const PatternSlot &Cond, unsigned BodyLen,
+                      unsigned MergeLen);
+
+  /// Branch-free filler: dilutes branch density (controls MPKI without
+  /// changing the control-flow mix).
+  void addStraightline(unsigned Len);
+
+  /// A data loop whose average iteration count sits just under the
+  /// LOOP_ITER threshold on the run input and just over it on the train
+  /// input, so the Section 5.2 heuristics select it with one profiling
+  /// input set but not the other (the "only-run" bars of Figure 10).
+  void addBorderlineLoop(const PatternSlot &Guard, const PatternSlot &Trip,
+                         unsigned PostLen);
+
+  /// A hard hammock guarded by a branch that essentially never fires on
+  /// the run input but does on the (shifted) train input: the inner branch
+  /// is profiled — and therefore selectable — only when profiling with the
+  /// train input (the "only-train" bars of Figure 10).
+  void addGuardedHammock(const PatternSlot &Guard, const PatternSlot &Cond,
+                         unsigned BodyLen, unsigned MergeLen);
+
+  /// A hammock whose two sides each branch to one of two *alternative*
+  /// merge blocks M1/M2, so the diverge branch legitimately has two
+  /// independent CFM points (exercises MAX_CFM > 1 and Eq. 17).
+  void addDualMergeHammock(const PatternSlot &Cond, const PatternSlot &Sel,
+                           unsigned BodyLen, unsigned MergeLen);
+
+  /// Allocates the next pattern region, records the slot, and returns a
+  /// copy (by value: the internal slot list reallocates as it grows).
+  PatternSlot newSlot(PatternSlot Proto);
+
+  const std::vector<PatternSlot> &slots() const { return Slots; }
+
+  /// Total words of data memory the program touches.
+  uint64_t memoryWords() const { return NextBase + RegionWords; }
+
+private:
+  /// Emits "ld \p DataReg, slot(r1)" into the current block.
+  void loadSlot(const PatternSlot &Slot, ir::Reg DataReg);
+  /// Rotating filler register window per component.
+  ir::Reg fillerWindow();
+  /// Starts the next component's merge/continuation block.
+  ir::BasicBlock *newBlock(const char *Tag);
+  std::string blockName(const char *Tag) const;
+
+  ir::Program &P;
+  ir::IRBuilder B;
+  ir::Function *Main = nullptr;
+  ir::Function *Leaf = nullptr; ///< Shared helper callee for call hammocks.
+  ir::BasicBlock *OuterHeader = nullptr;
+  ir::BasicBlock *Cur = nullptr;
+  unsigned ComponentIndex = 0;
+  unsigned RetFuncIndex = 0;
+  uint64_t NextBase = 0;
+  uint64_t ScratchBase = 0;
+  std::vector<PatternSlot> Slots;
+};
+
+} // namespace dmp::workloads
+
+#endif // DMP_WORKLOADS_COMPONENTBUILDER_H

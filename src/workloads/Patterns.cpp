@@ -1,0 +1,63 @@
+//===- workloads/Patterns.cpp - Branch-feeding data patterns ------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Patterns.h"
+
+#include <cassert>
+
+using namespace dmp;
+using namespace dmp::workloads;
+
+static void ensureSize(std::vector<int64_t> &Image, uint64_t End) {
+  if (Image.size() < End)
+    Image.resize(End, 0);
+}
+
+void workloads::fillBernoulli(std::vector<int64_t> &Image, uint64_t Base,
+                              uint64_t Count, double P, RNG &Rng) {
+  ensureSize(Image, Base + Count);
+  for (uint64_t I = 0; I < Count; ++I)
+    Image[Base + I] = Rng.nextBool(P) ? 1 : 0;
+}
+
+void workloads::fillPeriodic(std::vector<int64_t> &Image, uint64_t Base,
+                             uint64_t Count, unsigned Period) {
+  assert(Period >= 2 && "period of 1 is constant");
+  ensureSize(Image, Base + Count);
+  for (uint64_t I = 0; I < Count; ++I)
+    Image[Base + I] = (I % Period == 0) ? 1 : 0;
+}
+
+void workloads::fillTripCounts(std::vector<int64_t> &Image, uint64_t Base,
+                               uint64_t Count, int64_t Lo, int64_t Hi,
+                               RNG &Rng) {
+  ensureSize(Image, Base + Count);
+  for (uint64_t I = 0; I < Count; ++I)
+    Image[Base + I] = Rng.nextInRange(Lo, Hi);
+}
+
+void workloads::fillStickyTrips(std::vector<int64_t> &Image, uint64_t Base,
+                                uint64_t Count, int64_t Lo, int64_t Hi,
+                                double StickyProb, RNG &Rng) {
+  ensureSize(Image, Base + Count);
+  int64_t Current = Rng.nextInRange(Lo, Hi);
+  for (uint64_t I = 0; I < Count; ++I) {
+    if (!Rng.nextBool(StickyProb))
+      Current = Rng.nextInRange(Lo, Hi);
+    Image[Base + I] = Current;
+  }
+}
+
+void workloads::fillMarkov(std::vector<int64_t> &Image, uint64_t Base,
+                           uint64_t Count, double SwitchProb, RNG &Rng) {
+  ensureSize(Image, Base + Count);
+  int64_t State = 0;
+  for (uint64_t I = 0; I < Count; ++I) {
+    if (Rng.nextBool(SwitchProb))
+      State ^= 1;
+    Image[Base + I] = State;
+  }
+}

@@ -1,0 +1,60 @@
+//===- workloads/Patterns.h - Branch-feeding data patterns ----------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-pattern generators for the synthetic benchmarks.  Branch outcomes in
+/// the generated programs are data-dependent: each control-flow component
+/// loads one word per outer-loop iteration from its own memory region and
+/// branches on it.  The pattern written into that region therefore controls
+/// the branch's bias and predictability:
+///
+///  - Bernoulli(p ~ 0.5): hard to predict (random);
+///  - Bernoulli(p near 0/1): easy (strongly biased);
+///  - periodic: easy for history-based predictors;
+///  - trip counts: loop iteration counts with a controlled spread,
+///    producing parser-like unpredictable loop exits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_WORKLOADS_PATTERNS_H
+#define DMP_WORKLOADS_PATTERNS_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmp::workloads {
+
+/// Writes \p Count words of 0/1 with P(1) = \p P at \p Image[Base...].
+void fillBernoulli(std::vector<int64_t> &Image, uint64_t Base, uint64_t Count,
+                   double P, RNG &Rng);
+
+/// Writes a repeating 0/1 pattern of the given \p Period (e.g. 1 0 0 1 0 0).
+void fillPeriodic(std::vector<int64_t> &Image, uint64_t Base, uint64_t Count,
+                  unsigned Period);
+
+/// Writes uniform trip counts in [\p Lo, \p Hi].
+void fillTripCounts(std::vector<int64_t> &Image, uint64_t Base, uint64_t Count,
+                    int64_t Lo, int64_t Hi, RNG &Rng);
+
+/// Writes *sticky* trip counts: each value repeats the previous one with
+/// probability \p StickyProb, otherwise redraws uniformly in [Lo, Hi].
+/// Models parser-like loops (consecutive words often have similar lengths)
+/// whose exits a history-based predictor can partially learn — the source
+/// of genuine late-exit episodes (Section 5.1).
+void fillStickyTrips(std::vector<int64_t> &Image, uint64_t Base,
+                     uint64_t Count, int64_t Lo, int64_t Hi,
+                     double StickyProb, RNG &Rng);
+
+/// Writes a first-order Markov 0/1 stream with switch probability
+/// \p SwitchProb: small values give long, history-predictable runs.
+void fillMarkov(std::vector<int64_t> &Image, uint64_t Base, uint64_t Count,
+                double SwitchProb, RNG &Rng);
+
+} // namespace dmp::workloads
+
+#endif // DMP_WORKLOADS_PATTERNS_H

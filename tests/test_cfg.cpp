@@ -1,0 +1,175 @@
+//===- tests/test_cfg.cpp - CFG analysis unit tests ----------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "cfg/Analysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+TEST(CFGViewTest, SuccessorsAndPredecessors) {
+  auto H = test::buildSimpleHammockLoop();
+  CFGView View(*H.Prog->getMain());
+  const unsigned HeaderId = H.BranchBlock->getId();
+  EXPECT_EQ(View.successors(HeaderId).size(), 2u);
+  // Header preds: entry fallthrough + merge back edge.
+  EXPECT_EQ(View.predecessors(HeaderId).size(), 2u);
+  // Merge preds: fall (jmp) + taken (fallthrough).
+  EXPECT_EQ(View.predecessors(H.Merge->getId()).size(), 2u);
+}
+
+TEST(CFGViewTest, ReversePostorderStartsAtEntry) {
+  auto H = test::buildFreqHammockLoop();
+  CFGView View(*H.Prog->getMain());
+  const auto &RPO = View.reversePostorder();
+  ASSERT_FALSE(RPO.empty());
+  EXPECT_EQ(RPO.front(), H.Prog->getMain()->getEntry());
+  // Every reachable block appears exactly once.
+  EXPECT_EQ(RPO.size(), H.Prog->getMain()->blockCount());
+}
+
+TEST(CFGViewTest, AllBlocksReachableInTestPrograms) {
+  auto H = test::buildRetFuncLoop();
+  for (const auto &F : H.Prog->functions()) {
+    CFGView View(*F);
+    for (const auto &Block : F->blocks())
+      EXPECT_TRUE(View.isReachable(Block.get()))
+          << F->getName() << "/" << Block->getName();
+  }
+}
+
+TEST(DominatorTest, EntryDominatesEverything) {
+  auto H = test::buildFreqHammockLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  DominatorTree DT(View);
+  for (const auto &Block : F.blocks())
+    EXPECT_TRUE(DT.dominates(F.getEntry(), Block.get()));
+}
+
+TEST(DominatorTest, DiamondIdoms) {
+  auto H = test::buildSimpleHammockLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  DominatorTree DT(View);
+  EXPECT_EQ(DT.idom(H.TakenSide), H.BranchBlock);
+  EXPECT_EQ(DT.idom(H.FallSide), H.BranchBlock);
+  EXPECT_EQ(DT.idom(H.Merge), H.BranchBlock);
+  EXPECT_TRUE(DT.dominates(H.BranchBlock, H.Merge));
+  EXPECT_FALSE(DT.dominates(H.TakenSide, H.Merge));
+}
+
+TEST(PostDominatorTest, MergePostDominatesHammock) {
+  auto H = test::buildSimpleHammockLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  PostDominatorTree PDT(View);
+  // The IPOSDOM of the branch block is the merge block: the paper's
+  // "exact CFM point" (Section 3.1).
+  EXPECT_EQ(PDT.ipostdom(H.BranchBlock), H.Merge);
+  EXPECT_TRUE(PDT.postDominates(H.Merge, H.TakenSide));
+  EXPECT_TRUE(PDT.postDominates(H.Merge, H.FallSide));
+  EXPECT_FALSE(PDT.postDominates(H.TakenSide, H.BranchBlock));
+}
+
+TEST(PostDominatorTest, FreqHammockIposdomIsEnd) {
+  auto H = test::buildFreqHammockLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  PostDominatorTree PDT(View);
+  // The rare path bypasses the frequent merge, so the IPOSDOM is End, not
+  // Merge — the structural signature of a frequently-hammock.
+  EXPECT_EQ(PDT.ipostdom(H.BranchBlock), H.End);
+  EXPECT_FALSE(PDT.postDominates(H.Merge, H.BranchBlock));
+}
+
+TEST(PostDominatorTest, DifferentReturnsHaveNoIposdom) {
+  auto H = test::buildRetFuncLoop();
+  const ir::Function *Callee = H.Prog->findFunction("f");
+  ASSERT_NE(Callee, nullptr);
+  CFGView View(*Callee);
+  PostDominatorTree PDT(View);
+  // Both paths end in different returns: control only rejoins at the
+  // virtual exit, so there is no IPOSDOM (the return-CFM case, 3.5).
+  EXPECT_EQ(PDT.ipostdom(H.BranchBlock), nullptr);
+}
+
+TEST(LoopInfoTest, FindsSelfLoop) {
+  auto H = test::buildDataLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  DominatorTree DT(View);
+  LoopInfo LI(View, DT);
+  // Two loops: the inner self-loop and the outer loop.
+  ASSERT_EQ(LI.loops().size(), 2u);
+  const Loop *Inner = LI.loopFor(H.BranchBlock);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->getHeader(), H.BranchBlock);
+  EXPECT_EQ(Inner->blocks().size(), 1u);
+  EXPECT_EQ(Inner->getDepth(), 2u);
+  EXPECT_NE(Inner->getParent(), nullptr);
+}
+
+TEST(LoopInfoTest, ExitBranches) {
+  auto H = test::buildDataLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  DominatorTree DT(View);
+  LoopInfo LI(View, DT);
+  const Loop *Inner = LI.loopWithHeader(H.BranchBlock);
+  ASSERT_NE(Inner, nullptr);
+  auto Exits = Inner->exitBranches();
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits[0]->Addr, H.BranchAddr);
+}
+
+TEST(LoopInfoTest, BodySizeAndWrittenRegs) {
+  auto H = test::buildDataLoop(/*BodyLen=*/4);
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  DominatorTree DT(View);
+  LoopInfo LI(View, DT);
+  const Loop *Inner = LI.loopWithHeader(H.BranchBlock);
+  ASSERT_NE(Inner, nullptr);
+  // 4 filler + addi + condbr.
+  EXPECT_EQ(Inner->bodyInstrCount(), 6u);
+  // Filler writes r8..r11 (window of 4) plus the counter r6.
+  EXPECT_EQ(Inner->writtenRegCount(), 5u);
+}
+
+TEST(LoopInfoTest, NoLoopsInStraightLineHammock) {
+  auto H = test::buildSimpleHammockLoop();
+  const ir::Function &F = *H.Prog->getMain();
+  CFGView View(F);
+  DominatorTree DT(View);
+  LoopInfo LI(View, DT);
+  // Only the outer header loop exists.
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_TRUE(LI.loops()[0]->contains(H.Merge));
+  EXPECT_TRUE(LI.loops()[0]->contains(H.TakenSide));
+}
+
+TEST(ProgramAnalysisTest, CachesPerFunction) {
+  auto H = test::buildRetFuncLoop();
+  ProgramAnalysis PA(*H.Prog);
+  const FunctionAnalysis &MainFA = PA.forFunction(*H.Prog->getMain());
+  const FunctionAnalysis &MainFA2 = PA.forFunction(*H.Prog->getMain());
+  EXPECT_EQ(&MainFA, &MainFA2);
+  EXPECT_EQ(&PA.atAddr(0), &MainFA);
+  const ir::Function *Callee = H.Prog->findFunction("f");
+  EXPECT_EQ(&PA.atAddr(Callee->getEntryAddr()), &PA.forFunction(*Callee));
+}
+
+TEST(ProgramAnalysisTest, InnermostLoopAt) {
+  auto H = test::buildDataLoop();
+  ProgramAnalysis PA(*H.Prog);
+  const Loop *L = PA.innermostLoopAt(H.BranchAddr);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->getHeader(), H.BranchBlock);
+  EXPECT_EQ(PA.innermostLoopAt(0), nullptr); // entry block
+}

@@ -1,0 +1,67 @@
+//===- tests/test_dotexport.cpp - Graphviz export tests -----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "cfg/DotExport.h"
+#include "core/DivergeSelector.h"
+#include "profile/Profiler.h"
+#include "support/RNG.h"
+#include "workloads/SpecSuite.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+TEST(DotExportTest, PlainGraphStructure) {
+  auto H = test::buildSimpleHammockLoop();
+  const std::string Dot = exportFunctionDot(*H.Prog->getMain());
+  EXPECT_NE(Dot.find("digraph \"main\""), std::string::npos);
+  // One node per block.
+  for (const auto &Block : H.Prog->getMain()->blocks())
+    EXPECT_NE(Dot.find(Block->getName()), std::string::npos);
+  // The hammock branch has T and NT edges.
+  EXPECT_NE(Dot.find("label=\"T"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"NT"), std::string::npos);
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+}
+
+TEST(DotExportTest, EdgeProbabilitiesAndSelection) {
+  auto H = test::buildSimpleHammockLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image(8192, 0);
+  RNG Rng(3);
+  for (auto &W : Image)
+    W = Rng.nextBool(0.5);
+  auto Prof = profile::collectProfile(*H.Prog, PA, Image);
+  core::SelectionConfig Config;
+  const core::DivergeMap Map = core::selectDivergeBranches(
+      PA, Prof, Config, core::SelectionFeatures::allBestHeur());
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+
+  DotOptions Options;
+  Options.Edges = &Prof.Edges;
+  Options.Diverge = &Map;
+  const std::string Dot = exportFunctionDot(*H.Prog->getMain(), Options);
+  // The diverge branch block is highlighted and the CFM block filled.
+  EXPECT_NE(Dot.find("peripheries=2"), std::string::npos);
+  EXPECT_NE(Dot.find("fillcolor=lightblue"), std::string::npos);
+  // Probabilities rendered on branch edges (two decimals).
+  EXPECT_NE(Dot.find("label=\"T 0."), std::string::npos);
+}
+
+TEST(DotExportTest, BalancedBracesForWholeSuiteFunctions) {
+  const workloads::Workload W = workloads::buildByName("go");
+  for (const auto &F : W.Prog->functions()) {
+    const std::string Dot = exportFunctionDot(*F);
+    const size_t Open = std::count(Dot.begin(), Dot.end(), '{');
+    const size_t Close = std::count(Dot.begin(), Dot.end(), '}');
+    EXPECT_EQ(Open, Close) << F->getName();
+    EXPECT_EQ(Dot.rfind("}\n"), Dot.size() - 2) << F->getName();
+  }
+}

@@ -1,0 +1,188 @@
+//===- tests/test_emulator.cpp - Functional emulator unit tests ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "profile/Emulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::ir;
+using namespace dmp::profile;
+
+namespace {
+
+/// Builds a straight-line program from a callback and runs it to halt.
+template <typename BuildFn>
+Emulator runProgram(std::unique_ptr<Program> &Hold, BuildFn Build,
+                    std::vector<int64_t> Memory = {}) {
+  Hold = std::make_unique<Program>("t");
+  Function *F = Hold->createFunction("main");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(*Hold);
+  B.setInsertPoint(Entry);
+  Build(B, F);
+  B.halt();
+  Hold->finalize();
+  verifyProgramOrDie(*Hold);
+  Emulator Emu(*Hold, Memory);
+  DynInstr D;
+  while (Emu.step(D)) {
+  }
+  return Emu;
+}
+
+} // namespace
+
+TEST(EmulatorTest, AluSemantics) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(P, [](IRBuilder &B, Function *) {
+    B.loadImm(1, 7);
+    B.loadImm(2, 3);
+    B.add(3, 1, 2);   // 10
+    B.sub(4, 1, 2);   // 4
+    B.mul(5, 1, 2);   // 21
+    B.div(6, 1, 2);   // 2
+    B.and_(7, 1, 2);  // 3
+    B.or_(8, 1, 2);   // 7
+    B.xor_(9, 1, 2);  // 4
+    B.shl(10, 1, 2);  // 56
+    B.shr(11, 1, 2);  // 0
+    B.slt(12, 2, 1);  // 1
+    B.addI(13, 1, 5); // 12
+    B.mulI(14, 1, 4); // 28
+    B.andI(15, 1, 6); // 6
+    B.sltI(16, 1, 8); // 1
+  });
+  EXPECT_EQ(Emu.reg(3), 10);
+  EXPECT_EQ(Emu.reg(4), 4);
+  EXPECT_EQ(Emu.reg(5), 21);
+  EXPECT_EQ(Emu.reg(6), 2);
+  EXPECT_EQ(Emu.reg(7), 3);
+  EXPECT_EQ(Emu.reg(8), 7);
+  EXPECT_EQ(Emu.reg(9), 4);
+  EXPECT_EQ(Emu.reg(10), 56);
+  EXPECT_EQ(Emu.reg(11), 0);
+  EXPECT_EQ(Emu.reg(12), 1);
+  EXPECT_EQ(Emu.reg(13), 12);
+  EXPECT_EQ(Emu.reg(14), 28);
+  EXPECT_EQ(Emu.reg(15), 6);
+  EXPECT_EQ(Emu.reg(16), 1);
+}
+
+TEST(EmulatorTest, DivideByZeroYieldsZero) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(P, [](IRBuilder &B, Function *) {
+    B.loadImm(1, 42);
+    B.div(2, 1, 0); // r0 == 0
+  });
+  EXPECT_EQ(Emu.reg(2), 0);
+}
+
+TEST(EmulatorTest, RegZeroStaysZero) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(P, [](IRBuilder &B, Function *) {
+    B.loadImm(1, 5);
+    B.add(2, 0, 1); // r0 reads as 0
+  });
+  EXPECT_EQ(Emu.reg(0), 0);
+  EXPECT_EQ(Emu.reg(2), 5);
+}
+
+TEST(EmulatorTest, LoadStoreRoundTrip) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(
+      P,
+      [](IRBuilder &B, Function *) {
+        B.loadImm(1, 100);
+        B.loadImm(2, 77);
+        B.store(2, 1, 8);  // mem[108] = 77
+        B.load(3, 1, 8);   // r3 = mem[108]
+        B.load(4, 0, 5);   // r4 = initial image word 5
+      },
+      {0, 0, 0, 0, 0, 123});
+  EXPECT_EQ(Emu.reg(3), 77);
+  EXPECT_EQ(Emu.reg(4), 123);
+  EXPECT_EQ(Emu.memWord(108), 77);
+}
+
+TEST(EmulatorTest, BranchTakenAndNotTaken) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/8);
+  // Data: taken on every even index (period 2).
+  Emulator Emu(*H.Prog, test::alternatingImage(64, 2));
+  DynInstr D;
+  unsigned TakenCount = 0, BranchCount = 0;
+  while (Emu.step(D)) {
+    if (D.I->Op == Opcode::CondBr && D.Addr == H.BranchAddr) {
+      ++BranchCount;
+      TakenCount += D.Taken;
+    }
+  }
+  EXPECT_TRUE(Emu.isHalted());
+  EXPECT_EQ(BranchCount, 8u);
+  EXPECT_EQ(TakenCount, 4u);
+  // Accumulator saw +1 four times and -1 four times.
+  EXPECT_EQ(Emu.reg(4), 0);
+}
+
+TEST(EmulatorTest, CallAndReturn) {
+  auto H = test::buildRetFuncLoop(/*Iters=*/4);
+  Emulator Emu(*H.Prog, test::alternatingImage(64, 2));
+  DynInstr D;
+  unsigned Calls = 0, Rets = 0;
+  size_t MaxDepth = 0;
+  while (Emu.step(D)) {
+    if (D.I->Op == Opcode::Call)
+      ++Calls;
+    if (D.I->Op == Opcode::Ret)
+      ++Rets;
+    MaxDepth = std::max(MaxDepth, Emu.callDepth());
+  }
+  EXPECT_EQ(Calls, 4u);
+  EXPECT_EQ(Rets, 4u);
+  EXPECT_EQ(MaxDepth, 1u);
+  EXPECT_TRUE(Emu.isHalted());
+}
+
+TEST(EmulatorTest, NextAddrMatchesControlFlow) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/4);
+  Emulator Emu(*H.Prog, test::alternatingImage(64, 2));
+  DynInstr D;
+  uint32_t Expected = H.Prog->getMain()->getEntryAddr();
+  while (Emu.step(D)) {
+    EXPECT_EQ(D.Addr, Expected);
+    Expected = D.NextAddr;
+  }
+}
+
+TEST(EmulatorTest, DeterministicAcrossRuns) {
+  auto H = test::buildFreqHammockLoop();
+  const auto Image = test::alternatingImage(8192, 3);
+  uint64_t Counts[2];
+  int64_t Sums[2];
+  for (int Run = 0; Run < 2; ++Run) {
+    Emulator Emu(*H.Prog, Image);
+    DynInstr D;
+    int64_t Sum = 0;
+    while (Emu.step(D))
+      Sum += static_cast<int64_t>(D.Addr);
+    Counts[Run] = Emu.executedCount();
+    Sums[Run] = Sum;
+  }
+  EXPECT_EQ(Counts[0], Counts[1]);
+  EXPECT_EQ(Sums[0], Sums[1]);
+}
+
+TEST(EmulatorTest, HaltStopsExecution) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(P, [](IRBuilder &B, Function *) {
+    B.loadImm(1, 1);
+  });
+  EXPECT_TRUE(Emu.isHalted());
+  DynInstr D;
+  EXPECT_FALSE(Emu.step(D));
+  EXPECT_EQ(Emu.executedCount(), 2u); // loadImm + halt
+}

@@ -1,0 +1,181 @@
+//===- tests/test_ir.cpp - IR layer unit tests ---------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::ir;
+
+TEST(OpcodeTest, TerminatorClassification) {
+  EXPECT_TRUE(isTerminator(Opcode::CondBr));
+  EXPECT_TRUE(isTerminator(Opcode::Jmp));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTerminator(Opcode::Halt));
+  EXPECT_FALSE(isTerminator(Opcode::Call));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+  EXPECT_TRUE(isControlFlow(Opcode::Call));
+}
+
+TEST(OpcodeTest, RegisterUsage) {
+  EXPECT_TRUE(writesRegister(Opcode::Add));
+  EXPECT_TRUE(writesRegister(Opcode::Load));
+  EXPECT_FALSE(writesRegister(Opcode::Store));
+  EXPECT_FALSE(writesRegister(Opcode::CondBr));
+  EXPECT_TRUE(readsSrc1(Opcode::Load));
+  EXPECT_FALSE(readsSrc1(Opcode::LoadImm));
+  EXPECT_TRUE(readsSrc2(Opcode::Store));
+  EXPECT_FALSE(readsSrc2(Opcode::AddI));
+}
+
+TEST(InstructionTest, EvalCond) {
+  Instruction I;
+  I.Op = Opcode::CondBr;
+  I.Cond = BrCond::Eq;
+  EXPECT_TRUE(I.evalCond(3, 3));
+  EXPECT_FALSE(I.evalCond(3, 4));
+  I.Cond = BrCond::Ne;
+  EXPECT_TRUE(I.evalCond(3, 4));
+  I.Cond = BrCond::Lt;
+  EXPECT_TRUE(I.evalCond(-1, 0));
+  EXPECT_FALSE(I.evalCond(0, 0));
+  I.Cond = BrCond::Ge;
+  EXPECT_TRUE(I.evalCond(0, 0));
+  I.Cond = BrCond::Ltu;
+  EXPECT_FALSE(I.evalCond(-1, 0)); // unsigned: huge >= 0
+  I.Cond = BrCond::Geu;
+  EXPECT_TRUE(I.evalCond(-1, 0));
+}
+
+TEST(ProgramTest, FinalizeAssignsDenseAddresses) {
+  auto H = test::buildSimpleHammockLoop();
+  const Program &P = *H.Prog;
+  ASSERT_TRUE(P.isFinalized());
+  EXPECT_GT(P.instrCount(), 10u);
+  for (uint32_t Addr = 0; Addr < P.instrCount(); ++Addr)
+    EXPECT_EQ(P.instrAt(Addr).Addr, Addr);
+}
+
+TEST(ProgramTest, BlockLookupConsistent) {
+  auto H = test::buildSimpleHammockLoop();
+  const Program &P = *H.Prog;
+  for (uint32_t Addr = 0; Addr < P.instrCount(); ++Addr) {
+    const BasicBlock *Block = P.blockAt(Addr);
+    EXPECT_GE(Addr, Block->getStartAddr());
+    EXPECT_LT(Addr, Block->getStartAddr() + Block->instrCount());
+  }
+}
+
+TEST(ProgramTest, CondBranchAddrsAreBranches) {
+  auto H = test::buildFreqHammockLoop();
+  const Program &P = *H.Prog;
+  EXPECT_EQ(P.condBranchAddrs().size(), 3u); // hammock, rare, loop-back
+  for (uint32_t Addr : P.condBranchAddrs())
+    EXPECT_TRUE(P.instrAt(Addr).isCondBr());
+}
+
+TEST(ProgramTest, FindFunction) {
+  auto H = test::buildRetFuncLoop();
+  EXPECT_NE(H.Prog->findFunction("f"), nullptr);
+  EXPECT_EQ(H.Prog->findFunction("nonexistent"), nullptr);
+  EXPECT_EQ(H.Prog->getMain()->getName(), "main");
+}
+
+TEST(BasicBlockTest, SuccessorsOfBranch) {
+  auto H = test::buildSimpleHammockLoop();
+  auto Succs = H.BranchBlock->successors();
+  ASSERT_EQ(Succs.size(), 2u);
+  EXPECT_EQ(Succs[0], H.TakenSide); // taken first
+  EXPECT_EQ(Succs[1], H.FallSide);  // then fallthrough
+}
+
+TEST(BasicBlockTest, FallthroughOnlyBlock) {
+  auto H = test::buildSimpleHammockLoop();
+  // The taken side has no terminator: it falls through to the merge.
+  EXPECT_EQ(H.TakenSide->getTerminator(), nullptr);
+  auto Succs = H.TakenSide->successors();
+  ASSERT_EQ(Succs.size(), 1u);
+  EXPECT_EQ(Succs[0], H.Merge);
+}
+
+TEST(VerifierTest, AcceptsWellFormed) {
+  auto H = test::buildFreqHammockLoop();
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyProgram(*H.Prog, Errors));
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST(VerifierTest, RejectsUnfinalized) {
+  Program P("bad");
+  Function *F = P.createFunction("main");
+  (void)F;
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(P, Errors));
+}
+
+TEST(VerifierTest, RejectsMissingHalt) {
+  Program P("bad");
+  Function *F = P.createFunction("main");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(P);
+  B.setInsertPoint(Entry);
+  B.loadImm(1, 1);
+  B.ret(); // main returns instead of halting: structurally legal block,
+           // but no halt anywhere.
+  P.finalize();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(P, Errors));
+}
+
+TEST(VerifierTest, RejectsEmptyBlock) {
+  Program P("bad");
+  Function *F = P.createFunction("main");
+  F->createBlock("empty");
+  BasicBlock *Second = F->createBlock("second");
+  IRBuilder B(P);
+  B.setInsertPoint(Second);
+  B.halt();
+  P.finalize();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(P, Errors));
+}
+
+TEST(VerifierTest, RejectsFallOffFunctionEnd) {
+  Program P("bad");
+  Function *F = P.createFunction("main");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(P);
+  B.setInsertPoint(Entry);
+  B.loadImm(1, 1); // no terminator at all
+  P.finalize();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyProgram(P, Errors));
+}
+
+TEST(PrinterTest, ContainsMnemonicsAndNames) {
+  auto H = test::buildSimpleHammockLoop();
+  const std::string Text = printProgram(*H.Prog);
+  EXPECT_NE(Text.find("func main"), std::string::npos);
+  EXPECT_NE(Text.find("br."), std::string::npos);
+  EXPECT_NE(Text.find("halt"), std::string::npos);
+  EXPECT_NE(Text.find("header:"), std::string::npos);
+}
+
+TEST(IRBuilderTest, FillerHasRequestedLength) {
+  Program P("filler");
+  Function *F = P.createFunction("main");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(P);
+  B.setInsertPoint(Entry);
+  B.emitFiller(17, 8);
+  B.halt();
+  P.finalize();
+  EXPECT_EQ(P.instrCount(), 18u);
+}

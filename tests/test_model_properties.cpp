@@ -1,0 +1,186 @@
+//===- tests/test_model_properties.cpp - Model invariant sweeps ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Parameterized invariant sweeps over the analytical machinery:
+// probability conservation in path enumeration, and the cost model's
+// behavior under machine-parameter changes (Eq. 14's 1/fw scaling, penalty
+// monotonicity).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "core/CostModel.h"
+#include "core/HammockAnalysis.h"
+#include "core/LoopSelect.h"
+#include "profile/Profiler.h"
+#include "workloads/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::core;
+
+//===----------------------------------------------------------------------===//
+// Path enumeration: probability conservation over real benchmarks
+//===----------------------------------------------------------------------===//
+
+class PathProbabilityProperty
+    : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PathProbabilityProperty, MassIsConservedOrAccounted) {
+  workloads::Workload W = workloads::buildByName(GetParam());
+  cfg::ProgramAnalysis PA(*W.Prog);
+  auto Prof = profile::collectProfile(
+      *W.Prog, PA, W.buildImage(workloads::InputSetKind::Run));
+  SelectionConfig Config;
+
+  for (uint32_t Addr : W.Prog->condBranchAddrs()) {
+    if (!Prof.Edges.wasExecuted(Addr))
+      continue;
+    if (isLoopExitBranch(PA, Addr))
+      continue;
+    const BranchCandidate Cand =
+        analyzeBranch(PA, Prof.Edges, Addr, Config, Config.MaxInstr,
+                      Config.MaxCondBr);
+    for (const cfg::PathSet *Set : {&Cand.TakenPaths, &Cand.FallPaths}) {
+      // Materialized probability plus pruned mass accounts for all mass
+      // (up to the MaxPaths overflow, which is flagged).
+      const double Accounted = Set->totalProb() + Set->LostProbMass;
+      if (!Set->Overflowed) {
+        EXPECT_GT(Accounted, 0.98) << GetParam() << " @" << Addr;
+        EXPECT_LT(Accounted, 1.02) << GetParam() << " @" << Addr;
+      }
+      // Per-path sanity.
+      for (const cfg::Path &P : Set->Paths) {
+        EXPECT_GT(P.Prob, 0.0);
+        EXPECT_LE(P.Prob, 1.0 + 1e-12);
+      }
+      // Merge probabilities are probabilities.
+      for (const CfmCandidate &Cfm : Cand.Cfms) {
+        EXPECT_GE(Cfm.MergeProb, 0.0);
+        EXPECT_LE(Cfm.MergeProb, 1.0 + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, PathProbabilityProperty,
+                         ::testing::Values("gzip", "gcc", "twolf", "go",
+                                           "parser", "crafty"));
+
+//===----------------------------------------------------------------------===//
+// Cost model: machine-parameter monotonicity (Eq. 14 / Eq. 1)
+//===----------------------------------------------------------------------===//
+
+class CostModelParamProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CostModelParamProperty, OverheadScalesInverselyWithFetchWidth) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/8);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  cfg::EdgeProfile Prof;
+  for (int I = 0; I < 500; ++I) {
+    Prof.recordBranch(H.BranchAddr, true);
+    Prof.recordBranch(H.BranchAddr, false);
+  }
+  for (uint32_t Addr : H.Prog->condBranchAddrs()) {
+    if (Addr == H.BranchAddr)
+      continue;
+    for (int I = 0; I < 99; ++I)
+      Prof.recordBranch(Addr, true);
+    Prof.recordBranch(Addr, false);
+  }
+  SelectionConfig Config;
+  const BranchCandidate Cand = analyzeBranch(
+      PA, Prof, H.BranchAddr, Config, Config.MaxInstr, Config.MaxCondBr);
+  CfmCandidate Exact;
+  Exact.Block = Cand.Iposdom;
+  Exact.MergeProb = 1.0;
+
+  const unsigned FW = GetParam();
+  SelectionConfig Narrow = Config;
+  Narrow.FetchWidth = FW;
+  SelectionConfig Wide = Config;
+  Wide.FetchWidth = FW * 2;
+  const HammockCost NarrowCost =
+      evaluateHammockCost(Cand, {Exact}, Narrow, OverheadMethod::EdgeProfile);
+  const HammockCost WideCost =
+      evaluateHammockCost(Cand, {Exact}, Wide, OverheadMethod::EdgeProfile);
+  // Eq. 14: overhead = useless/fw, so doubling fw halves the overhead.
+  EXPECT_NEAR(NarrowCost.OverheadCycles, 2.0 * WideCost.OverheadCycles,
+              1e-9);
+}
+
+TEST_P(CostModelParamProperty, CostDecreasesWithMispPenalty) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/8);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  cfg::EdgeProfile Prof;
+  for (int I = 0; I < 500; ++I) {
+    Prof.recordBranch(H.BranchAddr, true);
+    Prof.recordBranch(H.BranchAddr, false);
+  }
+  for (uint32_t Addr : H.Prog->condBranchAddrs()) {
+    if (Addr == H.BranchAddr)
+      continue;
+    for (int I = 0; I < 99; ++I)
+      Prof.recordBranch(Addr, true);
+    Prof.recordBranch(Addr, false);
+  }
+  SelectionConfig Config;
+  const BranchCandidate Cand = analyzeBranch(
+      PA, Prof, H.BranchAddr, Config, Config.MaxInstr, Config.MaxCondBr);
+  CfmCandidate Exact;
+  Exact.Block = Cand.Iposdom;
+  Exact.MergeProb = 1.0;
+
+  SelectionConfig Low = Config;
+  Low.MispPenaltyCycles = GetParam();
+  SelectionConfig High = Config;
+  High.MispPenaltyCycles = GetParam() + 10;
+  const HammockCost LowCost =
+      evaluateHammockCost(Cand, {Exact}, Low, OverheadMethod::EdgeProfile);
+  const HammockCost HighCost =
+      evaluateHammockCost(Cand, {Exact}, High, OverheadMethod::EdgeProfile);
+  // A larger flush penalty makes predication strictly more attractive
+  // (Eq. 1's benefit term grows).
+  EXPECT_LT(HighCost.CostCycles, LowCost.CostCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CostModelParamProperty,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+//===----------------------------------------------------------------------===//
+// Loop cost model: probability-mix edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(LoopCostEdgeCases, ZeroEverythingIsZeroCost) {
+  SelectionConfig Config;
+  LoopCostInputs In; // all zeros
+  const LoopCost Cost = evaluateLoopCost(In, Config);
+  EXPECT_DOUBLE_EQ(Cost.CostCycles, 0.0);
+  EXPECT_FALSE(Cost.Selected);
+}
+
+TEST(LoopCostEdgeCases, PureNoExitNeverSelected) {
+  SelectionConfig Config;
+  LoopCostInputs In;
+  In.BodyInstrs = 10;
+  In.SelectUops = 4;
+  In.DpredIter = 8;
+  In.PNoExit = 1.0;
+  EXPECT_FALSE(evaluateLoopCost(In, Config).Selected);
+}
+
+TEST(LoopCostEdgeCases, LateExitDominatesEvenWithBigBody) {
+  SelectionConfig Config;
+  LoopCostInputs In;
+  In.BodyInstrs = 30; // STATIC_LOOP_SIZE boundary
+  In.SelectUops = 8;
+  In.DpredIter = 10;
+  In.DpredExtraIter = 3;
+  In.PLateExit = 1.0;
+  // Overhead: 30*3/8 + 8*10/8 = 11.25 + 10 = 21.25 < 25 penalty.
+  const LoopCost Cost = evaluateLoopCost(In, Config);
+  EXPECT_NEAR(Cost.OverheadLate, 21.25, 1e-9);
+  EXPECT_TRUE(Cost.Selected);
+}

@@ -1,0 +1,197 @@
+//===- tests/test_paths.cpp - Path enumeration unit tests ----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "cfg/Analysis.h"
+#include "cfg/PathEnumerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::cfg;
+
+namespace {
+
+/// Edge profile with chosen taken probabilities for the three branches of
+/// the freq-hammock test program.
+EdgeProfile freqProfile(const test::ProgramHandles &H, double HammockTaken,
+                        double RareTaken, uint64_t Execs = 1000) {
+  EdgeProfile Prof;
+  const ir::Program &P = *H.Prog;
+  for (uint32_t Addr : P.condBranchAddrs()) {
+    double TakenProb = 0.9; // loop back edge default
+    if (Addr == H.BranchAddr)
+      TakenProb = HammockTaken;
+    else if (H.RareSide && P.blockAt(Addr) == H.TakenSide)
+      TakenProb = RareTaken;
+    const auto Taken = static_cast<uint64_t>(TakenProb * Execs);
+    for (uint64_t I = 0; I < Taken; ++I)
+      Prof.recordBranch(Addr, true);
+    for (uint64_t I = 0; I < Execs - Taken; ++I)
+      Prof.recordBranch(Addr, false);
+  }
+  return Prof;
+}
+
+PathLimits limits(unsigned MaxInstr = 50, unsigned MaxCbr = 5) {
+  PathLimits L;
+  L.MaxInstr = MaxInstr;
+  L.MaxCondBr = MaxCbr;
+  return L;
+}
+
+} // namespace
+
+TEST(PathEnumTest, SimpleHammockBothSidesReachMerge) {
+  auto H = test::buildSimpleHammockLoop();
+  EdgeProfile Prof = freqProfile(H, 0.5, 0.0);
+  PathSet Taken = enumeratePaths(H.TakenSide, H.Merge, Prof, limits());
+  PathSet Fall = enumeratePaths(H.FallSide, H.Merge, Prof, limits());
+  ASSERT_EQ(Taken.Paths.size(), 1u);
+  ASSERT_EQ(Fall.Paths.size(), 1u);
+  EXPECT_EQ(Taken.Paths[0].End, PathEnd::ReachedStop);
+  EXPECT_EQ(Fall.Paths[0].End, PathEnd::ReachedStop);
+  EXPECT_DOUBLE_EQ(Taken.Paths[0].Prob, 1.0);
+  EXPECT_EQ(Taken.Paths[0].CondBrs, 0u);
+  EXPECT_DOUBLE_EQ(Taken.reachProb(H.Merge), 1.0);
+}
+
+TEST(PathEnumTest, StartEqualsStopYieldsEmptyPath) {
+  auto H = test::buildSimpleHammockLoop();
+  EdgeProfile Prof = freqProfile(H, 0.5, 0.0);
+  PathSet Set = enumeratePaths(H.Merge, H.Merge, Prof, limits());
+  ASSERT_EQ(Set.Paths.size(), 1u);
+  EXPECT_EQ(Set.Paths[0].End, PathEnd::ReachedStop);
+  EXPECT_EQ(Set.Paths[0].Instrs, 0u);
+}
+
+TEST(PathEnumTest, FreqHammockSplitsOnRareBranch) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/60);
+  EdgeProfile Prof = freqProfile(H, 0.5, 0.03);
+  PathSet Taken = enumeratePaths(H.TakenSide, H.End, Prof, limits());
+  // Two paths: via TakenBody -> Merge -> End (reaches) and via Rare
+  // (truncated at 50 instructions).
+  ASSERT_EQ(Taken.Paths.size(), 2u);
+  double ReachedProb = 0.0, TruncProb = 0.0;
+  for (const Path &P : Taken.Paths) {
+    if (P.End == PathEnd::ReachedStop)
+      ReachedProb += P.Prob;
+    else
+      TruncProb += P.Prob;
+  }
+  EXPECT_NEAR(ReachedProb, 0.97, 1e-9);
+  EXPECT_NEAR(TruncProb, 0.03, 1e-9);
+  EXPECT_NEAR(Taken.totalProb(), 1.0, 1e-9);
+  // The frequent merge is reached with the non-rare probability.
+  EXPECT_NEAR(Taken.reachProb(H.Merge), 0.97, 1e-9);
+}
+
+TEST(PathEnumTest, MinExecProbPrunesRareDirection) {
+  auto H = test::buildFreqHammockLoop();
+  EdgeProfile Prof =
+      freqProfile(H, 0.5, 0.0005, /*Execs=*/10000); // below MIN_EXEC_PROB
+  PathLimits L = limits();
+  L.MinExecProb = 0.001;
+  PathSet Taken = enumeratePaths(H.TakenSide, H.End, Prof, L);
+  // Only the frequent path remains; the pruned mass is recorded.
+  ASSERT_EQ(Taken.Paths.size(), 1u);
+  EXPECT_EQ(Taken.Paths[0].End, PathEnd::ReachedStop);
+  EXPECT_NEAR(Taken.LostProbMass, 0.0005, 1e-6);
+}
+
+TEST(PathEnumTest, MaxCondBrTruncates) {
+  auto H = test::buildDataLoop();
+  EdgeProfile Prof;
+  // Loop branch: 90% stay.
+  for (int I = 0; I < 90; ++I)
+    Prof.recordBranch(H.BranchAddr, true);
+  for (int I = 0; I < 10; ++I)
+    Prof.recordBranch(H.BranchAddr, false);
+  PathLimits L = limits(/*MaxInstr=*/500, /*MaxCbr=*/3);
+  PathSet Set = enumeratePaths(H.BranchBlock, nullptr, Prof, L);
+  for (const Path &P : Set.Paths)
+    EXPECT_LE(P.CondBrs, 4u); // limit + the terminating check
+}
+
+TEST(PathEnumTest, LoopBlocksEndLooped) {
+  auto H = test::buildDataLoop();
+  EdgeProfile Prof;
+  for (int I = 0; I < 90; ++I)
+    Prof.recordBranch(H.BranchAddr, true);
+  for (int I = 0; I < 10; ++I)
+    Prof.recordBranch(H.BranchAddr, false);
+  PathSet Set = enumeratePaths(H.BranchBlock, nullptr, Prof, limits(500, 10));
+  bool SawLooped = false;
+  for (const Path &P : Set.Paths)
+    SawLooped |= (P.End == PathEnd::Looped);
+  EXPECT_TRUE(SawLooped);
+}
+
+TEST(PathEnumTest, ReturnPathsDetected) {
+  auto H = test::buildRetFuncLoop();
+  EdgeProfile Prof;
+  for (int I = 0; I < 50; ++I) {
+    Prof.recordBranch(H.BranchAddr, true);
+    Prof.recordBranch(H.BranchAddr, false);
+  }
+  PathSet Taken = enumeratePaths(H.TakenSide, nullptr, Prof, limits());
+  PathSet Fall = enumeratePaths(H.FallSide, nullptr, Prof, limits());
+  ASSERT_EQ(Taken.Paths.size(), 1u);
+  EXPECT_EQ(Taken.Paths[0].End, PathEnd::ReachedRet);
+  EXPECT_NE(Taken.Paths[0].RetInstr, nullptr);
+  EXPECT_DOUBLE_EQ(Taken.returnReachProb(), 1.0);
+  EXPECT_DOUBLE_EQ(Fall.returnReachProb(), 1.0);
+  // The two sides end at *different* return instructions.
+  EXPECT_NE(Taken.Paths[0].RetInstr, Fall.Paths[0].RetInstr);
+}
+
+TEST(PathEnumTest, InstrDistancesMatchBlockSizes) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/4);
+  EdgeProfile Prof = freqProfile(H, 0.5, 0.0);
+  PathSet Fall = enumeratePaths(H.FallSide, H.Merge, Prof, limits());
+  // Fall block: 4 filler + addi + jmp = 6 instructions.
+  EXPECT_EQ(Fall.maxInstrsTo(H.Merge, 0), 6u);
+  EXPECT_DOUBLE_EQ(Fall.expectedInstrsTo(H.Merge, 0), 6.0);
+}
+
+TEST(PathEnumTest, ExpectedInstrsWeighsRarePath) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/60);
+  EdgeProfile Prof = freqProfile(H, 0.5, 0.10);
+  PathLimits L = limits(/*MaxInstr=*/200, /*MaxCbr=*/5);
+  PathSet Taken = enumeratePaths(H.TakenSide, H.End, Prof, L);
+  const double Expected = Taken.expectedInstrsTo(H.Merge, 0);
+  const unsigned Longest = Taken.maxInstrsTo(H.Merge, 0);
+  // Method 3 (expectation) must be below Method 2 (longest path) when a
+  // rare long path exists.
+  EXPECT_LT(Expected, static_cast<double>(Longest));
+  EXPECT_GT(Expected, 0.0);
+}
+
+TEST(PathEnumTest, FirstReachExcludesChainedCandidate) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/60);
+  EdgeProfile Prof = freqProfile(H, 0.5, 0.10);
+  PathLimits L = limits(/*MaxInstr=*/300, /*MaxCbr=*/5);
+  PathSet Taken = enumeratePaths(H.TakenSide, H.End, Prof, L);
+  // Reaching End without passing through Merge first only happens on the
+  // rare path.
+  std::unordered_set<const ir::BasicBlock *> Excl = {H.Merge};
+  EXPECT_NEAR(Taken.firstReachProb(H.End, Excl), 0.10, 1e-9);
+  EXPECT_NEAR(Taken.firstReachProb(H.Merge, {}), 0.90, 1e-9);
+}
+
+TEST(PathEnumTest, MaxPathsOverflowIsReported) {
+  auto H = test::buildDataLoop();
+  EdgeProfile Prof;
+  for (int I = 0; I < 50; ++I) {
+    Prof.recordBranch(H.BranchAddr, true);
+    Prof.recordBranch(H.BranchAddr, false);
+  }
+  PathLimits L = limits(10000, 1000);
+  L.MaxPaths = 4;
+  L.MinPathProb = 0.0;
+  PathSet Set = enumeratePaths(H.BranchBlock, nullptr, Prof, L);
+  EXPECT_LE(Set.Paths.size(), 4u);
+}

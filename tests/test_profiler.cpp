@@ -1,0 +1,127 @@
+//===- tests/test_profiler.cpp - Profiler unit tests ---------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "profile/Profiler.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::profile;
+
+TEST(ProfilerTest, EdgeCountsMatchKnownOutcomes) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/32);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  // Period 4: taken on every 4th index -> 8 taken, 24 not-taken.
+  ProfileData Data =
+      collectProfile(*H.Prog, PA, test::alternatingImage(64, 4));
+  const cfg::BranchCounts Counts = Data.Edges.branchCounts(H.BranchAddr);
+  EXPECT_EQ(Counts.Taken, 8u);
+  EXPECT_EQ(Counts.NotTaken, 24u);
+  EXPECT_NEAR(Counts.takenProb(), 0.25, 1e-12);
+  EXPECT_TRUE(Data.Edges.wasExecuted(H.BranchAddr));
+  EXPECT_TRUE(Data.Completed);
+}
+
+TEST(ProfilerTest, BlockExecCounts) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/32);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  ProfileData Data =
+      collectProfile(*H.Prog, PA, test::alternatingImage(64, 4));
+  EXPECT_EQ(Data.Edges.blockExecCount(H.BranchBlock->getStartAddr()), 32u);
+  EXPECT_EQ(Data.Edges.blockExecCount(H.TakenSide->getStartAddr()), 8u);
+  EXPECT_EQ(Data.Edges.blockExecCount(H.FallSide->getStartAddr()), 24u);
+  EXPECT_EQ(Data.Edges.blockExecCount(H.Merge->getStartAddr()), 32u);
+}
+
+TEST(ProfilerTest, MispredictionProfileTracksHardness) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/512);
+  cfg::ProgramAnalysis PA(*H.Prog);
+
+  // Strongly biased data: very few mispredictions.
+  std::vector<int64_t> Easy(8192, 0);
+  ProfileData EasyData = collectProfile(*H.Prog, PA, Easy);
+  EXPECT_LT(EasyData.Branches.mispRate(H.BranchAddr), 0.05);
+
+  // Pseudo-random data: many mispredictions.
+  std::vector<int64_t> Hard(8192, 0);
+  RNG Rng(7);
+  for (auto &W : Hard)
+    W = Rng.nextBool(0.5);
+  ProfileData HardData = collectProfile(*H.Prog, PA, Hard);
+  EXPECT_GT(HardData.Branches.mispRate(H.BranchAddr), 0.25);
+  EXPECT_GT(HardData.profileMPKI(), EasyData.profileMPKI());
+}
+
+TEST(ProfilerTest, LoopIterationProfile) {
+  auto H = test::buildDataLoop(/*BodyLen=*/2, /*Outer=*/16);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  // Trip counts: constant 5.
+  std::vector<int64_t> Image(64, 5);
+  ProfileData Data = collectProfile(*H.Prog, PA, Image);
+  const LoopStats *Stats =
+      Data.Loops.find(H.BranchBlock->getStartAddr());
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_EQ(Stats->Invocations, 16u);
+  EXPECT_NEAR(Stats->avgIterations(), 5.0, 1e-9);
+  // Dynamic size: 5 iterations x (2 filler + addi + br) = 20 per entry.
+  EXPECT_NEAR(Stats->avgDynamicSize(), 20.0, 1e-9);
+}
+
+TEST(ProfilerTest, LoopProfileVariableTrips) {
+  auto H = test::buildDataLoop(/*BodyLen=*/2, /*Outer=*/32);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image(64, 0);
+  for (size_t I = 0; I < 32; ++I)
+    Image[I] = 1 + static_cast<int64_t>(I % 4); // trips 1..4
+  ProfileData Data = collectProfile(*H.Prog, PA, Image);
+  const LoopStats *Stats =
+      Data.Loops.find(H.BranchBlock->getStartAddr());
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_NEAR(Stats->avgIterations(), 2.5, 1e-9);
+  EXPECT_EQ(Stats->Iterations.minValue(), 1u);
+  EXPECT_EQ(Stats->Iterations.maxValue(), 4u);
+}
+
+TEST(ProfilerTest, MaxInstrsBudgetRespected) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/100000);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  ProfileOptions Options;
+  Options.MaxInstrs = 5000;
+  ProfileData Data =
+      collectProfile(*H.Prog, PA, test::alternatingImage(8192, 2), Options);
+  EXPECT_LE(Data.DynamicInstrs, 5000u);
+  EXPECT_FALSE(Data.Completed);
+}
+
+TEST(ProfilerTest, CalleeLoopsAttributedSeparately) {
+  auto H = test::buildRetFuncLoop(/*Iters=*/16);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  ProfileData Data =
+      collectProfile(*H.Prog, PA, test::alternatingImage(64, 2));
+  // The outer loop in main exists and iterated 16 times once.
+  bool FoundOuter = false;
+  for (const auto &Entry : Data.Loops.all()) {
+    if (Entry.second.Invocations == 1 &&
+        Entry.second.avgIterations() == 16.0)
+      FoundOuter = true;
+  }
+  EXPECT_TRUE(FoundOuter);
+}
+
+TEST(ProfilerTest, DeterministicProfiles) {
+  auto H = test::buildFreqHammockLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  const auto Image = test::alternatingImage(8192, 3);
+  ProfileData A = collectProfile(*H.Prog, PA, Image);
+  ProfileData B = collectProfile(*H.Prog, PA, Image);
+  EXPECT_EQ(A.DynamicInstrs, B.DynamicInstrs);
+  EXPECT_EQ(A.Branches.totalMispredictions(),
+            B.Branches.totalMispredictions());
+  EXPECT_EQ(A.Edges.branchCounts(H.BranchAddr).Taken,
+            B.Edges.branchCounts(H.BranchAddr).Taken);
+}

@@ -1,0 +1,419 @@
+//===- tests/test_selection.cpp - Diverge-branch selection tests --------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Covers HammockAnalysis classification, chain reduction, the selection
+// orchestrator (Alg-exact, Alg-freq, short hammocks, return CFMs, loop
+// heuristics, cost mode), and the simple baseline selectors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "core/DivergeSelector.h"
+#include "core/HammockAnalysis.h"
+#include "core/LoopSelect.h"
+#include "core/SimpleSelectors.h"
+#include "profile/Profiler.h"
+#include "support/RNG.h"
+#include "workloads/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::core;
+
+namespace {
+
+/// Runs a real profiling pass over the handles' program with the given
+/// memory image.
+profile::ProfileData profileWith(const test::ProgramHandles &H,
+                                 const cfg::ProgramAnalysis &PA,
+                                 const std::vector<int64_t> &Image) {
+  return profile::collectProfile(*H.Prog, PA, Image);
+}
+
+std::vector<int64_t> randomImage(size_t Words, double P, uint64_t Seed = 11) {
+  std::vector<int64_t> Image(Words, 0);
+  RNG Rng(Seed);
+  for (auto &W : Image)
+    W = Rng.nextBool(P);
+  return Image;
+}
+
+} // namespace
+
+TEST(HammockAnalysisTest, ClassifiesSimpleHammock) {
+  auto H = test::buildSimpleHammockLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  SelectionConfig Config;
+  const BranchCandidate Cand =
+      analyzeBranch(PA, Prof.Edges, H.BranchAddr, Config, Config.MaxInstr,
+                    Config.MaxCondBr);
+  EXPECT_EQ(Cand.StructKind, DivergeKind::SimpleHammock);
+  EXPECT_TRUE(Cand.AllPathsReachIposdom);
+  EXPECT_EQ(Cand.Iposdom, H.Merge);
+  EXPECT_NEAR(Cand.TakenProb, 0.5, 0.05);
+}
+
+TEST(HammockAnalysisTest, ClassifiesFreqHammock) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/60, /*Iters=*/2000);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  // Hammock 50/50, rare path ~5%.
+  std::vector<int64_t> Image = randomImage(8192, 0.5);
+  RNG Rng(5);
+  for (size_t I = 4096; I < 8192; ++I)
+    Image[I] = Rng.nextBool(0.05);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  const BranchCandidate Cand =
+      analyzeBranch(PA, Prof.Edges, H.BranchAddr, Config, Config.MaxInstr,
+                    Config.MaxCondBr);
+  EXPECT_EQ(Cand.StructKind, DivergeKind::FreqHammock);
+  EXPECT_FALSE(Cand.AllPathsReachIposdom);
+  ASSERT_FALSE(Cand.Cfms.empty());
+  // The best candidate is the frequent merge with ~95% merge probability.
+  EXPECT_EQ(Cand.Cfms[0].Block, H.Merge);
+  EXPECT_GT(Cand.Cfms[0].MergeProb, 0.85);
+}
+
+TEST(HammockAnalysisTest, ChainReductionPrefersFrequentMerge) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/30, /*Iters=*/2000);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image = randomImage(8192, 0.5);
+  RNG Rng(5);
+  for (size_t I = 4096; I < 8192; ++I)
+    Image[I] = Rng.nextBool(0.05);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  // Wide scope so End is reachable on all paths: Merge and End chain.
+  const BranchCandidate Cand =
+      analyzeBranch(PA, Prof.Edges, H.BranchAddr, Config,
+                    Config.CostScopeMaxInstr, Config.CostScopeMaxCondBr);
+  // End postdominates; Merge must win the chain (higher first-merge prob)
+  // and End must be suppressed.
+  bool HasMerge = false, HasEnd = false;
+  for (const CfmCandidate &C : Cand.Cfms) {
+    HasMerge |= (C.Block == H.Merge);
+    HasEnd |= (C.Block == H.End);
+  }
+  EXPECT_TRUE(HasMerge);
+  EXPECT_FALSE(HasEnd);
+}
+
+TEST(HammockAnalysisTest, ReturnCfmCandidate) {
+  auto H = test::buildRetFuncLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  SelectionConfig Config;
+  const BranchCandidate Cand =
+      analyzeBranch(PA, Prof.Edges, H.BranchAddr, Config, Config.MaxInstr,
+                    Config.MaxCondBr);
+  EXPECT_EQ(Cand.Iposdom, nullptr);
+  ASSERT_FALSE(Cand.Cfms.empty());
+  EXPECT_TRUE(Cand.Cfms[0].IsReturn);
+  EXPECT_GT(Cand.Cfms[0].MergeProb, 0.95);
+}
+
+TEST(SelectorTest, ExactSelectsSimpleHammock) {
+  auto H = test::buildSimpleHammockLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  SelectionConfig Config;
+  SelectionStats Stats;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactOnly(), &Stats);
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+  const DivergeAnnotation &Ann = *Map.find(H.BranchAddr);
+  EXPECT_EQ(Ann.Kind, DivergeKind::SimpleHammock);
+  ASSERT_EQ(Ann.Cfms.size(), 1u);
+  EXPECT_EQ(Ann.Cfms[0].Addr, H.Merge->getStartAddr());
+  EXPECT_EQ(Stats.SelectedExact, 1u);
+}
+
+TEST(SelectorTest, MaxInstrRejectsBigHammock) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/120);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  SelectionConfig Config; // MaxInstr = 50
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreq());
+  EXPECT_FALSE(Map.contains(H.BranchAddr));
+}
+
+TEST(SelectorTest, FreqRequiresFreqFeature) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/60, /*Iters=*/2000);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image = randomImage(8192, 0.5);
+  RNG Rng(5);
+  for (size_t I = 4096; I < 8192; ++I)
+    Image[I] = Rng.nextBool(0.05);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  const DivergeMap ExactMap = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactOnly());
+  EXPECT_FALSE(ExactMap.contains(H.BranchAddr));
+  const DivergeMap FreqMap = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreq());
+  ASSERT_TRUE(FreqMap.contains(H.BranchAddr));
+  EXPECT_EQ(FreqMap.find(H.BranchAddr)->Kind, DivergeKind::FreqHammock);
+  EXPECT_EQ(FreqMap.find(H.BranchAddr)->Cfms[0].Addr,
+            H.Merge->getStartAddr());
+}
+
+TEST(SelectorTest, MinMergeProbFilters) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/60, /*Iters=*/2000);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image = randomImage(8192, 0.5);
+  RNG Rng(5);
+  for (size_t I = 4096; I < 8192; ++I)
+    Image[I] = Rng.nextBool(0.30); // rare path not so rare: merge ~49%
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  const DivergeMap Loose = selectDivergeBranches(
+      PA, Prof, Config.withMinMergeProb(0.01), SelectionFeatures::exactFreq());
+  EXPECT_TRUE(Loose.contains(H.BranchAddr));
+  const DivergeMap Strict = selectDivergeBranches(
+      PA, Prof, Config.withMinMergeProb(0.90), SelectionFeatures::exactFreq());
+  EXPECT_FALSE(Strict.contains(H.BranchAddr));
+}
+
+TEST(SelectorTest, ShortHammockAlwaysPredicate) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5)); // ~45% mispredict
+  SelectionConfig Config;
+  SelectionStats Stats;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreqShort(), &Stats);
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+  EXPECT_TRUE(Map.find(H.BranchAddr)->AlwaysPredicate);
+  EXPECT_EQ(Stats.SelectedShort, 1u);
+
+  // Without the short feature the same branch is selected but not
+  // always-predicated.
+  const DivergeMap Plain = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreq());
+  ASSERT_TRUE(Plain.contains(H.BranchAddr));
+  EXPECT_FALSE(Plain.find(H.BranchAddr)->AlwaysPredicate);
+}
+
+TEST(SelectorTest, ShortHammockNeedsMisprediction) {
+  // Long run so cold-start mispredictions are amortized below 5%.
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/2, /*Iters=*/1024);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  // Highly predictable branch: not a short-hammock candidate (<5% misp).
+  auto Prof = profileWith(H, PA, std::vector<int64_t>(8192, 0));
+  SelectionConfig Config;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreqShort());
+  if (Map.contains(H.BranchAddr)) {
+    EXPECT_FALSE(Map.find(H.BranchAddr)->AlwaysPredicate);
+  }
+}
+
+TEST(SelectorTest, ReturnCfmSelection) {
+  auto H = test::buildRetFuncLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  SelectionConfig Config;
+  SelectionStats Stats;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreqShortRet(), &Stats);
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+  const DivergeAnnotation &Ann = *Map.find(H.BranchAddr);
+  ASSERT_EQ(Ann.Cfms.size(), 1u);
+  EXPECT_EQ(Ann.Cfms[0].PointKind, CfmPoint::Kind::Return);
+  EXPECT_EQ(Stats.SelectedRet, 1u);
+
+  // Without the return-CFM feature, the branch is not selected.
+  const DivergeMap NoRet = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreqShort());
+  EXPECT_FALSE(NoRet.contains(H.BranchAddr));
+}
+
+TEST(SelectorTest, LoopHeuristicsSelectSmallLoop) {
+  auto H = test::buildDataLoop(/*BodyLen=*/4);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  // Trip counts 1..6: small loop, few iterations -> selected.
+  std::vector<int64_t> Image(8192, 0);
+  RNG Rng(3);
+  for (auto &W : Image)
+    W = Rng.nextInRange(1, 6);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  SelectionStats Stats;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::allBestHeur(), &Stats);
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+  const DivergeAnnotation &Ann = *Map.find(H.BranchAddr);
+  EXPECT_EQ(Ann.Kind, DivergeKind::Loop);
+  EXPECT_TRUE(Ann.LoopStayTaken);
+  EXPECT_EQ(Ann.LoopHeaderAddr, H.BranchBlock->getStartAddr());
+  EXPECT_GT(Ann.LoopSelectUops, 0u);
+  ASSERT_EQ(Ann.Cfms.size(), 1u);
+  EXPECT_EQ(Ann.Cfms[0].Addr, H.Merge->getStartAddr());
+  EXPECT_EQ(Stats.SelectedLoop, 1u);
+}
+
+TEST(SelectorTest, LoopHeuristicsRejectManyIterations) {
+  auto H = test::buildDataLoop(/*BodyLen=*/4);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image(8192, 40); // 40 iterations > LOOP_ITER=15
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::allBestHeur());
+  EXPECT_FALSE(Map.contains(H.BranchAddr));
+
+  DivergeAnnotation Ann;
+  const LoopDecision Decision =
+      evaluateLoopBranch(PA, Prof, H.BranchAddr, Config, Ann);
+  EXPECT_TRUE(Decision.RejectedIter);
+  EXPECT_TRUE(Decision.RejectedDynamic); // 6*40 = 240 > 80
+  EXPECT_FALSE(Decision.RejectedStatic);
+  EXPECT_FALSE(Decision.Selected);
+}
+
+TEST(SelectorTest, LoopHeuristicsRejectBigBody) {
+  auto H = test::buildDataLoop(/*BodyLen=*/40);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image(8192, 2);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  DivergeAnnotation Ann;
+  const LoopDecision Decision =
+      evaluateLoopBranch(PA, Prof, H.BranchAddr, Config, Ann);
+  EXPECT_TRUE(Decision.RejectedStatic); // 42 > 30
+  EXPECT_FALSE(Decision.Selected);
+}
+
+TEST(SelectorTest, LoopBranchNotHammockCandidate) {
+  auto H = test::buildDataLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  EXPECT_TRUE(isLoopExitBranch(PA, H.BranchAddr));
+  std::vector<int64_t> Image(8192, 3);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  // Loops disabled: the exit branch must not be selected as any hammock.
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::exactFreqShortRet());
+  EXPECT_FALSE(Map.contains(H.BranchAddr));
+}
+
+TEST(SelectorTest, CostModeSelectsProfitableOnly) {
+  auto Small = test::buildSimpleHammockLoop(/*BodyLen=*/4);
+  cfg::ProgramAnalysis SmallPA(*Small.Prog);
+  auto SmallProf = profileWith(Small, SmallPA, randomImage(8192, 0.5));
+  SelectionConfig Config;
+  const DivergeMap SmallMap = selectDivergeBranches(
+      SmallPA, SmallProf, Config, SelectionFeatures::costEdge());
+  EXPECT_TRUE(SmallMap.contains(Small.BranchAddr));
+
+  auto Big = test::buildSimpleHammockLoop(/*BodyLen=*/140);
+  cfg::ProgramAnalysis BigPA(*Big.Prog);
+  auto BigProf = profileWith(Big, BigPA, randomImage(8192, 0.5));
+  SelectionStats Stats;
+  const DivergeMap BigMap = selectDivergeBranches(
+      BigPA, BigProf, Config, SelectionFeatures::costEdge(), &Stats);
+  EXPECT_FALSE(BigMap.contains(Big.BranchAddr));
+  EXPECT_GT(Stats.RejectedByCost, 0u);
+}
+
+TEST(SelectorTest, CostModePrefersApproximateCfmOfFreqHammock) {
+  auto H = test::buildFreqHammockLoop(/*RareLen=*/120, /*Iters=*/2000);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  std::vector<int64_t> Image = randomImage(8192, 0.5);
+  RNG Rng(5);
+  for (size_t I = 4096; I < 8192; ++I)
+    Image[I] = Rng.nextBool(0.03);
+  auto Prof = profileWith(H, PA, Image);
+  SelectionConfig Config;
+  const DivergeMap Map = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::costEdge());
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+  // The cheap CFM is the frequent merge, not the distant IPOSDOM.
+  EXPECT_EQ(Map.find(H.BranchAddr)->Cfms[0].Addr, H.Merge->getStartAddr());
+}
+
+TEST(SimpleSelectorsTest, EveryBranchSelectsAllExecuted) {
+  auto H = test::buildFreqHammockLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  const DivergeMap Map = selectEveryBranch(PA, Prof);
+  // All three conditional branches executed.
+  EXPECT_EQ(Map.size(), 3u);
+  // Footnote 10: IPOSDOM becomes the CFM.
+  ASSERT_TRUE(Map.contains(H.BranchAddr));
+  EXPECT_EQ(Map.find(H.BranchAddr)->Cfms[0].Addr, H.End->getStartAddr());
+}
+
+TEST(SimpleSelectorsTest, Random50IsDeterministicAndPartial) {
+  workloads::Workload W = workloads::buildByName("gcc");
+  cfg::ProgramAnalysis PA(*W.Prog);
+  auto Prof = profile::collectProfile(
+      *W.Prog, PA, W.buildImage(workloads::InputSetKind::Run));
+  const DivergeMap A = selectRandom50(PA, Prof, 99);
+  const DivergeMap B = selectRandom50(PA, Prof, 99);
+  EXPECT_EQ(A.size(), B.size());
+  const DivergeMap All = selectEveryBranch(PA, Prof);
+  EXPECT_LT(A.size(), All.size());
+  EXPECT_GT(A.size(), 0u);
+}
+
+TEST(SimpleSelectorsTest, HighBPFiltersByMispRate) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/4, /*Iters=*/1024);
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, std::vector<int64_t>(8192, 0)); // easy
+  const DivergeMap Map = selectHighBP(PA, Prof, 0.05);
+  EXPECT_FALSE(Map.contains(H.BranchAddr));
+  auto HardProf = profileWith(H, PA, randomImage(8192, 0.5));
+  const DivergeMap HardMap = selectHighBP(PA, HardProf, 0.05);
+  EXPECT_TRUE(HardMap.contains(H.BranchAddr));
+}
+
+TEST(SimpleSelectorsTest, ImmediateRequiresIposdom) {
+  auto H = test::buildRetFuncLoop();
+  cfg::ProgramAnalysis PA(*H.Prog);
+  auto Prof = profileWith(H, PA, randomImage(8192, 0.5));
+  const DivergeMap Map = selectImmediate(PA, Prof);
+  // The callee's branch has no IPOSDOM (different returns) -> excluded.
+  EXPECT_FALSE(Map.contains(H.BranchAddr));
+  // Every-br still selects it, with no CFM (dual-path mode).
+  const DivergeMap All = selectEveryBranch(PA, Prof);
+  ASSERT_TRUE(All.contains(H.BranchAddr));
+  EXPECT_EQ(All.find(H.BranchAddr)->Kind, DivergeKind::NoCfm);
+  EXPECT_TRUE(All.find(H.BranchAddr)->Cfms.empty());
+}
+
+TEST(SimpleSelectorsTest, IfElseOnlySimpleHammocks) {
+  auto Simple = test::buildSimpleHammockLoop();
+  cfg::ProgramAnalysis SimplePA(*Simple.Prog);
+  auto SimpleProf = profileWith(Simple, SimplePA, randomImage(8192, 0.5));
+  SelectionConfig Config;
+  const DivergeMap SimpleMap = selectIfElse(SimplePA, SimpleProf, Config);
+  EXPECT_TRUE(SimpleMap.contains(Simple.BranchAddr));
+
+  auto Freq = test::buildFreqHammockLoop();
+  cfg::ProgramAnalysis FreqPA(*Freq.Prog);
+  std::vector<int64_t> Image = randomImage(8192, 0.5);
+  RNG Rng(5);
+  for (size_t I = 4096; I < 8192; ++I)
+    Image[I] = Rng.nextBool(0.05);
+  auto FreqProf = profileWith(Freq, FreqPA, Image);
+  const DivergeMap FreqMap = selectIfElse(FreqPA, FreqProf, Config);
+  EXPECT_FALSE(FreqMap.contains(Freq.BranchAddr));
+}
+
+TEST(SelectorTest, DeterministicSelection) {
+  workloads::Workload W = workloads::buildByName("twolf");
+  cfg::ProgramAnalysis PA(*W.Prog);
+  auto Prof = profile::collectProfile(
+      *W.Prog, PA, W.buildImage(workloads::InputSetKind::Run));
+  SelectionConfig Config;
+  const DivergeMap A = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::allBestHeur());
+  const DivergeMap B = selectDivergeBranches(
+      PA, Prof, Config, SelectionFeatures::allBestHeur());
+  EXPECT_EQ(A.sortedAddrs(), B.sortedAddrs());
+}

@@ -1,0 +1,228 @@
+//===- tools/dmpc.cpp - The DMP profiling-compiler driver ----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Command-line driver mirroring the paper's binary-analysis toolset
+// (Section 6.1): profile a benchmark, select diverge branches with a chosen
+// algorithm, emit the annotation list that would be "attached to the
+// binary", and optionally simulate baseline vs DMP.
+//
+// Usage:
+//   dmpc <benchmark> [options]
+//
+// Options:
+//   --algo=<exact|freq|short|ret|all|cost-long|cost-edge|all-cost|
+//           every-br|random-50|high-bp-5|immediate|if-else>   (default all)
+//   --profile-input=<run|train>   profiling input set (default run)
+//   --max-instr=<n>               MAX_INSTR threshold (default 50)
+//   --min-merge-prob=<p>          MIN_MERGE_PROB (default 0.01)
+//   --2d-filter                   drop always-easy branches (2D profiling)
+//   --dump-dot                    print Graphviz CFGs with the selection
+//   --emit-map                    print the serialized diverge map
+//   --dump-program                print the program listing
+//   --simulate                    run baseline and DMP simulations
+//   --sim-instrs=<n>              simulation budget (default 1200000)
+//   --list                        list available benchmarks and exit
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/DotExport.h"
+#include "core/AnnotationIO.h"
+#include "core/SimpleSelectors.h"
+#include "harness/Experiment.h"
+#include "ir/Printer.h"
+#include "profile/TwoDProfile.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dmp;
+
+namespace {
+
+struct CliOptions {
+  std::string Benchmark;
+  std::string Algo = "all";
+  workloads::InputSetKind ProfileInput = workloads::InputSetKind::Run;
+  unsigned MaxInstr = 50;
+  double MinMergeProb = 0.01;
+  bool TwoDFilter = false;
+  bool EmitMap = false;
+  bool DumpProgram = false;
+  bool DumpDot = false;
+  bool Simulate = false;
+  uint64_t SimInstrs = 1'200'000;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dmpc <benchmark> [--algo=...] [--profile-input=...] "
+               "[--max-instr=N] [--min-merge-prob=P] [--2d-filter] "
+               "[--emit-map] [--dump-program] [--simulate] [--sim-instrs=N] "
+               "| --list\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    if (Arg == "--list") {
+      for (const auto &Spec : workloads::specSuite())
+        std::printf("%s\n", Spec.Name);
+      std::exit(0);
+    } else if (Arg.rfind("--algo=", 0) == 0) {
+      Opts.Algo = Arg.substr(7);
+    } else if (Arg.rfind("--profile-input=", 0) == 0) {
+      const std::string V = Arg.substr(16);
+      if (V == "train")
+        Opts.ProfileInput = workloads::InputSetKind::Train;
+      else if (V != "run")
+        return false;
+    } else if (Arg.rfind("--max-instr=", 0) == 0) {
+      Opts.MaxInstr = static_cast<unsigned>(std::atoi(Arg.c_str() + 12));
+    } else if (Arg.rfind("--min-merge-prob=", 0) == 0) {
+      Opts.MinMergeProb = std::atof(Arg.c_str() + 17);
+    } else if (Arg.rfind("--sim-instrs=", 0) == 0) {
+      Opts.SimInstrs = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    } else if (Arg == "--2d-filter") {
+      Opts.TwoDFilter = true;
+    } else if (Arg == "--emit-map") {
+      Opts.EmitMap = true;
+    } else if (Arg == "--dump-program") {
+      Opts.DumpProgram = true;
+    } else if (Arg == "--dump-dot") {
+      Opts.DumpDot = true;
+    } else if (Arg == "--simulate") {
+      Opts.Simulate = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    } else if (Opts.Benchmark.empty()) {
+      Opts.Benchmark = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.Benchmark.empty();
+}
+
+/// Runs the requested selection algorithm.
+core::DivergeMap runSelection(harness::BenchContext &Bench,
+                              const CliOptions &Opts,
+                              core::SelectionStats &Stats) {
+  using core::SelectionFeatures;
+  const auto Input = Opts.ProfileInput;
+  if (Opts.Algo == "exact")
+    return Bench.select(SelectionFeatures::exactOnly(), Input, &Stats);
+  if (Opts.Algo == "freq")
+    return Bench.select(SelectionFeatures::exactFreq(), Input, &Stats);
+  if (Opts.Algo == "short")
+    return Bench.select(SelectionFeatures::exactFreqShort(), Input, &Stats);
+  if (Opts.Algo == "ret")
+    return Bench.select(SelectionFeatures::exactFreqShortRet(), Input,
+                        &Stats);
+  if (Opts.Algo == "all")
+    return Bench.select(SelectionFeatures::allBestHeur(), Input, &Stats);
+  if (Opts.Algo == "cost-long")
+    return Bench.select(SelectionFeatures::costLong(), Input, &Stats);
+  if (Opts.Algo == "cost-edge")
+    return Bench.select(SelectionFeatures::costEdge(), Input, &Stats);
+  if (Opts.Algo == "all-cost")
+    return Bench.select(SelectionFeatures::allBestCost(), Input, &Stats);
+
+  const auto &PA = Bench.analysis();
+  const auto &Prof = Bench.profileData(Input);
+  if (Opts.Algo == "every-br")
+    return core::selectEveryBranch(PA, Prof);
+  if (Opts.Algo == "random-50")
+    return core::selectRandom50(PA, Prof);
+  if (Opts.Algo == "high-bp-5")
+    return core::selectHighBP(PA, Prof);
+  if (Opts.Algo == "immediate")
+    return core::selectImmediate(PA, Prof);
+  if (Opts.Algo == "if-else")
+    return core::selectIfElse(PA, Prof, Bench.options().Selection);
+
+  std::fprintf(stderr, "error: unknown algorithm '%s'\n", Opts.Algo.c_str());
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return 1;
+  }
+
+  const workloads::BenchmarkSpec *Spec = nullptr;
+  for (const auto &S : workloads::specSuite())
+    if (Opts.Benchmark == S.Name)
+      Spec = &S;
+  if (!Spec) {
+    std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
+                 Opts.Benchmark.c_str());
+    return 1;
+  }
+
+  harness::ExperimentOptions Options;
+  Options.Selection =
+      Options.Selection.withMaxInstr(Opts.MaxInstr)
+          .withMinMergeProb(Opts.MinMergeProb);
+  Options.Sim.MaxInstrs = Opts.SimInstrs;
+  harness::BenchContext Bench(*Spec, Options);
+
+  if (Opts.DumpProgram)
+    std::printf("%s\n", ir::printProgram(*Bench.workload().Prog).c_str());
+
+  core::SelectionStats Stats;
+  core::DivergeMap Map = runSelection(Bench, Opts, Stats);
+  std::printf("%s: algo=%s profile=%s -> %zu diverge branches "
+              "(avg %.2f CFM points)\n",
+              Opts.Benchmark.c_str(), Opts.Algo.c_str(),
+              Opts.ProfileInput == workloads::InputSetKind::Run ? "run"
+                                                                : "train",
+              Map.size(), Map.avgCfmPoints());
+
+  if (Opts.TwoDFilter) {
+    const profile::TwoDProfileData TwoD = profile::collectTwoDProfile(
+        *Bench.workload().Prog,
+        Bench.workload().buildImage(Opts.ProfileInput));
+    size_t Dropped = 0;
+    Map = profile::filterAlwaysEasyBranches(Map, TwoD, &Dropped);
+    std::printf("2D-profiling filter dropped %zu always-easy branches; %zu "
+                "remain\n",
+                Dropped, Map.size());
+  }
+
+  if (Opts.EmitMap)
+    std::printf("%s", core::serializeDivergeMap(Map).c_str());
+
+  if (Opts.DumpDot) {
+    cfg::DotOptions DotOpts;
+    const auto &Prof = Bench.profileData(Opts.ProfileInput);
+    DotOpts.Edges = &Prof.Edges;
+    DotOpts.Diverge = &Map;
+    for (const auto &F : Bench.workload().Prog->functions())
+      std::printf("%s\n", cfg::exportFunctionDot(*F, DotOpts).c_str());
+  }
+
+  if (Opts.Simulate) {
+    const sim::SimStats &Base = Bench.baseline();
+    const sim::SimStats Dmp = Bench.simulateWith(Map);
+    std::printf("baseline: IPC %.3f  MPKI %.2f  flushes/kinstr %.2f\n",
+                Base.ipc(), Base.mpki(), Base.flushesPerKiloInstr());
+    std::printf("DMP     : IPC %.3f  flushes/kinstr %.2f  dpred entries "
+                "%llu  merged %llu  saved flushes %llu\n",
+                Dmp.ipc(), Dmp.flushesPerKiloInstr(),
+                static_cast<unsigned long long>(Dmp.DpredEntries),
+                static_cast<unsigned long long>(Dmp.DpredMerged),
+                static_cast<unsigned long long>(Dmp.DpredSavedFlushes));
+    std::printf("speedup : %s\n",
+                formatPercent(harness::ipcImprovement(Base, Dmp)).c_str());
+  }
+  return 0;
+}
