@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dpred"
+  "../bench/bench_ablation_dpred.pdb"
+  "CMakeFiles/bench_ablation_dpred.dir/bench_ablation_dpred.cpp.o"
+  "CMakeFiles/bench_ablation_dpred.dir/bench_ablation_dpred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_flushes"
+  "../bench/bench_fig6_flushes.pdb"
+  "CMakeFiles/bench_fig6_flushes.dir/bench_fig6_flushes.cpp.o"
+  "CMakeFiles/bench_fig6_flushes.dir/bench_fig6_flushes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_flushes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

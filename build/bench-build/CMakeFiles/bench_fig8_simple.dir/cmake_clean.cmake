@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_simple"
+  "../bench/bench_fig8_simple.pdb"
+  "CMakeFiles/bench_fig8_simple.dir/bench_fig8_simple.cpp.o"
+  "CMakeFiles/bench_fig8_simple.dir/bench_fig8_simple.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_inputsets"
+  "../bench/bench_fig9_inputsets.pdb"
+  "CMakeFiles/bench_fig9_inputsets.dir/bench_fig9_inputsets.cpp.o"
+  "CMakeFiles/bench_fig9_inputsets.dir/bench_fig9_inputsets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_inputsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

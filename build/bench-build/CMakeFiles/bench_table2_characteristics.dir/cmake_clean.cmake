@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_characteristics"
+  "../bench/bench_table2_characteristics.pdb"
+  "CMakeFiles/bench_table2_characteristics.dir/bench_table2_characteristics.cpp.o"
+  "CMakeFiles/bench_table2_characteristics.dir/bench_table2_characteristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

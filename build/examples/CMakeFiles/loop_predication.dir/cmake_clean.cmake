@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_predication.dir/loop_predication.cpp.o"
+  "CMakeFiles/loop_predication.dir/loop_predication.cpp.o.d"
+  "loop_predication"
+  "loop_predication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

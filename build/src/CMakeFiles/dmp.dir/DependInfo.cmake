@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/Analysis.cpp" "src/CMakeFiles/dmp.dir/cfg/Analysis.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/Analysis.cpp.o.d"
+  "/root/repo/src/cfg/CFG.cpp" "src/CMakeFiles/dmp.dir/cfg/CFG.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/CFG.cpp.o.d"
+  "/root/repo/src/cfg/Dominators.cpp" "src/CMakeFiles/dmp.dir/cfg/Dominators.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/Dominators.cpp.o.d"
+  "/root/repo/src/cfg/DotExport.cpp" "src/CMakeFiles/dmp.dir/cfg/DotExport.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/DotExport.cpp.o.d"
+  "/root/repo/src/cfg/EdgeProfile.cpp" "src/CMakeFiles/dmp.dir/cfg/EdgeProfile.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/EdgeProfile.cpp.o.d"
+  "/root/repo/src/cfg/LoopInfo.cpp" "src/CMakeFiles/dmp.dir/cfg/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/LoopInfo.cpp.o.d"
+  "/root/repo/src/cfg/PathEnumerator.cpp" "src/CMakeFiles/dmp.dir/cfg/PathEnumerator.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/cfg/PathEnumerator.cpp.o.d"
+  "/root/repo/src/core/AnnotationIO.cpp" "src/CMakeFiles/dmp.dir/core/AnnotationIO.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/AnnotationIO.cpp.o.d"
+  "/root/repo/src/core/CostModel.cpp" "src/CMakeFiles/dmp.dir/core/CostModel.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/CostModel.cpp.o.d"
+  "/root/repo/src/core/DivergeInfo.cpp" "src/CMakeFiles/dmp.dir/core/DivergeInfo.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/DivergeInfo.cpp.o.d"
+  "/root/repo/src/core/DivergeSelector.cpp" "src/CMakeFiles/dmp.dir/core/DivergeSelector.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/DivergeSelector.cpp.o.d"
+  "/root/repo/src/core/HammockAnalysis.cpp" "src/CMakeFiles/dmp.dir/core/HammockAnalysis.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/HammockAnalysis.cpp.o.d"
+  "/root/repo/src/core/LoopSelect.cpp" "src/CMakeFiles/dmp.dir/core/LoopSelect.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/LoopSelect.cpp.o.d"
+  "/root/repo/src/core/SimpleSelectors.cpp" "src/CMakeFiles/dmp.dir/core/SimpleSelectors.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/core/SimpleSelectors.cpp.o.d"
+  "/root/repo/src/harness/Experiment.cpp" "src/CMakeFiles/dmp.dir/harness/Experiment.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/harness/Experiment.cpp.o.d"
+  "/root/repo/src/harness/Reports.cpp" "src/CMakeFiles/dmp.dir/harness/Reports.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/harness/Reports.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/CMakeFiles/dmp.dir/ir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/Function.cpp" "src/CMakeFiles/dmp.dir/ir/Function.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/Function.cpp.o.d"
+  "/root/repo/src/ir/IRBuilder.cpp" "src/CMakeFiles/dmp.dir/ir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/IRBuilder.cpp.o.d"
+  "/root/repo/src/ir/Instruction.cpp" "src/CMakeFiles/dmp.dir/ir/Instruction.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/Instruction.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/dmp.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Program.cpp" "src/CMakeFiles/dmp.dir/ir/Program.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/Program.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/dmp.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/profile/Emulator.cpp" "src/CMakeFiles/dmp.dir/profile/Emulator.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/profile/Emulator.cpp.o.d"
+  "/root/repo/src/profile/Profiler.cpp" "src/CMakeFiles/dmp.dir/profile/Profiler.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/profile/Profiler.cpp.o.d"
+  "/root/repo/src/profile/TwoDProfile.cpp" "src/CMakeFiles/dmp.dir/profile/TwoDProfile.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/profile/TwoDProfile.cpp.o.d"
+  "/root/repo/src/sim/DmpCore.cpp" "src/CMakeFiles/dmp.dir/sim/DmpCore.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/sim/DmpCore.cpp.o.d"
+  "/root/repo/src/sim/SimConfig.cpp" "src/CMakeFiles/dmp.dir/sim/SimConfig.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/sim/SimConfig.cpp.o.d"
+  "/root/repo/src/sim/SimStats.cpp" "src/CMakeFiles/dmp.dir/sim/SimStats.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/sim/SimStats.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/dmp.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/sim/WrongPathWalker.cpp" "src/CMakeFiles/dmp.dir/sim/WrongPathWalker.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/sim/WrongPathWalker.cpp.o.d"
+  "/root/repo/src/support/Histogram.cpp" "src/CMakeFiles/dmp.dir/support/Histogram.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/support/Histogram.cpp.o.d"
+  "/root/repo/src/support/Statistic.cpp" "src/CMakeFiles/dmp.dir/support/Statistic.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/support/Statistic.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/CMakeFiles/dmp.dir/support/StringUtils.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/support/StringUtils.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/dmp.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/support/Table.cpp.o.d"
+  "/root/repo/src/uarch/BTB.cpp" "src/CMakeFiles/dmp.dir/uarch/BTB.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/uarch/BTB.cpp.o.d"
+  "/root/repo/src/uarch/BranchPredictor.cpp" "src/CMakeFiles/dmp.dir/uarch/BranchPredictor.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/uarch/BranchPredictor.cpp.o.d"
+  "/root/repo/src/uarch/Cache.cpp" "src/CMakeFiles/dmp.dir/uarch/Cache.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/uarch/Cache.cpp.o.d"
+  "/root/repo/src/uarch/ConfidenceEstimator.cpp" "src/CMakeFiles/dmp.dir/uarch/ConfidenceEstimator.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/uarch/ConfidenceEstimator.cpp.o.d"
+  "/root/repo/src/uarch/ReturnAddressStack.cpp" "src/CMakeFiles/dmp.dir/uarch/ReturnAddressStack.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/uarch/ReturnAddressStack.cpp.o.d"
+  "/root/repo/src/workloads/ComponentBuilder.cpp" "src/CMakeFiles/dmp.dir/workloads/ComponentBuilder.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/workloads/ComponentBuilder.cpp.o.d"
+  "/root/repo/src/workloads/Patterns.cpp" "src/CMakeFiles/dmp.dir/workloads/Patterns.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/workloads/Patterns.cpp.o.d"
+  "/root/repo/src/workloads/SpecSuite.cpp" "src/CMakeFiles/dmp.dir/workloads/SpecSuite.cpp.o" "gcc" "src/CMakeFiles/dmp.dir/workloads/SpecSuite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

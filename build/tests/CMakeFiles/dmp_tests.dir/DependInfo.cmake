@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_annotations.cpp" "tests/CMakeFiles/dmp_tests.dir/test_annotations.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_annotations.cpp.o.d"
+  "/root/repo/tests/test_cfg.cpp" "tests/CMakeFiles/dmp_tests.dir/test_cfg.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_cfg.cpp.o.d"
+  "/root/repo/tests/test_costmodel.cpp" "tests/CMakeFiles/dmp_tests.dir/test_costmodel.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_costmodel.cpp.o.d"
+  "/root/repo/tests/test_dotexport.cpp" "tests/CMakeFiles/dmp_tests.dir/test_dotexport.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_dotexport.cpp.o.d"
+  "/root/repo/tests/test_emulator.cpp" "tests/CMakeFiles/dmp_tests.dir/test_emulator.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_emulator.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dmp_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/dmp_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_model_properties.cpp" "tests/CMakeFiles/dmp_tests.dir/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_model_properties.cpp.o.d"
+  "/root/repo/tests/test_paths.cpp" "tests/CMakeFiles/dmp_tests.dir/test_paths.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_paths.cpp.o.d"
+  "/root/repo/tests/test_profiler.cpp" "tests/CMakeFiles/dmp_tests.dir/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_profiler.cpp.o.d"
+  "/root/repo/tests/test_selection.cpp" "tests/CMakeFiles/dmp_tests.dir/test_selection.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_selection.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/dmp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/dmp_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_uarch.cpp" "tests/CMakeFiles/dmp_tests.dir/test_uarch.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_uarch.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/dmp_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/dmp_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

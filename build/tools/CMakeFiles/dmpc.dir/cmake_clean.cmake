@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmpc.dir/dmpc.cpp.o"
+  "CMakeFiles/dmpc.dir/dmpc.cpp.o.d"
+  "dmpc"
+  "dmpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
