@@ -14,9 +14,14 @@
 //  4. the always-predicate mechanism itself (short hammocks with vs
 //     without the confidence-estimator bypass).
 //
+// Each sweep point mutates the campaign options, so benchmark contexts are
+// per-cell; the cells of one sweep fan out over a shared pool and artifact
+// cache via exec::parallelMap.
+//
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "exec/TaskGraph.h"
+#include "harness/Engine.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -27,26 +32,37 @@ using namespace dmp;
 
 namespace {
 
+exec::ThreadPool *Pool;
+std::shared_ptr<serialize::ArtifactCache> Cache;
+
 /// Geomean improvement of All-best-cost over the suite under \p Mutate.
 template <typename MutateFn>
 double geomeanWith(MutateFn Mutate, bool CostMode = true) {
-  std::vector<double> Ratios;
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::ExperimentOptions Options;
-    Mutate(Options);
-    harness::BenchContext Bench(Spec, Options);
-    const sim::SimStats Dmp = Bench.runSelection(
-        CostMode ? core::SelectionFeatures::allBestCost()
-                 : core::SelectionFeatures::allBestHeur());
-    Ratios.push_back(1.0 +
-                     harness::ipcImprovement(Bench.baseline(), Dmp));
-  }
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<double> Ratios = exec::parallelMap<double>(
+      *Pool, Suite.size(), [&](size_t I) {
+        harness::ExperimentOptions Options;
+        Mutate(Options);
+        Options.Cache = Cache;
+        harness::BenchContext Bench(Suite[I], Options);
+        const sim::SimStats Dmp = Bench.runSelection(
+            CostMode ? core::SelectionFeatures::allBestCost()
+                     : core::SelectionFeatures::allBestHeur());
+        return 1.0 + harness::ipcImprovement(Bench.baseline(), Dmp);
+      });
   return geomean(Ratios) - 1.0;
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  exec::ThreadPool ThePool(EngineOpts.Jobs);
+  Pool = &ThePool;
+  if (EngineOpts.UseCache)
+    Cache = std::make_shared<serialize::ArtifactCache>(EngineOpts.CacheDir);
+
   std::printf("== Ablation 1: Acc_Conf sensitivity of the cost model ==\n");
   std::printf("(paper footnote 5: insensitive within 20%%-50%%)\n");
   {
@@ -62,17 +78,24 @@ int main() {
   std::printf("\n== Ablation 2: select-uop overhead per dpred entry ==\n");
   std::printf("(paper Section 4.4: < 0.5 fetch cycles per entry)\n");
   {
+    const std::vector<workloads::BenchmarkSpec> &Suite =
+        workloads::specSuite();
+    const harness::ExperimentOptions Options;
+    const std::vector<sim::SimStats> Runs = exec::parallelMap<sim::SimStats>(
+        *Pool, Suite.size(), [&Suite](size_t I) {
+          harness::ExperimentOptions CellOptions;
+          CellOptions.Cache = Cache;
+          harness::BenchContext Bench(Suite[I], CellOptions);
+          return Bench.runSelection(core::SelectionFeatures::allBestHeur());
+        });
+
     Table T({"benchmark", "select-uops/entry", "fetch cycles/entry"});
     double WorstCycles = 0.0;
-    for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-      harness::ExperimentOptions Options;
-      harness::BenchContext Bench(Spec, Options);
-      const sim::SimStats Dmp =
-          Bench.runSelection(core::SelectionFeatures::allBestHeur());
-      const double PerEntry = Dmp.selectUopsPerEntry();
+    for (size_t I = 0; I < Suite.size(); ++I) {
+      const double PerEntry = Runs[I].selectUopsPerEntry();
       const double Cycles = PerEntry / Options.Sim.FetchWidth;
       WorstCycles = std::max(WorstCycles, Cycles);
-      T.addRow({Spec.Name, formatDouble(PerEntry, 2),
+      T.addRow({Suite[I].Name, formatDouble(PerEntry, 2),
                 formatDouble(Cycles, 2)});
     }
     T.print();
@@ -122,16 +145,18 @@ int main() {
                                     /*CostMode=*/false);
     double Without;
     {
-      std::vector<double> Ratios;
-      for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-        harness::ExperimentOptions Options;
-        harness::BenchContext Bench(Spec, Options);
-        core::SelectionFeatures F = core::SelectionFeatures::allBestHeur();
-        F.ShortHammocks = false;
-        const sim::SimStats Dmp = Bench.runSelection(F);
-        Ratios.push_back(1.0 +
-                         harness::ipcImprovement(Bench.baseline(), Dmp));
-      }
+      const std::vector<workloads::BenchmarkSpec> &Suite =
+          workloads::specSuite();
+      const std::vector<double> Ratios = exec::parallelMap<double>(
+          *Pool, Suite.size(), [&Suite](size_t I) {
+            harness::ExperimentOptions Options;
+            Options.Cache = Cache;
+            harness::BenchContext Bench(Suite[I], Options);
+            core::SelectionFeatures F = core::SelectionFeatures::allBestHeur();
+            F.ShortHammocks = false;
+            const sim::SimStats Dmp = Bench.runSelection(F);
+            return 1.0 + harness::ipcImprovement(Bench.baseline(), Dmp);
+          });
       Without = geomean(Ratios) - 1.0;
     }
     std::printf("with always-predicate   : %s\n",

@@ -13,9 +13,14 @@
 //  3. confidence-estimator threshold: lower thresholds enter dpred-mode
 //     less often (fewer wasted entries, fewer saved flushes).
 //
+// Sweep points mutate the simulator config, so benchmark contexts are
+// per-cell; each sweep fans its suite out over a shared pool and artifact
+// cache via exec::parallelMap.
+//
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "exec/TaskGraph.h"
+#include "harness/Engine.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -26,21 +31,27 @@ using namespace dmp;
 
 namespace {
 
+exec::ThreadPool *Pool;
+std::shared_ptr<serialize::ArtifactCache> Cache;
+
 /// Runs All-best-heur over the suite with a simulator-config mutation and a
 /// map transform; returns the geomean improvement.
 template <typename MutateSim, typename MutateMap>
 double geomeanWith(MutateSim MutSim, MutateMap MutMap) {
-  std::vector<double> Ratios;
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::ExperimentOptions Options;
-    MutSim(Options.Sim);
-    harness::BenchContext Bench(Spec, Options);
-    core::DivergeMap Map = Bench.select(
-        core::SelectionFeatures::allBestHeur(), workloads::InputSetKind::Run);
-    MutMap(Map);
-    const sim::SimStats Dmp = Bench.simulateWith(Map);
-    Ratios.push_back(1.0 + harness::ipcImprovement(Bench.baseline(), Dmp));
-  }
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<double> Ratios = exec::parallelMap<double>(
+      *Pool, Suite.size(), [&](size_t I) {
+        harness::ExperimentOptions Options;
+        MutSim(Options.Sim);
+        Options.Cache = Cache;
+        harness::BenchContext Bench(Suite[I], Options);
+        core::DivergeMap Map =
+            Bench.select(core::SelectionFeatures::allBestHeur(),
+                         workloads::InputSetKind::Run);
+        MutMap(Map);
+        const sim::SimStats Dmp = Bench.simulateWith(Map);
+        return 1.0 + harness::ipcImprovement(Bench.baseline(), Dmp);
+      });
   return geomean(Ratios) - 1.0;
 }
 
@@ -60,7 +71,14 @@ core::DivergeMap stripCfms(const core::DivergeMap &Map) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  exec::ThreadPool ThePool(EngineOpts.Jobs);
+  Pool = &ThePool;
+  if (EngineOpts.UseCache)
+    Cache = std::make_shared<serialize::ArtifactCache>(EngineOpts.CacheDir);
+
   std::printf("== Ablation A: CFM points vs pure dual-path execution ==\n");
   {
     const double WithCfm = geomeanWith([](sim::SimConfig &) {},

@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
@@ -21,43 +21,61 @@
 
 using namespace dmp;
 
-int main() {
-  harness::ExperimentOptions Options;
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
+
+  // Per-benchmark dynamic diverge-branch weights by selection overlap.
+  struct Overlap {
+    uint64_t Either = 0, OnlyRun = 0, OnlyTrain = 0;
+  };
+
+  harness::CellNeeds Needs;
+  Needs.TrainProfile = true;
+  Needs.Baseline = false; // no simulation in this figure
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<Overlap> Rows = Engine.runPerBenchmark<Overlap>(
+      Suite,
+      [](harness::Cell &C) {
+        const core::DivergeMap RunMap =
+            C.Bench.select(core::SelectionFeatures::allBestHeur(),
+                           workloads::InputSetKind::Run);
+        const core::DivergeMap TrainMap =
+            C.Bench.select(core::SelectionFeatures::allBestHeur(),
+                           workloads::InputSetKind::Train);
+        const profile::ProfileData &RunProf =
+            C.Bench.profileData(workloads::InputSetKind::Run);
+
+        Overlap O;
+        auto weightOf = [&](uint32_t Addr) {
+          return RunProf.Edges.branchCounts(Addr).total();
+        };
+        for (uint32_t Addr : RunMap.sortedAddrs()) {
+          if (TrainMap.contains(Addr))
+            O.Either += weightOf(Addr);
+          else
+            O.OnlyRun += weightOf(Addr);
+        }
+        for (uint32_t Addr : TrainMap.sortedAddrs())
+          if (!RunMap.contains(Addr))
+            O.OnlyTrain += weightOf(Addr);
+        return O;
+      },
+      Needs);
 
   Table T({"benchmark", "either-run-train", "only-run", "only-train"});
   double WorstEither = 1.0;
-
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::BenchContext Bench(Spec, Options);
-    const core::DivergeMap RunMap = Bench.select(
-        core::SelectionFeatures::allBestHeur(), workloads::InputSetKind::Run);
-    const core::DivergeMap TrainMap =
-        Bench.select(core::SelectionFeatures::allBestHeur(),
-                     workloads::InputSetKind::Train);
-    const profile::ProfileData &RunProf =
-        Bench.profileData(workloads::InputSetKind::Run);
-
-    uint64_t Either = 0, OnlyRun = 0, OnlyTrain = 0;
-    auto weightOf = [&](uint32_t Addr) {
-      return RunProf.Edges.branchCounts(Addr).total();
-    };
-    for (uint32_t Addr : RunMap.sortedAddrs()) {
-      if (TrainMap.contains(Addr))
-        Either += weightOf(Addr);
-      else
-        OnlyRun += weightOf(Addr);
-    }
-    for (uint32_t Addr : TrainMap.sortedAddrs())
-      if (!RunMap.contains(Addr))
-        OnlyTrain += weightOf(Addr);
-
+  for (size_t B = 0; B < Suite.size(); ++B) {
+    const Overlap &O = Rows[B];
     const double Total =
-        static_cast<double>(Either + OnlyRun + OnlyTrain);
-    const double EitherFrac = Total == 0.0 ? 1.0 : Either / Total;
+        static_cast<double>(O.Either + O.OnlyRun + O.OnlyTrain);
+    const double EitherFrac = Total == 0.0 ? 1.0 : O.Either / Total;
     WorstEither = std::min(WorstEither, EitherFrac);
-    T.addRow({Spec.Name, formatPercent(EitherFrac).substr(1),
-              formatPercent(Total == 0.0 ? 0.0 : OnlyRun / Total).substr(1),
-              formatPercent(Total == 0.0 ? 0.0 : OnlyTrain / Total).substr(1)});
+    T.addRow(
+        {Suite[B].Name, formatPercent(EitherFrac).substr(1),
+         formatPercent(Total == 0.0 ? 0.0 : O.OnlyRun / Total).substr(1),
+         formatPercent(Total == 0.0 ? 0.0 : O.OnlyTrain / Total).substr(1)});
   }
 
   std::printf("== Figure 10: dynamic diverge branches selected per profiling "
@@ -66,5 +84,6 @@ int main() {
   std::printf("worst-case either-run-train fraction: %s (paper: >74%% in "
               "all benchmarks)\n",
               formatPercent(WorstEither).substr(1).c_str());
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

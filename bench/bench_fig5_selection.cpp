@@ -15,17 +15,22 @@
 // is the single largest contributor; All-best-heur ~+20.4%; All-best-cost
 // lands within noise of All-best-heur (~+20.2%).
 //
+// Cells run on the parallel experiment engine: both panels fan out as one
+// (benchmark x config) matrix; results are identical for any --jobs value.
+//
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "harness/Reports.h"
 
 #include <cstdio>
 
 using namespace dmp;
 
-int main() {
-  harness::ExperimentOptions Options;
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
 
   struct Config {
     const char *Name;
@@ -52,31 +57,39 @@ int main() {
       {"+loop", core::SelectionFeatures::allBestCost()},
   };
 
-  auto runPanel = [&](const char *Title, const Config *Configs,
-                      size_t Count) {
+  // Both panels fan out as one 17x10 matrix so the pool stays busy.
+  std::vector<Config> Configs(std::begin(Left), std::end(Left));
+  Configs.insert(Configs.end(), std::begin(Right), std::end(Right));
+
+  const std::vector<std::vector<double>> Matrix =
+      Engine.runMatrix<double>(
+          workloads::specSuite(), Configs.size(),
+          [&Configs](harness::Cell &C) {
+            const sim::SimStats Dmp =
+                C.Bench.runSelection(Configs[C.Config].Features);
+            return harness::ipcImprovement(C.Bench.baseline(), Dmp);
+          });
+
+  auto renderPanel = [&](const char *Title, size_t Offset, size_t Count) {
     std::vector<std::string> Names;
     for (size_t I = 0; I < Count; ++I)
-      Names.push_back(Configs[I].Name);
+      Names.push_back(Configs[Offset + I].Name);
     harness::ImprovementReport Report(Names);
-
-    for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-      harness::BenchContext Bench(Spec, Options);
-      const sim::SimStats &Base = Bench.baseline();
-      std::vector<double> Row;
-      for (size_t I = 0; I < Count; ++I) {
-        const sim::SimStats Dmp = Bench.runSelection(Configs[I].Features);
-        Row.push_back(harness::ipcImprovement(Base, Dmp));
-      }
-      Report.addBenchmark(Spec.Name, Row);
+    const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+    for (size_t B = 0; B < Suite.size(); ++B) {
+      std::vector<double> Row(Matrix[B].begin() + Offset,
+                              Matrix[B].begin() + Offset + Count);
+      Report.addBenchmark(Suite[B].Name, Row);
     }
     std::printf("%s", Report.render(Title).c_str());
     std::printf("\n");
   };
 
-  runPanel("== Figure 5 (left): DMP IPC improvement, cumulative heuristic "
-           "selection ==",
-           Left, std::size(Left));
-  runPanel("== Figure 5 (right): DMP IPC improvement, cost-benefit model ==",
-           Right, std::size(Right));
+  renderPanel("== Figure 5 (left): DMP IPC improvement, cumulative heuristic "
+              "selection ==",
+              0, std::size(Left));
+  renderPanel("== Figure 5 (right): DMP IPC improvement, cost-benefit model ==",
+              std::size(Left), std::size(Right));
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
@@ -18,8 +18,10 @@
 
 using namespace dmp;
 
-int main() {
-  harness::ExperimentOptions Options;
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
 
   struct Config {
     const char *Name;
@@ -33,6 +35,14 @@ int main() {
       {"+loop", core::SelectionFeatures::allBestHeur()},
   };
 
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<std::vector<double>> Matrix = Engine.runMatrix<double>(
+      Suite, std::size(Configs), [&Configs](harness::Cell &C) {
+        const sim::SimStats Dmp =
+            C.Bench.runSelection(Configs[C.Config].Features);
+        return Dmp.flushesPerKiloInstr();
+      });
+
   std::vector<std::string> Header = {"benchmark", "baseline"};
   for (const Config &C : Configs)
     Header.push_back(C.Name);
@@ -40,33 +50,32 @@ int main() {
 
   double BaseSum = 0.0;
   std::vector<double> Sums(std::size(Configs), 0.0);
-  size_t Count = 0;
 
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::BenchContext Bench(Spec, Options);
-    std::vector<std::string> Row = {Spec.Name};
-    const double Base = Bench.baseline().flushesPerKiloInstr();
+  for (size_t B = 0; B < Suite.size(); ++B) {
+    std::vector<std::string> Row = {Suite[B].Name};
+    // Baselines were computed (or replayed from cache) as matrix stage
+    // tasks; this just reads the per-context memo.
+    const double Base =
+        Engine.contextFor(Suite[B]).baseline().flushesPerKiloInstr();
     Row.push_back(formatDouble(Base, 2));
     BaseSum += Base;
     for (size_t I = 0; I < std::size(Configs); ++I) {
-      const sim::SimStats Dmp = Bench.runSelection(Configs[I].Features);
-      const double Flushes = Dmp.flushesPerKiloInstr();
-      Row.push_back(formatDouble(Flushes, 2));
-      Sums[I] += Flushes;
+      Row.push_back(formatDouble(Matrix[B][I], 2));
+      Sums[I] += Matrix[B][I];
     }
-    ++Count;
     T.addRow(Row);
   }
 
   T.addSeparator();
   std::vector<std::string> Mean = {"average",
-                                   formatDouble(BaseSum / Count, 2)};
+                                   formatDouble(BaseSum / Suite.size(), 2)};
   for (double S : Sums)
-    Mean.push_back(formatDouble(S / Count, 2));
+    Mean.push_back(formatDouble(S / Suite.size(), 2));
   T.addRow(Mean);
 
   std::printf("== Figure 6: pipeline flushes per kilo-instruction, baseline "
               "vs DMP ==\n");
   T.print();
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

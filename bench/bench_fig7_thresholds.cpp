@@ -14,7 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -23,33 +23,48 @@
 
 using namespace dmp;
 
-int main() {
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
+
   const unsigned MaxInstrValues[] = {10, 50, 100, 200};
   const double MergeProbValues[] = {0.01, 0.05, 0.30, 0.90};
 
-  // Per-benchmark contexts are reused across the 16 sweep points.
-  std::vector<std::unique_ptr<harness::BenchContext>> Benches;
-  harness::ExperimentOptions Options;
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite())
-    Benches.push_back(std::make_unique<harness::BenchContext>(Spec, Options));
+  // All 16 sweep points fan out as one matrix; the engine reuses each
+  // benchmark's context (profile + baseline) across every point.
+  struct Point {
+    unsigned MaxInstr;
+    double MergeProb;
+  };
+  std::vector<Point> Points;
+  for (unsigned MaxInstr : MaxInstrValues)
+    for (double MergeProb : MergeProbValues)
+      Points.push_back({MaxInstr, MergeProb});
+
+  const std::vector<std::vector<double>> Ratios = Engine.runMatrix<double>(
+      workloads::specSuite(), Points.size(), [&Points](harness::Cell &C) {
+        const Point &Pt = Points[C.Config];
+        const core::SelectionConfig Config =
+            C.Bench.options()
+                .Selection.withMaxInstr(Pt.MaxInstr)
+                .withMinMergeProb(Pt.MergeProb);
+        const core::DivergeMap Map = core::selectDivergeBranches(
+            C.Bench.analysis(),
+            C.Bench.profileData(workloads::InputSetKind::Run), Config,
+            core::SelectionFeatures::exactFreq());
+        const sim::SimStats Dmp = C.Bench.simulateWith(Map);
+        return 1.0 + harness::ipcImprovement(C.Bench.baseline(), Dmp);
+      });
 
   Table T({"MAX_INSTR", "MIN_MERGE=1%", "5%", "30%", "90%"});
-  for (unsigned MaxInstr : MaxInstrValues) {
-    std::vector<std::string> Row = {formatString("%u", MaxInstr)};
-    for (double MergeProb : MergeProbValues) {
-      std::vector<double> Ratios;
-      for (auto &Bench : Benches) {
-        harness::ExperimentOptions Sweep = Bench->options();
-        core::SelectionConfig Config =
-            Sweep.Selection.withMaxInstr(MaxInstr).withMinMergeProb(MergeProb);
-        const core::DivergeMap Map = core::selectDivergeBranches(
-            Bench->analysis(),
-            Bench->profileData(workloads::InputSetKind::Run), Config,
-            core::SelectionFeatures::exactFreq());
-        const sim::SimStats Dmp = Bench->simulateWith(Map);
-        Ratios.push_back(1.0 + harness::ipcImprovement(Bench->baseline(), Dmp));
-      }
-      Row.push_back(formatPercent(geomean(Ratios) - 1.0));
+  for (size_t MI = 0; MI < std::size(MaxInstrValues); ++MI) {
+    std::vector<std::string> Row = {formatString("%u", MaxInstrValues[MI])};
+    for (size_t MP = 0; MP < std::size(MergeProbValues); ++MP) {
+      std::vector<double> Column;
+      for (const std::vector<double> &PerBench : Ratios)
+        Column.push_back(PerBench[MI * std::size(MergeProbValues) + MP]);
+      Row.push_back(formatPercent(geomean(Column) - 1.0));
     }
     T.addRow(Row);
   }
@@ -58,5 +73,6 @@ int main() {
               "MIN_MERGE_PROB ==\n");
   std::printf("(Alg-exact + Alg-freq only; MAX_CBR = MAX_INSTR/10)\n");
   T.print();
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

@@ -13,7 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SimpleSelectors.h"
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "harness/Reports.h"
 
 #include <cstdio>
@@ -21,8 +21,10 @@
 
 using namespace dmp;
 
-int main() {
-  harness::ExperimentOptions Options;
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
 
   using SelectorFn = std::function<core::DivergeMap(harness::BenchContext &)>;
   struct Config {
@@ -63,25 +65,26 @@ int main() {
        }},
   };
 
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<std::vector<double>> Matrix = Engine.runMatrix<double>(
+      Suite, std::size(Configs), [&Configs](harness::Cell &C) {
+        const sim::SimStats Dmp =
+            C.Bench.simulateWith(Configs[C.Config].Select(C.Bench));
+        return harness::ipcImprovement(C.Bench.baseline(), Dmp);
+      });
+
   std::vector<std::string> Names;
   for (const Config &C : Configs)
     Names.push_back(C.Name);
   harness::ImprovementReport Report(Names);
-
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::BenchContext Bench(Spec, Options);
-    std::vector<double> Row;
-    for (const Config &C : Configs) {
-      const sim::SimStats Dmp = Bench.simulateWith(C.Select(Bench));
-      Row.push_back(harness::ipcImprovement(Bench.baseline(), Dmp));
-    }
-    Report.addBenchmark(Spec.Name, Row);
-  }
+  for (size_t B = 0; B < Suite.size(); ++B)
+    Report.addBenchmark(Suite[B].Name, Matrix[B]);
 
   std::printf("%s",
               Report
                   .render("== Figure 8: DMP IPC improvement with alternative "
                           "simple selection algorithms ==")
                   .c_str());
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

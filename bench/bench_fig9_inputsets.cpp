@@ -12,15 +12,17 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "harness/Reports.h"
 
 #include <cstdio>
 
 using namespace dmp;
 
-int main() {
-  harness::ExperimentOptions Options;
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
 
   struct Config {
     const char *Name;
@@ -38,26 +40,31 @@ int main() {
        workloads::InputSetKind::Train},
   };
 
+  harness::CellNeeds Needs;
+  Needs.TrainProfile = true; // the *-diff columns profile on train
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<std::vector<double>> Matrix = Engine.runMatrix<double>(
+      Suite, std::size(Configs),
+      [&Configs](harness::Cell &C) {
+        const Config &Cfg = Configs[C.Config];
+        const sim::SimStats Dmp =
+            C.Bench.runSelection(Cfg.Features, Cfg.ProfileInput);
+        return harness::ipcImprovement(C.Bench.baseline(), Dmp);
+      },
+      Needs);
+
   std::vector<std::string> Names;
   for (const Config &C : Configs)
     Names.push_back(C.Name);
   harness::ImprovementReport Report(Names);
-
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::BenchContext Bench(Spec, Options);
-    std::vector<double> Row;
-    for (const Config &C : Configs) {
-      const sim::SimStats Dmp =
-          Bench.runSelection(C.Features, C.ProfileInput);
-      Row.push_back(harness::ipcImprovement(Bench.baseline(), Dmp));
-    }
-    Report.addBenchmark(Spec.Name, Row);
-  }
+  for (size_t B = 0; B < Suite.size(); ++B)
+    Report.addBenchmark(Suite[B].Name, Matrix[B]);
 
   std::printf("%s",
               Report
                   .render("== Figure 9: DMP IPC improvement, same vs "
                           "different profiling input set ==")
                   .c_str());
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

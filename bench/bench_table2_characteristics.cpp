@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Experiment.h"
+#include "harness/Engine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 
@@ -17,29 +17,49 @@
 
 using namespace dmp;
 
-int main() {
-  harness::ExperimentOptions Options;
+int main(int Argc, char **Argv) {
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+  harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
+
+  struct Row {
+    double Ipc = 0.0, Mpki = 0.0, AvgCfm = 0.0;
+    uint64_t InstsK = 0;
+    size_t AllBranches = 0, DivergeBranches = 0;
+  };
+
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<Row> Rows = Engine.runPerBenchmark<Row>(
+      Suite, [](harness::Cell &C) {
+        const sim::SimStats &Base = C.Bench.baseline();
+        const core::DivergeMap Diverge =
+            C.Bench.select(core::SelectionFeatures::allBestHeur(),
+                           workloads::InputSetKind::Run);
+        Row R;
+        R.Ipc = Base.ipc();
+        R.Mpki = Base.mpki();
+        R.InstsK = Base.RetiredInstrs / 1000;
+        R.AllBranches = C.Bench.workload().Prog->condBranchAddrs().size();
+        R.DivergeBranches = Diverge.size();
+        R.AvgCfm = Diverge.avgCfmPoints();
+        return R;
+      });
 
   Table T({"benchmark", "Base IPC", "MPKI", "Insts(K)", "All br.",
            "Diverge br.", "Avg. # CFM"});
-  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
-    harness::BenchContext Bench(Spec, Options);
-    const sim::SimStats &Base = Bench.baseline();
-    const core::DivergeMap Diverge = Bench.select(
-        core::SelectionFeatures::allBestHeur(), workloads::InputSetKind::Run);
-    T.addRow({Spec.Name, formatDouble(Base.ipc(), 2),
-              formatDouble(Base.mpki(), 1),
-              formatString("%llu", static_cast<unsigned long long>(
-                                       Base.RetiredInstrs / 1000)),
-              formatString("%zu",
-                           Bench.workload().Prog->condBranchAddrs().size()),
-              formatString("%zu", Diverge.size()),
-              formatDouble(Diverge.avgCfmPoints(), 2)});
+  for (size_t B = 0; B < Suite.size(); ++B) {
+    const Row &R = Rows[B];
+    T.addRow({Suite[B].Name, formatDouble(R.Ipc, 2), formatDouble(R.Mpki, 1),
+              formatString("%llu", static_cast<unsigned long long>(R.InstsK)),
+              formatString("%zu", R.AllBranches),
+              formatString("%zu", R.DivergeBranches),
+              formatDouble(R.AvgCfm, 2)});
   }
 
   std::printf("== Table 2: characteristics of the benchmarks ==\n");
   std::printf("(synthetic SPEC-like suite; see DESIGN.md for the workload "
               "substitution)\n");
   T.print();
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
   return 0;
 }

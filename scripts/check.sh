@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# One-command verification gate: configure the warnings-as-errors preset,
+# build everything, and run the full test suite.  Exits non-zero on the
+# first failure, so CI and pre-commit hooks can call it directly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset ci
+cmake --build --preset ci -j "$(nproc)"
+ctest --preset ci

@@ -76,6 +76,18 @@ public:
     return Branches;
   }
 
+  const std::unordered_map<uint32_t, uint64_t> &blockExecCounts() const {
+    return BlockExec;
+  }
+
+  /// Bulk setters for deserialization and profile merging.
+  void setBranchCounts(uint32_t Addr, BranchCounts Counts) {
+    Branches[Addr] = Counts;
+  }
+  void setBlockExecCount(uint32_t StartAddr, uint64_t Count) {
+    BlockExec[StartAddr] = Count;
+  }
+
 private:
   std::unordered_map<uint32_t, BranchCounts> Branches;
   std::unordered_map<uint32_t, uint64_t> BlockExec;

@@ -1,0 +1,90 @@
+//===- exec/TaskGraph.cpp - Dependency-aware task scheduler ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/TaskGraph.h"
+
+#include <cassert>
+
+using namespace dmp::exec;
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> Fn,
+                                 const std::vector<TaskId> &Deps) {
+  assert(!Ran && "cannot add tasks to a graph that already ran");
+  assert(Fn && "null task added");
+  const TaskId Id = Nodes.size();
+  auto N = std::make_unique<Node>();
+  N->Fn = std::move(Fn);
+  size_t LiveDeps = 0;
+  for (TaskId Dep : Deps) {
+    assert(Dep < Id && "dependency must be a previously added task");
+    Nodes[Dep]->Dependents.push_back(Id);
+    ++LiveDeps;
+  }
+  N->InitialDeps = LiveDeps;
+  N->RemainingDeps.store(LiveDeps, std::memory_order_relaxed);
+  Nodes.push_back(std::move(N));
+  return Id;
+}
+
+void TaskGraph::schedule(ThreadPool &Pool, TaskId Id) {
+  Pool.submit([this, &Pool, Id] {
+    if (!Cancelled.load(std::memory_order_acquire)) {
+      try {
+        Nodes[Id]->Fn();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> Lock(DoneMutex);
+          if (!FirstException)
+            FirstException = std::current_exception();
+        }
+        Cancelled.store(true, std::memory_order_release);
+      }
+    }
+    finish(Pool, Id);
+  });
+}
+
+void TaskGraph::finish(ThreadPool &Pool, TaskId Id) {
+  // Unlock dependents first so they can overlap with other finishing tasks.
+  for (TaskId Dep : Nodes[Id]->Dependents)
+    if (Nodes[Dep]->RemainingDeps.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      schedule(Pool, Dep);
+  // The increment and the notify stay under DoneMutex so run() cannot see
+  // the graph as complete (and let the caller destroy it) until this — the
+  // last finisher's final touch of graph state — has released the lock.
+  std::lock_guard<std::mutex> Lock(DoneMutex);
+  if (++Completed == Nodes.size())
+    Done.notify_all();
+}
+
+void TaskGraph::run(ThreadPool &Pool) {
+  assert(!Ran && "task graph can only run once");
+  Ran = true;
+  if (Nodes.empty())
+    return;
+  // Roots come from the build-time dependency count, NOT RemainingDeps:
+  // workers already running earlier roots decrement RemainingDeps
+  // concurrently with this loop, and a node whose count they drop to zero
+  // mid-scan would otherwise be scheduled twice — once by finish(), once
+  // here — over-counting Completed and releasing run() early.
+  for (TaskId Id = 0; Id < Nodes.size(); ++Id)
+    if (Nodes[Id]->InitialDeps == 0)
+      schedule(Pool, Id);
+  std::unique_lock<std::mutex> Lock(DoneMutex);
+  Done.wait(Lock, [this] { return Completed == Nodes.size(); });
+  if (FirstException)
+    std::rethrow_exception(FirstException);
+}
+
+void dmp::exec::parallelFor(ThreadPool &Pool, size_t Count,
+                            const std::function<void(size_t)> &Fn) {
+  if (Count == 0)
+    return;
+  TaskGraph Graph;
+  for (size_t I = 0; I < Count; ++I)
+    Graph.add([&Fn, I] { Fn(I); });
+  Graph.run(Pool);
+}

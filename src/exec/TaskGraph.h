@@ -1,0 +1,101 @@
+//===- exec/TaskGraph.h - Dependency-aware task scheduler -------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-shot task graph scheduled onto an exec::ThreadPool: nodes are
+/// callables, edges are happens-before dependencies.  Dependencies must be
+/// task ids returned by earlier add() calls, which makes the graph a DAG by
+/// construction (no cycle detection needed).
+///
+/// The experiment engine uses this to express the paper's pipeline per
+/// (benchmark, config) cell:
+///
+///   build workload ──> profile(run) ──┬──> select+simulate cell 0
+///                 ├──> profile(train) ┼──> select+simulate cell 1
+///                 └──> baseline sim ──┴──> ...
+///
+/// If any task throws, the remaining tasks are skipped (cancelled) and
+/// run() rethrows the first exception.  Results are deterministic for any
+/// thread count as long as tasks write disjoint slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_EXEC_TASKGRAPH_H
+#define DMP_EXEC_TASKGRAPH_H
+
+#include "exec/ThreadPool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dmp::exec {
+
+/// A DAG of tasks, built single-threaded, run once on a pool.
+class TaskGraph {
+public:
+  using TaskId = size_t;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph &) = delete;
+  TaskGraph &operator=(const TaskGraph &) = delete;
+
+  /// Adds a task that runs after every task in \p Deps has finished.
+  /// Each dependency must be an id returned by a previous add() call.
+  TaskId add(std::function<void()> Fn, const std::vector<TaskId> &Deps = {});
+
+  /// Runs the whole graph on \p Pool and blocks until every task finished
+  /// or was cancelled.  Rethrows the first exception thrown by a task.
+  /// The graph is spent afterwards; build a new one for the next run.
+  void run(ThreadPool &Pool);
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    std::function<void()> Fn;
+    std::vector<TaskId> Dependents;
+    size_t InitialDeps = 0; ///< As built; run() picks roots from this.
+    std::atomic<size_t> RemainingDeps{0};
+  };
+
+  void schedule(ThreadPool &Pool, TaskId Id);
+  void finish(ThreadPool &Pool, TaskId Id);
+
+  std::vector<std::unique_ptr<Node>> Nodes;
+  bool Ran = false;
+
+  // Run-time state.  Completed is guarded by DoneMutex (not atomic) on
+  // purpose: the final increment, the notify, and run()'s predicate must be
+  // a single critical section, or run() could observe completion and let
+  // the caller destroy the graph while the last finisher still holds it.
+  std::atomic<bool> Cancelled{false};
+  std::mutex DoneMutex;
+  std::condition_variable Done;
+  size_t Completed = 0;
+  std::exception_ptr FirstException;
+};
+
+/// Runs Fn(0..Count-1) across the pool and waits; rethrows the first
+/// exception.  Iteration-to-thread assignment is unspecified, so Fn must
+/// only touch per-index state.
+void parallelFor(ThreadPool &Pool, size_t Count,
+                 const std::function<void(size_t)> &Fn);
+
+/// parallelFor that collects return values: Result[i] = Fn(i), in index
+/// order regardless of scheduling.
+template <typename R>
+std::vector<R> parallelMap(ThreadPool &Pool, size_t Count,
+                           const std::function<R(size_t)> &Fn) {
+  std::vector<R> Results(Count);
+  parallelFor(Pool, Count, [&](size_t I) { Results[I] = Fn(I); });
+  return Results;
+}
+
+} // namespace dmp::exec
+
+#endif // DMP_EXEC_TASKGRAPH_H

@@ -1,0 +1,151 @@
+//===- exec/ThreadPool.cpp - Work-stealing thread pool --------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <cassert>
+
+using namespace dmp::exec;
+
+namespace {
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// submit() can route nested submissions to the submitting worker's own
+/// deque and wait() can assert it is not called from inside a task.
+thread_local ThreadPool *CurrentPool = nullptr;
+thread_local unsigned CurrentWorker = 0;
+} // namespace
+
+unsigned ThreadPool::defaultThreadCount() {
+  const unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = 1;
+  Queues.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "null task submitted");
+  unsigned Target;
+  if (CurrentPool == this) {
+    Target = CurrentWorker;
+  } else {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    Target = static_cast<unsigned>(NextQueue++ % Queues.size());
+  }
+  // Account before publishing: once the task is visible in a deque another
+  // worker may pop, run, and *finish* it — its Pending decrement must never
+  // land before this increment.  The cost is a sleeper that wakes on
+  // Queued > 0 a moment before the push below lands; it simply rescans.
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    ++Pending;
+    ++Queued;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Target]->Mutex);
+    Queues[Target]->Tasks.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+bool ThreadPool::tryRunOneTask(unsigned SelfIndex) {
+  std::function<void()> Task;
+  // Own deque first, newest task first (LIFO).
+  {
+    WorkerQueue &Own = *Queues[SelfIndex];
+    std::lock_guard<std::mutex> Lock(Own.Mutex);
+    if (!Own.Tasks.empty()) {
+      Task = std::move(Own.Tasks.back());
+      Own.Tasks.pop_back();
+    }
+  }
+  // Then steal from the other workers, oldest task first (FIFO).
+  if (!Task) {
+    const size_t N = Queues.size();
+    for (size_t Offset = 1; Offset < N && !Task; ++Offset) {
+      WorkerQueue &Victim = *Queues[(SelfIndex + Offset) % N];
+      std::lock_guard<std::mutex> Lock(Victim.Mutex);
+      if (!Victim.Tasks.empty()) {
+        Task = std::move(Victim.Tasks.front());
+        Victim.Tasks.pop_front();
+      }
+    }
+  }
+  if (!Task)
+    return false;
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    --Queued;
+  }
+  runTask(std::move(Task));
+  return true;
+}
+
+void ThreadPool::runTask(std::function<void()> Task) {
+  try {
+    Task();
+  } catch (...) {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    if (!FirstException)
+      FirstException = std::current_exception();
+  }
+  bool Done;
+  {
+    std::lock_guard<std::mutex> Lock(StateMutex);
+    assert(Pending > 0 && "task finished with no pending count");
+    Done = --Pending == 0;
+  }
+  if (Done)
+    AllDone.notify_all();
+}
+
+void ThreadPool::workerLoop(unsigned Index) {
+  CurrentPool = this;
+  CurrentWorker = Index;
+  for (;;) {
+    while (tryRunOneTask(Index)) {
+    }
+    std::unique_lock<std::mutex> Lock(StateMutex);
+    // Queued counts tasks published or about to be published (submit()
+    // increments it before the push), so exiting at Stopping && Queued == 0
+    // cannot strand a task: anything still in flight keeps Queued positive
+    // until some worker pops it.
+    WorkAvailable.wait(Lock, [this] { return Stopping || Queued > 0; });
+    if (Stopping && Queued == 0)
+      return;
+  }
+}
+
+void ThreadPool::wait() {
+  assert(CurrentPool != this &&
+         "wait() must not be called from inside a pool task");
+  std::unique_lock<std::mutex> Lock(StateMutex);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+  if (FirstException) {
+    std::exception_ptr E = FirstException;
+    FirstException = nullptr;
+    Lock.unlock();
+    std::rethrow_exception(E);
+  }
+}

@@ -1,0 +1,93 @@
+//===- exec/ThreadPool.h - Work-stealing thread pool ------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool: each worker owns a deque of tasks, pops its
+/// own work LIFO (cache-friendly for task graphs that fan out), and steals
+/// FIFO from other workers when its deque runs dry.  External submissions
+/// are distributed round-robin; submissions from inside a worker go to that
+/// worker's own deque, so dependency chains unlocked by a finishing task
+/// tend to stay on the core that produced their inputs.
+///
+/// The pool itself imposes no ordering between tasks — determinism of
+/// experiment results comes from tasks writing disjoint, pre-allocated
+/// result slots (see exec::TaskGraph and harness::ExperimentEngine), never
+/// from scheduling order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_EXEC_THREADPOOL_H
+#define DMP_EXEC_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmp::exec {
+
+/// Fixed-size work-stealing pool.  Threads spin up in the constructor and
+/// join in the destructor after draining every submitted task.
+class ThreadPool {
+public:
+  /// Creates a pool with \p Threads workers (clamped to >= 1).
+  explicit ThreadPool(unsigned Threads = defaultThreadCount());
+
+  /// Drains all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task.  Safe to call from any thread, including from inside
+  /// a running task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has finished.  If any task
+  /// threw, rethrows the first captured exception (subsequent waits do not
+  /// rethrow it again).  Must not be called from inside a pool task.
+  void wait();
+
+  unsigned threadCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Hardware concurrency, clamped to >= 1.
+  static unsigned defaultThreadCount();
+
+private:
+  struct WorkerQueue {
+    std::mutex Mutex;
+    std::deque<std::function<void()>> Tasks;
+  };
+
+  void workerLoop(unsigned Index);
+  bool tryRunOneTask(unsigned SelfIndex);
+  void runTask(std::function<void()> Task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+
+  // Sleep/wake + completion accounting.
+  std::mutex StateMutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  size_t Pending = 0; ///< Submitted but not yet finished.
+  /// Tasks published (or about to be: submit() increments before pushing)
+  /// but not yet popped.  Sleeping workers wake on Queued > 0.
+  size_t Queued = 0;
+  bool Stopping = false;
+  std::exception_ptr FirstException;
+  size_t NextQueue = 0; ///< Round-robin cursor for external submissions.
+};
+
+} // namespace dmp::exec
+
+#endif // DMP_EXEC_THREADPOOL_H

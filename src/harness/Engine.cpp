@@ -1,0 +1,134 @@
+//===- harness/Engine.cpp - Parallel experiment engine --------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dmp;
+using namespace dmp::harness;
+
+std::string EngineOptions::defaultCacheDir() {
+  if (const char *Env = std::getenv("DMP_CACHE_DIR"))
+    if (*Env)
+      return Env;
+  return ".dmp-cache";
+}
+
+void EngineOptions::printUsage(const char *Prog, std::FILE *Out) {
+  std::fprintf(Out,
+               "usage: %s [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "  --jobs N        worker threads for the experiment matrix "
+               "(default: hardware threads)\n"
+               "  --cache-dir DIR artifact cache location (default: "
+               "$DMP_CACHE_DIR or .dmp-cache)\n"
+               "  --no-cache      recompute everything; do not read or "
+               "write the artifact cache\n",
+               Prog);
+}
+
+namespace {
+
+/// Parses "--flag=V" or "--flag V"; advances \p I past a consumed separate
+/// value.  Returns nullptr when \p Arg is not \p Flag.
+const char *flagValue(const char *Flag, int &I, int Argc, char **Argv) {
+  const char *Arg = Argv[I];
+  const size_t FlagLen = std::strlen(Flag);
+  if (std::strncmp(Arg, Flag, FlagLen) != 0)
+    return nullptr;
+  if (Arg[FlagLen] == '=')
+    return Arg + FlagLen + 1;
+  if (Arg[FlagLen] == '\0' && I + 1 < Argc)
+    return Argv[++I];
+  return nullptr;
+}
+
+} // namespace
+
+EngineOptions EngineOptions::parseOrExit(int Argc, char **Argv) {
+  EngineOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
+      printUsage(Argv[0], stdout);
+      std::exit(0);
+    }
+    if (std::strcmp(Arg, "--no-cache") == 0) {
+      Opts.UseCache = false;
+      continue;
+    }
+    if (const char *V = flagValue("--jobs", I, Argc, Argv)) {
+      char *End = nullptr;
+      const unsigned long N = std::strtoul(V, &End, 10);
+      if (End == V || *End != '\0' || N == 0 || N > 1024) {
+        std::fprintf(stderr, "error: invalid --jobs value '%s'\n", V);
+        printUsage(Argv[0], stderr);
+        std::exit(1);
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+      continue;
+    }
+    if (const char *V = flagValue("--cache-dir", I, Argc, Argv)) {
+      Opts.CacheDir = V;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
+    printUsage(Argv[0], stderr);
+    std::exit(1);
+  }
+  return Opts;
+}
+
+ExperimentEngine::ExperimentEngine(ExperimentOptions Options,
+                                   const EngineOptions &Engine)
+    : Options(std::move(Options)), Pool(Engine.Jobs) {
+  if (Engine.UseCache && !this->Options.Cache)
+    this->Options.Cache =
+        std::make_shared<serialize::ArtifactCache>(Engine.CacheDir);
+  if (!Engine.UseCache)
+    this->Options.Cache.reset();
+}
+
+BenchContext &ExperimentEngine::contextFor(const workloads::BenchmarkSpec &Spec) {
+  {
+    std::lock_guard<std::mutex> Lock(ContextsMutex);
+    auto It = Contexts.find(Spec.Name);
+    if (It != Contexts.end())
+      return *It->second;
+  }
+  // Build outside the lock so different benchmarks prepare concurrently.
+  auto Fresh = std::make_unique<BenchContext>(Spec, Options);
+  std::lock_guard<std::mutex> Lock(ContextsMutex);
+  auto [It, Inserted] = Contexts.emplace(Spec.Name, std::move(Fresh));
+  return *It->second;
+}
+
+RNG ExperimentEngine::cellRng(const workloads::BenchmarkSpec &Spec,
+                              size_t Config) {
+  // Two rounds of forking decorrelate the per-cell streams from the
+  // workload builder's own use of Spec.Seed.
+  RNG Base(Spec.Seed ^ 0xD1B54A32D192ED03ULL);
+  RNG Mixer(Base.next() + 0x9E3779B97F4A7C15ULL * (Config + 1));
+  return Mixer.fork();
+}
+
+std::string ExperimentEngine::statsLine() const {
+  char Line[256];
+  if (const serialize::ArtifactCache *C = Options.Cache.get()) {
+    std::snprintf(Line, sizeof(Line),
+                  "jobs=%u cache=%s hits=%llu misses=%llu stores=%llu",
+                  Pool.threadCount(), C->dir().c_str(),
+                  static_cast<unsigned long long>(C->hits()),
+                  static_cast<unsigned long long>(C->misses()),
+                  static_cast<unsigned long long>(C->stores()));
+  } else {
+    std::snprintf(Line, sizeof(Line), "jobs=%u cache=off",
+                  Pool.threadCount());
+  }
+  return Line;
+}

@@ -1,0 +1,167 @@
+//===- harness/Engine.h - Parallel experiment engine ------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExperimentEngine: fans the (benchmark × configuration) experiment matrix
+/// out across a work-stealing pool as a task graph.  Per benchmark the
+/// engine builds the paper pipeline with explicit dependency edges
+///
+///   build workload ──> profile(run) ──┬──> cell(config 0)
+///                 ├──> profile(train) ┼──> cell(config 1)
+///                 └──> baseline sim ──┴──> ...
+///
+/// so independent cells of different benchmarks overlap freely.  Results
+/// land in a pre-allocated [benchmark][config] matrix, and every cell gets
+/// its own RNG stream derived from the workload seed and config index —
+/// which is why results are bit-identical for any --jobs value.
+///
+/// EngineOptions carries the shared bench-driver command line:
+/// --jobs N, --cache-dir DIR, --no-cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_HARNESS_ENGINE_H
+#define DMP_HARNESS_ENGINE_H
+
+#include "exec/TaskGraph.h"
+#include "exec/ThreadPool.h"
+#include "harness/Experiment.h"
+#include "support/RNG.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmp::harness {
+
+/// Execution knobs shared by every bench driver.
+struct EngineOptions {
+  unsigned Jobs = exec::ThreadPool::defaultThreadCount();
+  std::string CacheDir = defaultCacheDir();
+  bool UseCache = true;
+
+  /// $DMP_CACHE_DIR, or ".dmp-cache" under the working directory.
+  static std::string defaultCacheDir();
+
+  /// Parses the shared driver flags (--jobs N, --cache-dir DIR, --no-cache,
+  /// --help).  Prints usage and exits on --help or on any unknown/invalid
+  /// argument, so drivers reject stray flags instead of ignoring them.
+  static EngineOptions parseOrExit(int Argc, char **Argv);
+
+  static void printUsage(const char *Prog, std::FILE *Out);
+};
+
+/// One (benchmark, configuration) unit of work handed to a cell function.
+struct Cell {
+  BenchContext &Bench;
+  size_t Config; ///< Column index in the result matrix.
+  /// Deterministic per-cell stream: a pure function of the workload seed
+  /// and config index, independent of scheduling and thread count.
+  RNG Rng;
+};
+
+/// Which pipeline stages the engine should complete before cells run.
+/// Cells may still lazily compute an unlisted stage (BenchContext is
+/// thread-safe); listing them here just maximizes overlap.
+struct CellNeeds {
+  bool RunProfile = true;
+  bool TrainProfile = false;
+  bool Baseline = true;
+};
+
+/// Runs experiment matrices over a pool, with prepared benchmark contexts
+/// reused across calls (so e.g. the two panels of Figure 5 share profiles
+/// and baselines).
+class ExperimentEngine {
+public:
+  ExperimentEngine(ExperimentOptions Options, const EngineOptions &Engine);
+
+  exec::ThreadPool &pool() { return Pool; }
+  const ExperimentOptions &options() const { return Options; }
+  serialize::ArtifactCache *cache() const { return Options.Cache.get(); }
+
+  /// Runs CellFn for every (benchmark, config) cell and returns the
+  /// [benchmark][config] result matrix in Specs × [0, ConfigCount) order,
+  /// regardless of scheduling.  Rethrows the first cell exception.
+  template <typename R>
+  std::vector<std::vector<R>>
+  runMatrix(const std::vector<workloads::BenchmarkSpec> &Specs,
+            size_t ConfigCount, const std::function<R(Cell &)> &CellFn,
+            const CellNeeds &Needs = CellNeeds()) {
+    std::vector<std::vector<R>> Results(Specs.size());
+    std::vector<BenchContext *> Contexts(Specs.size(), nullptr);
+    exec::TaskGraph Graph;
+    for (size_t B = 0; B < Specs.size(); ++B) {
+      Results[B].assign(ConfigCount, R());
+      const workloads::BenchmarkSpec &Spec = Specs[B];
+      const auto Build = Graph.add(
+          [this, &Spec, &Contexts, B] { Contexts[B] = &contextFor(Spec); });
+      std::vector<exec::TaskGraph::TaskId> StageIds;
+      if (Needs.RunProfile)
+        StageIds.push_back(Graph.add(
+            [&Contexts, B] {
+              Contexts[B]->profileData(workloads::InputSetKind::Run);
+            },
+            {Build}));
+      if (Needs.TrainProfile)
+        StageIds.push_back(Graph.add(
+            [&Contexts, B] {
+              Contexts[B]->profileData(workloads::InputSetKind::Train);
+            },
+            {Build}));
+      if (Needs.Baseline)
+        StageIds.push_back(
+            Graph.add([&Contexts, B] { Contexts[B]->baseline(); }, {Build}));
+      if (StageIds.empty())
+        StageIds.push_back(Build);
+      for (size_t C = 0; C < ConfigCount; ++C)
+        Graph.add(
+            [&Results, &Contexts, &Spec, &CellFn, B, C] {
+              Cell Unit{*Contexts[B], C, cellRng(Spec, C)};
+              Results[B][C] = CellFn(Unit);
+            },
+            StageIds);
+    }
+    Graph.run(Pool);
+    return Results;
+  }
+
+  /// Per-benchmark convenience: a single-config matrix, flattened.
+  template <typename R>
+  std::vector<R>
+  runPerBenchmark(const std::vector<workloads::BenchmarkSpec> &Specs,
+                  const std::function<R(Cell &)> &Fn,
+                  const CellNeeds &Needs = CellNeeds()) {
+    std::vector<std::vector<R>> Matrix =
+        runMatrix<R>(Specs, 1, Fn, Needs);
+    std::vector<R> Flat;
+    Flat.reserve(Matrix.size());
+    for (std::vector<R> &Row : Matrix)
+      Flat.push_back(std::move(Row[0]));
+    return Flat;
+  }
+
+  /// The prepared context for \p Spec, built on first use (thread-safe).
+  BenchContext &contextFor(const workloads::BenchmarkSpec &Spec);
+
+  /// "jobs=N cache=DIR hits=H misses=M stores=S" for driver footers.
+  std::string statsLine() const;
+
+  /// The deterministic RNG stream of cell (\p Spec, \p Config).
+  static RNG cellRng(const workloads::BenchmarkSpec &Spec, size_t Config);
+
+private:
+  ExperimentOptions Options;
+  exec::ThreadPool Pool;
+  std::mutex ContextsMutex;
+  std::map<std::string, std::unique_ptr<BenchContext>> Contexts;
+};
+
+} // namespace dmp::harness
+
+#endif // DMP_HARNESS_ENGINE_H

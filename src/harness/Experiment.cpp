@@ -6,37 +6,154 @@
 
 #include "harness/Experiment.h"
 
+#include "serialize/ProfileIO.h"
+
 using namespace dmp;
 using namespace dmp::harness;
 
+namespace {
+
+/// Folds every field of \p Spec into \p H.  The workload builder is a pure
+/// function of the spec, so this stands in for hashing the program itself.
+void hashSpec(serialize::Hasher &H, const workloads::BenchmarkSpec &Spec) {
+  H.update(std::string(Spec.Name));
+  for (unsigned V :
+       {Spec.OuterIters, Spec.SimpleHard, Spec.SimpleEasy, Spec.Nested,
+        Spec.Freq, Spec.Short, Spec.RetFuncs, Spec.DataLoops, Spec.HardLoops,
+        Spec.BorderLoops, Spec.Guarded, Spec.Big, Spec.CallHammocks,
+        Spec.DualMerge, Spec.Straight, Spec.BodyLen, Spec.MergeLen,
+        Spec.StraightLen})
+    H.updateU64(V);
+  H.updateDouble(Spec.HardP);
+  H.updateU64(Spec.Seed);
+}
+
+void hashSimConfig(serialize::Hasher &H, const sim::SimConfig &C) {
+  for (uint64_t V :
+       {uint64_t(C.FetchWidth), uint64_t(C.MaxNotTakenBranchesPerFetch),
+        uint64_t(C.FrontEndDepth), uint64_t(C.IssueWidth),
+        uint64_t(C.RetireWidth), uint64_t(C.RobSize), uint64_t(C.LsqSize),
+        uint64_t(C.Predictor), uint64_t(C.BtbEntries), uint64_t(C.RasEntries),
+        uint64_t(C.ConfIndexBits), uint64_t(C.ConfHistoryBits),
+        uint64_t(C.ConfThreshold), C.Memory.IL1Size, uint64_t(C.Memory.IL1Assoc),
+        uint64_t(C.Memory.IL1Latency), C.Memory.DL1Size,
+        uint64_t(C.Memory.DL1Assoc), uint64_t(C.Memory.DL1Latency),
+        C.Memory.L2Size, uint64_t(C.Memory.L2Assoc),
+        uint64_t(C.Memory.L2Latency), uint64_t(C.Memory.LineBytes),
+        uint64_t(C.Memory.MemoryLatency), uint64_t(C.EnableDmp),
+        uint64_t(C.NumPredicateRegs), uint64_t(C.NumCfmRegisters),
+        uint64_t(C.MaxDpredInstrs), uint64_t(C.MaxLoopDpredIters), C.MaxInstrs})
+    H.updateU64(V);
+}
+
+} // namespace
+
+serialize::Digest
+harness::profileCacheKey(const workloads::BenchmarkSpec &Spec,
+                         workloads::InputSetKind Kind,
+                         const profile::ProfileOptions &Options) {
+  serialize::Hasher H;
+  H.update(std::string("dmp-profile-key"));
+  H.updateU64(serialize::kFormatVersion);
+  hashSpec(H, Spec);
+  H.updateU64(Kind == workloads::InputSetKind::Run ? 0 : 1);
+  H.updateU64(Options.MaxInstrs);
+  H.updateU64(static_cast<uint64_t>(Options.Predictor));
+  return H.finish();
+}
+
+serialize::Digest harness::simCacheKey(const workloads::BenchmarkSpec &Spec,
+                                       const sim::SimConfig &Config,
+                                       const core::DivergeMap *Diverge) {
+  serialize::Hasher H;
+  H.update(std::string(Diverge ? "dmp-sim-key" : "dmp-baseline-key"));
+  H.updateU64(serialize::kFormatVersion);
+  hashSpec(H, Spec);
+  hashSimConfig(H, Config);
+  if (Diverge) {
+    const std::vector<uint8_t> Bytes = serialize::encodeDivergeMap(*Diverge);
+    H.update(Bytes.data(), Bytes.size());
+  }
+  return H.finish();
+}
+
 BenchContext::BenchContext(const workloads::BenchmarkSpec &Spec,
                            const ExperimentOptions &Options)
-    : Options(Options), W(workloads::buildBenchmark(Spec)) {
+    : Options(Options), Spec(Spec), W(workloads::buildBenchmark(Spec)) {
   PA = std::make_unique<cfg::ProgramAnalysis>(*W.Prog);
   RunImage = W.buildImage(workloads::InputSetKind::Run);
 }
 
 const profile::ProfileData &
 BenchContext::profileData(workloads::InputSetKind Kind) {
+  std::lock_guard<std::mutex> Lock(LazyMutex);
   auto &Slot =
       Kind == workloads::InputSetKind::Run ? RunProfile : TrainProfile;
-  if (!Slot) {
-    const std::vector<int64_t> Image =
-        Kind == workloads::InputSetKind::Run ? RunImage
-                                             : W.buildImage(Kind);
-    Slot = profile::collectProfile(*W.Prog, *PA, Image, Options.Profile);
+  if (Slot)
+    return *Slot;
+
+  serialize::Digest Key;
+  if (Options.Cache) {
+    Key = profileCacheKey(Spec, Kind, Options.Profile);
+    if (auto Blob = Options.Cache->load(Key)) {
+      profile::ProfileData Data;
+      std::string Error;
+      if (serialize::decodeProfileData(*Blob, Data, Error)) {
+        Slot = std::move(Data);
+        return *Slot;
+      }
+      // Undecodable blob: fall through and recompute; the store below
+      // rewrites it in the current format.
+    }
   }
+
+  const std::vector<int64_t> Image =
+      Kind == workloads::InputSetKind::Run ? RunImage : W.buildImage(Kind);
+  Slot = profile::collectProfile(*W.Prog, *PA, Image, Options.Profile);
+  if (Options.Cache)
+    Options.Cache->store(Key, serialize::encodeProfileData(*Slot));
   return *Slot;
 }
 
 const sim::SimStats &BenchContext::baseline() {
-  if (!BaselineStats)
-    BaselineStats = sim::simulateBaseline(*W.Prog, RunImage, Options.Sim);
+  std::lock_guard<std::mutex> Lock(LazyMutex);
+  if (BaselineStats)
+    return *BaselineStats;
+
+  serialize::Digest Key;
+  if (Options.Cache) {
+    Key = simCacheKey(Spec, Options.Sim, nullptr);
+    if (auto Blob = Options.Cache->load(Key)) {
+      sim::SimStats Stats;
+      std::string Error;
+      if (serialize::decodeSimStats(*Blob, Stats, Error)) {
+        BaselineStats = Stats;
+        return *BaselineStats;
+      }
+    }
+  }
+
+  BaselineStats = sim::simulateBaseline(*W.Prog, RunImage, Options.Sim);
+  if (Options.Cache)
+    Options.Cache->store(Key, serialize::encodeSimStats(*BaselineStats));
   return *BaselineStats;
 }
 
 sim::SimStats BenchContext::simulateWith(const core::DivergeMap &Diverge) const {
-  return sim::simulateDmp(*W.Prog, Diverge, RunImage, Options.Sim);
+  serialize::Digest Key;
+  if (Options.Cache) {
+    Key = simCacheKey(Spec, Options.Sim, &Diverge);
+    if (auto Blob = Options.Cache->load(Key)) {
+      sim::SimStats Stats;
+      std::string Error;
+      if (serialize::decodeSimStats(*Blob, Stats, Error))
+        return Stats;
+    }
+  }
+  sim::SimStats Stats = sim::simulateDmp(*W.Prog, Diverge, RunImage, Options.Sim);
+  if (Options.Cache)
+    Options.Cache->store(Key, serialize::encodeSimStats(Stats));
+  return Stats;
 }
 
 core::DivergeMap BenchContext::select(const core::SelectionFeatures &Features,

@@ -14,6 +14,17 @@
 ///   profile(input) -> selectDivergeBranches(...) -> simulateDmp(run input)
 /// compared against simulateBaseline(run input).
 ///
+/// When ExperimentOptions::Cache is set, profiles and simulation results
+/// are additionally backed by the content-addressed artifact cache: the
+/// cache key digests the workload spec, input set, and profiler/simulator
+/// config (see the *CacheKey functions), so each (benchmark, input) cell is
+/// profiled once ever — across benches and dmpc invocations — and a warm
+/// cache replays bit-identical results.
+///
+/// A BenchContext is safe to share between concurrent experiment tasks:
+/// the lazy profile/baseline stages are guarded by a mutex, and everything
+/// else is read-only after construction.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMP_HARNESS_EXPERIMENT_H
@@ -22,11 +33,13 @@
 #include "cfg/Analysis.h"
 #include "core/DivergeSelector.h"
 #include "profile/Profiler.h"
+#include "serialize/ArtifactCache.h"
 #include "sim/SimConfig.h"
 #include "sim/Simulator.h"
 #include "workloads/SpecSuite.h"
 
 #include <memory>
+#include <mutex>
 #include <optional>
 
 namespace dmp::harness {
@@ -37,6 +50,10 @@ struct ExperimentOptions {
   core::SelectionConfig Selection;
   sim::SimConfig Sim;
 
+  /// Content-addressed artifact cache shared by every context of the
+  /// campaign; null disables caching.
+  std::shared_ptr<serialize::ArtifactCache> Cache;
+
   ExperimentOptions() {
     // Benches run every benchmark under many configurations; bound each
     // simulation so full campaigns stay minutes, not hours.  Programs are
@@ -46,17 +63,31 @@ struct ExperimentOptions {
   }
 };
 
+/// Cache key for the profile of (\p Spec, \p Kind) under \p Options.
+serialize::Digest profileCacheKey(const workloads::BenchmarkSpec &Spec,
+                                  workloads::InputSetKind Kind,
+                                  const profile::ProfileOptions &Options);
+
+/// Cache key for one simulation of \p Spec (run input) under \p Config.
+/// \p Diverge selects the DMP simulation keyed by the annotation content;
+/// null keys the baseline.
+serialize::Digest simCacheKey(const workloads::BenchmarkSpec &Spec,
+                              const sim::SimConfig &Config,
+                              const core::DivergeMap *Diverge);
+
 /// One benchmark, prepared once, simulated many times.
 class BenchContext {
 public:
   BenchContext(const workloads::BenchmarkSpec &Spec,
                const ExperimentOptions &Options);
 
+  const workloads::BenchmarkSpec &spec() const { return Spec; }
   const workloads::Workload &workload() const { return W; }
   const cfg::ProgramAnalysis &analysis() const { return *PA; }
   const ExperimentOptions &options() const { return Options; }
 
-  /// Profile collected on the given input set (cached).
+  /// Profile collected on the given input set (cached in-memory and, when
+  /// an artifact cache is configured, on disk).
   const profile::ProfileData &profileData(workloads::InputSetKind Kind);
 
   /// Baseline simulation on the run input (cached).
@@ -78,9 +109,13 @@ public:
 
 private:
   ExperimentOptions Options;
+  workloads::BenchmarkSpec Spec;
   workloads::Workload W;
   std::unique_ptr<cfg::ProgramAnalysis> PA;
   std::vector<int64_t> RunImage;
+
+  // Lazily computed stages, guarded for concurrent experiment tasks.
+  std::mutex LazyMutex;
   std::optional<profile::ProfileData> RunProfile;
   std::optional<profile::ProfileData> TrainProfile;
   std::optional<sim::SimStats> BaselineStats;

@@ -57,6 +57,9 @@ public:
     return Stats;
   }
 
+  /// Bulk setter for deserialization.
+  void setStats(uint32_t Addr, BranchStats S) { Stats[Addr] = S; }
+
   /// Total mispredictions across all static branches.
   uint64_t totalMispredictions() const;
 

@@ -1,0 +1,134 @@
+//===- serialize/ArtifactCache.cpp - Content-addressed cache --------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serialize/ArtifactCache.h"
+
+#include "serialize/ByteStream.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+using namespace dmp::serialize;
+
+namespace {
+
+constexpr uint32_t kBlobMagic = 0x444D5043; // "DMPC"
+/// Container version: covers the blob header only; payload formats carry
+/// their own version (serialize::kFormatVersion).
+constexpr uint32_t kContainerVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 32;
+
+namespace fs = std::filesystem;
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  const long Size = std::ftell(F);
+  if (Size < 0) {
+    std::fclose(F);
+    return false;
+  }
+  std::fseek(F, 0, SEEK_SET);
+  Out.resize(static_cast<size_t>(Size));
+  const size_t Read = Size == 0 ? 0 : std::fread(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  return Read == Out.size();
+}
+
+bool writeFile(const std::string &Path, const std::vector<uint8_t> &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  const size_t Written =
+      Data.empty() ? 0 : std::fwrite(Data.data(), 1, Data.size(), F);
+  const bool Ok = std::fclose(F) == 0 && Written == Data.size();
+  return Ok;
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string Dir) : Root(std::move(Dir)) {}
+
+std::string ArtifactCache::blobPath(const Digest &Key) const {
+  const std::string Hex = Key.hex();
+  return Root + "/" + Hex.substr(0, 2) + "/" + Hex + ".blob";
+}
+
+std::optional<std::vector<uint8_t>> ArtifactCache::load(const Digest &Key) {
+  const std::string Path = blobPath(Key);
+  std::vector<uint8_t> Blob;
+  if (!readFile(Path, Blob)) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  auto Reject = [&]() -> std::optional<std::vector<uint8_t>> {
+    std::error_code EC;
+    fs::remove(Path, EC); // heal: drop the bad blob so a store can replace it
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+
+  if (Blob.size() < kHeaderSize)
+    return Reject();
+  ByteReader R(Blob);
+  if (R.readU32() != kBlobMagic)
+    return Reject();
+  if (R.readU32() != kContainerVersion)
+    return Reject();
+  const uint64_t PayloadSize = R.readU64();
+  Digest Stored;
+  for (uint8_t &B : Stored.Bytes)
+    B = R.readU8();
+  if (!R.ok() || PayloadSize != Blob.size() - kHeaderSize)
+    return Reject();
+
+  std::vector<uint8_t> Payload(Blob.begin() + kHeaderSize, Blob.end());
+  if (Hasher::hash(Payload.data(), Payload.size()) != Stored)
+    return Reject();
+
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return Payload;
+}
+
+bool ArtifactCache::store(const Digest &Key,
+                          const std::vector<uint8_t> &Payload) {
+  const std::string Path = blobPath(Key);
+  std::error_code EC;
+  fs::create_directories(fs::path(Path).parent_path(), EC);
+  if (EC)
+    return false;
+
+  ByteWriter W;
+  W.writeU32(kBlobMagic);
+  W.writeU32(kContainerVersion);
+  W.writeU64(Payload.size());
+  const Digest PayloadDigest = Hasher::hash(Payload.data(), Payload.size());
+  W.writeBytes(PayloadDigest.Bytes.data(), PayloadDigest.Bytes.size());
+  W.writeBytes(Payload.data(), Payload.size());
+
+  // Unique temp name per process/thread; rename is atomic on POSIX.
+  const std::string Temp =
+      Path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(TempCounter.fetch_add(1, std::memory_order_relaxed));
+  if (!writeFile(Temp, W.bytes())) {
+    std::error_code Ignored;
+    fs::remove(Temp, Ignored);
+    return false;
+  }
+  fs::rename(Temp, Path, EC);
+  if (EC) {
+    std::error_code Ignored;
+    fs::remove(Temp, Ignored);
+    return false;
+  }
+  Stores.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}

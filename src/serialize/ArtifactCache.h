@@ -1,0 +1,70 @@
+//===- serialize/ArtifactCache.h - Content-addressed cache ------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed on-disk artifact cache.  Artifacts are stored under
+/// `<dir>/<k0k1>/<hex key>.blob` where the key is the SHA-256 digest of a
+/// canonical encoding of every input of the cached computation (see
+/// harness/Engine.h for the key schemes).  Each blob carries a small header
+/// — magic, container version, payload size, payload SHA-256 — so a
+/// corrupted, truncated, or incompatible blob is rejected on load and the
+/// caller recomputes.
+///
+/// Stores are atomic (temp file + rename), and the cache is safe for
+/// concurrent use from many threads and many processes: two writers of the
+/// same key write identical content, so whoever renames last wins
+/// harmlessly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SERIALIZE_ARTIFACTCACHE_H
+#define DMP_SERIALIZE_ARTIFACTCACHE_H
+
+#include "serialize/Hash.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmp::serialize {
+
+/// On-disk blob store keyed by content digest.
+class ArtifactCache {
+public:
+  /// Opens (and lazily creates) the cache rooted at \p Dir.
+  explicit ArtifactCache(std::string Dir);
+
+  /// Loads the payload stored under \p Key.  Returns nullopt on miss,
+  /// corruption, or container-version mismatch (corrupt blobs are deleted
+  /// so the next store can heal them).
+  std::optional<std::vector<uint8_t>> load(const Digest &Key);
+
+  /// Stores \p Payload under \p Key.  Returns false when the filesystem
+  /// refuses; the experiment still proceeds, just uncached.
+  bool store(const Digest &Key, const std::vector<uint8_t> &Payload);
+
+  const std::string &dir() const { return Root; }
+
+  // Counters for reports and tests.
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t stores() const { return Stores.load(std::memory_order_relaxed); }
+
+private:
+  std::string blobPath(const Digest &Key) const;
+
+  std::string Root;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Stores{0};
+  std::atomic<uint64_t> TempCounter{0};
+};
+
+} // namespace dmp::serialize
+
+#endif // DMP_SERIALIZE_ARTIFACTCACHE_H

@@ -1,0 +1,72 @@
+//===- serialize/Hash.h - SHA-256 content hashing ---------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SHA-256 for content-addressed artifact keys.  A cache key is the digest
+/// of a canonical byte encoding of everything the cached computation
+/// depends on (workload spec, input-set kind, profiler/simulator config,
+/// format version), so any change to an input moves the artifact to a new
+/// address instead of silently aliasing a stale one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SERIALIZE_HASH_H
+#define DMP_SERIALIZE_HASH_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dmp::serialize {
+
+/// A 256-bit digest, printable as 64 lowercase hex characters.
+struct Digest {
+  std::array<uint8_t, 32> Bytes{};
+
+  std::string hex() const;
+  bool operator==(const Digest &O) const { return Bytes == O.Bytes; }
+  bool operator!=(const Digest &O) const { return !(*this == O); }
+};
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Hasher {
+public:
+  Hasher();
+
+  Hasher &update(const void *Data, size_t Size);
+  Hasher &update(const std::string &S) { return update(S.data(), S.size()); }
+
+  /// Appends a 64-bit value in little-endian byte order, so digests are
+  /// identical across hosts.
+  Hasher &updateU64(uint64_t V);
+
+  /// Appends the IEEE-754 bit pattern of \p V (little-endian).
+  Hasher &updateDouble(double V);
+
+  /// Finalizes and returns the digest.  The hasher must not be updated
+  /// afterwards.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(const void *Data, size_t Size) {
+    Hasher H;
+    H.update(Data, Size);
+    return H.finish();
+  }
+
+private:
+  void processBlock(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint8_t Buffer[64];
+  size_t BufferLen = 0;
+  uint64_t TotalBytes = 0;
+};
+
+} // namespace dmp::serialize
+
+#endif // DMP_SERIALIZE_HASH_H

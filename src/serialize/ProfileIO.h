@@ -1,0 +1,63 @@
+//===- serialize/ProfileIO.h - Versioned artifact formats -------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned binary (de)serialization for the three cacheable artifact
+/// kinds of the experiment pipeline:
+///
+///  - profile::ProfileData   (edge + branch-misprediction + loop profiles),
+///  - core::DivergeMap       (diverge-branch annotation sets),
+///  - sim::SimStats          (one simulation's counters).
+///
+/// Every payload starts with a per-kind tag and format version; readers
+/// reject unknown tags and version mismatches with a one-line diagnostic
+/// (lowercase, no trailing period, per the project's error-message style).
+/// Map-like containers are emitted in ascending key order, so serializing
+/// the same data always yields the same bytes — which is what lets the
+/// artifact cache treat "payload digest" as an integrity check and keeps
+/// cached results bit-identical to recomputed ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SERIALIZE_PROFILEIO_H
+#define DMP_SERIALIZE_PROFILEIO_H
+
+#include "core/DivergeInfo.h"
+#include "profile/Profiler.h"
+#include "serialize/ByteStream.h"
+#include "sim/SimStats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmp::serialize {
+
+/// Bump when any payload encoding changes; readers reject other versions.
+constexpr uint32_t kFormatVersion = 1;
+
+/// Payload kind tags (first u32 of every payload).
+enum class ArtifactKind : uint32_t {
+  Profile = 0x50524F46,   // "PROF"
+  DivergeMap = 0x444D4150, // "DMAP"
+  SimStats = 0x53494D53,  // "SIMS"
+};
+
+std::vector<uint8_t> encodeProfileData(const profile::ProfileData &Data);
+bool decodeProfileData(const std::vector<uint8_t> &Blob,
+                       profile::ProfileData &Data, std::string &Error);
+
+std::vector<uint8_t> encodeDivergeMap(const core::DivergeMap &Map);
+bool decodeDivergeMap(const std::vector<uint8_t> &Blob, core::DivergeMap &Map,
+                      std::string &Error);
+
+std::vector<uint8_t> encodeSimStats(const sim::SimStats &Stats);
+bool decodeSimStats(const std::vector<uint8_t> &Blob, sim::SimStats &Stats,
+                    std::string &Error);
+
+} // namespace dmp::serialize
+
+#endif // DMP_SERIALIZE_PROFILEIO_H

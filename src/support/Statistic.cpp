@@ -10,32 +10,46 @@
 
 using namespace dmp;
 
-uint64_t &StatisticSet::counter(const std::string &Name) {
-  for (auto &Entry : Entries)
-    if (Entry.first == Name)
-      return Entry.second;
-  Entries.emplace_back(Name, 0);
-  return Entries.back().second;
+std::atomic<uint64_t> &StatisticSet::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return Entries[It->second].Value;
+  Entries.emplace_back();
+  Entries.back().Name = Name;
+  Index.emplace(Name, Entries.size() - 1);
+  return Entries.back().Value;
 }
 
 uint64_t StatisticSet::get(const std::string &Name) const {
-  for (const auto &Entry : Entries)
-    if (Entry.first == Name)
-      return Entry.second;
-  return 0;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Index.find(Name);
+  return It == Index.end()
+             ? 0
+             : Entries[It->second].Value.load(std::memory_order_relaxed);
 }
 
 void StatisticSet::clear() {
-  for (auto &Entry : Entries)
-    Entry.second = 0;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (Entry &E : Entries)
+    E.Value.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, uint64_t>> StatisticSet::entries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::pair<std::string, uint64_t>> Result;
+  Result.reserve(Entries.size());
+  for (const Entry &E : Entries)
+    Result.emplace_back(E.Name, E.Value.load(std::memory_order_relaxed));
+  return Result;
 }
 
 std::string StatisticSet::toString() const {
   std::string Result;
   char Line[160];
-  for (const auto &Entry : Entries) {
-    std::snprintf(Line, sizeof(Line), "%-40s = %llu\n", Entry.first.c_str(),
-                  static_cast<unsigned long long>(Entry.second));
+  for (const auto &[Name, Value] : entries()) {
+    std::snprintf(Line, sizeof(Line), "%-40s = %llu\n", Name.c_str(),
+                  static_cast<unsigned long long>(Value));
     Result += Line;
   }
   return Result;

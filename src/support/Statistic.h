@@ -10,13 +10,22 @@
 /// group of named uint64 counters that simulator components update and
 /// reports can iterate deterministically.
 ///
+/// The set is safe for concurrent use: registration takes a mutex, counter
+/// values are atomics, and the reference returned by counter() stays valid
+/// (and lock-free to increment) for the lifetime of the set, so parallel
+/// experiment tasks can register and bump counters on a shared set.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMP_SUPPORT_STATISTIC_H
 #define DMP_SUPPORT_STATISTIC_H
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -25,36 +34,44 @@ namespace dmp {
 /// A deterministic, ordered collection of named counters.
 ///
 /// Counters are created on first use and iterate in creation order, so
-/// reports are stable across runs.
+/// reports are stable across runs (creation order under concurrent first
+/// use is scheduling-dependent; callers that need a fixed report order
+/// should touch the counters once up front).
 class StatisticSet {
 public:
   /// Returns a reference to the counter named \p Name, creating it (at zero)
-  /// if needed.  The reference stays valid for the lifetime of the set.
-  uint64_t &counter(const std::string &Name);
+  /// if needed.  The reference stays valid for the lifetime of the set and
+  /// may be incremented concurrently with any other operation.
+  std::atomic<uint64_t> &counter(const std::string &Name);
 
   /// Returns the value of \p Name, or zero when it was never created.
   uint64_t get(const std::string &Name) const;
 
   /// Adds \p Delta to the counter \p Name.
   void add(const std::string &Name, uint64_t Delta) {
-    counter(Name) += Delta;
+    counter(Name).fetch_add(Delta, std::memory_order_relaxed);
   }
 
   /// Resets every counter to zero (the names stay registered).
   void clear();
 
-  /// All counters in creation order.
-  const std::vector<std::pair<std::string, uint64_t>> &entries() const {
-    return Entries;
-  }
+  /// Snapshot of all counters in creation order.
+  std::vector<std::pair<std::string, uint64_t>> entries() const;
 
   /// Renders "name = value" lines into a string, for debugging dumps.
   std::string toString() const;
 
 private:
-  // Deque-like stability is unnecessary because we hand out references into
-  // a deque of values, not into the vector of names.
-  std::vector<std::pair<std::string, uint64_t>> Entries;
+  struct Entry {
+    std::string Name;
+    std::atomic<uint64_t> Value{0};
+  };
+
+  // Deque keeps entry addresses stable while new counters register, so
+  // counter() can hand out long-lived references.
+  mutable std::mutex Mutex;
+  std::deque<Entry> Entries;
+  std::unordered_map<std::string, size_t> Index;
 };
 
 } // namespace dmp

@@ -1,0 +1,203 @@
+//===- tests/test_exec.cpp - Thread pool and task graph unit tests ------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/TaskGraph.h"
+#include "exec/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+using namespace dmp::exec;
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 1000; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> Count{0};
+  {
+    ThreadPool Pool(3);
+    for (int I = 0; I < 200; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+    // No wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool Pool(1);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 50; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 50);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroRequestedThreadsClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionsComplete) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 20; ++I)
+    Pool.submit([&Pool, &Count] {
+      for (int J = 0; J < 10; ++J)
+        Pool.submit(
+            [&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+    });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The exception is consumed; the pool stays usable.
+  std::atomic<int> Count{0};
+  Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPoolTest, RepeatedConstructionAndTeardown) {
+  // Shutdown races tend to show up as hangs or crashes over many cycles.
+  for (int Round = 0; Round < 50; ++Round) {
+    ThreadPool Pool(Round % 4 + 1);
+    std::atomic<int> Count{0};
+    for (int I = 0; I < 20; ++I)
+      Pool.submit([&Count] { Count.fetch_add(1, std::memory_order_relaxed); });
+    Pool.wait();
+    ASSERT_EQ(Count.load(), 20);
+  }
+}
+
+TEST(TaskGraphTest, DependenciesOrderExecution) {
+  ThreadPool Pool(4);
+  TaskGraph Graph;
+  std::atomic<int> Order{0};
+  int SlotA = -1, SlotB = -1, SlotC = -1;
+  const auto A = Graph.add([&] { SlotA = Order.fetch_add(1); });
+  const auto B = Graph.add([&] { SlotB = Order.fetch_add(1); }, {A});
+  Graph.add([&] { SlotC = Order.fetch_add(1); }, {A, B});
+  Graph.run(Pool);
+  EXPECT_LT(SlotA, SlotB);
+  EXPECT_LT(SlotB, SlotC);
+}
+
+TEST(TaskGraphTest, DiamondRunsEveryNodeOnce) {
+  ThreadPool Pool(4);
+  TaskGraph Graph;
+  std::vector<std::atomic<int>> Runs(4);
+  const auto Top = Graph.add([&] { Runs[0].fetch_add(1); });
+  const auto Left = Graph.add([&] { Runs[1].fetch_add(1); }, {Top});
+  const auto Right = Graph.add([&] { Runs[2].fetch_add(1); }, {Top});
+  Graph.add([&] { Runs[3].fetch_add(1); }, {Left, Right});
+  Graph.run(Pool);
+  for (auto &R : Runs)
+    EXPECT_EQ(R.load(), 1);
+}
+
+TEST(TaskGraphTest, WideFanOutCompletes) {
+  ThreadPool Pool(4);
+  TaskGraph Graph;
+  std::atomic<int> Count{0};
+  const auto Root = Graph.add([&Count] { Count.fetch_add(1); });
+  std::vector<TaskGraph::TaskId> Mids;
+  for (int I = 0; I < 100; ++I)
+    Mids.push_back(Graph.add([&Count] { Count.fetch_add(1); }, {Root}));
+  Graph.add([&Count] { Count.fetch_add(1); }, Mids);
+  Graph.run(Pool);
+  EXPECT_EQ(Count.load(), 102);
+}
+
+TEST(TaskGraphTest, ExceptionCancelsDependentsAndRethrows) {
+  ThreadPool Pool(2);
+  TaskGraph Graph;
+  std::atomic<bool> DependentRan{false};
+  const auto Bad =
+      Graph.add([]() -> void { throw std::runtime_error("stage failed"); });
+  Graph.add([&DependentRan] { DependentRan = true; }, {Bad});
+  EXPECT_THROW(Graph.run(Pool), std::runtime_error);
+  EXPECT_FALSE(DependentRan.load());
+}
+
+TEST(TaskGraphTest, IndependentTasksStillSkippedAfterCancellation) {
+  // Cancellation is best-effort for independent tasks, but the graph must
+  // still terminate and rethrow.
+  ThreadPool Pool(1);
+  TaskGraph Graph;
+  Graph.add([]() -> void { throw std::runtime_error("first"); });
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 10; ++I)
+    Graph.add([&Count] { Count.fetch_add(1); });
+  EXPECT_THROW(Graph.run(Pool), std::runtime_error);
+}
+
+TEST(TaskGraphTest, EmptyGraphRuns) {
+  ThreadPool Pool(2);
+  TaskGraph Graph;
+  Graph.run(Pool); // must not hang or throw
+  EXPECT_EQ(Graph.size(), 0u);
+}
+
+TEST(TaskGraphTest, ManyRoundsOnSharedPool) {
+  // The fig5 crash mode: graph destroyed on the waiter thread while the
+  // last finisher is still inside the graph.  Many quick rounds over a
+  // shared pool make that window easy to hit if it regresses.
+  ThreadPool Pool(4);
+  for (int Round = 0; Round < 200; ++Round) {
+    TaskGraph Graph;
+    std::atomic<int> Sum{0};
+    std::vector<TaskGraph::TaskId> Roots;
+    for (int I = 0; I < 8; ++I)
+      Roots.push_back(Graph.add([&Sum] { Sum.fetch_add(1); }));
+    for (int I = 0; I < 8; ++I)
+      Graph.add([&Sum] { Sum.fetch_add(10); }, {Roots[I]});
+    Graph.run(Pool);
+    ASSERT_EQ(Sum.load(), 88);
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Hits(500);
+  parallelFor(Pool, Hits.size(), [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ParallelMapTest, ResultsInIndexOrder) {
+  ThreadPool Pool(4);
+  const std::vector<size_t> Squares = parallelMap<size_t>(
+      Pool, 100, [](size_t I) { return I * I; });
+  ASSERT_EQ(Squares.size(), 100u);
+  for (size_t I = 0; I < Squares.size(); ++I)
+    EXPECT_EQ(Squares[I], I * I);
+}
+
+TEST(ParallelForTest, ExceptionPropagates) {
+  ThreadPool Pool(2);
+  EXPECT_THROW(parallelFor(Pool, 10,
+                           [](size_t I) {
+                             if (I == 3)
+                               throw std::runtime_error("index 3");
+                           }),
+               std::runtime_error);
+}

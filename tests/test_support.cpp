@@ -14,6 +14,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 using namespace dmp;
 
 TEST(RNGTest, DeterministicForSeed) {
@@ -141,6 +146,33 @@ TEST(StatisticTest, CountersAccumulateAndIterateInOrder) {
   Stats.clear();
   EXPECT_EQ(Stats.get("fetch.cycles"), 0u);
   EXPECT_EQ(Stats.entries().size(), 2u);
+}
+
+TEST(StatisticTest, ConcurrentIncrementsAndRegistrations) {
+  // Parallel experiment tasks bump counters on a shared set while new
+  // counters register; no increment may be lost and no reference may dangle
+  // (the seed's vector storage invalidated references on growth).
+  StatisticSet Stats;
+  std::atomic<uint64_t> &Shared = Stats.counter("shared");
+  constexpr int NumThreads = 8;
+  constexpr uint64_t PerThread = 10'000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&Stats, &Shared, T] {
+      const std::string Mine = "thread." + std::to_string(T);
+      for (uint64_t I = 0; I < PerThread; ++I) {
+        Shared.fetch_add(1, std::memory_order_relaxed);
+        Stats.add(Mine, 1);
+        // Register fresh names mid-flight to force registry growth.
+        if (I % 1000 == 0)
+          Stats.counter(Mine + "." + std::to_string(I));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Stats.get("shared"), NumThreads * PerThread);
+  for (int T = 0; T < NumThreads; ++T)
+    EXPECT_EQ(Stats.get("thread." + std::to_string(T)), PerThread);
 }
 
 TEST(HistogramTest, BasicMoments) {

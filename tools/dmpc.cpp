@@ -22,14 +22,24 @@
 //   --dump-program                print the program listing
 //   --simulate                    run baseline and DMP simulations
 //   --sim-instrs=<n>              simulation budget (default 1200000)
+//   --jobs=<n>                    worker threads (baseline and DMP
+//                                 simulations overlap under --simulate)
+//   --cache-dir=<dir>             artifact cache location (default
+//                                 $DMP_CACHE_DIR or .dmp-cache)
+//   --no-cache                    recompute; skip the artifact cache
 //   --list                        list available benchmarks and exit
+//
+// Unknown options and malformed numeric values are rejected with usage and
+// a non-zero exit, so scripted sweeps fail loudly instead of silently
+// running the default configuration.
 //
 //===----------------------------------------------------------------------===//
 
 #include "cfg/DotExport.h"
 #include "core/AnnotationIO.h"
 #include "core/SimpleSelectors.h"
-#include "harness/Experiment.h"
+#include "exec/TaskGraph.h"
+#include "harness/Engine.h"
 #include "ir/Printer.h"
 #include "profile/TwoDProfile.h"
 #include "support/StringUtils.h"
@@ -55,6 +65,9 @@ struct CliOptions {
   bool DumpDot = false;
   bool Simulate = false;
   uint64_t SimInstrs = 1'200'000;
+  unsigned Jobs = exec::ThreadPool::defaultThreadCount();
+  std::string CacheDir = harness::EngineOptions::defaultCacheDir();
+  bool UseCache = true;
 };
 
 void usage() {
@@ -62,12 +75,28 @@ void usage() {
                "usage: dmpc <benchmark> [--algo=...] [--profile-input=...] "
                "[--max-instr=N] [--min-merge-prob=P] [--2d-filter] "
                "[--emit-map] [--dump-program] [--simulate] [--sim-instrs=N] "
+               "[--jobs=N] [--cache-dir=DIR] [--no-cache] "
                "| --list\n");
+}
+
+/// Strict numeric parsing: the whole value must be a number, or we fail
+/// the command line instead of sweeping a silently-mangled threshold.
+bool parseU64(const char *V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V, &End, 10);
+  return End != V && *End == '\0';
+}
+
+bool parseF64(const char *V, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(V, &End);
+  return End != V && *End == '\0';
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   for (int I = 1; I < Argc; ++I) {
     const std::string Arg = Argv[I];
+    uint64_t U = 0;
     if (Arg == "--list") {
       for (const auto &Spec : workloads::specSuite())
         std::printf("%s\n", Spec.Name);
@@ -78,14 +107,48 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       const std::string V = Arg.substr(16);
       if (V == "train")
         Opts.ProfileInput = workloads::InputSetKind::Train;
-      else if (V != "run")
+      else if (V != "run") {
+        std::fprintf(stderr, "error: invalid --profile-input '%s'\n",
+                     V.c_str());
         return false;
+      }
     } else if (Arg.rfind("--max-instr=", 0) == 0) {
-      Opts.MaxInstr = static_cast<unsigned>(std::atoi(Arg.c_str() + 12));
+      if (!parseU64(Arg.c_str() + 12, U) || U == 0 || U > 1'000'000) {
+        std::fprintf(stderr, "error: invalid --max-instr value '%s'\n",
+                     Arg.c_str() + 12);
+        return false;
+      }
+      Opts.MaxInstr = static_cast<unsigned>(U);
     } else if (Arg.rfind("--min-merge-prob=", 0) == 0) {
-      Opts.MinMergeProb = std::atof(Arg.c_str() + 17);
+      double P = 0.0;
+      if (!parseF64(Arg.c_str() + 17, P) || P < 0.0 || P > 1.0) {
+        std::fprintf(stderr, "error: invalid --min-merge-prob value '%s'\n",
+                     Arg.c_str() + 17);
+        return false;
+      }
+      Opts.MinMergeProb = P;
     } else if (Arg.rfind("--sim-instrs=", 0) == 0) {
-      Opts.SimInstrs = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+      if (!parseU64(Arg.c_str() + 13, U) || U == 0) {
+        std::fprintf(stderr, "error: invalid --sim-instrs value '%s'\n",
+                     Arg.c_str() + 13);
+        return false;
+      }
+      Opts.SimInstrs = U;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 7, U) || U == 0 || U > 1024) {
+        std::fprintf(stderr, "error: invalid --jobs value '%s'\n",
+                     Arg.c_str() + 7);
+        return false;
+      }
+      Opts.Jobs = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+      if (Opts.CacheDir.empty()) {
+        std::fprintf(stderr, "error: empty --cache-dir value\n");
+        return false;
+      }
+    } else if (Arg == "--no-cache") {
+      Opts.UseCache = false;
     } else if (Arg == "--2d-filter") {
       Opts.TwoDFilter = true;
     } else if (Arg == "--emit-map") {
@@ -173,6 +236,8 @@ int main(int Argc, char **Argv) {
       Options.Selection.withMaxInstr(Opts.MaxInstr)
           .withMinMergeProb(Opts.MinMergeProb);
   Options.Sim.MaxInstrs = Opts.SimInstrs;
+  if (Opts.UseCache)
+    Options.Cache = std::make_shared<serialize::ArtifactCache>(Opts.CacheDir);
   harness::BenchContext Bench(*Spec, Options);
 
   if (Opts.DumpProgram)
@@ -211,8 +276,17 @@ int main(int Argc, char **Argv) {
   }
 
   if (Opts.Simulate) {
+    // The baseline and DMP simulations are independent; overlap them when
+    // more than one worker is available.
+    sim::SimStats Dmp;
+    {
+      exec::ThreadPool Pool(Opts.Jobs);
+      exec::TaskGraph Graph;
+      Graph.add([&Bench] { Bench.baseline(); });
+      Graph.add([&Bench, &Map, &Dmp] { Dmp = Bench.simulateWith(Map); });
+      Graph.run(Pool);
+    }
     const sim::SimStats &Base = Bench.baseline();
-    const sim::SimStats Dmp = Bench.simulateWith(Map);
     std::printf("baseline: IPC %.3f  MPKI %.2f  flushes/kinstr %.2f\n",
                 Base.ipc(), Base.mpki(), Base.flushesPerKiloInstr());
     std::printf("DMP     : IPC %.3f  flushes/kinstr %.2f  dpred entries "
