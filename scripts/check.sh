@@ -1,11 +1,28 @@
 #!/usr/bin/env bash
 # One-command verification gate: configure the warnings-as-errors preset,
-# build everything, and run the full test suite.  Exits non-zero on the
-# first failure, so CI and pre-commit hooks can call it directly.
+# build everything, and run the test suite.  By default only the tier1
+# label runs (fast unit/integration tests — the pre-commit gate); pass
+# --all to also run the slow redundancy checks and the fuzz campaign.
+# Exits non-zero on the first failure, so CI and pre-commit hooks can call
+# it directly.  See TESTING.md for the tier definitions.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+ALL=0
+for arg in "$@"; do
+  case "$arg" in
+    --all) ALL=1 ;;
+    -h|--help) echo "usage: $0 [--all]"; exit 0 ;;
+    *) echo "usage: $0 [--all]" >&2; exit 2 ;;
+  esac
+done
+
 cmake --preset ci
 cmake --build --preset ci -j "$(nproc)"
-ctest --preset ci
+
+if [[ "$ALL" -eq 1 ]]; then
+  ctest --preset ci
+else
+  ctest --preset ci -L tier1
+fi

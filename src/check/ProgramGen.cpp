@@ -1,0 +1,334 @@
+//===- check/ProgramGen.cpp - Seeded random program generator -----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramGen.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/RNG.h"
+
+#include <cstdio>
+
+using namespace dmp;
+using namespace dmp::check;
+using namespace dmp::ir;
+
+const char *check::genOpKindName(GenOpKind Kind) {
+  switch (Kind) {
+  case GenOpKind::SimpleHammock:
+    return "SimpleHammock";
+  case GenOpKind::NestedDiamond:
+    return "NestedDiamond";
+  case GenOpKind::OverlappingDiamond:
+    return "OverlappingDiamond";
+  case GenOpKind::ShortLoop:
+    return "ShortLoop";
+  case GenOpKind::DataLoop:
+    return "DataLoop";
+  case GenOpKind::MultiRetCall:
+    return "MultiRetCall";
+  case GenOpKind::StoreBurst:
+    return "StoreBurst";
+  case GenOpKind::Straight:
+    return "Straight";
+  }
+  return "?";
+}
+
+GenRecipe check::randomRecipe(uint64_t Seed, const GenConfig &Cfg) {
+  // Decorrelate neighboring seeds (0, 1, 2, ... are the common fuzz seeds).
+  RNG Rng(Seed * 0x9E3779B97F4A7C15ULL + 0x243F6A8885A308D3ULL);
+  GenRecipe R;
+  R.Seed = Seed;
+  R.OuterIters = static_cast<unsigned>(
+      Rng.nextInRange(Cfg.MinOuterIters, Cfg.MaxOuterIters));
+  const unsigned NumOps =
+      static_cast<unsigned>(Rng.nextInRange(Cfg.MinOps, Cfg.MaxOps));
+  for (unsigned I = 0; I < NumOps; ++I) {
+    GenOp Op;
+    Op.Kind = static_cast<GenOpKind>(Rng.nextBelow(8));
+    Op.A = static_cast<uint32_t>(Rng.nextBelow(8));
+    Op.B = static_cast<uint32_t>(Rng.nextBelow(8));
+    Op.C = static_cast<uint32_t>(Rng.nextBelow(256));
+    R.Ops.push_back(Op);
+  }
+  return R;
+}
+
+namespace {
+
+// Register conventions (mirroring the workload generators):
+//   r1 outer index, r2 outer bound, r3 per-construct data word,
+//   r4/r5 condition scratch, r6/r7 inner loop counter/bound,
+//   r8..r11 filler, r20 accumulator.
+constexpr Reg IdxReg = 1;
+constexpr Reg BoundReg = 2;
+constexpr Reg DataReg = 3;
+constexpr Reg CondReg = 4;
+constexpr Reg Scratch = 5;
+constexpr Reg InnerIdx = 6;
+constexpr Reg InnerBound = 7;
+constexpr Reg FillerReg = 8;
+constexpr Reg AccReg = 20;
+
+/// Word offsets of the read and write regions in the memory image.
+constexpr int64_t ReadBase = 0;
+constexpr int64_t StoreBase = 1024;
+constexpr unsigned ReadWords = 768;
+
+/// Materialization context: the program under construction plus naming
+/// counters.  Each emit*() appends blocks to main and leaves the builder
+/// positioned in the construct's merge block.
+struct GenBuilder {
+  Program &Prog;
+  Function &Main;
+  IRBuilder B;
+  unsigned OpIndex = 0;
+
+  GenBuilder(Program &P, Function &Main) : Prog(P), Main(Main), B(P) {}
+
+  std::string name(const char *Tag) const {
+    return std::string(Tag) + std::to_string(OpIndex);
+  }
+
+  BasicBlock *newBlock(const char *Tag) { return Main.createBlock(name(Tag)); }
+
+  /// Loads the construct's data word into DataReg: Mem[r1 + salt].
+  void loadData(const GenOp &Op) {
+    B.load(DataReg, IdxReg, ReadBase + Op.C % ReadWords);
+  }
+
+  /// Extracts a data-dependent condition bit into CondReg.
+  void condBit(Reg Dst, unsigned Salt) {
+    B.andI(Dst, DataReg, int64_t(1) << (Salt % 3));
+  }
+
+  void emitSimpleHammock(const GenOp &Op) {
+    loadData(Op);
+    condBit(CondReg, Op.C);
+    BasicBlock *Else = Main.createBlock(name("else"));
+    BasicBlock *Then = Main.createBlock(name("then"));
+    BasicBlock *Merge = Main.createBlock(name("merge"));
+    B.condBr(BrCond::Ne, CondReg, RegZero, Then);
+    B.setInsertPoint(Else);
+    B.emitFiller(Op.A, FillerReg);
+    B.add(AccReg, AccReg, DataReg);
+    B.jmp(Merge);
+    B.setInsertPoint(Then);
+    B.emitFiller(Op.A, FillerReg);
+    B.sub(AccReg, AccReg, DataReg); // Falls through to Merge.
+    B.setInsertPoint(Merge);
+    B.xor_(AccReg, AccReg, IdxReg);
+  }
+
+  void emitNestedDiamond(const GenOp &Op) {
+    loadData(Op);
+    condBit(CondReg, Op.C);
+    BasicBlock *Else = Main.createBlock(name("nelse"));
+    BasicBlock *Then = Main.createBlock(name("nthen"));
+    BasicBlock *InnerElse = Main.createBlock(name("nielse"));
+    BasicBlock *InnerThen = Main.createBlock(name("nithen"));
+    BasicBlock *Merge = Main.createBlock(name("nmerge"));
+    B.condBr(BrCond::Ne, CondReg, RegZero, Then);
+    B.setInsertPoint(Else);
+    B.emitFiller(Op.A, FillerReg);
+    B.add(AccReg, AccReg, DataReg);
+    B.jmp(Merge);
+    // Then-side contains the nested diamond on an independent bit.
+    B.setInsertPoint(Then);
+    condBit(Scratch, Op.C + 1);
+    B.condBr(BrCond::Ne, Scratch, RegZero, InnerThen);
+    B.setInsertPoint(InnerElse);
+    B.addI(AccReg, AccReg, 3);
+    B.jmp(Merge);
+    B.setInsertPoint(InnerThen);
+    B.emitFiller(Op.A, FillerReg);
+    B.sub(AccReg, AccReg, DataReg); // Falls through to Merge.
+    B.setInsertPoint(Merge);
+    B.xor_(AccReg, AccReg, DataReg);
+  }
+
+  void emitOverlappingDiamond(const GenOp &Op) {
+    loadData(Op);
+    condBit(CondReg, Op.C);
+    BasicBlock *Else = Main.createBlock(name("felse"));
+    BasicBlock *Then = Main.createBlock(name("fthen"));
+    BasicBlock *Then2 = Main.createBlock(name("fthen2"));
+    BasicBlock *Merge = Main.createBlock(name("fmerge"));
+    BasicBlock *Post = Main.createBlock(name("fpost"));
+    B.condBr(BrCond::Ne, CondReg, RegZero, Then);
+    B.setInsertPoint(Else);
+    B.emitFiller(Op.A, FillerReg);
+    B.add(AccReg, AccReg, DataReg);
+    B.jmp(Merge);
+    // The then-side occasionally bypasses the merge point entirely, making
+    // it a CFM with probability < 1 (the frequently-hammock of Fig. 3c).
+    B.setInsertPoint(Then);
+    B.andI(Scratch, DataReg, 6);
+    B.condBr(BrCond::Eq, Scratch, RegZero, Post);
+    B.setInsertPoint(Then2);
+    B.sub(AccReg, AccReg, DataReg); // Falls through to Merge.
+    B.setInsertPoint(Merge);
+    B.xor_(AccReg, AccReg, IdxReg); // Falls through to Post.
+    B.setInsertPoint(Post);
+    B.addI(AccReg, AccReg, 1);
+  }
+
+  void emitShortLoop(const GenOp &Op) {
+    const int64_t Trip = 1 + Op.B % 6;
+    B.loadImm(InnerIdx, 0);
+    B.loadImm(InnerBound, Trip);
+    BasicBlock *Head = Main.createBlock(name("ihead"));
+    BasicBlock *After = Main.createBlock(name("iafter"));
+    B.setInsertPoint(Head);
+    B.load(Scratch, InnerIdx, ReadBase + (Op.C + 7) % ReadWords);
+    B.add(AccReg, AccReg, Scratch);
+    B.emitFiller(Op.A, FillerReg);
+    B.addI(InnerIdx, InnerIdx, 1);
+    B.condBr(BrCond::Lt, InnerIdx, InnerBound, Head);
+    B.setInsertPoint(After);
+    B.add(AccReg, AccReg, InnerIdx);
+  }
+
+  void emitDataLoop(const GenOp &Op) {
+    const int64_t Cap = 3 + Op.B;
+    B.loadImm(InnerIdx, 0);
+    B.loadImm(InnerBound, Cap);
+    BasicBlock *Head = Main.createBlock(name("dhead"));
+    BasicBlock *Latch = Main.createBlock(name("dlatch"));
+    BasicBlock *Exit = Main.createBlock(name("dexit"));
+    // Exit early when the loaded word's low bits are zero; the counted cap
+    // in the latch guarantees termination regardless of the data.
+    B.setInsertPoint(Head);
+    B.add(CondReg, InnerIdx, IdxReg);
+    B.load(Scratch, CondReg, ReadBase + (Op.C + 13) % ReadWords);
+    B.addI(InnerIdx, InnerIdx, 1);
+    B.add(AccReg, AccReg, Scratch);
+    B.andI(CondReg, Scratch, 3);
+    B.condBr(BrCond::Eq, CondReg, RegZero, Exit);
+    B.setInsertPoint(Latch);
+    B.condBr(BrCond::Lt, InnerIdx, InnerBound, Head);
+    B.setInsertPoint(Exit);
+    B.add(AccReg, AccReg, InnerIdx);
+  }
+
+  void emitMultiRetCall(const GenOp &Op) {
+    Function *Callee = Prog.createFunction(name("fn"));
+    BasicBlock *Entry = Callee->createBlock(name("centry"));
+    BasicBlock *RetA = Callee->createBlock(name("creta"));
+    BasicBlock *RetB = Callee->createBlock(name("cretb"));
+    IRBuilder CB(Prog);
+    CB.setInsertPoint(Entry);
+    CB.andI(CondReg, DataReg, int64_t(1) << (Op.C % 3));
+    CB.condBr(BrCond::Ne, CondReg, RegZero, RetB);
+    CB.setInsertPoint(RetA);
+    CB.emitFiller(Op.A, FillerReg);
+    CB.addI(AccReg, AccReg, 3);
+    CB.ret();
+    CB.setInsertPoint(RetB);
+    CB.emitFiller(Op.A, FillerReg);
+    CB.addI(AccReg, AccReg, 5);
+    CB.ret();
+
+    loadData(Op);
+    B.call(Callee);
+    B.add(AccReg, AccReg, DataReg);
+  }
+
+  void emitStoreBurst(const GenOp &Op) {
+    loadData(Op);
+    B.addI(CondReg, IdxReg, StoreBase + Op.C % 64);
+    B.store(AccReg, CondReg, 0);
+    B.store(DataReg, CondReg, 1);
+  }
+
+  void emitStraight(const GenOp &Op) {
+    B.emitFiller(2 + Op.A, FillerReg);
+    B.add(AccReg, AccReg, FillerReg);
+  }
+
+  void emitOp(const GenOp &Op) {
+    switch (Op.Kind) {
+    case GenOpKind::SimpleHammock:
+      return emitSimpleHammock(Op);
+    case GenOpKind::NestedDiamond:
+      return emitNestedDiamond(Op);
+    case GenOpKind::OverlappingDiamond:
+      return emitOverlappingDiamond(Op);
+    case GenOpKind::ShortLoop:
+      return emitShortLoop(Op);
+    case GenOpKind::DataLoop:
+      return emitDataLoop(Op);
+    case GenOpKind::MultiRetCall:
+      return emitMultiRetCall(Op);
+    case GenOpKind::StoreBurst:
+      return emitStoreBurst(Op);
+    case GenOpKind::Straight:
+      return emitStraight(Op);
+    }
+  }
+};
+
+} // namespace
+
+GenProgram check::materialize(const GenRecipe &Recipe) {
+  GenProgram Out;
+  Out.Prog = std::make_unique<Program>("gen");
+  Program &P = *Out.Prog;
+  Function *Main = P.createFunction("main");
+
+  GenBuilder G(P, *Main);
+  BasicBlock *Entry = Main->createBlock("entry");
+  G.B.setInsertPoint(Entry);
+  G.B.loadImm(BoundReg, std::max(1u, Recipe.OuterIters));
+  G.B.loadImm(AccReg, 0);
+  G.B.loadImm(IdxReg, 0);
+
+  BasicBlock *LoopHead = Main->createBlock("loop");
+  G.B.setInsertPoint(LoopHead);
+  for (const GenOp &Op : Recipe.Ops) {
+    G.emitOp(Op);
+    ++G.OpIndex;
+  }
+
+  // Latch: advance the outer index and iterate.
+  G.B.store(AccReg, IdxReg, StoreBase + 512);
+  G.B.addI(IdxReg, IdxReg, 1);
+  G.B.condBr(BrCond::Lt, IdxReg, BoundReg, LoopHead);
+
+  BasicBlock *Exit = Main->createBlock("exit");
+  G.B.setInsertPoint(Exit);
+  G.B.store(AccReg, RegZero, StoreBase + 1023);
+  G.B.halt();
+
+  P.finalize();
+  ir::verifyProgram(P, Out.VerifyErrors);
+
+  // Seed-derived input data.  Small signed values keep the accumulator
+  // well-behaved; the low bits (which all branch conditions key on) are
+  // uniform.
+  RNG Rng(Recipe.Seed ^ 0xD1B54A32D192ED03ULL);
+  Out.Image.resize(ReadWords + 2);
+  for (int64_t &W : Out.Image)
+    W = Rng.nextInRange(-512, 512);
+  return Out;
+}
+
+std::string check::describeRecipe(const GenRecipe &Recipe) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "seed=0x%llx iters=%u ops=[",
+                static_cast<unsigned long long>(Recipe.Seed),
+                Recipe.OuterIters);
+  std::string S(Buf);
+  for (size_t I = 0; I < Recipe.Ops.size(); ++I) {
+    const GenOp &Op = Recipe.Ops[I];
+    std::snprintf(Buf, sizeof(Buf), "%s%s(%u,%u,%u)", I ? " " : "",
+                  genOpKindName(Op.Kind), Op.A, Op.B, Op.C);
+    S += Buf;
+  }
+  S += "]";
+  return S;
+}

@@ -1,0 +1,105 @@
+//===- check/ProgramGen.h - Seeded random program generator --------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of valid dmp::ir programs for the differential
+/// oracle (check/Oracle.h).  Generation is recipe-based: a seed expands
+/// into a GenRecipe — an explicit list of construct ops plus the outer trip
+/// count — and materialize() turns a recipe into a program + memory image.
+/// The indirection is what makes failing seeds reducible: the greedy
+/// reducer (check/Reduce.h) mutates the *recipe* (drop ops, shrink
+/// parameters) and re-materializes, so every shrink step is itself a valid
+/// program.
+///
+/// The construct vocabulary deliberately mirrors the paper's Figure 3 CFG
+/// zoo — simple/nested hammocks, overlapping (frequently-hammock) diamonds,
+/// short counted loops, data-dependent-exit loops, and calls with multiple
+/// returns — because those are exactly the shapes the dpred machinery
+/// special-cases.  All branch conditions are data-dependent on a
+/// seed-derived memory image, so branch behavior (and thus confidence,
+/// mispredictions, and episode outcomes) varies per seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CHECK_PROGRAMGEN_H
+#define DMP_CHECK_PROGRAMGEN_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmp::check {
+
+/// Shape of one generated construct inside the outer loop body.
+enum class GenOpKind : uint8_t {
+  SimpleHammock,      ///< if-else diamond, straight-line sides.
+  NestedDiamond,      ///< diamond with a second diamond nested in one side.
+  OverlappingDiamond, ///< diamond whose then-side can bypass the merge
+                      ///< point (the frequently-hammock shape of Fig. 3c).
+  ShortLoop,          ///< small counted inner loop.
+  DataLoop,           ///< inner loop with data-dependent exit + trip cap.
+  MultiRetCall,       ///< call of a function returning via two rets.
+  StoreBurst,         ///< a pair of stores to the output region.
+  Straight,           ///< straight-line ALU filler.
+};
+
+const char *genOpKindName(GenOpKind Kind);
+
+/// One construct.  The parameter meaning is kind-specific but always
+/// monotone: smaller values give a smaller/simpler construct, which is what
+/// lets the reducer shrink them blindly.
+struct GenOp {
+  GenOpKind Kind = GenOpKind::Straight;
+  uint32_t A = 0; ///< Filler/body length (0..7).
+  uint32_t B = 0; ///< Trip count / nesting selector (0..7).
+  uint32_t C = 0; ///< Offset and condition salt (0..255).
+
+  bool operator==(const GenOp &O) const {
+    return Kind == O.Kind && A == O.A && B == O.B && C == O.C;
+  }
+};
+
+/// A full generated test case, reproducible from (Seed, OuterIters, Ops).
+struct GenRecipe {
+  uint64_t Seed = 0;        ///< Drives the memory image contents.
+  unsigned OuterIters = 16; ///< Outer loop trip count.
+  std::vector<GenOp> Ops;   ///< Constructs in the outer loop body, in order.
+};
+
+/// Bounds for randomRecipe().
+struct GenConfig {
+  unsigned MinOps = 2;
+  unsigned MaxOps = 10;
+  unsigned MinOuterIters = 8;
+  unsigned MaxOuterIters = 48;
+};
+
+/// Expands \p Seed into a recipe; a pure function of its arguments.
+GenRecipe randomRecipe(uint64_t Seed, const GenConfig &Cfg = GenConfig());
+
+/// A materialized recipe: finalized program + input memory image.
+struct GenProgram {
+  std::unique_ptr<ir::Program> Prog;
+  std::vector<int64_t> Image;
+  /// Structural verifier findings; empty for a well-formed program.  A
+  /// non-empty list is itself an oracle finding (the generator emitted an
+  /// invalid program).
+  std::vector<std::string> VerifyErrors;
+};
+
+/// Builds the program and image for \p Recipe; a pure function of the
+/// recipe, so the same recipe always yields a bit-identical program.
+GenProgram materialize(const GenRecipe &Recipe);
+
+/// One-line human-readable description ("seed=0x2a iters=16 ops=[sh nd ...]").
+std::string describeRecipe(const GenRecipe &Recipe);
+
+} // namespace dmp::check
+
+#endif // DMP_CHECK_PROGRAMGEN_H

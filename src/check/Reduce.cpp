@@ -1,0 +1,118 @@
+//===- check/Reduce.cpp - Greedy test-case reducer -----------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Reduce.h"
+
+#include "cfg/DotExport.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace dmp;
+using namespace dmp::check;
+
+GenRecipe check::reduceRecipe(const GenRecipe &Failing,
+                              const RecipePredicate &StillFails,
+                              unsigned MaxChecks) {
+  GenRecipe Best = Failing;
+  unsigned Checks = 0;
+  const auto Try = [&](const GenRecipe &Candidate) {
+    if (Checks >= MaxChecks)
+      return false;
+    ++Checks;
+    if (!StillFails(Candidate))
+      return false;
+    Best = Candidate;
+    return true;
+  };
+
+  bool Progress = true;
+  while (Progress && Checks < MaxChecks) {
+    Progress = false;
+
+    // Drop op chunks, ddmin-style: halves first, then smaller runs, down
+    // to single ops.
+    for (size_t Chunk = std::max<size_t>(Best.Ops.size() / 2, 1); Chunk >= 1;
+         Chunk /= 2) {
+      for (size_t Start = 0; Start + 1 <= Best.Ops.size();) {
+        if (Best.Ops.empty())
+          break;
+        GenRecipe Candidate = Best;
+        const size_t End = std::min(Start + Chunk, Candidate.Ops.size());
+        Candidate.Ops.erase(Candidate.Ops.begin() + Start,
+                            Candidate.Ops.begin() + End);
+        if (Try(Candidate))
+          Progress = true; // Keep Start: the next chunk slid into place.
+        else
+          Start += Chunk;
+      }
+      if (Chunk == 1)
+        break;
+    }
+
+    // Shrink the outer trip count toward 1.
+    while (Best.OuterIters > 1) {
+      GenRecipe Candidate = Best;
+      Candidate.OuterIters = Best.OuterIters / 2;
+      if (!Try(Candidate))
+        break;
+      Progress = true;
+    }
+
+    // Shrink per-op parameters (monotone by construction).
+    for (size_t I = 0; I < Best.Ops.size(); ++I) {
+      for (int Field = 0; Field < 3; ++Field) {
+        while (true) {
+          GenRecipe Candidate = Best;
+          GenOp &Op = Candidate.Ops[I];
+          uint32_t &V = Field == 0 ? Op.A : Field == 1 ? Op.B : Op.C;
+          if (V == 0)
+            break;
+          V /= 2;
+          if (!Try(Candidate))
+            break;
+          Progress = true;
+        }
+      }
+    }
+  }
+  return Best;
+}
+
+std::string check::emitReproSnippet(const GenRecipe &Recipe,
+                                    const std::string &Name) {
+  std::string S;
+  S += "/// Minimized dmp::check fuzz repro: " + describeRecipe(Recipe) + "\n";
+  S += "inline dmp::check::GenRecipe buildRepro" + Name + "() {\n";
+  S += "  dmp::check::GenRecipe R;\n";
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "  R.Seed = 0x%llxULL;\n",
+                static_cast<unsigned long long>(Recipe.Seed));
+  S += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  R.OuterIters = %u;\n", Recipe.OuterIters);
+  S += Buf;
+  if (!Recipe.Ops.empty()) {
+    S += "  R.Ops = {\n";
+    for (const GenOp &Op : Recipe.Ops) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "      {dmp::check::GenOpKind::%s, %u, %u, %u},\n",
+                    genOpKindName(Op.Kind), Op.A, Op.B, Op.C);
+      S += Buf;
+    }
+    S += "  };\n";
+  }
+  S += "  return R;\n";
+  S += "}\n";
+  return S;
+}
+
+std::string check::emitReproDot(const GenRecipe &Recipe) {
+  const GenProgram G = materialize(Recipe);
+  std::string S;
+  for (const auto &F : G.Prog->functions())
+    S += cfg::exportFunctionDot(*F);
+  return S;
+}

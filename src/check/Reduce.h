@@ -1,0 +1,53 @@
+//===- check/Reduce.h - Greedy test-case reducer --------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy shrinking of failing fuzz cases.  The reducer operates on
+/// GenRecipes (not programs): it drops construct ops in ddmin-style chunks,
+/// shrinks the outer trip count, and zeroes per-op parameters, keeping any
+/// mutation for which the caller's predicate still reports failure.  Since
+/// materialize() is total over recipes, every intermediate candidate is a
+/// valid program, and the minimized recipe reproduces deterministically.
+///
+/// emitReproSnippet() renders the minimized recipe as a ready-to-commit
+/// C++ builder function (tests/TestPrograms.h style) and emitReproDot()
+/// renders the materialized CFG as Graphviz, so a found bug can be checked
+/// in as a regression test together with a reviewable picture of the CFG
+/// that triggered it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_CHECK_REDUCE_H
+#define DMP_CHECK_REDUCE_H
+
+#include "check/ProgramGen.h"
+
+#include <functional>
+#include <string>
+
+namespace dmp::check {
+
+/// Returns true when the candidate recipe still reproduces the failure.
+using RecipePredicate = std::function<bool(const GenRecipe &)>;
+
+/// Greedily shrinks \p Failing while \p StillFails holds.  The result is
+/// 1-minimal with respect to the mutation set (no single op removal,
+/// trip-count halving, or parameter shrink keeps it failing).
+/// \p MaxChecks bounds total predicate evaluations.
+GenRecipe reduceRecipe(const GenRecipe &Failing,
+                       const RecipePredicate &StillFails,
+                       unsigned MaxChecks = 2000);
+
+/// Renders \p Recipe as a C++ function named buildRepro\p Name returning
+/// the recipe — the checked-in form of a minimized failure.
+std::string emitReproSnippet(const GenRecipe &Recipe, const std::string &Name);
+
+/// Graphviz CFG of the materialized recipe's main function.
+std::string emitReproDot(const GenRecipe &Recipe);
+
+} // namespace dmp::check
+
+#endif // DMP_CHECK_REDUCE_H

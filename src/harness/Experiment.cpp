@@ -42,8 +42,26 @@ void hashSimConfig(serialize::Hasher &H, const sim::SimConfig &C) {
         uint64_t(C.Memory.L2Latency), uint64_t(C.Memory.LineBytes),
         uint64_t(C.Memory.MemoryLatency), uint64_t(C.EnableDmp),
         uint64_t(C.NumPredicateRegs), uint64_t(C.NumCfmRegisters),
-        uint64_t(C.MaxDpredInstrs), uint64_t(C.MaxLoopDpredIters), C.MaxInstrs})
+        uint64_t(C.MaxDpredInstrs), uint64_t(C.MaxLoopDpredIters), C.MaxInstrs,
+        uint64_t(C.InjectFault)})
     H.updateU64(V);
+}
+
+void hashSelectionConfig(serialize::Hasher &H,
+                         const core::SelectionConfig &C) {
+  for (uint64_t V :
+       {uint64_t(C.MaxInstr), uint64_t(C.MaxCondBr), uint64_t(C.MaxCfmPoints),
+        uint64_t(C.ShortHammockMaxInstr), uint64_t(C.StaticLoopSize),
+        uint64_t(C.DynamicLoopSize), uint64_t(C.FetchWidth),
+        uint64_t(C.MispPenaltyCycles), uint64_t(C.CostScopeMaxInstr),
+        uint64_t(C.CostScopeMaxCondBr), uint64_t(C.MaxPaths),
+        uint64_t(C.CallExtraWeight)})
+    H.updateU64(V);
+  for (double V :
+       {C.MinExecProb, C.MinMergeProb, C.ShortHammockMinMergeProb,
+        C.ShortHammockMinMispRate, C.ReturnCfmMinMergeProb, C.LoopIter,
+        C.AccConf, C.MinPathProb})
+    H.updateDouble(V);
 }
 
 } // namespace
@@ -51,10 +69,11 @@ void hashSimConfig(serialize::Hasher &H, const sim::SimConfig &C) {
 serialize::Digest
 harness::profileCacheKey(const workloads::BenchmarkSpec &Spec,
                          workloads::InputSetKind Kind,
-                         const profile::ProfileOptions &Options) {
+                         const profile::ProfileOptions &Options,
+                         uint32_t SchemaVersion) {
   serialize::Hasher H;
   H.update(std::string("dmp-profile-key"));
-  H.updateU64(serialize::kFormatVersion);
+  H.updateU64(SchemaVersion);
   hashSpec(H, Spec);
   H.updateU64(Kind == workloads::InputSetKind::Run ? 0 : 1);
   H.updateU64(Options.MaxInstrs);
@@ -64,16 +83,20 @@ harness::profileCacheKey(const workloads::BenchmarkSpec &Spec,
 
 serialize::Digest harness::simCacheKey(const workloads::BenchmarkSpec &Spec,
                                        const sim::SimConfig &Config,
-                                       const core::DivergeMap *Diverge) {
+                                       const core::DivergeMap *Diverge,
+                                       const core::SelectionConfig *Selection,
+                                       uint32_t SchemaVersion) {
   serialize::Hasher H;
   H.update(std::string(Diverge ? "dmp-sim-key" : "dmp-baseline-key"));
-  H.updateU64(serialize::kFormatVersion);
+  H.updateU64(SchemaVersion);
   hashSpec(H, Spec);
   hashSimConfig(H, Config);
   if (Diverge) {
     const std::vector<uint8_t> Bytes = serialize::encodeDivergeMap(*Diverge);
     H.update(Bytes.data(), Bytes.size());
   }
+  if (Selection)
+    hashSelectionConfig(H, *Selection);
   return H.finish();
 }
 
@@ -142,7 +165,7 @@ const sim::SimStats &BenchContext::baseline() {
 sim::SimStats BenchContext::simulateWith(const core::DivergeMap &Diverge) const {
   serialize::Digest Key;
   if (Options.Cache) {
-    Key = simCacheKey(Spec, Options.Sim, &Diverge);
+    Key = simCacheKey(Spec, Options.Sim, &Diverge, &Options.Selection);
     if (auto Blob = Options.Cache->load(Key)) {
       sim::SimStats Stats;
       std::string Error;

@@ -34,6 +34,7 @@
 #include "core/DivergeSelector.h"
 #include "profile/Profiler.h"
 #include "serialize/ArtifactCache.h"
+#include "serialize/ProfileIO.h"
 #include "sim/SimConfig.h"
 #include "sim/Simulator.h"
 #include "workloads/SpecSuite.h"
@@ -64,16 +65,26 @@ struct ExperimentOptions {
 };
 
 /// Cache key for the profile of (\p Spec, \p Kind) under \p Options.
-serialize::Digest profileCacheKey(const workloads::BenchmarkSpec &Spec,
-                                  workloads::InputSetKind Kind,
-                                  const profile::ProfileOptions &Options);
+/// \p SchemaVersion is folded into the digest so bumping
+/// serialize::kCacheSchemaVersion retires every stale entry (tests pass an
+/// explicit version to prove the miss).
+serialize::Digest
+profileCacheKey(const workloads::BenchmarkSpec &Spec,
+                workloads::InputSetKind Kind,
+                const profile::ProfileOptions &Options,
+                uint32_t SchemaVersion = serialize::kCacheSchemaVersion);
 
 /// Cache key for one simulation of \p Spec (run input) under \p Config.
 /// \p Diverge selects the DMP simulation keyed by the annotation content;
-/// null keys the baseline.
-serialize::Digest simCacheKey(const workloads::BenchmarkSpec &Spec,
-                              const sim::SimConfig &Config,
-                              const core::DivergeMap *Diverge);
+/// null keys the baseline.  \p Selection (optional) folds a digest of the
+/// selector configuration that produced \p Diverge, so retuned selection
+/// thresholds can never replay a stale annotation set's simulation even
+/// when the annotations happen to collide.
+serialize::Digest
+simCacheKey(const workloads::BenchmarkSpec &Spec, const sim::SimConfig &Config,
+            const core::DivergeMap *Diverge,
+            const core::SelectionConfig *Selection = nullptr,
+            uint32_t SchemaVersion = serialize::kCacheSchemaVersion);
 
 /// One benchmark, prepared once, simulated many times.
 class BenchContext {

@@ -57,6 +57,8 @@ public:
   int64_t memWord(uint64_t WordAddr) const {
     return Memory[WordAddr & AddrMask];
   }
+  /// Size of the (padded) memory image, in 64-bit words.
+  uint64_t memoryWords() const { return Memory.size(); }
   uint32_t pc() const { return PC; }
   size_t callDepth() const { return CallStack.size(); }
 

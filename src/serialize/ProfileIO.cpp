@@ -279,7 +279,7 @@ bool serialize::decodeDivergeMap(const std::vector<uint8_t> &Blob,
 // Every field is a uint64 counter; if this assert fires, a field was added
 // or removed — update the encode/decode lists below and bump
 // kFormatVersion.
-static_assert(sizeof(sim::SimStats) == 28 * sizeof(uint64_t),
+static_assert(sizeof(sim::SimStats) == 29 * sizeof(uint64_t),
               "SimStats layout changed; update serialization");
 
 std::vector<uint8_t> serialize::encodeSimStats(const sim::SimStats &S) {
@@ -291,7 +291,8 @@ std::vector<uint8_t> serialize::encodeSimStats(const sim::SimStats &S) {
       S.RasMispredicts,    S.LowConfBranches, S.LowConfMispredicted,
       S.DpredEntries,      S.DpredEntriesLoop, S.DpredEntriesAlways,
       S.DpredMerged,       S.DpredNoMerge,    S.DpredSavedFlushes,
-      S.DpredWastedEntries, S.DpredAborted,   S.UsefulDpredInstrs,
+      S.DpredWastedEntries, S.DpredAborted,   S.DpredActiveAtEnd,
+      S.UsefulDpredInstrs,
       S.UselessDpredInstrs, S.SelectUops,     S.LoopCorrect,
       S.LoopEarlyExit,     S.LoopLateExit,    S.LoopNoExit,
       S.LoopExtraIterInstrs, S.IL1Misses,     S.DL1Misses,
@@ -308,7 +309,7 @@ bool serialize::decodeSimStats(const std::vector<uint8_t> &Blob,
   if (!readHeader(R, ArtifactKind::SimStats, Error))
     return false;
   const uint64_t NumFields = R.readU64();
-  if (NumFields != 28) {
+  if (NumFields != 29) {
     Error = "sim stats field count mismatch";
     return false;
   }
@@ -319,7 +320,8 @@ bool serialize::decodeSimStats(const std::vector<uint8_t> &Blob,
       &S.RasMispredicts,    &S.LowConfBranches, &S.LowConfMispredicted,
       &S.DpredEntries,      &S.DpredEntriesLoop, &S.DpredEntriesAlways,
       &S.DpredMerged,       &S.DpredNoMerge,    &S.DpredSavedFlushes,
-      &S.DpredWastedEntries, &S.DpredAborted,   &S.UsefulDpredInstrs,
+      &S.DpredWastedEntries, &S.DpredAborted,   &S.DpredActiveAtEnd,
+      &S.UsefulDpredInstrs,
       &S.UselessDpredInstrs, &S.SelectUops,     &S.LoopCorrect,
       &S.LoopEarlyExit,     &S.LoopLateExit,    &S.LoopNoExit,
       &S.LoopExtraIterInstrs, &S.IL1Misses,     &S.DL1Misses,

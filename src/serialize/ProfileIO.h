@@ -37,7 +37,15 @@
 namespace dmp::serialize {
 
 /// Bump when any payload encoding changes; readers reject other versions.
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersion = 2;
+
+/// Cache-schema version folded into every artifact-cache key (see
+/// harness::profileCacheKey / simCacheKey).  Bump whenever the *meaning* of
+/// a cached artifact changes without its input spec changing — e.g. a
+/// payload-encoding change (kFormatVersion bump), a new field in SimStats,
+/// or a semantic fix in the profiler/simulator.  Old entries then miss
+/// instead of being misread as current results.
+constexpr uint32_t kCacheSchemaVersion = 2;
 
 /// Payload kind tags (first u32 of every payload).
 enum class ArtifactKind : uint32_t {

@@ -459,11 +459,21 @@ void DmpCore::handleCondBranch(const profile::DynInstr &D, uint64_t FetchedAt,
 // Main loop
 //===----------------------------------------------------------------------===//
 
-SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage) {
+SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
+                      FinalState *FinalStateOut) {
   profile::Emulator Emu(P, MemoryImage);
   profile::DynInstr D;
 
   while (Emu.executedCount() < Config.MaxInstrs && Emu.step(D)) {
+    // Retired-store probe: the store has executed, so the value written is
+    // exactly what memory now holds at the effective address.  Only
+    // correct-path (retired) instructions pass through this loop — the
+    // wrong path of a dpred episode is walked statically and never touches
+    // Emu — so the sequence recorded here is the architectural store order.
+    if (FinalStateOut && D.I->Op == Opcode::Store)
+      FinalStateOut->Stores.push_back(
+          {D.Addr, D.MemAddr, Emu.memWord(D.MemAddr)});
+
     if (Ep.Active && !Ep.IsLoop)
       checkDpredProgress(D.Addr);
 
@@ -525,5 +535,17 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage) {
   Stats.IL1Misses = Memory.il1().missCount();
   Stats.DL1Misses = Memory.dl1().missCount();
   Stats.L2Misses = Memory.l2().missCount();
+  Stats.DpredActiveAtEnd = Ep.Active ? 1 : 0;
+
+  if (FinalStateOut) {
+    captureArchState(Emu, *FinalStateOut);
+    // Canary fault injection (oracle self-tests only): corrupt the
+    // *extracted* state so dmp::check can prove it detects retired-state
+    // divergence without planting a real bug in the model.
+    if (Config.InjectFault == 1 && !FinalStateOut->Stores.empty())
+      FinalStateOut->Stores.erase(FinalStateOut->Stores.begin());
+    else if (Config.InjectFault == 2)
+      FinalStateOut->Regs[1] ^= 1;
+  }
   return Stats;
 }

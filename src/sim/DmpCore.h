@@ -27,6 +27,7 @@
 #include "core/DivergeInfo.h"
 #include "profile/Emulator.h"
 #include "sim/CycleResource.h"
+#include "sim/FinalState.h"
 #include "sim/SimConfig.h"
 #include "sim/SimStats.h"
 #include "uarch/BTB.h"
@@ -50,8 +51,12 @@ public:
           const SimConfig &Config);
 
   /// Runs the program on \p MemoryImage until Halt or Config.MaxInstrs and
-  /// returns the statistics.
-  SimStats run(const std::vector<int64_t> &MemoryImage);
+  /// returns the statistics.  When \p FinalStateOut is non-null it receives
+  /// the retired architectural state (registers, memory fingerprint, and
+  /// the in-order retired-store sequence) — the observable the dmp::check
+  /// differential oracle compares against the reference emulator.
+  SimStats run(const std::vector<int64_t> &MemoryImage,
+               FinalState *FinalStateOut = nullptr);
 
 private:
   // -- Fetch engine -------------------------------------------------------

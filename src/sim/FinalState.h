@@ -1,0 +1,80 @@
+//===- sim/FinalState.h - Retired architectural state ---------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architectural state a simulation run retires: final register file,
+/// a fingerprint of the final memory image, and the ordered sequence of
+/// retired stores.  Dynamic predication must be architecturally invisible
+/// (paper Section 2), so a DMP run, a baseline run, and the functional
+/// emulator must all produce bit-identical FinalStates — the property the
+/// dmp::check differential oracle asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_FINALSTATE_H
+#define DMP_SIM_FINALSTATE_H
+
+#include "ir/Opcode.h"
+#include "profile/Emulator.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dmp::sim {
+
+/// One architecturally retired store, in retirement order.
+struct RetiredStore {
+  uint32_t InstrAddr = 0; ///< Static address of the store instruction.
+  uint64_t WordAddr = 0;  ///< Effective word address written.
+  int64_t Value = 0;      ///< Value written.
+
+  bool operator==(const RetiredStore &O) const {
+    return InstrAddr == O.InstrAddr && WordAddr == O.WordAddr &&
+           Value == O.Value;
+  }
+};
+
+/// Everything one run retires architecturally.
+struct FinalState {
+  std::array<int64_t, ir::NumRegs> Regs{};
+  uint64_t MemoryWords = 0;
+  /// FNV-1a fingerprint over the final memory image, word by word.
+  uint64_t MemoryFingerprint = 0;
+  std::vector<RetiredStore> Stores;
+  uint64_t RetiredInstrs = 0;
+  bool Halted = false;
+};
+
+/// FNV-1a over the full memory image of \p Emu.
+inline uint64_t fingerprintMemory(const profile::Emulator &Emu) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  const uint64_t Words = Emu.memoryWords();
+  for (uint64_t A = 0; A < Words; ++A) {
+    uint64_t W = static_cast<uint64_t>(Emu.memWord(A));
+    for (int B = 0; B < 8; ++B) {
+      H ^= (W >> (B * 8)) & 0xFF;
+      H *= 0x100000001B3ull;
+    }
+  }
+  return H;
+}
+
+/// Fills registers, memory fingerprint, instruction count, and halt flag of
+/// \p Out from \p Emu (the retired-store list is accumulated separately by
+/// whoever steps the emulator).
+inline void captureArchState(const profile::Emulator &Emu, FinalState &Out) {
+  for (unsigned R = 0; R < ir::NumRegs; ++R)
+    Out.Regs[R] = Emu.reg(static_cast<ir::Reg>(R));
+  Out.MemoryWords = Emu.memoryWords();
+  Out.MemoryFingerprint = fingerprintMemory(Emu);
+  Out.RetiredInstrs = Emu.executedCount();
+  Out.Halted = Emu.isHalted();
+}
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_FINALSTATE_H

@@ -78,6 +78,13 @@ struct SimConfig {
   /// Dynamic instruction budget of one simulation run.
   uint64_t MaxInstrs = 2'000'000;
 
+  /// Deliberate retired-state corruption for differential-oracle canary
+  /// tests (dmp::check): 0 = none, 1 = drop the first retired store from
+  /// the extracted final state, 2 = flip a bit of r1 in the extracted
+  /// final registers.  Never affects timing or the emulated program; only
+  /// the FinalState the simulator reports.
+  unsigned InjectFault = 0;
+
   /// Execution latency of \p Op (loads use the cache model instead).
   unsigned latencyFor(ir::Opcode Op) const;
 

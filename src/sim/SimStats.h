@@ -47,6 +47,10 @@ struct SimStats {
                                    ///< flush dynamic predication avoided.
   uint64_t DpredWastedEntries = 0; ///< Entered for correctly predicted br.
   uint64_t DpredAborted = 0;       ///< Inner misprediction aborted episode.
+  uint64_t DpredActiveAtEnd = 0;   ///< 1 when the run halted mid-episode.
+                                   ///< Closes the episode-accounting books:
+                                   ///< DpredEntries == merged + no-merge +
+                                   ///< aborted + loop outcomes + this.
   uint64_t UsefulDpredInstrs = 0;  ///< Correct-path instrs fetched in dpred.
   uint64_t UselessDpredInstrs = 0; ///< Wrong-path instrs fetched in dpred.
   uint64_t SelectUops = 0;

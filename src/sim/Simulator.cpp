@@ -13,18 +13,20 @@ using namespace dmp::sim;
 
 SimStats sim::simulateBaseline(const ir::Program &P,
                                const std::vector<int64_t> &MemoryImage,
-                               const SimConfig &Config) {
+                               const SimConfig &Config,
+                               FinalState *FinalStateOut) {
   SimConfig BaselineConfig = Config;
   BaselineConfig.EnableDmp = false;
   DmpCore Core(P, nullptr, BaselineConfig);
-  return Core.run(MemoryImage);
+  return Core.run(MemoryImage, FinalStateOut);
 }
 
 SimStats sim::simulateDmp(const ir::Program &P, const core::DivergeMap &Diverge,
                           const std::vector<int64_t> &MemoryImage,
-                          const SimConfig &Config) {
+                          const SimConfig &Config,
+                          FinalState *FinalStateOut) {
   SimConfig DmpConfig = Config;
   DmpConfig.EnableDmp = true;
   DmpCore Core(P, &Diverge, DmpConfig);
-  return Core.run(MemoryImage);
+  return Core.run(MemoryImage, FinalStateOut);
 }

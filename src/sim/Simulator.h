@@ -15,6 +15,7 @@
 
 #include "core/DivergeInfo.h"
 #include "ir/Program.h"
+#include "sim/FinalState.h"
 #include "sim/SimConfig.h"
 #include "sim/SimStats.h"
 
@@ -22,15 +23,19 @@
 
 namespace dmp::sim {
 
-/// Runs the baseline (no dynamic predication) machine.
+/// Runs the baseline (no dynamic predication) machine.  \p FinalStateOut
+/// (optional) receives the retired architectural state.
 SimStats simulateBaseline(const ir::Program &P,
                           const std::vector<int64_t> &MemoryImage,
-                          const SimConfig &Config = SimConfig());
+                          const SimConfig &Config = SimConfig(),
+                          FinalState *FinalStateOut = nullptr);
 
 /// Runs the DMP machine with the given diverge-branch annotations.
+/// \p FinalStateOut (optional) receives the retired architectural state.
 SimStats simulateDmp(const ir::Program &P, const core::DivergeMap &Diverge,
                      const std::vector<int64_t> &MemoryImage,
-                     const SimConfig &Config = SimConfig());
+                     const SimConfig &Config = SimConfig(),
+                     FinalState *FinalStateOut = nullptr);
 
 } // namespace dmp::sim
 

@@ -1,0 +1,123 @@
+//===- tests/test_confidence.cpp - Confidence estimator unit tests ------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Direct unit tests for uarch::ConfidenceEstimator beyond the integration
+// coverage in test_uarch.cpp: counter saturation behavior, the
+// reset-on-misprediction MDC semantics, reset() on pipeline flush, and
+// bounds on the measured Acc_Conf statistic.  HistoryBits=0 makes the
+// table index a pure function of the branch address, so expectations are
+// exact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Saturating.h"
+#include "uarch/ConfidenceEstimator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::uarch;
+
+namespace {
+constexpr uint32_t Addr = 0x5;
+constexpr unsigned Threshold = 14;
+
+ConfidenceEstimator makeEstimator(unsigned Thresh = Threshold) {
+  return ConfidenceEstimator(/*IndexBits=*/6, /*HistoryBits=*/0, Thresh);
+}
+} // namespace
+
+TEST(ConfidenceEstimatorTest, StartsWarmAtCounterMax) {
+  const ConfidenceEstimator CE = makeEstimator();
+  // Counters initialize saturated, so a cold table is high-confidence
+  // everywhere (documented deviation from reset-to-zero hardware).
+  for (uint32_t A = 0; A < 64; ++A)
+    EXPECT_FALSE(CE.isLowConfidence(A));
+}
+
+TEST(ConfidenceEstimatorTest, MispredictionResetsCounterToZero) {
+  ConfidenceEstimator CE = makeEstimator();
+  CE.update(Addr, /*PredictedCorrectly=*/false, /*Taken=*/true);
+  EXPECT_TRUE(CE.isLowConfidence(Addr));
+  // One misprediction must zero the MDC, not just decrement it: with
+  // threshold 14 even 13 subsequent correct predictions stay low-conf.
+  for (unsigned I = 0; I < Threshold - 1; ++I) {
+    CE.update(Addr, /*PredictedCorrectly=*/true, /*Taken=*/true);
+    EXPECT_TRUE(CE.isLowConfidence(Addr)) << "after " << (I + 1);
+  }
+  CE.update(Addr, /*PredictedCorrectly=*/true, /*Taken=*/true);
+  EXPECT_FALSE(CE.isLowConfidence(Addr));
+}
+
+TEST(ConfidenceEstimatorTest, CounterSaturatesAtMax) {
+  ConfidenceEstimator CE = makeEstimator();
+  CE.update(Addr, false, true); // Zero the counter.
+  // Far more correct updates than the 4-bit range can represent...
+  for (unsigned I = 0; I < 10 * SaturatingCounter<4>::Max; ++I)
+    CE.update(Addr, true, true);
+  EXPECT_FALSE(CE.isLowConfidence(Addr));
+  // ...must not wrap: still exactly one misprediction from low confidence.
+  CE.update(Addr, false, true);
+  EXPECT_TRUE(CE.isLowConfidence(Addr));
+}
+
+TEST(ConfidenceEstimatorTest, ResetRestoresWarmStateAndClearsStats) {
+  ConfidenceEstimator CE = makeEstimator();
+  for (uint32_t A = 0; A < 8; ++A)
+    CE.update(A, /*PredictedCorrectly=*/false, /*Taken=*/false);
+  for (uint32_t A = 0; A < 8; ++A) {
+    EXPECT_TRUE(CE.isLowConfidence(A));
+    CE.update(A, /*PredictedCorrectly=*/false, /*Taken=*/false);
+  }
+  EXPECT_GT(CE.lowConfidenceCount(), 0u);
+  EXPECT_GT(CE.measuredAccConf(), 0.0);
+
+  CE.reset();
+  for (uint32_t A = 0; A < 64; ++A)
+    EXPECT_FALSE(CE.isLowConfidence(A));
+  EXPECT_EQ(CE.lowConfidenceCount(), 0u);
+  EXPECT_EQ(CE.measuredAccConf(), 0.0);
+}
+
+TEST(ConfidenceEstimatorTest, AccConfIsExactLowConfMispredictionRate) {
+  ConfidenceEstimator CE = makeEstimator();
+  // The initial misprediction happens at high confidence: not counted.
+  CE.update(Addr, /*PredictedCorrectly=*/false, /*Taken=*/true);
+  EXPECT_EQ(CE.lowConfidenceCount(), 0u);
+  // Three correct + one mispredicted update, all while low-confidence.
+  for (int I = 0; I < 3; ++I)
+    CE.update(Addr, /*PredictedCorrectly=*/true, /*Taken=*/true);
+  CE.update(Addr, /*PredictedCorrectly=*/false, /*Taken=*/true);
+  EXPECT_EQ(CE.lowConfidenceCount(), 4u);
+  EXPECT_DOUBLE_EQ(CE.measuredAccConf(), 0.25);
+}
+
+TEST(ConfidenceEstimatorTest, AccConfStaysWithinUnitInterval) {
+  ConfidenceEstimator CE(/*IndexBits=*/4, /*HistoryBits=*/4, Threshold);
+  // Pseudo-random but deterministic outcome stream over aliasing branches.
+  uint64_t X = 0x9E3779B97F4A7C15ull;
+  uint64_t Updates = 0;
+  for (int I = 0; I < 5000; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+    const uint32_t A = static_cast<uint32_t>(X & 0xFF);
+    CE.update(A, /*PredictedCorrectly=*/(X >> 8) & 1, /*Taken=*/(X >> 9) & 1);
+    ++Updates;
+    const double Acc = CE.measuredAccConf();
+    ASSERT_GE(Acc, 0.0);
+    ASSERT_LE(Acc, 1.0);
+    ASSERT_LE(CE.lowConfidenceCount(), Updates);
+  }
+  EXPECT_GT(CE.lowConfidenceCount(), 0u);
+}
+
+TEST(ConfidenceEstimatorTest, BranchesAliasOnlyWithinTableIndex) {
+  ConfidenceEstimator CE = makeEstimator();
+  // 6 index bits: address 0x45 aliases 0x5; 0x9 does not.
+  CE.update(Addr, /*PredictedCorrectly=*/false, /*Taken=*/true);
+  EXPECT_TRUE(CE.isLowConfidence(Addr));
+  EXPECT_TRUE(CE.isLowConfidence(Addr + 64));
+  EXPECT_FALSE(CE.isLowConfidence(0x9));
+}

@@ -1,0 +1,84 @@
+//===- tests/test_golden.cpp - Golden-file tests for textual emitters ---------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Pins the exact output of the two textual emitters — cfg::exportFunctionDot
+// and ir::printProgram — against checked-in golden files in tests/golden/.
+// Unlike the structural assertions in test_dotexport.cpp/test_ir.cpp, these
+// catch *any* formatting drift, which matters because DOT dumps and program
+// listings are diffed by humans and consumed by graphviz.
+//
+// To regenerate after an intentional format change:
+//
+//   DMP_UPDATE_GOLDEN=1 ./dmp_tests --gtest_filter='GoldenFileTest.*'
+//
+// then review the diff of tests/golden/ like any other code change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "cfg/DotExport.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace dmp;
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(DMP_TEST_GOLDEN_DIR) + "/" + Name;
+}
+
+void compareToGolden(const std::string &Name, const std::string &Actual) {
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("DMP_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::trunc);
+    ASSERT_TRUE(Out.good()) << "cannot write " << Path;
+    Out << Actual;
+    GTEST_LOG_(INFO) << "updated golden file " << Path;
+    return;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << "missing golden file " << Path
+                         << " (regenerate with DMP_UPDATE_GOLDEN=1)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Actual)
+      << "output of " << Name
+      << " drifted; if intentional, regenerate with DMP_UPDATE_GOLDEN=1 "
+         "and review the diff";
+}
+
+} // namespace
+
+TEST(GoldenFileTest, SimpleHammockProgramListing) {
+  const test::ProgramHandles H = test::buildSimpleHammockLoop();
+  compareToGolden("simple_hammock.ir", ir::printProgram(*H.Prog));
+}
+
+TEST(GoldenFileTest, SimpleHammockDot) {
+  const test::ProgramHandles H = test::buildSimpleHammockLoop();
+  std::string Dot;
+  for (const auto &F : H.Prog->functions())
+    Dot += cfg::exportFunctionDot(*F);
+  compareToGolden("simple_hammock.dot", Dot);
+}
+
+TEST(GoldenFileTest, FreqHammockDot) {
+  const test::ProgramHandles H = test::buildFreqHammockLoop();
+  std::string Dot;
+  for (const auto &F : H.Prog->functions())
+    Dot += cfg::exportFunctionDot(*F);
+  compareToGolden("freq_hammock.dot", Dot);
+}
+
+TEST(GoldenFileTest, MultiReturnProgramListing) {
+  const test::ProgramHandles H = test::buildRetFuncLoop();
+  compareToGolden("multi_return.ir", ir::printProgram(*H.Prog));
+}

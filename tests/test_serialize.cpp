@@ -4,10 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "harness/Experiment.h"
 #include "serialize/ArtifactCache.h"
 #include "serialize/ByteStream.h"
 #include "serialize/Hash.h"
 #include "serialize/ProfileIO.h"
+#include "workloads/SpecSuite.h"
 
 #include <gtest/gtest.h>
 
@@ -325,4 +327,60 @@ TEST(ArtifactCacheTest, RejectsContainerVersionMismatch) {
     F.write(&NewVersion, 1);
   }
   EXPECT_FALSE(Cache.load(Key).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Cache-key schema versioning (harness/Experiment.h)
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSchemaTest, SchemaBumpMissesOldProfileEntry) {
+  const workloads::BenchmarkSpec &Spec = workloads::specSuite().front();
+  const profile::ProfileOptions Options;
+
+  const Digest OldKey = harness::profileCacheKey(
+      Spec, workloads::InputSetKind::Run, Options, kCacheSchemaVersion);
+  const Digest NewKey = harness::profileCacheKey(
+      Spec, workloads::InputSetKind::Run, Options, kCacheSchemaVersion + 1);
+  EXPECT_NE(OldKey, NewKey);
+
+  // An entry written under the old schema must be invisible after a bump:
+  // the consumer recomputes instead of decoding a stale layout.
+  TempCacheDir Dir;
+  ArtifactCache Cache(Dir.Path.string());
+  ASSERT_TRUE(Cache.store(OldKey, {1, 2, 3}));
+  EXPECT_TRUE(Cache.load(OldKey).has_value());
+  EXPECT_FALSE(Cache.load(NewKey).has_value());
+}
+
+TEST(CacheSchemaTest, SchemaBumpMissesOldSimEntry) {
+  const workloads::BenchmarkSpec &Spec = workloads::specSuite().front();
+  const sim::SimConfig Config;
+
+  const Digest OldKey = harness::simCacheKey(Spec, Config, nullptr, nullptr,
+                                             kCacheSchemaVersion);
+  const Digest NewKey = harness::simCacheKey(Spec, Config, nullptr, nullptr,
+                                             kCacheSchemaVersion + 1);
+  EXPECT_NE(OldKey, NewKey);
+
+  TempCacheDir Dir;
+  ArtifactCache Cache(Dir.Path.string());
+  ASSERT_TRUE(Cache.store(OldKey, {9, 9}));
+  EXPECT_FALSE(Cache.load(NewKey).has_value());
+}
+
+TEST(CacheSchemaTest, SelectorConfigIsPartOfDmpSimKey) {
+  const workloads::BenchmarkSpec &Spec = workloads::specSuite().front();
+  const sim::SimConfig Config;
+  const core::DivergeMap Map = sampleMap();
+  const core::SelectionConfig Defaults;
+  const core::SelectionConfig Tweaked = Defaults.withMaxInstr(
+      Defaults.MaxInstr + 1);
+
+  const Digest A = harness::simCacheKey(Spec, Config, &Map, &Defaults);
+  const Digest B = harness::simCacheKey(Spec, Config, &Map, &Tweaked);
+  EXPECT_NE(A, B);
+
+  // Same inputs hash to the same key (the digest is pure).
+  const Digest A2 = harness::simCacheKey(Spec, Config, &Map, &Defaults);
+  EXPECT_EQ(A, A2);
 }

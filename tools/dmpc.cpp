@@ -21,6 +21,15 @@
 //   --emit-map                    print the serialized diverge map
 //   --dump-program                print the program listing
 //   --simulate                    run baseline and DMP simulations
+//   --verify                      run the differential oracle (reference
+//                                 emulator vs baseline/DMP-selected/
+//                                 DMP-adversarial simulator legs) and exit
+//                                 non-zero on any retired-state mismatch
+//                                 or invariant violation
+//   --inject-fault=<0|1|2>        with --verify: inject a canary fault into
+//                                 the DMP-selected leg (1 = drop first
+//                                 retired store, 2 = flip a bit of r1);
+//                                 the oracle must then fail
 //   --sim-instrs=<n>              simulation budget (default 1200000)
 //   --jobs=<n>                    worker threads (baseline and DMP
 //                                 simulations overlap under --simulate)
@@ -36,6 +45,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cfg/DotExport.h"
+#include "check/Oracle.h"
 #include "core/AnnotationIO.h"
 #include "core/SimpleSelectors.h"
 #include "exec/TaskGraph.h"
@@ -64,6 +74,8 @@ struct CliOptions {
   bool DumpProgram = false;
   bool DumpDot = false;
   bool Simulate = false;
+  bool Verify = false;
+  unsigned InjectFault = 0;
   uint64_t SimInstrs = 1'200'000;
   unsigned Jobs = exec::ThreadPool::defaultThreadCount();
   std::string CacheDir = harness::EngineOptions::defaultCacheDir();
@@ -74,7 +86,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: dmpc <benchmark> [--algo=...] [--profile-input=...] "
                "[--max-instr=N] [--min-merge-prob=P] [--2d-filter] "
-               "[--emit-map] [--dump-program] [--simulate] [--sim-instrs=N] "
+               "[--emit-map] [--dump-program] [--simulate] [--verify] "
+               "[--inject-fault=0|1|2] [--sim-instrs=N] "
                "[--jobs=N] [--cache-dir=DIR] [--no-cache] "
                "| --list\n");
 }
@@ -159,6 +172,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpDot = true;
     } else if (Arg == "--simulate") {
       Opts.Simulate = true;
+    } else if (Arg == "--verify") {
+      Opts.Verify = true;
+    } else if (Arg.rfind("--inject-fault=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 15, U) || U > 2) {
+        std::fprintf(stderr, "error: invalid --inject-fault value '%s'\n",
+                     Arg.c_str() + 15);
+        return false;
+      }
+      Opts.InjectFault = static_cast<unsigned>(U);
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
       return false;
@@ -273,6 +295,26 @@ int main(int Argc, char **Argv) {
     DotOpts.Diverge = &Map;
     for (const auto &F : Bench.workload().Prog->functions())
       std::printf("%s\n", cfg::exportFunctionDot(*F, DotOpts).c_str());
+  }
+
+  if (Opts.Verify) {
+    check::OracleOptions OracleOpts;
+    OracleOpts.MaxInstrs = Opts.SimInstrs;
+    OracleOpts.InjectFault = Opts.InjectFault;
+    const check::OracleReport Report = check::runOracle(
+        *Bench.workload().Prog, Bench.analysis(),
+        Bench.workload().buildImage(workloads::InputSetKind::Run),
+        OracleOpts);
+    for (const check::LegResult &Leg : Report.Legs)
+      std::printf("verify %-15s %s\n", Leg.Name.c_str(),
+                  Leg.Errors.empty() ? "ok" : "FAILED");
+    if (!Report.ok()) {
+      std::fprintf(stderr, "%s", Report.summary().c_str());
+      std::fprintf(stderr, "verify: %s FAILED\n", Opts.Benchmark.c_str());
+      return 1;
+    }
+    std::printf("verify: %s ok (all legs match the reference emulator)\n",
+                Opts.Benchmark.c_str());
   }
 
   if (Opts.Simulate) {

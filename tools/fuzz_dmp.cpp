@@ -1,0 +1,293 @@
+//===- tools/fuzz_dmp.cpp - Differential-oracle fuzzer driver ------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Runs the dmp::check differential oracle over a range of generator seeds,
+// fanned out on the exec thread pool.  Each seed expands to a random
+// program (check/ProgramGen.h), which is run through the reference
+// emulator and the cycle simulator in baseline, profile-selected-DMP, and
+// adversarial-DMP configurations; any retired-state divergence or broken
+// simulator invariant fails the seed.
+//
+// Usage:
+//   fuzz_dmp [options]
+//
+// Options:
+//   --seeds=N            number of seeds to run (default 200)
+//   --start-seed=N       first seed (default 0)
+//   --jobs=N             worker threads (default: hardware)
+//   --max-instrs=N       per-run dynamic instruction budget (default 300000)
+//   --fault=<0|1|2>      inject a canary fault into the dmp-selected leg's
+//                        extracted state (1 = drop first retired store,
+//                        2 = flip a bit of r1); the oracle must then flag
+//                        every seed
+//   --expect-divergence  invert the exit status: succeed only when every
+//                        seed fails (canary / known-bug mode)
+//   --reduce             on failure, greedily minimize the first failing
+//                        seed and print the repro snippet + DOT CFG
+//   --dump-dir=DIR       write repro_seed<N>.h/.dot for the reduced case
+//   --digest             print the SHA-256 digest of all results; the
+//                        digest is independent of --jobs
+//   --selfcheck-determinism
+//                        run the batch twice (1 thread vs all threads) and
+//                        fail unless the result digests match
+//
+// Exit status: 0 when every seed passed (or, under --expect-divergence,
+// when every seed failed); 1 otherwise; 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Analysis.h"
+#include "check/Oracle.h"
+#include "check/ProgramGen.h"
+#include "check/Reduce.h"
+#include "exec/TaskGraph.h"
+#include "exec/ThreadPool.h"
+#include "serialize/Hash.h"
+#include "serialize/ProfileIO.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dmp;
+
+namespace {
+
+struct CliOptions {
+  uint64_t Seeds = 200;
+  uint64_t StartSeed = 0;
+  unsigned Jobs = exec::ThreadPool::defaultThreadCount();
+  uint64_t MaxInstrs = 300'000;
+  unsigned Fault = 0;
+  bool ExpectDivergence = false;
+  bool Reduce = false;
+  std::string DumpDir;
+  bool PrintDigest = false;
+  bool SelfcheckDeterminism = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: fuzz_dmp [--seeds=N] [--start-seed=N] [--jobs=N] "
+               "[--max-instrs=N] [--fault=0|1|2] [--expect-divergence] "
+               "[--reduce] [--dump-dir=DIR] [--digest] "
+               "[--selfcheck-determinism]\n");
+}
+
+bool parseU64(const char *V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V, &End, 10);
+  return End != V && *End == '\0';
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    uint64_t U = 0;
+    if (Arg.rfind("--seeds=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 8, U) || U == 0)
+        return false;
+      Opts.Seeds = U;
+    } else if (Arg.rfind("--start-seed=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 13, U))
+        return false;
+      Opts.StartSeed = U;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 7, U) || U == 0 || U > 1024)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--max-instrs=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 13, U) || U == 0)
+        return false;
+      Opts.MaxInstrs = U;
+    } else if (Arg.rfind("--fault=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 8, U) || U > 2)
+        return false;
+      Opts.Fault = static_cast<unsigned>(U);
+    } else if (Arg == "--expect-divergence") {
+      Opts.ExpectDivergence = true;
+    } else if (Arg == "--reduce") {
+      Opts.Reduce = true;
+    } else if (Arg.rfind("--dump-dir=", 0) == 0) {
+      Opts.DumpDir = Arg.substr(11);
+    } else if (Arg == "--digest") {
+      Opts.PrintDigest = true;
+    } else if (Arg == "--selfcheck-determinism") {
+      Opts.SelfcheckDeterminism = true;
+    } else {
+      std::fprintf(stderr, "fuzz_dmp: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One seed's outcome — everything needed for reporting and for the
+/// jobs-independent result digest.
+struct SeedResult {
+  uint64_t Seed = 0;
+  bool Ok = false;
+  std::string Summary; ///< Error lines; empty when Ok.
+  /// Per-leg serialized SimStats, so the digest also pins the timing
+  /// model's counters, not just architectural correctness.
+  std::vector<std::vector<uint8_t>> LegStats;
+};
+
+check::OracleOptions oracleOptions(const CliOptions &Opts) {
+  check::OracleOptions OOpts;
+  OOpts.MaxInstrs = Opts.MaxInstrs;
+  OOpts.InjectFault = Opts.Fault;
+  return OOpts;
+}
+
+SeedResult runSeed(uint64_t Seed, const CliOptions &Opts) {
+  SeedResult R;
+  R.Seed = Seed;
+  const check::GenRecipe Recipe = check::randomRecipe(Seed);
+  const check::GenProgram G = check::materialize(Recipe);
+  if (!G.VerifyErrors.empty()) {
+    R.Ok = false;
+    for (const std::string &E : G.VerifyErrors)
+      R.Summary += "generator: " + E + "\n";
+    return R;
+  }
+  const cfg::ProgramAnalysis PA(*G.Prog);
+  const check::OracleReport Report =
+      check::runOracle(*G.Prog, PA, G.Image, oracleOptions(Opts));
+  R.Ok = Report.ok();
+  R.Summary = Report.summary();
+  for (const check::LegResult &Leg : Report.Legs)
+    R.LegStats.push_back(serialize::encodeSimStats(Leg.Stats));
+  return R;
+}
+
+/// Digest over all results, in seed order — independent of scheduling.
+serialize::Digest resultsDigest(const std::vector<SeedResult> &Results) {
+  serialize::Hasher H;
+  H.update(std::string("fuzz-dmp-results"));
+  for (const SeedResult &R : Results) {
+    H.updateU64(R.Seed);
+    H.updateU64(R.Ok ? 1 : 0);
+    H.update(R.Summary);
+    for (const std::vector<uint8_t> &Blob : R.LegStats)
+      H.update(Blob.data(), Blob.size());
+  }
+  return H.finish();
+}
+
+std::vector<SeedResult> runBatch(const CliOptions &Opts, unsigned Jobs) {
+  std::vector<SeedResult> Results(Opts.Seeds);
+  exec::ThreadPool Pool(Jobs);
+  exec::TaskGraph Graph;
+  for (uint64_t I = 0; I < Opts.Seeds; ++I)
+    Graph.add([I, &Opts, &Results] {
+      Results[I] = runSeed(Opts.StartSeed + I, Opts);
+    });
+  Graph.run(Pool);
+  return Results;
+}
+
+bool writeFile(const std::string &Path, const std::string &Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fwrite(Contents.data(), 1, Contents.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+void reduceAndReport(uint64_t Seed, const CliOptions &Opts) {
+  const check::OracleOptions OOpts = oracleOptions(Opts);
+  const auto StillFails = [&](const check::GenRecipe &Candidate) {
+    const check::GenProgram G = check::materialize(Candidate);
+    if (!G.VerifyErrors.empty())
+      return true;
+    const cfg::ProgramAnalysis PA(*G.Prog);
+    return !check::runOracle(*G.Prog, PA, G.Image, OOpts).ok();
+  };
+  const check::GenRecipe Minimized =
+      check::reduceRecipe(check::randomRecipe(Seed), StillFails);
+  const std::string Name = "Seed" + std::to_string(Seed);
+  const std::string Snippet = check::emitReproSnippet(Minimized, Name);
+  const std::string Dot = check::emitReproDot(Minimized);
+  std::printf("minimized repro for seed %llu: %s\n%s",
+              static_cast<unsigned long long>(Seed),
+              check::describeRecipe(Minimized).c_str(), Snippet.c_str());
+  if (!Opts.DumpDir.empty()) {
+    const std::string Base =
+        Opts.DumpDir + "/repro_seed" + std::to_string(Seed);
+    if (!writeFile(Base + ".h", Snippet) || !writeFile(Base + ".dot", Dot))
+      std::fprintf(stderr, "fuzz_dmp: cannot write repro files under %s\n",
+                   Opts.DumpDir.c_str());
+    else
+      std::printf("repro written to %s.{h,dot}\n", Base.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return 2;
+  }
+
+  if (Opts.SelfcheckDeterminism) {
+    const std::vector<SeedResult> Serial = runBatch(Opts, 1);
+    const std::vector<SeedResult> Parallel = runBatch(Opts, Opts.Jobs);
+    const serialize::Digest A = resultsDigest(Serial);
+    const serialize::Digest B = resultsDigest(Parallel);
+    std::printf("determinism selfcheck: jobs=1 %s, jobs=%u %s\n",
+                A.hex().c_str(), Opts.Jobs, B.hex().c_str());
+    if (A != B) {
+      std::fprintf(stderr,
+                   "fuzz_dmp: result digest depends on thread count\n");
+      return 1;
+    }
+  }
+
+  const std::vector<SeedResult> Results = runBatch(Opts, Opts.Jobs);
+
+  uint64_t Failures = 0;
+  const SeedResult *FirstFailure = nullptr;
+  for (const SeedResult &R : Results)
+    if (!R.Ok) {
+      ++Failures;
+      if (!FirstFailure)
+        FirstFailure = &R;
+    }
+
+  std::printf("fuzz_dmp: %llu seeds starting at %llu, %llu failed "
+              "(fault=%u, jobs=%u)\n",
+              static_cast<unsigned long long>(Opts.Seeds),
+              static_cast<unsigned long long>(Opts.StartSeed),
+              static_cast<unsigned long long>(Failures), Opts.Fault,
+              Opts.Jobs);
+  if (Opts.PrintDigest)
+    std::printf("digest: %s\n", resultsDigest(Results).hex().c_str());
+  if (FirstFailure) {
+    std::printf("first failing seed %llu (%s):\n%s",
+                static_cast<unsigned long long>(FirstFailure->Seed),
+                check::describeRecipe(check::randomRecipe(FirstFailure->Seed))
+                    .c_str(),
+                FirstFailure->Summary.c_str());
+    if (Opts.Reduce)
+      reduceAndReport(FirstFailure->Seed, Opts);
+  }
+
+  if (Opts.ExpectDivergence) {
+    if (Failures == Opts.Seeds)
+      return 0;
+    std::fprintf(stderr,
+                 "fuzz_dmp: expected every seed to diverge, but %llu of "
+                 "%llu passed\n",
+                 static_cast<unsigned long long>(Opts.Seeds - Failures),
+                 static_cast<unsigned long long>(Opts.Seeds));
+    return 1;
+  }
+  return Failures == 0 ? 0 : 1;
+}
