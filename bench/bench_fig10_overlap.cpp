@@ -35,7 +35,7 @@ int main(int Argc, char **Argv) {
   Needs.TrainProfile = true;
   Needs.Baseline = false; // no simulation in this figure
   const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
-  const std::vector<Overlap> Rows = Engine.runPerBenchmark<Overlap>(
+  const std::vector<StatusOr<Overlap>> Rows = Engine.runPerBenchmark<Overlap>(
       Suite,
       [](harness::Cell &C) {
         const core::DivergeMap RunMap =
@@ -67,7 +67,12 @@ int main(int Argc, char **Argv) {
   Table T({"benchmark", "either-run-train", "only-run", "only-train"});
   double WorstEither = 1.0;
   for (size_t B = 0; B < Suite.size(); ++B) {
-    const Overlap &O = Rows[B];
+    if (!Rows[B].ok()) {
+      // Failed benchmark: explicit gap row; the worst-case summary skips it.
+      T.addRow({Suite[B].Name, "--", "--", "--"});
+      continue;
+    }
+    const Overlap &O = *Rows[B];
     const double Total =
         static_cast<double>(O.Either + O.OnlyRun + O.OnlyTrain);
     const double EitherFrac = Total == 0.0 ? 1.0 : O.Either / Total;
@@ -85,5 +90,6 @@ int main(int Argc, char **Argv) {
               "all benchmarks)\n",
               formatPercent(WorstEither).substr(1).c_str());
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

@@ -61,24 +61,32 @@ int main(int Argc, char **Argv) {
   std::vector<Config> Configs(std::begin(Left), std::end(Left));
   Configs.insert(Configs.end(), std::begin(Right), std::end(Right));
 
-  const std::vector<std::vector<double>> Matrix =
+  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  std::vector<std::string> ConfigNames;
+  for (const Config &C : Configs)
+    ConfigNames.push_back(C.Name);
+  harness::CampaignJournal *Journal =
+      Engine.journalFor("fig5", harness::paramsDigest(ConfigNames),
+                        Suite.size(), Configs.size());
+
+  const std::vector<std::vector<StatusOr<double>>> Matrix =
       Engine.runMatrix<double>(
-          workloads::specSuite(), Configs.size(),
+          Suite, Configs.size(),
           [&Configs](harness::Cell &C) {
             const sim::SimStats Dmp =
                 C.Bench.runSelection(Configs[C.Config].Features);
             return harness::ipcImprovement(C.Bench.baseline(), Dmp);
-          });
+          },
+          harness::CellNeeds(), Journal, &harness::doubleCellCodec());
 
   auto renderPanel = [&](const char *Title, size_t Offset, size_t Count) {
     std::vector<std::string> Names;
     for (size_t I = 0; I < Count; ++I)
       Names.push_back(Configs[Offset + I].Name);
     harness::ImprovementReport Report(Names);
-    const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
     for (size_t B = 0; B < Suite.size(); ++B) {
-      std::vector<double> Row(Matrix[B].begin() + Offset,
-                              Matrix[B].begin() + Offset + Count);
+      std::vector<StatusOr<double>> Row(Matrix[B].begin() + Offset,
+                                        Matrix[B].begin() + Offset + Count);
       Report.addBenchmark(Suite[B].Name, Row);
     }
     std::printf("%s", Report.render(Title).c_str());
@@ -91,5 +99,6 @@ int main(int Argc, char **Argv) {
   renderPanel("== Figure 5 (right): DMP IPC improvement, cost-benefit model ==",
               std::size(Left), std::size(Right));
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

@@ -36,12 +36,21 @@ int main(int Argc, char **Argv) {
   };
 
   const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
-  const std::vector<std::vector<double>> Matrix = Engine.runMatrix<double>(
-      Suite, std::size(Configs), [&Configs](harness::Cell &C) {
-        const sim::SimStats Dmp =
-            C.Bench.runSelection(Configs[C.Config].Features);
-        return Dmp.flushesPerKiloInstr();
-      });
+  std::vector<std::string> ConfigNames;
+  for (const Config &C : Configs)
+    ConfigNames.push_back(C.Name);
+  harness::CampaignJournal *Journal =
+      Engine.journalFor("fig6", harness::paramsDigest(ConfigNames),
+                        Suite.size(), std::size(Configs));
+  const std::vector<std::vector<StatusOr<double>>> Matrix =
+      Engine.runMatrix<double>(
+          Suite, std::size(Configs),
+          [&Configs](harness::Cell &C) {
+            const sim::SimStats Dmp =
+                C.Bench.runSelection(Configs[C.Config].Features);
+            return Dmp.flushesPerKiloInstr();
+          },
+          harness::CellNeeds(), Journal, &harness::doubleCellCodec());
 
   std::vector<std::string> Header = {"benchmark", "baseline"};
   for (const Config &C : Configs)
@@ -50,6 +59,7 @@ int main(int Argc, char **Argv) {
 
   double BaseSum = 0.0;
   std::vector<double> Sums(std::size(Configs), 0.0);
+  std::vector<size_t> Counts(std::size(Configs), 0);
 
   for (size_t B = 0; B < Suite.size(); ++B) {
     std::vector<std::string> Row = {Suite[B].Name};
@@ -60,8 +70,14 @@ int main(int Argc, char **Argv) {
     Row.push_back(formatDouble(Base, 2));
     BaseSum += Base;
     for (size_t I = 0; I < std::size(Configs); ++I) {
-      Row.push_back(formatDouble(Matrix[B][I], 2));
-      Sums[I] += Matrix[B][I];
+      // A failed cell is an explicit gap; the average skips it.
+      if (Matrix[B][I].ok()) {
+        Row.push_back(formatDouble(*Matrix[B][I], 2));
+        Sums[I] += *Matrix[B][I];
+        ++Counts[I];
+      } else {
+        Row.push_back("--");
+      }
     }
     T.addRow(Row);
   }
@@ -69,13 +85,14 @@ int main(int Argc, char **Argv) {
   T.addSeparator();
   std::vector<std::string> Mean = {"average",
                                    formatDouble(BaseSum / Suite.size(), 2)};
-  for (double S : Sums)
-    Mean.push_back(formatDouble(S / Suite.size(), 2));
+  for (size_t I = 0; I < std::size(Configs); ++I)
+    Mean.push_back(Counts[I] == 0 ? "--" : formatDouble(Sums[I] / Counts[I], 2));
   T.addRow(Mean);
 
   std::printf("== Figure 6: pipeline flushes per kilo-instruction, baseline "
               "vs DMP ==\n");
   T.print();
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

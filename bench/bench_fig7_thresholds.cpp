@@ -42,29 +42,44 @@ int main(int Argc, char **Argv) {
     for (double MergeProb : MergeProbValues)
       Points.push_back({MaxInstr, MergeProb});
 
-  const std::vector<std::vector<double>> Ratios = Engine.runMatrix<double>(
-      workloads::specSuite(), Points.size(), [&Points](harness::Cell &C) {
-        const Point &Pt = Points[C.Config];
-        const core::SelectionConfig Config =
-            C.Bench.options()
-                .Selection.withMaxInstr(Pt.MaxInstr)
-                .withMinMergeProb(Pt.MergeProb);
-        const core::DivergeMap Map = core::selectDivergeBranches(
-            C.Bench.analysis(),
-            C.Bench.profileData(workloads::InputSetKind::Run), Config,
-            core::SelectionFeatures::exactFreq());
-        const sim::SimStats Dmp = C.Bench.simulateWith(Map);
-        return 1.0 + harness::ipcImprovement(C.Bench.baseline(), Dmp);
-      });
+  std::vector<std::string> PointNames;
+  for (const Point &Pt : Points)
+    PointNames.push_back(formatString("max-instr=%u merge-prob=%.2f",
+                                      Pt.MaxInstr, Pt.MergeProb));
+  harness::CampaignJournal *Journal = Engine.journalFor(
+      "fig7", harness::paramsDigest(PointNames),
+      workloads::specSuite().size(), Points.size());
+  const std::vector<std::vector<StatusOr<double>>> Ratios =
+      Engine.runMatrix<double>(
+          workloads::specSuite(), Points.size(),
+          [&Points](harness::Cell &C) {
+            const Point &Pt = Points[C.Config];
+            const core::SelectionConfig Config =
+                C.Bench.options()
+                    .Selection.withMaxInstr(Pt.MaxInstr)
+                    .withMinMergeProb(Pt.MergeProb);
+            const core::DivergeMap Map = core::selectDivergeBranches(
+                C.Bench.analysis(),
+                C.Bench.profileData(workloads::InputSetKind::Run), Config,
+                core::SelectionFeatures::exactFreq());
+            const sim::SimStats Dmp = C.Bench.simulateWith(Map);
+            return 1.0 + harness::ipcImprovement(C.Bench.baseline(), Dmp);
+          },
+          harness::CellNeeds(), Journal, &harness::doubleCellCodec());
 
   Table T({"MAX_INSTR", "MIN_MERGE=1%", "5%", "30%", "90%"});
   for (size_t MI = 0; MI < std::size(MaxInstrValues); ++MI) {
     std::vector<std::string> Row = {formatString("%u", MaxInstrValues[MI])};
     for (size_t MP = 0; MP < std::size(MergeProbValues); ++MP) {
       std::vector<double> Column;
-      for (const std::vector<double> &PerBench : Ratios)
-        Column.push_back(PerBench[MI * std::size(MergeProbValues) + MP]);
-      Row.push_back(formatPercent(geomean(Column) - 1.0));
+      for (const std::vector<StatusOr<double>> &PerBench : Ratios)
+        if (const StatusOr<double> &Cell =
+                PerBench[MI * std::size(MergeProbValues) + MP];
+            Cell.ok())
+          Column.push_back(*Cell);
+      // Failed cells are gaps; an all-failed sweep point renders as "--".
+      Row.push_back(Column.empty() ? "--"
+                                   : formatPercent(geomean(Column) - 1.0));
     }
     T.addRow(Row);
   }
@@ -74,5 +89,6 @@ int main(int Argc, char **Argv) {
   std::printf("(Alg-exact + Alg-freq only; MAX_CBR = MAX_INSTR/10)\n");
   T.print();
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

@@ -66,16 +66,21 @@ int main(int Argc, char **Argv) {
   };
 
   const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
-  const std::vector<std::vector<double>> Matrix = Engine.runMatrix<double>(
-      Suite, std::size(Configs), [&Configs](harness::Cell &C) {
-        const sim::SimStats Dmp =
-            C.Bench.simulateWith(Configs[C.Config].Select(C.Bench));
-        return harness::ipcImprovement(C.Bench.baseline(), Dmp);
-      });
-
   std::vector<std::string> Names;
   for (const Config &C : Configs)
     Names.push_back(C.Name);
+  harness::CampaignJournal *Journal = Engine.journalFor(
+      "fig8", harness::paramsDigest(Names), Suite.size(), std::size(Configs));
+  const std::vector<std::vector<StatusOr<double>>> Matrix =
+      Engine.runMatrix<double>(
+          Suite, std::size(Configs),
+          [&Configs](harness::Cell &C) {
+            const sim::SimStats Dmp =
+                C.Bench.simulateWith(Configs[C.Config].Select(C.Bench));
+            return harness::ipcImprovement(C.Bench.baseline(), Dmp);
+          },
+          harness::CellNeeds(), Journal, &harness::doubleCellCodec());
+
   harness::ImprovementReport Report(Names);
   for (size_t B = 0; B < Suite.size(); ++B)
     Report.addBenchmark(Suite[B].Name, Matrix[B]);
@@ -86,5 +91,6 @@ int main(int Argc, char **Argv) {
                           "simple selection algorithms ==")
                   .c_str());
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

@@ -43,19 +43,22 @@ int main(int Argc, char **Argv) {
   harness::CellNeeds Needs;
   Needs.TrainProfile = true; // the *-diff columns profile on train
   const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
-  const std::vector<std::vector<double>> Matrix = Engine.runMatrix<double>(
-      Suite, std::size(Configs),
-      [&Configs](harness::Cell &C) {
-        const Config &Cfg = Configs[C.Config];
-        const sim::SimStats Dmp =
-            C.Bench.runSelection(Cfg.Features, Cfg.ProfileInput);
-        return harness::ipcImprovement(C.Bench.baseline(), Dmp);
-      },
-      Needs);
-
   std::vector<std::string> Names;
   for (const Config &C : Configs)
     Names.push_back(C.Name);
+  harness::CampaignJournal *Journal = Engine.journalFor(
+      "fig9", harness::paramsDigest(Names), Suite.size(), std::size(Configs));
+  const std::vector<std::vector<StatusOr<double>>> Matrix =
+      Engine.runMatrix<double>(
+          Suite, std::size(Configs),
+          [&Configs](harness::Cell &C) {
+            const Config &Cfg = Configs[C.Config];
+            const sim::SimStats Dmp =
+                C.Bench.runSelection(Cfg.Features, Cfg.ProfileInput);
+            return harness::ipcImprovement(C.Bench.baseline(), Dmp);
+          },
+          Needs, Journal, &harness::doubleCellCodec());
+
   harness::ImprovementReport Report(Names);
   for (size_t B = 0; B < Suite.size(); ++B)
     Report.addBenchmark(Suite[B].Name, Matrix[B]);
@@ -66,5 +69,6 @@ int main(int Argc, char **Argv) {
                           "different profiling input set ==")
                   .c_str());
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

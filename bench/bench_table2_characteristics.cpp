@@ -29,7 +29,7 @@ int main(int Argc, char **Argv) {
   };
 
   const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
-  const std::vector<Row> Rows = Engine.runPerBenchmark<Row>(
+  const std::vector<StatusOr<Row>> Rows = Engine.runPerBenchmark<Row>(
       Suite, [](harness::Cell &C) {
         const sim::SimStats &Base = C.Bench.baseline();
         const core::DivergeMap Diverge =
@@ -48,7 +48,11 @@ int main(int Argc, char **Argv) {
   Table T({"benchmark", "Base IPC", "MPKI", "Insts(K)", "All br.",
            "Diverge br.", "Avg. # CFM"});
   for (size_t B = 0; B < Suite.size(); ++B) {
-    const Row &R = Rows[B];
+    if (!Rows[B].ok()) {
+      T.addRow({Suite[B].Name, "--", "--", "--", "--", "--", "--"});
+      continue;
+    }
+    const Row &R = *Rows[B];
     T.addRow({Suite[B].Name, formatDouble(R.Ipc, 2), formatDouble(R.Mpki, 1),
               formatString("%llu", static_cast<unsigned long long>(R.InstsK)),
               formatString("%zu", R.AllBranches),
@@ -61,5 +65,6 @@ int main(int Argc, char **Argv) {
               "substitution)\n");
   T.print();
   std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
   return 0;
 }

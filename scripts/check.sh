@@ -2,7 +2,8 @@
 # One-command verification gate: configure the warnings-as-errors preset,
 # build everything, and run the test suite.  By default only the tier1
 # label runs (fast unit/integration tests — the pre-commit gate); pass
-# --all to also run the slow redundancy checks and the fuzz campaign.
+# --all to also run the slow redundancy checks and the fuzz campaign, and
+# --sanitize to build and test under ASan+UBSan (the sanitize preset).
 # Exits non-zero on the first failure, so CI and pre-commit hooks can call
 # it directly.  See TESTING.md for the tier definitions.
 set -euo pipefail
@@ -10,19 +11,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALL=0
+PRESET=ci
 for arg in "$@"; do
   case "$arg" in
     --all) ALL=1 ;;
-    -h|--help) echo "usage: $0 [--all]"; exit 0 ;;
-    *) echo "usage: $0 [--all]" >&2; exit 2 ;;
+    --sanitize) PRESET=sanitize ;;
+    -h|--help) echo "usage: $0 [--all] [--sanitize]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--sanitize]" >&2; exit 2 ;;
   esac
 done
 
-cmake --preset ci
-cmake --build --preset ci -j "$(nproc)"
+cmake --preset "$PRESET"
+cmake --build --preset "$PRESET" -j "$(nproc)"
 
 if [[ "$ALL" -eq 1 ]]; then
-  ctest --preset ci
+  ctest --preset "$PRESET"
 else
-  ctest --preset ci -L tier1
+  ctest --preset "$PRESET" -L tier1
 fi

@@ -8,6 +8,7 @@
 
 #include "support/StringUtils.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 using namespace dmp;
@@ -48,9 +49,38 @@ std::string core::serializeDivergeMap(const DivergeMap &Map) {
   return Out;
 }
 
-bool core::parseDivergeMap(const std::string &Text, DivergeMap &Map,
-                           std::string &Error) {
+/// Strict u32 parse: the whole token must be a decimal number that fits,
+/// so garbage like "12x" or "99999999999" is a diagnostic, not a silent 0.
+static bool parseU32Strict(const std::string &Token, uint32_t &Out) {
+  if (Token.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  const unsigned long long V = std::strtoull(Token.c_str(), &End, 10);
+  if (End == Token.c_str() || *End != '\0' || errno == ERANGE ||
+      V > 0xFFFFFFFFULL)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+static bool parseProbStrict(const std::string &Token, double &Out) {
+  if (Token.empty())
+    return false;
+  char *End = nullptr;
+  const double V = std::strtod(Token.c_str(), &End);
+  if (End == Token.c_str() || *End != '\0' || !(V >= 0.0) || !(V <= 1.0))
+    return false;
+  Out = V;
+  return true;
+}
+
+Status core::parseDivergeMap(const std::string &Text, DivergeMap &Map) {
+  const auto Fail = [](std::string Msg) {
+    return Status::corrupt(std::move(Msg), "core::AnnotationIO");
+  };
   const std::vector<std::string> Lines = splitString(Text, '\n');
+  DivergeMap Out;
   bool SawHeader = false;
   for (size_t LineNo = 0; LineNo < Lines.size(); ++LineNo) {
     const std::string &Line = Lines[LineNo];
@@ -61,75 +91,70 @@ bool core::parseDivergeMap(const std::string &Text, DivergeMap &Map,
         SawHeader = true;
       continue;
     }
-    if (!SawHeader) {
-      Error = formatString("line %zu: missing dmp-diverge-map v1 header",
-                           LineNo + 1);
-      return false;
-    }
+    if (!SawHeader)
+      return Fail(formatString("line %zu: missing dmp-diverge-map v1 header",
+                               LineNo + 1));
 
     const std::vector<std::string> Tokens = splitString(Line, ' ');
-    if (Tokens.size() < 3 || Tokens[0] != "branch") {
-      Error = formatString("line %zu: expected 'branch <addr> ...'",
-                           LineNo + 1);
-      return false;
-    }
+    if (Tokens.size() < 3 || Tokens[0] != "branch")
+      return Fail(formatString("line %zu: expected 'branch <addr> ...'",
+                               LineNo + 1));
     DivergeAnnotation Ann;
-    const uint32_t Addr =
-        static_cast<uint32_t>(std::strtoul(Tokens[1].c_str(), nullptr, 10));
+    uint32_t Addr = 0;
+    if (!parseU32Strict(Tokens[1], Addr))
+      return Fail(formatString("line %zu: invalid branch address '%s'",
+                               LineNo + 1, Tokens[1].c_str()));
 
     for (size_t T = 2; T < Tokens.size(); ++T) {
       const std::string &Token = Tokens[T];
       if (Token.empty())
         continue;
       const size_t Eq = Token.find('=');
-      if (Eq == std::string::npos) {
-        Error = formatString("line %zu: malformed token '%s'", LineNo + 1,
-                             Token.c_str());
-        return false;
-      }
+      if (Eq == std::string::npos)
+        return Fail(formatString("line %zu: malformed token '%s'", LineNo + 1,
+                                 Token.c_str()));
       const std::string Key = Token.substr(0, Eq);
       const std::string Value = Token.substr(Eq + 1);
       if (Key == "kind") {
-        if (!kindFromToken(Value, Ann.Kind)) {
-          Error = formatString("line %zu: unknown kind '%s'", LineNo + 1,
-                               Value.c_str());
-          return false;
-        }
+        if (!kindFromToken(Value, Ann.Kind))
+          return Fail(formatString("line %zu: unknown kind '%s'", LineNo + 1,
+                                   Value.c_str()));
       } else if (Key == "always") {
         Ann.AlwaysPredicate = (Value == "1");
       } else if (Key == "header") {
-        Ann.LoopHeaderAddr =
-            static_cast<uint32_t>(std::strtoul(Value.c_str(), nullptr, 10));
+        if (!parseU32Strict(Value, Ann.LoopHeaderAddr))
+          return Fail(formatString("line %zu: invalid header '%s'",
+                                   LineNo + 1, Value.c_str()));
       } else if (Key == "selects") {
-        Ann.LoopSelectUops =
-            static_cast<uint32_t>(std::strtoul(Value.c_str(), nullptr, 10));
+        if (!parseU32Strict(Value, Ann.LoopSelectUops))
+          return Fail(formatString("line %zu: invalid selects '%s'",
+                                   LineNo + 1, Value.c_str()));
       } else if (Key == "stay") {
         Ann.LoopStayTaken = (Value == "taken");
       } else if (Key == "cfm") {
         const std::vector<std::string> Parts = splitString(Value, ':');
-        if (Parts.size() == 2 && Parts[0] == "ret") {
-          Ann.Cfms.push_back(CfmPoint::atReturn(std::atof(Parts[1].c_str())));
-        } else if (Parts.size() == 3 && Parts[0] == "addr") {
-          Ann.Cfms.push_back(CfmPoint::atAddress(
-              static_cast<uint32_t>(
-                  std::strtoul(Parts[1].c_str(), nullptr, 10)),
-              std::atof(Parts[2].c_str())));
+        double Prob = 0.0;
+        uint32_t CfmAddr = 0;
+        if (Parts.size() == 2 && Parts[0] == "ret" &&
+            parseProbStrict(Parts[1], Prob)) {
+          Ann.Cfms.push_back(CfmPoint::atReturn(Prob));
+        } else if (Parts.size() == 3 && Parts[0] == "addr" &&
+                   parseU32Strict(Parts[1], CfmAddr) &&
+                   parseProbStrict(Parts[2], Prob)) {
+          Ann.Cfms.push_back(CfmPoint::atAddress(CfmAddr, Prob));
         } else {
-          Error = formatString("line %zu: malformed cfm '%s'", LineNo + 1,
-                               Value.c_str());
-          return false;
+          return Fail(formatString("line %zu: malformed cfm '%s'", LineNo + 1,
+                                   Value.c_str()));
         }
       } else {
-        Error = formatString("line %zu: unknown key '%s'", LineNo + 1,
-                             Key.c_str());
-        return false;
+        return Fail(formatString("line %zu: unknown key '%s'", LineNo + 1,
+                                 Key.c_str()));
       }
     }
-    Map.add(Addr, std::move(Ann));
+    Out.add(Addr, std::move(Ann));
   }
-  if (!SawHeader) {
-    Error = "missing dmp-diverge-map v1 header";
-    return false;
-  }
-  return true;
+  if (!SawHeader)
+    return Fail("missing dmp-diverge-map v1 header");
+  Map = std::move(Out);
+  return Status();
 }

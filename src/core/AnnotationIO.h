@@ -22,6 +22,7 @@
 #define DMP_CORE_ANNOTATIONIO_H
 
 #include "core/DivergeInfo.h"
+#include "support/Status.h"
 
 #include <string>
 
@@ -30,11 +31,12 @@ namespace dmp::core {
 /// Serializes \p Map in the v1 text format (deterministic order).
 std::string serializeDivergeMap(const DivergeMap &Map);
 
-/// Parses the v1 text format.  Returns true on success; on failure returns
-/// false and sets \p Error to a one-line diagnostic (lowercase, no trailing
-/// period, per the project's error-message style).
-bool parseDivergeMap(const std::string &Text, DivergeMap &Map,
-                     std::string &Error);
+/// Parses the v1 text format.  On failure returns a Corrupt Status whose
+/// message is a one-line diagnostic (lowercase, no trailing period, per the
+/// project's error-message style) and leaves \p Map untouched.  Malformed
+/// input of any shape — truncated lines, non-numeric fields, garbage bytes,
+/// oversized values — yields a diagnostic, never a crash.
+Status parseDivergeMap(const std::string &Text, DivergeMap &Map);
 
 } // namespace dmp::core
 

@@ -8,6 +8,7 @@
 
 #include <cassert>
 
+using namespace dmp;
 using namespace dmp::exec;
 
 TaskGraph::TaskId TaskGraph::add(std::function<void()> Fn,
@@ -17,6 +18,7 @@ TaskGraph::TaskId TaskGraph::add(std::function<void()> Fn,
   const TaskId Id = Nodes.size();
   auto N = std::make_unique<Node>();
   N->Fn = std::move(Fn);
+  N->Deps = Deps;
   size_t LiveDeps = 0;
   for (TaskId Dep : Deps) {
     assert(Dep < Id && "dependency must be a previously added task");
@@ -31,7 +33,38 @@ TaskGraph::TaskId TaskGraph::add(std::function<void()> Fn,
 
 void TaskGraph::schedule(ThreadPool &Pool, TaskId Id) {
   Pool.submit([this, &Pool, Id] {
-    if (!Cancelled.load(std::memory_order_acquire)) {
+    if (KeepGoing) {
+      // Run-to-completion: a task is cancelled iff some dependency did not
+      // succeed.  Dependencies have finished (their Statuses slots are
+      // final) before this task is ever scheduled, so the scan is safe.
+      const Node &N = *Nodes[Id];
+      const Status *BadStatus = nullptr;
+      TaskId BadDep = 0;
+      for (TaskId Dep : N.Deps)
+        if (!Statuses[Dep].ok()) {
+          BadDep = Dep;
+          BadStatus = &Statuses[Dep];
+          break;
+        }
+      if (BadStatus) {
+        Statuses[Id] = Status::cancelled(
+            "dependency task " + std::to_string(BadDep) + " " +
+                errorCodeName(BadStatus->code()),
+            "exec::TaskGraph");
+      } else {
+        try {
+          N.Fn();
+        } catch (const StatusError &E) {
+          Statuses[Id] = E.status();
+        } catch (const std::exception &E) {
+          Statuses[Id] = Status::invariant(E.what(), "exec::TaskGraph");
+        } catch (...) {
+          Statuses[Id] =
+              Status::invariant("task threw a non-std exception",
+                                "exec::TaskGraph");
+        }
+      }
+    } else if (!Cancelled.load(std::memory_order_acquire)) {
       try {
         Nodes[Id]->Fn();
       } catch (...) {
@@ -52,15 +85,15 @@ void TaskGraph::finish(ThreadPool &Pool, TaskId Id) {
   for (TaskId Dep : Nodes[Id]->Dependents)
     if (Nodes[Dep]->RemainingDeps.fetch_sub(1, std::memory_order_acq_rel) == 1)
       schedule(Pool, Dep);
-  // The increment and the notify stay under DoneMutex so run() cannot see
-  // the graph as complete (and let the caller destroy it) until this — the
-  // last finisher's final touch of graph state — has released the lock.
+  // The increment and the notify stay under DoneMutex so the waiter cannot
+  // see the graph as complete (and let the caller destroy it) until this —
+  // the last finisher's final touch of graph state — has released the lock.
   std::lock_guard<std::mutex> Lock(DoneMutex);
   if (++Completed == Nodes.size())
     Done.notify_all();
 }
 
-void TaskGraph::run(ThreadPool &Pool) {
+void TaskGraph::start(ThreadPool &Pool) {
   assert(!Ran && "task graph can only run once");
   Ran = true;
   if (Nodes.empty())
@@ -69,14 +102,25 @@ void TaskGraph::run(ThreadPool &Pool) {
   // workers already running earlier roots decrement RemainingDeps
   // concurrently with this loop, and a node whose count they drop to zero
   // mid-scan would otherwise be scheduled twice — once by finish(), once
-  // here — over-counting Completed and releasing run() early.
+  // here — over-counting Completed and releasing the waiter early.
   for (TaskId Id = 0; Id < Nodes.size(); ++Id)
     if (Nodes[Id]->InitialDeps == 0)
       schedule(Pool, Id);
   std::unique_lock<std::mutex> Lock(DoneMutex);
   Done.wait(Lock, [this] { return Completed == Nodes.size(); });
+}
+
+void TaskGraph::run(ThreadPool &Pool) {
+  start(Pool);
   if (FirstException)
     std::rethrow_exception(FirstException);
+}
+
+std::vector<Status> TaskGraph::runAll(ThreadPool &Pool) {
+  KeepGoing = true;
+  Statuses.assign(Nodes.size(), Status());
+  start(Pool);
+  return std::move(Statuses);
 }
 
 void dmp::exec::parallelFor(ThreadPool &Pool, size_t Count,

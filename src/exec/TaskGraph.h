@@ -17,9 +17,27 @@
 ///                 ├──> profile(train) ┼──> select+simulate cell 1
 ///                 └──> baseline sim ──┴──> ...
 ///
-/// If any task throws, the remaining tasks are skipped (cancelled) and
-/// run() rethrows the first exception.  Results are deterministic for any
-/// thread count as long as tasks write disjoint slots.
+/// Two failure policies are offered (see DESIGN.md "Failure semantics"):
+///
+///  - run(): fail-fast.  The first throwing task cancels the whole graph:
+///    every task that has not yet *started* when the failure is observed —
+///    dependents and independent tasks alike — is skipped, the graph still
+///    drains to completion (every node is visited exactly once), and run()
+///    rethrows the first exception.  Tasks already executing finish
+///    normally.  Which independent tasks got skipped depends on
+///    scheduling; only the rethrown first-in-time exception is
+///    deterministic for a serial pool.
+///
+///  - runAll(): run-to-completion.  Every task whose dependencies all
+///    succeeded runs; a throwing task records a per-task dmp::Status
+///    (StatusError's payload, or Invariant for foreign exceptions) and only
+///    its transitive dependents are cancelled (Status code Cancelled,
+///    message naming the failed dependency).  Independent subgraphs are
+///    unaffected, which is what lets a campaign record failed cells as gaps
+///    instead of aborting.
+///
+/// Results are deterministic for any thread count as long as tasks write
+/// disjoint slots.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +45,7 @@
 #define DMP_EXEC_TASKGRAPH_H
 
 #include "exec/ThreadPool.h"
+#include "support/Status.h"
 
 #include <atomic>
 #include <cstddef>
@@ -48,36 +67,53 @@ public:
   /// Each dependency must be an id returned by a previous add() call.
   TaskId add(std::function<void()> Fn, const std::vector<TaskId> &Deps = {});
 
-  /// Runs the whole graph on \p Pool and blocks until every task finished
-  /// or was cancelled.  Rethrows the first exception thrown by a task.
-  /// The graph is spent afterwards; build a new one for the next run.
+  /// Fail-fast policy: runs the whole graph on \p Pool and blocks until
+  /// every task finished or was cancelled.  Rethrows the first exception
+  /// thrown by a task; see the file comment for the exact cancellation
+  /// semantics.  The graph is spent afterwards; build a new one for the
+  /// next run.
   void run(ThreadPool &Pool);
+
+  /// Run-to-completion policy: blocks until every runnable task finished,
+  /// and returns one Status per task id.  A task that threw StatusError
+  /// yields its payload; any other exception yields Invariant with the
+  /// exception text; a task downstream of a failure yields Cancelled and
+  /// never runs.  Never throws.  The graph is spent afterwards.
+  std::vector<Status> runAll(ThreadPool &Pool);
 
   size_t size() const { return Nodes.size(); }
 
 private:
   struct Node {
     std::function<void()> Fn;
+    std::vector<TaskId> Deps;       ///< As passed to add().
     std::vector<TaskId> Dependents;
-    size_t InitialDeps = 0; ///< As built; run() picks roots from this.
+    size_t InitialDeps = 0; ///< As built; run()/runAll() pick roots from this.
     std::atomic<size_t> RemainingDeps{0};
   };
 
+  void start(ThreadPool &Pool);
   void schedule(ThreadPool &Pool, TaskId Id);
   void finish(ThreadPool &Pool, TaskId Id);
 
   std::vector<std::unique_ptr<Node>> Nodes;
   bool Ran = false;
+  bool KeepGoing = false; ///< runAll() policy; set before start().
 
   // Run-time state.  Completed is guarded by DoneMutex (not atomic) on
-  // purpose: the final increment, the notify, and run()'s predicate must be
-  // a single critical section, or run() could observe completion and let
-  // the caller destroy the graph while the last finisher still holds it.
+  // purpose: the final increment, the notify, and the wait predicate must
+  // be a single critical section, or the waiter could observe completion
+  // and let the caller destroy the graph while the last finisher still
+  // holds it.
   std::atomic<bool> Cancelled{false};
   std::mutex DoneMutex;
   std::condition_variable Done;
   size_t Completed = 0;
   std::exception_ptr FirstException;
+  /// Per-task outcomes under runAll().  Pre-sized before start(), written
+  /// only by the task's own finisher (disjoint slots), read after the
+  /// barrier — so no extra locking is needed.
+  std::vector<Status> Statuses;
 };
 
 /// Runs Fn(0..Count-1) across the pool and waits; rethrows the first

@@ -22,13 +22,16 @@ std::string EngineOptions::defaultCacheDir() {
 
 void EngineOptions::printUsage(const char *Prog, std::FILE *Out) {
   std::fprintf(Out,
-               "usage: %s [--jobs N] [--cache-dir DIR] [--no-cache]\n"
+               "usage: %s [--jobs N] [--cache-dir DIR] [--no-cache] "
+               "[--journal NAME]\n"
                "  --jobs N        worker threads for the experiment matrix "
                "(default: hardware threads)\n"
                "  --cache-dir DIR artifact cache location (default: "
                "$DMP_CACHE_DIR or .dmp-cache)\n"
                "  --no-cache      recompute everything; do not read or "
-               "write the artifact cache\n",
+               "write the artifact cache\n"
+               "  --journal NAME  checkpoint completed cells under campaign "
+               "NAME and resume them on rerun\n",
                Prog);
 }
 
@@ -77,6 +80,10 @@ EngineOptions EngineOptions::parseOrExit(int Argc, char **Argv) {
       Opts.CacheDir = V;
       continue;
     }
+    if (const char *V = flagValue("--journal", I, Argc, Argv)) {
+      Opts.Journal = V;
+      continue;
+    }
     std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
     printUsage(Argv[0], stderr);
     std::exit(1);
@@ -84,14 +91,61 @@ EngineOptions EngineOptions::parseOrExit(int Argc, char **Argv) {
   return Opts;
 }
 
+const CellCodec<double> &dmp::harness::doubleCellCodec() {
+  static const CellCodec<double> Codec{
+      [](const double &Value) {
+        uint64_t Bits = 0;
+        static_assert(sizeof(Bits) == sizeof(Value));
+        std::memcpy(&Bits, &Value, sizeof(Bits));
+        std::vector<uint8_t> Bytes(8);
+        for (size_t I = 0; I < 8; ++I)
+          Bytes[I] = static_cast<uint8_t>(Bits >> (8 * I));
+        return Bytes;
+      },
+      [](const std::vector<uint8_t> &Bytes) -> StatusOr<double> {
+        if (Bytes.size() != 8)
+          return Status::corrupt("journaled double cell is not 8 bytes",
+                                 "harness::CellCodec");
+        uint64_t Bits = 0;
+        for (size_t I = 0; I < 8; ++I)
+          Bits |= static_cast<uint64_t>(Bytes[I]) << (8 * I);
+        double Value = 0.0;
+        std::memcpy(&Value, &Bits, sizeof(Value));
+        return Value;
+      }};
+  return Codec;
+}
+
 ExperimentEngine::ExperimentEngine(ExperimentOptions Options,
                                    const EngineOptions &Engine)
-    : Options(std::move(Options)), Pool(Engine.Jobs) {
+    : Options(std::move(Options)), Pool(Engine.Jobs),
+      CellRetries(Engine.CellRetries), JournalName(Engine.Journal),
+      Faults(this->Options.Faults) {
   if (Engine.UseCache && !this->Options.Cache)
     this->Options.Cache =
         std::make_shared<serialize::ArtifactCache>(Engine.CacheDir);
   if (!Engine.UseCache)
     this->Options.Cache.reset();
+  if (this->Options.Cache && Faults)
+    this->Options.Cache->setFaultInjector(Faults.get());
+}
+
+CampaignJournal *
+ExperimentEngine::journalFor(const std::string &MatrixName,
+                             const serialize::Digest &ParamsKey,
+                             size_t Benchmarks, size_t Configs) {
+  if (JournalName.empty() || !Options.Cache)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(JournalsMutex);
+  auto It = Journals.find(MatrixName);
+  if (It == Journals.end())
+    It = Journals
+             .emplace(MatrixName,
+                      std::make_unique<CampaignJournal>(
+                          Options.Cache, JournalName + "/" + MatrixName,
+                          ParamsKey, Benchmarks, Configs))
+             .first;
+  return It->second.get();
 }
 
 BenchContext &ExperimentEngine::contextFor(const workloads::BenchmarkSpec &Spec) {
@@ -117,18 +171,70 @@ RNG ExperimentEngine::cellRng(const workloads::BenchmarkSpec &Spec,
   return Mixer.fork();
 }
 
+void ExperimentEngine::noteComputed() {
+  std::lock_guard<std::mutex> Lock(CampaignMutex);
+  ++Campaign.CellsComputed;
+}
+
+void ExperimentEngine::noteRetry() {
+  std::lock_guard<std::mutex> Lock(CampaignMutex);
+  ++Campaign.TransientRetries;
+}
+
+void ExperimentEngine::noteResumed() {
+  std::lock_guard<std::mutex> Lock(CampaignMutex);
+  ++Campaign.CellsResumed;
+}
+
+void ExperimentEngine::noteFailure(const std::string &Bench, size_t Config,
+                                   const Status &S) {
+  std::lock_guard<std::mutex> Lock(CampaignMutex);
+  ++Campaign.CellsFailed;
+  Campaign.Failures.push_back(Bench + "/" + std::to_string(Config) + ": " +
+                              S.toString());
+}
+
+CampaignCounters ExperimentEngine::campaign() const {
+  std::lock_guard<std::mutex> Lock(CampaignMutex);
+  return Campaign;
+}
+
 std::string ExperimentEngine::statsLine() const {
-  char Line[256];
+  const CampaignCounters Counters = campaign();
+  char Line[512];
   if (const serialize::ArtifactCache *C = Options.Cache.get()) {
-    std::snprintf(Line, sizeof(Line),
-                  "jobs=%u cache=%s hits=%llu misses=%llu stores=%llu",
-                  Pool.threadCount(), C->dir().c_str(),
-                  static_cast<unsigned long long>(C->hits()),
-                  static_cast<unsigned long long>(C->misses()),
-                  static_cast<unsigned long long>(C->stores()));
+    std::snprintf(
+        Line, sizeof(Line),
+        "jobs=%u cache=%s hits=%llu misses=%llu stores=%llu corrupt=%llu "
+        "store-failures=%llu retries=%llu failed-cells=%llu resumed=%llu",
+        Pool.threadCount(), C->dir().c_str(),
+        static_cast<unsigned long long>(C->hits()),
+        static_cast<unsigned long long>(C->misses()),
+        static_cast<unsigned long long>(C->stores()),
+        static_cast<unsigned long long>(C->corruptDeletes()),
+        static_cast<unsigned long long>(C->failedStores()),
+        static_cast<unsigned long long>(Counters.TransientRetries),
+        static_cast<unsigned long long>(Counters.CellsFailed),
+        static_cast<unsigned long long>(Counters.CellsResumed));
   } else {
-    std::snprintf(Line, sizeof(Line), "jobs=%u cache=off",
-                  Pool.threadCount());
+    std::snprintf(
+        Line, sizeof(Line),
+        "jobs=%u cache=off retries=%llu failed-cells=%llu resumed=%llu",
+        Pool.threadCount(),
+        static_cast<unsigned long long>(Counters.TransientRetries),
+        static_cast<unsigned long long>(Counters.CellsFailed),
+        static_cast<unsigned long long>(Counters.CellsResumed));
   }
   return Line;
+}
+
+std::string ExperimentEngine::failureLines() const {
+  const CampaignCounters Counters = campaign();
+  std::string Out;
+  for (const std::string &Line : Counters.Failures) {
+    Out += "  failed cell ";
+    Out += Line;
+    Out += '\n';
+  }
+  return Out;
 }

@@ -14,12 +14,23 @@
 ///                 └──> baseline sim ──┴──> ...
 ///
 /// so independent cells of different benchmarks overlap freely.  Results
-/// land in a pre-allocated [benchmark][config] matrix, and every cell gets
-/// its own RNG stream derived from the workload seed and config index —
-/// which is why results are bit-identical for any --jobs value.
+/// land in a pre-allocated [benchmark][config] matrix of StatusOr slots,
+/// and every cell gets its own RNG stream derived from the workload seed
+/// and config index — which is why results are bit-identical for any
+/// --jobs value.
+///
+/// Failure semantics (DESIGN.md "Failure semantics"): campaigns run to
+/// completion.  A failing cell records its Status in its slot instead of
+/// poisoning the graph; Transient failures (e.g. injected faults, resource
+/// blips) are retried a bounded, deterministic number of times — attempts
+/// are indexed, never wall-clock-timed, and each retry re-derives the same
+/// per-cell RNG stream, so a retried cell is bit-identical to an
+/// undisturbed one.  When a CampaignJournal is supplied with a CellCodec,
+/// completed cells are checkpointed through the artifact cache and an
+/// interrupted campaign resumes them instead of recomputing.
 ///
 /// EngineOptions carries the shared bench-driver command line:
-/// --jobs N, --cache-dir DIR, --no-cache.
+/// --jobs N, --cache-dir DIR, --no-cache, --journal NAME.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,8 +39,11 @@
 
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
+#include "fault/Fault.h"
 #include "harness/Experiment.h"
+#include "harness/Journal.h"
 #include "support/RNG.h"
+#include "support/Status.h"
 
 #include <functional>
 #include <map>
@@ -44,13 +58,19 @@ struct EngineOptions {
   unsigned Jobs = exec::ThreadPool::defaultThreadCount();
   std::string CacheDir = defaultCacheDir();
   bool UseCache = true;
+  /// Bounded deterministic retries for Transient cell failures.
+  unsigned CellRetries = 3;
+  /// When non-empty, campaigns named <Journal>/<matrix> checkpoint
+  /// completed cells through the cache and resume on rerun.
+  std::string Journal;
 
   /// $DMP_CACHE_DIR, or ".dmp-cache" under the working directory.
   static std::string defaultCacheDir();
 
   /// Parses the shared driver flags (--jobs N, --cache-dir DIR, --no-cache,
-  /// --help).  Prints usage and exits on --help or on any unknown/invalid
-  /// argument, so drivers reject stray flags instead of ignoring them.
+  /// --journal NAME, --help).  Prints usage and exits on --help or on any
+  /// unknown/invalid argument, so drivers reject stray flags instead of
+  /// ignoring them.
   static EngineOptions parseOrExit(int Argc, char **Argv);
 
   static void printUsage(const char *Prog, std::FILE *Out);
@@ -61,7 +81,8 @@ struct Cell {
   BenchContext &Bench;
   size_t Config; ///< Column index in the result matrix.
   /// Deterministic per-cell stream: a pure function of the workload seed
-  /// and config index, independent of scheduling and thread count.
+  /// and config index, independent of scheduling, thread count, and retry
+  /// attempt.
   RNG Rng;
 };
 
@@ -72,6 +93,26 @@ struct CellNeeds {
   bool RunProfile = true;
   bool TrainProfile = false;
   bool Baseline = true;
+};
+
+/// Byte codec for journaling one cell result type.
+template <typename R> struct CellCodec {
+  std::function<std::vector<uint8_t>(const R &)> Encode;
+  std::function<StatusOr<R>(const std::vector<uint8_t> &)> Decode;
+};
+
+/// Codec for plain double cells (IEEE-754 bits, little-endian).
+const CellCodec<double> &doubleCellCodec();
+
+/// Campaign-level accounting across every runMatrix call of an engine.
+struct CampaignCounters {
+  uint64_t CellsComputed = 0; ///< Cells whose function ran to success.
+  uint64_t CellsFailed = 0;   ///< Cells that ended with a non-ok Status.
+  uint64_t CellsResumed = 0;  ///< Cells restored from a campaign journal.
+  uint64_t TransientRetries = 0;
+  /// One "<bench>/<config>: <status>" line per failed cell, in the order
+  /// failures were recorded (scheduling-dependent; sort for comparisons).
+  std::vector<std::string> Failures;
 };
 
 /// Runs experiment matrices over a pool, with prepared benchmark contexts
@@ -87,17 +128,50 @@ public:
 
   /// Runs CellFn for every (benchmark, config) cell and returns the
   /// [benchmark][config] result matrix in Specs × [0, ConfigCount) order,
-  /// regardless of scheduling.  Rethrows the first cell exception.
+  /// regardless of scheduling.  The campaign runs to completion: a failed
+  /// cell holds its Status (rendered as a gap by Reports) and everything
+  /// else still computes.  With \p Journal and \p Codec, already-journaled
+  /// cells are resumed and fresh completions are checkpointed.
   template <typename R>
-  std::vector<std::vector<R>>
+  std::vector<std::vector<StatusOr<R>>>
   runMatrix(const std::vector<workloads::BenchmarkSpec> &Specs,
             size_t ConfigCount, const std::function<R(Cell &)> &CellFn,
-            const CellNeeds &Needs = CellNeeds()) {
-    std::vector<std::vector<R>> Results(Specs.size());
+            const CellNeeds &Needs = CellNeeds(),
+            CampaignJournal *Journal = nullptr,
+            const CellCodec<R> *Codec = nullptr) {
+    std::vector<std::vector<StatusOr<R>>> Results(Specs.size());
+    std::vector<std::vector<char>> Resumed(Specs.size());
+    for (size_t B = 0; B < Specs.size(); ++B) {
+      Results[B].assign(ConfigCount, StatusOr<R>());
+      Resumed[B].assign(ConfigCount, 0);
+    }
+
+    // Resume journaled cells up front (single-threaded, deterministic).
+    if (Journal && Codec) {
+      std::vector<uint8_t> Payload;
+      for (size_t B = 0; B < Specs.size(); ++B)
+        for (size_t C = 0; C < ConfigCount; ++C)
+          if (Journal->lookup(B, C, Payload)) {
+            StatusOr<R> Value = Codec->Decode(Payload);
+            if (Value.ok()) {
+              Results[B][C] = std::move(Value);
+              Resumed[B][C] = 1;
+              noteResumed();
+            }
+          }
+    }
+
     std::vector<BenchContext *> Contexts(Specs.size(), nullptr);
     exec::TaskGraph Graph;
+    // Cell task id -> matrix slot, to map stage-failure cancellations.
+    std::vector<std::pair<size_t, size_t>> SlotOf;
+    std::vector<exec::TaskGraph::TaskId> CellTasks;
     for (size_t B = 0; B < Specs.size(); ++B) {
-      Results[B].assign(ConfigCount, R());
+      bool AnyFresh = false;
+      for (size_t C = 0; C < ConfigCount; ++C)
+        AnyFresh |= !Resumed[B][C];
+      if (!AnyFresh)
+        continue; // whole row journaled: skip stages too
       const workloads::BenchmarkSpec &Spec = Specs[B];
       const auto Build = Graph.add(
           [this, &Spec, &Contexts, B] { Contexts[B] = &contextFor(Spec); });
@@ -119,47 +193,135 @@ public:
             Graph.add([&Contexts, B] { Contexts[B]->baseline(); }, {Build}));
       if (StageIds.empty())
         StageIds.push_back(Build);
-      for (size_t C = 0; C < ConfigCount; ++C)
-        Graph.add(
-            [&Results, &Contexts, &Spec, &CellFn, B, C] {
-              Cell Unit{*Contexts[B], C, cellRng(Spec, C)};
-              Results[B][C] = CellFn(Unit);
+      for (size_t C = 0; C < ConfigCount; ++C) {
+        if (Resumed[B][C])
+          continue;
+        CellTasks.push_back(Graph.add(
+            [this, &Results, &Contexts, &Spec, &CellFn, B, C, Journal,
+             Codec] {
+              runCell<R>(Results[B][C], *Contexts[B], Spec, B, C, CellFn,
+                         Journal, Codec);
             },
-            StageIds);
+            StageIds));
+        SlotOf.push_back({B, C});
+      }
     }
-    Graph.run(Pool);
+    const std::vector<Status> Statuses = Graph.runAll(Pool);
+    // Cells cancelled because a pipeline stage failed never wrote their
+    // slot; surface the cancellation (or the stage's own failure) there.
+    for (size_t I = 0; I < CellTasks.size(); ++I) {
+      const Status &S = Statuses[CellTasks[I]];
+      if (!S.ok()) {
+        const auto [B, C] = SlotOf[I];
+        Results[B][C] = S;
+        noteFailure(Specs[B].Name, C, S);
+      }
+    }
     return Results;
   }
 
   /// Per-benchmark convenience: a single-config matrix, flattened.
   template <typename R>
-  std::vector<R>
+  std::vector<StatusOr<R>>
   runPerBenchmark(const std::vector<workloads::BenchmarkSpec> &Specs,
                   const std::function<R(Cell &)> &Fn,
                   const CellNeeds &Needs = CellNeeds()) {
-    std::vector<std::vector<R>> Matrix =
+    std::vector<std::vector<StatusOr<R>>> Matrix =
         runMatrix<R>(Specs, 1, Fn, Needs);
-    std::vector<R> Flat;
+    std::vector<StatusOr<R>> Flat;
     Flat.reserve(Matrix.size());
-    for (std::vector<R> &Row : Matrix)
+    for (std::vector<StatusOr<R>> &Row : Matrix)
       Flat.push_back(std::move(Row[0]));
     return Flat;
   }
 
+  /// The journal for matrix \p MatrixName under this engine's --journal
+  /// campaign, or null when journaling is off or the cache is disabled.
+  /// The engine owns the journal; pointers stay valid for its lifetime.
+  CampaignJournal *journalFor(const std::string &MatrixName,
+                              const serialize::Digest &ParamsKey,
+                              size_t Benchmarks, size_t Configs);
+
   /// The prepared context for \p Spec, built on first use (thread-safe).
   BenchContext &contextFor(const workloads::BenchmarkSpec &Spec);
 
-  /// "jobs=N cache=DIR hits=H misses=M stores=S" for driver footers.
+  /// Campaign accounting so far (copy; safe to call between matrices).
+  CampaignCounters campaign() const;
+
+  /// "jobs=N cache=DIR hits=H misses=M stores=S corrupt=C store-failures=F
+  /// retries=R failed-cells=X resumed=Y" for driver footers.
   std::string statsLine() const;
+
+  /// "" when no cell failed, else one indented line per failure for
+  /// driver footers.
+  std::string failureLines() const;
 
   /// The deterministic RNG stream of cell (\p Spec, \p Config).
   static RNG cellRng(const workloads::BenchmarkSpec &Spec, size_t Config);
 
 private:
+  template <typename R>
+  void runCell(StatusOr<R> &Slot, BenchContext &Bench,
+               const workloads::BenchmarkSpec &Spec, size_t B, size_t C,
+               const std::function<R(Cell &)> &CellFn,
+               CampaignJournal *Journal, const CellCodec<R> *Codec) {
+    const std::string OpKey =
+        std::string(Spec.Name) + "/" + std::to_string(C);
+    const unsigned MaxAttempts = CellRetries + 1;
+    for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+      Status Failure;
+      try {
+        if (Faults) {
+          Status Injected =
+              Faults->check(fault::Site::TaskRun, OpKey, Attempt);
+          if (!Injected.ok())
+            throw StatusError(std::move(Injected));
+        }
+        // The cell RNG is re-derived per attempt, so a retried cell
+        // computes on exactly the stream an undisturbed run would use.
+        Cell Unit{Bench, C, cellRng(Spec, C)};
+        R Value = CellFn(Unit);
+        if (Journal && Codec)
+          Journal->record(B, C, Codec->Encode(Value));
+        Slot = std::move(Value);
+        noteComputed();
+        return;
+      } catch (const StatusError &E) {
+        Failure = E.status();
+      } catch (const std::exception &E) {
+        Failure = Status::invariant(E.what(), "harness::ExperimentEngine");
+      } catch (...) {
+        Failure = Status::invariant("cell threw a non-std exception",
+                                    "harness::ExperimentEngine");
+      }
+      if (Failure.code() == ErrorCode::Transient &&
+          Attempt + 1 < MaxAttempts) {
+        noteRetry();
+        continue;
+      }
+      Slot = Failure;
+      noteFailure(Spec.Name, C, Failure);
+      return;
+    }
+  }
+
+  void noteComputed();
+  void noteRetry();
+  void noteResumed();
+  void noteFailure(const std::string &Bench, size_t Config,
+                   const Status &S);
+
   ExperimentOptions Options;
   exec::ThreadPool Pool;
+  unsigned CellRetries;
+  std::string JournalName;
+  std::shared_ptr<const fault::Injector> Faults;
   std::mutex ContextsMutex;
   std::map<std::string, std::unique_ptr<BenchContext>> Contexts;
+  std::mutex JournalsMutex;
+  std::map<std::string, std::unique_ptr<CampaignJournal>> Journals;
+  mutable std::mutex CampaignMutex;
+  CampaignCounters Campaign;
 };
 
 } // namespace dmp::harness

@@ -120,13 +120,16 @@ BenchContext::profileData(workloads::InputSetKind Kind) {
     Key = profileCacheKey(Spec, Kind, Options.Profile);
     if (auto Blob = Options.Cache->load(Key)) {
       profile::ProfileData Data;
-      std::string Error;
-      if (serialize::decodeProfileData(*Blob, Data, Error)) {
+      const Status Fault =
+          Options.Faults
+              ? Options.Faults->check(fault::Site::ProfileDecode, Key.hex())
+              : Status();
+      if (Fault.ok() && serialize::decodeProfileData(*Blob, Data).ok()) {
         Slot = std::move(Data);
         return *Slot;
       }
-      // Undecodable blob: fall through and recompute; the store below
-      // rewrites it in the current format.
+      // Undecodable (or fault-shimmed) blob: fall through and recompute;
+      // the store below rewrites it in the current format.
     }
   }
 
@@ -148,8 +151,7 @@ const sim::SimStats &BenchContext::baseline() {
     Key = simCacheKey(Spec, Options.Sim, nullptr);
     if (auto Blob = Options.Cache->load(Key)) {
       sim::SimStats Stats;
-      std::string Error;
-      if (serialize::decodeSimStats(*Blob, Stats, Error)) {
+      if (serialize::decodeSimStats(*Blob, Stats).ok()) {
         BaselineStats = Stats;
         return *BaselineStats;
       }
@@ -168,8 +170,7 @@ sim::SimStats BenchContext::simulateWith(const core::DivergeMap &Diverge) const 
     Key = simCacheKey(Spec, Options.Sim, &Diverge, &Options.Selection);
     if (auto Blob = Options.Cache->load(Key)) {
       sim::SimStats Stats;
-      std::string Error;
-      if (serialize::decodeSimStats(*Blob, Stats, Error))
+      if (serialize::decodeSimStats(*Blob, Stats).ok())
         return Stats;
     }
   }

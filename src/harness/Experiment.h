@@ -32,6 +32,7 @@
 
 #include "cfg/Analysis.h"
 #include "core/DivergeSelector.h"
+#include "fault/Fault.h"
 #include "profile/Profiler.h"
 #include "serialize/ArtifactCache.h"
 #include "serialize/ProfileIO.h"
@@ -54,6 +55,11 @@ struct ExperimentOptions {
   /// Content-addressed artifact cache shared by every context of the
   /// campaign; null disables caching.
   std::shared_ptr<serialize::ArtifactCache> Cache;
+
+  /// Optional deterministic fault injector shared by the campaign.  The
+  /// engine wires it onto the cache, cell execution, and the profile
+  /// decode path; null runs fault-free.
+  std::shared_ptr<const fault::Injector> Faults;
 
   ExperimentOptions() {
     // Benches run every benchmark under many configurations; bound each

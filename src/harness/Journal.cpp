@@ -1,0 +1,120 @@
+//===- harness/Journal.cpp - Campaign checkpoint/resume journal ---------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Journal.h"
+
+#include "serialize/ByteStream.h"
+#include "serialize/ProfileIO.h"
+
+using namespace dmp;
+using namespace dmp::harness;
+
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x444D504A; // "DMPJ"
+constexpr uint32_t kJournalVersion = 1;
+
+serialize::Digest journalKey(const std::string &Name,
+                             const serialize::Digest &ParamsKey,
+                             size_t Benchmarks, size_t Configs) {
+  serialize::Hasher H;
+  H.update(std::string("dmp-journal-key"));
+  H.updateU64(serialize::kCacheSchemaVersion);
+  H.update(Name);
+  H.update(ParamsKey.Bytes.data(), ParamsKey.Bytes.size());
+  H.updateU64(Benchmarks);
+  H.updateU64(Configs);
+  return H.finish();
+}
+
+} // namespace
+
+serialize::Digest harness::paramsDigest(const std::vector<std::string> &Parts) {
+  serialize::Hasher H;
+  H.update(std::string("dmp-campaign-params"));
+  H.updateU64(Parts.size());
+  for (const std::string &Part : Parts) {
+    H.updateU64(Part.size());
+    H.update(Part);
+  }
+  return H.finish();
+}
+
+CampaignJournal::CampaignJournal(
+    std::shared_ptr<serialize::ArtifactCache> Cache, std::string Name,
+    const serialize::Digest &ParamsKey, size_t Benchmarks, size_t Configs)
+    : Cache(std::move(Cache)),
+      Key(journalKey(Name, ParamsKey, Benchmarks, Configs)) {
+  if (!this->Cache)
+    return;
+  const StatusOr<std::vector<uint8_t>> Blob = this->Cache->load(Key);
+  if (!Blob.ok())
+    return; // no checkpoint yet (or unreadable: start fresh)
+  serialize::ByteReader R(*Blob);
+  if (R.readU32() != kJournalMagic || R.readU32() != kJournalVersion)
+    return;
+  const uint64_t Count = R.readU64();
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint8_t>> Loaded;
+  for (uint64_t I = 0; I < Count && R.ok(); ++I) {
+    const uint32_t B = R.readU32();
+    const uint32_t C = R.readU32();
+    const uint64_t Size = R.readU64();
+    if (Size > R.remaining())
+      return; // truncated checkpoint: resume nothing rather than garbage
+    std::vector<uint8_t> Payload(Size);
+    for (uint8_t &Byte : Payload)
+      Byte = R.readU8();
+    Loaded.emplace(std::make_pair(B, C), std::move(Payload));
+  }
+  if (!R.ok() || !R.atEnd())
+    return;
+  Cells = std::move(Loaded);
+}
+
+bool CampaignJournal::lookup(size_t Bench, size_t Config,
+                             std::vector<uint8_t> &Payload) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const auto It = Cells.find({static_cast<uint32_t>(Bench),
+                              static_cast<uint32_t>(Config)});
+  if (It == Cells.end())
+    return false;
+  Payload = It->second;
+  return true;
+}
+
+void CampaignJournal::record(size_t Bench, size_t Config,
+                             std::vector<uint8_t> Payload) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Cells[{static_cast<uint32_t>(Bench), static_cast<uint32_t>(Config)}] =
+      std::move(Payload);
+  LastCheckpoint = checkpointLocked();
+}
+
+size_t CampaignJournal::entries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Cells.size();
+}
+
+Status CampaignJournal::lastCheckpointStatus() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return LastCheckpoint;
+}
+
+Status CampaignJournal::checkpointLocked() {
+  if (!Cache)
+    return Status();
+  serialize::ByteWriter W;
+  W.writeU32(kJournalMagic);
+  W.writeU32(kJournalVersion);
+  W.writeU64(Cells.size());
+  for (const auto &[Cell, Payload] : Cells) {
+    W.writeU32(Cell.first);
+    W.writeU32(Cell.second);
+    W.writeU64(Payload.size());
+    W.writeBytes(Payload.data(), Payload.size());
+  }
+  return Cache->store(Key, W.bytes());
+}

@@ -1,0 +1,88 @@
+//===- harness/Journal.h - Campaign checkpoint/resume journal ---*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CampaignJournal: a per-campaign record of completed (benchmark, config)
+/// cells, checkpointed through the content-addressed ArtifactCache so an
+/// interrupted dmpc/bench campaign resumes completed cells instead of
+/// recomputing them.
+///
+/// The journal key digests the campaign name, a caller-supplied parameter
+/// digest, and the matrix shape, so a retuned campaign can never resume a
+/// stale journal.  Every record() rewrites the whole journal blob (stores
+/// are atomic temp-file + rename), which keeps the on-disk state a
+/// consistent prefix of the campaign at every instant: killing the process
+/// at any point loses at most the cells whose record() had not completed.
+///
+/// Checkpoint I/O failures are non-fatal — the campaign still completes,
+/// it just resumes less on the next run (lastCheckpointStatus() exposes
+/// the most recent store outcome for reports).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_HARNESS_JOURNAL_H
+#define DMP_HARNESS_JOURNAL_H
+
+#include "serialize/ArtifactCache.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dmp::harness {
+
+/// Digests a campaign's parameter strings (config names, sweep values) for
+/// use as a journal ParamsKey, so renaming or re-tuning the matrix retires
+/// the old checkpoint.
+serialize::Digest paramsDigest(const std::vector<std::string> &Parts);
+
+/// Completed-cell journal for one campaign matrix.
+class CampaignJournal {
+public:
+  /// Opens the journal for campaign (\p Name, \p ParamsKey, \p Benchmarks x
+  /// \p Configs) and loads any previous checkpoint from \p Cache.
+  CampaignJournal(std::shared_ptr<serialize::ArtifactCache> Cache,
+                  std::string Name, const serialize::Digest &ParamsKey,
+                  size_t Benchmarks, size_t Configs);
+
+  /// The cache key this journal checkpoints under.
+  const serialize::Digest &key() const { return Key; }
+
+  /// Fetches the recorded payload of cell (\p Bench, \p Config); returns
+  /// false when the cell has not been journaled.
+  bool lookup(size_t Bench, size_t Config,
+              std::vector<uint8_t> &Payload) const;
+
+  /// Records cell (\p Bench, \p Config) as completed and checkpoints the
+  /// journal to the cache.
+  void record(size_t Bench, size_t Config, std::vector<uint8_t> Payload);
+
+  /// Number of journaled cells currently held.
+  size_t entries() const;
+
+  /// Outcome of the most recent checkpoint store (ok before the first).
+  Status lastCheckpointStatus() const;
+
+private:
+  Status checkpointLocked();
+
+  std::shared_ptr<serialize::ArtifactCache> Cache;
+  serialize::Digest Key;
+
+  mutable std::mutex Mutex;
+  /// (bench, config) -> encoded cell result; std::map for deterministic
+  /// checkpoint bytes.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint8_t>> Cells;
+  Status LastCheckpoint;
+};
+
+} // namespace dmp::harness
+
+#endif // DMP_HARNESS_JOURNAL_H

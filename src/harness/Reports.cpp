@@ -11,12 +11,20 @@
 #include "support/Table.h"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 using namespace dmp;
 using namespace dmp::harness;
 
 ImprovementReport::ImprovementReport(std::vector<std::string> Names)
     : ConfigNames(std::move(Names)) {}
+
+double ImprovementReport::gap() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool ImprovementReport::isGap(double Value) { return std::isnan(Value); }
 
 void ImprovementReport::addBenchmark(const std::string &Name,
                                      const std::vector<double> &Improvements) {
@@ -25,11 +33,23 @@ void ImprovementReport::addBenchmark(const std::string &Name,
   Values.push_back(Improvements);
 }
 
+void ImprovementReport::addBenchmark(
+    const std::string &Name, const std::vector<StatusOr<double>> &Cells) {
+  std::vector<double> Row;
+  Row.reserve(Cells.size());
+  for (const StatusOr<double> &Cell : Cells)
+    Row.push_back(Cell.ok() ? *Cell : gap());
+  addBenchmark(Name, Row);
+}
+
 double ImprovementReport::geomeanImprovement(size_t ConfigIndex) const {
   std::vector<double> Ratios;
   Ratios.reserve(Values.size());
   for (const auto &Row : Values)
-    Ratios.push_back(1.0 + Row[ConfigIndex]);
+    if (!isGap(Row[ConfigIndex]))
+      Ratios.push_back(1.0 + Row[ConfigIndex]);
+  if (Ratios.empty())
+    return gap();
   return geomean(Ratios) - 1.0;
 }
 
@@ -43,14 +63,16 @@ std::string ImprovementReport::render(const std::string &Title) const {
     std::vector<std::string> Cells;
     Cells.push_back(Rows[R]);
     for (double V : Values[R])
-      Cells.push_back(formatPercent(V));
+      Cells.push_back(isGap(V) ? "--" : formatPercent(V));
     T.addRow(Cells);
   }
   T.addSeparator();
   std::vector<std::string> Mean;
   Mean.push_back("geomean");
-  for (size_t C = 0; C < ConfigNames.size(); ++C)
-    Mean.push_back(formatPercent(geomeanImprovement(C)));
+  for (size_t C = 0; C < ConfigNames.size(); ++C) {
+    const double G = geomeanImprovement(C);
+    Mean.push_back(isGap(G) ? "--" : formatPercent(G));
+  }
   T.addRow(Mean);
 
   std::string Out = Title + "\n";

@@ -10,10 +10,17 @@
 /// summary row, matching how the paper reports "average performance
 /// improvement".
 ///
+/// Failed cells are explicit gaps: a NaN value (or a non-ok StatusOr cell)
+/// renders as "--" and is skipped by the geomean, so a campaign with
+/// isolated per-cell failures still produces an honest table instead of
+/// aborting or averaging garbage.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMP_HARNESS_REPORTS_H
 #define DMP_HARNESS_REPORTS_H
+
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -26,12 +33,21 @@ class ImprovementReport {
 public:
   explicit ImprovementReport(std::vector<std::string> ConfigNames);
 
+  /// The sentinel rendered as a gap ("--"): quiet NaN.
+  static double gap();
+  static bool isGap(double Value);
+
   /// Adds one benchmark row; \p Improvements must align with the config
-  /// names (fractions, 0.204 = +20.4%).
+  /// names (fractions, 0.204 = +20.4%; gap() for a failed cell).
   void addBenchmark(const std::string &Name,
                     const std::vector<double> &Improvements);
 
-  /// Geometric-mean improvement of one configuration column.
+  /// As above, from engine cell results: non-ok cells become gaps.
+  void addBenchmark(const std::string &Name,
+                    const std::vector<StatusOr<double>> &Cells);
+
+  /// Geometric-mean improvement of one configuration column, skipping
+  /// gaps; gap() when the whole column is gaps.
   double geomeanImprovement(size_t ConfigIndex) const;
 
   /// Renders benchmarks plus a final "geomean" row.

@@ -16,6 +16,28 @@ using namespace dmp::profile;
 /// Smallest emulated memory, in 64-bit words.
 static constexpr uint64_t MinMemoryWords = 1ull << 16;
 
+namespace {
+
+// Guest integer semantics are two's-complement wraparound mod 2^64; compute
+// in unsigned so host signed-overflow UB never enters the emulated ISA.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapShl(int64_t A, uint64_t Shamt) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) << (Shamt & 63));
+}
+
+} // namespace
+
 Emulator::Emulator(const Program &P, const std::vector<int64_t> &MemoryImage)
     : P(P), Memory(MemoryImage) {
   assert(P.isFinalized() && "emulating an unfinalized program");
@@ -50,17 +72,22 @@ bool Emulator::step(DynInstr &Out) {
   uint32_t Next = PC + 1;
   switch (I.Op) {
   case Opcode::Add:
-    writeReg(I.Dst, readReg(I.Src1) + readReg(I.Src2));
+    writeReg(I.Dst, wrapAdd(readReg(I.Src1), readReg(I.Src2)));
     break;
   case Opcode::Sub:
-    writeReg(I.Dst, readReg(I.Src1) - readReg(I.Src2));
+    writeReg(I.Dst, wrapSub(readReg(I.Src1), readReg(I.Src2)));
     break;
   case Opcode::Mul:
-    writeReg(I.Dst, readReg(I.Src1) * readReg(I.Src2));
+    writeReg(I.Dst, wrapMul(readReg(I.Src1), readReg(I.Src2)));
     break;
   case Opcode::Div: {
+    const int64_t Num = readReg(I.Src1);
     const int64_t Den = readReg(I.Src2);
-    writeReg(I.Dst, Den == 0 ? 0 : readReg(I.Src1) / Den);
+    // Guest semantics: x/0 = 0 and INT64_MIN/-1 wraps to itself, so the
+    // host division is never undefined.
+    writeReg(I.Dst, Den == 0 ? 0
+             : (Num == INT64_MIN && Den == -1) ? Num
+                                               : Num / Den);
     break;
   }
   case Opcode::And:
@@ -73,8 +100,8 @@ bool Emulator::step(DynInstr &Out) {
     writeReg(I.Dst, readReg(I.Src1) ^ readReg(I.Src2));
     break;
   case Opcode::Shl:
-    writeReg(I.Dst, readReg(I.Src1)
-                        << (static_cast<uint64_t>(readReg(I.Src2)) & 63));
+    writeReg(I.Dst, wrapShl(readReg(I.Src1),
+                            static_cast<uint64_t>(readReg(I.Src2))));
     break;
   case Opcode::Shr:
     writeReg(I.Dst, static_cast<int64_t>(
@@ -85,10 +112,10 @@ bool Emulator::step(DynInstr &Out) {
     writeReg(I.Dst, readReg(I.Src1) < readReg(I.Src2) ? 1 : 0);
     break;
   case Opcode::AddI:
-    writeReg(I.Dst, readReg(I.Src1) + I.Imm);
+    writeReg(I.Dst, wrapAdd(readReg(I.Src1), I.Imm));
     break;
   case Opcode::MulI:
-    writeReg(I.Dst, readReg(I.Src1) * I.Imm);
+    writeReg(I.Dst, wrapMul(readReg(I.Src1), I.Imm));
     break;
   case Opcode::AndI:
     writeReg(I.Dst, readReg(I.Src1) & I.Imm);
@@ -101,14 +128,14 @@ bool Emulator::step(DynInstr &Out) {
     break;
   case Opcode::Load: {
     const uint64_t Addr =
-        static_cast<uint64_t>(readReg(I.Src1) + I.Imm) & AddrMask;
+        static_cast<uint64_t>(wrapAdd(readReg(I.Src1), I.Imm)) & AddrMask;
     Out.MemAddr = Addr;
     writeReg(I.Dst, Memory[Addr]);
     break;
   }
   case Opcode::Store: {
     const uint64_t Addr =
-        static_cast<uint64_t>(readReg(I.Src1) + I.Imm) & AddrMask;
+        static_cast<uint64_t>(wrapAdd(readReg(I.Src1), I.Imm)) & AddrMask;
     Out.MemAddr = Addr;
     Memory[Addr] = readReg(I.Src2);
     break;

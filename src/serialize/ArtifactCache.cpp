@@ -13,6 +13,7 @@
 #include <system_error>
 #include <unistd.h>
 
+using namespace dmp;
 using namespace dmp::serialize;
 
 namespace {
@@ -61,50 +62,75 @@ std::string ArtifactCache::blobPath(const Digest &Key) const {
   return Root + "/" + Hex.substr(0, 2) + "/" + Hex + ".blob";
 }
 
-std::optional<std::vector<uint8_t>> ArtifactCache::load(const Digest &Key) {
+StatusOr<std::vector<uint8_t>> ArtifactCache::load(const Digest &Key) {
+  if (Faults) {
+    Status Injected = Faults->check(fault::Site::CacheLoad, Key.hex());
+    if (!Injected.ok()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return Injected;
+    }
+  }
+
   const std::string Path = blobPath(Key);
   std::vector<uint8_t> Blob;
   if (!readFile(Path, Blob)) {
     Misses.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    return Status::notFound("no blob for key " + Key.hex(),
+                            "serialize::ArtifactCache");
   }
 
-  auto Reject = [&]() -> std::optional<std::vector<uint8_t>> {
+  auto Reject = [&](const char *Why) -> StatusOr<std::vector<uint8_t>> {
     std::error_code EC;
     fs::remove(Path, EC); // heal: drop the bad blob so a store can replace it
     Misses.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
+    CorruptDeletes.fetch_add(1, std::memory_order_relaxed);
+    return Status::corrupt(std::string(Why) + " for key " + Key.hex(),
+                           "serialize::ArtifactCache");
   };
 
   if (Blob.size() < kHeaderSize)
-    return Reject();
+    return Reject("blob shorter than header");
   ByteReader R(Blob);
   if (R.readU32() != kBlobMagic)
-    return Reject();
+    return Reject("bad blob magic");
   if (R.readU32() != kContainerVersion)
-    return Reject();
+    return Reject("container version mismatch");
   const uint64_t PayloadSize = R.readU64();
   Digest Stored;
   for (uint8_t &B : Stored.Bytes)
     B = R.readU8();
   if (!R.ok() || PayloadSize != Blob.size() - kHeaderSize)
-    return Reject();
+    return Reject("payload size mismatch");
 
   std::vector<uint8_t> Payload(Blob.begin() + kHeaderSize, Blob.end());
   if (Hasher::hash(Payload.data(), Payload.size()) != Stored)
-    return Reject();
+    return Reject("payload digest mismatch");
 
   Hits.fetch_add(1, std::memory_order_relaxed);
   return Payload;
 }
 
-bool ArtifactCache::store(const Digest &Key,
-                          const std::vector<uint8_t> &Payload) {
+Status ArtifactCache::store(const Digest &Key,
+                            const std::vector<uint8_t> &Payload) {
+  auto Fail = [&](std::string Why) {
+    FailedStores.fetch_add(1, std::memory_order_relaxed);
+    return Status::transient(std::move(Why) + " for key " + Key.hex(),
+                             "serialize::ArtifactCache");
+  };
+
+  if (Faults) {
+    Status Injected = Faults->check(fault::Site::CacheStore, Key.hex());
+    if (!Injected.ok()) {
+      FailedStores.fetch_add(1, std::memory_order_relaxed);
+      return Injected;
+    }
+  }
+
   const std::string Path = blobPath(Key);
   std::error_code EC;
   fs::create_directories(fs::path(Path).parent_path(), EC);
   if (EC)
-    return false;
+    return Fail("cannot create cache directory");
 
   ByteWriter W;
   W.writeU32(kBlobMagic);
@@ -121,14 +147,14 @@ bool ArtifactCache::store(const Digest &Key,
   if (!writeFile(Temp, W.bytes())) {
     std::error_code Ignored;
     fs::remove(Temp, Ignored);
-    return false;
+    return Fail("cannot write temp blob");
   }
   fs::rename(Temp, Path, EC);
   if (EC) {
     std::error_code Ignored;
     fs::remove(Temp, Ignored);
-    return false;
+    return Fail("cannot rename temp blob");
   }
   Stores.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  return Status();
 }

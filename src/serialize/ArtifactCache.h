@@ -18,16 +18,26 @@
 /// same key write identical content, so whoever renames last wins
 /// harmlessly.
 ///
+/// Failure semantics (see DESIGN.md "Failure semantics"): load() reports a
+/// miss as NotFound, a rejected blob as Corrupt (the blob is deleted so a
+/// later store can heal it, and counted in corruptDeletes()), and an
+/// injected/filesystem read failure as Transient.  store() reports fs
+/// refusals as Transient and counts them in failedStores().  The cache is
+/// an accelerator: every failure is survivable by recomputing, so callers
+/// must treat any non-ok Status as "proceed uncached".  An optional
+/// fault::Injector shims all I/O for deterministic failure-path testing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMP_SERIALIZE_ARTIFACTCACHE_H
 #define DMP_SERIALIZE_ARTIFACTCACHE_H
 
+#include "fault/Fault.h"
 #include "serialize/Hash.h"
+#include "support/Status.h"
 
 #include <atomic>
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,29 +49,47 @@ public:
   /// Opens (and lazily creates) the cache rooted at \p Dir.
   explicit ArtifactCache(std::string Dir);
 
-  /// Loads the payload stored under \p Key.  Returns nullopt on miss,
-  /// corruption, or container-version mismatch (corrupt blobs are deleted
-  /// so the next store can heal them).
-  std::optional<std::vector<uint8_t>> load(const Digest &Key);
+  /// Loads the payload stored under \p Key.  Non-ok codes: NotFound on
+  /// miss, Corrupt when the blob failed validation (it is deleted so the
+  /// next store can heal it), Transient on injected/filesystem faults.
+  StatusOr<std::vector<uint8_t>> load(const Digest &Key);
 
-  /// Stores \p Payload under \p Key.  Returns false when the filesystem
-  /// refuses; the experiment still proceeds, just uncached.
-  bool store(const Digest &Key, const std::vector<uint8_t> &Payload);
+  /// Stores \p Payload under \p Key.  Returns Transient when the
+  /// filesystem (or the fault shim) refuses; the experiment still
+  /// proceeds, just uncached.
+  Status store(const Digest &Key, const std::vector<uint8_t> &Payload);
 
   const std::string &dir() const { return Root; }
+
+  /// Installs a deterministic fault shim over load/store I/O; null
+  /// removes it.  The injector must outlive the cache.
+  void setFaultInjector(const fault::Injector *Injector) {
+    Faults = Injector;
+  }
 
   // Counters for reports and tests.
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
   uint64_t stores() const { return Stores.load(std::memory_order_relaxed); }
+  /// Corrupt blobs rejected (and deleted) by load().
+  uint64_t corruptDeletes() const {
+    return CorruptDeletes.load(std::memory_order_relaxed);
+  }
+  /// store() calls the filesystem (or fault shim) refused.
+  uint64_t failedStores() const {
+    return FailedStores.load(std::memory_order_relaxed);
+  }
 
 private:
   std::string blobPath(const Digest &Key) const;
 
   std::string Root;
+  const fault::Injector *Faults = nullptr;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Stores{0};
+  std::atomic<uint64_t> CorruptDeletes{0};
+  std::atomic<uint64_t> FailedStores{0};
   std::atomic<uint64_t> TempCounter{0};
 };
 

@@ -18,26 +18,25 @@ void writeHeader(ByteWriter &W, ArtifactKind Kind) {
   W.writeU32(kFormatVersion);
 }
 
-/// Validates the tag/version header; fills \p Error and returns false on
-/// mismatch.
-bool readHeader(ByteReader &R, ArtifactKind Expected, std::string &Error) {
+constexpr const char *kOrigin = "serialize::ProfileIO";
+
+Status corrupt(std::string Msg) {
+  return Status::corrupt(std::move(Msg), kOrigin);
+}
+
+/// Validates the tag/version header; returns Corrupt on mismatch.
+Status readHeader(ByteReader &R, ArtifactKind Expected) {
   const uint32_t Kind = R.readU32();
   const uint32_t Version = R.readU32();
-  if (!R.ok()) {
-    Error = "artifact truncated before header";
-    return false;
-  }
-  if (Kind != static_cast<uint32_t>(Expected)) {
-    Error = "artifact kind mismatch";
-    return false;
-  }
-  if (Version != kFormatVersion) {
-    Error = "artifact format version mismatch (got " +
-            std::to_string(Version) + ", want " +
-            std::to_string(kFormatVersion) + ")";
-    return false;
-  }
-  return true;
+  if (!R.ok())
+    return corrupt("artifact truncated before header");
+  if (Kind != static_cast<uint32_t>(Expected))
+    return corrupt("artifact kind mismatch");
+  if (Version != kFormatVersion)
+    return corrupt("artifact format version mismatch (got " +
+                   std::to_string(Version) + ", want " +
+                   std::to_string(kFormatVersion) + ")");
+  return Status();
 }
 
 /// Keys of an unordered map in ascending order, for deterministic output.
@@ -51,16 +50,12 @@ std::vector<uint32_t> sortedKeys(const MapT &Map) {
   return Keys;
 }
 
-bool finishDecode(const ByteReader &R, std::string &Error) {
-  if (!R.ok()) {
-    Error = "artifact truncated";
-    return false;
-  }
-  if (!R.atEnd()) {
-    Error = "artifact has trailing bytes";
-    return false;
-  }
-  return true;
+Status finishDecode(const ByteReader &R) {
+  if (!R.ok())
+    return corrupt("artifact truncated");
+  if (!R.atEnd())
+    return corrupt("artifact has trailing bytes");
+  return Status();
 }
 
 } // namespace
@@ -122,19 +117,16 @@ serialize::encodeProfileData(const profile::ProfileData &Data) {
   return W.take();
 }
 
-bool serialize::decodeProfileData(const std::vector<uint8_t> &Blob,
-                                  profile::ProfileData &Data,
-                                  std::string &Error) {
+Status serialize::decodeProfileData(const std::vector<uint8_t> &Blob,
+                                    profile::ProfileData &Data) {
   ByteReader R(Blob);
-  if (!readHeader(R, ArtifactKind::Profile, Error))
-    return false;
+  if (Status S = readHeader(R, ArtifactKind::Profile); !S.ok())
+    return S;
 
   profile::ProfileData Out;
   const uint64_t NumBranches = R.readU64();
-  if (NumBranches > R.remaining()) {
-    Error = "artifact truncated";
-    return false;
-  }
+  if (NumBranches > R.remaining())
+    return corrupt("artifact truncated");
   for (uint64_t I = 0; I < NumBranches && R.ok(); ++I) {
     const uint32_t Addr = R.readU32();
     cfg::BranchCounts C;
@@ -143,20 +135,16 @@ bool serialize::decodeProfileData(const std::vector<uint8_t> &Blob,
     Out.Edges.setBranchCounts(Addr, C);
   }
   const uint64_t NumBlocks = R.readU64();
-  if (NumBlocks > R.remaining()) {
-    Error = "artifact truncated";
-    return false;
-  }
+  if (NumBlocks > R.remaining())
+    return corrupt("artifact truncated");
   for (uint64_t I = 0; I < NumBlocks && R.ok(); ++I) {
     const uint32_t Addr = R.readU32();
     Out.Edges.setBlockExecCount(Addr, R.readU64());
   }
 
   const uint64_t NumMispredicts = R.readU64();
-  if (NumMispredicts > R.remaining()) {
-    Error = "artifact truncated";
-    return false;
-  }
+  if (NumMispredicts > R.remaining())
+    return corrupt("artifact truncated");
   for (uint64_t I = 0; I < NumMispredicts && R.ok(); ++I) {
     const uint32_t Addr = R.readU32();
     profile::BranchStats S;
@@ -167,20 +155,16 @@ bool serialize::decodeProfileData(const std::vector<uint8_t> &Blob,
   }
 
   const uint64_t NumLoops = R.readU64();
-  if (NumLoops > R.remaining()) {
-    Error = "artifact truncated";
-    return false;
-  }
+  if (NumLoops > R.remaining())
+    return corrupt("artifact truncated");
   for (uint64_t I = 0; I < NumLoops && R.ok(); ++I) {
     const uint32_t Header = R.readU32();
     profile::LoopStats &S = Out.Loops.statsFor(Header);
     S.DynamicInstrs = R.readU64();
     S.Invocations = R.readU64();
     const uint64_t NumBuckets = R.readU64();
-    if (NumBuckets > R.remaining()) {
-      Error = "artifact truncated";
-      return false;
-    }
+    if (NumBuckets > R.remaining())
+      return corrupt("artifact truncated");
     for (uint64_t J = 0; J < NumBuckets && R.ok(); ++J) {
       const uint64_t Value = R.readU64();
       const uint64_t Count = R.readU64();
@@ -190,10 +174,10 @@ bool serialize::decodeProfileData(const std::vector<uint8_t> &Blob,
 
   Out.DynamicInstrs = R.readU64();
   Out.Completed = R.readU8() != 0;
-  if (!finishDecode(R, Error))
-    return false;
+  if (Status S = finishDecode(R); !S.ok())
+    return S;
   Data = std::move(Out);
-  return true;
+  return Status();
 }
 
 //===----------------------------------------------------------------------===//
@@ -223,42 +207,34 @@ std::vector<uint8_t> serialize::encodeDivergeMap(const core::DivergeMap &Map) {
   return W.take();
 }
 
-bool serialize::decodeDivergeMap(const std::vector<uint8_t> &Blob,
-                                 core::DivergeMap &Map, std::string &Error) {
+Status serialize::decodeDivergeMap(const std::vector<uint8_t> &Blob,
+                                   core::DivergeMap &Map) {
   ByteReader R(Blob);
-  if (!readHeader(R, ArtifactKind::DivergeMap, Error))
-    return false;
+  if (Status S = readHeader(R, ArtifactKind::DivergeMap); !S.ok())
+    return S;
   core::DivergeMap Out;
   const uint64_t NumEntries = R.readU64();
-  if (NumEntries > R.remaining()) {
-    Error = "artifact truncated";
-    return false;
-  }
+  if (NumEntries > R.remaining())
+    return corrupt("artifact truncated");
   for (uint64_t I = 0; I < NumEntries && R.ok(); ++I) {
     const uint32_t Addr = R.readU32();
     core::DivergeAnnotation Ann;
     const uint8_t Kind = R.readU8();
-    if (Kind > static_cast<uint8_t>(core::DivergeKind::NoCfm)) {
-      Error = "invalid diverge kind in artifact";
-      return false;
-    }
+    if (Kind > static_cast<uint8_t>(core::DivergeKind::NoCfm))
+      return corrupt("invalid diverge kind in artifact");
     Ann.Kind = static_cast<core::DivergeKind>(Kind);
     Ann.AlwaysPredicate = R.readU8() != 0;
     Ann.LoopHeaderAddr = R.readU32();
     Ann.LoopSelectUops = R.readU32();
     Ann.LoopStayTaken = R.readU8() != 0;
     const uint64_t NumCfms = R.readU64();
-    if (NumCfms > R.remaining()) {
-      Error = "artifact truncated";
-      return false;
-    }
+    if (NumCfms > R.remaining())
+      return corrupt("artifact truncated");
     for (uint64_t J = 0; J < NumCfms && R.ok(); ++J) {
       core::CfmPoint P;
       const uint8_t PointKind = R.readU8();
-      if (PointKind > static_cast<uint8_t>(core::CfmPoint::Kind::Return)) {
-        Error = "invalid cfm point kind in artifact";
-        return false;
-      }
+      if (PointKind > static_cast<uint8_t>(core::CfmPoint::Kind::Return))
+        return corrupt("invalid cfm point kind in artifact");
       P.PointKind = static_cast<core::CfmPoint::Kind>(PointKind);
       P.Addr = R.readU32();
       P.MergeProb = R.readDouble();
@@ -266,10 +242,10 @@ bool serialize::decodeDivergeMap(const std::vector<uint8_t> &Blob,
     }
     Out.add(Addr, std::move(Ann));
   }
-  if (!finishDecode(R, Error))
-    return false;
+  if (Status S = finishDecode(R); !S.ok())
+    return S;
   Map = std::move(Out);
-  return true;
+  return Status();
 }
 
 //===----------------------------------------------------------------------===//
@@ -303,16 +279,14 @@ std::vector<uint8_t> serialize::encodeSimStats(const sim::SimStats &S) {
   return W.take();
 }
 
-bool serialize::decodeSimStats(const std::vector<uint8_t> &Blob,
-                               sim::SimStats &Stats, std::string &Error) {
+Status serialize::decodeSimStats(const std::vector<uint8_t> &Blob,
+                                 sim::SimStats &Stats) {
   ByteReader R(Blob);
-  if (!readHeader(R, ArtifactKind::SimStats, Error))
-    return false;
+  if (Status S = readHeader(R, ArtifactKind::SimStats); !S.ok())
+    return S;
   const uint64_t NumFields = R.readU64();
-  if (NumFields != 29) {
-    Error = "sim stats field count mismatch";
-    return false;
-  }
+  if (NumFields != 29)
+    return corrupt("sim stats field count mismatch");
   sim::SimStats S;
   uint64_t *Fields[] = {
       &S.RetiredInstrs,     &S.Cycles,          &S.CondBranches,
@@ -328,8 +302,8 @@ bool serialize::decodeSimStats(const std::vector<uint8_t> &Blob,
       &S.L2Misses};
   for (uint64_t *F : Fields)
     *F = R.readU64();
-  if (!finishDecode(R, Error))
-    return false;
+  if (Status St = finishDecode(R); !St.ok())
+    return St;
   Stats = S;
-  return true;
+  return Status();
 }

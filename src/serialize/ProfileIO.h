@@ -29,9 +29,9 @@
 #include "profile/Profiler.h"
 #include "serialize/ByteStream.h"
 #include "sim/SimStats.h"
+#include "support/Status.h"
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
 namespace dmp::serialize {
@@ -54,17 +54,19 @@ enum class ArtifactKind : uint32_t {
   SimStats = 0x53494D53,  // "SIMS"
 };
 
+// Decoders return a Corrupt Status (origin "serialize::ProfileIO", message
+// per the project's one-line diagnostic style) on any malformed payload and
+// never crash; \p Data is written only on success.
 std::vector<uint8_t> encodeProfileData(const profile::ProfileData &Data);
-bool decodeProfileData(const std::vector<uint8_t> &Blob,
-                       profile::ProfileData &Data, std::string &Error);
+Status decodeProfileData(const std::vector<uint8_t> &Blob,
+                         profile::ProfileData &Data);
 
 std::vector<uint8_t> encodeDivergeMap(const core::DivergeMap &Map);
-bool decodeDivergeMap(const std::vector<uint8_t> &Blob, core::DivergeMap &Map,
-                      std::string &Error);
+Status decodeDivergeMap(const std::vector<uint8_t> &Blob,
+                        core::DivergeMap &Map);
 
 std::vector<uint8_t> encodeSimStats(const sim::SimStats &Stats);
-bool decodeSimStats(const std::vector<uint8_t> &Blob, sim::SimStats &Stats,
-                    std::string &Error);
+Status decodeSimStats(const std::vector<uint8_t> &Blob, sim::SimStats &Stats);
 
 } // namespace dmp::serialize
 

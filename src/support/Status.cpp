@@ -1,0 +1,41 @@
+//===- support/Status.cpp - Error taxonomy for subsystem boundaries -----------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+using namespace dmp;
+
+const char *dmp::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::Transient:
+    return "transient";
+  case ErrorCode::NotFound:
+    return "not-found";
+  case ErrorCode::Corrupt:
+    return "corrupt";
+  case ErrorCode::Invariant:
+    return "invariant";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::ResourceExhausted:
+    return "resource-exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::toString() const {
+  if (ok())
+    return "ok";
+  std::string Out;
+  if (!Origin.empty())
+    Out += Origin + ": ";
+  Out += errorCodeName(Code);
+  if (!Message.empty())
+    Out += ": " + Message;
+  return Out;
+}

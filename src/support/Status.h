@@ -1,0 +1,163 @@
+//===- support/Status.h - Error taxonomy for subsystem boundaries -*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dmp::Status / dmp::StatusOr<T>: the project-wide error taxonomy used at
+/// subsystem boundaries (artifact cache, profile/annotation codecs, task
+/// graph, experiment engine).  A Status carries an ErrorCode, a one-line
+/// message (lowercase, no trailing period, per the project's error-message
+/// style) and the origin subsystem that produced it.
+///
+/// The codes partition failures by the correct *reaction*, not by cause:
+///
+///   Transient         retry (bounded, deterministic) or fall back to
+///                     recomputation; the operation may succeed later.
+///   NotFound          a lookup missed; compute and (optionally) store.
+///   Corrupt           stored bytes failed validation; discard and recompute.
+///   Invariant         a logic error / broken precondition; never retried.
+///   Cancelled         the operation was skipped because something it
+///                     depended on failed first.
+///   ResourceExhausted a budget or capacity limit was hit.
+///
+/// StatusError wraps a Status as a throwable so failures can cross the
+/// std::function boundary of exec::TaskGraph tasks; TaskGraph::runAll and
+/// harness::ExperimentEngine convert it back into a per-slot Status instead
+/// of letting it poison the whole campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_STATUS_H
+#define DMP_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dmp {
+
+/// Failure classes, partitioned by the correct reaction (see file comment).
+enum class ErrorCode : uint8_t {
+  Ok = 0,
+  Transient,
+  NotFound,
+  Corrupt,
+  Invariant,
+  Cancelled,
+  ResourceExhausted,
+};
+
+/// Stable lowercase name of \p Code ("ok", "transient", ...).
+const char *errorCodeName(ErrorCode Code);
+
+/// An error code plus message and origin subsystem.  Copyable, cheap when
+/// ok (no strings allocated).
+class Status {
+public:
+  /// Default-constructed Status is ok.
+  Status() = default;
+
+  static Status transient(std::string Msg, std::string Origin) {
+    return Status(ErrorCode::Transient, std::move(Msg), std::move(Origin));
+  }
+  static Status notFound(std::string Msg, std::string Origin) {
+    return Status(ErrorCode::NotFound, std::move(Msg), std::move(Origin));
+  }
+  static Status corrupt(std::string Msg, std::string Origin) {
+    return Status(ErrorCode::Corrupt, std::move(Msg), std::move(Origin));
+  }
+  static Status invariant(std::string Msg, std::string Origin) {
+    return Status(ErrorCode::Invariant, std::move(Msg), std::move(Origin));
+  }
+  static Status cancelled(std::string Msg, std::string Origin) {
+    return Status(ErrorCode::Cancelled, std::move(Msg), std::move(Origin));
+  }
+  static Status resourceExhausted(std::string Msg, std::string Origin) {
+    return Status(ErrorCode::ResourceExhausted, std::move(Msg),
+                  std::move(Origin));
+  }
+  static Status make(ErrorCode Code, std::string Msg, std::string Origin) {
+    return Status(Code, std::move(Msg), std::move(Origin));
+  }
+
+  bool ok() const { return Code == ErrorCode::Ok; }
+  explicit operator bool() const { return ok(); }
+
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+  const std::string &origin() const { return Origin; }
+
+  /// "origin: code: message" (or "ok").
+  std::string toString() const;
+
+private:
+  Status(ErrorCode Code, std::string Msg, std::string Origin)
+      : Code(Code), Message(std::move(Msg)), Origin(std::move(Origin)) {}
+
+  ErrorCode Code = ErrorCode::Ok;
+  std::string Message;
+  std::string Origin;
+};
+
+/// A Status or a value of type T, with an optional-like accessor surface so
+/// call sites read naturally: `if (auto V = cache.load(K)) use(*V);`.
+template <typename T> class StatusOr {
+public:
+  /// Default: a Cancelled "slot never written" status, so pre-allocated
+  /// result matrices read as not-run until a task fills them.
+  StatusOr()
+      : St(Status::cancelled("result slot never written", "support")) {}
+
+  StatusOr(T Value) : Value(std::move(Value)) {}
+  StatusOr(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "ok status requires a value");
+  }
+
+  bool ok() const { return St.ok(); }
+  bool has_value() const { return St.ok(); }
+  explicit operator bool() const { return St.ok(); }
+
+  const Status &status() const { return St; }
+
+  T &value() {
+    assert(ok() && "value() on a failed StatusOr");
+    return *Value;
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed StatusOr");
+    return *Value;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// The value, or \p Fallback when this holds an error.
+  T valueOr(T Fallback) const { return ok() ? *Value : std::move(Fallback); }
+
+private:
+  Status St;
+  std::optional<T> Value;
+};
+
+/// Throwable carrier for a Status, used to cross task boundaries.
+class StatusError : public std::exception {
+public:
+  explicit StatusError(Status S)
+      : St(std::move(S)), Text(St.toString()) {}
+
+  const Status &status() const { return St; }
+  const char *what() const noexcept override { return Text.c_str(); }
+
+private:
+  Status St;
+  std::string Text;
+};
+
+} // namespace dmp
+
+#endif // DMP_SUPPORT_STATUS_H

@@ -78,8 +78,8 @@ TEST(AnnotationIOTest, RoundTrip) {
   EXPECT_NE(Text.find("# dmp-diverge-map v1"), std::string::npos);
 
   DivergeMap Parsed;
-  std::string Error;
-  ASSERT_TRUE(parseDivergeMap(Text, Parsed, Error)) << Error;
+  const Status S = parseDivergeMap(Text, Parsed);
+  ASSERT_TRUE(S.ok()) << S.toString();
   ASSERT_EQ(Parsed.size(), Map.size());
   EXPECT_EQ(Parsed.sortedAddrs(), Map.sortedAddrs());
 
@@ -106,22 +106,77 @@ TEST(AnnotationIOTest, RoundTrip) {
 
 TEST(AnnotationIOTest, RejectsMissingHeader) {
   DivergeMap Map;
-  std::string Error;
-  EXPECT_FALSE(parseDivergeMap("branch 1 kind=simple always=0\n", Map,
-                               Error));
-  EXPECT_NE(Error.find("header"), std::string::npos);
+  const Status S = parseDivergeMap("branch 1 kind=simple always=0\n", Map);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Corrupt);
+  EXPECT_NE(S.message().find("header"), std::string::npos) << S.toString();
 }
 
 TEST(AnnotationIOTest, RejectsMalformedTokens) {
   DivergeMap Map;
-  std::string Error;
+  const Status Kind = parseDivergeMap(
+      "# dmp-diverge-map v1\nbranch 1 kind=banana always=0\n", Map);
+  EXPECT_FALSE(Kind.ok());
+  EXPECT_NE(Kind.message().find("unknown kind"), std::string::npos);
   EXPECT_FALSE(parseDivergeMap(
-      "# dmp-diverge-map v1\nbranch 1 kind=banana always=0\n", Map, Error));
-  EXPECT_NE(Error.find("unknown kind"), std::string::npos);
+      "# dmp-diverge-map v1\nbranch 1 kind=simple cfm=bogus\n", Map).ok());
   EXPECT_FALSE(parseDivergeMap(
-      "# dmp-diverge-map v1\nbranch 1 kind=simple cfm=bogus\n", Map, Error));
-  EXPECT_FALSE(parseDivergeMap(
-      "# dmp-diverge-map v1\nnonsense 1 2\n", Map, Error));
+      "# dmp-diverge-map v1\nnonsense 1 2\n", Map).ok());
+}
+
+// Satellite coverage for the error paths promised by AnnotationIO.h: every
+// malformed input yields a Corrupt diagnostic (never a crash) and leaves the
+// output map untouched.
+
+TEST(AnnotationIOTest, TruncatedFileLeavesMapUntouched) {
+  const std::string Full = serializeDivergeMap(sampleMap());
+  for (size_t Len = 0; Len < Full.size(); Len += 7) {
+    DivergeMap Map;
+    Map.add(999, DivergeAnnotation()); // sentinel: must survive failure
+    const Status S = parseDivergeMap(Full.substr(0, Len), Map);
+    if (!S.ok()) {
+      EXPECT_EQ(S.code(), ErrorCode::Corrupt);
+      EXPECT_EQ(Map.size(), 1u) << "failed parse must not mutate the map";
+      EXPECT_TRUE(Map.contains(999));
+    }
+  }
+}
+
+TEST(AnnotationIOTest, RejectsOversizedNumbers) {
+  DivergeMap Map;
+  // Branch address above 2^32-1.
+  const Status Addr = parseDivergeMap(
+      "# dmp-diverge-map v1\nbranch 4294967296 kind=simple\n", Map);
+  EXPECT_FALSE(Addr.ok());
+  EXPECT_EQ(Addr.code(), ErrorCode::Corrupt);
+  // A probability outside [0, 1].
+  const Status Prob = parseDivergeMap(
+      "# dmp-diverge-map v1\nbranch 1 kind=simple cfm=2:1.5\n", Map);
+  EXPECT_FALSE(Prob.ok());
+  // An absurdly large loop-header address.
+  const Status Hdr = parseDivergeMap(
+      "# dmp-diverge-map v1\nbranch 1 kind=loop header=99999999999999\n",
+      Map);
+  EXPECT_FALSE(Hdr.ok());
+  EXPECT_EQ(Map.size(), 0u);
+}
+
+TEST(AnnotationIOTest, GarbageBytesYieldDiagnosticsNotCrashes) {
+  // Deterministic pseudo-random garbage, including NULs and high bytes.
+  RNG Rng(0xA110C);
+  for (int Round = 0; Round < 50; ++Round) {
+    std::string Garbage = "# dmp-diverge-map v1\n";
+    const size_t Len = Rng.nextBelow(200);
+    for (size_t I = 0; I < Len; ++I)
+      Garbage.push_back(static_cast<char>(Rng.nextBelow(256)));
+    DivergeMap Map;
+    const Status S = parseDivergeMap(Garbage, Map);
+    if (!S.ok()) {
+      EXPECT_EQ(S.code(), ErrorCode::Corrupt);
+      EXPECT_FALSE(S.message().empty());
+      EXPECT_EQ(Map.size(), 0u);
+    }
+  }
 }
 
 TEST(TwoDProfileTest, DetectsPhaseDependentBranch) {

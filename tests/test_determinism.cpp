@@ -37,7 +37,7 @@ harness::ExperimentOptions miniOptions() {
 }
 
 /// The full SimStats of every (benchmark, config) cell under \p Jobs.
-std::vector<std::vector<sim::SimStats>>
+std::vector<std::vector<StatusOr<sim::SimStats>>>
 runCells(unsigned Jobs,
          const std::shared_ptr<serialize::ArtifactCache> &Cache) {
   harness::EngineOptions EngineOpts;
@@ -60,16 +60,19 @@ runCells(unsigned Jobs,
       });
 }
 
-bool identical(const std::vector<std::vector<sim::SimStats>> &A,
-               const std::vector<std::vector<sim::SimStats>> &B) {
+bool identical(const std::vector<std::vector<StatusOr<sim::SimStats>>> &A,
+               const std::vector<std::vector<StatusOr<sim::SimStats>>> &B) {
   if (A.size() != B.size())
     return false;
   for (size_t I = 0; I < A.size(); ++I) {
     if (A[I].size() != B[I].size())
       return false;
-    for (size_t J = 0; J < A[I].size(); ++J)
-      if (std::memcmp(&A[I][J], &B[I][J], sizeof(sim::SimStats)) != 0)
+    for (size_t J = 0; J < A[I].size(); ++J) {
+      if (!A[I][J].ok() || !B[I][J].ok())
         return false;
+      if (std::memcmp(&*A[I][J], &*B[I][J], sizeof(sim::SimStats)) != 0)
+        return false;
+    }
   }
   return true;
 }

@@ -192,6 +192,94 @@ TEST(ParallelMapTest, ResultsInIndexOrder) {
     EXPECT_EQ(Squares[I], I * I);
 }
 
+//===----------------------------------------------------------------------===//
+// runAll(): the run-to-completion policy (see TaskGraph.h for the contract)
+//===----------------------------------------------------------------------===//
+
+using dmp::ErrorCode;
+using dmp::Status;
+using dmp::StatusError;
+
+TEST(TaskGraphRunAllTest, RecordsPerTaskStatus) {
+  ThreadPool Pool(4);
+  TaskGraph Graph;
+  std::atomic<int> GoodRan{0};
+  const auto Good = Graph.add([&GoodRan] { GoodRan.fetch_add(1); });
+  const auto Foreign =
+      Graph.add([]() -> void { throw std::runtime_error("disk on fire"); });
+  const auto Typed = Graph.add([]() -> void {
+    throw StatusError(Status::transient("injected blip", "test"));
+  });
+  const std::vector<Status> St = Graph.runAll(Pool);
+  ASSERT_EQ(St.size(), 3u);
+  EXPECT_TRUE(St[Good].ok());
+  EXPECT_EQ(GoodRan.load(), 1);
+  // A foreign exception maps to Invariant with the exception text.
+  EXPECT_EQ(St[Foreign].code(), ErrorCode::Invariant);
+  EXPECT_NE(St[Foreign].message().find("disk on fire"), std::string::npos);
+  // A StatusError's payload comes through unchanged.
+  EXPECT_EQ(St[Typed].code(), ErrorCode::Transient);
+  EXPECT_EQ(St[Typed].message(), "injected blip");
+}
+
+TEST(TaskGraphRunAllTest, CancelsOnlyTransitiveDependents) {
+  ThreadPool Pool(4);
+  TaskGraph Graph;
+  std::atomic<bool> DependentRan{false}, IndependentRan{false};
+  const auto Bad =
+      Graph.add([]() -> void { throw std::runtime_error("stage failed"); });
+  const auto Child =
+      Graph.add([&DependentRan] { DependentRan = true; }, {Bad});
+  const auto GrandChild = Graph.add([] {}, {Child});
+  const auto Free = Graph.add([&IndependentRan] { IndependentRan = true; });
+  const std::vector<Status> St = Graph.runAll(Pool);
+  // The failure poisons its transitive dependents only...
+  EXPECT_EQ(St[Bad].code(), ErrorCode::Invariant);
+  EXPECT_EQ(St[Child].code(), ErrorCode::Cancelled);
+  EXPECT_EQ(St[GrandChild].code(), ErrorCode::Cancelled);
+  EXPECT_FALSE(DependentRan.load());
+  // ...and the cancellation message names the failed dependency.
+  EXPECT_NE(St[Child].message().find(std::to_string(Bad)),
+            std::string::npos);
+  // Independent subgraphs are unaffected — unlike run()'s fail-fast mode.
+  EXPECT_TRUE(St[Free].ok());
+  EXPECT_TRUE(IndependentRan.load());
+}
+
+TEST(TaskGraphRunAllTest, DiamondWithOneFailedParentIsCancelled) {
+  ThreadPool Pool(2);
+  TaskGraph Graph;
+  const auto Ok = Graph.add([] {});
+  const auto Bad = Graph.add(
+      []() -> void { throw StatusError(Status::corrupt("bad blob", "t")); });
+  std::atomic<bool> JoinRan{false};
+  const auto Join = Graph.add([&JoinRan] { JoinRan = true; }, {Ok, Bad});
+  const std::vector<Status> St = Graph.runAll(Pool);
+  EXPECT_TRUE(St[Ok].ok());
+  EXPECT_EQ(St[Bad].code(), ErrorCode::Corrupt);
+  EXPECT_EQ(St[Join].code(), ErrorCode::Cancelled);
+  EXPECT_FALSE(JoinRan.load());
+}
+
+TEST(TaskGraphRunAllTest, AllOkGraphReturnsAllOk) {
+  ThreadPool Pool(3);
+  TaskGraph Graph;
+  std::atomic<int> Sum{0};
+  const auto Root = Graph.add([&Sum] { Sum.fetch_add(1); });
+  for (int I = 0; I < 20; ++I)
+    Graph.add([&Sum] { Sum.fetch_add(1); }, {Root});
+  const std::vector<Status> St = Graph.runAll(Pool);
+  EXPECT_EQ(Sum.load(), 21);
+  for (const Status &S : St)
+    EXPECT_TRUE(S.ok()) << S.toString();
+}
+
+TEST(TaskGraphRunAllTest, EmptyGraphReturnsNoStatuses) {
+  ThreadPool Pool(2);
+  TaskGraph Graph;
+  EXPECT_TRUE(Graph.runAll(Pool).empty());
+}
+
 TEST(ParallelForTest, ExceptionPropagates) {
   ThreadPool Pool(2);
   EXPECT_THROW(parallelFor(Pool, 10,

@@ -58,8 +58,8 @@ TEST(HarnessTest, IpcImprovementArithmetic) {
 
 TEST(HarnessTest, ReportGeomeanAndRendering) {
   ImprovementReport Report({"a", "b"});
-  Report.addBenchmark("x", {0.10, 0.20});
-  Report.addBenchmark("y", {0.10, -0.10});
+  Report.addBenchmark("x", std::vector<double>{0.10, 0.20});
+  Report.addBenchmark("y", std::vector<double>{0.10, -0.10});
   EXPECT_NEAR(Report.geomeanImprovement(0), 0.10, 1e-9);
   EXPECT_NEAR(Report.geomeanImprovement(1), std::sqrt(1.2 * 0.9) - 1.0,
               1e-9);

@@ -144,8 +144,8 @@ TEST(ProfileIOTest, ProfileDataRoundTrips) {
   const profile::ProfileData Data = sampleProfile();
   const std::vector<uint8_t> Blob = encodeProfileData(Data);
   profile::ProfileData Out;
-  std::string Error;
-  ASSERT_TRUE(decodeProfileData(Blob, Out, Error)) << Error;
+  const Status S = decodeProfileData(Blob, Out);
+  ASSERT_TRUE(S.ok()) << S.toString();
   EXPECT_EQ(Out.DynamicInstrs, Data.DynamicInstrs);
   EXPECT_EQ(Out.Completed, Data.Completed);
   EXPECT_EQ(Out.Edges.branchCounts(0x40).Taken, 1u);
@@ -169,8 +169,8 @@ TEST(ProfileIOTest, DivergeMapRoundTrips) {
   const core::DivergeMap Map = sampleMap();
   const std::vector<uint8_t> Blob = encodeDivergeMap(Map);
   core::DivergeMap Out;
-  std::string Error;
-  ASSERT_TRUE(decodeDivergeMap(Blob, Out, Error)) << Error;
+  const Status S = decodeDivergeMap(Blob, Out);
+  ASSERT_TRUE(S.ok()) << S.toString();
   ASSERT_EQ(Out.size(), 2u);
   const core::DivergeAnnotation *Hammock = Out.find(0x40);
   ASSERT_NE(Hammock, nullptr);
@@ -192,8 +192,8 @@ TEST(ProfileIOTest, SimStatsRoundTrips) {
   const sim::SimStats Stats = sampleStats();
   const std::vector<uint8_t> Blob = encodeSimStats(Stats);
   sim::SimStats Out;
-  std::string Error;
-  ASSERT_TRUE(decodeSimStats(Blob, Out, Error)) << Error;
+  const Status S = decodeSimStats(Blob, Out);
+  ASSERT_TRUE(S.ok()) << S.toString();
   EXPECT_EQ(Out.RetiredInstrs, Stats.RetiredInstrs);
   EXPECT_EQ(Out.Cycles, Stats.Cycles);
   EXPECT_EQ(Out.Mispredictions, Stats.Mispredictions);
@@ -207,24 +207,27 @@ TEST(ProfileIOTest, RejectsVersionMismatch) {
   // Payload layout: kind u32 | version u32 | ... (little endian).
   Blob[4] = static_cast<uint8_t>(kFormatVersion + 1);
   sim::SimStats Out;
-  std::string Error;
-  EXPECT_FALSE(decodeSimStats(Blob, Out, Error));
-  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+  const Status S = decodeSimStats(Blob, Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Corrupt);
+  EXPECT_NE(S.message().find("version"), std::string::npos) << S.toString();
 }
 
 TEST(ProfileIOTest, RejectsWrongKindTag) {
   const std::vector<uint8_t> Blob = encodeSimStats(sampleStats());
   profile::ProfileData Out;
-  std::string Error;
-  EXPECT_FALSE(decodeProfileData(Blob, Out, Error));
+  const Status S = decodeProfileData(Blob, Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Corrupt);
 }
 
 TEST(ProfileIOTest, RejectsTruncatedPayload) {
   std::vector<uint8_t> Blob = encodeProfileData(sampleProfile());
   Blob.resize(Blob.size() / 2);
   profile::ProfileData Out;
-  std::string Error;
-  EXPECT_FALSE(decodeProfileData(Blob, Out, Error));
+  const Status S = decodeProfileData(Blob, Out);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Corrupt);
 }
 
 TEST(ArtifactCacheTest, StoreThenLoadHits) {
@@ -232,7 +235,9 @@ TEST(ArtifactCacheTest, StoreThenLoadHits) {
   ArtifactCache Cache(Dir.Path.string());
   const Digest Key = Hasher::hash("key-one", 7);
   const std::vector<uint8_t> Payload = {1, 2, 3, 4, 5};
-  EXPECT_FALSE(Cache.load(Key).has_value());
+  const auto Miss = Cache.load(Key);
+  EXPECT_FALSE(Miss.has_value());
+  EXPECT_EQ(Miss.status().code(), ErrorCode::NotFound);
   EXPECT_EQ(Cache.misses(), 1u);
   ASSERT_TRUE(Cache.store(Key, Payload));
   const auto Loaded = Cache.load(Key);
@@ -286,7 +291,10 @@ TEST(ArtifactCacheTest, RejectsCorruptedBlob) {
     F.write(&Garbage, 1);
   }
 
-  EXPECT_FALSE(Cache.load(Key).has_value());
+  const auto Rejected = Cache.load(Key);
+  EXPECT_FALSE(Rejected.has_value());
+  EXPECT_EQ(Rejected.status().code(), ErrorCode::Corrupt);
+  EXPECT_EQ(Cache.corruptDeletes(), 1u);
   // The corrupt blob was deleted so a later store can heal it.
   EXPECT_FALSE(std::filesystem::exists(Blob));
   ASSERT_TRUE(Cache.store(Key, {1, 2, 3, 4, 5, 6, 7, 8}));
@@ -305,7 +313,10 @@ TEST(ArtifactCacheTest, RejectsTruncatedBlob) {
       Blob = Entry.path();
   ASSERT_FALSE(Blob.empty());
   std::filesystem::resize_file(Blob, 60);
-  EXPECT_FALSE(Cache.load(Key).has_value());
+  const auto Rejected = Cache.load(Key);
+  EXPECT_FALSE(Rejected.has_value());
+  EXPECT_EQ(Rejected.status().code(), ErrorCode::Corrupt);
+  EXPECT_EQ(Cache.corruptDeletes(), 1u);
 }
 
 TEST(ArtifactCacheTest, RejectsContainerVersionMismatch) {

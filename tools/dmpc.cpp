@@ -340,5 +340,15 @@ int main(int Argc, char **Argv) {
     std::printf("speedup : %s\n",
                 formatPercent(harness::ipcImprovement(Base, Dmp)).c_str());
   }
+
+  if (const serialize::ArtifactCache *Cache = Options.Cache.get())
+    std::fprintf(stderr,
+                 "[cache] hits=%llu misses=%llu stores=%llu corrupt=%llu "
+                 "store-failures=%llu\n",
+                 static_cast<unsigned long long>(Cache->hits()),
+                 static_cast<unsigned long long>(Cache->misses()),
+                 static_cast<unsigned long long>(Cache->stores()),
+                 static_cast<unsigned long long>(Cache->corruptDeletes()),
+                 static_cast<unsigned long long>(Cache->failedStores()));
   return 0;
 }

@@ -23,6 +23,11 @@
 //                        every seed
 //   --expect-divergence  invert the exit status: succeed only when every
 //                        seed fails (canary / known-bug mode)
+//   --keep-going         collect every divergence instead of reporting only
+//                        the first: prints a per-seed failure table and a
+//                        failure digest that is independent of --jobs (the
+//                        batch always runs every seed; this only changes
+//                        reporting)
 //   --reduce             on failure, greedily minimize the first failing
 //                        seed and print the repro snippet + DOT CFG
 //   --dump-dir=DIR       write repro_seed<N>.h/.dot for the reduced case
@@ -63,6 +68,7 @@ struct CliOptions {
   uint64_t MaxInstrs = 300'000;
   unsigned Fault = 0;
   bool ExpectDivergence = false;
+  bool KeepGoing = false;
   bool Reduce = false;
   std::string DumpDir;
   bool PrintDigest = false;
@@ -73,7 +79,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: fuzz_dmp [--seeds=N] [--start-seed=N] [--jobs=N] "
                "[--max-instrs=N] [--fault=0|1|2] [--expect-divergence] "
-               "[--reduce] [--dump-dir=DIR] [--digest] "
+               "[--keep-going] [--reduce] [--dump-dir=DIR] [--digest] "
                "[--selfcheck-determinism]\n");
 }
 
@@ -109,6 +115,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Fault = static_cast<unsigned>(U);
     } else if (Arg == "--expect-divergence") {
       Opts.ExpectDivergence = true;
+    } else if (Arg == "--keep-going") {
+      Opts.KeepGoing = true;
     } else if (Arg == "--reduce") {
       Opts.Reduce = true;
     } else if (Arg.rfind("--dump-dir=", 0) == 0) {
@@ -186,8 +194,37 @@ std::vector<SeedResult> runBatch(const CliOptions &Opts, unsigned Jobs) {
     Graph.add([I, &Opts, &Results] {
       Results[I] = runSeed(Opts.StartSeed + I, Opts);
     });
-  Graph.run(Pool);
+  // Run-to-completion: a seed whose harness itself blows up becomes a
+  // failed seed with the Status text, instead of aborting the batch.
+  const std::vector<Status> Statuses = Graph.runAll(Pool);
+  for (uint64_t I = 0; I < Opts.Seeds; ++I)
+    if (!Statuses[I].ok()) {
+      Results[I].Seed = Opts.StartSeed + I;
+      Results[I].Ok = false;
+      Results[I].Summary = "harness: " + Statuses[I].toString() + "\n";
+      Results[I].LegStats.clear();
+    }
   return Results;
+}
+
+/// The first line of \p Text (without the newline), for compact tables.
+std::string firstLine(const std::string &Text) {
+  const size_t Pos = Text.find('\n');
+  return Pos == std::string::npos ? Text : Text.substr(0, Pos);
+}
+
+/// Digest over the failing seeds only, in seed order — independent of
+/// --jobs, so two --keep-going sweeps are comparable by one line.
+serialize::Digest failureDigest(const std::vector<SeedResult> &Results) {
+  serialize::Hasher H;
+  H.update(std::string("fuzz-dmp-failures"));
+  for (const SeedResult &R : Results) {
+    if (R.Ok)
+      continue;
+    H.updateU64(R.Seed);
+    H.update(R.Summary);
+  }
+  return H.finish();
 }
 
 bool writeFile(const std::string &Path, const std::string &Contents) {
@@ -269,6 +306,15 @@ int main(int Argc, char **Argv) {
               Opts.Jobs);
   if (Opts.PrintDigest)
     std::printf("digest: %s\n", resultsDigest(Results).hex().c_str());
+  if (Opts.KeepGoing && Failures > 0) {
+    std::printf("failing seeds:\n");
+    for (const SeedResult &R : Results)
+      if (!R.Ok)
+        std::printf("  seed %-8llu %s\n",
+                    static_cast<unsigned long long>(R.Seed),
+                    firstLine(R.Summary).c_str());
+    std::printf("failure digest: %s\n", failureDigest(Results).hex().c_str());
+  }
   if (FirstFailure) {
     std::printf("first failing seed %llu (%s):\n%s",
                 static_cast<unsigned long long>(FirstFailure->Seed),
