@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/TaskGraph.h"
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
@@ -56,6 +57,7 @@ double geomeanWith(MutateFn Mutate, bool CostMode = true) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   exec::ThreadPool ThePool(EngineOpts.Jobs);

@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/TaskGraph.h"
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
@@ -72,6 +73,7 @@ core::DivergeMap stripCfms(const core::DivergeMap &Map) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   exec::ThreadPool ThePool(EngineOpts.Jobs);

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -22,6 +23,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -34,7 +36,8 @@ int main(int Argc, char **Argv) {
   harness::CellNeeds Needs;
   Needs.TrainProfile = true;
   Needs.Baseline = false; // no simulation in this figure
-  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   const std::vector<StatusOr<Overlap>> Rows = Engine.runPerBenchmark<Overlap>(
       Suite,
       [](harness::Cell &C) {
@@ -89,7 +92,5 @@ int main(int Argc, char **Argv) {
   std::printf("worst-case either-run-train fraction: %s (paper: >74%% in "
               "all benchmarks)\n",
               formatPercent(WorstEither).substr(1).c_str());
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

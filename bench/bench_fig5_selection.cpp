@@ -20,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "harness/Reports.h"
 
@@ -28,6 +29,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -61,7 +63,8 @@ int main(int Argc, char **Argv) {
   std::vector<Config> Configs(std::begin(Left), std::end(Left));
   Configs.insert(Configs.end(), std::begin(Right), std::end(Right));
 
-  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   std::vector<std::string> ConfigNames;
   for (const Config &C : Configs)
     ConfigNames.push_back(C.Name);
@@ -98,7 +101,5 @@ int main(int Argc, char **Argv) {
               0, std::size(Left));
   renderPanel("== Figure 5 (right): DMP IPC improvement, cost-benefit model ==",
               std::size(Left), std::size(Right));
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -19,6 +20,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -35,7 +37,8 @@ int main(int Argc, char **Argv) {
       {"+loop", core::SelectionFeatures::allBestHeur()},
   };
 
-  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   std::vector<std::string> ConfigNames;
   for (const Config &C : Configs)
     ConfigNames.push_back(C.Name);
@@ -92,7 +95,5 @@ int main(int Argc, char **Argv) {
   std::printf("== Figure 6: pipeline flushes per kilo-instruction, baseline "
               "vs DMP ==\n");
   T.print();
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

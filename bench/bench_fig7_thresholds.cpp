@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "support/MathExtras.h"
 #include "support/StringUtils.h"
@@ -24,6 +25,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -46,12 +48,14 @@ int main(int Argc, char **Argv) {
   for (const Point &Pt : Points)
     PointNames.push_back(formatString("max-instr=%u merge-prob=%.2f",
                                       Pt.MaxInstr, Pt.MergeProb));
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   harness::CampaignJournal *Journal = Engine.journalFor(
       "fig7", harness::paramsDigest(PointNames),
-      workloads::specSuite().size(), Points.size());
+      Suite.size(), Points.size());
   const std::vector<std::vector<StatusOr<double>>> Ratios =
       Engine.runMatrix<double>(
-          workloads::specSuite(), Points.size(),
+          Suite, Points.size(),
           [&Points](harness::Cell &C) {
             const Point &Pt = Points[C.Config];
             const core::SelectionConfig Config =
@@ -88,7 +92,5 @@ int main(int Argc, char **Argv) {
               "MIN_MERGE_PROB ==\n");
   std::printf("(Alg-exact + Alg-freq only; MAX_CBR = MAX_INSTR/10)\n");
   T.print();
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

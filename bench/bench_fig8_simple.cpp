@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SimpleSelectors.h"
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "harness/Reports.h"
 
@@ -22,6 +23,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -65,7 +67,8 @@ int main(int Argc, char **Argv) {
        }},
   };
 
-  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   std::vector<std::string> Names;
   for (const Config &C : Configs)
     Names.push_back(C.Name);
@@ -90,7 +93,5 @@ int main(int Argc, char **Argv) {
                   .render("== Figure 8: DMP IPC improvement with alternative "
                           "simple selection algorithms ==")
                   .c_str());
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

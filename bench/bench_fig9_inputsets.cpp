@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "harness/Reports.h"
 
@@ -20,6 +21,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -42,7 +44,8 @@ int main(int Argc, char **Argv) {
 
   harness::CellNeeds Needs;
   Needs.TrainProfile = true; // the *-diff columns profile on train
-  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   std::vector<std::string> Names;
   for (const Config &C : Configs)
     Names.push_back(C.Name);
@@ -68,7 +71,5 @@ int main(int Argc, char **Argv) {
                   .render("== Figure 9: DMP IPC improvement, same vs "
                           "different profiling input set ==")
                   .c_str());
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -18,6 +19,7 @@
 using namespace dmp;
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   const harness::EngineOptions EngineOpts =
       harness::EngineOptions::parseOrExit(Argc, Argv);
   harness::ExperimentEngine Engine(harness::ExperimentOptions(), EngineOpts);
@@ -28,7 +30,8 @@ int main(int Argc, char **Argv) {
     size_t AllBranches = 0, DivergeBranches = 0;
   };
 
-  const std::vector<workloads::BenchmarkSpec> &Suite = workloads::specSuite();
+  const std::vector<workloads::BenchmarkSpec> Suite =
+      harness::limitSuite(workloads::specSuite(), EngineOpts);
   const std::vector<StatusOr<Row>> Rows = Engine.runPerBenchmark<Row>(
       Suite, [](harness::Cell &C) {
         const sim::SimStats &Base = C.Bench.baseline();
@@ -64,7 +67,5 @@ int main(int Argc, char **Argv) {
   std::printf("(synthetic SPEC-like suite; see DESIGN.md for the workload "
               "substitution)\n");
   T.print();
-  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
-  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
-  return 0;
+  return harness::finishDriver(Engine);
 }

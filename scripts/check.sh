@@ -2,7 +2,8 @@
 # One-command verification gate: configure the warnings-as-errors preset,
 # build everything, and run the test suite.  By default only the tier1
 # label runs (fast unit/integration tests — the pre-commit gate); pass
-# --all to also run the slow redundancy checks and the fuzz campaign, and
+# --all to also run the slow redundancy checks and the fuzz campaign,
+# --crash to run only the fork-based crash-consistency matrix, and
 # --sanitize to build and test under ASan+UBSan (the sanitize preset).
 # Exits non-zero on the first failure, so CI and pre-commit hooks can call
 # it directly.  See TESTING.md for the tier definitions.
@@ -11,20 +12,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ALL=0
+CRASH=0
 PRESET=ci
 for arg in "$@"; do
   case "$arg" in
     --all) ALL=1 ;;
+    --crash) CRASH=1 ;;
     --sanitize) PRESET=sanitize ;;
-    -h|--help) echo "usage: $0 [--all] [--sanitize]"; exit 0 ;;
-    *) echo "usage: $0 [--all] [--sanitize]" >&2; exit 2 ;;
+    -h|--help) echo "usage: $0 [--all] [--crash] [--sanitize]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--crash] [--sanitize]" >&2; exit 2 ;;
   esac
 done
 
 cmake --preset "$PRESET"
 cmake --build --preset "$PRESET" -j "$(nproc)"
 
-if [[ "$ALL" -eq 1 ]]; then
+if [[ "$CRASH" -eq 1 ]]; then
+  ctest --preset "$PRESET" -L crash
+elif [[ "$ALL" -eq 1 ]]; then
   ctest --preset "$PRESET"
 else
   ctest --preset "$PRESET" -L tier1

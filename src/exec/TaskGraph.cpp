@@ -46,7 +46,17 @@ void TaskGraph::schedule(ThreadPool &Pool, TaskId Id) {
           BadStatus = &Statuses[Dep];
           break;
         }
-      if (BadStatus) {
+      // The drain check outranks the dep scan: once the graph is
+      // draining, every un-started task uniformly reports the cancel
+      // Status (origin "guard" for token trips), instead of downstream
+      // tasks blaming their (also drained) dependencies.
+      if (Status Drain = CancelCheck ? CancelCheck() : Status();
+          !Drain.ok()) {
+        // Graceful drain: the task never starts and its outcome is the
+        // cancel Status itself, so callers can tell a drained task from a
+        // dep-failure cancellation (origin "exec::TaskGraph").
+        Statuses[Id] = std::move(Drain);
+      } else if (BadStatus) {
         Statuses[Id] = Status::cancelled(
             "dependency task " + std::to_string(BadDep) + " " +
                 errorCodeName(BadStatus->code()),
@@ -116,8 +126,10 @@ void TaskGraph::run(ThreadPool &Pool) {
     std::rethrow_exception(FirstException);
 }
 
-std::vector<Status> TaskGraph::runAll(ThreadPool &Pool) {
+std::vector<Status> TaskGraph::runAll(ThreadPool &Pool,
+                                      std::function<Status()> Check) {
   KeepGoing = true;
+  CancelCheck = std::move(Check);
   Statuses.assign(Nodes.size(), Status());
   start(Pool);
   return std::move(Statuses);

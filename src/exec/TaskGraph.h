@@ -79,7 +79,16 @@ public:
   /// yields its payload; any other exception yields Invariant with the
   /// exception text; a task downstream of a failure yields Cancelled and
   /// never runs.  Never throws.  The graph is spent afterwards.
-  std::vector<Status> runAll(ThreadPool &Pool);
+  ///
+  /// \p CancelCheck, when non-null, is polled once before each task starts
+  /// (after its dependencies finished): a non-ok Status skips the task and
+  /// records that Status verbatim as the task's outcome.  This is the
+  /// graceful-drain hook — in-flight tasks always finish, un-started ones
+  /// are shed — used by guard::CancelToken consumers; keeping it a plain
+  /// std::function keeps exec free of a guard dependency.  The check must
+  /// be thread-safe and, once it returns non-ok, keep returning non-ok.
+  std::vector<Status> runAll(ThreadPool &Pool,
+                             std::function<Status()> CancelCheck = {});
 
   size_t size() const { return Nodes.size(); }
 
@@ -99,6 +108,7 @@ private:
   std::vector<std::unique_ptr<Node>> Nodes;
   bool Ran = false;
   bool KeepGoing = false; ///< runAll() policy; set before start().
+  std::function<Status()> CancelCheck; ///< runAll() drain hook; may be null.
 
   // Run-time state.  Completed is guarded by DoneMutex (not atomic) on
   // purpose: the final increment, the notify, and the wait predicate must

@@ -5,6 +5,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "fault/Fault.h"
+#include "support/ExitCodes.h"
+
+#include <unistd.h>
 
 using namespace dmp;
 using namespace dmp::fault;
@@ -19,6 +22,10 @@ const char *fault::siteName(Site S) {
     return "task-run";
   case Site::ProfileDecode:
     return "profile-decode";
+  case Site::CrashMidStore:
+    return "crash-mid-store";
+  case Site::CrashMidJournalRewrite:
+    return "crash-mid-journal-rewrite";
   }
   return "unknown";
 }
@@ -68,7 +75,12 @@ Plan Plan::transientEverywhere(uint64_t Seed, double Rate,
                                unsigned MaxFaultsPerOp) {
   Plan P;
   P.Seed = Seed;
-  for (SiteSpec &Spec : P.Sites) {
+  // Fault-return sites only: "everywhere" deliberately excludes the
+  // CrashMid* crashpoints, which kill the process instead of returning a
+  // Status and are armed individually by the crash harness.
+  for (Site S : {Site::CacheLoad, Site::CacheStore, Site::TaskRun,
+                 Site::ProfileDecode}) {
+    SiteSpec &Spec = P.at(S);
     Spec.Rate = Rate;
     Spec.MaxFaultsPerOp = MaxFaultsPerOp;
     Spec.Code = ErrorCode::Transient;
@@ -86,6 +98,18 @@ Status Injector::check(Site S, const std::string &Key,
                           " (op " + Key + ", attempt " +
                           std::to_string(Attempt) + ")",
                       "fault");
+}
+
+void Injector::maybeCrash(Site S, const std::string &Key) const {
+  // Crashpoints fire at most once per key (Attempt 0 semantics): after the
+  // crashed child is reaped and the operation retried in a fresh process,
+  // the same plan fires again — which is exactly what the harness wants,
+  // so recovery tests re-arm with a different plan (or different key) for
+  // the rerun.
+  if (!ThePlan.shouldFault(S, Key, /*Attempt=*/0))
+    return;
+  Counts[static_cast<size_t>(S)].fetch_add(1, std::memory_order_relaxed);
+  ::_exit(exitcode::CrashChild);
 }
 
 uint64_t Injector::totalInjected() const {

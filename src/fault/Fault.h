@@ -14,6 +14,18 @@
 ///   TaskRun       harness::ExperimentEngine cells   (task execution)
 ///   ProfileDecode harness::BenchContext cached-blob decode
 ///
+/// Two further sites are *crashpoints* rather than fault returns: when the
+/// plan selects them, Injector::maybeCrash() _exit(137)s the process at
+/// the most hostile instant of a write protocol.  They exist solely for
+/// the fork-based crash harness (tests/test_crash.cpp), which forks a
+/// child with such a plan and verifies the parent-side recovery
+/// guarantees:
+///
+///   CrashMidStore         ArtifactCache::store, after the temp file is
+///                         written but before the atomic rename
+///   CrashMidJournalRewrite CampaignJournal checkpoint, before the
+///                         whole-blob rewrite reaches the cache
+///
 /// Whether an operation faults is a *pure function* of (plan seed, site,
 /// operation key, attempt number) — no wall-clock, no global counters — so
 /// a fault schedule is reproducible across runs and independent of thread
@@ -47,9 +59,11 @@ enum class Site : uint8_t {
   CacheStore,
   TaskRun,
   ProfileDecode,
+  CrashMidStore,
+  CrashMidJournalRewrite,
 };
 
-constexpr size_t kNumSites = 4;
+constexpr size_t kNumSites = 6;
 
 /// Stable lowercase name of \p S ("cache-load", ...).
 const char *siteName(Site S);
@@ -99,6 +113,13 @@ public:
   /// ok when the operation should proceed; otherwise an injected Status
   /// carrying the site's error code, and bumps the site's counter.
   Status check(Site S, const std::string &Key, unsigned Attempt = 0) const;
+
+  /// Crashpoint hook: if the plan selects (\p S, \p Key), bumps the site
+  /// counter and kills the process with ::_exit(exitcode::CrashChild) —
+  /// no destructors, no stdio flush, exactly like a kill -9 landing at
+  /// this instruction.  Only meaningful for the CrashMid* sites; a plan
+  /// with Rate 0 there (the default) makes this a no-op.
+  void maybeCrash(Site S, const std::string &Key) const;
 
   /// How many injected faults fired at \p S so far.
   uint64_t injected(Site S) const {

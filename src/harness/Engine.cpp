@@ -6,6 +6,9 @@
 
 #include "harness/Engine.h"
 
+#include "support/ExitCodes.h"
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,18 +24,30 @@ std::string EngineOptions::defaultCacheDir() {
 }
 
 void EngineOptions::printUsage(const char *Prog, std::FILE *Out) {
-  std::fprintf(Out,
-               "usage: %s [--jobs N] [--cache-dir DIR] [--no-cache] "
-               "[--journal NAME]\n"
-               "  --jobs N        worker threads for the experiment matrix "
-               "(default: hardware threads)\n"
-               "  --cache-dir DIR artifact cache location (default: "
-               "$DMP_CACHE_DIR or .dmp-cache)\n"
-               "  --no-cache      recompute everything; do not read or "
-               "write the artifact cache\n"
-               "  --journal NAME  checkpoint completed cells under campaign "
-               "NAME and resume them on rerun\n",
-               Prog);
+  std::fprintf(
+      Out,
+      "usage: %s [--jobs N] [--cache-dir DIR] [--no-cache] "
+      "[--journal NAME]\n"
+      "          [--deadline SEC] [--cell-instr-budget N] "
+      "[--cache-budget BYTES] [--limit-benches N]\n"
+      "  --jobs N             worker threads for the experiment matrix "
+      "(default: hardware threads)\n"
+      "  --cache-dir DIR      artifact cache location (default: "
+      "$DMP_CACHE_DIR or .dmp-cache)\n"
+      "  --no-cache           recompute everything; do not read or "
+      "write the artifact cache\n"
+      "  --journal NAME       checkpoint completed cells under campaign "
+      "NAME and resume them on rerun\n"
+      "  --deadline SEC       stop launching cells after SEC seconds; "
+      "unfinished cells render as gaps\n"
+      "  --cell-instr-budget N abort any cell still simulating after N "
+      "retired instructions (ResourceExhausted)\n"
+      "  --cache-budget BYTES evict oldest cache blobs down to BYTES "
+      "after the run (journals are kept)\n"
+      "  --limit-benches N    run only the first N suite benchmarks\n"
+      "exit codes: 0 ok, 1 failure, 2 usage, 130 interrupted "
+      "(checkpoint flushed; rerun with --journal to resume)\n",
+      Prog);
 }
 
 namespace {
@@ -55,25 +70,34 @@ const char *flagValue(const char *Flag, int &I, int Argc, char **Argv) {
 
 EngineOptions EngineOptions::parseOrExit(int Argc, char **Argv) {
   EngineOptions Opts;
+  auto UsageError = [&](const char *Fmt, const char *What) {
+    std::fprintf(stderr, Fmt, What);
+    printUsage(Argv[0], stderr);
+    std::exit(exitcode::Usage);
+  };
+  auto ParseU64 = [&](const char *Flag, const char *V, uint64_t Min,
+                      uint64_t Max) -> uint64_t {
+    char *End = nullptr;
+    const unsigned long long N = std::strtoull(V, &End, 10);
+    if (End == V || *End != '\0' || N < Min || N > Max) {
+      std::fprintf(stderr, "error: invalid %s value '%s'\n", Flag, V);
+      printUsage(Argv[0], stderr);
+      std::exit(exitcode::Usage);
+    }
+    return N;
+  };
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
       printUsage(Argv[0], stdout);
-      std::exit(0);
+      std::exit(exitcode::Ok);
     }
     if (std::strcmp(Arg, "--no-cache") == 0) {
       Opts.UseCache = false;
       continue;
     }
     if (const char *V = flagValue("--jobs", I, Argc, Argv)) {
-      char *End = nullptr;
-      const unsigned long N = std::strtoul(V, &End, 10);
-      if (End == V || *End != '\0' || N == 0 || N > 1024) {
-        std::fprintf(stderr, "error: invalid --jobs value '%s'\n", V);
-        printUsage(Argv[0], stderr);
-        std::exit(1);
-      }
-      Opts.Jobs = static_cast<unsigned>(N);
+      Opts.Jobs = static_cast<unsigned>(ParseU64("--jobs", V, 1, 1024));
       continue;
     }
     if (const char *V = flagValue("--cache-dir", I, Argc, Argv)) {
@@ -84,9 +108,29 @@ EngineOptions EngineOptions::parseOrExit(int Argc, char **Argv) {
       Opts.Journal = V;
       continue;
     }
-    std::fprintf(stderr, "error: unknown option '%s'\n", Arg);
-    printUsage(Argv[0], stderr);
-    std::exit(1);
+    if (const char *V = flagValue("--deadline", I, Argc, Argv)) {
+      char *End = nullptr;
+      const double Sec = std::strtod(V, &End);
+      if (End == V || *End != '\0' || !(Sec > 0.0))
+        UsageError("error: invalid --deadline value '%s'\n", V);
+      Opts.DeadlineSeconds = Sec;
+      continue;
+    }
+    if (const char *V = flagValue("--cell-instr-budget", I, Argc, Argv)) {
+      Opts.CellInstrBudget =
+          ParseU64("--cell-instr-budget", V, 1, ~0ULL);
+      continue;
+    }
+    if (const char *V = flagValue("--cache-budget", I, Argc, Argv)) {
+      Opts.CacheBudgetBytes = ParseU64("--cache-budget", V, 0, ~0ULL);
+      continue;
+    }
+    if (const char *V = flagValue("--limit-benches", I, Argc, Argv)) {
+      Opts.LimitBenches =
+          static_cast<size_t>(ParseU64("--limit-benches", V, 1, 1 << 20));
+      continue;
+    }
+    UsageError("error: unknown option '%s'\n", Arg);
   }
   return Opts;
 }
@@ -120,7 +164,20 @@ ExperimentEngine::ExperimentEngine(ExperimentOptions Options,
                                    const EngineOptions &Engine)
     : Options(std::move(Options)), Pool(Engine.Jobs),
       CellRetries(Engine.CellRetries), JournalName(Engine.Journal),
+      Drain(Engine.DrainToken ? Engine.DrainToken : &guard::processToken()),
+      CacheBudgetBytes(Engine.CacheBudgetBytes),
       Faults(this->Options.Faults) {
+  if (Engine.CellInstrBudget)
+    this->Options.Sim.WatchdogInstrBudget = Engine.CellInstrBudget;
+  // The deadline is a hard stop: its trip is also visible to the
+  // simulator inner loop, so a cell that is mid-flight when the clock
+  // runs out aborts at its next poll instead of running to completion.
+  this->Options.Sim.Cancel = &DeadlineToken;
+  if (Engine.DeadlineSeconds > 0.0)
+    Watchdog = std::make_unique<guard::DeadlineWatchdog>(
+        guard::Deadline(Engine.DeadlineSeconds), DeadlineToken);
+  if (const char *Env = std::getenv("DMP_TEST_RAISE_SIGINT_AFTER_CELLS"))
+    RaiseSigintAfterCells = std::strtoull(Env, nullptr, 10);
   if (Engine.UseCache && !this->Options.Cache)
     this->Options.Cache =
         std::make_shared<serialize::ArtifactCache>(Engine.CacheDir);
@@ -128,6 +185,35 @@ ExperimentEngine::ExperimentEngine(ExperimentOptions Options,
     this->Options.Cache.reset();
   if (this->Options.Cache && Faults)
     this->Options.Cache->setFaultInjector(Faults.get());
+}
+
+Status ExperimentEngine::cancelStatus() const {
+  if (Drain && Drain->cancelled())
+    return Drain->status();
+  return DeadlineToken.status();
+}
+
+Status ExperimentEngine::flushJournals() {
+  std::lock_guard<std::mutex> Lock(JournalsMutex);
+  Status First;
+  for (auto &[Name, Journal] : Journals) {
+    const Status S = Journal->flush();
+    if (!S.ok() && First.ok())
+      First = S;
+  }
+  return First;
+}
+
+uint64_t ExperimentEngine::evictCacheToBudget() {
+  if (!Options.Cache || CacheBudgetBytes == 0)
+    return 0;
+  std::vector<serialize::Digest> Protect;
+  {
+    std::lock_guard<std::mutex> Lock(JournalsMutex);
+    for (const auto &[Name, Journal] : Journals)
+      Protect.push_back(Journal->key());
+  }
+  return Options.Cache->evictToBudget(CacheBudgetBytes, Protect);
 }
 
 CampaignJournal *
@@ -172,8 +258,24 @@ RNG ExperimentEngine::cellRng(const workloads::BenchmarkSpec &Spec,
 }
 
 void ExperimentEngine::noteComputed() {
+  bool Raise = false;
+  {
+    std::lock_guard<std::mutex> Lock(CampaignMutex);
+    ++Campaign.CellsComputed;
+    if (RaiseSigintAfterCells &&
+        Campaign.CellsComputed >= RaiseSigintAfterCells &&
+        !SigintRaised.exchange(true))
+      Raise = true;
+  }
+  // Deterministic-interrupt test hook: deliver the real signal so the
+  // whole handler -> token -> drain -> exit-130 path is exercised.
+  if (Raise)
+    std::raise(SIGINT);
+}
+
+void ExperimentEngine::noteCancelled() {
   std::lock_guard<std::mutex> Lock(CampaignMutex);
-  ++Campaign.CellsComputed;
+  ++Campaign.CellsCancelled;
 }
 
 void ExperimentEngine::noteRetry() {
@@ -201,28 +303,36 @@ CampaignCounters ExperimentEngine::campaign() const {
 
 std::string ExperimentEngine::statsLine() const {
   const CampaignCounters Counters = campaign();
-  char Line[512];
+  char Line[768];
   if (const serialize::ArtifactCache *C = Options.Cache.get()) {
     std::snprintf(
         Line, sizeof(Line),
         "jobs=%u cache=%s hits=%llu misses=%llu stores=%llu corrupt=%llu "
-        "store-failures=%llu retries=%llu failed-cells=%llu resumed=%llu",
+        "store-failures=%llu orphans-reaped=%llu evicted=%llu "
+        "lock-contention=%llu retries=%llu failed-cells=%llu "
+        "cancelled=%llu resumed=%llu",
         Pool.threadCount(), C->dir().c_str(),
         static_cast<unsigned long long>(C->hits()),
         static_cast<unsigned long long>(C->misses()),
         static_cast<unsigned long long>(C->stores()),
         static_cast<unsigned long long>(C->corruptDeletes()),
         static_cast<unsigned long long>(C->failedStores()),
+        static_cast<unsigned long long>(C->orphansReaped()),
+        static_cast<unsigned long long>(C->evictions()),
+        static_cast<unsigned long long>(C->lockContention()),
         static_cast<unsigned long long>(Counters.TransientRetries),
         static_cast<unsigned long long>(Counters.CellsFailed),
+        static_cast<unsigned long long>(Counters.CellsCancelled),
         static_cast<unsigned long long>(Counters.CellsResumed));
   } else {
     std::snprintf(
         Line, sizeof(Line),
-        "jobs=%u cache=off retries=%llu failed-cells=%llu resumed=%llu",
+        "jobs=%u cache=off retries=%llu failed-cells=%llu cancelled=%llu "
+        "resumed=%llu",
         Pool.threadCount(),
         static_cast<unsigned long long>(Counters.TransientRetries),
         static_cast<unsigned long long>(Counters.CellsFailed),
+        static_cast<unsigned long long>(Counters.CellsCancelled),
         static_cast<unsigned long long>(Counters.CellsResumed));
   }
   return Line;
@@ -237,4 +347,29 @@ std::string ExperimentEngine::failureLines() const {
     Out += '\n';
   }
   return Out;
+}
+
+std::vector<workloads::BenchmarkSpec>
+harness::limitSuite(const std::vector<workloads::BenchmarkSpec> &Suite,
+                    const EngineOptions &Engine) {
+  if (Engine.LimitBenches == 0 || Engine.LimitBenches >= Suite.size())
+    return Suite;
+  return {Suite.begin(),
+          Suite.begin() + static_cast<ptrdiff_t>(Engine.LimitBenches)};
+}
+
+int harness::finishDriver(ExperimentEngine &Engine) {
+  // Make the checkpoint durable before reporting: everything the partial
+  // report shows as done must be resumable.
+  Engine.flushJournals();
+  Engine.evictCacheToBudget();
+  std::fprintf(stderr, "[engine] %s\n", Engine.statsLine().c_str());
+  std::fprintf(stderr, "%s", Engine.failureLines().c_str());
+  if (guard::interrupted()) {
+    std::fprintf(stderr,
+                 "[guard] interrupted: results above are partial; rerun "
+                 "with --journal to resume completed cells\n");
+    return exitcode::Interrupted;
+  }
+  return exitcode::Ok;
 }

@@ -29,8 +29,19 @@
 /// completed cells are checkpointed through the artifact cache and an
 /// interrupted campaign resumes them instead of recomputing.
 ///
+/// Shutdown and deadlines (DESIGN.md "Shutdown, deadlines, and crash
+/// recovery"): the engine drains on guard::processToken() — after a SIGINT
+/// no new cell starts, in-flight cells finish, drained cells hold a
+/// Cancelled Status with origin "guard" and are counted as CellsCancelled
+/// (not failures).  --deadline arms a wall-clock watchdog whose trip also
+/// aborts in-flight simulations (SimConfig::Cancel); --cell-instr-budget
+/// arms the deterministic per-cell instruction watchdog
+/// (SimConfig::WatchdogInstrBudget), so a runaway cell yields
+/// ResourceExhausted — a "--" gap, identically for any --jobs value.
+///
 /// EngineOptions carries the shared bench-driver command line:
-/// --jobs N, --cache-dir DIR, --no-cache, --journal NAME.
+/// --jobs N, --cache-dir DIR, --no-cache, --journal NAME, --deadline SEC,
+/// --cell-instr-budget N, --cache-budget BYTES, --limit-benches N.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,10 +51,13 @@
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
 #include "fault/Fault.h"
+#include "guard/Guard.h"
 #include "harness/Experiment.h"
 #include "harness/Journal.h"
 #include "support/RNG.h"
 #include "support/Status.h"
+
+#include <atomic>
 
 #include <functional>
 #include <map>
@@ -63,14 +77,33 @@ struct EngineOptions {
   /// When non-empty, campaigns named <Journal>/<matrix> checkpoint
   /// completed cells through the cache and resume on rerun.
   std::string Journal;
+  /// Wall-clock budget for the whole campaign in seconds; 0 = none.  At
+  /// expiry no new cell starts and in-flight simulations abort at their
+  /// next cancel poll; drained cells render as "--" gaps.
+  double DeadlineSeconds = 0.0;
+  /// Per-cell retired-instruction watchdog (SimConfig::WatchdogInstrBudget);
+  /// 0 = none.  Deterministic across --jobs values.
+  uint64_t CellInstrBudget = 0;
+  /// Cache size budget in bytes; 0 = unbounded.  After the campaign,
+  /// blobs are evicted oldest-first down to this budget, never touching
+  /// the live campaign journals.
+  uint64_t CacheBudgetBytes = 0;
+  /// Truncate the benchmark suite to its first N entries (0 = all); for
+  /// fast CLI-level tests and smoke runs, surfaced as --limit-benches.
+  size_t LimitBenches = 0;
+  /// The token the engine drains on; null means guard::processToken()
+  /// (the SIGINT/SIGTERM token).  Tests point this at their own token to
+  /// exercise draining without delivering signals.
+  const guard::CancelToken *DrainToken = nullptr;
 
   /// $DMP_CACHE_DIR, or ".dmp-cache" under the working directory.
   static std::string defaultCacheDir();
 
   /// Parses the shared driver flags (--jobs N, --cache-dir DIR, --no-cache,
-  /// --journal NAME, --help).  Prints usage and exits on --help or on any
-  /// unknown/invalid argument, so drivers reject stray flags instead of
-  /// ignoring them.
+  /// --journal NAME, --deadline SEC, --cell-instr-budget N, --cache-budget
+  /// BYTES, --limit-benches N, --help).  Prints usage and exits with
+  /// exitcode::Usage on any unknown/invalid argument, so drivers reject
+  /// stray flags instead of ignoring them.
   static EngineOptions parseOrExit(int Argc, char **Argv);
 
   static void printUsage(const char *Prog, std::FILE *Out);
@@ -109,6 +142,10 @@ struct CampaignCounters {
   uint64_t CellsComputed = 0; ///< Cells whose function ran to success.
   uint64_t CellsFailed = 0;   ///< Cells that ended with a non-ok Status.
   uint64_t CellsResumed = 0;  ///< Cells restored from a campaign journal.
+  /// Cells shed by a drain (signal) or deadline — origin "guard" Statuses.
+  /// Kept apart from CellsFailed: a cancelled cell is not a defect, and a
+  /// journaled rerun will compute it.
+  uint64_t CellsCancelled = 0;
   uint64_t TransientRetries = 0;
   /// One "<bench>/<config>: <status>" line per failed cell, in the order
   /// failures were recorded (scheduling-dependent; sort for comparisons).
@@ -206,15 +243,22 @@ public:
         SlotOf.push_back({B, C});
       }
     }
-    const std::vector<Status> Statuses = Graph.runAll(Pool);
-    // Cells cancelled because a pipeline stage failed never wrote their
-    // slot; surface the cancellation (or the stage's own failure) there.
+    const std::vector<Status> Statuses =
+        Graph.runAll(Pool, [this] { return cancelStatus(); });
+    // Cells cancelled because a pipeline stage failed (or because the
+    // campaign is draining) never wrote their slot; surface the
+    // cancellation (or the stage's own failure) there.  Drain/deadline
+    // cancellations carry origin "guard" and are accounted separately —
+    // they are shed work, not defects.
     for (size_t I = 0; I < CellTasks.size(); ++I) {
       const Status &S = Statuses[CellTasks[I]];
       if (!S.ok()) {
         const auto [B, C] = SlotOf[I];
         Results[B][C] = S;
-        noteFailure(Specs[B].Name, C, S);
+        if (S.origin() == "guard")
+          noteCancelled();
+        else
+          noteFailure(Specs[B].Name, C, S);
       }
     }
     return Results;
@@ -249,7 +293,9 @@ public:
   CampaignCounters campaign() const;
 
   /// "jobs=N cache=DIR hits=H misses=M stores=S corrupt=C store-failures=F
-  /// retries=R failed-cells=X resumed=Y" for driver footers.
+  /// orphans-reaped=O evicted=E lock-contention=L retries=R failed-cells=X
+  /// cancelled=Z resumed=Y" for driver footers (cache fields omitted with
+  /// cache=off).
   std::string statsLine() const;
 
   /// "" when no cell failed, else one indented line per failure for
@@ -258,6 +304,24 @@ public:
 
   /// The deterministic RNG stream of cell (\p Spec, \p Config).
   static RNG cellRng(const workloads::BenchmarkSpec &Spec, size_t Config);
+
+  /// Ok while the campaign should keep launching cells; otherwise the
+  /// drain token's or deadline's Status (origin "guard").
+  Status cancelStatus() const;
+
+  /// True once the drain token or deadline tripped.
+  bool draining() const { return !cancelStatus().ok(); }
+
+  /// Rewrites every live campaign journal's checkpoint now; drivers call
+  /// this on the shutdown path so the final on-disk state reflects every
+  /// completed cell before the partial report prints.  Returns the first
+  /// non-ok store outcome, if any.
+  Status flushJournals();
+
+  /// Runs the cache eviction pass when --cache-budget was given,
+  /// protecting every live journal blob.  Returns blobs evicted (0 when
+  /// unbudgeted, cache off, or under budget).
+  uint64_t evictCacheToBudget();
 
 private:
   template <typename R>
@@ -269,6 +333,13 @@ private:
         std::string(Spec.Name) + "/" + std::to_string(C);
     const unsigned MaxAttempts = CellRetries + 1;
     for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+      // Drain check per attempt: a retry loop must not outlive the
+      // campaign's shutdown either.
+      if (Status Drain = cancelStatus(); !Drain.ok()) {
+        Slot = std::move(Drain);
+        noteCancelled();
+        return;
+      }
       Status Failure;
       try {
         if (Faults) {
@@ -294,6 +365,14 @@ private:
         Failure = Status::invariant("cell threw a non-std exception",
                                     "harness::ExperimentEngine");
       }
+      if (Failure.origin() == "guard") {
+        // The cell aborted because the campaign is draining or hit its
+        // deadline mid-simulation: shed work, never retried, never a
+        // failure line.
+        Slot = std::move(Failure);
+        noteCancelled();
+        return;
+      }
       if (Failure.code() == ErrorCode::Transient &&
           Attempt + 1 < MaxAttempts) {
         noteRetry();
@@ -308,6 +387,7 @@ private:
   void noteComputed();
   void noteRetry();
   void noteResumed();
+  void noteCancelled();
   void noteFailure(const std::string &Bench, size_t Config,
                    const Status &S);
 
@@ -315,6 +395,19 @@ private:
   exec::ThreadPool Pool;
   unsigned CellRetries;
   std::string JournalName;
+  /// Deadline state: an engine-owned token tripped by the wall-clock
+  /// watchdog (also wired into Options.Sim.Cancel so in-flight simulations
+  /// abort), plus the external drain token (process SIGINT token unless a
+  /// test overrides it).
+  guard::CancelToken DeadlineToken;
+  std::unique_ptr<guard::DeadlineWatchdog> Watchdog;
+  const guard::CancelToken *Drain = nullptr;
+  uint64_t CacheBudgetBytes = 0;
+  /// Test hook ($DMP_TEST_RAISE_SIGINT_AFTER_CELLS): raise SIGINT once
+  /// after this many computed cells, so CLI tests can interrupt a campaign
+  /// at a deterministic point.  0 = off.
+  uint64_t RaiseSigintAfterCells = 0;
+  std::atomic<bool> SigintRaised{false};
   std::shared_ptr<const fault::Injector> Faults;
   std::mutex ContextsMutex;
   std::map<std::string, std::unique_ptr<BenchContext>> Contexts;
@@ -323,6 +416,21 @@ private:
   mutable std::mutex CampaignMutex;
   CampaignCounters Campaign;
 };
+
+/// The first \p Engine.LimitBenches entries of \p Suite (all of it when
+/// the limit is 0): the --limit-benches view every engine driver applies
+/// to its suite.
+std::vector<workloads::BenchmarkSpec>
+limitSuite(const std::vector<workloads::BenchmarkSpec> &Suite,
+           const EngineOptions &Engine);
+
+/// The shared engine-driver epilogue: flushes campaign journals, runs the
+/// cache eviction pass, prints the "[engine] ..." stats footer and any
+/// failure lines to stderr, and returns the driver's exit code —
+/// exitcode::Interrupted (with a resume hint) after a SIGINT/SIGTERM
+/// drain, exitcode::Ok otherwise.  Call it as the driver's `return`
+/// statement.
+int finishDriver(ExperimentEngine &Engine);
 
 } // namespace dmp::harness
 

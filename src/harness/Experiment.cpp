@@ -43,8 +43,11 @@ void hashSimConfig(serialize::Hasher &H, const sim::SimConfig &C) {
         uint64_t(C.Memory.MemoryLatency), uint64_t(C.EnableDmp),
         uint64_t(C.NumPredicateRegs), uint64_t(C.NumCfmRegisters),
         uint64_t(C.MaxDpredInstrs), uint64_t(C.MaxLoopDpredIters), C.MaxInstrs,
-        uint64_t(C.InjectFault)})
+        uint64_t(C.InjectFault), C.WatchdogInstrBudget})
     H.updateU64(V);
+  // C.Cancel is deliberately NOT hashed: cancellation is an execution-time
+  // concern, not part of the simulated machine, and a token pointer would
+  // make keys unstable run to run.
 }
 
 void hashSelectionConfig(serialize::Hasher &H,

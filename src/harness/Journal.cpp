@@ -9,6 +9,8 @@
 #include "serialize/ByteStream.h"
 #include "serialize/ProfileIO.h"
 
+#include <cstdio>
+
 using namespace dmp;
 using namespace dmp::harness;
 
@@ -50,27 +52,48 @@ CampaignJournal::CampaignJournal(
       Key(journalKey(Name, ParamsKey, Benchmarks, Configs)) {
   if (!this->Cache)
     return;
+  // Any failure from here on is a cold start, never a propagated error:
+  // the journal is an accelerator, and a damaged checkpoint must not be
+  // able to kill the campaign it was supposed to protect.  Corrupt blobs
+  // get one warning line so the operator knows resume data was lost.
+  auto ColdStart = [this](const std::string &Why) {
+    LoadStatus = Status::corrupt(Why, "harness::CampaignJournal");
+    std::fprintf(stderr,
+                 "[journal] corrupt checkpoint (%s): cold start\n",
+                 Why.c_str());
+  };
   const StatusOr<std::vector<uint8_t>> Blob = this->Cache->load(Key);
-  if (!Blob.ok())
-    return; // no checkpoint yet (or unreadable: start fresh)
-  serialize::ByteReader R(*Blob);
-  if (R.readU32() != kJournalMagic || R.readU32() != kJournalVersion)
+  if (!Blob.ok()) {
+    if (Blob.status().code() == ErrorCode::Corrupt)
+      ColdStart(Blob.status().message());
+    else
+      LoadStatus = Blob.status(); // NotFound/Transient: fresh, no drama
     return;
+  }
+  serialize::ByteReader R(*Blob);
+  if (R.readU32() != kJournalMagic || R.readU32() != kJournalVersion) {
+    ColdStart("bad journal magic/version");
+    return;
+  }
   const uint64_t Count = R.readU64();
   std::map<std::pair<uint32_t, uint32_t>, std::vector<uint8_t>> Loaded;
   for (uint64_t I = 0; I < Count && R.ok(); ++I) {
     const uint32_t B = R.readU32();
     const uint32_t C = R.readU32();
     const uint64_t Size = R.readU64();
-    if (Size > R.remaining())
-      return; // truncated checkpoint: resume nothing rather than garbage
+    if (Size > R.remaining()) {
+      ColdStart("truncated journal payload");
+      return;
+    }
     std::vector<uint8_t> Payload(Size);
     for (uint8_t &Byte : Payload)
       Byte = R.readU8();
     Loaded.emplace(std::make_pair(B, C), std::move(Payload));
   }
-  if (!R.ok() || !R.atEnd())
+  if (!R.ok() || !R.atEnd()) {
+    ColdStart("journal record stream damaged");
     return;
+  }
   Cells = std::move(Loaded);
 }
 
@@ -103,9 +126,32 @@ Status CampaignJournal::lastCheckpointStatus() const {
   return LastCheckpoint;
 }
 
+Status CampaignJournal::loadStatus() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return LoadStatus;
+}
+
+Status CampaignJournal::flush() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  LastCheckpoint = checkpointLocked();
+  return LastCheckpoint;
+}
+
+void CampaignJournal::setFaultInjector(const fault::Injector *Injector) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Faults = Injector;
+}
+
 Status CampaignJournal::checkpointLocked() {
   if (!Cache)
     return Status();
+  // Crashpoint: die with the new record accumulated in memory but the
+  // whole-blob rewrite not yet issued — the on-disk checkpoint must still
+  // be the complete previous one.  The "#<count>" key suffix lets a plan
+  // with Rate < 1 pick deterministically *which* rewrite crashes.
+  if (Faults)
+    Faults->maybeCrash(fault::Site::CrashMidJournalRewrite,
+                       Key.hex() + "#" + std::to_string(Cells.size()));
   serialize::ByteWriter W;
   W.writeU32(kJournalMagic);
   W.writeU32(kJournalVersion);

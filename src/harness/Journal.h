@@ -19,7 +19,11 @@
 ///
 /// Checkpoint I/O failures are non-fatal — the campaign still completes,
 /// it just resumes less on the next run (lastCheckpointStatus() exposes
-/// the most recent store outcome for reports).
+/// the most recent store outcome for reports).  A corrupt checkpoint
+/// (truncated/garbage payload, torn only by forces outside the atomic
+/// store protocol) likewise degrades to a cold start with a one-line
+/// stderr warning — never a propagated decode error; loadStatus() reports
+/// what the constructor found.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -70,11 +74,32 @@ public:
   /// Outcome of the most recent checkpoint store (ok before the first).
   Status lastCheckpointStatus() const;
 
+  /// What the constructor's checkpoint load found: Ok (resumed or no
+  /// cache), NotFound (cold start, no prior checkpoint), or Corrupt (cold
+  /// start forced by a truncated/garbage blob — already warned on stderr).
+  Status loadStatus() const;
+
+  /// Rewrites the checkpoint now, even if no record() happened since the
+  /// last one.  Drivers call this from their shutdown path so an
+  /// interrupted campaign's final journal state is durable before the
+  /// partial report prints.  Returns the store outcome (also retained for
+  /// lastCheckpointStatus()).
+  Status flush();
+
+  /// Installs the crashpoint shim for the fork-based crash harness; the
+  /// injector must outlive the journal.  This is separate from the cache's
+  /// own injector so a test can crash the journal *rewrite decision*
+  /// (CrashMidJournalRewrite, keyed "<journal key>#<cell count>") rather
+  /// than the underlying blob store.
+  void setFaultInjector(const fault::Injector *Injector);
+
 private:
   Status checkpointLocked();
 
   std::shared_ptr<serialize::ArtifactCache> Cache;
   serialize::Digest Key;
+  const fault::Injector *Faults = nullptr;
+  Status LoadStatus;
 
   mutable std::mutex Mutex;
   /// (bench, config) -> encoded cell result; std::map for deterministic

@@ -8,9 +8,14 @@
 
 #include "serialize/ByteStream.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 using namespace dmp;
@@ -53,16 +58,196 @@ bool writeFile(const std::string &Path, const std::vector<uint8_t> &Data) {
   return Ok;
 }
 
+/// An orphaned temp file is anything our store() naming scheme produced:
+/// `<hex>.blob.tmp.<pid>.<n>`.  Matching on the ".tmp." infix keeps the
+/// sweep oblivious to pid/counter formats of past versions.
+bool isTempName(const std::string &Name) {
+  return Name.find(".tmp.") != std::string::npos;
+}
+
 } // namespace
 
 ArtifactCache::ArtifactCache(std::string Dir) : Root(std::move(Dir)) {}
+
+ArtifactCache::~ArtifactCache() {
+  std::lock_guard<std::mutex> Lock(LockMutex);
+  if (LockFd != -1)
+    ::close(LockFd); // drops any flock we still hold
+}
 
 std::string ArtifactCache::blobPath(const Digest &Key) const {
   const std::string Hex = Key.hex();
   return Root + "/" + Hex.substr(0, 2) + "/" + Hex + ".blob";
 }
 
+std::string ArtifactCache::lockPath() const { return Root + "/.lock"; }
+
+bool ArtifactCache::acquireShared() {
+  std::lock_guard<std::mutex> Lock(LockMutex);
+  if (LockFd == -1) {
+    std::error_code EC;
+    fs::create_directories(Root, EC);
+    LockFd = ::open(lockPath().c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (LockFd == -1)
+      return false; // advisory only: proceed unlocked
+  }
+  if (SharedHolders == 0) {
+    // May briefly block on another process's maintenance pass; routine
+    // traffic (shared vs shared) never blocks.
+    while (::flock(LockFd, LOCK_SH) == -1 && errno == EINTR) {
+    }
+  }
+  ++SharedHolders;
+  return true;
+}
+
+void ArtifactCache::releaseShared() {
+  std::lock_guard<std::mutex> Lock(LockMutex);
+  if (SharedHolders == 0)
+    return; // acquireShared failed for this caller
+  if (--SharedHolders == 0 && LockFd != -1)
+    ::flock(LockFd, LOCK_UN);
+}
+
+void ArtifactCache::sweepLocked() {
+  std::error_code EC;
+  fs::recursive_directory_iterator It(Root, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    const fs::path P = It->path();
+    if (!isTempName(P.filename().string()))
+      continue;
+    std::error_code Ignored;
+    if (fs::remove(P, Ignored) && !Ignored)
+      OrphansReaped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ArtifactCache::sweepNow() {
+  std::lock_guard<std::mutex> Lock(LockMutex);
+  if (SharedHolders > 0) {
+    // In-process traffic holds the shared lock; the sweep will get its
+    // chance on a later call.
+    LockContention.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (LockFd == -1) {
+    std::error_code EC;
+    fs::create_directories(Root, EC);
+    LockFd = ::open(lockPath().c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  }
+  if (LockFd != -1) {
+    if (::flock(LockFd, LOCK_EX | LOCK_NB) == -1) {
+      // Another process is using the cache; its writers are alive, so any
+      // temp files we would reap may be in flight.  Skip.
+      LockContention.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    sweepLocked();
+    SweepDone = true;
+    ::flock(LockFd, LOCK_UN);
+    return;
+  }
+  // No lock file at all (unwritable dir?): sweep best-effort anyway — the
+  // only files reaped are our own naming scheme's temps.
+  sweepLocked();
+  SweepDone = true;
+}
+
+void ArtifactCache::ensureSwept() {
+  {
+    std::lock_guard<std::mutex> Lock(LockMutex);
+    if (SweepDone)
+      return;
+  }
+  sweepNow();
+  // One attempt only: if the sweep was skipped on contention, another live
+  // process owns the cache and already ran its own sweep on open.  Marking
+  // done either way keeps the hot path to a single mutex-guarded check.
+  std::lock_guard<std::mutex> Lock(LockMutex);
+  SweepDone = true;
+}
+
+uint64_t ArtifactCache::evictToBudget(uint64_t BudgetBytes,
+                                      const std::vector<Digest> &Protect) {
+  std::lock_guard<std::mutex> Lock(LockMutex);
+  if (SharedHolders > 0) {
+    LockContention.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  if (LockFd == -1) {
+    std::error_code EC;
+    fs::create_directories(Root, EC);
+    LockFd = ::open(lockPath().c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  }
+  const bool Locked =
+      LockFd != -1 && ::flock(LockFd, LOCK_EX | LOCK_NB) == 0;
+  if (LockFd != -1 && !Locked) {
+    LockContention.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
+  struct BlobInfo {
+    std::string Path;
+    uint64_t Size;
+    fs::file_time_type MTime;
+  };
+  std::vector<BlobInfo> Blobs;
+  uint64_t TotalBytes = 0;
+  std::error_code EC;
+  fs::recursive_directory_iterator It(Root, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    const fs::path P = It->path();
+    if (P.extension() != ".blob")
+      continue;
+    std::error_code SEC, TEC;
+    const uint64_t Size = fs::file_size(P, SEC);
+    const auto MTime = fs::last_write_time(P, TEC);
+    if (SEC || TEC)
+      continue;
+    TotalBytes += Size;
+    Blobs.push_back({P.string(), Size, MTime});
+  }
+
+  uint64_t Evicted = 0;
+  if (TotalBytes > BudgetBytes) {
+    std::vector<std::string> Protected;
+    Protected.reserve(Protect.size());
+    for (const Digest &Key : Protect)
+      Protected.push_back(blobPath(Key));
+    // Oldest first; path tiebreak keeps the pass deterministic when mtimes
+    // collide (coarse filesystem timestamps).
+    std::sort(Blobs.begin(), Blobs.end(),
+              [](const BlobInfo &A, const BlobInfo &B) {
+                if (A.MTime != B.MTime)
+                  return A.MTime < B.MTime;
+                return A.Path < B.Path;
+              });
+    for (const BlobInfo &Blob : Blobs) {
+      if (TotalBytes <= BudgetBytes)
+        break;
+      if (std::find(Protected.begin(), Protected.end(), Blob.Path) !=
+          Protected.end())
+        continue;
+      std::error_code Ignored;
+      if (fs::remove(Blob.Path, Ignored) && !Ignored) {
+        TotalBytes -= Blob.Size;
+        ++Evicted;
+      }
+    }
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+  }
+
+  if (Locked)
+    ::flock(LockFd, LOCK_UN);
+  return Evicted;
+}
+
 StatusOr<std::vector<uint8_t>> ArtifactCache::load(const Digest &Key) {
+  ensureSwept();
   if (Faults) {
     Status Injected = Faults->check(fault::Site::CacheLoad, Key.hex());
     if (!Injected.ok()) {
@@ -71,13 +256,18 @@ StatusOr<std::vector<uint8_t>> ArtifactCache::load(const Digest &Key) {
     }
   }
 
+  const bool Locked = acquireShared();
   const std::string Path = blobPath(Key);
   std::vector<uint8_t> Blob;
   if (!readFile(Path, Blob)) {
+    if (Locked)
+      releaseShared();
     Misses.fetch_add(1, std::memory_order_relaxed);
     return Status::notFound("no blob for key " + Key.hex(),
                             "serialize::ArtifactCache");
   }
+  if (Locked)
+    releaseShared();
 
   auto Reject = [&](const char *Why) -> StatusOr<std::vector<uint8_t>> {
     std::error_code EC;
@@ -112,6 +302,7 @@ StatusOr<std::vector<uint8_t>> ArtifactCache::load(const Digest &Key) {
 
 Status ArtifactCache::store(const Digest &Key,
                             const std::vector<uint8_t> &Payload) {
+  ensureSwept();
   auto Fail = [&](std::string Why) {
     FailedStores.fetch_add(1, std::memory_order_relaxed);
     return Status::transient(std::move(Why) + " for key " + Key.hex(),
@@ -140,6 +331,7 @@ Status ArtifactCache::store(const Digest &Key,
   W.writeBytes(PayloadDigest.Bytes.data(), PayloadDigest.Bytes.size());
   W.writeBytes(Payload.data(), Payload.size());
 
+  const bool Locked = acquireShared();
   // Unique temp name per process/thread; rename is atomic on POSIX.
   const std::string Temp =
       Path + ".tmp." + std::to_string(::getpid()) + "." +
@@ -147,14 +339,24 @@ Status ArtifactCache::store(const Digest &Key,
   if (!writeFile(Temp, W.bytes())) {
     std::error_code Ignored;
     fs::remove(Temp, Ignored);
+    if (Locked)
+      releaseShared();
     return Fail("cannot write temp blob");
   }
+  // The crash harness's most hostile instant: temp written, rename not yet
+  // issued.  A death here must leave only an orphan for the sweep.
+  if (Faults)
+    Faults->maybeCrash(fault::Site::CrashMidStore, Key.hex());
   fs::rename(Temp, Path, EC);
   if (EC) {
     std::error_code Ignored;
     fs::remove(Temp, Ignored);
+    if (Locked)
+      releaseShared();
     return Fail("cannot rename temp blob");
   }
+  if (Locked)
+    releaseShared();
   Stores.fetch_add(1, std::memory_order_relaxed);
   return Status();
 }

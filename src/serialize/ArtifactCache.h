@@ -16,7 +16,20 @@
 /// Stores are atomic (temp file + rename), and the cache is safe for
 /// concurrent use from many threads and many processes: two writers of the
 /// same key write identical content, so whoever renames last wins
-/// harmlessly.
+/// harmlessly.  An advisory `.lock` file in the cache root coordinates the
+/// maintenance passes with concurrent processes: routine load/store traffic
+/// holds a shared flock, while the recovery sweep and the eviction pass
+/// need it exclusively and *skip* (counting lockContention()) rather than
+/// block when another process is active.
+///
+/// Crash consistency (see DESIGN.md "Shutdown, deadlines, and crash
+/// recovery"): a process killed between writing a temp file and the rename
+/// leaves an orphan `*.tmp.*` file but never a torn blob.  The first cache
+/// open in a later process runs a recovery sweep that reaps such orphans
+/// (counted in orphansReaped()); blobs themselves are always either absent
+/// or complete.  evictToBudget() bounds total blob bytes (`--cache-budget`)
+/// by deleting oldest-first, never touching keys the caller protects (the
+/// live campaign-journal blob).
 ///
 /// Failure semantics (see DESIGN.md "Failure semantics"): load() reports a
 /// miss as NotFound, a rejected blob as Corrupt (the blob is deleted so a
@@ -25,7 +38,8 @@
 /// refusals as Transient and counts them in failedStores().  The cache is
 /// an accelerator: every failure is survivable by recomputing, so callers
 /// must treat any non-ok Status as "proceed uncached".  An optional
-/// fault::Injector shims all I/O for deterministic failure-path testing.
+/// fault::Injector shims all I/O for deterministic failure-path testing,
+/// and hosts the CrashMidStore crashpoint used by tests/test_crash.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +52,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,8 +61,11 @@ namespace dmp::serialize {
 /// On-disk blob store keyed by content digest.
 class ArtifactCache {
 public:
-  /// Opens (and lazily creates) the cache rooted at \p Dir.
+  /// Opens (and lazily creates) the cache rooted at \p Dir.  The recovery
+  /// sweep runs on the first load/store, not here, so constructing a cache
+  /// for a directory that is never touched costs nothing.
   explicit ArtifactCache(std::string Dir);
+  ~ArtifactCache();
 
   /// Loads the payload stored under \p Key.  Non-ok codes: NotFound on
   /// miss, Corrupt when the blob failed validation (it is deleted so the
@@ -58,6 +76,24 @@ public:
   /// filesystem (or the fault shim) refuses; the experiment still
   /// proceeds, just uncached.
   Status store(const Digest &Key, const std::vector<uint8_t> &Payload);
+
+  /// Runs the orphan-reaping recovery sweep now (it otherwise runs lazily
+  /// before the first I/O): every `*.tmp.*` file under the cache root —
+  /// debris of a process that died between temp write and rename — is
+  /// deleted and counted in orphansReaped().  Requires the exclusive
+  /// advisory lock; if another process holds the cache, the sweep is
+  /// skipped (lockContention() bumped) and retried on the next call.
+  /// Idempotent and safe to call at any time.
+  void sweepNow();
+
+  /// Deletes blobs oldest-first (by mtime, ties broken by path) until the
+  /// total blob bytes fit \p BudgetBytes.  Keys in \p Protect — the live
+  /// campaign-journal blobs — are never evicted, even if the budget cannot
+  /// be met without them.  Needs the exclusive advisory lock; skips
+  /// (counting lockContention()) when contended.  Returns the number of
+  /// blobs evicted (also accumulated in evictions()).
+  uint64_t evictToBudget(uint64_t BudgetBytes,
+                         const std::vector<Digest> &Protect = {});
 
   const std::string &dir() const { return Root; }
 
@@ -79,17 +115,51 @@ public:
   uint64_t failedStores() const {
     return FailedStores.load(std::memory_order_relaxed);
   }
+  /// Orphaned temp files reaped by the recovery sweep.
+  uint64_t orphansReaped() const {
+    return OrphansReaped.load(std::memory_order_relaxed);
+  }
+  /// Blobs deleted by evictToBudget().
+  uint64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  /// Maintenance passes skipped because another process held the cache.
+  uint64_t lockContention() const {
+    return LockContention.load(std::memory_order_relaxed);
+  }
 
 private:
   std::string blobPath(const Digest &Key) const;
+  std::string lockPath() const;
+  /// Lazily opens the `.lock` fd and takes the shared (reader/writer)
+  /// flock; refcounted in-process.  Returns false when the lock file
+  /// cannot even be created (cache proceeds unlocked — advisory only).
+  bool acquireShared();
+  void releaseShared();
+  /// Ensures the one-time recovery sweep ran (or was skipped on
+  /// contention; a skip leaves it pending for the next I/O).
+  void ensureSwept();
+  void sweepLocked();
 
   std::string Root;
   const fault::Injector *Faults = nullptr;
+
+  // Advisory-lock state.  LockFd is the `.lock` file descriptor; the
+  // shared flock is held while SharedHolders > 0 so the exclusive
+  // maintenance passes (here or in another process) wait for quiescence.
+  std::mutex LockMutex;
+  int LockFd = -1;
+  unsigned SharedHolders = 0;
+  bool SweepDone = false;
+
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Stores{0};
   std::atomic<uint64_t> CorruptDeletes{0};
   std::atomic<uint64_t> FailedStores{0};
+  std::atomic<uint64_t> OrphansReaped{0};
+  std::atomic<uint64_t> Evictions{0};
+  std::atomic<uint64_t> LockContention{0};
   std::atomic<uint64_t> TempCounter{0};
 };
 

@@ -465,6 +465,22 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
   profile::DynInstr D;
 
   while (Emu.executedCount() < Config.MaxInstrs && Emu.step(D)) {
+    // Guard checks first, so a runaway or cancelled cell aborts at a point
+    // that depends only on the retired-instruction count — deterministic
+    // for the watchdog across any --jobs value, and never a hang for
+    // either.  The abort is a StatusError; TaskGraph::runAll turns it into
+    // the cell's Status and reports render the cell as a "--" gap.
+    if (Config.WatchdogInstrBudget &&
+        Emu.executedCount() > Config.WatchdogInstrBudget)
+      throw StatusError(Status::resourceExhausted(
+          "simulation exceeded watchdog budget of " +
+              std::to_string(Config.WatchdogInstrBudget) + " instructions",
+          "sim::DmpCore"));
+    if (Config.Cancel && (Emu.executedCount() % kCancelPollInstrs) == 0) {
+      const Status S = Config.Cancel->check("sim::DmpCore");
+      if (!S.ok())
+        throw StatusError(S);
+    }
     // Retired-store probe: the store has executed, so the value written is
     // exactly what memory now holds at the effective address.  Only
     // correct-path (retired) instructions pass through this loop — the

@@ -24,6 +24,7 @@
 #ifndef DMP_SIM_SIMCONFIG_H
 #define DMP_SIM_SIMCONFIG_H
 
+#include "guard/Guard.h"
 #include "ir/Opcode.h"
 #include "uarch/BranchPredictor.h"
 #include "uarch/Cache.h"
@@ -32,6 +33,11 @@
 #include <string>
 
 namespace dmp::sim {
+
+/// How often (in retired instructions) the inner loop polls
+/// SimConfig::Cancel.  Coarse enough to be free, fine enough that a
+/// cancelled cell dies within a few microseconds of work.
+constexpr uint64_t kCancelPollInstrs = 4096;
 
 /// Full machine configuration.
 struct SimConfig {
@@ -77,6 +83,22 @@ struct SimConfig {
 
   /// Dynamic instruction budget of one simulation run.
   uint64_t MaxInstrs = 2'000'000;
+
+  /// Runaway-cell watchdog: when non-zero, a run that is still executing
+  /// after this many retired instructions *aborts* with ResourceExhausted
+  /// (StatusError) instead of stopping cleanly the way MaxInstrs does.
+  /// MaxInstrs bounds how much of the workload a cell measures; the
+  /// watchdog bounds how wrong a misconfigured cell can go.  Counted in
+  /// retired instructions, so exhaustion is deterministic across thread
+  /// counts and hosts.  0 disables.
+  uint64_t WatchdogInstrBudget = 0;
+
+  /// Cooperative cancellation for the inner loop: when set, the run polls
+  /// the token every kCancelPollInstrs retired instructions and aborts
+  /// with the token's Status (StatusError).  Not part of the simulated
+  /// machine, so excluded from cache-key hashing (hashSimConfig).  The
+  /// token must outlive the run.
+  const guard::CancelToken *Cancel = nullptr;
 
   /// Deliberate retired-state corruption for differential-oracle canary
   /// tests (dmp::check): 0 = none, 1 = drop the first retired store from

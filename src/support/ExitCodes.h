@@ -1,0 +1,44 @@
+//===- support/ExitCodes.h - Standard tool exit codes -----------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process exit codes every CLI tool in this repo uses (dmpc, fuzz_dmp,
+/// and the bench drivers), so scripts and CI can distinguish "the run
+/// failed" from "you typed the command wrong" from "the run was interrupted
+/// but left a resumable checkpoint".  See DESIGN.md "Shutdown, deadlines,
+/// and crash recovery".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_EXITCODES_H
+#define DMP_SUPPORT_EXITCODES_H
+
+namespace dmp::exitcode {
+
+/// Everything the tool was asked to do succeeded.
+inline constexpr int Ok = 0;
+
+/// The tool ran but the work failed (oracle divergence, failed cells the
+/// caller asked to treat as fatal, unwritable output, ...).
+inline constexpr int Failure = 1;
+
+/// The command line was malformed: unknown flag, bad value, missing
+/// operand.  Nothing was run.
+inline constexpr int Usage = 2;
+
+/// The run was interrupted by SIGINT/SIGTERM after draining in-flight work
+/// and flushing a campaign-journal checkpoint; rerunning with --journal
+/// resumes it.  128 + SIGINT, the conventional interrupted-by-signal code.
+inline constexpr int Interrupted = 130;
+
+/// The exit code crashpoint-harness children die with (mimicking SIGKILL's
+/// 128 + 9), so tests/test_crash.cpp can tell an injected crash from an
+/// ordinary failure.
+inline constexpr int CrashChild = 137;
+
+} // namespace dmp::exitcode
+
+#endif // DMP_SUPPORT_EXITCODES_H

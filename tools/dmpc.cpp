@@ -49,9 +49,11 @@
 #include "core/AnnotationIO.h"
 #include "core/SimpleSelectors.h"
 #include "exec/TaskGraph.h"
+#include "guard/Guard.h"
 #include "harness/Engine.h"
 #include "ir/Printer.h"
 #include "profile/TwoDProfile.h"
+#include "support/ExitCodes.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
@@ -231,16 +233,17 @@ core::DivergeMap runSelection(harness::BenchContext &Bench,
     return core::selectIfElse(PA, Prof, Bench.options().Selection);
 
   std::fprintf(stderr, "error: unknown algorithm '%s'\n", Opts.Algo.c_str());
-  std::exit(1);
+  std::exit(exitcode::Usage);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     usage();
-    return 1;
+    return exitcode::Usage;
   }
 
   const workloads::BenchmarkSpec *Spec = nullptr;
@@ -250,7 +253,7 @@ int main(int Argc, char **Argv) {
   if (!Spec) {
     std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
                  Opts.Benchmark.c_str());
-    return 1;
+    return exitcode::Usage;
   }
 
   harness::ExperimentOptions Options;
@@ -297,6 +300,14 @@ int main(int Argc, char **Argv) {
       std::printf("%s\n", cfg::exportFunctionDot(*F, DotOpts).c_str());
   }
 
+  // Phase boundaries double as interrupt points: a first SIGINT lets the
+  // current phase finish, then we stop cleanly with the distinct exit code
+  // instead of starting the (expensive) oracle or simulation phases.
+  if (guard::interrupted()) {
+    std::fprintf(stderr, "[guard] interrupted: skipping remaining phases\n");
+    return exitcode::Interrupted;
+  }
+
   if (Opts.Verify) {
     check::OracleOptions OracleOpts;
     OracleOpts.MaxInstrs = Opts.SimInstrs;
@@ -311,10 +322,15 @@ int main(int Argc, char **Argv) {
     if (!Report.ok()) {
       std::fprintf(stderr, "%s", Report.summary().c_str());
       std::fprintf(stderr, "verify: %s FAILED\n", Opts.Benchmark.c_str());
-      return 1;
+      return exitcode::Failure;
     }
     std::printf("verify: %s ok (all legs match the reference emulator)\n",
                 Opts.Benchmark.c_str());
+  }
+
+  if (guard::interrupted()) {
+    std::fprintf(stderr, "[guard] interrupted: skipping remaining phases\n");
+    return exitcode::Interrupted;
   }
 
   if (Opts.Simulate) {
@@ -344,11 +360,15 @@ int main(int Argc, char **Argv) {
   if (const serialize::ArtifactCache *Cache = Options.Cache.get())
     std::fprintf(stderr,
                  "[cache] hits=%llu misses=%llu stores=%llu corrupt=%llu "
-                 "store-failures=%llu\n",
+                 "store-failures=%llu orphans-reaped=%llu evicted=%llu "
+                 "lock-contention=%llu\n",
                  static_cast<unsigned long long>(Cache->hits()),
                  static_cast<unsigned long long>(Cache->misses()),
                  static_cast<unsigned long long>(Cache->stores()),
                  static_cast<unsigned long long>(Cache->corruptDeletes()),
-                 static_cast<unsigned long long>(Cache->failedStores()));
-  return 0;
+                 static_cast<unsigned long long>(Cache->failedStores()),
+                 static_cast<unsigned long long>(Cache->orphansReaped()),
+                 static_cast<unsigned long long>(Cache->evictions()),
+                 static_cast<unsigned long long>(Cache->lockContention()));
+  return guard::interrupted() ? exitcode::Interrupted : exitcode::Ok;
 }

@@ -36,9 +36,16 @@
 //   --selfcheck-determinism
 //                        run the batch twice (1 thread vs all threads) and
 //                        fail unless the result digests match
+//   --time-budget=SEC    stop *launching* new seeds once SEC wall-clock
+//                        seconds have elapsed; in-flight seeds finish and
+//                        the digest covers completed seeds only, with the
+//                        covered seed count reported (never a silent
+//                        truncation)
 //
-// Exit status: 0 when every seed passed (or, under --expect-divergence,
-// when every seed failed); 1 otherwise; 2 on usage errors.
+// Exit status (support/ExitCodes.h): 0 when every completed seed passed
+// (or, under --expect-divergence, when every completed seed failed);
+// 1 otherwise; 2 on usage errors; 130 when interrupted by SIGINT/SIGTERM
+// (the report above it covers the seeds that completed).
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,12 +55,15 @@
 #include "check/Reduce.h"
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
+#include "guard/Guard.h"
 #include "serialize/Hash.h"
 #include "serialize/ProfileIO.h"
+#include "support/ExitCodes.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,6 +83,7 @@ struct CliOptions {
   std::string DumpDir;
   bool PrintDigest = false;
   bool SelfcheckDeterminism = false;
+  double TimeBudgetSeconds = 0; ///< 0 = unbounded.
 };
 
 void usage() {
@@ -80,7 +91,7 @@ void usage() {
                "usage: fuzz_dmp [--seeds=N] [--start-seed=N] [--jobs=N] "
                "[--max-instrs=N] [--fault=0|1|2] [--expect-divergence] "
                "[--keep-going] [--reduce] [--dump-dir=DIR] [--digest] "
-               "[--selfcheck-determinism]\n");
+               "[--selfcheck-determinism] [--time-budget=SEC]\n");
 }
 
 bool parseU64(const char *V, uint64_t &Out) {
@@ -125,6 +136,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.PrintDigest = true;
     } else if (Arg == "--selfcheck-determinism") {
       Opts.SelfcheckDeterminism = true;
+    } else if (Arg.rfind("--time-budget=", 0) == 0) {
+      char *End = nullptr;
+      const double Sec = std::strtod(Arg.c_str() + 14, &End);
+      if (End == Arg.c_str() + 14 || *End != '\0' || Sec <= 0)
+        return false;
+      Opts.TimeBudgetSeconds = Sec;
     } else {
       std::fprintf(stderr, "fuzz_dmp: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -137,6 +154,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
 /// jobs-independent result digest.
 struct SeedResult {
   uint64_t Seed = 0;
+  /// False when the seed was never run — drained by the time budget or a
+  /// shutdown signal.  Skipped seeds are excluded from the digests and
+  /// failure counts, and reported explicitly in the coverage line.
+  bool Ran = true;
   bool Ok = false;
   std::string Summary; ///< Error lines; empty when Ok.
   /// Per-leg serialized SimStats, so the digest also pins the timing
@@ -172,11 +193,16 @@ SeedResult runSeed(uint64_t Seed, const CliOptions &Opts) {
   return R;
 }
 
-/// Digest over all results, in seed order — independent of scheduling.
+/// Digest over all completed results, in seed order — independent of
+/// scheduling.  Skipped (never-run) seeds contribute nothing, so a
+/// time-budgeted sweep's digest is exactly the digest of the seeds it
+/// covered — and identical to an unbudgeted run's when nothing is skipped.
 serialize::Digest resultsDigest(const std::vector<SeedResult> &Results) {
   serialize::Hasher H;
   H.update(std::string("fuzz-dmp-results"));
   for (const SeedResult &R : Results) {
+    if (!R.Ran)
+      continue;
     H.updateU64(R.Seed);
     H.updateU64(R.Ok ? 1 : 0);
     H.update(R.Summary);
@@ -186,7 +212,8 @@ serialize::Digest resultsDigest(const std::vector<SeedResult> &Results) {
   return H.finish();
 }
 
-std::vector<SeedResult> runBatch(const CliOptions &Opts, unsigned Jobs) {
+std::vector<SeedResult> runBatch(const CliOptions &Opts, unsigned Jobs,
+                                 const guard::CancelToken *Budget) {
   std::vector<SeedResult> Results(Opts.Seeds);
   exec::ThreadPool Pool(Jobs);
   exec::TaskGraph Graph;
@@ -194,15 +221,29 @@ std::vector<SeedResult> runBatch(const CliOptions &Opts, unsigned Jobs) {
     Graph.add([I, &Opts, &Results] {
       Results[I] = runSeed(Opts.StartSeed + I, Opts);
     });
+  // Graceful drain only: the check gates seed *launches*; a seed already
+  // inside the oracle runs to completion (its legs are never aborted, so
+  // every completed result is the same bytes a full run would produce).
+  const std::vector<Status> Statuses =
+      Graph.runAll(Pool, [Budget]() -> Status {
+        if (Status S = guard::processToken().status(); !S.ok())
+          return S;
+        return Budget ? Budget->status() : Status();
+      });
   // Run-to-completion: a seed whose harness itself blows up becomes a
   // failed seed with the Status text, instead of aborting the batch.
-  const std::vector<Status> Statuses = Graph.runAll(Pool);
+  // Guard-origin statuses are drains, not failures: the seed never ran.
   for (uint64_t I = 0; I < Opts.Seeds; ++I)
     if (!Statuses[I].ok()) {
       Results[I].Seed = Opts.StartSeed + I;
       Results[I].Ok = false;
-      Results[I].Summary = "harness: " + Statuses[I].toString() + "\n";
       Results[I].LegStats.clear();
+      if (Statuses[I].origin() == "guard") {
+        Results[I].Ran = false;
+        Results[I].Summary.clear();
+      } else {
+        Results[I].Summary = "harness: " + Statuses[I].toString() + "\n";
+      }
     }
   return Results;
 }
@@ -219,7 +260,7 @@ serialize::Digest failureDigest(const std::vector<SeedResult> &Results) {
   serialize::Hasher H;
   H.update(std::string("fuzz-dmp-failures"));
   for (const SeedResult &R : Results) {
-    if (R.Ok)
+    if (!R.Ran || R.Ok)
       continue;
     H.updateU64(R.Seed);
     H.update(R.Summary);
@@ -267,15 +308,28 @@ void reduceAndReport(uint64_t Seed, const CliOptions &Opts) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     usage();
-    return 2;
+    return exitcode::Usage;
+  }
+
+  // The time budget spans the whole invocation (both selfcheck batches
+  // included): once it expires, no batch launches further seeds.
+  guard::CancelToken BudgetToken;
+  std::unique_ptr<guard::DeadlineWatchdog> Watchdog;
+  const guard::CancelToken *Budget = nullptr;
+  if (Opts.TimeBudgetSeconds > 0) {
+    Watchdog = std::make_unique<guard::DeadlineWatchdog>(
+        guard::Deadline(Opts.TimeBudgetSeconds), BudgetToken,
+        ErrorCode::ResourceExhausted, "time budget exhausted");
+    Budget = &BudgetToken;
   }
 
   if (Opts.SelfcheckDeterminism) {
-    const std::vector<SeedResult> Serial = runBatch(Opts, 1);
-    const std::vector<SeedResult> Parallel = runBatch(Opts, Opts.Jobs);
+    const std::vector<SeedResult> Serial = runBatch(Opts, 1, Budget);
+    const std::vector<SeedResult> Parallel = runBatch(Opts, Opts.Jobs, Budget);
     const serialize::Digest A = resultsDigest(Serial);
     const serialize::Digest B = resultsDigest(Parallel);
     std::printf("determinism selfcheck: jobs=1 %s, jobs=%u %s\n",
@@ -283,20 +337,26 @@ int main(int Argc, char **Argv) {
     if (A != B) {
       std::fprintf(stderr,
                    "fuzz_dmp: result digest depends on thread count\n");
-      return 1;
+      return exitcode::Failure;
     }
   }
 
-  const std::vector<SeedResult> Results = runBatch(Opts, Opts.Jobs);
+  const std::vector<SeedResult> Results = runBatch(Opts, Opts.Jobs, Budget);
 
+  uint64_t Completed = 0;
   uint64_t Failures = 0;
   const SeedResult *FirstFailure = nullptr;
-  for (const SeedResult &R : Results)
+  for (const SeedResult &R : Results) {
+    if (!R.Ran)
+      continue;
+    ++Completed;
     if (!R.Ok) {
       ++Failures;
       if (!FirstFailure)
         FirstFailure = &R;
     }
+  }
+  const uint64_t Skipped = Opts.Seeds - Completed;
 
   std::printf("fuzz_dmp: %llu seeds starting at %llu, %llu failed "
               "(fault=%u, jobs=%u)\n",
@@ -304,6 +364,31 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(Opts.StartSeed),
               static_cast<unsigned long long>(Failures), Opts.Fault,
               Opts.Jobs);
+  // Coverage is always reported when a budget was set (and whenever seeds
+  // were skipped), so a truncated sweep can never pass as a full one.
+  if (Opts.TimeBudgetSeconds > 0 || Skipped > 0) {
+    uint64_t Lo = 0, Hi = 0;
+    bool Any = false;
+    for (const SeedResult &R : Results)
+      if (R.Ran) {
+        if (!Any)
+          Lo = R.Seed;
+        Hi = R.Seed;
+        Any = true;
+      }
+    if (Any)
+      std::printf("coverage: %llu of %llu seeds completed, %llu skipped; "
+                  "covered seeds %llu..%llu\n",
+                  static_cast<unsigned long long>(Completed),
+                  static_cast<unsigned long long>(Opts.Seeds),
+                  static_cast<unsigned long long>(Skipped),
+                  static_cast<unsigned long long>(Lo),
+                  static_cast<unsigned long long>(Hi));
+    else
+      std::printf("coverage: 0 of %llu seeds completed, %llu skipped\n",
+                  static_cast<unsigned long long>(Opts.Seeds),
+                  static_cast<unsigned long long>(Skipped));
+  }
   if (Opts.PrintDigest)
     std::printf("digest: %s\n", resultsDigest(Results).hex().c_str());
   if (Opts.KeepGoing && Failures > 0) {
@@ -325,15 +410,21 @@ int main(int Argc, char **Argv) {
       reduceAndReport(FirstFailure->Seed, Opts);
   }
 
+  if (guard::interrupted()) {
+    std::fprintf(stderr,
+                 "[guard] interrupted: results above cover completed seeds "
+                 "only\n");
+    return exitcode::Interrupted;
+  }
   if (Opts.ExpectDivergence) {
-    if (Failures == Opts.Seeds)
-      return 0;
+    if (Completed > 0 && Failures == Completed)
+      return exitcode::Ok;
     std::fprintf(stderr,
                  "fuzz_dmp: expected every seed to diverge, but %llu of "
-                 "%llu passed\n",
-                 static_cast<unsigned long long>(Opts.Seeds - Failures),
-                 static_cast<unsigned long long>(Opts.Seeds));
-    return 1;
+                 "%llu completed seeds passed\n",
+                 static_cast<unsigned long long>(Completed - Failures),
+                 static_cast<unsigned long long>(Completed));
+    return exitcode::Failure;
   }
-  return Failures == 0 ? 0 : 1;
+  return Failures == 0 ? exitcode::Ok : exitcode::Failure;
 }
