@@ -3,8 +3,11 @@
 # build everything, and run the test suite.  By default only the tier1
 # label runs (fast unit/integration tests — the pre-commit gate); pass
 # --all to also run the slow redundancy checks and the fuzz campaign,
-# --crash to run only the fork-based crash-consistency matrix, and
-# --sanitize to build and test under ASan+UBSan (the sanitize preset).
+# --crash to run only the fork-based crash-consistency matrix,
+# --sanitize to build and test under ASan+UBSan (the sanitize preset),
+# --tsan to build and run the threaded-subsystem tests under TSan, and
+# --tidy to run clang-tidy over src/ and tools/ (skipped with a notice
+# when clang-tidy is not installed).
 # Exits non-zero on the first failure, so CI and pre-commit hooks can call
 # it directly.  See TESTING.md for the tier definitions.
 set -euo pipefail
@@ -13,24 +16,55 @@ cd "$(dirname "$0")/.."
 
 ALL=0
 CRASH=0
+TIDY=0
 PRESET=ci
 for arg in "$@"; do
   case "$arg" in
     --all) ALL=1 ;;
     --crash) CRASH=1 ;;
     --sanitize) PRESET=sanitize ;;
-    -h|--help) echo "usage: $0 [--all] [--crash] [--sanitize]"; exit 0 ;;
-    *) echo "usage: $0 [--all] [--crash] [--sanitize]" >&2; exit 2 ;;
+    --tsan) PRESET=tsan ;;
+    --tidy) TIDY=1 ;;
+    -h|--help) echo "usage: $0 [--all] [--crash] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--crash] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
   esac
 done
 
-cmake --preset "$PRESET"
+run_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh: clang-tidy not installed, skipping tidy step"
+    return 0
+  fi
+  # The compile database comes from the ci preset configure.
+  cmake --preset ci >/dev/null
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p build-ci --quiet
+}
+
+if [[ "$TIDY" -eq 1 ]]; then
+  run_tidy
+  exit 0
+fi
+
+cmake --preset "$PRESET" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build --preset "$PRESET" -j "$(nproc)"
 
-if [[ "$CRASH" -eq 1 ]]; then
+if [[ "$PRESET" == tsan ]]; then
+  # Only the threaded subsystems are interesting under TSan; the preset's
+  # name filter selects them.
+  ctest --preset tsan
+elif [[ "$CRASH" -eq 1 ]]; then
   ctest --preset "$PRESET" -L crash
 elif [[ "$ALL" -eq 1 ]]; then
   ctest --preset "$PRESET"
 else
   ctest --preset "$PRESET" -L tier1
+fi
+
+# CI path extras (the default tier1 gate): the static checker must report
+# zero error-severity diagnostics over every workload's selected
+# annotations, and tidy runs when available.
+if [[ "$PRESET" == ci && "$CRASH" -eq 0 ]]; then
+  ./build-ci/tools/dmp_lint --all --profile-instrs=800000
+  run_tidy
 fi

@@ -6,8 +6,8 @@
 
 #include "check/Oracle.h"
 
+#include "analyze/Analyze.h"
 #include "core/DivergeSelector.h"
-#include "ir/Verifier.h"
 #include "profile/Emulator.h"
 #include "profile/Profiler.h"
 #include "sim/Simulator.h"
@@ -210,7 +210,13 @@ OracleReport check::runOracle(const ir::Program &P,
                               const std::vector<int64_t> &Image,
                               const OracleOptions &Opts) {
   OracleReport Report;
-  ir::verifyProgram(P, Report.GenErrors);
+  // Fast pre-oracle: a structurally invalid program would surface as a
+  // confusing leg divergence; lint it into precise diagnostics instead.
+  analyze::DiagnosticSink LintSink;
+  analyze::lintProgram(P, &LintSink);
+  for (const analyze::Diagnostic &D : LintSink.diagnostics())
+    if (D.Sev == analyze::Severity::Error)
+      Report.GenErrors.push_back(D.renderText());
   if (!Report.GenErrors.empty())
     return Report; // Invalid program: nothing else is meaningful.
 

@@ -6,8 +6,8 @@
 
 #include "check/ProgramGen.h"
 
+#include "analyze/Analyze.h"
 #include "ir/IRBuilder.h"
-#include "ir/Verifier.h"
 #include "support/RNG.h"
 
 #include <cstdio>
@@ -305,7 +305,14 @@ GenProgram check::materialize(const GenRecipe &Recipe) {
   G.B.halt();
 
   P.finalize();
-  ir::verifyProgram(P, Out.VerifyErrors);
+  // IRLint as the generator's fast pre-oracle: error-severity findings
+  // only, so warnings never mark a seed invalid (and never perturb the
+  // fuzz campaign's result digest for clean programs).
+  analyze::DiagnosticSink Sink;
+  analyze::lintProgram(P, &Sink);
+  for (const analyze::Diagnostic &D : Sink.diagnostics())
+    if (D.Sev == analyze::Severity::Error)
+      Out.VerifyErrors.push_back(D.renderText());
 
   // Seed-derived input data.  Small signed values keep the accumulator
   // well-behaved; the low bits (which all branch conditions key on) are

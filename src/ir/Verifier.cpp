@@ -1,4 +1,4 @@
-//===- ir/Verifier.cpp - IR structural validation ----------------------------===//
+//===- ir/Verifier.cpp - IR structural validation (legacy shim) ---------===//
 //
 // Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
 //
@@ -6,8 +6,8 @@
 
 #include "ir/Verifier.h"
 
+#include "analyze/Analyze.h"
 #include "ir/Program.h"
-#include "support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,93 +15,13 @@
 using namespace dmp;
 using namespace dmp::ir;
 
-static void checkFunction(const Function &F, std::vector<std::string> &Errors) {
-  if (F.blockCount() == 0) {
-    Errors.push_back(formatString("function %s has no blocks",
-                                  F.getName().c_str()));
-    return;
-  }
-
-  for (const auto &Block : F.blocks()) {
-    if (Block->empty()) {
-      Errors.push_back(formatString("block %s in %s is empty",
-                                    Block->getName().c_str(),
-                                    F.getName().c_str()));
-      continue;
-    }
-    const auto &Insts = Block->instructions();
-    for (size_t I = 0; I < Insts.size(); ++I) {
-      const Instruction &Inst = Insts[I];
-      if (Inst.isTerminator() && I + 1 != Insts.size())
-        Errors.push_back(formatString("terminator mid-block in %s/%s",
-                                      F.getName().c_str(),
-                                      Block->getName().c_str()));
-      if (Inst.writesReg() && Inst.Dst == RegZero)
-        Errors.push_back(formatString("write to r0 in %s/%s",
-                                      F.getName().c_str(),
-                                      Block->getName().c_str()));
-      if ((Inst.Op == Opcode::CondBr || Inst.Op == Opcode::Jmp)) {
-        if (!Inst.Target)
-          Errors.push_back(formatString("branch without target in %s/%s",
-                                        F.getName().c_str(),
-                                        Block->getName().c_str()));
-        else if (Inst.Target->getParent() != &F)
-          Errors.push_back(formatString("cross-function branch in %s/%s",
-                                        F.getName().c_str(),
-                                        Block->getName().c_str()));
-      }
-      if (Inst.Op == Opcode::Call && !Inst.Callee)
-        Errors.push_back(formatString("call without callee in %s/%s",
-                                      F.getName().c_str(),
-                                      Block->getName().c_str()));
-    }
-  }
-
-  // No falling off the end of the function.
-  const BasicBlock &Last = *F.blocks().back();
-  const Instruction *Term = Last.getTerminator();
-  if (!Term || (Term->Op != Opcode::Ret && Term->Op != Opcode::Halt &&
-                Term->Op != Opcode::Jmp))
-    Errors.push_back(formatString(
-        "function %s may fall off its last block", F.getName().c_str()));
-}
-
 bool ir::verifyProgram(const Program &P, std::vector<std::string> &Errors) {
-  const size_t Before = Errors.size();
-
-  if (!P.isFinalized()) {
-    Errors.push_back("program is not finalized");
-    return false;
-  }
-  if (!P.getMain()) {
-    Errors.push_back("program has no main function");
-    return false;
-  }
-
-  for (const auto &F : P.functions())
-    checkFunction(*F, Errors);
-
-  // Address density and lookup-table consistency.
-  for (uint32_t Addr = 0; Addr < P.instrCount(); ++Addr) {
-    const Instruction &Inst = P.instrAt(Addr);
-    if (Inst.Addr != Addr)
-      Errors.push_back(formatString("address table skew at %u", Addr));
-    const BasicBlock *Block = P.blockAt(Addr);
-    if (Addr < Block->getStartAddr() ||
-        Addr >= Block->getStartAddr() + Block->instrCount())
-      Errors.push_back(formatString("block table skew at %u", Addr));
-  }
-
-  // A runnable program must be able to stop.
-  bool HasHalt = false;
-  for (const auto &Block : P.getMain()->blocks())
-    if (const Instruction *Term = Block->getTerminator())
-      if (Term->Op == Opcode::Halt)
-        HasHalt = true;
-  if (!HasHalt)
-    Errors.push_back("main has no halt instruction");
-
-  return Errors.size() == Before;
+  analyze::DiagnosticSink Sink;
+  analyze::lintProgram(P, &Sink);
+  for (const analyze::Diagnostic &D : Sink.diagnostics())
+    if (D.Sev == analyze::Severity::Error)
+      Errors.push_back(D.renderText());
+  return Sink.errorCount() == 0;
 }
 
 void ir::verifyProgramOrDie(const Program &P) {

@@ -1,13 +1,17 @@
-//===- ir/Verifier.h - IR structural validation -------------------*- C++ -*-===//
+//===- ir/Verifier.h - IR structural validation (legacy shim) -----*- C++ -*-===//
 //
 // Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Structural validation of programs: every workload generator output and
-/// every hand-built test program goes through verifyProgram before it may be
-/// profiled or simulated.
+/// DEPRECATED legacy entry points, kept as thin shims for one release.
+/// The structural checks live in the analyze:: static checker now
+/// (analyze/Analyze.h): call analyze::lintProgram for a Status-returning
+/// IR lint with structured diagnostics, or run the full
+/// AnalysisManager::standardPipeline() to also cross-check annotations and
+/// profiles.  New code must not call verifyProgramOrDie — it aborts the
+/// whole process, which is exactly wrong for fuzz-generated inputs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,25 +25,15 @@ namespace dmp::ir {
 
 class Program;
 
-/// Checks structural invariants of \p P and appends human-readable
-/// diagnostics to \p Errors.  Returns true when the program is well formed.
-///
-/// Checked invariants:
-///  - the program is finalized and has a main function;
-///  - every block is non-empty;
-///  - terminators appear only as the last instruction of a block;
-///  - the last block of a function ends in Ret, Halt, or Jmp (no falling off
-///    the end of a function);
-///  - main's last reachable terminator structure contains a Halt;
-///  - branch/jump targets are blocks of the same function;
-///  - calls reference functions of the same program, and no function ends
-///    without a terminating Ret/Halt;
-///  - no instruction writes r0;
-///  - addresses are dense and consistent with the flat lookup tables.
+/// DEPRECATED: shim over analyze::lintProgram.  Appends the rendered
+/// error-severity diagnostics to \p Errors and returns true when there are
+/// none.  Prefer analyze::lintProgram, which returns a dmp::Status and can
+/// surface the structured diagnostics (including warnings).
 bool verifyProgram(const Program &P, std::vector<std::string> &Errors);
 
-/// Convenience wrapper that aborts with the first error.  For tests and
-/// generators where a malformed program is a programming bug.
+/// DEPRECATED: aborts with rendered diagnostics on the first lint error.
+/// Only for tests/builders where a malformed program is a programming bug;
+/// everything else migrated to the Status-returning analyze entry points.
 void verifyProgramOrDie(const Program &P);
 
 } // namespace dmp::ir

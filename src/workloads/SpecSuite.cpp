@@ -6,7 +6,7 @@
 
 #include "workloads/SpecSuite.h"
 
-#include "ir/Verifier.h"
+#include "analyze/Analyze.h"
 #include "support/Compiler.h"
 #include "workloads/Patterns.h"
 
@@ -217,7 +217,13 @@ Workload workloads::buildBenchmark(const BenchmarkSpec &Spec) {
 
   B.endMain();
   W.Prog->finalize();
-  ir::verifyProgramOrDie(*W.Prog);
+  // A malformed generated workload is a builder bug, not an input error.
+  analyze::DiagnosticSink Sink;
+  if (!analyze::lintProgram(*W.Prog, &Sink).ok()) {
+    std::fprintf(stderr, "workload %s failed lint:\n%s",
+                 W.Prog->getName().c_str(), Sink.renderText().c_str());
+    std::abort();
+  }
 
   W.Slots = B.slots();
   W.MemoryWords = B.memoryWords();

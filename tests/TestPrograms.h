@@ -15,12 +15,25 @@
 #ifndef DMP_TESTS_TESTPROGRAMS_H
 #define DMP_TESTS_TESTPROGRAMS_H
 
+#include "analyze/Analyze.h"
 #include "ir/IRBuilder.h"
-#include "ir/Verifier.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 namespace dmp::test {
+
+/// Aborts with rendered diagnostics when \p P fails the IR lint: a broken
+/// builder is a bug in the test itself, not something to EXPECT around.
+inline void requireClean(const ir::Program &P) {
+  analyze::DiagnosticSink Sink;
+  if (analyze::lintProgram(P, &Sink).ok())
+    return;
+  std::fprintf(stderr, "test program %s failed lint:\n%s",
+               P.getName().c_str(), Sink.renderText().c_str());
+  std::abort();
+}
 
 /// Handles to interesting blocks of a built program.
 struct ProgramHandles {
@@ -78,7 +91,7 @@ inline ProgramHandles buildSimpleHammockLoop(unsigned BodyLen = 4,
   B.halt();
 
   H.Prog->finalize();
-  ir::verifyProgramOrDie(*H.Prog);
+  requireClean(*H.Prog);
   H.BranchBlock = Header;
   H.TakenSide = Taken;
   H.FallSide = Fall;
@@ -145,7 +158,7 @@ inline ProgramHandles buildFreqHammockLoop(unsigned RareLen = 60,
   B.halt();
 
   H.Prog->finalize();
-  ir::verifyProgramOrDie(*H.Prog);
+  requireClean(*H.Prog);
   H.BranchBlock = Header;
   H.TakenSide = Taken;
   H.FallSide = Fall;
@@ -192,7 +205,7 @@ inline ProgramHandles buildDataLoop(unsigned BodyLen = 4,
   B.halt();
 
   H.Prog->finalize();
-  ir::verifyProgramOrDie(*H.Prog);
+  requireClean(*H.Prog);
   H.BranchBlock = Loop;
   H.Merge = Post;
   H.BranchAddr = Loop->instructions().back().Addr;
@@ -241,7 +254,7 @@ inline ProgramHandles buildRetFuncLoop(unsigned Iters = 64) {
   B.ret();
 
   H.Prog->finalize();
-  ir::verifyProgramOrDie(*H.Prog);
+  requireClean(*H.Prog);
   H.BranchBlock = FEntry;
   H.TakenSide = FTaken;
   H.FallSide = FFall;

@@ -27,7 +27,7 @@ Emulator runProgram(std::unique_ptr<Program> &Hold, BuildFn Build,
   Build(B, F);
   B.halt();
   Hold->finalize();
-  verifyProgramOrDie(*Hold);
+  test::requireClean(*Hold);
   Emulator Emu(*Hold, Memory);
   DynInstr D;
   while (Emu.step(D)) {

@@ -4,7 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "ir/Verifier.h"
+#include "analyze/Analyze.h"
 #include "workloads/Patterns.h"
 #include "workloads/SpecSuite.h"
 #include "support/RNG.h"
@@ -31,8 +31,8 @@ TEST(SpecSuiteTest, HasSeventeenBenchmarks) {
 TEST(SpecSuiteTest, AllBenchmarksBuildAndVerify) {
   for (const BenchmarkSpec &Spec : specSuite()) {
     const Workload W = buildBenchmark(Spec);
-    std::vector<std::string> Errors;
-    EXPECT_TRUE(ir::verifyProgram(*W.Prog, Errors)) << Spec.Name;
+    const Status LintStatus = analyze::lintProgram(*W.Prog);
+    EXPECT_TRUE(LintStatus.ok()) << Spec.Name << ": " << LintStatus.toString();
     EXPECT_GT(W.Prog->instrCount(), 100u) << Spec.Name;
     EXPECT_FALSE(W.Slots.empty()) << Spec.Name;
     EXPECT_GT(W.MemoryWords, 0u) << Spec.Name;

@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestPrograms.h"
 #include "ir/IRBuilder.h"
-#include "ir/Verifier.h"
 #include "sim/WrongPathWalker.h"
 #include "uarch/BranchPredictor.h"
 
@@ -100,7 +100,7 @@ HammockProgram buildHammock() {
   B.halt();
 
   H.Prog->finalize();
-  verifyProgramOrDie(*H.Prog);
+  test::requireClean(*H.Prog);
   H.HeadAddr = Head->getStartAddr();
   H.BranchAddr = Head->instructions().back().Addr;
   H.FallAddr = Fall->getStartAddr();

@@ -1,0 +1,296 @@
+//===- tools/dmp_lint.cpp - Batch static checker CLI ---------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Batch front end for the analyze:: static checker: build one or more
+// synthetic workloads, profile them, run diverge-branch selection, and lint
+// the program + profile + annotations through the standard pass pipeline
+// (IRLint, AnnotationConsistency, CfmLegality, ProfileSanity).  With
+// --map=FILE the annotations are read from a serialized diverge map
+// instead of running selection, which is how externally produced (or
+// corrupted) annotation files are vetted before simulation.
+//
+// Usage:
+//   dmp_lint [benchmark...] [options]
+//
+// Options:
+//   --all                        lint every benchmark of the suite (the
+//                                default when no benchmark is named)
+//   --algo=<...>                 selection algorithm (dmpc's names;
+//                                default all)
+//   --profile-input=<run|train>  profiling input set (default run)
+//   --map=FILE                   lint FILE as the annotation set for the
+//                                (single) named benchmark; also checks the
+//                                serialized text for duplicate entries
+//   --format=<text|machine>      diagnostic rendering (default text;
+//                                machine is one tab-separated line per
+//                                diagnostic: code, severity, function,
+//                                block, addr, message)
+//   --profile-instrs=<n>         profiler instruction budget (default
+//                                4000000; lower for quick smoke lints)
+//   --max-instr=<n>              selection MAX_INSTR threshold (default 50)
+//   --min-merge-prob=<p>         selection MIN_MERGE_PROB (default 0.01)
+//   --werror                     exit non-zero on warnings too
+//
+// Exit codes (support/ExitCodes.h): 0 clean, 1 diagnostics at gating
+// severity, 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Analyze.h"
+#include "core/AnnotationIO.h"
+#include "core/SimpleSelectors.h"
+#include "harness/Experiment.h"
+#include "support/ExitCodes.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dmp;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> Benchmarks;
+  bool All = false;
+  std::string Algo = "all";
+  workloads::InputSetKind ProfileInput = workloads::InputSetKind::Run;
+  std::string MapFile;
+  bool MachineFormat = false;
+  uint64_t ProfileInstrs = 4'000'000;
+  unsigned MaxInstr = 50;
+  double MinMergeProb = 0.01;
+  bool WarningsAsErrors = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dmp_lint [benchmark...] [--all] [--algo=...] "
+               "[--profile-input=run|train] [--map=FILE] "
+               "[--format=text|machine] [--profile-instrs=N] "
+               "[--max-instr=N] [--min-merge-prob=P] [--werror]\n");
+}
+
+bool parseU64(const char *V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V, &End, 10);
+  return End != V && *End == '\0';
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    uint64_t U = 0;
+    if (Arg == "--all") {
+      Opts.All = true;
+    } else if (Arg.rfind("--algo=", 0) == 0) {
+      Opts.Algo = Arg.substr(7);
+    } else if (Arg.rfind("--profile-input=", 0) == 0) {
+      const std::string V = Arg.substr(16);
+      if (V == "train")
+        Opts.ProfileInput = workloads::InputSetKind::Train;
+      else if (V != "run") {
+        std::fprintf(stderr, "error: invalid --profile-input '%s'\n",
+                     V.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--map=", 0) == 0) {
+      Opts.MapFile = Arg.substr(6);
+      if (Opts.MapFile.empty()) {
+        std::fprintf(stderr, "error: empty --map value\n");
+        return false;
+      }
+    } else if (Arg.rfind("--format=", 0) == 0) {
+      const std::string V = Arg.substr(9);
+      if (V == "machine")
+        Opts.MachineFormat = true;
+      else if (V != "text") {
+        std::fprintf(stderr, "error: invalid --format '%s'\n", V.c_str());
+        return false;
+      }
+    } else if (Arg.rfind("--profile-instrs=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 17, U) || U == 0) {
+        std::fprintf(stderr, "error: invalid --profile-instrs value '%s'\n",
+                     Arg.c_str() + 17);
+        return false;
+      }
+      Opts.ProfileInstrs = U;
+    } else if (Arg.rfind("--max-instr=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 12, U) || U == 0 || U > 1'000'000) {
+        std::fprintf(stderr, "error: invalid --max-instr value '%s'\n",
+                     Arg.c_str() + 12);
+        return false;
+      }
+      Opts.MaxInstr = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--min-merge-prob=", 0) == 0) {
+      char *End = nullptr;
+      const double P = std::strtod(Arg.c_str() + 17, &End);
+      if (End == Arg.c_str() + 17 || *End != '\0' || P < 0.0 || P > 1.0) {
+        std::fprintf(stderr, "error: invalid --min-merge-prob value '%s'\n",
+                     Arg.c_str() + 17);
+        return false;
+      }
+      Opts.MinMergeProb = P;
+    } else if (Arg == "--werror") {
+      Opts.WarningsAsErrors = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.Benchmarks.push_back(Arg);
+    }
+  }
+  if (Opts.Benchmarks.empty())
+    Opts.All = true;
+  if (!Opts.MapFile.empty() && (Opts.All || Opts.Benchmarks.size() != 1)) {
+    std::fprintf(stderr,
+                 "error: --map requires exactly one named benchmark\n");
+    return false;
+  }
+  return true;
+}
+
+core::DivergeMap runSelection(harness::BenchContext &Bench,
+                              const CliOptions &Opts, bool &Ok) {
+  using core::SelectionFeatures;
+  Ok = true;
+  const auto Input = Opts.ProfileInput;
+  if (Opts.Algo == "exact")
+    return Bench.select(SelectionFeatures::exactOnly(), Input);
+  if (Opts.Algo == "freq")
+    return Bench.select(SelectionFeatures::exactFreq(), Input);
+  if (Opts.Algo == "short")
+    return Bench.select(SelectionFeatures::exactFreqShort(), Input);
+  if (Opts.Algo == "ret")
+    return Bench.select(SelectionFeatures::exactFreqShortRet(), Input);
+  if (Opts.Algo == "all")
+    return Bench.select(SelectionFeatures::allBestHeur(), Input);
+  if (Opts.Algo == "cost-long")
+    return Bench.select(SelectionFeatures::costLong(), Input);
+  if (Opts.Algo == "cost-edge")
+    return Bench.select(SelectionFeatures::costEdge(), Input);
+  if (Opts.Algo == "all-cost")
+    return Bench.select(SelectionFeatures::allBestCost(), Input);
+
+  const auto &PA = Bench.analysis();
+  const auto &Prof = Bench.profileData(Input);
+  if (Opts.Algo == "every-br")
+    return core::selectEveryBranch(PA, Prof);
+  if (Opts.Algo == "random-50")
+    return core::selectRandom50(PA, Prof);
+  if (Opts.Algo == "high-bp-5")
+    return core::selectHighBP(PA, Prof);
+  if (Opts.Algo == "immediate")
+    return core::selectImmediate(PA, Prof);
+  if (Opts.Algo == "if-else")
+    return core::selectIfElse(PA, Prof, Bench.options().Selection);
+
+  std::fprintf(stderr, "error: unknown algorithm '%s'\n", Opts.Algo.c_str());
+  Ok = false;
+  return core::DivergeMap();
+}
+
+/// Lints one benchmark; returns false when diagnostics gate (errors, or
+/// warnings under --werror).
+bool lintBenchmark(const workloads::BenchmarkSpec &Spec,
+                   const CliOptions &Opts, bool &UsageError) {
+  harness::ExperimentOptions Options;
+  Options.Profile.MaxInstrs = Opts.ProfileInstrs;
+  Options.Selection = Options.Selection.withMaxInstr(Opts.MaxInstr)
+                          .withMinMergeProb(Opts.MinMergeProb);
+  harness::BenchContext Bench(Spec, Options);
+
+  analyze::DiagnosticSink Sink;
+  core::DivergeMap Map;
+  if (!Opts.MapFile.empty()) {
+    std::ifstream In(Opts.MapFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read map file '%s'\n",
+                   Opts.MapFile.c_str());
+      UsageError = true;
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    const std::string Text = Buf.str();
+    // Duplicate entries only exist in the serialized text: the in-memory
+    // map collapses them at parse time.
+    analyze::lintDivergeMapText(Text, Sink);
+    const Status ParseStatus = core::parseDivergeMap(Text, Map);
+    if (!ParseStatus.ok()) {
+      std::fprintf(stderr, "%s: map parse failed: %s\n", Spec.Name,
+                   ParseStatus.toString().c_str());
+      return false;
+    }
+  } else {
+    bool AlgoOk = true;
+    Map = runSelection(Bench, Opts, AlgoOk);
+    if (!AlgoOk) {
+      UsageError = true;
+      return false;
+    }
+  }
+
+  analyze::AnalysisInput Input;
+  Input.P = Bench.workload().Prog.get();
+  Input.PA = &Bench.analysis();
+  Input.Profile = &Bench.profileData(Opts.ProfileInput).Edges;
+  Input.Annotations = &Map;
+  analyze::lintAll(Input, &Sink);
+
+  if (!Sink.empty())
+    std::fprintf(stderr, "%s",
+                 Opts.MachineFormat ? Sink.renderMachine().c_str()
+                                    : Sink.renderText().c_str());
+  std::printf("%-10s %zu annotations: %s\n", Spec.Name, Map.size(),
+              Sink.summaryLine().c_str());
+  if (Sink.errorCount() > 0)
+    return false;
+  if (Opts.WarningsAsErrors && Sink.warningCount() > 0)
+    return false;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return exitcode::Usage;
+  }
+
+  std::vector<const workloads::BenchmarkSpec *> Specs;
+  if (Opts.All) {
+    for (const auto &Spec : workloads::specSuite())
+      Specs.push_back(&Spec);
+  } else {
+    for (const std::string &Name : Opts.Benchmarks) {
+      const workloads::BenchmarkSpec *Found = nullptr;
+      for (const auto &Spec : workloads::specSuite())
+        if (Name == Spec.Name)
+          Found = &Spec;
+      if (Found == nullptr) {
+        std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+        return exitcode::Usage;
+      }
+      Specs.push_back(Found);
+    }
+  }
+
+  bool AllClean = true;
+  for (const workloads::BenchmarkSpec *Spec : Specs) {
+    bool UsageError = false;
+    if (!lintBenchmark(*Spec, Opts, UsageError)) {
+      if (UsageError)
+        return exitcode::Usage;
+      AllClean = false;
+    }
+  }
+  return AllClean ? exitcode::Ok : exitcode::Failure;
+}

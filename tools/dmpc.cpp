@@ -21,6 +21,12 @@
 //   --emit-map                    print the serialized diverge map
 //   --dump-program                print the program listing
 //   --simulate                    run baseline and DMP simulations
+//   --lint                        run the static checker (IR lint +
+//                                 annotation/CFM legality + profile sanity)
+//                                 over the selection and exit; non-zero on
+//                                 any error-severity diagnostic
+//   --no-lint                     skip the implicit lint gate that
+//                                 otherwise runs before --simulate/--verify
 //   --verify                      run the differential oracle (reference
 //                                 emulator vs baseline/DMP-selected/
 //                                 DMP-adversarial simulator legs) and exit
@@ -44,6 +50,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analyze/Analyze.h"
 #include "cfg/DotExport.h"
 #include "check/Oracle.h"
 #include "core/AnnotationIO.h"
@@ -76,6 +83,8 @@ struct CliOptions {
   bool DumpProgram = false;
   bool DumpDot = false;
   bool Simulate = false;
+  bool LintOnly = false;
+  bool LintGate = true;
   bool Verify = false;
   unsigned InjectFault = 0;
   uint64_t SimInstrs = 1'200'000;
@@ -88,7 +97,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: dmpc <benchmark> [--algo=...] [--profile-input=...] "
                "[--max-instr=N] [--min-merge-prob=P] [--2d-filter] "
-               "[--emit-map] [--dump-program] [--simulate] [--verify] "
+               "[--emit-map] [--dump-program] [--simulate] [--lint] "
+               "[--no-lint] [--verify] "
                "[--inject-fault=0|1|2] [--sim-instrs=N] "
                "[--jobs=N] [--cache-dir=DIR] [--no-cache] "
                "| --list\n");
@@ -174,6 +184,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpDot = true;
     } else if (Arg == "--simulate") {
       Opts.Simulate = true;
+    } else if (Arg == "--lint") {
+      Opts.LintOnly = true;
+    } else if (Arg == "--no-lint") {
+      Opts.LintGate = false;
     } else if (Arg == "--verify") {
       Opts.Verify = true;
     } else if (Arg.rfind("--inject-fault=", 0) == 0) {
@@ -298,6 +312,39 @@ int main(int Argc, char **Argv) {
     DotOpts.Diverge = &Map;
     for (const auto &F : Bench.workload().Prog->functions())
       std::printf("%s\n", cfg::exportFunctionDot(*F, DotOpts).c_str());
+  }
+
+  // Static checker: with --lint, check and exit; otherwise gate the
+  // expensive oracle/simulation phases on a clean lint (--no-lint skips).
+  if (Opts.LintOnly ||
+      (Opts.LintGate && (Opts.Simulate || Opts.Verify))) {
+    analyze::AnalysisInput LintInput;
+    LintInput.P = Bench.workload().Prog.get();
+    LintInput.PA = &Bench.analysis();
+    LintInput.Profile = &Bench.profileData(Opts.ProfileInput).Edges;
+    LintInput.Annotations = &Map;
+    analyze::DiagnosticSink Sink;
+    const Status LintStatus = analyze::lintAll(LintInput, &Sink);
+    // The implicit pre-simulation gate stays quiet unless something gates;
+    // --lint is the reporting mode and prints warnings too.
+    if (Opts.LintOnly) {
+      if (!Sink.empty())
+        std::fprintf(stderr, "%s", Sink.renderText().c_str());
+      std::printf("lint: %s %s\n", Opts.Benchmark.c_str(),
+                  Sink.summaryLine().c_str());
+      return LintStatus.ok() ? exitcode::Ok : exitcode::Failure;
+    }
+    if (!LintStatus.ok()) {
+      for (const analyze::Diagnostic &D : Sink.diagnostics())
+        if (D.Sev == analyze::Severity::Error)
+          std::fprintf(stderr, "%s\n", D.renderText().c_str());
+    }
+    if (!LintStatus.ok()) {
+      std::fprintf(stderr,
+                   "lint: refusing to simulate a selection with error "
+                   "diagnostics (use --no-lint to bypass)\n");
+      return exitcode::Failure;
+    }
   }
 
   // Phase boundaries double as interrupt points: a first SIGINT lets the

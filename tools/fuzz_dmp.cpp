@@ -279,10 +279,19 @@ bool writeFile(const std::string &Path, const std::string &Contents) {
 
 void reduceAndReport(uint64_t Seed, const CliOptions &Opts) {
   const check::OracleOptions OOpts = oracleOptions(Opts);
+  // When the original failure is an oracle divergence, candidates that
+  // fail the IR lint are rejected outright: shrinking into a structurally
+  // invalid program would "minimize" to a different bug.  Only when the
+  // original failure *is* a lint failure do lint-failing candidates count
+  // as reproducing it.
+  const bool OriginalLintFailed =
+      !check::materialize(check::randomRecipe(Seed)).VerifyErrors.empty();
   const auto StillFails = [&](const check::GenRecipe &Candidate) {
     const check::GenProgram G = check::materialize(Candidate);
     if (!G.VerifyErrors.empty())
-      return true;
+      return OriginalLintFailed;
+    if (OriginalLintFailed)
+      return false;
     const cfg::ProgramAnalysis PA(*G.Prog);
     return !check::runOracle(*G.Prog, PA, G.Image, OOpts).ok();
   };
