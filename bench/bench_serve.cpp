@@ -1,0 +1,239 @@
+//===- bench/bench_serve.cpp - Campaign-service perf snapshot ------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Smoke-benchmarks the dmp::serve stack end to end — a live daemon loop,
+// forked cell workers, and a real `dmpc --remote`-style client on this
+// process's side of the Unix socket — and writes the repo's first
+// machine-readable perf snapshot, BENCH_serve.json:
+//
+//   * warm-cache campaign throughput (cells/sec across repeated campaigns
+//     whose artifacts all hit the shared cache), and
+//   * client-observed campaign latency percentiles (submit -> fetch,
+//     including the status polling a real client does), plus raw ping RTT
+//     percentiles for the protocol floor.
+//
+// The snapshot also records the campaign digest so a perf-motivated serve
+// change that silently alters results shows up in the diff of this file.
+//
+// Shares the engine driver flags (--jobs caps the worker count, --cache-dir
+// / --no-cache pick the artifact store, --limit-benches trims the suite).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guard/Guard.h"
+#include "harness/CellRun.h"
+#include "harness/Engine.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "serve/WorkerPool.h"
+#include "support/ExitCodes.h"
+#include "support/StringUtils.h"
+#include "workloads/SpecSuite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace dmp;
+using namespace dmp::serve;
+
+namespace {
+
+constexpr unsigned kWarmCampaigns = 1;
+constexpr unsigned kMeasuredCampaigns = 24;
+constexpr unsigned kPings = 200;
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// Nearest-rank percentile over an unsorted sample (sorts a copy).
+double percentile(std::vector<double> Sample, double P) {
+  if (Sample.empty())
+    return 0.0;
+  std::sort(Sample.begin(), Sample.end());
+  const size_t Rank = std::min(
+      Sample.size() - 1,
+      static_cast<size_t>(P / 100.0 * static_cast<double>(Sample.size())));
+  return Sample[Rank];
+}
+
+/// The benchmarked campaign: one small cell per suite benchmark, sized like
+/// the serve test cells so the whole snapshot stays smoke-fast.
+SubmitRequest campaignRequest(size_t LimitBenches) {
+  SubmitRequest Req;
+  for (const workloads::BenchmarkSpec &B : workloads::specSuite()) {
+    harness::CellSpec Spec;
+    Spec.Benchmark = B.Name;
+    Spec.SimInstrs = 100'000;
+    Spec.ProfileInstrs = 400'000;
+    Req.Cells.push_back(std::move(Spec));
+    if (LimitBenches != 0 && Req.Cells.size() >= LimitBenches)
+      break;
+  }
+  return Req;
+}
+
+/// Digest over the whole fetched campaign (order is the submit order, so
+/// this is deterministic).
+std::string campaignDigest(const FetchReplyData &Reply) {
+  serialize::Hasher H;
+  for (const StatusOr<harness::CellResult> &Cell : Reply.Cells) {
+    if (!Cell.ok())
+      return "FAILED: " + Cell.status().toString();
+    const std::vector<uint8_t> Blob = harness::encodeCellResult(*Cell);
+    H.update(Blob.data(), Blob.size());
+  }
+  return H.finish().hex();
+}
+
+void emitJson(std::FILE *Out, unsigned Workers, size_t Cells,
+              unsigned Campaigns, double CellsPerSec,
+              const std::vector<double> &CampaignMs,
+              const std::vector<double> &PingUs, const std::string &Digest) {
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"bench\": \"serve\",\n");
+  std::fprintf(Out, "  \"workers\": %u,\n", Workers);
+  std::fprintf(Out, "  \"cells_per_campaign\": %zu,\n", Cells);
+  std::fprintf(Out, "  \"warm_campaigns\": %u,\n", kWarmCampaigns);
+  std::fprintf(Out, "  \"measured_campaigns\": %u,\n", Campaigns);
+  std::fprintf(Out, "  \"throughput_cells_per_sec\": %.1f,\n", CellsPerSec);
+  std::fprintf(Out, "  \"campaign_latency_ms\": "
+                    "{\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f},\n",
+               percentile(CampaignMs, 50), percentile(CampaignMs, 90),
+               percentile(CampaignMs, 99));
+  std::fprintf(Out, "  \"ping_rtt_us\": "
+                    "{\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f},\n",
+               percentile(PingUs, 50), percentile(PingUs, 90),
+               percentile(PingUs, 99));
+  std::fprintf(Out, "  \"campaign_digest\": \"%s\"\n", Digest.c_str());
+  std::fprintf(Out, "}\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  guard::installSignalHandlers();
+  const harness::EngineOptions EngineOpts =
+      harness::EngineOptions::parseOrExit(Argc, Argv);
+
+  // Fork the workers while this process is still single-threaded, then run
+  // the server loop on a thread and benchmark from the client side.
+  WorkerPoolOptions PoolOpts;
+  PoolOpts.Workers = std::clamp(EngineOpts.Jobs, 1u, 8u);
+  PoolOpts.CacheDir = EngineOpts.CacheDir;
+  PoolOpts.UseCache = EngineOpts.UseCache;
+  WorkerPool Pool(PoolOpts);
+
+  ServerOptions SrvOpts;
+  SrvOpts.SocketPath = formatString("%s/bench-serve.%d.sock",
+                                    std::filesystem::temp_directory_path()
+                                        .string()
+                                        .c_str(),
+                                    static_cast<int>(::getpid()));
+  guard::CancelToken Drain;
+  Server Srv(SrvOpts, Pool, &Drain);
+  if (Status S = Srv.listen(); !S.ok()) {
+    std::fprintf(stderr, "bench_serve: %s\n", S.toString().c_str());
+    return exitcode::Failure;
+  }
+  Status RunResult;
+  std::thread Loop([&] { RunResult = Srv.run(); });
+
+  Client C;
+  if (Status S = C.connect(SrvOpts.SocketPath); !S.ok()) {
+    std::fprintf(stderr, "bench_serve: %s\n", S.toString().c_str());
+    Srv.requestStop();
+    Loop.join();
+    return exitcode::Failure;
+  }
+
+  const SubmitRequest Req = campaignRequest(EngineOpts.LimitBenches);
+  std::printf("bench_serve: %u workers, %zu cells/campaign, cache %s\n",
+              Pool.size(), Req.Cells.size(),
+              PoolOpts.UseCache ? PoolOpts.CacheDir.c_str() : "off");
+
+  // Protocol floor: round-trip latency of an empty frame pair.
+  std::vector<double> PingUs;
+  PingUs.reserve(kPings);
+  for (unsigned I = 0; I < kPings; ++I) {
+    const auto T0 = Clock::now();
+    if (!C.ping().ok()) {
+      std::fprintf(stderr, "bench_serve: ping failed\n");
+      return exitcode::Failure;
+    }
+    PingUs.push_back(msSince(T0) * 1000.0);
+  }
+
+  // Warm phase: populate the artifact cache (and fault in every workload)
+  // so the measured campaigns see steady state.
+  std::string Digest;
+  for (unsigned I = 0; I < kWarmCampaigns; ++I) {
+    StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+    if (!Reply.ok()) {
+      std::fprintf(stderr, "bench_serve: warm campaign failed: %s\n",
+                   Reply.status().toString().c_str());
+      return exitcode::Failure;
+    }
+    Digest = campaignDigest(*Reply);
+  }
+
+  // Measured phase.
+  std::vector<double> CampaignMs;
+  CampaignMs.reserve(kMeasuredCampaigns);
+  const auto MeasureStart = Clock::now();
+  for (unsigned I = 0; I < kMeasuredCampaigns; ++I) {
+    const auto T0 = Clock::now();
+    StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+    if (!Reply.ok()) {
+      std::fprintf(stderr, "bench_serve: campaign %u failed: %s\n", I,
+                   Reply.status().toString().c_str());
+      return exitcode::Failure;
+    }
+    CampaignMs.push_back(msSince(T0));
+    const std::string D = campaignDigest(*Reply);
+    if (D != Digest) {
+      std::fprintf(stderr,
+                   "bench_serve: digest drifted between campaigns\n"
+                   "  warm    : %s\n  round %u: %s\n",
+                   Digest.c_str(), I, D.c_str());
+      return exitcode::Failure;
+    }
+  }
+  const double TotalSec = msSince(MeasureStart) / 1000.0;
+  const double CellsPerSec =
+      TotalSec > 0.0
+          ? static_cast<double>(Req.Cells.size()) * kMeasuredCampaigns /
+                TotalSec
+          : 0.0;
+
+  C.shutdownServer();
+  Loop.join();
+  if (!RunResult.ok()) {
+    std::fprintf(stderr, "bench_serve: server loop: %s\n",
+                 RunResult.toString().c_str());
+    return exitcode::Failure;
+  }
+
+  emitJson(stdout, Pool.size(), Req.Cells.size(), kMeasuredCampaigns,
+           CellsPerSec, CampaignMs, PingUs, Digest);
+  std::FILE *Out = std::fopen("BENCH_serve.json", "w");
+  if (!Out) {
+    std::fprintf(stderr, "bench_serve: cannot write BENCH_serve.json\n");
+    return exitcode::Failure;
+  }
+  emitJson(Out, Pool.size(), Req.Cells.size(), kMeasuredCampaigns,
+           CellsPerSec, CampaignMs, PingUs, Digest);
+  std::fclose(Out);
+  std::printf("wrote BENCH_serve.json\n");
+  return exitcode::Ok;
+}

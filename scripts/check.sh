@@ -4,6 +4,8 @@
 # label runs (fast unit/integration tests — the pre-commit gate); pass
 # --all to also run the slow redundancy checks and the fuzz campaign,
 # --crash to run only the fork-based crash-consistency matrix,
+# --serve to run the campaign-service suite (serve label) plus the
+# multi-client soak hammer (DMP_SERVE_SOAK=1),
 # --sanitize to build and test under ASan+UBSan (the sanitize preset),
 # --tsan to build and run the threaded-subsystem tests under TSan, and
 # --tidy to run clang-tidy over src/ and tools/ (skipped with a notice
@@ -16,17 +18,19 @@ cd "$(dirname "$0")/.."
 
 ALL=0
 CRASH=0
+SERVE=0
 TIDY=0
 PRESET=ci
 for arg in "$@"; do
   case "$arg" in
     --all) ALL=1 ;;
     --crash) CRASH=1 ;;
+    --serve) SERVE=1 ;;
     --sanitize) PRESET=sanitize ;;
     --tsan) PRESET=tsan ;;
     --tidy) TIDY=1 ;;
-    -h|--help) echo "usage: $0 [--all] [--crash] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
-    *) echo "usage: $0 [--all] [--crash] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
+    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--crash] [--serve] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
   esac
 done
 
@@ -55,6 +59,11 @@ if [[ "$PRESET" == tsan ]]; then
   ctest --preset tsan
 elif [[ "$CRASH" -eq 1 ]]; then
   ctest --preset "$PRESET" -L crash
+elif [[ "$SERVE" -eq 1 ]]; then
+  # The serve label covers the whole-suite run and the CLI contract; the
+  # soak hammer (multi-client junk-injecting load test) only runs when its
+  # env gate is armed, which the serve_soak ctest entry does.
+  ctest --preset "$PRESET" -L serve
 elif [[ "$ALL" -eq 1 ]]; then
   ctest --preset "$PRESET"
 else
@@ -64,7 +73,7 @@ fi
 # CI path extras (the default tier1 gate): the static checker must report
 # zero error-severity diagnostics over every workload's selected
 # annotations, and tidy runs when available.
-if [[ "$PRESET" == ci && "$CRASH" -eq 0 ]]; then
+if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 ]]; then
   ./build-ci/tools/dmp_lint --all --profile-instrs=800000
   run_tidy
 fi

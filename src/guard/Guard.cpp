@@ -64,16 +64,19 @@ namespace {
 // sig_atomic_t flag, atomic stores inside CancelToken::cancel, a write()
 // to the self-pipe, and _exit().
 volatile std::sig_atomic_t SignalSeen = 0;
+volatile std::sig_atomic_t SignalNumber = 0;
 int SelfPipe[2] = {-1, -1};
 
-extern "C" void handleShutdownSignal(int) {
+extern "C" void handleShutdownSignal(int Sig) {
   if (SignalSeen) {
     // Second signal: the user really means it.  No draining, no flushing
     // — the cache recovery sweep and journal old-or-new guarantee cover
-    // whatever was in flight.
-    ::_exit(exitcode::Interrupted);
+    // whatever was in flight.  128+sig keeps the conventional identity
+    // (130 for ^C^C, 143 for a double SIGTERM).
+    ::_exit(128 + Sig);
   }
   SignalSeen = 1;
+  SignalNumber = Sig;
   processToken().cancel(ErrorCode::Cancelled, "interrupted by signal");
   if (SelfPipe[1] != -1) {
     const char Byte = 1;
@@ -110,6 +113,8 @@ void installSignalHandlers() {
 }
 
 bool interrupted() { return SignalSeen != 0; }
+
+int lastSignal() { return static_cast<int>(SignalNumber); }
 
 int wakeupFd() { return SelfPipe[0]; }
 

@@ -173,6 +173,12 @@ void installSignalHandlers();
 /// by the handler).
 bool interrupted();
 
+/// The signal number that tripped processToken() (SIGINT or SIGTERM), or 0
+/// before any signal.  Lets long-lived services exit 128+sig — dmp_served
+/// reports exitcode::Interrupted (130) for SIGINT and exitcode::Terminated
+/// (143) for SIGTERM — while the one-shot drivers keep their uniform 130.
+int lastSignal();
+
 /// Read end of the self-pipe the handler writes to (for callers that block
 /// in poll/select rather than compute), or -1 before installSignalHandlers().
 int wakeupFd();

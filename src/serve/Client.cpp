@@ -1,0 +1,170 @@
+//===- serve/Client.cpp - Campaign-service client library -----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dmp;
+using namespace dmp::serve;
+
+Client::~Client() { close(); }
+
+Client::Client(Client &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+
+Client &Client::operator=(Client &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    Fd = Other.Fd;
+    Other.Fd = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (Fd != -1)
+    ::close(Fd);
+  Fd = -1;
+}
+
+Status Client::connect(const std::string &SocketPath) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::invariant("socket path too long: " + SocketPath,
+                             "serve::Client");
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  const int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return Status::transient(std::string("socket(): ") + std::strerror(errno),
+                             "serve::Client");
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    const Status St = Status::transient(std::string("connect(") + SocketPath +
+                                            "): " + std::strerror(errno),
+                                        "serve::Client");
+    ::close(S);
+    return St;
+  }
+  Fd = S;
+  return Status();
+}
+
+StatusOr<Frame> Client::roundTrip(MsgType Type,
+                                  const std::vector<uint8_t> &Payload) {
+  if (Fd == -1)
+    return Status::invariant("client is not connected", "serve::Client");
+  if (Status S = writeFrame(Fd, Type, Payload); !S.ok())
+    return S;
+  StatusOr<Frame> Reply = readFrame(Fd);
+  if (!Reply.ok())
+    return Reply.status();
+  if (Reply->Type == MsgType::Error) {
+    Status Carried;
+    if (Status S = decodeStatusPayload(Reply->Payload, Carried); !S.ok())
+      return S;
+    return Carried;
+  }
+  return Reply;
+}
+
+Status Client::ping() {
+  StatusOr<Frame> R = roundTrip(MsgType::Ping, {});
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::Pong)
+    return Status::corrupt("expected PONG, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  return Status();
+}
+
+StatusOr<uint64_t> Client::submit(const SubmitRequest &Req) {
+  StatusOr<Frame> R = roundTrip(MsgType::Submit, encodeSubmit(Req));
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::SubmitOk)
+    return Status::corrupt("expected SUBMIT-OK, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  uint64_t Job = 0;
+  uint32_t Cells = 0;
+  if (Status S = decodeSubmitOk(R->Payload, Job, Cells); !S.ok())
+    return S;
+  return Job;
+}
+
+StatusOr<JobStatusReply> Client::status(uint64_t Job) {
+  StatusOr<Frame> R = roundTrip(MsgType::StatusReq, encodeJobId(Job));
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::StatusReply)
+    return Status::corrupt("expected STATUS-REPLY, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  JobStatusReply Reply;
+  if (Status S = decodeStatusReply(R->Payload, Reply); !S.ok())
+    return S;
+  return Reply;
+}
+
+StatusOr<FetchReplyData> Client::fetch(uint64_t Job) {
+  StatusOr<Frame> R = roundTrip(MsgType::FetchReq, encodeJobId(Job));
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::FetchReply)
+    return Status::corrupt("expected FETCH-REPLY, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  FetchReplyData Reply;
+  if (Status S = decodeFetchReply(R->Payload, Reply); !S.ok())
+    return S;
+  return Reply;
+}
+
+Status Client::cancel(uint64_t Job) {
+  StatusOr<Frame> R = roundTrip(MsgType::CancelReq, encodeJobId(Job));
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::CancelOk)
+    return Status::corrupt("expected CANCEL-OK, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  return Status();
+}
+
+Status Client::shutdownServer() {
+  StatusOr<Frame> R = roundTrip(MsgType::Shutdown, {});
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::ShutdownOk)
+    return Status::corrupt("expected SHUTDOWN-OK, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  return Status();
+}
+
+StatusOr<FetchReplyData> Client::runCampaign(const SubmitRequest &Req,
+                                             unsigned PollIntervalMs) {
+  StatusOr<uint64_t> Job = submit(Req);
+  if (!Job.ok())
+    return Job.status();
+  while (true) {
+    StatusOr<JobStatusReply> S = status(*Job);
+    if (!S.ok())
+      return S.status();
+    if (S->State == JobState::Done || S->State == JobState::Cancelled)
+      break;
+    ::usleep(PollIntervalMs * 1000);
+  }
+  return fetch(*Job);
+}

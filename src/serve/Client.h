@@ -1,0 +1,73 @@
+//===- serve/Client.h - Campaign-service client library ---------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of serve::Protocol: a blocking, one-request-at-a-time
+/// connection to a dmp_served daemon.  `dmpc --remote` is a thin wrapper
+/// around this class; the protocol tests use it directly (and use fd() to
+/// inject raw malformed bytes around the typed API).
+///
+/// Every RPC is a roundTrip(): write one frame, read one frame, and decode
+/// a server Error frame back into the dmp::Status it carries — so a
+/// rejected SUBMIT surfaces as the same ResourceExhausted/Corrupt taxonomy
+/// the rest of the stack speaks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SERVE_CLIENT_H
+#define DMP_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+namespace dmp::serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&Other) noexcept;
+  Client &operator=(Client &&Other) noexcept;
+
+  /// Connects to the daemon's Unix socket.  Transient on refusal (daemon
+  /// not up, socket stale).
+  Status connect(const std::string &SocketPath);
+  void close();
+  bool connected() const { return Fd != -1; }
+
+  /// Raw socket fd, for tests that write malformed bytes directly.
+  int fd() const { return Fd; }
+
+  /// One request/reply exchange.  A server Error frame is decoded into its
+  /// carried Status; an unexpected reply type is Corrupt.
+  StatusOr<Frame> roundTrip(MsgType Type,
+                            const std::vector<uint8_t> &Payload);
+
+  Status ping();
+  /// Returns the accepted job id.
+  StatusOr<uint64_t> submit(const SubmitRequest &Req);
+  StatusOr<JobStatusReply> status(uint64_t Job);
+  /// Fetches a finished job's per-cell outcomes; the server forgets the
+  /// job on success (fetch-once).  Transient while the job still runs.
+  StatusOr<FetchReplyData> fetch(uint64_t Job);
+  Status cancel(uint64_t Job);
+  /// Asks the daemon to drain and exit.
+  Status shutdownServer();
+
+  /// Convenience: submit, poll status until the job finishes, fetch.
+  /// This is the whole of `dmpc --remote`.
+  StatusOr<FetchReplyData> runCampaign(const SubmitRequest &Req,
+                                       unsigned PollIntervalMs = 20);
+
+private:
+  int Fd = -1;
+};
+
+} // namespace dmp::serve
+
+#endif // DMP_SERVE_CLIENT_H

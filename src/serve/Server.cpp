@@ -1,0 +1,880 @@
+//===- serve/Server.cpp - Campaign-service event loop ---------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serialize/ArtifactCache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dmp;
+using namespace dmp::serve;
+
+namespace {
+
+void setNonBlocking(int Fd) {
+  const int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+void setCloexec(int Fd) {
+  const int Flags = ::fcntl(Fd, F_GETFD, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFD, Flags | FD_CLOEXEC);
+}
+
+} // namespace
+
+bool Server::Job::hasPending() const {
+  for (const CellState &C : Cells)
+    if (C.Phase == CellPhase::Pending)
+      return true;
+  return false;
+}
+
+bool Server::Job::finished() const {
+  for (const CellState &C : Cells)
+    if (C.Phase != CellPhase::Done)
+      return false;
+  return true;
+}
+
+JobState Server::Job::state() const {
+  if (finished())
+    return Cancelled ? JobState::Cancelled : JobState::Done;
+  for (const CellState &C : Cells)
+    if (C.Phase != CellPhase::Pending)
+      return JobState::Running;
+  return JobState::Queued;
+}
+
+Server::Server(ServerOptions Options, WorkerPool &Pool,
+               const guard::CancelToken *Drain)
+    : Opts(std::move(Options)), Pool(Pool),
+      Drain(Drain ? Drain : &guard::processToken()) {
+  WorkerIn.resize(Pool.size());
+}
+
+Server::~Server() {
+  for (auto &[Fd, C] : Conns)
+    ::close(Fd);
+  Conns.clear();
+  if (ListenFd != -1) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  if (StopPipe[0] != -1)
+    ::close(StopPipe[0]);
+  if (StopPipe[1] != -1)
+    ::close(StopPipe[1]);
+}
+
+void Server::closeInheritedFdsInChild() const {
+  // Runs in a freshly forked worker: drop every server-side fd the child
+  // inherited so a client connection is never held open by a worker that
+  // outlives the daemon.
+  if (ListenFd != -1)
+    ::close(ListenFd);
+  if (StopPipe[0] != -1)
+    ::close(StopPipe[0]);
+  if (StopPipe[1] != -1)
+    ::close(StopPipe[1]);
+  for (const auto &[Fd, C] : Conns)
+    ::close(Fd);
+}
+
+Status Server::listen() {
+  if (Opts.SocketPath.empty())
+    return Status::invariant("server socket path is empty", "serve::Server");
+  ::signal(SIGPIPE, SIG_IGN);
+
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::invariant("socket path too long: " + Opts.SocketPath,
+                             "serve::Server");
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::transient(std::string("socket(): ") + std::strerror(errno),
+                             "serve::Server");
+  setCloexec(Fd);
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    const Status S = Status::transient(std::string("bind(") + Opts.SocketPath +
+                                           "): " + std::strerror(errno),
+                                       "serve::Server");
+    ::close(Fd);
+    return S;
+  }
+  if (::listen(Fd, 64) != 0) {
+    const Status S = Status::transient(
+        std::string("listen(): ") + std::strerror(errno), "serve::Server");
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return S;
+  }
+  setNonBlocking(Fd);
+  ListenFd = Fd;
+
+  if (::pipe(StopPipe) != 0) {
+    StopPipe[0] = StopPipe[1] = -1;
+  } else {
+    setNonBlocking(StopPipe[0]);
+    setNonBlocking(StopPipe[1]);
+    setCloexec(StopPipe[0]);
+    setCloexec(StopPipe[1]);
+  }
+
+  Pool.setInChild([this] { closeInheritedFdsInChild(); });
+  return Status();
+}
+
+void Server::requestStop() {
+  if (StopPipe[1] != -1) {
+    const uint8_t Byte = 1;
+    [[maybe_unused]] ssize_t N = ::write(StopPipe[1], &Byte, 1);
+  }
+}
+
+Server::Counters Server::counters() const {
+  Counters C;
+  C.ConnectionsAccepted = CtrConns.load(std::memory_order_relaxed);
+  C.JobsAccepted = CtrJobsAccepted.load(std::memory_order_relaxed);
+  C.JobsRejected = CtrJobsRejected.load(std::memory_order_relaxed);
+  C.CellsDispatched = CtrDispatched.load(std::memory_order_relaxed);
+  C.CellsCompleted = CtrCompleted.load(std::memory_order_relaxed);
+  C.CellsFailed = CtrFailed.load(std::memory_order_relaxed);
+  C.CellsRetried = CtrRetried.load(std::memory_order_relaxed);
+  C.WorkerCrashes = CtrCrashes.load(std::memory_order_relaxed);
+  C.ProtocolErrors = CtrProtocolErrors.load(std::memory_order_relaxed);
+  return C;
+}
+
+void Server::log(const std::string &Line) const {
+  if (!Opts.Quiet)
+    std::fprintf(stderr, "dmp_served: %s\n", Line.c_str());
+}
+
+// --- Drain --------------------------------------------------------------
+
+void Server::beginDrain(const char *Why) {
+  if (Draining)
+    return;
+  Draining = true;
+  log(std::string("draining (") + Why + ")");
+  // Stop accepting: close and unlink the listen socket now so new clients
+  // get ECONNREFUSED instead of a hang.
+  if (ListenFd != -1) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+    ListenFd = -1;
+  }
+  // Shed every still-pending cell; in-flight cells finish.
+  const Status Shed = Status::cancelled("server draining", "serve::Server");
+  for (auto &[Id, J] : Jobs)
+    cancelPendingCells(J, Shed);
+  RR.clear();
+  for (auto &[Id, J] : Jobs)
+    J.InQueue = false;
+}
+
+bool Server::drainComplete() const {
+  if (!Draining)
+    return false;
+  if (!Tickets.empty())
+    return false;
+  for (const auto &[Fd, C] : Conns)
+    if (C.OutPos < C.Out.size())
+      return false;
+  return true;
+}
+
+// --- Jobs ---------------------------------------------------------------
+
+Server::Job *Server::findJob(uint64_t Id) {
+  auto It = Jobs.find(Id);
+  return It == Jobs.end() ? nullptr : &It->second;
+}
+
+uint64_t Server::activeJobs() const {
+  uint64_t N = 0;
+  for (const auto &[Id, J] : Jobs)
+    if (!J.finished())
+      ++N;
+  return N;
+}
+
+void Server::enqueueRR(Job &J, bool Front) {
+  if (J.InQueue || Draining || !J.hasPending())
+    return;
+  if (Front)
+    RR.push_front(J.Id);
+  else
+    RR.push_back(J.Id);
+  J.InQueue = true;
+}
+
+Server::Job *Server::nextRRJob() {
+  while (!RR.empty()) {
+    const uint64_t Id = RR.front();
+    RR.pop_front();
+    Job *J = findJob(Id);
+    if (!J) // fetched-and-erased or GC'd while queued
+      continue;
+    J->InQueue = false;
+    if (J->hasPending())
+      return J;
+  }
+  return nullptr;
+}
+
+void Server::cancelPendingCells(Job &J, const Status &Shed) {
+  for (CellState &C : J.Cells) {
+    if (C.Phase != CellPhase::Pending)
+      continue;
+    C.Phase = CellPhase::Done;
+    C.Result = Shed;
+    CtrFailed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::expireDeadlines() {
+  const auto Now = std::chrono::steady_clock::now();
+  for (auto &[Id, J] : Jobs) {
+    if (!J.HasDeadline || J.finished() || Now < J.Deadline)
+      continue;
+    J.HasDeadline = false;
+    cancelPendingCells(
+        J, Status::resourceExhausted("job deadline exceeded", "serve::Server"));
+    log("job " + std::to_string(Id) + " deadline expired");
+  }
+}
+
+void Server::gcFinishedJobs() {
+  // Finished jobs wait for FETCH (which erases them); cap the backlog of
+  // never-fetched jobs so an absent client cannot grow the daemon forever.
+  const size_t Cap = static_cast<size_t>(Opts.MaxActiveJobs) * 4;
+  while (Jobs.size() > Cap) {
+    uint64_t VictimId = 0, VictimSeq = ~0ull;
+    for (const auto &[Id, J] : Jobs)
+      if (J.finished() && J.Seq < VictimSeq) {
+        VictimSeq = J.Seq;
+        VictimId = Id;
+      }
+    if (VictimSeq == ~0ull)
+      return;
+    Jobs.erase(VictimId);
+    log("job " + std::to_string(VictimId) + " evicted unfetched");
+  }
+}
+
+int Server::pollTimeoutMs() const {
+  if (Draining)
+    return 100; // re-check drain completion promptly
+  long Best = -1;
+  const auto Now = std::chrono::steady_clock::now();
+  for (const auto &[Id, J] : Jobs) {
+    if (!J.HasDeadline || J.finished())
+      continue;
+    const long Ms = static_cast<long>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(J.Deadline - Now)
+            .count());
+    const long Clamped = Ms < 0 ? 0 : Ms + 1;
+    if (Best < 0 || Clamped < Best)
+      Best = Clamped;
+  }
+  if (Best > 60'000)
+    Best = 60'000; // bound the sleep so external token trips are noticed
+  if (Best < 0)
+    Best = 1000;
+  return static_cast<int>(Best);
+}
+
+// --- Outcome recording and dispatch -------------------------------------
+
+void Server::recordOutcome(Job &J, size_t CellIdx,
+                           StatusOr<harness::CellResult> Outcome) {
+  CellState &C = J.Cells[CellIdx];
+  C.Phase = CellPhase::Done;
+  if (Outcome.ok())
+    CtrCompleted.fetch_add(1, std::memory_order_relaxed);
+  else
+    CtrFailed.fetch_add(1, std::memory_order_relaxed);
+  C.Result = std::move(Outcome);
+}
+
+void Server::dispatch() {
+  if (Draining)
+    return;
+
+  if (Pool.inProcess()) {
+    // Workers=0: run cells inline, still one-cell-per-rotation fair.  This
+    // blocks the loop per cell — the mode exists for correctness coverage
+    // (TSan) and tiny deployments, not throughput.
+    if (!InProcCacheReady) {
+      InProcCacheReady = true;
+      const WorkerPoolOptions &PO = Pool.options();
+      if (PO.UseCache && !PO.CacheDir.empty())
+        InProcCache = std::make_shared<serialize::ArtifactCache>(PO.CacheDir);
+    }
+    while (Job *J = nextRRJob()) {
+      size_t Idx = 0;
+      while (Idx < J->Cells.size() &&
+             J->Cells[Idx].Phase != CellPhase::Pending)
+        ++Idx;
+      CellState &C = J->Cells[Idx];
+      C.Phase = CellPhase::Running;
+      ++C.Attempts;
+      CtrDispatched.fetch_add(1, std::memory_order_relaxed);
+      recordOutcome(*J, Idx, harness::runCellSpec(C.Spec, InProcCache));
+      enqueueRR(*J);
+    }
+    return;
+  }
+
+  while (true) {
+    const int W = Pool.idleWorker();
+    if (W < 0)
+      return;
+    Job *J = nextRRJob();
+    if (!J)
+      return;
+    size_t Idx = 0;
+    while (Idx < J->Cells.size() && J->Cells[Idx].Phase != CellPhase::Pending)
+      ++Idx;
+    CellState &C = J->Cells[Idx];
+    const uint64_t Ticket = NextTicket++;
+    C.Phase = CellPhase::Running;
+    ++C.Attempts;
+    Tickets[Ticket] = {J->Id, Idx};
+    const Status S = Pool.dispatch(static_cast<unsigned>(W), Ticket,
+                                   encodeRunCell(Ticket, C.Spec));
+    if (!S.ok()) {
+      // The worker died under the write: same path as an EOF crash.
+      handleWorkerCrash(static_cast<unsigned>(W));
+      enqueueRR(*J, /*Front=*/true);
+      continue;
+    }
+    CtrDispatched.fetch_add(1, std::memory_order_relaxed);
+    enqueueRR(*J);
+  }
+}
+
+// --- Worker plane -------------------------------------------------------
+
+void Server::readWorker(unsigned W) {
+  const int Fd = Pool.fd(W);
+  if (Fd == -1)
+    return;
+  uint8_t Buf[16384];
+  while (true) {
+    const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N > 0) {
+      WorkerIn[W].feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      handleWorkerCrash(W);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    handleWorkerCrash(W);
+    return;
+  }
+
+  Frame F;
+  Status Err;
+  while (true) {
+    const FrameDecoder::Outcome O = WorkerIn[W].next(F, Err);
+    if (O == FrameDecoder::Outcome::NeedMore)
+      return;
+    if (O != FrameDecoder::Outcome::Got) {
+      // A worker speaking garbage is as dead as a crashed one.
+      handleWorkerCrash(W);
+      return;
+    }
+    onCellDone(W, F);
+  }
+}
+
+void Server::onCellDone(unsigned W, const Frame &F) {
+  uint64_t Ticket = 0;
+  StatusOr<harness::CellResult> Outcome;
+  if (F.Type != MsgType::CellDone ||
+      !decodeCellDone(F.Payload, Ticket, Outcome).ok()) {
+    handleWorkerCrash(W);
+    return;
+  }
+  Pool.complete(W);
+  auto It = Tickets.find(Ticket);
+  if (It == Tickets.end())
+    return; // job was cancelled+fetched or GC'd while the cell ran
+  const auto [JobId, CellIdx] = It->second;
+  Tickets.erase(It);
+  if (Job *J = findJob(JobId))
+    if (J->Cells[CellIdx].Phase == CellPhase::Running)
+      recordOutcome(*J, CellIdx, std::move(Outcome));
+}
+
+void Server::handleWorkerCrash(unsigned W) {
+  const WorkerPool::CrashReport R = Pool.onWorkerDeath(W, !Draining);
+  WorkerIn[W] = FrameDecoder();
+  CtrCrashes.fetch_add(1, std::memory_order_relaxed);
+  log("worker " + std::to_string(W) + " died" +
+      (R.HadTicket ? " holding ticket " + std::to_string(R.Ticket) : ""));
+  if (!R.HadTicket)
+    return;
+  auto It = Tickets.find(R.Ticket);
+  if (It == Tickets.end())
+    return;
+  const auto [JobId, CellIdx] = It->second;
+  Tickets.erase(It);
+  Job *J = findJob(JobId);
+  if (!J || J->Cells[CellIdx].Phase != CellPhase::Running)
+    return;
+  CellState &C = J->Cells[CellIdx];
+  if (Draining) {
+    recordOutcome(*J, CellIdx,
+                  Status::cancelled("server draining", "serve::Server"));
+    return;
+  }
+  if (C.Attempts < Opts.CellAttempts) {
+    // Deterministic cells make the retried result bit-identical, so a
+    // crash is invisible in the job's outcome.
+    C.Phase = CellPhase::Pending;
+    CtrRetried.fetch_add(1, std::memory_order_relaxed);
+    enqueueRR(*J, /*Front=*/true);
+    return;
+  }
+  recordOutcome(*J, CellIdx,
+                Status::transient("worker crashed on every attempt (" +
+                                      std::to_string(C.Attempts) + " of " +
+                                      std::to_string(Opts.CellAttempts) + ")",
+                                  "serve::Server"));
+}
+
+// --- Client plane -------------------------------------------------------
+
+void Server::acceptClients() {
+  while (ListenFd != -1) {
+    const int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // EAGAIN or transient accept error: back to poll
+    }
+    setNonBlocking(Fd);
+    setCloexec(Fd);
+    Conn C;
+    C.Fd = Fd;
+    Conns.emplace(Fd, std::move(C));
+    CtrConns.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::queueFrame(Conn &C, MsgType Type,
+                        const std::vector<uint8_t> &Payload) {
+  const std::vector<uint8_t> Bytes = encodeFrame(Type, Payload);
+  C.Out.insert(C.Out.end(), Bytes.begin(), Bytes.end());
+}
+
+void Server::sendError(Conn &C, const Status &S) {
+  queueFrame(C, MsgType::Error, encodeStatusPayload(S));
+}
+
+void Server::flushConn(Conn &C) {
+  while (C.OutPos < C.Out.size()) {
+    const ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
+                             C.Out.size() - C.OutPos,
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return;
+    if (N < 0 && errno == EINTR)
+      continue;
+    // Peer is gone; drop everything buffered and let the poll loop reap the
+    // connection on its next readable/error event.
+    C.Out.clear();
+    C.OutPos = 0;
+    C.CloseAfterFlush = true;
+    return;
+  }
+  C.Out.clear();
+  C.OutPos = 0;
+}
+
+void Server::dropConn(int Fd) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  ::close(Fd);
+  Conns.erase(It);
+}
+
+void Server::readConn(int Fd) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  Conn &C = It->second;
+
+  uint8_t Buf[16384];
+  bool PeerClosed = false;
+  while (true) {
+    const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N > 0) {
+      C.In.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      PeerClosed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    PeerClosed = true;
+    break;
+  }
+
+  Frame F;
+  Status Err;
+  bool Closing = false;
+  while (!Closing) {
+    switch (C.In.next(F, Err)) {
+    case FrameDecoder::Outcome::NeedMore:
+      Closing = true;
+      break;
+    case FrameDecoder::Outcome::Got:
+      handleFrame(C, F);
+      // handleFrame may set CloseAfterFlush (fatal protocol error raced in
+      // behind a valid frame can't, but SHUTDOWN keeps the conn usable).
+      break;
+    case FrameDecoder::Outcome::Skew:
+      // Well-framed, wrong version or unknown type: report and keep going —
+      // the stream is still in sync.
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, Err);
+      break;
+    case FrameDecoder::Outcome::Fatal:
+      // Desynchronized stream: last words, then close this connection.
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, Err);
+      C.CloseAfterFlush = true;
+      Closing = true;
+      break;
+    }
+  }
+
+  flushConn(C);
+  if (C.CloseAfterFlush && C.OutPos >= C.Out.size()) {
+    dropConn(Fd);
+    return;
+  }
+  if (PeerClosed) {
+    // EOF mid-frame is a truncated frame; either way the peer is gone and
+    // nothing more can be delivered.
+    dropConn(Fd);
+  }
+}
+
+void Server::handleFrame(Conn &C, const Frame &F) {
+  switch (F.Type) {
+  case MsgType::Ping:
+    queueFrame(C, MsgType::Pong, {});
+    return;
+
+  case MsgType::Submit: {
+    if (Draining) {
+      sendError(C, Status::cancelled("server is draining", "serve::Server"));
+      return;
+    }
+    SubmitRequest Req;
+    if (Status S = decodeSubmit(F.Payload, Req); !S.ok()) {
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, S);
+      return;
+    }
+    if (Req.Cells.size() > Opts.MaxCellsPerJob) {
+      CtrJobsRejected.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, Status::resourceExhausted(
+                       "job has " + std::to_string(Req.Cells.size()) +
+                           " cells; per-job limit is " +
+                           std::to_string(Opts.MaxCellsPerJob),
+                       "serve::Server"));
+      return;
+    }
+    if (activeJobs() >= Opts.MaxActiveJobs) {
+      CtrJobsRejected.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, Status::resourceExhausted(
+                       "admission queue full: " +
+                           std::to_string(Opts.MaxActiveJobs) +
+                           " jobs already active",
+                       "serve::Server"));
+      return;
+    }
+    const uint64_t Id = NextJob++;
+    Job &J = Jobs[Id];
+    J.Id = Id;
+    J.Seq = NextSeq++;
+    J.Cells.resize(Req.Cells.size());
+    for (size_t I = 0; I < Req.Cells.size(); ++I)
+      J.Cells[I].Spec = std::move(Req.Cells[I]);
+    if (Req.DeadlineSeconds > 0) {
+      J.HasDeadline = true;
+      J.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(Req.DeadlineSeconds));
+    }
+    CtrJobsAccepted.fetch_add(1, std::memory_order_relaxed);
+    enqueueRR(J);
+    queueFrame(C, MsgType::SubmitOk,
+               encodeSubmitOk(Id, static_cast<uint32_t>(J.Cells.size())));
+    log("job " + std::to_string(Id) + " accepted (" +
+        std::to_string(J.Cells.size()) + " cells)");
+    return;
+  }
+
+  case MsgType::StatusReq: {
+    uint64_t Id = 0;
+    if (Status S = decodeJobId(F.Payload, Id); !S.ok()) {
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, S);
+      return;
+    }
+    Job *J = findJob(Id);
+    if (!J) {
+      sendError(C, Status::notFound("no such job: " + std::to_string(Id),
+                                    "serve::Server"));
+      return;
+    }
+    JobStatusReply Reply;
+    Reply.Job = Id;
+    Reply.State = J->state();
+    Reply.Total = static_cast<uint32_t>(J->Cells.size());
+    for (const CellState &Cell : J->Cells)
+      if (Cell.Phase == CellPhase::Done) {
+        if (Cell.Result.ok())
+          ++Reply.Done;
+        else
+          ++Reply.Failed;
+      }
+    queueFrame(C, MsgType::StatusReply, encodeStatusReply(Reply));
+    return;
+  }
+
+  case MsgType::FetchReq: {
+    uint64_t Id = 0;
+    if (Status S = decodeJobId(F.Payload, Id); !S.ok()) {
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, S);
+      return;
+    }
+    Job *J = findJob(Id);
+    if (!J) {
+      sendError(C, Status::notFound("no such job: " + std::to_string(Id),
+                                    "serve::Server"));
+      return;
+    }
+    if (!J->finished()) {
+      sendError(C, Status::transient("job " + std::to_string(Id) +
+                                         " is still " +
+                                         jobStateName(J->state()),
+                                     "serve::Server"));
+      return;
+    }
+    FetchReplyData Reply;
+    Reply.Job = Id;
+    Reply.Cells.reserve(J->Cells.size());
+    for (CellState &Cell : J->Cells)
+      Reply.Cells.push_back(std::move(Cell.Result));
+    queueFrame(C, MsgType::FetchReply, encodeFetchReply(Reply));
+    Jobs.erase(Id); // fetch-once: results are handed over, job is gone
+    return;
+  }
+
+  case MsgType::CancelReq: {
+    uint64_t Id = 0;
+    if (Status S = decodeJobId(F.Payload, Id); !S.ok()) {
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, S);
+      return;
+    }
+    Job *J = findJob(Id);
+    if (!J) {
+      sendError(C, Status::notFound("no such job: " + std::to_string(Id),
+                                    "serve::Server"));
+      return;
+    }
+    if (!J->finished()) {
+      J->Cancelled = true;
+      cancelPendingCells(
+          *J, Status::cancelled("job cancelled by client", "serve::Server"));
+      log("job " + std::to_string(Id) + " cancelled");
+    }
+    queueFrame(C, MsgType::CancelOk, encodeJobId(Id));
+    return;
+  }
+
+  case MsgType::Shutdown:
+    queueFrame(C, MsgType::ShutdownOk, {});
+    beginDrain("shutdown frame");
+    return;
+
+  default:
+    // A well-framed message whose type makes no sense from a client
+    // (server-plane replies, worker-plane traffic): reject, keep the
+    // connection — the stream is in sync.
+    CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    sendError(C, Status::corrupt("unexpected message type " +
+                                     std::to_string(static_cast<unsigned>(
+                                         F.Type)) +
+                                     " on client connection",
+                                 "serve::Server"));
+    return;
+  }
+}
+
+// --- Event loop ---------------------------------------------------------
+
+Status Server::run() {
+  if (ListenFd == -1 && !Draining)
+    return Status::invariant("run() before listen()", "serve::Server");
+  log("serving on " + Opts.SocketPath + " with " +
+      std::to_string(Pool.size()) + " workers");
+
+  // Parallel arrays: Polls[I] watches the fd described by Kinds[I]/Ids[I].
+  enum class FdKind : uint8_t { Listen, Stop, Wakeup, Worker, Client };
+  std::vector<pollfd> Polls;
+  std::vector<FdKind> Kinds;
+  std::vector<int> Ids; // worker index or conn fd
+
+  while (true) {
+    if (Drain->cancelled())
+      beginDrain("cancel token");
+    if (drainComplete())
+      break;
+
+    Polls.clear();
+    Kinds.clear();
+    Ids.clear();
+    if (ListenFd != -1) {
+      Polls.push_back({ListenFd, POLLIN, 0});
+      Kinds.push_back(FdKind::Listen);
+      Ids.push_back(-1);
+    }
+    if (StopPipe[0] != -1) {
+      Polls.push_back({StopPipe[0], POLLIN, 0});
+      Kinds.push_back(FdKind::Stop);
+      Ids.push_back(-1);
+    }
+    if (const int WFd = guard::wakeupFd(); WFd != -1) {
+      Polls.push_back({WFd, POLLIN, 0});
+      Kinds.push_back(FdKind::Wakeup);
+      Ids.push_back(-1);
+    }
+    for (unsigned W = 0; W < Pool.size(); ++W) {
+      if (Pool.fd(W) == -1)
+        continue;
+      Polls.push_back({Pool.fd(W), POLLIN, 0});
+      Kinds.push_back(FdKind::Worker);
+      Ids.push_back(static_cast<int>(W));
+    }
+    for (auto &[Fd, C] : Conns) {
+      short Events = POLLIN;
+      if (C.OutPos < C.Out.size())
+        Events |= POLLOUT;
+      Polls.push_back({Fd, Events, 0});
+      Kinds.push_back(FdKind::Client);
+      Ids.push_back(Fd);
+    }
+
+    const int N = ::poll(Polls.data(), Polls.size(), pollTimeoutMs());
+    if (N < 0 && errno != EINTR)
+      return Status::transient(std::string("poll(): ") + std::strerror(errno),
+                               "serve::Server");
+
+    for (size_t I = 0; I < Polls.size() && N > 0; ++I) {
+      const short Re = Polls[I].revents;
+      if (Re == 0)
+        continue;
+      switch (Kinds[I]) {
+      case FdKind::Listen:
+        if (Re & POLLIN)
+          acceptClients();
+        break;
+      case FdKind::Stop: {
+        uint8_t Scratch[64];
+        while (::read(StopPipe[0], Scratch, sizeof(Scratch)) > 0) {
+        }
+        beginDrain("requestStop");
+        break;
+      }
+      case FdKind::Wakeup:
+        // The signal handler wrote to the self-pipe; the cancel-token check
+        // at the top of the loop does the actual drain.  Don't drain the
+        // pipe: guard owns it.
+        break;
+      case FdKind::Worker:
+        if (Re & (POLLIN | POLLHUP | POLLERR))
+          readWorker(static_cast<unsigned>(Ids[I]));
+        break;
+      case FdKind::Client: {
+        const int Fd = Ids[I];
+        if (Re & (POLLERR | POLLNVAL)) {
+          dropConn(Fd);
+          break;
+        }
+        if (Re & POLLOUT)
+          if (auto It = Conns.find(Fd); It != Conns.end()) {
+            flushConn(It->second);
+            if (It->second.CloseAfterFlush &&
+                It->second.OutPos >= It->second.Out.size()) {
+              dropConn(Fd);
+              break;
+            }
+          }
+        if (Re & (POLLIN | POLLHUP))
+          readConn(Fd);
+        break;
+      }
+      }
+    }
+
+    expireDeadlines();
+    dispatch();
+    gcFinishedJobs();
+  }
+
+  // Drained: close every connection (all out-buffers are empty by the
+  // drainComplete() condition).
+  for (auto &[Fd, C] : Conns)
+    ::close(Fd);
+  Conns.clear();
+  log("drain complete");
+  return Status();
+}

@@ -1,0 +1,202 @@
+//===- serve/Server.h - Campaign-service event loop -------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dmp::serve daemon core (DESIGN.md "Service architecture"): a
+/// single-threaded poll() loop that owns the Unix listen socket, every
+/// client connection, and the supervisor side of the WorkerPool, and
+/// multiplexes them all without ever blocking on one peer.
+///
+/// Scheduling is fair round-robin at cell granularity: jobs with pending
+/// cells sit in a rotation queue, and each dispatch takes *one* cell from
+/// the front job before rotating it to the back — a client that submits
+/// 100 cells cannot starve a client that submits 2.  Admission control
+/// bounds concurrently active jobs (ResourceExhausted on overflow) and
+/// cells per job; per-job deadlines shed still-pending cells as
+/// ResourceExhausted at expiry while in-flight cells finish.
+///
+/// Supervision: a worker's death (EOF on its socketpair) loses only the
+/// cell it was computing.  The supervisor reaps and respawns the worker
+/// and retries the cell — bounded, attempt-indexed, mirroring the
+/// engine's deterministic retry policy — so a crash changes neither the
+/// campaign's results nor its digests.
+///
+/// Shutdown is a drain, in the guard:: sense: on SIGINT/SIGTERM (the
+/// process CancelToken), a SHUTDOWN frame, or requestStop(), the server
+/// stops accepting and dispatching, sheds pending cells as Cancelled,
+/// lets in-flight cells finish, flushes every reply, and returns from
+/// run().  Malformed client input is answered with Error(Corrupt) and
+/// never takes the service down (see serve/Protocol.h for the exact
+/// framing contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SERVE_SERVER_H
+#define DMP_SERVE_SERVER_H
+
+#include "guard/Guard.h"
+#include "serve/Protocol.h"
+#include "serve/WorkerPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+
+namespace dmp::serialize {
+class ArtifactCache;
+}
+
+namespace dmp::serve {
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Admission bound: SUBMITs beyond this many concurrently active
+  /// (queued or running) jobs are rejected with ResourceExhausted.
+  unsigned MaxActiveJobs = 64;
+  /// Admission bound on cells per job (the protocol has its own, higher,
+  /// hard cap).
+  unsigned MaxCellsPerJob = 256;
+  /// Total dispatch attempts per cell across worker crashes.
+  unsigned CellAttempts = 3;
+  /// When false, one-line operational logs go to stderr.
+  bool Quiet = true;
+};
+
+class Server {
+public:
+  /// \p Drain is polled every loop iteration; null means
+  /// guard::processToken() (the SIGINT/SIGTERM token).
+  Server(ServerOptions Options, WorkerPool &Pool,
+         const guard::CancelToken *Drain = nullptr);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on Options.SocketPath (unlinking a stale socket)
+  /// and registers the child-fd hygiene hook with the pool.
+  Status listen();
+
+  /// Runs the event loop until a drain completes.  Returns Ok after a
+  /// clean drain (signal, SHUTDOWN frame, or requestStop), or the error
+  /// that stopped the loop.
+  Status run();
+
+  /// Trips the internal stop pipe from any thread (in-process tests).
+  void requestStop();
+
+  const ServerOptions &options() const { return Opts; }
+
+  /// Loop accounting, readable from other threads while run() spins.
+  struct Counters {
+    uint64_t ConnectionsAccepted = 0;
+    uint64_t JobsAccepted = 0;
+    uint64_t JobsRejected = 0;
+    uint64_t CellsDispatched = 0;
+    uint64_t CellsCompleted = 0;
+    uint64_t CellsFailed = 0;
+    uint64_t CellsRetried = 0;
+    uint64_t WorkerCrashes = 0;
+    uint64_t ProtocolErrors = 0;
+  };
+  Counters counters() const;
+
+private:
+  enum class CellPhase : uint8_t { Pending, Running, Done };
+
+  struct CellState {
+    harness::CellSpec Spec;
+    CellPhase Phase = CellPhase::Pending;
+    StatusOr<harness::CellResult> Result;
+    unsigned Attempts = 0;
+  };
+
+  struct Job {
+    uint64_t Id = 0;
+    uint64_t Seq = 0; ///< GC order for finished-but-unfetched jobs.
+    std::vector<CellState> Cells;
+    bool Cancelled = false;
+    bool InQueue = false;
+    bool HasDeadline = false;
+    std::chrono::steady_clock::time_point Deadline;
+
+    bool hasPending() const;
+    bool finished() const;
+    JobState state() const;
+  };
+
+  struct Conn {
+    int Fd = -1;
+    FrameDecoder In;
+    std::vector<uint8_t> Out;
+    size_t OutPos = 0;
+    bool CloseAfterFlush = false;
+  };
+
+  void beginDrain(const char *Why);
+  bool drainComplete() const;
+  int pollTimeoutMs() const;
+
+  void acceptClients();
+  void readConn(int Fd);
+  void handleFrame(Conn &C, const Frame &F);
+  void queueFrame(Conn &C, MsgType Type,
+                  const std::vector<uint8_t> &Payload);
+  void sendError(Conn &C, const Status &S);
+  void flushConn(Conn &C);
+  void dropConn(int Fd);
+
+  void readWorker(unsigned W);
+  void onCellDone(unsigned W, const Frame &F);
+  void handleWorkerCrash(unsigned W);
+  void recordOutcome(Job &J, size_t CellIdx,
+                     StatusOr<harness::CellResult> Outcome);
+
+  void dispatch();
+  Job *nextRRJob();
+  void enqueueRR(Job &J, bool Front = false);
+  void expireDeadlines();
+  void gcFinishedJobs();
+  uint64_t activeJobs() const;
+  Job *findJob(uint64_t Id);
+  void cancelPendingCells(Job &J, const Status &Shed);
+  void closeInheritedFdsInChild() const;
+  void log(const std::string &Line) const;
+
+  ServerOptions Opts;
+  WorkerPool &Pool;
+  const guard::CancelToken *Drain;
+
+  int ListenFd = -1;
+  int StopPipe[2] = {-1, -1};
+  bool Draining = false;
+
+  std::map<int, Conn> Conns;
+  std::map<uint64_t, Job> Jobs;
+  std::deque<uint64_t> RR;
+  /// Dispatch ticket -> (job, cell index).
+  std::map<uint64_t, std::pair<uint64_t, size_t>> Tickets;
+  std::vector<FrameDecoder> WorkerIn;
+  uint64_t NextJob = 1;
+  uint64_t NextSeq = 0;
+  uint64_t NextTicket = 0;
+
+  /// In-process execution cache (Workers=0 mode only).
+  std::shared_ptr<serialize::ArtifactCache> InProcCache;
+  bool InProcCacheReady = false;
+
+  // Counters are atomics so tests can read them from another thread while
+  // the loop runs.
+  std::atomic<uint64_t> CtrConns{0}, CtrJobsAccepted{0}, CtrJobsRejected{0},
+      CtrDispatched{0}, CtrCompleted{0}, CtrFailed{0}, CtrRetried{0},
+      CtrCrashes{0}, CtrProtocolErrors{0};
+};
+
+} // namespace dmp::serve
+
+#endif // DMP_SERVE_SERVER_H

@@ -1,0 +1,174 @@
+//===- serve/WorkerPool.cpp - Forked cell-worker processes ----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/WorkerPool.h"
+
+#include "serialize/ArtifactCache.h"
+#include "serve/Protocol.h"
+#include "support/ExitCodes.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dmp;
+using namespace dmp::serve;
+
+WorkerPool::WorkerPool(WorkerPoolOptions Opts) : Options(std::move(Opts)) {
+  Slots.resize(Options.Workers);
+  for (Slot &S : Slots)
+    spawn(S);
+}
+
+WorkerPool::~WorkerPool() {
+  for (Slot &S : Slots) {
+    if (S.Fd != -1)
+      ::close(S.Fd);
+    S.Fd = -1;
+  }
+  for (Slot &S : Slots) {
+    if (S.Pid > 0)
+      ::waitpid(S.Pid, nullptr, 0);
+    S.Pid = -1;
+  }
+}
+
+std::vector<pid_t> WorkerPool::pids() const {
+  std::vector<pid_t> Out;
+  for (const Slot &S : Slots)
+    if (S.Pid > 0)
+      Out.push_back(S.Pid);
+  return Out;
+}
+
+void WorkerPool::spawn(Slot &S) {
+  int Pair[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Pair) != 0) {
+    S = Slot();
+    return;
+  }
+  const pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Pair[0]);
+    ::close(Pair[1]);
+    S = Slot();
+    return;
+  }
+  if (Pid == 0) {
+    // Child: drop the supervisor end, any server fds, and the other
+    // workers' supervisor ends, then loop until EOF.
+    ::close(Pair[0]);
+    for (const Slot &Other : Slots)
+      if (Other.Fd != -1)
+        ::close(Other.Fd);
+    if (Options.InChild)
+      Options.InChild();
+    workerMain(Pair[1], Options.UseCache ? Options.CacheDir : std::string(),
+               Options.UseCache);
+  }
+  ::close(Pair[1]);
+  S = Slot();
+  S.Pid = Pid;
+  S.Fd = Pair[0];
+}
+
+Status WorkerPool::dispatch(unsigned W, uint64_t Ticket,
+                            const std::vector<uint8_t> &RunCellPayload) {
+  Slot &S = Slots[W];
+  if (S.Fd == -1)
+    return Status::transient("worker slot is dead", "serve::WorkerPool");
+  if (Status St = writeFrame(S.Fd, MsgType::RunCell, RunCellPayload);
+      !St.ok())
+    return St;
+  S.Busy = true;
+  S.HasTicket = true;
+  S.Ticket = Ticket;
+  return Status();
+}
+
+void WorkerPool::complete(unsigned W) {
+  Slots[W].Busy = false;
+  Slots[W].HasTicket = false;
+}
+
+WorkerPool::CrashReport WorkerPool::onWorkerDeath(unsigned W, bool Respawn) {
+  Slot &S = Slots[W];
+  CrashReport Report;
+  Report.HadTicket = S.HasTicket;
+  Report.Ticket = S.Ticket;
+  if (S.Fd != -1)
+    ::close(S.Fd);
+  if (S.Pid > 0)
+    ::waitpid(S.Pid, nullptr, 0);
+  S = Slot();
+  if (Respawn)
+    spawn(S);
+  return Report;
+}
+
+int WorkerPool::idleWorker() const {
+  for (unsigned W = 0; W < Slots.size(); ++W)
+    if (Slots[W].Fd != -1 && !Slots[W].Busy)
+      return static_cast<int>(W);
+  return -1;
+}
+
+void WorkerPool::workerMain(int Fd, const std::string &CacheDir,
+                            bool UseCache) {
+  // A worker must never die of SIGPIPE (the supervisor vanishing shows up
+  // as EOF/EPIPE Status instead) and must not react to the terminal's
+  // SIGINT: the supervisor drains it by closing the socketpair.
+  ::signal(SIGPIPE, SIG_IGN);
+  ::signal(SIGINT, SIG_IGN);
+
+  // Crash-injection hook for the isolation tests: die with the crashpoint
+  // exit code the moment the named dispatch ticket arrives.
+  uint64_t CrashTicket = ~0ull;
+  bool CrashArmed = false;
+  if (const char *Env = std::getenv("DMP_SERVE_CRASH_TICKET")) {
+    char *End = nullptr;
+    const uint64_t V = std::strtoull(Env, &End, 10);
+    if (End != Env && *End == '\0') {
+      CrashTicket = V;
+      CrashArmed = true;
+    }
+  }
+
+  // One cache handle for the worker's lifetime: the shared
+  // content-addressed store is what makes the service's cache warm across
+  // jobs, clients, and worker generations.
+  std::shared_ptr<serialize::ArtifactCache> Cache;
+  if (UseCache && !CacheDir.empty())
+    Cache = std::make_shared<serialize::ArtifactCache>(CacheDir);
+
+  while (true) {
+    StatusOr<Frame> F = readFrame(Fd);
+    if (!F.ok())
+      ::_exit(F.status().code() == ErrorCode::NotFound ? 0 : 1);
+    if (F->Type != MsgType::RunCell)
+      ::_exit(1);
+
+    uint64_t Ticket = 0;
+    harness::CellSpec Spec;
+    StatusOr<harness::CellResult> Outcome =
+        Status::invariant("cell never ran", "serve::WorkerPool");
+    if (Status S = decodeRunCell(F->Payload, Ticket, Spec); !S.ok()) {
+      Outcome = S;
+    } else {
+      if (CrashArmed && Ticket == CrashTicket)
+        ::_exit(exitcode::CrashChild);
+      Outcome = harness::runCellSpec(Spec, Cache);
+    }
+    if (Status S =
+            writeFrame(Fd, MsgType::CellDone, encodeCellDone(Ticket, Outcome));
+        !S.ok())
+      ::_exit(1);
+  }
+}

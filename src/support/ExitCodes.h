@@ -34,6 +34,12 @@ inline constexpr int Usage = 2;
 /// resumes it.  128 + SIGINT, the conventional interrupted-by-signal code.
 inline constexpr int Interrupted = 130;
 
+/// The run was terminated by SIGTERM (128 + SIGTERM).  Only dmp_served
+/// distinguishes SIGTERM from SIGINT — a service manager's stop is not an
+/// operator's ^C — via guard::lastSignal(); the one-shot drivers keep
+/// exiting Interrupted for both.
+inline constexpr int Terminated = 143;
+
 /// The exit code crashpoint-harness children die with (mimicking SIGKILL's
 /// 128 + 9), so tests/test_crash.cpp can tell an injected crash from an
 /// ordinary failure.

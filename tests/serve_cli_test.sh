@@ -1,0 +1,98 @@
+#!/bin/sh
+# End-to-end CLI contract of the campaign service, driven by ctest:
+#
+#   serve_cli_test.sh digest      DMP_SERVED DMPC
+#       `dmpc --remote` must print a stats digest bit-identical to the
+#       local `dmpc --simulate` run of the same spec, and the daemon must
+#       exit 143 (exitcode::Terminated) on SIGTERM after draining.
+#
+#   serve_cli_test.sh worker-kill DMP_SERVED DMPC
+#       Same digest contract, but with DMP_SERVE_CRASH_TICKET=0 the worker
+#       handling the first dispatched cell dies mid-campaign; the retry
+#       must leave both the digest and the client exit code unchanged.
+#
+#   serve_cli_test.sh sigint      DMP_SERVED DMPC
+#       SIGINT drains and exits 130 (exitcode::Interrupted).
+set -eu
+
+MODE=$1
+SERVED=$2
+DMPC=$3
+
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/dmp-serve-cli.XXXXXX")
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$DIR/served.sock"
+LOG="$DIR/served.log"
+BENCH=mcf
+SIM=--sim-instrs=100000
+
+if [ "$MODE" = worker-kill ]; then
+  DMP_SERVE_CRASH_TICKET=0
+  export DMP_SERVE_CRASH_TICKET
+fi
+
+"$SERVED" --socket="$SOCK" --workers=2 --cache-dir="$DIR/cache" \
+  >"$LOG" 2>&1 &
+PID=$!
+
+i=0
+until grep -q listening "$LOG" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "FAIL: daemon never reported listening"
+    cat "$LOG"
+    exit 1
+  fi
+  sleep 0.1
+done
+
+if [ "$MODE" = sigint ]; then
+  kill -INT "$PID"
+  wait "$PID" && CODE=0 || CODE=$?
+  PID=""
+  if [ "$CODE" -ne 130 ]; then
+    echo "FAIL: expected exit 130 after SIGINT, got $CODE"
+    cat "$LOG"
+    exit 1
+  fi
+  exit 0
+fi
+
+LOCAL=$("$DMPC" "$BENCH" --simulate "$SIM" --cache-dir="$DIR/cache" \
+  2>/dev/null | grep '^digest')
+REMOTE=$("$DMPC" "$BENCH" --remote="$SOCK" "$SIM" 2>/dev/null | grep '^digest')
+
+if [ -z "$LOCAL" ]; then
+  echo "FAIL: local run printed no digest"
+  exit 1
+fi
+if [ "$LOCAL" != "$REMOTE" ]; then
+  echo "FAIL: digest mismatch"
+  echo "  local : $LOCAL"
+  echo "  remote: $REMOTE"
+  exit 1
+fi
+
+if [ "$MODE" = worker-kill ]; then
+  if ! grep -q "died holding ticket 0" "$LOG"; then
+    echo "FAIL: the armed worker crash never happened"
+    cat "$LOG"
+    exit 1
+  fi
+fi
+
+kill -TERM "$PID"
+wait "$PID" && CODE=0 || CODE=$?
+PID=""
+if [ "$CODE" -ne 143 ]; then
+  echo "FAIL: expected exit 143 after SIGTERM, got $CODE"
+  cat "$LOG"
+  exit 1
+fi
+exit 0

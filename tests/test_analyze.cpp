@@ -19,7 +19,6 @@
 #include "analyze/Analyze.h"
 #include "cfg/Analysis.h"
 #include "core/AnnotationIO.h"
-#include "ir/Verifier.h"
 #include "profile/Profiler.h"
 
 #include <gtest/gtest.h>
@@ -578,15 +577,16 @@ TEST(AnalysisManagerTest, WarningsDoNotGate) {
   EXPECT_EQ(Sink.errorCount(), 0u);
 }
 
-/// The deprecated ir::Verifier shim must keep its contract: false plus one
-/// rendered line per error-severity finding.
-TEST(AnalysisManagerTest, VerifierShimStillReportsErrors) {
+/// lintProgram (which replaced the removed ir::Verifier shim) must report
+/// error-severity findings as a non-ok Status with rendered IR codes.
+TEST(AnalysisManagerTest, LintProgramReportsErrors) {
   const test::ProgramHandles H = test::buildSimpleHammockLoop();
   H.Merge->instructions().front().Dst = ir::RegZero;
-  std::vector<std::string> Errors;
-  EXPECT_FALSE(ir::verifyProgram(*H.Prog, Errors));
-  ASSERT_FALSE(Errors.empty());
-  EXPECT_NE(Errors.front().find("IR06"), std::string::npos) << Errors.front();
+  analyze::DiagnosticSink Sink;
+  EXPECT_FALSE(analyze::lintProgram(*H.Prog, &Sink).ok());
+  ASSERT_GE(Sink.errorCount(), 1u);
+  EXPECT_NE(Sink.renderText().find("IR06"), std::string::npos)
+      << Sink.renderText();
 }
 
 //===----------------------------------------------------------------------===//

@@ -4,9 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analyze/Analyze.h"
 #include "ir/IRBuilder.h"
 #include "ir/Printer.h"
-#include "ir/Verifier.h"
 #include "TestPrograms.h"
 
 #include <gtest/gtest.h>
@@ -105,22 +105,25 @@ TEST(BasicBlockTest, FallthroughOnlyBlock) {
   EXPECT_EQ(Succs[0], H.Merge);
 }
 
-TEST(VerifierTest, AcceptsWellFormed) {
+// Structural validation goes through the analyze:: static checker (the old
+// ir::Verifier shim is gone): lintProgram returns a Status that is non-ok
+// exactly when an error-severity diagnostic fired.
+
+TEST(IrLintTest, AcceptsWellFormed) {
   auto H = test::buildFreqHammockLoop();
-  std::vector<std::string> Errors;
-  EXPECT_TRUE(verifyProgram(*H.Prog, Errors));
-  EXPECT_TRUE(Errors.empty());
+  analyze::DiagnosticSink Sink;
+  EXPECT_TRUE(analyze::lintProgram(*H.Prog, &Sink).ok());
+  EXPECT_EQ(Sink.errorCount(), 0u);
 }
 
-TEST(VerifierTest, RejectsUnfinalized) {
+TEST(IrLintTest, RejectsUnfinalized) {
   Program P("bad");
   Function *F = P.createFunction("main");
   (void)F;
-  std::vector<std::string> Errors;
-  EXPECT_FALSE(verifyProgram(P, Errors));
+  EXPECT_FALSE(analyze::lintProgram(P).ok());
 }
 
-TEST(VerifierTest, RejectsMissingHalt) {
+TEST(IrLintTest, RejectsMissingHalt) {
   Program P("bad");
   Function *F = P.createFunction("main");
   BasicBlock *Entry = F->createBlock("entry");
@@ -130,11 +133,10 @@ TEST(VerifierTest, RejectsMissingHalt) {
   B.ret(); // main returns instead of halting: structurally legal block,
            // but no halt anywhere.
   P.finalize();
-  std::vector<std::string> Errors;
-  EXPECT_FALSE(verifyProgram(P, Errors));
+  EXPECT_FALSE(analyze::lintProgram(P).ok());
 }
 
-TEST(VerifierTest, RejectsEmptyBlock) {
+TEST(IrLintTest, RejectsEmptyBlock) {
   Program P("bad");
   Function *F = P.createFunction("main");
   F->createBlock("empty");
@@ -143,11 +145,10 @@ TEST(VerifierTest, RejectsEmptyBlock) {
   B.setInsertPoint(Second);
   B.halt();
   P.finalize();
-  std::vector<std::string> Errors;
-  EXPECT_FALSE(verifyProgram(P, Errors));
+  EXPECT_FALSE(analyze::lintProgram(P).ok());
 }
 
-TEST(VerifierTest, RejectsFallOffFunctionEnd) {
+TEST(IrLintTest, RejectsFallOffFunctionEnd) {
   Program P("bad");
   Function *F = P.createFunction("main");
   BasicBlock *Entry = F->createBlock("entry");
@@ -155,8 +156,7 @@ TEST(VerifierTest, RejectsFallOffFunctionEnd) {
   B.setInsertPoint(Entry);
   B.loadImm(1, 1); // no terminator at all
   P.finalize();
-  std::vector<std::string> Errors;
-  EXPECT_FALSE(verifyProgram(P, Errors));
+  EXPECT_FALSE(analyze::lintProgram(P).ok());
 }
 
 TEST(PrinterTest, ContainsMnemonicsAndNames) {

@@ -1,0 +1,192 @@
+//===- tools/dmp_served.cpp - The campaign-service daemon -----------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// Long-lived campaign service: owns the content-addressed artifact cache
+// and a pool of forked worker processes, and accepts campaign submissions
+// from `dmpc --remote` over a Unix socket (see DESIGN.md "Service
+// architecture" and serve/Protocol.h for the wire format).
+//
+// Usage:
+//   dmp_served --socket=PATH [options]
+//
+// Options:
+//   --socket=PATH        Unix socket to listen on (required)
+//   --workers=N          worker processes (default 2; 0 = in-process)
+//   --cache-dir=DIR      artifact cache shared by all workers (default
+//                        $DMP_CACHE_DIR or .dmp-cache)
+//   --no-cache           run every cell uncached
+//   --max-jobs=N         admission bound on concurrently active jobs
+//                        (default 64); over-limit SUBMITs are rejected
+//                        with ResourceExhausted
+//   --max-cells=N        admission bound on cells per job (default 256)
+//   --cell-attempts=N    dispatch attempts per cell across worker crashes
+//                        (default 3)
+//   --quiet              suppress the per-event log lines
+//
+// Shutdown: SIGINT and SIGTERM both drain gracefully — stop accepting,
+// shed pending cells, let in-flight cells finish, flush replies — and then
+// exit 130 (SIGINT) or 143 (SIGTERM), so process supervisors can tell an
+// operator interrupt from a managed stop.  A SHUTDOWN frame drains the
+// same way and exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "guard/Guard.h"
+#include "harness/Engine.h"
+#include "serve/Server.h"
+#include "serve/WorkerPool.h"
+#include "support/ExitCodes.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dmp;
+
+namespace {
+
+struct DaemonOptions {
+  std::string Socket;
+  unsigned Workers = 2;
+  std::string CacheDir = harness::EngineOptions::defaultCacheDir();
+  bool UseCache = true;
+  unsigned MaxJobs = 64;
+  unsigned MaxCells = 256;
+  unsigned CellAttempts = 3;
+  bool Quiet = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dmp_served --socket=PATH [--workers=N] "
+               "[--cache-dir=DIR] [--no-cache] [--max-jobs=N] "
+               "[--max-cells=N] [--cell-attempts=N] [--quiet]\n");
+}
+
+bool parseU64(const char *V, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(V, &End, 10);
+  return End != V && *End == '\0';
+}
+
+bool parseArgs(int Argc, char **Argv, DaemonOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    uint64_t U = 0;
+    if (Arg.rfind("--socket=", 0) == 0) {
+      Opts.Socket = Arg.substr(9);
+    } else if (Arg.rfind("--workers=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 10, U) || U > 64) {
+        std::fprintf(stderr, "error: invalid --workers value '%s'\n",
+                     Arg.c_str() + 10);
+        return false;
+      }
+      Opts.Workers = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Opts.CacheDir = Arg.substr(12);
+      if (Opts.CacheDir.empty()) {
+        std::fprintf(stderr, "error: empty --cache-dir value\n");
+        return false;
+      }
+    } else if (Arg == "--no-cache") {
+      Opts.UseCache = false;
+    } else if (Arg.rfind("--max-jobs=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 11, U) || U == 0 || U > 100'000) {
+        std::fprintf(stderr, "error: invalid --max-jobs value '%s'\n",
+                     Arg.c_str() + 11);
+        return false;
+      }
+      Opts.MaxJobs = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--max-cells=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 12, U) || U == 0 ||
+          U > serve::kMaxCellsPerSubmit) {
+        std::fprintf(stderr, "error: invalid --max-cells value '%s'\n",
+                     Arg.c_str() + 12);
+        return false;
+      }
+      Opts.MaxCells = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--cell-attempts=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 16, U) || U == 0 || U > 100) {
+        std::fprintf(stderr, "error: invalid --cell-attempts value '%s'\n",
+                     Arg.c_str() + 16);
+        return false;
+      }
+      Opts.CellAttempts = static_cast<unsigned>(U);
+    } else if (Arg == "--quiet") {
+      Opts.Quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return false;
+    }
+  }
+  return !Opts.Socket.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DaemonOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return exitcode::Usage;
+  }
+
+  // Fork the workers BEFORE arming signal handlers: a worker must not
+  // inherit the supervisor's drain semantics (it ignores SIGINT itself and
+  // is drained by its socketpair closing).
+  serve::WorkerPoolOptions PoolOpts;
+  PoolOpts.Workers = Opts.Workers;
+  PoolOpts.CacheDir = Opts.CacheDir;
+  PoolOpts.UseCache = Opts.UseCache;
+  serve::WorkerPool Pool(PoolOpts);
+
+  guard::installSignalHandlers();
+
+  serve::ServerOptions ServerOpts;
+  ServerOpts.SocketPath = Opts.Socket;
+  ServerOpts.MaxActiveJobs = Opts.MaxJobs;
+  ServerOpts.MaxCellsPerJob = Opts.MaxCells;
+  ServerOpts.CellAttempts = Opts.CellAttempts;
+  ServerOpts.Quiet = Opts.Quiet;
+  serve::Server Server(std::move(ServerOpts), Pool);
+
+  if (Status S = Server.listen(); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return exitcode::Failure;
+  }
+  // The readiness line scripts wait for before connecting.
+  std::printf("dmp_served: listening on %s (%u workers, cache %s)\n",
+              Opts.Socket.c_str(), Pool.size(),
+              Opts.UseCache ? Opts.CacheDir.c_str() : "off");
+  std::fflush(stdout);
+
+  const Status Run = Server.run();
+
+  const serve::Server::Counters C = Server.counters();
+  std::fprintf(stderr,
+               "[serve] conns=%llu jobs=%llu rejected=%llu dispatched=%llu "
+               "completed=%llu failed=%llu retried=%llu crashes=%llu "
+               "protocol-errors=%llu\n",
+               static_cast<unsigned long long>(C.ConnectionsAccepted),
+               static_cast<unsigned long long>(C.JobsAccepted),
+               static_cast<unsigned long long>(C.JobsRejected),
+               static_cast<unsigned long long>(C.CellsDispatched),
+               static_cast<unsigned long long>(C.CellsCompleted),
+               static_cast<unsigned long long>(C.CellsFailed),
+               static_cast<unsigned long long>(C.CellsRetried),
+               static_cast<unsigned long long>(C.WorkerCrashes),
+               static_cast<unsigned long long>(C.ProtocolErrors));
+
+  if (!Run.ok()) {
+    std::fprintf(stderr, "error: %s\n", Run.toString().c_str());
+    return exitcode::Failure;
+  }
+  // A signal-initiated drain reports which signal: 130 for SIGINT, 143 for
+  // SIGTERM (exitcode::Terminated), per the supervisor convention.
+  if (guard::interrupted())
+    return guard::lastSignal() == SIGTERM ? exitcode::Terminated
+                                          : exitcode::Interrupted;
+  return exitcode::Ok;
+}

@@ -42,6 +42,10 @@
 //   --cache-dir=<dir>             artifact cache location (default
 //                                 $DMP_CACHE_DIR or .dmp-cache)
 //   --no-cache                    recompute; skip the artifact cache
+//   --remote=<socket>             run the cell on a dmp_served daemon
+//                                 instead of in-process (implies
+//                                 --simulate; the printed stats digest is
+//                                 bit-identical to a local run)
 //   --list                        list available benchmarks and exit
 //
 // Unknown options and malformed numeric values are rejected with usage and
@@ -54,12 +58,13 @@
 #include "cfg/DotExport.h"
 #include "check/Oracle.h"
 #include "core/AnnotationIO.h"
-#include "core/SimpleSelectors.h"
 #include "exec/TaskGraph.h"
 #include "guard/Guard.h"
+#include "harness/CellRun.h"
 #include "harness/Engine.h"
 #include "ir/Printer.h"
 #include "profile/TwoDProfile.h"
+#include "serve/Client.h"
 #include "support/ExitCodes.h"
 #include "support/StringUtils.h"
 
@@ -91,6 +96,7 @@ struct CliOptions {
   unsigned Jobs = exec::ThreadPool::defaultThreadCount();
   std::string CacheDir = harness::EngineOptions::defaultCacheDir();
   bool UseCache = true;
+  std::string RemoteSocket; ///< non-empty: ship the cell to a dmp_served
 };
 
 void usage() {
@@ -101,7 +107,7 @@ void usage() {
                "[--no-lint] [--verify] "
                "[--inject-fault=0|1|2] [--sim-instrs=N] "
                "[--jobs=N] [--cache-dir=DIR] [--no-cache] "
-               "| --list\n");
+               "[--remote=SOCKET] | --list\n");
 }
 
 /// Strict numeric parsing: the whole value must be a number, or we fail
@@ -174,6 +180,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       }
     } else if (Arg == "--no-cache") {
       Opts.UseCache = false;
+    } else if (Arg.rfind("--remote=", 0) == 0) {
+      Opts.RemoteSocket = Arg.substr(9);
+      if (Opts.RemoteSocket.empty()) {
+        std::fprintf(stderr, "error: empty --remote value\n");
+        return false;
+      }
     } else if (Arg == "--2d-filter") {
       Opts.TwoDFilter = true;
     } else if (Arg == "--emit-map") {
@@ -209,45 +221,85 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   return !Opts.Benchmark.empty();
 }
 
-/// Runs the requested selection algorithm.
+/// Runs the requested selection algorithm via the shared per-cell entry
+/// point (harness::selectByAlgo), so dmpc and the serve workers parse one
+/// grammar and run one implementation.
 core::DivergeMap runSelection(harness::BenchContext &Bench,
                               const CliOptions &Opts,
                               core::SelectionStats &Stats) {
-  using core::SelectionFeatures;
-  const auto Input = Opts.ProfileInput;
-  if (Opts.Algo == "exact")
-    return Bench.select(SelectionFeatures::exactOnly(), Input, &Stats);
-  if (Opts.Algo == "freq")
-    return Bench.select(SelectionFeatures::exactFreq(), Input, &Stats);
-  if (Opts.Algo == "short")
-    return Bench.select(SelectionFeatures::exactFreqShort(), Input, &Stats);
-  if (Opts.Algo == "ret")
-    return Bench.select(SelectionFeatures::exactFreqShortRet(), Input,
-                        &Stats);
-  if (Opts.Algo == "all")
-    return Bench.select(SelectionFeatures::allBestHeur(), Input, &Stats);
-  if (Opts.Algo == "cost-long")
-    return Bench.select(SelectionFeatures::costLong(), Input, &Stats);
-  if (Opts.Algo == "cost-edge")
-    return Bench.select(SelectionFeatures::costEdge(), Input, &Stats);
-  if (Opts.Algo == "all-cost")
-    return Bench.select(SelectionFeatures::allBestCost(), Input, &Stats);
+  StatusOr<core::DivergeMap> Map =
+      harness::selectByAlgo(Bench, Opts.Algo, Opts.ProfileInput, &Stats);
+  if (!Map.ok()) {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                 Opts.Algo.c_str());
+    std::exit(exitcode::Usage);
+  }
+  return *std::move(Map);
+}
 
-  const auto &PA = Bench.analysis();
-  const auto &Prof = Bench.profileData(Input);
-  if (Opts.Algo == "every-br")
-    return core::selectEveryBranch(PA, Prof);
-  if (Opts.Algo == "random-50")
-    return core::selectRandom50(PA, Prof);
-  if (Opts.Algo == "high-bp-5")
-    return core::selectHighBP(PA, Prof);
-  if (Opts.Algo == "immediate")
-    return core::selectImmediate(PA, Prof);
-  if (Opts.Algo == "if-else")
-    return core::selectIfElse(PA, Prof, Bench.options().Selection);
+void printSimReport(const sim::SimStats &Base, const sim::SimStats &Dmp) {
+  std::printf("baseline: IPC %.3f  MPKI %.2f  flushes/kinstr %.2f\n",
+              Base.ipc(), Base.mpki(), Base.flushesPerKiloInstr());
+  std::printf("DMP     : IPC %.3f  flushes/kinstr %.2f  dpred entries "
+              "%llu  merged %llu  saved flushes %llu\n",
+              Dmp.ipc(), Dmp.flushesPerKiloInstr(),
+              static_cast<unsigned long long>(Dmp.DpredEntries),
+              static_cast<unsigned long long>(Dmp.DpredMerged),
+              static_cast<unsigned long long>(Dmp.DpredSavedFlushes));
+  std::printf("speedup : %s\n",
+              formatPercent(harness::ipcImprovement(Base, Dmp)).c_str());
+}
 
-  std::fprintf(stderr, "error: unknown algorithm '%s'\n", Opts.Algo.c_str());
-  std::exit(exitcode::Usage);
+/// `dmpc --remote`: ship the cell to a dmp_served daemon and render the
+/// same report a local --simulate run prints, including the stats digest —
+/// which must come back bit-identical to local execution.
+int runRemote(const CliOptions &Opts) {
+  harness::CellSpec Spec;
+  Spec.Benchmark = Opts.Benchmark;
+  Spec.Algo = Opts.Algo;
+  Spec.ProfileInput = Opts.ProfileInput;
+  Spec.MaxInstr = Opts.MaxInstr;
+  Spec.MinMergeProb = Opts.MinMergeProb;
+  Spec.SimInstrs = Opts.SimInstrs;
+  if (Status S = Spec.validate(); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return exitcode::Usage;
+  }
+
+  serve::Client Client;
+  if (Status S = Client.connect(Opts.RemoteSocket); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return exitcode::Failure;
+  }
+  serve::SubmitRequest Req;
+  Req.Cells.push_back(Spec);
+  StatusOr<serve::FetchReplyData> Reply = Client.runCampaign(Req);
+  if (!Reply.ok()) {
+    std::fprintf(stderr, "error: %s\n", Reply.status().toString().c_str());
+    return guard::interrupted() ? exitcode::Interrupted : exitcode::Failure;
+  }
+  if (Reply->Cells.size() != 1) {
+    std::fprintf(stderr, "error: server returned %zu cells for 1 submitted\n",
+                 Reply->Cells.size());
+    return exitcode::Failure;
+  }
+  const StatusOr<harness::CellResult> &Cell = Reply->Cells[0];
+  if (!Cell.ok()) {
+    std::fprintf(stderr, "error: %s\n", Cell.status().toString().c_str());
+    return exitcode::Failure;
+  }
+
+  std::printf("%s: algo=%s profile=%s -> %llu diverge branches "
+              "(avg %.2f CFM points)\n",
+              Opts.Benchmark.c_str(), Opts.Algo.c_str(),
+              Opts.ProfileInput == workloads::InputSetKind::Run ? "run"
+                                                                : "train",
+              static_cast<unsigned long long>(Cell->DivergeBranches),
+              Cell->AvgCfmPoints);
+  printSimReport(Cell->Baseline, Cell->Dmp);
+  std::printf("digest  : %s\n",
+              harness::cellResultDigest(*Cell).hex().c_str());
+  return exitcode::Ok;
 }
 
 } // namespace
@@ -268,6 +320,19 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: unknown benchmark '%s' (try --list)\n",
                  Opts.Benchmark.c_str());
     return exitcode::Usage;
+  }
+
+  if (!Opts.RemoteSocket.empty()) {
+    // Remote mode runs exactly one profile->select->simulate cell on the
+    // daemon; the local-only analysis/report modes don't ship.
+    if (Opts.TwoDFilter || Opts.EmitMap || Opts.DumpProgram || Opts.DumpDot ||
+        Opts.LintOnly || Opts.Verify) {
+      std::fprintf(stderr,
+                   "error: --remote supports only the simulate pipeline "
+                   "(no --2d-filter/--emit-map/--dump-*/--lint/--verify)\n");
+      return exitcode::Usage;
+    }
+    return runRemote(Opts);
   }
 
   harness::ExperimentOptions Options;
@@ -392,16 +457,15 @@ int main(int Argc, char **Argv) {
       Graph.run(Pool);
     }
     const sim::SimStats &Base = Bench.baseline();
-    std::printf("baseline: IPC %.3f  MPKI %.2f  flushes/kinstr %.2f\n",
-                Base.ipc(), Base.mpki(), Base.flushesPerKiloInstr());
-    std::printf("DMP     : IPC %.3f  flushes/kinstr %.2f  dpred entries "
-                "%llu  merged %llu  saved flushes %llu\n",
-                Dmp.ipc(), Dmp.flushesPerKiloInstr(),
-                static_cast<unsigned long long>(Dmp.DpredEntries),
-                static_cast<unsigned long long>(Dmp.DpredMerged),
-                static_cast<unsigned long long>(Dmp.DpredSavedFlushes));
-    std::printf("speedup : %s\n",
-                formatPercent(harness::ipcImprovement(Base, Dmp)).c_str());
+    printSimReport(Base, Dmp);
+    // The digest a --remote run of the same spec must reproduce.
+    harness::CellResult Local;
+    Local.Baseline = Base;
+    Local.Dmp = Dmp;
+    Local.DivergeBranches = Map.size();
+    Local.AvgCfmPoints = Map.avgCfmPoints();
+    std::printf("digest  : %s\n",
+                harness::cellResultDigest(Local).hex().c_str());
   }
 
   if (const serialize::ArtifactCache *Cache = Options.Cache.get())
