@@ -288,6 +288,8 @@ void Server::gcFinishedJobs() {
 int Server::pollTimeoutMs() const {
   if (Draining)
     return 100; // re-check drain completion promptly
+  if (Pool.inProcess() && !RR.empty())
+    return 0; // pending inline work: service fds, then run the next cell
   long Best = -1;
   const auto Now = std::chrono::steady_clock::now();
   for (const auto &[Id, J] : Jobs) {
@@ -325,16 +327,19 @@ void Server::dispatch() {
     return;
 
   if (Pool.inProcess()) {
-    // Workers=0: run cells inline, still one-cell-per-rotation fair.  This
-    // blocks the loop per cell — the mode exists for correctness coverage
-    // (TSan) and tiny deployments, not throughput.
+    // Workers=0: run exactly ONE cell inline per dispatch() call, so the
+    // event loop regains control between cells — cancellation, deadlines,
+    // new connections, and drain are all serviced at cell granularity
+    // (pollTimeoutMs() returns 0 while the rotation queue is non-empty).
+    // The mode exists for correctness coverage (TSan) and tiny
+    // deployments, not throughput.
     if (!InProcCacheReady) {
       InProcCacheReady = true;
       const WorkerPoolOptions &PO = Pool.options();
       if (PO.UseCache && !PO.CacheDir.empty())
         InProcCache = std::make_shared<serialize::ArtifactCache>(PO.CacheDir);
     }
-    while (Job *J = nextRRJob()) {
+    if (Job *J = nextRRJob()) {
       size_t Idx = 0;
       while (Idx < J->Cells.size() &&
              J->Cells[Idx].Phase != CellPhase::Pending)
@@ -367,7 +372,23 @@ void Server::dispatch() {
     const Status S = Pool.dispatch(static_cast<unsigned>(W), Ticket,
                                    encodeRunCell(Ticket, C.Spec));
     if (!S.ok()) {
-      // The worker died under the write: same path as an EOF crash.
+      // The worker died under the write: the RunCell never reached it, so
+      // the pool holds no ticket for this cell and handleWorkerCrash()
+      // cannot undo the bookkeeping above — do it here, or the cell is
+      // stuck Running forever and drain never completes.
+      Tickets.erase(Ticket);
+      if (C.Attempts < Opts.CellAttempts) {
+        C.Phase = CellPhase::Pending;
+        CtrRetried.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        recordOutcome(*J, Idx,
+                      Status::transient("worker crashed on every attempt (" +
+                                            std::to_string(C.Attempts) +
+                                            " of " +
+                                            std::to_string(Opts.CellAttempts) +
+                                            ")",
+                                        "serve::Server"));
+      }
       handleWorkerCrash(static_cast<unsigned>(W));
       enqueueRR(*J, /*Front=*/true);
       continue;
@@ -384,6 +405,7 @@ void Server::readWorker(unsigned W) {
   if (Fd == -1)
     return;
   uint8_t Buf[16384];
+  bool Died = false;
   while (true) {
     const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
     if (N > 0) {
@@ -391,15 +413,15 @@ void Server::readWorker(unsigned W) {
       continue;
     }
     if (N == 0) {
-      handleWorkerCrash(W);
-      return;
+      Died = true;
+      break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK)
       break;
     if (errno == EINTR)
       continue;
-    handleWorkerCrash(W);
-    return;
+    Died = true;
+    break;
   }
 
   Frame F;
@@ -407,33 +429,36 @@ void Server::readWorker(unsigned W) {
   while (true) {
     const FrameDecoder::Outcome O = WorkerIn[W].next(F, Err);
     if (O == FrameDecoder::Outcome::NeedMore)
-      return;
-    if (O != FrameDecoder::Outcome::Got) {
+      break;
+    if (O != FrameDecoder::Outcome::Got || !onCellDone(W, F)) {
       // A worker speaking garbage is as dead as a crashed one.
       handleWorkerCrash(W);
       return;
     }
-    onCellDone(W, F);
   }
+  // Reap the corpse only after draining its buffered frames: a CellDone the
+  // worker flushed just before dying is a finished result, and recomputing
+  // it would burn one of the cell's bounded attempts for nothing.
+  if (Died)
+    handleWorkerCrash(W);
 }
 
-void Server::onCellDone(unsigned W, const Frame &F) {
+bool Server::onCellDone(unsigned W, const Frame &F) {
   uint64_t Ticket = 0;
   StatusOr<harness::CellResult> Outcome;
   if (F.Type != MsgType::CellDone ||
-      !decodeCellDone(F.Payload, Ticket, Outcome).ok()) {
-    handleWorkerCrash(W);
-    return;
-  }
+      !decodeCellDone(F.Payload, Ticket, Outcome).ok())
+    return false;
   Pool.complete(W);
   auto It = Tickets.find(Ticket);
   if (It == Tickets.end())
-    return; // job was cancelled+fetched or GC'd while the cell ran
+    return true; // job was cancelled+fetched or GC'd while the cell ran
   const auto [JobId, CellIdx] = It->second;
   Tickets.erase(It);
   if (Job *J = findJob(JobId))
     if (J->Cells[CellIdx].Phase == CellPhase::Running)
       recordOutcome(*J, CellIdx, std::move(Outcome));
+  return true;
 }
 
 void Server::handleWorkerCrash(unsigned W) {

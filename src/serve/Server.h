@@ -152,7 +152,9 @@ private:
   void dropConn(int Fd);
 
   void readWorker(unsigned W);
-  void onCellDone(unsigned W, const Frame &F);
+  /// Records a worker's CellDone; false means the frame was not a valid
+  /// CellDone (the caller treats the worker as crashed).
+  bool onCellDone(unsigned W, const Frame &F);
   void handleWorkerCrash(unsigned W);
   void recordOutcome(Job &J, size_t CellIdx,
                      StatusOr<harness::CellResult> Outcome);

@@ -21,7 +21,22 @@
 using namespace dmp;
 using namespace dmp::serve;
 
+namespace {
+
+/// Parses a crash-injection ticket from \p EnvVar; ~0ull means unarmed.
+uint64_t ticketFromEnv(const char *EnvVar) {
+  const char *Env = std::getenv(EnvVar);
+  if (!Env)
+    return ~0ull;
+  char *End = nullptr;
+  const uint64_t V = std::strtoull(Env, &End, 10);
+  return (End != Env && *End == '\0') ? V : ~0ull;
+}
+
+} // namespace
+
 WorkerPool::WorkerPool(WorkerPoolOptions Opts) : Options(std::move(Opts)) {
+  KillOnDispatchTicket = ticketFromEnv("DMP_SERVE_KILL_ON_DISPATCH_TICKET");
   Slots.resize(Options.Workers);
   for (Slot &S : Slots)
     spawn(S);
@@ -84,6 +99,18 @@ Status WorkerPool::dispatch(unsigned W, uint64_t Ticket,
   Slot &S = Slots[W];
   if (S.Fd == -1)
     return Status::transient("worker slot is dead", "serve::WorkerPool");
+  if (Ticket == KillOnDispatchTicket) {
+    // Test hook: the worker dies under this very dispatch — kill and reap
+    // it before the write so writeFrame() fails with EPIPE, the exact
+    // interleaving where the supervisor must undo its own bookkeeping
+    // (the pool never learns of the ticket).
+    KillOnDispatchTicket = ~0ull;
+    if (S.Pid > 0) {
+      ::kill(S.Pid, SIGKILL);
+      ::waitpid(S.Pid, nullptr, 0);
+      S.Pid = -1;
+    }
+  }
   if (Status St = writeFrame(S.Fd, MsgType::RunCell, RunCellPayload);
       !St.ok())
     return St;
@@ -128,18 +155,13 @@ void WorkerPool::workerMain(int Fd, const std::string &CacheDir,
   ::signal(SIGPIPE, SIG_IGN);
   ::signal(SIGINT, SIG_IGN);
 
-  // Crash-injection hook for the isolation tests: die with the crashpoint
-  // exit code the moment the named dispatch ticket arrives.
-  uint64_t CrashTicket = ~0ull;
-  bool CrashArmed = false;
-  if (const char *Env = std::getenv("DMP_SERVE_CRASH_TICKET")) {
-    char *End = nullptr;
-    const uint64_t V = std::strtoull(Env, &End, 10);
-    if (End != Env && *End == '\0') {
-      CrashTicket = V;
-      CrashArmed = true;
-    }
-  }
+  // Crash-injection hooks for the isolation tests: CRASH_TICKET dies the
+  // moment the named dispatch ticket arrives (the result is lost and must
+  // be recomputed); EXIT_AFTER_TICKET dies right after flushing that
+  // ticket's CellDone (the result is on the wire and must NOT be
+  // recomputed).
+  const uint64_t CrashTicket = ticketFromEnv("DMP_SERVE_CRASH_TICKET");
+  const uint64_t ExitAfterTicket = ticketFromEnv("DMP_SERVE_EXIT_AFTER_TICKET");
 
   // One cache handle for the worker's lifetime: the shared
   // content-addressed store is what makes the service's cache warm across
@@ -162,7 +184,7 @@ void WorkerPool::workerMain(int Fd, const std::string &CacheDir,
     if (Status S = decodeRunCell(F->Payload, Ticket, Spec); !S.ok()) {
       Outcome = S;
     } else {
-      if (CrashArmed && Ticket == CrashTicket)
+      if (Ticket == CrashTicket)
         ::_exit(exitcode::CrashChild);
       Outcome = harness::runCellSpec(Spec, Cache);
     }
@@ -170,5 +192,7 @@ void WorkerPool::workerMain(int Fd, const std::string &CacheDir,
             writeFrame(Fd, MsgType::CellDone, encodeCellDone(Ticket, Outcome));
         !S.ok())
       ::_exit(1);
+    if (Ticket == ExitAfterTicket)
+      ::_exit(exitcode::CrashChild);
   }
 }

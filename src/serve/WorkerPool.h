@@ -24,10 +24,15 @@
 /// is what the TSan server-loop tests run (forking a multithreaded
 /// sanitizer process is undefined ground).
 ///
-/// Test hook: when $DMP_SERVE_CRASH_TICKET is set, the worker that
-/// receives that dispatch ticket _exit(137)s instead of computing — the
-/// deterministic "worker killed mid-campaign" used by the isolation tests
-/// (the retry dispatch draws a fresh ticket, so it completes).
+/// Test hooks (each keyed on a dispatch-ticket number in an env var, all
+/// deterministic): $DMP_SERVE_CRASH_TICKET makes the worker that receives
+/// that ticket _exit(137) instead of computing — "worker killed mid-cell";
+/// $DMP_SERVE_EXIT_AFTER_TICKET makes it _exit(137) right after flushing
+/// that ticket's CellDone — "worker died with its result on the wire";
+/// $DMP_SERVE_KILL_ON_DISPATCH_TICKET makes the supervisor kill and reap
+/// the worker immediately before writing that ticket's RunCell — "worker
+/// died under the dispatch write" (the write fails with EPIPE and the
+/// pool never records the ticket).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -129,6 +134,9 @@ private:
 
   WorkerPoolOptions Options;
   std::vector<Slot> Slots;
+  /// $DMP_SERVE_KILL_ON_DISPATCH_TICKET crash-injection hook; ~0ull when
+  /// unarmed, reset to ~0ull after firing once.
+  uint64_t KillOnDispatchTicket = ~0ull;
 };
 
 } // namespace dmp::serve

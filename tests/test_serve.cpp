@@ -578,6 +578,51 @@ TEST_F(ServeInProcTest, ConcurrentClientsGetConsistentDigests) {
   }
 }
 
+TEST_F(ServeInProcTest, CancelLandsBetweenCellsOfARunningJob) {
+  // In-process mode runs one cell per event-loop rotation, so a CANCEL
+  // arriving while a multi-cell job is mid-run must shed the still-pending
+  // cells instead of waiting for the whole job to finish first.
+  start();
+  Client C = connected();
+  SubmitRequest Req;
+  for (int I = 0; I < 16; ++I)
+    Req.Cells.push_back(smallSpec("mcf", I % 2 ? "all" : "every-br"));
+  StatusOr<uint64_t> Job = C.submit(Req);
+  ASSERT_TRUE(Job.ok()) << Job.status().toString();
+
+  // Wait until the job is visibly mid-run: at least one cell finished.
+  // The status round-trips themselves prove the loop answers clients
+  // between cells.
+  while (true) {
+    StatusOr<JobStatusReply> S = C.status(*Job);
+    ASSERT_TRUE(S.ok()) << S.status().toString();
+    if (S->Done + S->Failed >= 1)
+      break;
+  }
+  ASSERT_TRUE(C.cancel(*Job).ok());
+
+  while (true) {
+    StatusOr<JobStatusReply> S = C.status(*Job);
+    ASSERT_TRUE(S.ok()) << S.status().toString();
+    if (S->State == JobState::Cancelled || S->State == JobState::Done)
+      break;
+    ::usleep(1000);
+  }
+  StatusOr<FetchReplyData> Reply = C.fetch(*Job);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_EQ(Reply->Cells.size(), Req.Cells.size());
+  size_t Ran = 0, Shed = 0;
+  for (const StatusOr<harness::CellResult> &Cell : Reply->Cells) {
+    if (Cell.ok())
+      ++Ran;
+    else if (Cell.status().code() == ErrorCode::Cancelled)
+      ++Shed;
+  }
+  EXPECT_GE(Ran, 1u) << "cancel should land after at least one cell ran";
+  EXPECT_GE(Shed, 1u) << "cancel mid-job must shed still-pending cells";
+  EXPECT_EQ(Ran + Shed, Req.Cells.size());
+}
+
 TEST_F(ServeInProcTest, ShutdownFrameDrainsTheServer) {
   start();
   Client C = connected();
@@ -624,6 +669,8 @@ protected:
 
   void TearDown() override {
     ::unsetenv("DMP_SERVE_CRASH_TICKET");
+    ::unsetenv("DMP_SERVE_EXIT_AFTER_TICKET");
+    ::unsetenv("DMP_SERVE_KILL_ON_DISPATCH_TICKET");
     if (Loop.joinable()) {
       Srv->requestStop();
       Loop.join();
@@ -759,6 +806,55 @@ TEST_F(ServeWorkerTest, CrashTicketRetryIsDigestIdentical) {
   const Server::Counters Ctr = Srv->counters();
   EXPECT_GE(Ctr.WorkerCrashes, 1u);
   EXPECT_GE(Ctr.CellsRetried, 1u);
+}
+
+TEST_F(ServeWorkerTest, DeathUnderDispatchWriteIsRetriedAndDrainable) {
+  // The worker is killed and reaped immediately before the supervisor
+  // writes RunCell for ticket 0, so the dispatch write itself fails
+  // (EPIPE) and the pool never records the ticket.  The supervisor must
+  // undo its own bookkeeping: the cell returns to Pending, is retried on
+  // the respawned worker, and the drain in TearDown completes (a cell
+  // leaked in Running would make the job unfinishable and hang shutdown).
+  ASSERT_EQ(::setenv("DMP_SERVE_KILL_ON_DISPATCH_TICKET", "0", 1), 0);
+  start(1);
+  Client C;
+  ASSERT_TRUE(C.connect(Socket).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_EQ(Reply->Cells.size(), 1u);
+  ASSERT_TRUE(Reply->Cells[0].ok()) << Reply->Cells[0].status().toString();
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+  const Server::Counters Ctr = Srv->counters();
+  EXPECT_GE(Ctr.WorkerCrashes, 1u);
+  EXPECT_GE(Ctr.CellsRetried, 1u);
+}
+
+TEST_F(ServeWorkerTest, ResultFlushedBeforeWorkerDeathIsNotRecomputed) {
+  // The worker flushes ticket 0's CellDone and then dies: the supervisor
+  // may see the result bytes and the EOF in the same readable event, and
+  // must parse the buffered frames before reaping the corpse — the
+  // finished result counts, nothing is recomputed.
+  ASSERT_EQ(::setenv("DMP_SERVE_EXIT_AFTER_TICKET", "0", 1), 0);
+  start(1);
+  Client C;
+  ASSERT_TRUE(C.connect(Socket).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok()) << Reply->Cells[0].status().toString();
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+  // The worker's death is noticed asynchronously; wait for the reap.
+  for (int I = 0; I < 2000 && Srv->counters().WorkerCrashes == 0; ++I)
+    ::usleep(1000);
+  const Server::Counters Ctr = Srv->counters();
+  EXPECT_GE(Ctr.WorkerCrashes, 1u);
+  EXPECT_EQ(Ctr.CellsRetried, 0u) << "flushed result must not be recomputed";
+  EXPECT_EQ(Ctr.CellsCompleted, 1u);
 }
 
 TEST_F(ServeWorkerTest, RepeatedCrashExhaustsAttemptsWithoutHanging) {
