@@ -1,0 +1,141 @@
+//===- bench/BenchJson.cpp - BENCH_*.json snapshot writer ----------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchJson.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace dmp::bench;
+
+BenchJson::BenchJson(const std::string &BenchName) {
+  Out = "{\n";
+  ScopeIsObject.push_back(true);
+  ScopeHasMember.push_back(false);
+  string("schema", kBenchSchema);
+  string("bench", BenchName);
+}
+
+void BenchJson::emitPrefix() {
+  assert(!Rendered && "snapshot already rendered");
+  assert(!ScopeIsObject.empty() && "value outside any scope");
+  if (ScopeHasMember.back())
+    Out += ",\n";
+  ScopeHasMember.back() = true;
+  Out.append(2 * ScopeIsObject.size(), ' ');
+}
+
+void BenchJson::emitKey(const std::string &Key) {
+  emitPrefix();
+  assert(ScopeIsObject.back() && "keyed value inside an array");
+  Out += '"';
+  Out += Key; // Keys are identifiers chosen by the benches; no escaping.
+  Out += "\": ";
+}
+
+void BenchJson::integer(const std::string &Key, uint64_t V) {
+  emitKey(Key);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+void BenchJson::number(const std::string &Key, double V, int Precision) {
+  emitKey(Key);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  Out += Buf;
+}
+
+void BenchJson::string(const std::string &Key, const std::string &V) {
+  emitKey(Key);
+  Out += '"';
+  for (char C : V) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void BenchJson::boolean(const std::string &Key, bool V) {
+  emitKey(Key);
+  Out += V ? "true" : "false";
+}
+
+void BenchJson::beginObject(const std::string &Key) {
+  emitKey(Key);
+  Out += "{\n";
+  ScopeIsObject.push_back(true);
+  ScopeHasMember.push_back(false);
+}
+
+void BenchJson::endObject() {
+  assert(ScopeIsObject.size() > 1 && ScopeIsObject.back() &&
+         "unbalanced endObject");
+  ScopeIsObject.pop_back();
+  ScopeHasMember.pop_back();
+  Out += '\n';
+  Out.append(2 * ScopeIsObject.size(), ' ');
+  Out += '}';
+}
+
+void BenchJson::beginArray(const std::string &Key) {
+  emitKey(Key);
+  Out += "[\n";
+  ScopeIsObject.push_back(false);
+  ScopeHasMember.push_back(false);
+}
+
+void BenchJson::beginElement() {
+  emitPrefix();
+  assert(!ScopeIsObject.back() && "element outside an array");
+  Out += "{\n";
+  ScopeIsObject.push_back(true);
+  ScopeHasMember.push_back(false);
+}
+
+void BenchJson::endElement() { endObject(); }
+
+void BenchJson::endArray() {
+  assert(ScopeIsObject.size() > 1 && !ScopeIsObject.back() &&
+         "unbalanced endArray");
+  ScopeIsObject.pop_back();
+  ScopeHasMember.pop_back();
+  Out += '\n';
+  Out.append(2 * ScopeIsObject.size(), ' ');
+  Out += ']';
+}
+
+std::string BenchJson::render() {
+  if (!Rendered) {
+    assert(ScopeIsObject.size() == 1 && "unclosed scopes at render");
+    Out += "\n}\n";
+    Rendered = true;
+  }
+  return Out;
+}
+
+bool BenchJson::writeFile(const std::string &Path) {
+  const std::string Text = render();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  return std::fclose(F) == 0 && Ok;
+}

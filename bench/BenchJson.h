@@ -1,0 +1,79 @@
+//===- bench/BenchJson.h - BENCH_*.json snapshot writer ------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one writer every perf snapshot goes through, so all BENCH_*.json
+/// files share one shape: a single ordered object that always starts with
+///
+///   { "schema": "dmp-bench/1", "bench": "<name>", ... }
+///
+/// and is committed to the repo as the perf baseline.  Values keep insertion
+/// order (the diff of a snapshot should read top-to-bottom like the bench's
+/// stdout report), numbers are emitted with a fixed precision per field so
+/// reruns produce minimal diffs, and the output always round-trips through
+/// support/Json — which tests/test_benchjson.cpp asserts for the committed
+/// snapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_BENCH_BENCHJSON_H
+#define DMP_BENCH_BENCHJSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmp::bench {
+
+/// Schema tag every snapshot carries; bump when the shared shape changes.
+inline constexpr const char *kBenchSchema = "dmp-bench/1";
+
+/// Ordered JSON object builder for one snapshot.  Nested objects and arrays
+/// open/close explicitly; misuse (unbalanced close, values at top level
+/// after render) asserts.
+class BenchJson {
+public:
+  /// Starts the snapshot with the uniform schema + bench-name header.
+  explicit BenchJson(const std::string &BenchName);
+
+  // Scalar fields (Key must be unique within the enclosing object; this is
+  // not checked — the schema test catches duplicates via round-trip).
+  void integer(const std::string &Key, uint64_t V);
+  void number(const std::string &Key, double V, int Precision = 3);
+  void string(const std::string &Key, const std::string &V);
+  void boolean(const std::string &Key, bool V);
+
+  // Nested structure.
+  void beginObject(const std::string &Key);
+  void endObject();
+  /// Array of objects (the per-workload table): each element is opened with
+  /// beginElement() and closed with endElement().
+  void beginArray(const std::string &Key);
+  void beginElement();
+  void endElement();
+  void endArray();
+
+  /// The complete snapshot text (closes the root; call once, at the end).
+  std::string render();
+
+  /// Renders and writes the snapshot to \p Path (and returns false on I/O
+  /// failure).  Also the canonical way to print it: writeFile("/dev/stdout").
+  bool writeFile(const std::string &Path);
+
+private:
+  void emitKey(const std::string &Key);
+  void emitPrefix();
+  std::string Out;
+  /// One entry per open scope: true = object (elements carry keys).
+  std::vector<bool> ScopeIsObject;
+  /// Whether the current scope already has a member (comma discipline).
+  std::vector<bool> ScopeHasMember;
+  bool Rendered = false;
+};
+
+} // namespace dmp::bench
+
+#endif // DMP_BENCH_BENCHJSON_H

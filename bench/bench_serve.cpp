@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchJson.h"
 #include "guard/Guard.h"
 #include "harness/CellRun.h"
 #include "harness/Engine.h"
@@ -96,27 +97,31 @@ std::string campaignDigest(const FetchReplyData &Reply) {
   return H.finish().hex();
 }
 
-void emitJson(std::FILE *Out, unsigned Workers, size_t Cells,
-              unsigned Campaigns, double CellsPerSec,
-              const std::vector<double> &CampaignMs,
-              const std::vector<double> &PingUs, const std::string &Digest) {
-  std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"bench\": \"serve\",\n");
-  std::fprintf(Out, "  \"workers\": %u,\n", Workers);
-  std::fprintf(Out, "  \"cells_per_campaign\": %zu,\n", Cells);
-  std::fprintf(Out, "  \"warm_campaigns\": %u,\n", kWarmCampaigns);
-  std::fprintf(Out, "  \"measured_campaigns\": %u,\n", Campaigns);
-  std::fprintf(Out, "  \"throughput_cells_per_sec\": %.1f,\n", CellsPerSec);
-  std::fprintf(Out, "  \"campaign_latency_ms\": "
-                    "{\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f},\n",
-               percentile(CampaignMs, 50), percentile(CampaignMs, 90),
-               percentile(CampaignMs, 99));
-  std::fprintf(Out, "  \"ping_rtt_us\": "
-                    "{\"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f},\n",
-               percentile(PingUs, 50), percentile(PingUs, 90),
-               percentile(PingUs, 99));
-  std::fprintf(Out, "  \"campaign_digest\": \"%s\"\n", Digest.c_str());
-  std::fprintf(Out, "}\n");
+/// Snapshot via the shared writer, so BENCH_serve.json and
+/// BENCH_throughput.json carry the same schema header (bench/BenchJson.h).
+bench::BenchJson buildJson(unsigned Workers, size_t Cells, unsigned Campaigns,
+                           double CellsPerSec,
+                           const std::vector<double> &CampaignMs,
+                           const std::vector<double> &PingUs,
+                           const std::string &Digest) {
+  bench::BenchJson J("serve");
+  J.integer("workers", Workers);
+  J.integer("cells_per_campaign", Cells);
+  J.integer("warm_campaigns", kWarmCampaigns);
+  J.integer("measured_campaigns", Campaigns);
+  J.number("throughput_cells_per_sec", CellsPerSec, 1);
+  J.beginObject("campaign_latency_ms");
+  J.number("p50", percentile(CampaignMs, 50), 3);
+  J.number("p90", percentile(CampaignMs, 90), 3);
+  J.number("p99", percentile(CampaignMs, 99), 3);
+  J.endObject();
+  J.beginObject("ping_rtt_us");
+  J.number("p50", percentile(PingUs, 50), 1);
+  J.number("p90", percentile(PingUs, 90), 1);
+  J.number("p99", percentile(PingUs, 99), 1);
+  J.endObject();
+  J.string("campaign_digest", Digest);
+  return J;
 }
 
 } // namespace
@@ -224,16 +229,14 @@ int main(int Argc, char **Argv) {
     return exitcode::Failure;
   }
 
-  emitJson(stdout, Pool.size(), Req.Cells.size(), kMeasuredCampaigns,
-           CellsPerSec, CampaignMs, PingUs, Digest);
-  std::FILE *Out = std::fopen("BENCH_serve.json", "w");
-  if (!Out) {
+  bench::BenchJson J = buildJson(Pool.size(), Req.Cells.size(),
+                                 kMeasuredCampaigns, CellsPerSec, CampaignMs,
+                                 PingUs, Digest);
+  std::fputs(J.render().c_str(), stdout);
+  if (!J.writeFile("BENCH_serve.json")) {
     std::fprintf(stderr, "bench_serve: cannot write BENCH_serve.json\n");
     return exitcode::Failure;
   }
-  emitJson(Out, Pool.size(), Req.Cells.size(), kMeasuredCampaigns,
-           CellsPerSec, CampaignMs, PingUs, Digest);
-  std::fclose(Out);
   std::printf("wrote BENCH_serve.json\n");
   return exitcode::Ok;
 }

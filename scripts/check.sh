@@ -6,6 +6,9 @@
 # --crash to run only the fork-based crash-consistency matrix,
 # --serve to run the campaign-service suite (serve label) plus the
 # multi-client soak hammer (DMP_SERVE_SOAK=1),
+# --bench to run the perf-regression gate (a bench_throughput smoke
+# re-measurement against the committed BENCH_throughput.json, 3x
+# tolerance; the perf ctest label),
 # --sanitize to build and test under ASan+UBSan (the sanitize preset),
 # --tsan to build and run the threaded-subsystem tests under TSan, and
 # --tidy to run clang-tidy over src/ and tools/ (skipped with a notice
@@ -19,6 +22,7 @@ cd "$(dirname "$0")/.."
 ALL=0
 CRASH=0
 SERVE=0
+BENCH=0
 TIDY=0
 PRESET=ci
 for arg in "$@"; do
@@ -26,11 +30,12 @@ for arg in "$@"; do
     --all) ALL=1 ;;
     --crash) CRASH=1 ;;
     --serve) SERVE=1 ;;
+    --bench) BENCH=1 ;;
     --sanitize) PRESET=sanitize ;;
     --tsan) PRESET=tsan ;;
     --tidy) TIDY=1 ;;
-    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
-    *) echo "usage: $0 [--all] [--crash] [--serve] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
+    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--bench] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--crash] [--serve] [--bench] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
   esac
 done
 
@@ -64,6 +69,10 @@ elif [[ "$SERVE" -eq 1 ]]; then
   # soak hammer (multi-client junk-injecting load test) only runs when its
   # env gate is armed, which the serve_soak ctest entry does.
   ctest --preset "$PRESET" -L serve
+elif [[ "$BENCH" -eq 1 ]]; then
+  # Throughput must stay within 3x of the committed snapshot and the
+  # campaign digest must match it bit for bit.
+  ctest --preset perf
 elif [[ "$ALL" -eq 1 ]]; then
   ctest --preset "$PRESET"
 else
@@ -73,7 +82,7 @@ fi
 # CI path extras (the default tier1 gate): the static checker must report
 # zero error-severity diagnostics over every workload's selected
 # annotations, and tidy runs when available.
-if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 ]]; then
+if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 && "$BENCH" -eq 0 ]]; then
   ./build-ci/tools/dmp_lint --all --profile-instrs=800000
   run_tidy
 fi

@@ -45,8 +45,10 @@ sim::FinalState check::runReference(const ir::Program &P,
   profile::Emulator Emu(P, Image);
   profile::DynInstr D;
   // Same stepping discipline as DmpCore::run, so capped runs retire the
-  // same instruction count as every simulator leg.
-  while (Emu.executedCount() < MaxInstrs && Emu.step(D))
+  // same instruction count as every simulator leg — but through
+  // stepReference, the preserved original interpreter, so the oracle's
+  // ground truth stays independent of the decoded fast path it checks.
+  while (Emu.executedCount() < MaxInstrs && Emu.stepReference(D))
     if (D.I->Op == ir::Opcode::Store)
       Out.Stores.push_back({D.Addr, D.MemAddr, Emu.memWord(D.MemAddr)});
   sim::captureArchState(Emu, Out);

@@ -83,7 +83,8 @@ struct OracleReport {
   std::string summary() const;
 };
 
-/// Runs \p P on the reference emulator (same stepping discipline as the
+/// Runs \p P on the reference interpreter (Emulator::stepReference, kept
+/// independent of the decoded fast path; same stepping discipline as the
 /// simulator: stop at Halt or \p MaxInstrs) and extracts the final state.
 sim::FinalState runReference(const ir::Program &P,
                              const std::vector<int64_t> &Image,

@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,19 @@ public:
     return CondBranches;
   }
 
+  /// Lazily-built, layer-opaque decode cache: the first caller's \p Build
+  /// runs exactly once per program (thread-safe) and the result is reused
+  /// by every later emulator over this program.  The slot is owned by the
+  /// program so the predecoded array can never outlive or alias-collide
+  /// with it.  Single consumer by contract (profile::DecodedProgram); the
+  /// IR layer never interprets the pointee.
+  const std::shared_ptr<const void> &
+  decodeCache(std::shared_ptr<const void> (*Build)(const Program &)) const {
+    assert(Finalized && "decoding an unfinalized program");
+    std::call_once(DecodedOnce, [&] { Decoded = Build(*this); });
+    return Decoded;
+  }
+
 private:
   std::string Name;
   std::vector<std::unique_ptr<Function>> Functions;
@@ -97,6 +111,8 @@ private:
   std::vector<const BasicBlock *> BlockOfAddr;
   std::vector<uint32_t> CondBranches;
   bool Finalized = false;
+  mutable std::once_flag DecodedOnce;
+  mutable std::shared_ptr<const void> Decoded;
 };
 
 } // namespace dmp::ir

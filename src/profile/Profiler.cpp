@@ -31,6 +31,16 @@ namespace {
 
 /// Tracks loop invocations/iterations along the dynamic execution, frame by
 /// frame so that calls inside loops do not disturb the caller's loop state.
+///
+/// Per-loop dynamic-instruction counts are span-based: a loop remains
+/// active continuously from open to close, so instead of bumping a map
+/// entry for every active loop on every instruction (the old hot path),
+/// each active loop records the executed-instruction count at open time
+/// and the close charges the whole span at once.  Counting conventions
+/// match the old per-instruction scheme exactly: an instruction is charged
+/// to every loop active while it executed, where loops closed by entering
+/// a non-member block stop *before* the entering instruction, and loops
+/// closed by Ret (or end of run) still count the closing instruction.
 class LoopTracker {
 public:
   LoopTracker(const cfg::ProgramAnalysis &PA, LoopProfile &Out)
@@ -38,17 +48,21 @@ public:
     Frames.emplace_back();
   }
 
-  void onBlockEntry(const ir::BasicBlock *Block) {
+  /// \p Executed is the emulator's executedCount() right after stepping the
+  /// first instruction of \p Block.
+  void onBlockEntry(const ir::BasicBlock *Block, uint64_t Executed) {
     auto &Active = Frames.back();
     const cfg::LoopInfo &LI =
         PA.forFunction(*Block->getParent()).LI;
 
-    // Close loops that no longer contain the new block.
+    // Close loops that no longer contain the new block.  Their span ends
+    // before the entering instruction, which executed outside the loop.
     while (!Active.empty() && !Active.back().L->contains(Block))
-      closeTop();
+      closeTop(Executed);
 
     // Open the chain of loops that contain the block and are not active,
-    // outermost first.
+    // outermost first.  The entering instruction itself (already stepped)
+    // is the first one charged to them.
     std::vector<const cfg::Loop *> ToOpen;
     for (const cfg::Loop *L = LI.loopFor(Block); L; L = L->getParent()) {
       const bool AlreadyActive =
@@ -58,7 +72,7 @@ public:
         ToOpen.push_back(L);
     }
     for (auto It = ToOpen.rbegin(); It != ToOpen.rend(); ++It)
-      Active.push_back({*It, 1});
+      Active.push_back({*It, 1, Executed});
 
     // A back edge into the header of the innermost active loop is a new
     // iteration.
@@ -67,40 +81,45 @@ public:
       ++Active.back().Iterations;
   }
 
-  void onInstruction() {
-    for (auto &Frame : Frames)
-      for (auto &A : Frame)
-        ++Out.statsFor(A.L->getHeader()->getStartAddr()).DynamicInstrs;
-  }
-
   void onCall() { Frames.emplace_back(); }
 
-  void onRet() {
+  /// \p Executed is the executedCount() right after stepping the Ret, which
+  /// is charged to the loops it closes.
+  void onRet(uint64_t Executed) {
     while (!Frames.back().empty())
-      closeTop();
+      closeTop(Executed + 1);
     if (Frames.size() > 1)
       Frames.pop_back();
   }
 
-  void finish() {
+  /// Closes everything still active at end of run; the last executed
+  /// instruction is charged to all of them.
+  void finish(uint64_t Executed) {
     while (Frames.size() > 1)
-      onRet();
+      onRet(Executed);
     while (!Frames.back().empty())
-      closeTop();
+      closeTop(Executed + 1);
   }
 
 private:
   struct ActiveLoop {
     const cfg::Loop *L;
     uint64_t Iterations;
+    /// executedCount() when the loop was opened (the open instruction has
+    /// already been stepped, so it is the first one inside the span).
+    uint64_t OpenExecuted;
   };
 
-  void closeTop() {
+  /// Closes the innermost active loop.  \p At is the exclusive end of its
+  /// instruction span, in executedCount() units: the count right after the
+  /// last instruction charged to the loop.
+  void closeTop(uint64_t At) {
     auto &Active = Frames.back();
     const ActiveLoop &A = Active.back();
     LoopStats &S = Out.statsFor(A.L->getHeader()->getStartAddr());
     S.Iterations.addSample(A.Iterations);
     ++S.Invocations;
+    S.DynamicInstrs += At - A.OpenExecuted;
     Active.pop_back();
   }
 
@@ -125,9 +144,8 @@ ProfileData profile::collectProfile(const ir::Program &P,
     const ir::BasicBlock *Block = P.blockAt(Inst.Addr);
     if (Inst.Addr == Block->getStartAddr()) {
       Data.Edges.recordBlockExec(Inst.Addr);
-      Loops.onBlockEntry(Block);
+      Loops.onBlockEntry(Block, Emu.executedCount());
     }
-    Loops.onInstruction();
 
     switch (Inst.I->Op) {
     case ir::Opcode::CondBr: {
@@ -141,14 +159,14 @@ ProfileData profile::collectProfile(const ir::Program &P,
       Loops.onCall();
       break;
     case ir::Opcode::Ret:
-      Loops.onRet();
+      Loops.onRet(Emu.executedCount());
       break;
     default:
       break;
     }
   }
 
-  Loops.finish();
+  Loops.finish(Emu.executedCount());
   Data.DynamicInstrs = Emu.executedCount();
   Data.Completed = Emu.isHalted();
   return Data;

@@ -7,6 +7,7 @@
 #include "sim/DmpCore.h"
 
 #include "sim/WrongPathWalker.h"
+#include "support/MathExtras.h"
 
 #include <algorithm>
 
@@ -18,12 +19,20 @@ DmpCore::DmpCore(const Program &P, const core::DivergeMap *Diverge,
                  const SimConfig &Config)
     : P(P), Diverge(Diverge), Config(Config),
       DmpEnabled(Config.EnableDmp && Diverge != nullptr),
+      FetchWidth(Config.FetchWidth), RetireWidth(Config.RetireWidth),
+      MaxNtBranches(Config.MaxNotTakenBranchesPerFetch),
+      FrontEndDepth(Config.FrontEndDepth), RobSize(Config.RobSize),
+      FetchLineShift(log2Floor(Config.Memory.LineBytes)),
+      IL1Latency(Config.Memory.IL1Latency),
       Predictor(uarch::createPredictor(Config.Predictor)),
       Confidence(Config.ConfIndexBits, Config.ConfHistoryBits,
                  Config.ConfThreshold),
       Btb(Config.BtbEntries), Ras(Config.RasEntries), Memory(Config.Memory),
-      IssuePorts(Config.IssueWidth), RetirePorts(Config.RetireWidth),
-      RobRetireRing(Config.RobSize, 0) {}
+      IssuePorts(Config.IssueWidth), RobRetireRing(Config.RobSize, 0) {
+  for (unsigned OpVal = 0; OpVal < NumOpcodeValues; ++OpVal)
+    OpLatency[OpVal] = static_cast<uint8_t>(
+        Config.latencyFor(static_cast<Opcode>(OpVal)));
+}
 
 //===----------------------------------------------------------------------===//
 // Fetch engine
@@ -44,7 +53,7 @@ void DmpCore::redirectFetch(uint64_t Cycle) {
 
 void DmpCore::consumeFetchSlots(unsigned Count) {
   for (unsigned I = 0; I < Count; ++I) {
-    if (SlotsUsed >= Config.FetchWidth) {
+    if (SlotsUsed >= FetchWidth) {
       ++FetchCycle;
       SlotsUsed = 0;
       NtBranchesThisCycle = 0;
@@ -56,33 +65,32 @@ void DmpCore::consumeFetchSlots(unsigned Count) {
 uint64_t DmpCore::fetchInstr(const profile::DynInstr &D, bool PredictedTaken) {
   // ROB back-pressure: instruction i cannot fetch before instruction
   // i - RobSize retires.
-  const uint64_t RobGate =
-      RobRetireRing[(InstrIndex + PhantomInstrs) % Config.RobSize];
+  const uint64_t RobGate = RobRetireRing[RobCursor];
   if (RobGate > FetchCycle)
     redirectFetch(RobGate);
 
   // I-cache: charge the miss latency when crossing into a new line.
-  const uint64_t Line = (static_cast<uint64_t>(D.Addr) * 4) /
-                        Config.Memory.LineBytes;
+  const uint64_t Line = (static_cast<uint64_t>(D.Addr) * 4) >> FetchLineShift;
   if (Line != CurrentFetchLine) {
     CurrentFetchLine = Line;
     const unsigned Lat = Memory.fetchLatency(static_cast<uint64_t>(D.Addr) * 4);
-    if (Lat > Config.Memory.IL1Latency) {
-      FetchCycle += Lat - Config.Memory.IL1Latency;
+    if (Lat > IL1Latency) {
+      FetchCycle += Lat - IL1Latency;
       SlotsUsed = 0;
       NtBranchesThisCycle = 0;
     }
   }
 
-  if (SlotsUsed >= Config.FetchWidth) {
+  if (SlotsUsed >= FetchWidth) {
     ++FetchCycle;
     SlotsUsed = 0;
     NtBranchesThisCycle = 0;
   }
 
-  const bool IsCondBr = D.I->Op == Opcode::CondBr;
+  const Opcode Op = D.I->Op;
+  const bool IsCondBr = Op == Opcode::CondBr;
   if (IsCondBr && !PredictedTaken) {
-    if (NtBranchesThisCycle >= Config.MaxNotTakenBranchesPerFetch) {
+    if (NtBranchesThisCycle >= MaxNtBranches) {
       ++FetchCycle;
       SlotsUsed = 0;
       NtBranchesThisCycle = 0;
@@ -103,12 +111,12 @@ uint64_t DmpCore::fetchInstr(const profile::DynInstr &D, bool PredictedTaken) {
 
   // Taken control transfers end the fetch group; taken-predicted branches
   // additionally need the BTB for their target.
-  const bool TakenTransfer =
-      (IsCondBr && PredictedTaken) || D.I->Op == Opcode::Jmp ||
-      D.I->Op == Opcode::Call || D.I->Op == Opcode::Ret;
+  const bool TakenTransfer = (IsCondBr && PredictedTaken) ||
+                             Op == Opcode::Jmp || Op == Opcode::Call ||
+                             Op == Opcode::Ret;
   if (TakenTransfer) {
-    SlotsUsed = Config.FetchWidth; // group break
-    if (D.I->Op != Opcode::Ret) {
+    SlotsUsed = FetchWidth; // group break
+    if (Op != Opcode::Ret) {
       uint32_t Target = 0;
       if (!Btb.lookup(D.Addr, Target)) {
         ++Stats.BtbMissBubbles;
@@ -127,16 +135,17 @@ uint64_t DmpCore::fetchInstr(const profile::DynInstr &D, bool PredictedTaken) {
 uint64_t DmpCore::scheduleInstr(const profile::DynInstr &D,
                                 uint64_t FetchedAt) {
   const Instruction &I = *D.I;
-  uint64_t Ready = FetchedAt + Config.FrontEndDepth;
-  if (readsSrc1(I.Op) && I.Src1 != RegZero)
+  const Opcode Op = I.Op;
+  uint64_t Ready = FetchedAt + FrontEndDepth;
+  if (readsSrc1(Op) && I.Src1 != RegZero)
     Ready = std::max(Ready, RegReady[I.Src1]);
-  if (readsSrc2(I.Op) && I.Src2 != RegZero)
+  if (readsSrc2(Op) && I.Src2 != RegZero)
     Ready = std::max(Ready, RegReady[I.Src2]);
 
   const uint64_t ExecStart = IssuePorts.reserve(Ready);
 
   unsigned Latency;
-  switch (I.Op) {
+  switch (Op) {
   case Opcode::Load:
     Latency = Memory.loadLatency(D.MemAddr * 8);
     break;
@@ -145,34 +154,44 @@ uint64_t DmpCore::scheduleInstr(const profile::DynInstr &D,
     Latency = 1;
     break;
   default:
-    Latency = Config.latencyFor(I.Op);
+    Latency = OpLatency[static_cast<unsigned>(Op)];
     break;
   }
   const uint64_t Done = ExecStart + Latency;
-  if (I.writesReg())
+  if (writesRegister(Op))
     RegReady[I.Dst] = Done;
   return Done;
 }
 
 void DmpCore::chargeWrongPathIssue(unsigned Ops, uint64_t FetchedAt) {
-  const uint64_t Base = FetchedAt + Config.FrontEndDepth;
+  const uint64_t Base = FetchedAt + FrontEndDepth;
   for (unsigned K = 0; K < Ops; ++K)
-    IssuePorts.reserve(Base + K / Config.FetchWidth);
+    IssuePorts.reserve(Base + K / FetchWidth);
 }
 
 void DmpCore::occupyRobPhantoms(unsigned Count, uint64_t RetireCycle) {
   for (unsigned K = 0; K < Count; ++K) {
-    RobRetireRing[(InstrIndex + PhantomInstrs) % Config.RobSize] =
-        RetireCycle;
-    ++PhantomInstrs;
+    RobRetireRing[RobCursor] = RetireCycle;
+    advanceRobCursor();
   }
 }
 
 uint64_t DmpCore::retireInstr(uint64_t DoneCycle) {
-  const uint64_t Retire =
-      RetirePorts.reserve(std::max(DoneCycle + 1, LastRetireCycle));
+  // In-order retirement books cycles monotonically, so the full
+  // CycleResource ring reduces to the last retire cycle plus the number of
+  // retires already booked in it: a new cycle starts with one retire, and a
+  // full cycle pushes the retire to the next one.
+  uint64_t Retire = std::max(DoneCycle + 1, LastRetireCycle);
+  if (Retire != LastRetireCycle)
+    RetiresThisCycle = 0;
+  else if (RetiresThisCycle >= RetireWidth) {
+    ++Retire;
+    RetiresThisCycle = 0;
+  }
+  ++RetiresThisCycle;
   LastRetireCycle = Retire;
-  RobRetireRing[(InstrIndex + PhantomInstrs) % Config.RobSize] = Retire;
+  RobRetireRing[RobCursor] = Retire;
+  advanceRobCursor();
   return Retire;
 }
 
@@ -200,7 +219,7 @@ void DmpCore::insertSelectUops(unsigned Count, uint64_t AtCycle) {
   consumeFetchSlots(Count);
   Stats.SelectUops += Count;
   // Select-µops serialize the merged registers for one cycle.
-  const uint64_t Avail = AtCycle + Config.FrontEndDepth + 1;
+  const uint64_t Avail = AtCycle + FrontEndDepth + 1;
   for (uint8_t R : Ep.WrittenRegs)
     RegReady[R] = std::max(RegReady[R], Avail);
 }
@@ -460,24 +479,28 @@ void DmpCore::handleCondBranch(const profile::DynInstr &D, uint64_t FetchedAt,
 //===----------------------------------------------------------------------===//
 
 SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
-                      FinalState *FinalStateOut) {
+                      FinalState *FinalStateOut, EmuMode Mode) {
   profile::Emulator Emu(P, MemoryImage);
   profile::DynInstr D;
+  const bool UseReference = Mode == EmuMode::Reference;
+  const uint64_t MaxInstrs = Config.MaxInstrs;
+  const uint64_t Watchdog = Config.WatchdogInstrBudget;
+  const guard::CancelToken *const Cancel = Config.Cancel;
 
-  while (Emu.executedCount() < Config.MaxInstrs && Emu.step(D)) {
+  while (Emu.executedCount() < MaxInstrs &&
+         (UseReference ? Emu.stepReference(D) : Emu.step(D))) {
     // Guard checks first, so a runaway or cancelled cell aborts at a point
     // that depends only on the retired-instruction count — deterministic
     // for the watchdog across any --jobs value, and never a hang for
     // either.  The abort is a StatusError; TaskGraph::runAll turns it into
     // the cell's Status and reports render the cell as a "--" gap.
-    if (Config.WatchdogInstrBudget &&
-        Emu.executedCount() > Config.WatchdogInstrBudget)
+    if (Watchdog && Emu.executedCount() > Watchdog)
       throw StatusError(Status::resourceExhausted(
           "simulation exceeded watchdog budget of " +
-              std::to_string(Config.WatchdogInstrBudget) + " instructions",
+              std::to_string(Watchdog) + " instructions",
           "sim::DmpCore"));
-    if (Config.Cancel && (Emu.executedCount() % kCancelPollInstrs) == 0) {
-      const Status S = Config.Cancel->check("sim::DmpCore");
+    if (Cancel && (Emu.executedCount() % kCancelPollInstrs) == 0) {
+      const Status S = Cancel->check("sim::DmpCore");
       if (!S.ok())
         throw StatusError(S);
     }
@@ -486,7 +509,8 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
     // correct-path (retired) instructions pass through this loop — the
     // wrong path of a dpred episode is walked statically and never touches
     // Emu — so the sequence recorded here is the architectural store order.
-    if (FinalStateOut && D.I->Op == Opcode::Store)
+    const Opcode Op = D.I->Op;
+    if (FinalStateOut && Op == Opcode::Store)
       FinalStateOut->Stores.push_back(
           {D.Addr, D.MemAddr, Emu.memWord(D.MemAddr)});
 
@@ -494,7 +518,7 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
       checkDpredProgress(D.Addr);
 
     bool PredictedTaken = false;
-    if (D.I->Op == Opcode::CondBr)
+    if (Op == Opcode::CondBr)
       PredictedTaken = Predictor->predict(D.Addr);
 
     const uint64_t FetchedAt = fetchInstr(D, PredictedTaken);
@@ -503,11 +527,11 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
     if (Ep.Active) {
       ++Ep.CorrectFetched;
       ++Stats.UsefulDpredInstrs;
-      if (!Ep.IsLoop && D.I->writesReg())
+      if (!Ep.IsLoop && writesRegister(Op))
         Ep.WrittenRegs.insert(D.I->Dst);
     }
 
-    switch (D.I->Op) {
+    switch (Op) {
     case Opcode::CondBr:
       if (Ep.Active && Ep.IsLoop && D.Addr == Ep.LoopBranchAddr)
         handleLoopIteration(D, FetchedAt, Done, PredictedTaken);
@@ -543,7 +567,6 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
     }
 
     retireInstr(Done);
-    ++InstrIndex;
     ++Stats.RetiredInstrs;
   }
 

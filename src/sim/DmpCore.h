@@ -25,11 +25,14 @@
 #define DMP_SIM_DMPCORE_H
 
 #include "core/DivergeInfo.h"
+#include "ir/Opcode.h"
 #include "profile/Emulator.h"
 #include "sim/CycleResource.h"
 #include "sim/FinalState.h"
+#include "sim/RegSet.h"
 #include "sim/SimConfig.h"
 #include "sim/SimStats.h"
+#include "support/Compiler.h"
 #include "uarch/BTB.h"
 #include "uarch/BranchPredictor.h"
 #include "uarch/Cache.h"
@@ -37,7 +40,6 @@
 #include "uarch/ReturnAddressStack.h"
 
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 namespace dmp::sim {
@@ -50,20 +52,28 @@ public:
   DmpCore(const ir::Program &P, const core::DivergeMap *Diverge,
           const SimConfig &Config);
 
+  /// Which functional stepping path feeds the timing model.  Timing and
+  /// statistics are identical either way (the digest-identity contract,
+  /// DESIGN.md); Reference exists so differential tests can drive the whole
+  /// simulator from the independent interpreter and compare digests.
+  enum class EmuMode { Fast, Reference };
+
   /// Runs the program on \p MemoryImage until Halt or Config.MaxInstrs and
   /// returns the statistics.  When \p FinalStateOut is non-null it receives
   /// the retired architectural state (registers, memory fingerprint, and
   /// the in-order retired-store sequence) — the observable the dmp::check
   /// differential oracle compares against the reference emulator.
   SimStats run(const std::vector<int64_t> &MemoryImage,
-               FinalState *FinalStateOut = nullptr);
+               FinalState *FinalStateOut = nullptr,
+               EmuMode Mode = EmuMode::Fast);
 
 private:
   // -- Fetch engine -------------------------------------------------------
   /// Assigns a fetch cycle to the next correct-path instruction at \p Addr.
   /// Handles fetch width, taken-branch group breaks, the not-taken-branch
   /// limit, I-cache misses, and BTB bubbles.
-  uint64_t fetchInstr(const profile::DynInstr &D, bool PredictedTaken);
+  DMP_ALWAYS_INLINE uint64_t fetchInstr(const profile::DynInstr &D,
+                                        bool PredictedTaken);
 
   /// Moves the fetch cursor to \p Cycle (redirect); resets group state.
   void redirectFetch(uint64_t Cycle);
@@ -74,7 +84,8 @@ private:
   // -- Dataflow schedule ---------------------------------------------------
   /// Schedules execution of \p D fetched at \p FetchCycle; returns the
   /// completion (resolution) cycle.
-  uint64_t scheduleInstr(const profile::DynInstr &D, uint64_t FetchCycle);
+  DMP_ALWAYS_INLINE uint64_t scheduleInstr(const profile::DynInstr &D,
+                                           uint64_t FetchCycle);
 
   /// Charges issue bandwidth for \p Ops speculative wrong-path operations
   /// fetched around \p FetchCycle.
@@ -88,7 +99,7 @@ private:
   void occupyRobPhantoms(unsigned Count, uint64_t RetireCycle);
 
   /// In-order retirement accounting; returns the retire cycle.
-  uint64_t retireInstr(uint64_t DoneCycle);
+  DMP_ALWAYS_INLINE uint64_t retireInstr(uint64_t DoneCycle);
 
   // -- Branch handling -----------------------------------------------------
   void handleCondBranch(const profile::DynInstr &D, uint64_t FetchCycle,
@@ -107,7 +118,7 @@ private:
     bool WrongReachedCfm = false;
     uint32_t WrongCfmAddr = ~0u;
     unsigned CorrectFetched = 0;
-    std::unordered_set<uint8_t> WrittenRegs;
+    RegSet WrittenRegs;
     bool MergePendingAfterRet = false;
     size_t EntryCallDepth = 0;
     // Loop state.
@@ -147,6 +158,24 @@ private:
   SimConfig Config;
   bool DmpEnabled;
 
+  // Invariant configuration, copied out of Config at construction so the
+  // per-instruction paths read it from the same cache lines as the fetch
+  // cursor state instead of reaching into the big SimConfig struct.
+  const unsigned FetchWidth;
+  const unsigned RetireWidth;
+  const unsigned MaxNtBranches;
+  const unsigned FrontEndDepth;
+  const uint32_t RobSize;
+  /// log2 of the I-cache line size (power of two, enforced by uarch::Cache),
+  /// so the per-fetch line computation is a shift instead of a divide.
+  const unsigned FetchLineShift;
+  const unsigned IL1Latency;
+  /// SimConfig::latencyFor tabulated per opcode: the scheduling hot path
+  /// pays an indexed byte load instead of an out-of-line call.
+  static constexpr unsigned NumOpcodeValues =
+      static_cast<unsigned>(ir::Opcode::Halt) + 1;
+  uint8_t OpLatency[NumOpcodeValues];
+
   std::unique_ptr<uarch::BranchPredictor> Predictor;
   uarch::ConfidenceEstimator Confidence;
   uarch::BTB Btb;
@@ -154,7 +183,6 @@ private:
   uarch::MemoryHierarchy Memory;
 
   CycleResource IssuePorts;
-  CycleResource RetirePorts;
 
   SimStats Stats;
   DpredEpisode Ep;
@@ -168,12 +196,22 @@ private:
   // Dataflow state.
   uint64_t RegReady[ir::NumRegs] = {};
   uint64_t LastRetireCycle = 0;
+  /// Retires booked in LastRetireCycle (in-order retirement probes cycles
+  /// monotonically, so these two scalars model the retire-port resource
+  /// exactly; see retireInstr).
+  unsigned RetiresThisCycle = 0;
   std::vector<uint64_t> RobRetireRing;
-  uint64_t InstrIndex = 0;
-  /// Cumulative count of phantom (wrong-path) ROB entries; the ROB ring is
-  /// indexed by InstrIndex + PhantomInstrs so phantoms displace real slots.
-  uint64_t PhantomInstrs = 0;
+  /// Ring slot the next fetched instruction occupies.  Both real and
+  /// phantom (wrong-path) entries advance it, so phantoms displace real
+  /// slots; keeping it as an incrementally wrapped cursor removes the two
+  /// per-instruction `% RobSize` divides the old index arithmetic paid.
+  uint32_t RobCursor = 0;
   size_t CallDepth = 0;
+
+  void advanceRobCursor() {
+    if (++RobCursor == RobSize)
+      RobCursor = 0;
+  }
 };
 
 } // namespace dmp::sim

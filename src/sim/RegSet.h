@@ -1,0 +1,91 @@
+//===- sim/RegSet.h - Architectural register set as a bitmask ----*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RegSet: a set of architectural register indices backed by a single
+/// 32-bit mask (the ISA has 32 registers).  Replaces unordered_set<uint8_t>
+/// in the dpred episode state and the wrong-path walker results, where the
+/// per-instruction insert on the simulator's hot path made a hash table the
+/// most expensive way imaginable to store five bits of information.
+///
+/// The interface mirrors the subset of std::unordered_set the simulator
+/// used — insert / count / size / empty / range-for — with iteration in
+/// ascending register order (all consumers are order-independent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SIM_REGSET_H
+#define DMP_SIM_REGSET_H
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace dmp::sim {
+
+class RegSet {
+public:
+  void insert(ir::Reg R) {
+    assert(R < ir::NumRegs && "register index out of range");
+    Bits |= uint32_t{1} << R;
+  }
+
+  bool count(ir::Reg R) const {
+    assert(R < ir::NumRegs && "register index out of range");
+    return (Bits >> R) & 1u;
+  }
+
+  unsigned size() const {
+    unsigned N = 0;
+    for (uint32_t B = Bits; B != 0; B &= B - 1)
+      ++N;
+    return N;
+  }
+
+  bool empty() const { return Bits == 0; }
+  void clear() { Bits = 0; }
+
+  /// Forward iterator over members in ascending register order.
+  class const_iterator {
+  public:
+    explicit const_iterator(uint32_t Rest) : Rest(Rest) {}
+    ir::Reg operator*() const { return lowestMember(Rest); }
+    const_iterator &operator++() {
+      Rest &= Rest - 1;
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const { return Rest == O.Rest; }
+    bool operator!=(const const_iterator &O) const { return Rest != O.Rest; }
+
+  private:
+    uint32_t Rest;
+  };
+
+  const_iterator begin() const { return const_iterator(Bits); }
+  const_iterator end() const { return const_iterator(0); }
+
+private:
+  static ir::Reg lowestMember(uint32_t B) {
+    assert(B != 0 && "dereferencing end()");
+#if defined(__GNUC__)
+    return static_cast<ir::Reg>(__builtin_ctz(B));
+#else
+    ir::Reg R = 0;
+    while ((B & 1u) == 0) {
+      B >>= 1;
+      ++R;
+    }
+    return R;
+#endif
+  }
+
+  uint32_t Bits = 0;
+};
+
+} // namespace dmp::sim
+
+#endif // DMP_SIM_REGSET_H

@@ -19,10 +19,10 @@
 
 #include "core/DivergeInfo.h"
 #include "ir/Program.h"
+#include "sim/RegSet.h"
 #include "uarch/BranchPredictor.h"
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 namespace dmp::sim {
@@ -38,7 +38,7 @@ struct WrongPathResult {
   uint32_t ReachedCfmAddr = ~0u;
   /// Destination registers written along the walked path (for select-µop
   /// counting at the merge point).
-  std::unordered_set<uint8_t> WrittenRegs;
+  RegSet WrittenRegs;
   /// Instruction latencies encountered (excluding loads, charged as DL1
   /// hits) — used to charge issue bandwidth for wrong-path execution.
   unsigned IssueOps = 0;
@@ -63,7 +63,7 @@ struct ExtraIterResult {
   unsigned InstrsFetched = 0;
   unsigned Iterations = 0;
   bool PredictedExit = false;
-  std::unordered_set<uint8_t> WrittenRegs;
+  RegSet WrittenRegs;
 };
 
 ExtraIterResult walkExtraIterations(const ir::Program &P,

@@ -36,4 +36,21 @@
 #define DMP_UNLIKELY(Expr) (Expr)
 #endif
 
+/// No-alias pointer qualifier for hot interpreter loops.  Only apply it
+/// where the pointees provably never overlap (e.g. the emulator's register
+/// file vs. its data memory).
+#if defined(__GNUC__) || defined(_MSC_VER)
+#define DMP_RESTRICT __restrict
+#else
+#define DMP_RESTRICT
+#endif
+
+/// Forces inlining of per-instruction helpers on the simulator/emulator hot
+/// paths, where the call-frame overhead is measurable.  Use sparingly.
+#if defined(__GNUC__)
+#define DMP_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define DMP_ALWAYS_INLINE inline
+#endif
+
 #endif // DMP_SUPPORT_COMPILER_H

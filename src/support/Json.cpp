@@ -1,0 +1,284 @@
+//===- support/Json.cpp - Minimal JSON parser ----------------------------------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dmp;
+using namespace dmp::json;
+
+const Value *Value::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, V] : Members)
+    if (Name == Key)
+      return &V;
+  return nullptr;
+}
+
+const Value *Value::findNumber(std::string_view Key) const {
+  const Value *V = find(Key);
+  return V && V->isNumber() ? V : nullptr;
+}
+
+const Value *Value::findString(std::string_view Key) const {
+  const Value *V = find(Key);
+  return V && V->isString() ? V : nullptr;
+}
+
+const Value *Value::findObject(std::string_view Key) const {
+  const Value *V = find(Key);
+  return V && V->isObject() ? V : nullptr;
+}
+
+namespace dmp::json {
+
+/// Recursive-descent parser over the input text.  Depth is capped so a
+/// hostile deeply-nested input cannot blow the stack.
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  StatusOr<Value> run() {
+    Value Root;
+    if (Status S = parseValue(Root, /*Depth=*/0); !S.ok())
+      return S;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return Root;
+  }
+
+private:
+  static constexpr unsigned kMaxDepth = 64;
+
+  std::string_view Text;
+  size_t Pos = 0;
+
+  Status fail(const std::string &Msg) const {
+    return Status::corrupt(
+        formatString("%s (at byte %zu)", Msg.c_str(), Pos), "json");
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      const char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) != W)
+      return false;
+    Pos += W.size();
+    return true;
+  }
+
+  Status parseValue(Value &Out, unsigned Depth) {
+    if (Depth > kMaxDepth)
+      return fail("nesting too deep");
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      if (!consumeWord("true"))
+        return fail("bad literal");
+      Out.K = Value::Kind::Bool;
+      Out.Boolean = true;
+      return Status();
+    case 'f':
+      if (!consumeWord("false"))
+        return fail("bad literal");
+      Out.K = Value::Kind::Bool;
+      Out.Boolean = false;
+      return Status();
+    case 'n':
+      if (!consumeWord("null"))
+        return fail("bad literal");
+      Out.K = Value::Kind::Null;
+      return Status();
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  Status parseObject(Value &Out, unsigned Depth) {
+    consume('{');
+    Out.K = Value::Kind::Object;
+    skipSpace();
+    if (consume('}'))
+      return Status();
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (Status S = parseString(Key); !S.ok())
+        return S;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      Value V;
+      if (Status S = parseValue(V, Depth + 1); !S.ok())
+        return S;
+      Out.Members.emplace_back(std::move(Key), std::move(V));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Status();
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parseArray(Value &Out, unsigned Depth) {
+    consume('[');
+    Out.K = Value::Kind::Array;
+    skipSpace();
+    if (consume(']'))
+      return Status();
+    while (true) {
+      Value V;
+      if (Status S = parseValue(V, Depth + 1); !S.ok())
+        return S;
+      Out.Elems.push_back(std::move(V));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Status();
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parseString(std::string &Out) {
+    consume('"');
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return Status();
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      const char E = Text[Pos++];
+      switch (E) {
+      case '"': Out.push_back('"'); break;
+      case '\\': Out.push_back('\\'); break;
+      case '/': Out.push_back('/'); break;
+      case 'b': Out.push_back('\b'); break;
+      case 'f': Out.push_back('\f'); break;
+      case 'n': Out.push_back('\n'); break;
+      case 'r': Out.push_back('\r'); break;
+      case 't': Out.push_back('\t'); break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          const char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // Our own writers only escape ASCII; anything beyond is out of
+        // scope for this reader.
+        if (Code > 0x7F)
+          return fail("non-ASCII \\u escape unsupported");
+        Out.push_back(static_cast<char>(Code));
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+  }
+
+  Status parseNumber(Value &Out) {
+    const size_t Start = Pos;
+    if (consume('-')) {
+    }
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("malformed number");
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (consume('.')) {
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("digit required after decimal point");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("digit required in exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    // The grammar above admits exactly what strtod parses, so this never
+    // consumes past Pos.
+    const std::string Num(Text.substr(Start, Pos - Start));
+    Out.K = Value::Kind::Number;
+    Out.Number = std::strtod(Num.c_str(), nullptr);
+    return Status();
+  }
+};
+
+} // namespace dmp::json
+
+StatusOr<Value> json::parse(std::string_view Text) {
+  return Parser(Text).run();
+}
+
+StatusOr<Value> json::parseFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::notFound("cannot open " + Path, "json");
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return parse(Text);
+}

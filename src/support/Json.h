@@ -1,0 +1,90 @@
+//===- support/Json.h - Minimal JSON parser -------------------------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader for the machine-readable artifacts
+/// the project itself emits (the BENCH_*.json perf snapshots).  It exists so
+/// the snapshot schema can be *tested* — tests/test_benchjson.cpp parses the
+/// committed snapshots and validates keys, types, and digests — and so the
+/// perf-regression gate (`bench_throughput --check`) can read the committed
+/// snapshot without a third-party dependency.
+///
+/// Scope is deliberately narrow: UTF-8 text, objects/arrays/strings/numbers/
+/// bools/null, \uXXXX escapes decoded only for the ASCII range (our writers
+/// never emit anything else).  Parse failures come back as Status::corrupt
+/// with a byte offset, never an exception.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_SUPPORT_JSON_H
+#define DMP_SUPPORT_JSON_H
+
+#include "support/Status.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmp::json {
+
+/// One parsed JSON value.  Values form a tree owned by the root.
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Typed accessors; asserting the kind is the caller's job (check first).
+  bool asBool() const { return Boolean; }
+  double asNumber() const { return Number; }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &asArray() const { return Elems; }
+
+  /// Object members in document order (the writers emit ordered snapshots,
+  /// and the schema test checks leading keys).
+  const std::vector<std::pair<std::string, Value>> &asObject() const {
+    return Members;
+  }
+
+  /// Object lookup; nullptr when absent or when this is not an object.
+  const Value *find(std::string_view Key) const;
+
+  /// Convenience: find(Key) if it holds the wanted kind, else nullptr.
+  const Value *findNumber(std::string_view Key) const;
+  const Value *findString(std::string_view Key) const;
+  const Value *findObject(std::string_view Key) const;
+
+private:
+  friend class Parser;
+
+  Kind K;
+  bool Boolean = false;
+  double Number = 0.0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Parses \p Text into a value tree.  The whole input must be one JSON
+/// value (trailing garbage is an error).
+StatusOr<Value> parse(std::string_view Text);
+
+/// Reads and parses a JSON file.  NotFound when the file cannot be read.
+StatusOr<Value> parseFile(const std::string &Path);
+
+} // namespace dmp::json
+
+#endif // DMP_SUPPORT_JSON_H

@@ -29,22 +29,37 @@ PerceptronPredictor::PerceptronPredictor(unsigned NumEntries,
 }
 
 unsigned PerceptronPredictor::indexFor(uint32_t Addr) const {
+  // Power-of-two tables (the Table 1 configuration) index with a mask; the
+  // modulo only survives for odd experimental sizes.
+  if ((NumEntries & (NumEntries - 1)) == 0)
+    return Addr & (NumEntries - 1);
   return Addr % NumEntries;
 }
 
 int PerceptronPredictor::dotProduct(uint32_t Addr, uint64_t Hist) const {
   const size_t Base =
       static_cast<size_t>(indexFor(Addr)) * (HistoryBits + 1);
-  int Sum = Weights[Base].get(); // bias
+  // sum(X_b * w_b) with X_b = +/-1 equals 2*sum(w_b where bit set) - sum(w_b):
+  // accumulating the selected and total sums branchlessly keeps the loop a
+  // straight line the compiler can vectorize.
+  const SaturatingWeight<-128, 127> *W = &Weights[Base + 1];
+  int Selected = 0;
+  int Total = 0;
   for (unsigned Bit = 0; Bit < HistoryBits; ++Bit) {
-    const int X = ((Hist >> Bit) & 1) ? 1 : -1;
-    Sum += X * Weights[Base + 1 + Bit].get();
+    const int V = W[Bit].get();
+    Total += V;
+    Selected += V & -static_cast<int>((Hist >> Bit) & 1);
   }
-  return Sum;
+  return Weights[Base].get() + 2 * Selected - Total;
 }
 
 bool PerceptronPredictor::predict(uint32_t Addr) const {
-  return dotProduct(Addr, History) >= 0;
+  const int Sum = dotProduct(Addr, History);
+  MemoAddr = Addr;
+  MemoHist = History;
+  MemoSum = Sum;
+  MemoValid = true;
+  return Sum >= 0;
 }
 
 bool PerceptronPredictor::predictWithHistory(uint32_t Addr,
@@ -53,7 +68,9 @@ bool PerceptronPredictor::predictWithHistory(uint32_t Addr,
 }
 
 void PerceptronPredictor::update(uint32_t Addr, bool Taken) {
-  const int Output = dotProduct(Addr, History);
+  const int Output = (MemoValid && MemoAddr == Addr && MemoHist == History)
+                         ? MemoSum
+                         : dotProduct(Addr, History);
   const bool Predicted = Output >= 0;
   if (Predicted != Taken || std::abs(Output) <= Threshold) {
     const size_t Base =
@@ -64,6 +81,7 @@ void PerceptronPredictor::update(uint32_t Addr, bool Taken) {
       const int X = ((History >> Bit) & 1) ? 1 : -1;
       Weights[Base + 1 + Bit].add(T * X);
     }
+    MemoValid = false; // Weights changed; any memoized sum is stale.
   }
   History = (History << 1) | (Taken ? 1 : 0);
 }
@@ -72,6 +90,7 @@ void PerceptronPredictor::reset() {
   for (auto &W : Weights)
     W.add(-W.get());
   History = 0;
+  MemoValid = false;
 }
 
 //===----------------------------------------------------------------------===//

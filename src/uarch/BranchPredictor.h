@@ -81,6 +81,16 @@ private:
   // Entry layout: [bias, w_1 .. w_HistoryBits] signed 8-bit saturating.
   std::vector<SaturatingWeight<-128, 127>> Weights;
   uint64_t History = 0;
+
+  // Memo of the last predict() dot product.  The simulator predicts and
+  // then immediately trains each branch, so update() recomputing the
+  // 65-term sum would double the predictor cost for nothing; the memo is
+  // keyed on (Addr, History) and dropped whenever any weight changes, so
+  // reuse is exact.  predictWithHistory (speculative history) bypasses it.
+  mutable uint32_t MemoAddr = 0;
+  mutable uint64_t MemoHist = 0;
+  mutable int MemoSum = 0;
+  mutable bool MemoValid = false;
 };
 
 /// gshare predictor (global history XOR pc indexing 2-bit counters).  Used

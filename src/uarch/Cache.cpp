@@ -21,6 +21,7 @@ Cache::Cache(uint64_t SizeBytes, unsigned Assoc, unsigned LineBytes,
          "size must be divisible by assoc * line");
   NumSets = static_cast<unsigned>(SizeBytes / (Assoc * LineBytes));
   assert(isPowerOf2(NumSets) && "set count must be a power of two");
+  SetShift = log2Floor(NumSets);
   Lines.resize(static_cast<size_t>(NumSets) * Assoc);
 }
 
@@ -29,7 +30,7 @@ bool Cache::access(uint64_t ByteAddr) {
   ++UseClock;
   const uint64_t LineAddr = ByteAddr >> LineShift;
   const unsigned Set = static_cast<unsigned>(LineAddr & (NumSets - 1));
-  const uint64_t Tag = LineAddr >> log2Floor(NumSets);
+  const uint64_t Tag = LineAddr >> SetShift;
   Line *Victim = nullptr;
   for (unsigned Way = 0; Way < Assoc; ++Way) {
     Line &L = Lines[static_cast<size_t>(Set) * Assoc + Way];

@@ -51,6 +51,8 @@ private:
   unsigned NumSets;
   unsigned Assoc;
   unsigned LineShift;
+  /// log2(NumSets), precomputed so tag extraction is one shift per access.
+  unsigned SetShift;
   unsigned HitLatency;
   std::vector<Line> Lines; // NumSets * Assoc
   uint64_t Accesses = 0;

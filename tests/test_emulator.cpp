@@ -186,3 +186,130 @@ TEST(EmulatorTest, HaltStopsExecution) {
   EXPECT_FALSE(Emu.step(D));
   EXPECT_EQ(Emu.executedCount(), 2u); // loadImm + halt
 }
+
+// -- Edge semantics pinned for the fast paths --------------------------------
+// The predecoded step()/run() paths must preserve these exactly; each is a
+// contract clients (profiler, simulator, oracle) rely on.
+
+// Memory is padded to the next power of two, at least 64K words, and
+// effective addresses are masked to that size — so every program is
+// memory-safe by construction and address wraparound is defined behavior.
+TEST(EmulatorTest, MemoryWordsPadding) {
+  std::unique_ptr<Program> P;
+  // Empty image: the 64K-word floor.
+  EXPECT_EQ(runProgram(P, [](IRBuilder &, Function *) {}).memoryWords(),
+            64u * 1024);
+  // Below the floor: still the floor.
+  EXPECT_EQ(runProgram(P, [](IRBuilder &, Function *) {},
+                       std::vector<int64_t>(1000, 7))
+                .memoryWords(),
+            64u * 1024);
+  // Above the floor: next power of two.
+  EXPECT_EQ(runProgram(P, [](IRBuilder &, Function *) {},
+                       std::vector<int64_t>(100'000, 7))
+                .memoryWords(),
+            128u * 1024);
+  // Exactly a power of two: unchanged.
+  EXPECT_EQ(runProgram(P, [](IRBuilder &, Function *) {},
+                       std::vector<int64_t>(128 * 1024, 7))
+                .memoryWords(),
+            128u * 1024);
+}
+
+TEST(EmulatorTest, AddressWraparound) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(P, [](IRBuilder &B, Function *) {
+    // Store past the end: 64K + 3 wraps to word 3.
+    B.loadImm(1, 64 * 1024 + 3);
+    B.loadImm(2, 42);
+    B.store(2, 1, 0);
+    B.load(3, 1, 0); // Reads back through the same wrap.
+    // A negative effective address wraps to the top of memory.
+    B.loadImm(4, -1);
+    B.loadImm(5, 99);
+    B.store(5, 4, 0);
+  });
+  EXPECT_EQ(Emu.memWord(3), 42);
+  EXPECT_EQ(Emu.reg(3), 42);
+  EXPECT_EQ(Emu.memWord(64 * 1024 - 1), 99);
+  // memWord itself masks, so the unwrapped addresses read the same cells.
+  EXPECT_EQ(Emu.memWord(64 * 1024 + 3), 42);
+}
+
+TEST(EmulatorTest, RegZeroIsHardwired) {
+  // Deliberately NOT linted: IR06 flags r0 writes as invalid IR, but the
+  // emulator's defense is that such writes are *dropped* — r0 reads as zero
+  // no matter what ran — and the decoded fast path must preserve exactly
+  // that (its unconditional register reads rely on Regs[0] staying 0).
+  auto P = std::make_unique<Program>("t");
+  Function *F = P->createFunction("main");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(*P);
+  B.setInsertPoint(Entry);
+  B.loadImm(0, 123); // Write to r0 is dropped.
+  B.addI(1, 0, 5);   // r1 = r0 + 5 = 5.
+  B.add(2, 0, 0);    // r2 = 0.
+  B.loadImm(3, 7);
+  B.add(0, 3, 3); // Another dropped write.
+  B.or_(4, 0, 3); // r4 = 0 | 7.
+  B.halt();
+  P->finalize();
+  Emulator Emu(*P, {});
+  DynInstr D;
+  while (Emu.step(D)) {
+  }
+  EXPECT_EQ(Emu.reg(0), 0);
+  EXPECT_EQ(Emu.reg(1), 5);
+  EXPECT_EQ(Emu.reg(2), 0);
+  EXPECT_EQ(Emu.reg(4), 7);
+}
+
+// After halt, step() returns false and leaves the DynInstr untouched — the
+// profiler and simulator loops read Out only on a true return, and the
+// batched run() path must not change that.
+TEST(EmulatorTest, HaltLeavesDynInstrUntouched) {
+  std::unique_ptr<Program> P;
+  Emulator Emu = runProgram(P, [](IRBuilder &B, Function *) {
+    B.loadImm(1, 1);
+  });
+  ASSERT_TRUE(Emu.isHalted());
+  DynInstr D;
+  D.I = reinterpret_cast<const Instruction *>(0x1234);
+  D.Addr = 0xAAAA;
+  D.NextAddr = 0xBBBB;
+  D.Taken = true;
+  D.MemAddr = 0xCCCC;
+  EXPECT_FALSE(Emu.step(D));
+  EXPECT_FALSE(Emu.stepReference(D));
+  EXPECT_EQ(D.I, reinterpret_cast<const Instruction *>(0x1234));
+  EXPECT_EQ(D.Addr, 0xAAAAu);
+  EXPECT_EQ(D.NextAddr, 0xBBBBu);
+  EXPECT_TRUE(D.Taken);
+  EXPECT_EQ(D.MemAddr, 0xCCCCu);
+  // And the PC parks on the halting instruction.
+  const uint32_t Pc = Emu.pc();
+  EXPECT_FALSE(Emu.step(D));
+  EXPECT_EQ(Emu.pc(), Pc);
+  EXPECT_EQ(Emu.executedCount(), 2u);
+}
+
+// Ret with an empty call stack (return from main) halts exactly like Halt.
+// Not linted — IR13 requires main to end in halt — but the emulator's
+// defensive semantic for it must hold on both stepping paths.
+TEST(EmulatorTest, RetInMainHalts) {
+  auto P = std::make_unique<Program>("t");
+  Function *F = P->createFunction("main");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(*P);
+  B.setInsertPoint(Entry);
+  B.loadImm(1, 9);
+  B.ret();
+  P->finalize();
+  Emulator Emu(*P, {});
+  DynInstr D;
+  while (Emu.step(D)) {
+  }
+  EXPECT_TRUE(Emu.isHalted());
+  EXPECT_EQ(Emu.reg(1), 9);
+  EXPECT_EQ(Emu.callDepth(), 0u);
+}

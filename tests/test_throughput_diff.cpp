@@ -1,0 +1,211 @@
+//===- tests/test_throughput_diff.cpp - Fast-path differential tests ----------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// The enforcement arm of the digest-identity contract (DESIGN.md "Fast
+// paths & the digest-identity contract"): every throughput optimization —
+// the predecoded step() dispatch, the block-batched Emulator::run(), and
+// the flattened DmpCore hot loop — must be bit-identical to the preserved
+// reference interpreter in every observable.  These tests drive the fast
+// and reference paths over the shared hand-built test programs, all 17
+// suite workloads, and 200 fuzz-generated recipes, and compare:
+//
+//   * every DynInstr field, in lockstep, instruction by instruction;
+//   * final architectural state: all registers, memory fingerprint,
+//     executed count, PC, halt flag, call depth;
+//   * the cycle simulator's full SimStats encoding and retired FinalState
+//     when fed by EmuMode::Fast vs EmuMode::Reference, baseline and
+//     dpred-heavy (adversarial annotations) alike.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "cfg/Analysis.h"
+#include "check/Oracle.h"
+#include "check/ProgramGen.h"
+#include "profile/Emulator.h"
+#include "serialize/ProfileIO.h"
+#include "sim/DmpCore.h"
+#include "sim/FinalState.h"
+#include "workloads/SpecSuite.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmp;
+using namespace dmp::profile;
+
+namespace {
+
+/// Steps the decoded fast path and the reference interpreter in lockstep
+/// over (\p P, \p Image) and asserts bit-identical DynInstr streams and
+/// final architectural state.
+void compareSteppers(const ir::Program &P, const std::vector<int64_t> &Image,
+                     uint64_t MaxInstrs) {
+  Emulator Fast(P, Image);
+  Emulator Ref(P, Image);
+  DynInstr DF, DR;
+  while (Fast.executedCount() < MaxInstrs) {
+    const bool FastAlive = Fast.step(DF);
+    const bool RefAlive = Ref.stepReference(DR);
+    ASSERT_EQ(FastAlive, RefAlive) << "liveness diverged at instruction "
+                                   << Ref.executedCount();
+    if (!FastAlive)
+      break;
+    ASSERT_EQ(DF.I, DR.I);
+    ASSERT_EQ(DF.Addr, DR.Addr);
+    ASSERT_EQ(DF.NextAddr, DR.NextAddr);
+    ASSERT_EQ(DF.Taken, DR.Taken);
+    ASSERT_EQ(DF.MemAddr, DR.MemAddr);
+  }
+  EXPECT_EQ(Fast.executedCount(), Ref.executedCount());
+  EXPECT_EQ(Fast.isHalted(), Ref.isHalted());
+  EXPECT_EQ(Fast.pc(), Ref.pc());
+  EXPECT_EQ(Fast.callDepth(), Ref.callDepth());
+  for (unsigned R = 0; R < ir::NumRegs; ++R)
+    ASSERT_EQ(Fast.reg(static_cast<ir::Reg>(R)),
+              Ref.reg(static_cast<ir::Reg>(R)))
+        << "r" << R;
+  EXPECT_EQ(Fast.memoryWords(), Ref.memoryWords());
+  EXPECT_EQ(sim::fingerprintMemory(Fast), sim::fingerprintMemory(Ref));
+}
+
+/// Asserts Emulator::run(\p MaxInstrs) matches the equivalent step() loop
+/// in final state — the block-batching must be invisible.
+void compareRunVsStepLoop(const ir::Program &P,
+                          const std::vector<int64_t> &Image,
+                          uint64_t MaxInstrs) {
+  Emulator Batched(P, Image);
+  Batched.run(MaxInstrs);
+  Emulator Stepped(P, Image);
+  DynInstr D;
+  while (Stepped.executedCount() < MaxInstrs && Stepped.step(D)) {
+  }
+  EXPECT_EQ(Batched.executedCount(), Stepped.executedCount());
+  EXPECT_EQ(Batched.isHalted(), Stepped.isHalted());
+  EXPECT_EQ(Batched.pc(), Stepped.pc());
+  EXPECT_EQ(Batched.callDepth(), Stepped.callDepth());
+  for (unsigned R = 0; R < ir::NumRegs; ++R)
+    ASSERT_EQ(Batched.reg(static_cast<ir::Reg>(R)),
+              Stepped.reg(static_cast<ir::Reg>(R)))
+        << "r" << R;
+  EXPECT_EQ(sim::fingerprintMemory(Batched), sim::fingerprintMemory(Stepped));
+}
+
+void compareAllPaths(const ir::Program &P, const std::vector<int64_t> &Image,
+                     uint64_t MaxInstrs) {
+  compareSteppers(P, Image, MaxInstrs);
+  compareRunVsStepLoop(P, Image, MaxInstrs);
+}
+
+} // namespace
+
+TEST(FastPathDiff, SimpleHammockLoop) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/4, /*Iters=*/64);
+  compareAllPaths(*H.Prog, test::alternatingImage(64, 2), 1u << 20);
+}
+
+TEST(FastPathDiff, FreqHammockLoop) {
+  auto H = test::buildFreqHammockLoop();
+  compareAllPaths(*H.Prog, test::alternatingImage(8192, 3), 1u << 20);
+}
+
+TEST(FastPathDiff, DataLoop) {
+  auto H = test::buildDataLoop();
+  compareAllPaths(*H.Prog, test::alternatingImage(8192, 5), 1u << 20);
+}
+
+TEST(FastPathDiff, RetFuncLoop) {
+  auto H = test::buildRetFuncLoop(/*Iters=*/64);
+  compareAllPaths(*H.Prog, test::alternatingImage(64, 2), 1u << 20);
+}
+
+// Budgets that stop mid-program (including mid-straight-line-run, which is
+// where the batched run() loop must cut a block short) and budgets past
+// the halt point.
+TEST(FastPathDiff, PartialBudgets) {
+  auto H = test::buildSimpleHammockLoop(/*BodyLen=*/6, /*Iters=*/32);
+  const auto Image = test::alternatingImage(64, 2);
+  for (uint64_t Budget : {1ull, 2ull, 3ull, 7ull, 17ull, 100ull, 101ull,
+                          333ull, 1000ull, 1ull << 30}) {
+    compareSteppers(*H.Prog, Image, Budget);
+    compareRunVsStepLoop(*H.Prog, Image, Budget);
+  }
+}
+
+// All 17 suite workloads through both steppers and the batched run.
+TEST(FastPathDiff, SpecSuiteWorkloads) {
+  for (const workloads::BenchmarkSpec &Spec : workloads::specSuite()) {
+    SCOPED_TRACE(Spec.Name);
+    const workloads::Workload W = workloads::buildBenchmark(Spec);
+    const auto Image = W.buildImage(workloads::InputSetKind::Run);
+    compareSteppers(*W.Prog, Image, 150'000);
+    compareRunVsStepLoop(*W.Prog, Image, 150'000);
+  }
+}
+
+// 200 fuzz-recipe seeds (the same generator the differential-oracle fuzz
+// campaign draws from): every generated CFG shape must agree across the
+// fast and reference paths.
+TEST(FastPathDiff, FuzzRecipes200) {
+  for (uint64_t Seed = 0; Seed < 200; ++Seed) {
+    const check::GenRecipe Recipe = check::randomRecipe(Seed);
+    const check::GenProgram GP = check::materialize(Recipe);
+    ASSERT_TRUE(GP.VerifyErrors.empty())
+        << check::describeRecipe(Recipe) << ": " << GP.VerifyErrors.front();
+    SCOPED_TRACE(check::describeRecipe(Recipe));
+    compareSteppers(*GP.Prog, GP.Image, 40'000);
+    compareRunVsStepLoop(*GP.Prog, GP.Image, 40'000);
+  }
+}
+
+namespace {
+
+/// Runs DmpCore twice — fed by the fast emulator and by the reference
+/// interpreter — and asserts byte-identical SimStats encodings (the digest
+/// the artifact cache and `dmpc` hash) and identical retired state.
+void compareEmuModes(const ir::Program &P, const core::DivergeMap *Diverge,
+                     const sim::SimConfig &Cfg,
+                     const std::vector<int64_t> &Image) {
+  sim::FinalState FastState, RefState;
+  sim::DmpCore Fast(P, Diverge, Cfg);
+  const sim::SimStats FastStats =
+      Fast.run(Image, &FastState, sim::DmpCore::EmuMode::Fast);
+  sim::DmpCore Ref(P, Diverge, Cfg);
+  const sim::SimStats RefStats =
+      Ref.run(Image, &RefState, sim::DmpCore::EmuMode::Reference);
+
+  EXPECT_EQ(serialize::encodeSimStats(FastStats),
+            serialize::encodeSimStats(RefStats));
+  EXPECT_EQ(FastState.Regs, RefState.Regs);
+  EXPECT_EQ(FastState.MemoryFingerprint, RefState.MemoryFingerprint);
+  EXPECT_EQ(FastState.RetiredInstrs, RefState.RetiredInstrs);
+  EXPECT_EQ(FastState.Halted, RefState.Halted);
+  ASSERT_EQ(FastState.Stores.size(), RefState.Stores.size());
+  for (size_t I = 0; I < FastState.Stores.size(); ++I)
+    ASSERT_TRUE(FastState.Stores[I] == RefState.Stores[I]) << "store " << I;
+}
+
+} // namespace
+
+TEST(FastPathDiff, SimEmuModeBaselineWorkloads) {
+  for (const char *Name : {"mcf", "go", "gcc"}) {
+    SCOPED_TRACE(Name);
+    const workloads::Workload W = workloads::buildByName(Name);
+    sim::SimConfig Cfg;
+    Cfg.MaxInstrs = 100'000;
+    compareEmuModes(*W.Prog, nullptr,
+                    Cfg, W.buildImage(workloads::InputSetKind::Run));
+  }
+}
+
+// The dpred machinery exercised hard: every branch adversarially annotated,
+// DMP enabled, fast and reference feeds must still collapse to one digest.
+TEST(FastPathDiff, SimEmuModeAdversarialDpred) {
+  auto H = test::buildFreqHammockLoop();
+  const cfg::ProgramAnalysis PA(*H.Prog);
+  const core::DivergeMap Map = check::adversarialAnnotations(PA);
+  sim::SimConfig Cfg;
+  Cfg.EnableDmp = true;
+  Cfg.MaxInstrs = 200'000;
+  compareEmuModes(*H.Prog, &Map, Cfg, test::alternatingImage(8192, 3));
+}
