@@ -8,10 +8,17 @@
 // machine-readable perf snapshot, BENCH_serve.json:
 //
 //   * warm-cache campaign throughput (cells/sec across repeated campaigns
-//     whose artifacts all hit the shared cache), and
+//     whose artifacts all hit the shared cache),
 //   * client-observed campaign latency percentiles (submit -> fetch,
 //     including the status polling a real client does), plus raw ping RTT
-//     percentiles for the protocol floor.
+//     percentiles for the protocol floor, and
+//   * restart recovery latency: how long a fresh daemon takes to come back
+//     up on the same socket and job store (recoverJobs included) and how
+//     long the rejoining client needs to land the interrupted campaign.
+//
+// Each campaign is acked before the next submit: the server dedups
+// identical in-flight requests by digest, so an unacked round would serve
+// the next one straight from memory and measure nothing but the fetch.
 //
 // The snapshot also records the campaign digest so a perf-motivated serve
 // change that silently alters results shows up in the diff of this file.
@@ -36,6 +43,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -99,10 +107,18 @@ std::string campaignDigest(const FetchReplyData &Reply) {
 
 /// Snapshot via the shared writer, so BENCH_serve.json and
 /// BENCH_throughput.json carry the same schema header (bench/BenchJson.h).
+struct RestartMetrics {
+  double ListenRecoverMs = 0.0;
+  double RejoinCampaignMs = 0.0;
+  uint64_t JobsRecovered = 0;
+  uint64_t CellsResumed = 0;
+};
+
 bench::BenchJson buildJson(unsigned Workers, size_t Cells, unsigned Campaigns,
                            double CellsPerSec,
                            const std::vector<double> &CampaignMs,
                            const std::vector<double> &PingUs,
+                           const RestartMetrics &Restart,
                            const std::string &Digest) {
   bench::BenchJson J("serve");
   J.integer("workers", Workers);
@@ -119,6 +135,12 @@ bench::BenchJson buildJson(unsigned Workers, size_t Cells, unsigned Campaigns,
   J.number("p50", percentile(PingUs, 50), 1);
   J.number("p90", percentile(PingUs, 90), 1);
   J.number("p99", percentile(PingUs, 99), 1);
+  J.endObject();
+  J.beginObject("restart_recovery");
+  J.number("listen_recover_ms", Restart.ListenRecoverMs, 3);
+  J.number("rejoin_campaign_ms", Restart.RejoinCampaignMs, 3);
+  J.integer("jobs_recovered", Restart.JobsRecovered);
+  J.integer("cells_resumed", Restart.CellsResumed);
   J.endObject();
   J.string("campaign_digest", Digest);
   return J;
@@ -145,19 +167,20 @@ int main(int Argc, char **Argv) {
                                         .string()
                                         .c_str(),
                                     static_cast<int>(::getpid()));
+  SrvOpts.Quiet = true;
   guard::CancelToken Drain;
-  Server Srv(SrvOpts, Pool, &Drain);
-  if (Status S = Srv.listen(); !S.ok()) {
+  auto Srv = std::make_unique<Server>(SrvOpts, Pool, &Drain);
+  if (Status S = Srv->listen(); !S.ok()) {
     std::fprintf(stderr, "bench_serve: %s\n", S.toString().c_str());
     return exitcode::Failure;
   }
   Status RunResult;
-  std::thread Loop([&] { RunResult = Srv.run(); });
+  std::thread Loop([&] { RunResult = Srv->run(); });
 
   Client C;
   if (Status S = C.connect(SrvOpts.SocketPath); !S.ok()) {
     std::fprintf(stderr, "bench_serve: %s\n", S.toString().c_str());
-    Srv.requestStop();
+    Srv->requestStop();
     Loop.join();
     return exitcode::Failure;
   }
@@ -190,6 +213,7 @@ int main(int Argc, char **Argv) {
       return exitcode::Failure;
     }
     Digest = campaignDigest(*Reply);
+    (void)C.ack(Reply->Job);
   }
 
   // Measured phase.
@@ -205,6 +229,7 @@ int main(int Argc, char **Argv) {
       return exitcode::Failure;
     }
     CampaignMs.push_back(msSince(T0));
+    (void)C.ack(Reply->Job);
     const std::string D = campaignDigest(*Reply);
     if (D != Digest) {
       std::fprintf(stderr,
@@ -221,7 +246,82 @@ int main(int Argc, char **Argv) {
                 TotalSec
           : 0.0;
 
-  C.shutdownServer();
+  // Restart recovery: leave a campaign in flight, stop the daemon, bring a
+  // fresh one up on the same socket and job store, and measure (a) how
+  // long listen() takes recovery included and (b) how long the rejoining
+  // client needs to land the interrupted campaign (which dedups onto the
+  // recovered job).  Skipped without a cache: there is no store to
+  // recover from.
+  RestartMetrics Restart;
+  if (PoolOpts.UseCache) {
+    StatusOr<uint64_t> Job = C.submit(Req);
+    if (!Job.ok()) {
+      std::fprintf(stderr, "bench_serve: restart-phase submit failed: %s\n",
+                   Job.status().toString().c_str());
+      return exitcode::Failure;
+    }
+    // Let at least one cell land in the checkpoint so the recovery below
+    // genuinely resumes (cells_resumed >= 1) instead of starting over.
+    while (true) {
+      StatusOr<JobStatusReply> S = C.status(*Job);
+      if (!S.ok()) {
+        std::fprintf(stderr, "bench_serve: restart-phase status failed: %s\n",
+                     S.status().toString().c_str());
+        return exitcode::Failure;
+      }
+      if (S->Done >= 1)
+        break;
+      ::usleep(1000);
+    }
+    Srv->requestStop();
+    Loop.join();
+    if (!RunResult.ok()) {
+      std::fprintf(stderr, "bench_serve: server loop: %s\n",
+                   RunResult.toString().c_str());
+      return exitcode::Failure;
+    }
+    C.close();
+    Srv.reset();
+
+    const auto TRecover = Clock::now();
+    Srv = std::make_unique<Server>(SrvOpts, Pool, &Drain);
+    if (Status S = Srv->listen(); !S.ok()) {
+      std::fprintf(stderr, "bench_serve: relisten: %s\n",
+                   S.toString().c_str());
+      return exitcode::Failure;
+    }
+    Restart.ListenRecoverMs = msSince(TRecover);
+    Restart.JobsRecovered = Srv->counters().JobsRecovered;
+    Restart.CellsResumed = Srv->counters().CellsResumed;
+    Loop = std::thread([&] { RunResult = Srv->run(); });
+
+    const auto TRejoin = Clock::now();
+    Client C2;
+    if (Status S = C2.connect(SrvOpts.SocketPath); !S.ok()) {
+      std::fprintf(stderr, "bench_serve: reconnect: %s\n",
+                   S.toString().c_str());
+      return exitcode::Failure;
+    }
+    StatusOr<FetchReplyData> Reply = C2.runCampaign(Req);
+    if (!Reply.ok()) {
+      std::fprintf(stderr, "bench_serve: rejoined campaign failed: %s\n",
+                   Reply.status().toString().c_str());
+      return exitcode::Failure;
+    }
+    Restart.RejoinCampaignMs = msSince(TRejoin);
+    (void)C2.ack(Reply->Job);
+    const std::string D = campaignDigest(*Reply);
+    if (D != Digest) {
+      std::fprintf(stderr,
+                   "bench_serve: digest drifted across the restart\n"
+                   "  warm     : %s\n  recovered: %s\n",
+                   Digest.c_str(), D.c_str());
+      return exitcode::Failure;
+    }
+    C2.shutdownServer();
+  } else {
+    C.shutdownServer();
+  }
   Loop.join();
   if (!RunResult.ok()) {
     std::fprintf(stderr, "bench_serve: server loop: %s\n",
@@ -231,7 +331,7 @@ int main(int Argc, char **Argv) {
 
   bench::BenchJson J = buildJson(Pool.size(), Req.Cells.size(),
                                  kMeasuredCampaigns, CellsPerSec, CampaignMs,
-                                 PingUs, Digest);
+                                 PingUs, Restart, Digest);
   std::fputs(J.render().c_str(), stdout);
   if (!J.writeFile("BENCH_serve.json")) {
     std::fprintf(stderr, "bench_serve: cannot write BENCH_serve.json\n");

@@ -6,6 +6,9 @@
 # --crash to run only the fork-based crash-consistency matrix,
 # --serve to run the campaign-service suite (serve label) plus the
 # multi-client soak hammer (DMP_SERVE_SOAK=1),
+# --chaos to run the socket-chaos and daemon-crash-restart matrix (the
+# chaos label: ChaosProxy transport hostility plus SIGKILL-and-restart
+# digest-parity tests),
 # --bench to run the perf-regression gate (a bench_throughput smoke
 # re-measurement against the committed BENCH_throughput.json, 3x
 # tolerance; the perf ctest label),
@@ -22,6 +25,7 @@ cd "$(dirname "$0")/.."
 ALL=0
 CRASH=0
 SERVE=0
+CHAOS=0
 BENCH=0
 TIDY=0
 PRESET=ci
@@ -30,12 +34,13 @@ for arg in "$@"; do
     --all) ALL=1 ;;
     --crash) CRASH=1 ;;
     --serve) SERVE=1 ;;
+    --chaos) CHAOS=1 ;;
     --bench) BENCH=1 ;;
     --sanitize) PRESET=sanitize ;;
     --tsan) PRESET=tsan ;;
     --tidy) TIDY=1 ;;
-    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--bench] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
-    *) echo "usage: $0 [--all] [--crash] [--serve] [--bench] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
+    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--chaos] [--bench] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--crash] [--serve] [--chaos] [--bench] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
   esac
 done
 
@@ -69,6 +74,10 @@ elif [[ "$SERVE" -eq 1 ]]; then
   # soak hammer (multi-client junk-injecting load test) only runs when its
   # env gate is armed, which the serve_soak ctest entry does.
   ctest --preset "$PRESET" -L serve
+elif [[ "$CHAOS" -eq 1 ]]; then
+  # Torn transport (ChaosProxy) and SIGKILL-restart recovery, all pinned
+  # to digest parity with local execution.
+  ctest --preset "$PRESET" -L chaos
 elif [[ "$BENCH" -eq 1 ]]; then
   # Throughput must stay within 3x of the committed snapshot and the
   # campaign digest must match it bit for bit.
@@ -82,7 +91,7 @@ fi
 # CI path extras (the default tier1 gate): the static checker must report
 # zero error-severity diagnostics over every workload's selected
 # annotations, and tidy runs when available.
-if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 && "$BENCH" -eq 0 ]]; then
+if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 && "$CHAOS" -eq 0 && "$BENCH" -eq 0 ]]; then
   ./build-ci/tools/dmp_lint --all --profile-instrs=800000
   run_tidy
 fi

@@ -13,7 +13,17 @@
 /// Every RPC is a roundTrip(): write one frame, read one frame, and decode
 /// a server Error frame back into the dmp::Status it carries — so a
 /// rejected SUBMIT surfaces as the same ResourceExhausted/Corrupt taxonomy
-/// the rest of the stack speaks.
+/// the rest of the stack speaks.  A *transport* failure (the write or the
+/// read died, the stream desynchronized) closes the socket, so
+/// connected() afterwards distinguishes "the server answered an error"
+/// (still connected) from "the connection is gone" (reconnect and retry).
+///
+/// runCampaign() is crash-resilient (DESIGN.md "Recovery & idempotency"):
+/// when the daemon blips or restarts mid-campaign it reconnects under a
+/// bounded deterministic backoff (seeded jitter, Transient-only), compares
+/// the server's per-boot epoch from the PONG health reply, and resubmits
+/// idempotently — the request digest dedups onto surviving work, so the
+/// final results are bit-identical to an uninterrupted run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +33,23 @@
 #include "serve/Protocol.h"
 
 namespace dmp::serve {
+
+/// Reconnect/resubmit policy for runCampaign() and connectWithRetry().
+/// Deterministic: the delay before attempt N is a pure function of
+/// (Seed, N), in the spirit of fault::Plan.
+struct RetryPolicy {
+  /// Connection attempts per re-establishment (including the first).
+  unsigned ConnectAttempts = 10;
+  /// Exponential backoff base; the pre-jitter delay before retry N is
+  /// BaseDelayMs << N, capped at MaxDelayMs.
+  unsigned BaseDelayMs = 10;
+  unsigned MaxDelayMs = 2000;
+  /// How many times runCampaign() may (re)submit the request before
+  /// giving up.  Idempotent dedup makes every resubmit safe.
+  unsigned MaxResubmits = 8;
+  /// Jitter seed; same seed, same schedule.
+  uint64_t Seed = 0;
+};
 
 class Client {
 public:
@@ -35,8 +62,21 @@ public:
   Client &operator=(Client &&Other) noexcept;
 
   /// Connects to the daemon's Unix socket.  Transient on refusal (daemon
-  /// not up, socket stale).
+  /// not up, socket stale); Invariant when the path exceeds the AF_UNIX
+  /// sun_path limit.
   Status connect(const std::string &SocketPath);
+
+  /// connect() under \p Retry: bounded attempts with deterministic seeded
+  /// backoff, retrying Transient refusals only (an Invariant — e.g. an
+  /// overlong path — fails immediately).
+  Status connectWithRetry(const std::string &SocketPath,
+                          const RetryPolicy &Retry);
+
+  /// The delay before retry \p Attempt (0-based): exponential, capped,
+  /// with seeded jitter in [cap/2, cap].  Pure function, exposed for
+  /// tests.
+  static unsigned backoffDelayMs(const RetryPolicy &Retry, unsigned Attempt);
+
   void close();
   bool connected() const { return Fd != -1; }
 
@@ -44,28 +84,43 @@ public:
   int fd() const { return Fd; }
 
   /// One request/reply exchange.  A server Error frame is decoded into its
-  /// carried Status; an unexpected reply type is Corrupt.
+  /// carried Status; an unexpected reply type is Corrupt.  On a transport
+  /// failure the socket is closed (connected() turns false).
   StatusOr<Frame> roundTrip(MsgType Type,
                             const std::vector<uint8_t> &Payload);
 
   Status ping();
+  /// PING decoded as a health check: returns the server's per-boot epoch
+  /// (0 from a pre-epoch server).  A changed epoch means the daemon
+  /// restarted and in-memory job ids from before are dead.
+  StatusOr<uint64_t> health();
   /// Returns the accepted job id.
   StatusOr<uint64_t> submit(const SubmitRequest &Req);
   StatusOr<JobStatusReply> status(uint64_t Job);
-  /// Fetches a finished job's per-cell outcomes; the server forgets the
-  /// job on success (fetch-once).  Transient while the job still runs.
+  /// Fetches a finished job's per-cell outcomes.  Idempotent: the server
+  /// keeps the job (and its durable record) until ack().  Transient while
+  /// the job still runs.
   StatusOr<FetchReplyData> fetch(uint64_t Job);
+  /// Tells the server the results were consumed; the job and its durable
+  /// record are released.  Idempotent — acking an unknown id is Ok.
+  Status ack(uint64_t Job);
   Status cancel(uint64_t Job);
   /// Asks the daemon to drain and exit.
   Status shutdownServer();
 
   /// Convenience: submit, poll status until the job finishes, fetch.
-  /// This is the whole of `dmpc --remote`.
+  /// This is the whole of `dmpc --remote`.  Rides through daemon blips
+  /// and restarts under \p Retry (reconnect, epoch check, idempotent
+  /// resubmit); does NOT ack — the caller does, once it has consumed the
+  /// results.
   StatusOr<FetchReplyData> runCampaign(const SubmitRequest &Req,
-                                       unsigned PollIntervalMs = 20);
+                                       unsigned PollIntervalMs = 20,
+                                       const RetryPolicy &Retry = {});
 
 private:
   int Fd = -1;
+  /// Remembered by connect() so runCampaign() can re-establish.
+  std::string Path;
 };
 
 } // namespace dmp::serve

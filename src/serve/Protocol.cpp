@@ -22,7 +22,7 @@ Status corrupt(std::string Msg) {
 
 bool validType(uint8_t T) {
   return (T >= static_cast<uint8_t>(MsgType::Submit) &&
-          T <= static_cast<uint8_t>(MsgType::Pong)) ||
+          T <= static_cast<uint8_t>(MsgType::AckOk)) ||
          T == static_cast<uint8_t>(MsgType::RunCell) ||
          T == static_cast<uint8_t>(MsgType::CellDone);
 }
@@ -192,6 +192,18 @@ std::vector<uint8_t> serve::encodeSubmit(const SubmitRequest &Req) {
   return W.take();
 }
 
+serialize::Digest serve::requestKey(const SubmitRequest &Req) {
+  // The domain prefix keeps submit keys disjoint from every other SHA-256
+  // use in the artifact cache; the canonical encodeSubmit bytes make the
+  // key a pure function of the request contents.
+  serialize::Hasher H;
+  const char Domain[] = "dmp-serve-submit-v1\n";
+  H.update(Domain, sizeof(Domain) - 1);
+  const std::vector<uint8_t> Bytes = encodeSubmit(Req);
+  H.update(Bytes.data(), Bytes.size());
+  return H.finish();
+}
+
 Status serve::decodeSubmit(const std::vector<uint8_t> &Payload,
                            SubmitRequest &Req) {
   serialize::ByteReader R(Payload);
@@ -299,12 +311,27 @@ Status serve::decodeStatusPayload(const std::vector<uint8_t> &Payload,
   return Status();
 }
 
-namespace {
+std::vector<uint8_t> serve::encodePong(uint64_t Epoch) {
+  serialize::ByteWriter W;
+  W.writeU64(Epoch);
+  return W.take();
+}
 
-/// Shared cell-outcome encoding: ok flag, then a length-prefixed
-/// CellResult or an inline Status.
-void writeOutcome(serialize::ByteWriter &W,
-                  const StatusOr<harness::CellResult> &Outcome) {
+Status serve::decodePong(const std::vector<uint8_t> &Payload,
+                         uint64_t &Epoch) {
+  if (Payload.empty()) {
+    // A pre-epoch server answers PING with an empty PONG; treat that as
+    // epoch 0 ("unknown") instead of a decode failure.
+    Epoch = 0;
+    return Status();
+  }
+  serialize::ByteReader R(Payload);
+  Epoch = R.readU64();
+  return finishDecode(R, "pong");
+}
+
+void serve::encodeCellOutcome(serialize::ByteWriter &W,
+                              const StatusOr<harness::CellResult> &Outcome) {
   W.writeU8(Outcome.ok() ? 1 : 0);
   if (Outcome.ok()) {
     const std::vector<uint8_t> Blob = harness::encodeCellResult(*Outcome);
@@ -317,8 +344,8 @@ void writeOutcome(serialize::ByteWriter &W,
   }
 }
 
-Status readOutcome(serialize::ByteReader &R,
-                   StatusOr<harness::CellResult> &Outcome) {
+Status serve::decodeCellOutcome(serialize::ByteReader &R,
+                                StatusOr<harness::CellResult> &Outcome) {
   const uint8_t Ok = R.readU8();
   if (!R.ok())
     return corrupt("truncated cell outcome");
@@ -350,14 +377,12 @@ Status readOutcome(serialize::ByteReader &R,
   return Status();
 }
 
-} // namespace
-
 std::vector<uint8_t> serve::encodeFetchReply(const FetchReplyData &Reply) {
   serialize::ByteWriter W;
   W.writeU64(Reply.Job);
   W.writeU32(static_cast<uint32_t>(Reply.Cells.size()));
   for (const StatusOr<harness::CellResult> &Cell : Reply.Cells)
-    writeOutcome(W, Cell);
+    encodeCellOutcome(W, Cell);
   return W.take();
 }
 
@@ -374,7 +399,7 @@ Status serve::decodeFetchReply(const std::vector<uint8_t> &Payload,
   Out.Cells.reserve(Count);
   for (uint32_t I = 0; I < Count; ++I) {
     StatusOr<harness::CellResult> Cell;
-    if (Status S = readOutcome(R, Cell); !S.ok())
+    if (Status S = decodeCellOutcome(R, Cell); !S.ok())
       return S;
     Out.Cells.push_back(std::move(Cell));
   }
@@ -406,7 +431,7 @@ serve::encodeCellDone(uint64_t Ticket,
                       const StatusOr<harness::CellResult> &Outcome) {
   serialize::ByteWriter W;
   W.writeU64(Ticket);
-  writeOutcome(W, Outcome);
+  encodeCellOutcome(W, Outcome);
   return W.take();
 }
 
@@ -415,7 +440,7 @@ Status serve::decodeCellDone(const std::vector<uint8_t> &Payload,
                              StatusOr<harness::CellResult> &Outcome) {
   serialize::ByteReader R(Payload);
   Ticket = R.readU64();
-  if (Status S = readOutcome(R, Outcome); !S.ok())
+  if (Status S = decodeCellOutcome(R, Outcome); !S.ok())
     return S;
   return finishDecode(R, "cell-done");
 }

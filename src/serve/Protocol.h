@@ -41,6 +41,7 @@
 
 #include "harness/CellRun.h"
 #include "serialize/ByteStream.h"
+#include "serialize/Hash.h"
 #include "support/Status.h"
 
 #include <cstdint>
@@ -77,7 +78,9 @@ enum class MsgType : uint8_t {
   ShutdownOk = 10, ///< server -> client: empty
   Error = 11,      ///< server -> client: an encoded Status
   Ping = 12,       ///< client -> server: empty
-  Pong = 13,       ///< server -> client: empty
+  Pong = 13,       ///< server -> client: u64 per-boot server epoch
+  AckReq = 14,     ///< client -> server: u64 job id (results consumed)
+  AckOk = 15,      ///< server -> client: u64 job id (always, idempotent)
 
   RunCell = 32,  ///< supervisor -> worker: u64 ticket + CellSpec
   CellDone = 33, ///< worker -> supervisor: u64 ticket + Status/CellResult
@@ -165,6 +168,13 @@ struct FetchReplyData {
 std::vector<uint8_t> encodeSubmit(const SubmitRequest &Req);
 Status decodeSubmit(const std::vector<uint8_t> &Payload, SubmitRequest &Req);
 
+/// Deterministic idempotency key of a SubmitRequest: SHA-256 over a domain
+/// prefix plus the canonical encodeSubmit bytes.  Two byte-identical
+/// requests always map to the same key, across processes and restarts; the
+/// server dedups resubmits onto the live job and the durable job store
+/// files its record blob under this digest.
+serialize::Digest requestKey(const SubmitRequest &Req);
+
 std::vector<uint8_t> encodeSubmitOk(uint64_t Job, uint32_t Cells);
 Status decodeSubmitOk(const std::vector<uint8_t> &Payload, uint64_t &Job,
                       uint32_t &Cells);
@@ -183,6 +193,21 @@ Status decodeFetchReply(const std::vector<uint8_t> &Payload,
 /// Status travels as code + message + origin.
 std::vector<uint8_t> encodeStatusPayload(const Status &S);
 Status decodeStatusPayload(const std::vector<uint8_t> &Payload, Status &S);
+
+/// PONG carries the server's per-boot epoch so a reconnecting client can
+/// tell a connection blip (same epoch: in-memory job ids still valid) from
+/// a daemon restart (new epoch: resubmit through the idempotency key).  An
+/// empty payload decodes as epoch 0 for pre-epoch peers.
+std::vector<uint8_t> encodePong(uint64_t Epoch);
+Status decodePong(const std::vector<uint8_t> &Payload, uint64_t &Epoch);
+
+/// One cell outcome (ok flag, then a length-prefixed CellResult or an
+/// inline Status).  Shared by CellDone, FetchReply and the durable job
+/// store's record blobs.
+void encodeCellOutcome(serialize::ByteWriter &W,
+                       const StatusOr<harness::CellResult> &Outcome);
+Status decodeCellOutcome(serialize::ByteReader &R,
+                         StatusOr<harness::CellResult> &Outcome);
 
 std::vector<uint8_t> encodeRunCell(uint64_t Ticket,
                                    const harness::CellSpec &Spec);

@@ -7,6 +7,7 @@
 #include "serve/Server.h"
 
 #include "serialize/ArtifactCache.h"
+#include "serve/JobStore.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -66,6 +67,21 @@ Server::Server(ServerOptions Options, WorkerPool &Pool,
     : Opts(std::move(Options)), Pool(Pool),
       Drain(Drain ? Drain : &guard::processToken()) {
   WorkerIn.resize(Pool.size());
+  // The per-boot epoch: any nonzero value that never repeats across
+  // restarts (or across two Servers in one test process) does the job —
+  // clients only ever compare epochs for equality.
+  serialize::Hasher H;
+  H.updateU64(static_cast<uint64_t>(::getpid()));
+  H.updateU64(static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  H.updateU64(static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count()));
+  H.updateU64(reinterpret_cast<uintptr_t>(this));
+  const serialize::Digest D = H.finish();
+  for (int I = 0; I < 8; ++I)
+    Epoch |= uint64_t(D.Bytes[I]) << (8 * I);
+  if (Epoch == 0)
+    Epoch = 1;
 }
 
 Server::~Server() {
@@ -105,8 +121,12 @@ Status Server::listen() {
   std::memset(&Addr, 0, sizeof(Addr));
   Addr.sun_family = AF_UNIX;
   if (Opts.SocketPath.size() >= sizeof(Addr.sun_path))
-    return Status::invariant("socket path too long: " + Opts.SocketPath,
-                             "serve::Server");
+    return Status::invariant(
+        "socket path too long: " + std::to_string(Opts.SocketPath.size()) +
+            " bytes exceeds the AF_UNIX sun_path limit of " +
+            std::to_string(sizeof(Addr.sun_path) - 1) + " (" +
+            Opts.SocketPath + ")",
+        "serve::Server");
   std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
               Opts.SocketPath.size() + 1);
 
@@ -143,6 +163,15 @@ Status Server::listen() {
   }
 
   Pool.setInChild([this] { closeInheritedFdsInChild(); });
+
+  // Durability rides on the pool's cache dir; uncached pools run exactly
+  // as before (in-memory jobs only).
+  const WorkerPoolOptions &PO = Pool.options();
+  if (Opts.DurableJobs && PO.UseCache && !PO.CacheDir.empty()) {
+    StoreCache = std::make_shared<serialize::ArtifactCache>(PO.CacheDir);
+    Store = std::make_unique<JobStore>(StoreCache);
+    recoverJobs();
+  }
   return Status();
 }
 
@@ -158,12 +187,16 @@ Server::Counters Server::counters() const {
   C.ConnectionsAccepted = CtrConns.load(std::memory_order_relaxed);
   C.JobsAccepted = CtrJobsAccepted.load(std::memory_order_relaxed);
   C.JobsRejected = CtrJobsRejected.load(std::memory_order_relaxed);
+  C.JobsDeduped = CtrDeduped.load(std::memory_order_relaxed);
+  C.JobsRecovered = CtrRecovered.load(std::memory_order_relaxed);
   C.CellsDispatched = CtrDispatched.load(std::memory_order_relaxed);
   C.CellsCompleted = CtrCompleted.load(std::memory_order_relaxed);
   C.CellsFailed = CtrFailed.load(std::memory_order_relaxed);
   C.CellsRetried = CtrRetried.load(std::memory_order_relaxed);
+  C.CellsResumed = CtrResumed.load(std::memory_order_relaxed);
   C.WorkerCrashes = CtrCrashes.load(std::memory_order_relaxed);
   C.ProtocolErrors = CtrProtocolErrors.load(std::memory_order_relaxed);
+  C.Checkpoints = CtrCheckpoints.load(std::memory_order_relaxed);
   return C;
 }
 
@@ -213,6 +246,95 @@ Server::Job *Server::findJob(uint64_t Id) {
   return It == Jobs.end() ? nullptr : &It->second;
 }
 
+void Server::forgetJob(uint64_t Id) {
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return;
+  auto Key = ActiveByKey.find(It->second.ReqKey.hex());
+  if (Key != ActiveByKey.end() && Key->second == Id)
+    ActiveByKey.erase(Key);
+  Jobs.erase(It);
+}
+
+void Server::checkpointJob(Job &J) {
+  if (!Store || !J.Durable)
+    return;
+  JobRecord Record;
+  Record.Request.DeadlineSeconds = J.ReqDeadlineSeconds;
+  Record.Request.Cells.reserve(J.Cells.size());
+  Record.Outcomes.reserve(J.Cells.size());
+  for (const CellState &C : J.Cells) {
+    Record.Request.Cells.push_back(C.Spec);
+    // Persist only deterministic-permanent outcomes: a successful result,
+    // or a failure no retry can change (Invariant/NotFound/Corrupt).
+    // Cancelled / Transient / ResourceExhausted cells restart from scratch
+    // on resume — a drain-shed cell must run again after the restart, not
+    // replay its shed status.
+    const ErrorCode Code = C.Result.status().code();
+    const bool Permanent =
+        C.Phase == CellPhase::Done &&
+        (C.Result.ok() || Code == ErrorCode::Invariant ||
+         Code == ErrorCode::NotFound || Code == ErrorCode::Corrupt);
+    if (Permanent)
+      Record.Outcomes.emplace_back(C.Result);
+    else
+      Record.Outcomes.emplace_back();
+  }
+  if (Status S = Store->checkpoint(J.ReqKey, Record); !S.ok())
+    log("checkpoint of job " + std::to_string(J.Id) + " failed: " +
+        S.toString());
+  else
+    CtrCheckpoints.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::recoverJobs() {
+  if (!Store)
+    return;
+  for (const serialize::Digest &Key : Store->indexed()) {
+    StatusOr<JobRecord> Record = Store->load(Key);
+    if (!Record.ok() || Record->Acked) {
+      // Gone or already consumed: nothing is owed under this key.  A
+      // corrupt record is dropped the same way — resubmission heals it.
+      if (Status S = Store->removeFromIndex(Key); !S.ok())
+        log("index cleanup failed: " + S.toString());
+      continue;
+    }
+    const uint64_t Id = NextJob++;
+    Job &J = Jobs[Id];
+    J.Id = Id;
+    J.Seq = NextSeq++;
+    J.ReqKey = Key;
+    J.ReqDeadlineSeconds = Record->Request.DeadlineSeconds;
+    J.Durable = true;
+    J.Cells.resize(Record->Request.Cells.size());
+    uint64_t Resumed = 0;
+    for (size_t I = 0; I < J.Cells.size(); ++I) {
+      J.Cells[I].Spec = std::move(Record->Request.Cells[I]);
+      if (I < Record->Outcomes.size() && Record->Outcomes[I]) {
+        J.Cells[I].Phase = CellPhase::Done;
+        J.Cells[I].Result = std::move(*Record->Outcomes[I]);
+        ++Resumed;
+      }
+    }
+    if (J.ReqDeadlineSeconds > 0) {
+      // The deadline budget restarts at recovery: wall-clock spent under a
+      // dead daemon should not forfeit the job.
+      J.HasDeadline = true;
+      J.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(J.ReqDeadlineSeconds));
+    }
+    ActiveByKey[Key.hex()] = Id;
+    CtrRecovered.fetch_add(1, std::memory_order_relaxed);
+    CtrResumed.fetch_add(Resumed, std::memory_order_relaxed);
+    enqueueRR(J);
+    log("job " + std::to_string(Id) + " recovered from checkpoint (" +
+        std::to_string(Resumed) + " of " + std::to_string(J.Cells.size()) +
+        " cells already done)");
+  }
+}
+
 uint64_t Server::activeJobs() const {
   uint64_t N = 0;
   for (const auto &[Id, J] : Jobs)
@@ -236,7 +358,7 @@ Server::Job *Server::nextRRJob() {
     const uint64_t Id = RR.front();
     RR.pop_front();
     Job *J = findJob(Id);
-    if (!J) // fetched-and-erased or GC'd while queued
+    if (!J) // acked-and-erased or GC'd while queued
       continue;
     J->InQueue = false;
     if (J->hasPending())
@@ -268,20 +390,35 @@ void Server::expireDeadlines() {
 }
 
 void Server::gcFinishedJobs() {
-  // Finished jobs wait for FETCH (which erases them); cap the backlog of
-  // never-fetched jobs so an absent client cannot grow the daemon forever.
+  // Finished jobs wait for FETCH + ACK (which erases them); cap the
+  // backlog of never-acked jobs so an absent client cannot grow the daemon
+  // forever.  Fetched-but-unacked jobs are the cheapest victims (the
+  // client already has the results); among equals, oldest first.
   const size_t Cap = static_cast<size_t>(Opts.MaxActiveJobs) * 4;
   while (Jobs.size() > Cap) {
     uint64_t VictimId = 0, VictimSeq = ~0ull;
-    for (const auto &[Id, J] : Jobs)
-      if (J.finished() && J.Seq < VictimSeq) {
+    bool VictimFetched = false;
+    for (const auto &[Id, J] : Jobs) {
+      if (!J.finished())
+        continue;
+      const bool Better = (J.Fetched && !VictimFetched) ||
+                          (J.Fetched == VictimFetched && J.Seq < VictimSeq);
+      if (VictimSeq == ~0ull || Better) {
         VictimSeq = J.Seq;
         VictimId = Id;
+        VictimFetched = J.Fetched;
       }
+    }
     if (VictimSeq == ~0ull)
       return;
-    Jobs.erase(VictimId);
-    log("job " + std::to_string(VictimId) + " evicted unfetched");
+    // Eviction gives up on this client: the key leaves the recovery index
+    // (a restart won't resurrect the job), but the record blob stays so an
+    // identical resubmit still starts from the completed cells.
+    if (Job *J = findJob(VictimId); J && J->Durable && Store)
+      if (Status S = Store->removeFromIndex(J->ReqKey); !S.ok())
+        log("index cleanup failed: " + S.toString());
+    forgetJob(VictimId);
+    log("job " + std::to_string(VictimId) + " evicted unacked");
   }
 }
 
@@ -320,6 +457,9 @@ void Server::recordOutcome(Job &J, size_t CellIdx,
   else
     CtrFailed.fetch_add(1, std::memory_order_relaxed);
   C.Result = std::move(Outcome);
+  // Every completed cell advances the durable checkpoint, so a SIGKILL at
+  // any instant loses at most the cell in flight.
+  checkpointJob(J);
 }
 
 void Server::dispatch() {
@@ -335,9 +475,16 @@ void Server::dispatch() {
     // deployments, not throughput.
     if (!InProcCacheReady) {
       InProcCacheReady = true;
-      const WorkerPoolOptions &PO = Pool.options();
-      if (PO.UseCache && !PO.CacheDir.empty())
-        InProcCache = std::make_shared<serialize::ArtifactCache>(PO.CacheDir);
+      if (StoreCache) {
+        // Share the job store's cache handle: one advisory-lock holder,
+        // one recovery sweep, same directory either way.
+        InProcCache = StoreCache;
+      } else {
+        const WorkerPoolOptions &PO = Pool.options();
+        if (PO.UseCache && !PO.CacheDir.empty())
+          InProcCache =
+              std::make_shared<serialize::ArtifactCache>(PO.CacheDir);
+      }
     }
     if (Job *J = nextRRJob()) {
       size_t Idx = 0;
@@ -629,7 +776,10 @@ void Server::readConn(int Fd) {
 void Server::handleFrame(Conn &C, const Frame &F) {
   switch (F.Type) {
   case MsgType::Ping:
-    queueFrame(C, MsgType::Pong, {});
+    // The health reply: the epoch lets a reconnecting client distinguish
+    // a connection blip (same epoch, its job ids are still live) from a
+    // daemon restart (new epoch, resubmit through the idempotency key).
+    queueFrame(C, MsgType::Pong, encodePong(Epoch));
     return;
 
   case MsgType::Submit: {
@@ -642,6 +792,24 @@ void Server::handleFrame(Conn &C, const Frame &F) {
       CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
       sendError(C, S);
       return;
+    }
+    // Idempotent resubmit: a byte-identical request dedups onto the live
+    // job — same id, no second execution — before any admission check, so
+    // a client retrying through a restart can never be turned away from
+    // work the server already owns.
+    const serialize::Digest Key = requestKey(Req);
+    if (auto Dup = ActiveByKey.find(Key.hex()); Dup != ActiveByKey.end()) {
+      if (Job *Existing = findJob(Dup->second)) {
+        CtrDeduped.fetch_add(1, std::memory_order_relaxed);
+        queueFrame(C, MsgType::SubmitOk,
+                   encodeSubmitOk(Existing->Id,
+                                  static_cast<uint32_t>(
+                                      Existing->Cells.size())));
+        log("job " + std::to_string(Existing->Id) +
+            " deduped an identical submit");
+        return;
+      }
+      ActiveByKey.erase(Dup); // stale entry; fall through to a fresh job
     }
     if (Req.Cells.size() > Opts.MaxCellsPerJob) {
       CtrJobsRejected.fetch_add(1, std::memory_order_relaxed);
@@ -665,9 +833,29 @@ void Server::handleFrame(Conn &C, const Frame &F) {
     Job &J = Jobs[Id];
     J.Id = Id;
     J.Seq = NextSeq++;
+    J.ReqKey = Key;
+    J.ReqDeadlineSeconds = Req.DeadlineSeconds;
+    J.Durable = Store != nullptr;
     J.Cells.resize(Req.Cells.size());
     for (size_t I = 0; I < Req.Cells.size(); ++I)
       J.Cells[I].Spec = std::move(Req.Cells[I]);
+    uint64_t Resumed = 0;
+    if (J.Durable) {
+      // A record under this key from a previous life (the job was evicted
+      // unacked, or the daemon died after finishing it) seeds the new job
+      // with its completed cells instead of re-executing them.
+      if (StatusOr<JobRecord> Old = Store->load(Key);
+          Old.ok() && !Old->Acked &&
+          Old->Outcomes.size() == J.Cells.size()) {
+        for (size_t I = 0; I < J.Cells.size(); ++I) {
+          if (!Old->Outcomes[I])
+            continue;
+          J.Cells[I].Phase = CellPhase::Done;
+          J.Cells[I].Result = std::move(*Old->Outcomes[I]);
+          ++Resumed;
+        }
+      }
+    }
     if (Req.DeadlineSeconds > 0) {
       J.HasDeadline = true;
       J.Deadline = std::chrono::steady_clock::now() +
@@ -675,12 +863,20 @@ void Server::handleFrame(Conn &C, const Frame &F) {
                        std::chrono::steady_clock::duration>(
                        std::chrono::duration<double>(Req.DeadlineSeconds));
     }
+    ActiveByKey[Key.hex()] = Id;
+    if (J.Durable && Store) {
+      if (Status S = Store->addToIndex(Key); !S.ok())
+        log("index update failed: " + S.toString());
+      checkpointJob(J);
+    }
     CtrJobsAccepted.fetch_add(1, std::memory_order_relaxed);
+    CtrResumed.fetch_add(Resumed, std::memory_order_relaxed);
     enqueueRR(J);
     queueFrame(C, MsgType::SubmitOk,
                encodeSubmitOk(Id, static_cast<uint32_t>(J.Cells.size())));
     log("job " + std::to_string(Id) + " accepted (" +
-        std::to_string(J.Cells.size()) + " cells)");
+        std::to_string(J.Cells.size()) + " cells" +
+        (Resumed ? ", " + std::to_string(Resumed) + " resumed" : "") + ")");
     return;
   }
 
@@ -732,13 +928,44 @@ void Server::handleFrame(Conn &C, const Frame &F) {
                                      "serve::Server"));
       return;
     }
+    // Idempotent fetch: the reply is built from a *copy* of the results
+    // and the job stays until an ACK (or GC), so a client that dies
+    // between fetching and reading can simply fetch again.
     FetchReplyData Reply;
     Reply.Job = Id;
     Reply.Cells.reserve(J->Cells.size());
-    for (CellState &Cell : J->Cells)
-      Reply.Cells.push_back(std::move(Cell.Result));
+    for (const CellState &Cell : J->Cells)
+      Reply.Cells.push_back(Cell.Result);
+    J->Fetched = true;
     queueFrame(C, MsgType::FetchReply, encodeFetchReply(Reply));
-    Jobs.erase(Id); // fetch-once: results are handed over, job is gone
+    return;
+  }
+
+  case MsgType::AckReq: {
+    uint64_t Id = 0;
+    if (Status S = decodeJobId(F.Payload, Id); !S.ok()) {
+      CtrProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+      sendError(C, S);
+      return;
+    }
+    if (Job *J = findJob(Id)) {
+      if (!J->finished()) {
+        sendError(C, Status::invariant("job " + std::to_string(Id) +
+                                           " is still " +
+                                           jobStateName(J->state()) +
+                                           "; ack after fetch",
+                                       "serve::Server"));
+        return;
+      }
+      if (J->Durable && Store)
+        if (Status S = Store->markAcked(J->ReqKey); !S.ok())
+          log("ack persist failed: " + S.toString());
+      forgetJob(Id);
+      log("job " + std::to_string(Id) + " acked");
+    }
+    // An unknown id still gets AckOk: acks are idempotent, and the job may
+    // simply predate a restart the client is cleaning up after.
+    queueFrame(C, MsgType::AckOk, encodeJobId(Id));
     return;
   }
 

@@ -38,6 +38,7 @@
 #define DMP_SERVE_SERVER_H
 
 #include "guard/Guard.h"
+#include "serialize/Hash.h"
 #include "serve/Protocol.h"
 #include "serve/WorkerPool.h"
 
@@ -46,12 +47,15 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 
 namespace dmp::serialize {
 class ArtifactCache;
 }
 
 namespace dmp::serve {
+
+class JobStore;
 
 struct ServerOptions {
   std::string SocketPath;
@@ -63,6 +67,10 @@ struct ServerOptions {
   unsigned MaxCellsPerJob = 256;
   /// Total dispatch attempts per cell across worker crashes.
   unsigned CellAttempts = 3;
+  /// Checkpoint accepted jobs and per-cell progress to the worker pool's
+  /// cache dir (serve::JobStore) so a restarted daemon resumes them.  A
+  /// no-op when the pool runs uncached: durability needs a disk.
+  bool DurableJobs = true;
   /// When false, one-line operational logs go to stderr.
   bool Quiet = true;
 };
@@ -92,17 +100,25 @@ public:
 
   const ServerOptions &options() const { return Opts; }
 
+  /// The per-boot epoch PONG carries (nonzero, unique per Server
+  /// instance): a client that sees it change knows the daemon restarted.
+  uint64_t epoch() const { return Epoch; }
+
   /// Loop accounting, readable from other threads while run() spins.
   struct Counters {
     uint64_t ConnectionsAccepted = 0;
     uint64_t JobsAccepted = 0;
     uint64_t JobsRejected = 0;
+    uint64_t JobsDeduped = 0;
+    uint64_t JobsRecovered = 0;
     uint64_t CellsDispatched = 0;
     uint64_t CellsCompleted = 0;
     uint64_t CellsFailed = 0;
     uint64_t CellsRetried = 0;
+    uint64_t CellsResumed = 0;
     uint64_t WorkerCrashes = 0;
     uint64_t ProtocolErrors = 0;
+    uint64_t Checkpoints = 0;
   };
   Counters counters() const;
 
@@ -120,6 +136,13 @@ private:
     uint64_t Id = 0;
     uint64_t Seq = 0; ///< GC order for finished-but-unfetched jobs.
     std::vector<CellState> Cells;
+    /// Idempotency key (serve::requestKey of the creating SUBMIT): the
+    /// dedup-map entry and, for durable jobs, the record's cache address.
+    serialize::Digest ReqKey;
+    /// The submit's deadline budget, kept to rebuild the durable record.
+    double ReqDeadlineSeconds = 0.0;
+    bool Durable = false;
+    bool Fetched = false;
     bool Cancelled = false;
     bool InQueue = false;
     bool HasDeadline = false;
@@ -170,6 +193,15 @@ private:
   void closeInheritedFdsInChild() const;
   void log(const std::string &Line) const;
 
+  /// Rewrites \p J's durable record (request + every completed cell
+  /// outcome).  Survivable on failure: the job keeps running in memory.
+  void checkpointJob(Job &J);
+  /// Rebuilds in-memory jobs from every indexed (accepted-but-unacked)
+  /// record the previous boot left in the job store.
+  void recoverJobs();
+  /// Erases \p Id from Jobs and the dedup map (not from the job store).
+  void forgetJob(uint64_t Id);
+
   ServerOptions Opts;
   WorkerPool &Pool;
   const guard::CancelToken *Drain;
@@ -187,6 +219,16 @@ private:
   uint64_t NextJob = 1;
   uint64_t NextSeq = 0;
   uint64_t NextTicket = 0;
+  uint64_t Epoch = 0;
+
+  /// Idempotency map: hex(request key) -> live job id.  Every job is in
+  /// here (dedup works even uncached); durable jobs also have a record in
+  /// the store.
+  std::map<std::string, uint64_t> ActiveByKey;
+  /// Durable job records + the cache they live in (null when the pool
+  /// runs uncached or DurableJobs is off).
+  std::shared_ptr<serialize::ArtifactCache> StoreCache;
+  std::unique_ptr<JobStore> Store;
 
   /// In-process execution cache (Workers=0 mode only).
   std::shared_ptr<serialize::ArtifactCache> InProcCache;
@@ -195,8 +237,9 @@ private:
   // Counters are atomics so tests can read them from another thread while
   // the loop runs.
   std::atomic<uint64_t> CtrConns{0}, CtrJobsAccepted{0}, CtrJobsRejected{0},
-      CtrDispatched{0}, CtrCompleted{0}, CtrFailed{0}, CtrRetried{0},
-      CtrCrashes{0}, CtrProtocolErrors{0};
+      CtrDeduped{0}, CtrRecovered{0}, CtrDispatched{0}, CtrCompleted{0},
+      CtrFailed{0}, CtrRetried{0}, CtrResumed{0}, CtrCrashes{0},
+      CtrProtocolErrors{0}, CtrCheckpoints{0};
 };
 
 } // namespace dmp::serve

@@ -13,6 +13,15 @@
 #
 #   serve_cli_test.sh sigint      DMP_SERVED DMPC
 #       SIGINT drains and exits 130 (exitcode::Interrupted).
+#
+#   serve_cli_test.sh restart     DMP_SERVED DMPC
+#       The daemon is SIGKILLed mid-campaign and restarted on the same
+#       socket and job store; the riding `dmpc --remote` must finish with
+#       the local digest (DESIGN.md "Recovery & idempotency").
+#
+#   serve_cli_test.sh sun-path    DMP_SERVED DMPC
+#       A socket path beyond the AF_UNIX sun_path limit must be rejected
+#       cleanly (nonzero exit, "too long" diagnostic) by daemon and client.
 set -eu
 
 MODE=$1
@@ -32,12 +41,42 @@ LOG="$DIR/served.log"
 BENCH=mcf
 SIM=--sim-instrs=100000
 
+if [ "$MODE" = sun-path ]; then
+  # 200 path bytes inside $DIR: past sun_path on every platform we build.
+  LONGSOCK="$DIR/$(printf '%0200d' 0).sock"
+  if "$SERVED" --socket="$LONGSOCK" --workers=0 >"$LOG" 2>&1; then
+    echo "FAIL: daemon accepted an overlong socket path"
+    exit 1
+  fi
+  if ! grep -q "too long" "$LOG"; then
+    echo "FAIL: daemon diagnostic does not explain the overlong path"
+    cat "$LOG"
+    exit 1
+  fi
+  if "$DMPC" "$BENCH" --remote="$LONGSOCK" "$SIM" >"$LOG" 2>&1; then
+    echo "FAIL: dmpc accepted an overlong socket path"
+    exit 1
+  fi
+  if ! grep -q "too long" "$LOG"; then
+    echo "FAIL: dmpc diagnostic does not explain the overlong path"
+    cat "$LOG"
+    exit 1
+  fi
+  exit 0
+fi
+
 if [ "$MODE" = worker-kill ]; then
   DMP_SERVE_CRASH_TICKET=0
   export DMP_SERVE_CRASH_TICKET
 fi
 
-"$SERVED" --socket="$SOCK" --workers=2 --cache-dir="$DIR/cache" \
+# In restart mode the daemon gets its own store: the local digest run must
+# not pre-warm the daemon's cache, or the remote campaign would finish
+# before the kill ever lands mid-flight.
+CACHE="$DIR/cache"
+[ "$MODE" = restart ] && CACHE="$DIR/cache-daemon"
+
+"$SERVED" --socket="$SOCK" --workers=2 --cache-dir="$CACHE" \
   >"$LOG" 2>&1 &
 PID=$!
 
@@ -66,7 +105,31 @@ fi
 
 LOCAL=$("$DMPC" "$BENCH" --simulate "$SIM" --cache-dir="$DIR/cache" \
   2>/dev/null | grep '^digest')
-REMOTE=$("$DMPC" "$BENCH" --remote="$SOCK" "$SIM" 2>/dev/null | grep '^digest')
+
+if [ "$MODE" = restart ]; then
+  # Launch the remote campaign in the background, SIGKILL the daemon while
+  # it may still be mid-flight, and restart it on the same socket and job
+  # store.  The client rides the restart (reconnect, epoch check,
+  # idempotent resubmit) and must land on the local digest.
+  "$DMPC" "$BENCH" --remote="$SOCK" "$SIM" >"$DIR/remote.out" 2>&1 &
+  CPID=$!
+  sleep 0.2
+  kill -9 "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null || true
+  "$SERVED" --socket="$SOCK" --workers=2 --cache-dir="$CACHE" \
+    >>"$LOG" 2>&1 &
+  PID=$!
+  wait "$CPID" && RC=0 || RC=$?
+  if [ "$RC" -ne 0 ]; then
+    echo "FAIL: dmpc --remote exited $RC across the daemon restart"
+    cat "$DIR/remote.out"
+    cat "$LOG"
+    exit 1
+  fi
+  REMOTE=$(grep '^digest' "$DIR/remote.out")
+else
+  REMOTE=$("$DMPC" "$BENCH" --remote="$SOCK" "$SIM" 2>/dev/null | grep '^digest')
+fi
 
 if [ -z "$LOCAL" ]; then
   echo "FAIL: local run printed no digest"

@@ -12,7 +12,12 @@
 //                      thread: submit/fetch digest parity with local
 //                      execution, admission control, deadlines, cancel,
 //                      malformed-frame survival, multi-client concurrency,
-//                      drain via SHUTDOWN.
+//                      drain via SHUTDOWN, submit dedup, and the
+//                      fetch-until-ack result lifecycle.
+//   ServeDurableTest   a live server with a cache-backed job store (still
+//                      Workers=0, no forks): restart recovery from
+//                      checkpoints, ack tombstones, and epoch changes —
+//                      each asserting digest-identical results.
 //   ServeWorkerTest    forked worker processes: socketpair-level worker
 //                      conformance, SIGKILL isolation, and the
 //                      DMP_SERVE_CRASH_TICKET deterministic crash-retry —
@@ -30,6 +35,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -326,6 +332,98 @@ TEST(ServeProtocolTest, CellResultEncodingIsCanonical) {
             harness::cellResultDigest(R).hex());
 }
 
+TEST(ServeProtocolTest, RequestKeyIsDeterministicAndSensitive) {
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  Req.Cells.push_back(smallSpec("mcf", "every-br"));
+  const serialize::Digest A = requestKey(Req);
+  const serialize::Digest B = requestKey(Req);
+  EXPECT_EQ(A.hex(), B.hex()) << "the idempotency key must be stable";
+  // Any semantic change to the request changes the key.
+  SubmitRequest Reordered = Req;
+  std::swap(Reordered.Cells[0], Reordered.Cells[1]);
+  EXPECT_NE(requestKey(Reordered).hex(), A.hex());
+  SubmitRequest Deadlined = Req;
+  Deadlined.DeadlineSeconds = 5.0;
+  EXPECT_NE(requestKey(Deadlined).hex(), A.hex());
+  SubmitRequest Shorter = Req;
+  Shorter.Cells.pop_back();
+  EXPECT_NE(requestKey(Shorter).hex(), A.hex());
+}
+
+TEST(ServeProtocolTest, PongPayloadRoundTripsTheEpoch) {
+  const uint64_t Epoch = 0x0123456789ABCDEFull;
+  uint64_t Decoded = 0;
+  ASSERT_TRUE(decodePong(encodePong(Epoch), Decoded).ok());
+  EXPECT_EQ(Decoded, Epoch);
+  // A pre-epoch daemon sends an empty Pong: decodes as the "unknown"
+  // epoch 0, not an error (backward compatibility).
+  Decoded = 99;
+  ASSERT_TRUE(decodePong({}, Decoded).ok());
+  EXPECT_EQ(Decoded, 0u);
+  // Trailing garbage is still rejected.
+  std::vector<uint8_t> Long = encodePong(Epoch);
+  Long.push_back(0);
+  EXPECT_FALSE(decodePong(Long, Decoded).ok());
+}
+
+TEST(ServeProtocolTest, BackoffDelayIsDeterministicAndBounded) {
+  RetryPolicy Retry;
+  Retry.BaseDelayMs = 10;
+  Retry.MaxDelayMs = 2000;
+  Retry.Seed = 42;
+  for (unsigned A = 0; A < 32; ++A) {
+    const unsigned D1 = Client::backoffDelayMs(Retry, A);
+    const unsigned D2 = Client::backoffDelayMs(Retry, A);
+    EXPECT_EQ(D1, D2) << "attempt " << A << " must replay identically";
+    EXPECT_LE(D1, Retry.MaxDelayMs);
+    const unsigned Cap =
+        std::min<uint64_t>(uint64_t(Retry.BaseDelayMs)
+                               << std::min(A, 20u),
+                           Retry.MaxDelayMs);
+    EXPECT_GE(D1, Cap / 2) << "jitter window is [cap/2, cap]";
+  }
+  // Different seeds explore different schedules (almost surely).
+  RetryPolicy Other = Retry;
+  Other.Seed = 43;
+  bool Differs = false;
+  for (unsigned A = 2; A < 16 && !Differs; ++A)
+    Differs = Client::backoffDelayMs(Retry, A) !=
+              Client::backoffDelayMs(Other, A);
+  EXPECT_TRUE(Differs);
+}
+
+//===----------------------------------------------------------------------===//
+// ServeSunPathTest — AF_UNIX path-length validation on every bind/connect.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSunPathTest, ClientConnectRejectsOverlongPath) {
+  Client C;
+  const std::string Long(200, 'x');
+  const Status S = C.connect("/tmp/" + Long + ".sock");
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Invariant);
+  EXPECT_NE(S.toString().find("sun_path"), std::string::npos)
+      << "message should name the AF_UNIX limit: " << S.toString();
+  EXPECT_NE(S.toString().find("too long"), std::string::npos);
+}
+
+TEST(ServeSunPathTest, ServerListenRejectsOverlongPath) {
+  WorkerPoolOptions PO;
+  PO.Workers = 0;
+  PO.UseCache = false;
+  WorkerPool Pool(PO);
+  ServerOptions Opts;
+  Opts.SocketPath = "/tmp/" + std::string(200, 'y') + ".sock";
+  Server Srv(std::move(Opts), Pool);
+  const Status S = Srv.listen();
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::Invariant);
+  EXPECT_NE(S.toString().find("sun_path"), std::string::npos)
+      << S.toString();
+  EXPECT_NE(S.toString().find("too long"), std::string::npos);
+}
+
 //===----------------------------------------------------------------------===//
 // ServeInProcTest — live server, no forks (TSan-safe).
 //===----------------------------------------------------------------------===//
@@ -394,7 +492,8 @@ TEST_F(ServeInProcTest, SubmitFetchDigestMatchesLocalExecution) {
               localDigest(Req.Cells[I]).hex())
         << "cell " << I << " diverged from local execution";
   }
-  // Fetch-once: the job is forgotten after its results are handed over.
+  // The job survives the fetch until the client acks (or GC reclaims it);
+  // see FetchSurvivesUntilAck below.
 }
 
 TEST_F(ServeInProcTest, UnknownJobIsNotFound) {
@@ -405,16 +504,16 @@ TEST_F(ServeInProcTest, UnknownJobIsNotFound) {
   EXPECT_EQ(C.cancel(999).code(), ErrorCode::NotFound);
 }
 
-TEST_F(ServeInProcTest, FetchedJobIsForgotten) {
+TEST_F(ServeInProcTest, FetchSurvivesUntilAck) {
+  // The fetch-once protocol had a result-loss window: a reply torn in
+  // transit destroyed the only copy.  Fetch is now idempotent; the job
+  // lives until the client explicitly ACKs it.
   start();
   Client C = connected();
   SubmitRequest Req;
   Req.Cells.push_back(smallSpec());
   StatusOr<uint64_t> Job = C.submit(Req);
   ASSERT_TRUE(Job.ok());
-  StatusOr<FetchReplyData> First = C.runCampaign(Req); // separate job
-  ASSERT_TRUE(First.ok());
-  // Wait out the first job too, then fetch it twice.
   while (true) {
     StatusOr<JobStatusReply> S = C.status(*Job);
     ASSERT_TRUE(S.ok());
@@ -422,8 +521,82 @@ TEST_F(ServeInProcTest, FetchedJobIsForgotten) {
       break;
     ::usleep(5000);
   }
-  ASSERT_TRUE(C.fetch(*Job).ok());
+  // Fetch twice: identical replies, the second models a client retrying
+  // after a torn first reply.
+  StatusOr<FetchReplyData> First = C.fetch(*Job);
+  ASSERT_TRUE(First.ok());
+  StatusOr<FetchReplyData> Second = C.fetch(*Job);
+  ASSERT_TRUE(Second.ok()) << "fetch must be idempotent until acked";
+  ASSERT_EQ(First->Cells.size(), Second->Cells.size());
+  ASSERT_TRUE(First->Cells[0].ok());
+  ASSERT_TRUE(Second->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*First->Cells[0]).hex(),
+            harness::cellResultDigest(*Second->Cells[0]).hex());
+  // ACK releases the job; only then is it forgotten.
+  ASSERT_TRUE(C.ack(*Job).ok());
   EXPECT_EQ(C.fetch(*Job).status().code(), ErrorCode::NotFound);
+  // Re-acking a forgotten job is a no-op, not an error: the first AckOk
+  // may have been lost in transit.
+  EXPECT_TRUE(C.ack(*Job).ok());
+}
+
+TEST_F(ServeInProcTest, AckBeforeCompletionIsRejected) {
+  start();
+  Client C = connected();
+  SubmitRequest Req;
+  for (int I = 0; I < 8; ++I)
+    Req.Cells.push_back(smallSpec("mcf", I % 2 ? "all" : "every-br"));
+  StatusOr<uint64_t> Job = C.submit(Req);
+  ASSERT_TRUE(Job.ok());
+  // The in-process server runs one cell per loop rotation, so right after
+  // SubmitOk the job cannot be finished yet: the ack must be refused and
+  // the job must keep running to completion.
+  EXPECT_EQ(C.ack(*Job).code(), ErrorCode::Invariant);
+  while (true) {
+    StatusOr<JobStatusReply> S = C.status(*Job);
+    ASSERT_TRUE(S.ok());
+    if (S->State == JobState::Done)
+      break;
+    ::usleep(2000);
+  }
+  EXPECT_TRUE(C.fetch(*Job).ok());
+  EXPECT_TRUE(C.ack(*Job).ok());
+}
+
+TEST_F(ServeInProcTest, ResubmitDedupsOntoTheSameJob) {
+  start();
+  Client C = connected();
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  Req.Cells.push_back(smallSpec("mcf", "every-br"));
+  StatusOr<uint64_t> First = C.submit(Req);
+  ASSERT_TRUE(First.ok());
+  // Identical request → same request digest → the same job, not a second
+  // execution.  This is what makes client resubmission after a torn
+  // SubmitOk always safe.
+  StatusOr<uint64_t> Again = C.submit(Req);
+  ASSERT_TRUE(Again.ok());
+  EXPECT_EQ(*Again, *First);
+  EXPECT_GE(Srv->counters().JobsDeduped, 1u);
+  // A different request is a different job.
+  SubmitRequest Other;
+  Other.Cells.push_back(smallSpec("gzip"));
+  StatusOr<uint64_t> Different = C.submit(Other);
+  ASSERT_TRUE(Different.ok());
+  EXPECT_NE(*Different, *First);
+}
+
+TEST_F(ServeInProcTest, PongCarriesANonzeroEpoch) {
+  start();
+  Client C = connected();
+  StatusOr<uint64_t> Epoch = C.health();
+  ASSERT_TRUE(Epoch.ok()) << Epoch.status().toString();
+  EXPECT_NE(*Epoch, 0u);
+  EXPECT_EQ(*Epoch, Srv->epoch());
+  // Stable across calls within one boot.
+  StatusOr<uint64_t> Epoch2 = C.health();
+  ASSERT_TRUE(Epoch2.ok());
+  EXPECT_EQ(*Epoch2, *Epoch);
 }
 
 TEST_F(ServeInProcTest, OversizedJobIsResourceExhausted) {
@@ -646,6 +819,208 @@ TEST_F(ServeInProcTest, SubmitDuringDrainIsRejected) {
   EXPECT_FALSE(Job.ok());
   Loop.join();
   EXPECT_TRUE(RunResult.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// ServeDurableTest — cache-backed job store, restart recovery (no forks).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A live Workers=0 server whose jobs checkpoint into a per-test cache
+/// directory, with helpers to stop one daemon "boot" and start the next
+/// against the same socket and store — the in-process analogue of
+/// SIGKILL-and-restart (a checkpoint is only ever trusted if it would also
+/// survive a kill; the fork-based chaos matrix covers the kill itself).
+class ServeDurableTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    CacheDir = (std::filesystem::temp_directory_path() /
+                ("dmp-serve-store-" + std::to_string(::getpid()) + "-" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+    std::filesystem::remove_all(CacheDir);
+    Socket = freshSocketPath("durable");
+  }
+
+  void TearDown() override {
+    stopServer();
+    std::error_code EC;
+    std::filesystem::remove(Socket, EC);
+    std::filesystem::remove_all(CacheDir, EC);
+  }
+
+  void startServer(ServerOptions Extra = {}) {
+    PoolOpts.Workers = 0;
+    PoolOpts.UseCache = true;
+    PoolOpts.CacheDir = CacheDir;
+    Pool = std::make_unique<WorkerPool>(PoolOpts);
+    Extra.SocketPath = Socket;
+    Srv = std::make_unique<Server>(std::move(Extra), *Pool, &Token);
+    ASSERT_TRUE(Srv->listen().ok());
+    Loop = std::thread([this] { RunResult = Srv->run(); });
+  }
+
+  void stopServer() {
+    if (Loop.joinable()) {
+      Srv->requestStop();
+      Loop.join();
+      EXPECT_TRUE(RunResult.ok()) << RunResult.toString();
+    }
+    Srv.reset();
+    Pool.reset();
+  }
+
+  Client connected() {
+    Client C;
+    EXPECT_TRUE(C.connect(Socket).ok());
+    return C;
+  }
+
+  WorkerPoolOptions PoolOpts;
+  std::unique_ptr<WorkerPool> Pool;
+  std::unique_ptr<Server> Srv;
+  guard::CancelToken Token;
+  std::thread Loop;
+  std::string Socket;
+  std::string CacheDir;
+  Status RunResult;
+};
+
+} // namespace
+
+TEST_F(ServeDurableTest, RestartResumesFromCheckpointWithIdenticalDigests) {
+  SubmitRequest Req;
+  for (const char *Algo : {"all", "freq", "every-br", "short"})
+    Req.Cells.push_back(smallSpec("mcf", Algo));
+
+  startServer();
+  const uint64_t EpochA = Srv->epoch();
+  {
+    Client C = connected();
+    StatusOr<uint64_t> Job = C.submit(Req);
+    ASSERT_TRUE(Job.ok()) << Job.status().toString();
+    // Let at least one cell finish (and checkpoint) before the "crash",
+    // so the second boot demonstrably resumes rather than restarts.
+    while (true) {
+      StatusOr<JobStatusReply> S = C.status(*Job);
+      ASSERT_TRUE(S.ok()) << S.status().toString();
+      if (S->Done >= 1)
+        break;
+      ::usleep(1000);
+    }
+  }
+  // Boot two: same socket, same store.  The drain in stopServer() finishes
+  // in-flight cells but the job is still unfetched — recovery must pick it
+  // up from its checkpoint.
+  stopServer();
+  startServer();
+  EXPECT_EQ(Srv->counters().JobsRecovered, 1u);
+  EXPECT_GE(Srv->counters().CellsResumed, 1u)
+      << "at least the checkpointed cell must be resumed, not re-run";
+  EXPECT_NE(Srv->epoch(), EpochA) << "each boot draws a fresh epoch";
+
+  // The client does not know the recovered job's new id; resubmitting the
+  // identical request dedups onto it (this is the client's restart ritual).
+  Client C = connected();
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_EQ(Reply->Cells.size(), Req.Cells.size());
+  for (size_t I = 0; I < Req.Cells.size(); ++I) {
+    ASSERT_TRUE(Reply->Cells[I].ok()) << Reply->Cells[I].status().toString();
+    EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[I]).hex(),
+              localDigest(Req.Cells[I]).hex())
+        << "cell " << I << " digest changed across the restart";
+  }
+  EXPECT_GE(Srv->counters().JobsDeduped, 1u)
+      << "the resubmit must dedup onto the recovered job";
+}
+
+TEST_F(ServeDurableTest, FinishedUnfetchedJobSurvivesRestart) {
+  // The post-completion-pre-fetch window: daemon finishes the job, dies
+  // before the client fetches.  The results must still be there.
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  startServer();
+  {
+    Client C = connected();
+    StatusOr<uint64_t> Job = C.submit(Req);
+    ASSERT_TRUE(Job.ok());
+    while (true) {
+      StatusOr<JobStatusReply> S = C.status(*Job);
+      ASSERT_TRUE(S.ok());
+      if (S->State == JobState::Done)
+        break;
+      ::usleep(1000);
+    }
+  }
+  stopServer();
+  startServer();
+  EXPECT_EQ(Srv->counters().JobsRecovered, 1u);
+  // Everything was checkpointed: recovery resumes the job with all cells
+  // already done, so no cell is ever dispatched again.
+  Client C = connected();
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+  EXPECT_EQ(Srv->counters().CellsDispatched, 0u)
+      << "a fully-checkpointed job must not re-run any cell";
+}
+
+TEST_F(ServeDurableTest, AckedJobIsNotResumedAfterRestart) {
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  startServer();
+  {
+    Client C = connected();
+    StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+    ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+    ASSERT_TRUE(C.ack(Reply->Job).ok());
+  }
+  stopServer();
+  startServer();
+  // The ack wrote a tombstone: the job is complete business, not an
+  // orphan to resurrect.
+  EXPECT_EQ(Srv->counters().JobsRecovered, 0u);
+  // And a resubmit of the same request is a fresh run (served from the
+  // artifact cache, so still digest-identical — but a new job).
+  Client C = connected();
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req);
+  ASSERT_TRUE(Reply.ok());
+  ASSERT_TRUE(Reply->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+}
+
+TEST_F(ServeDurableTest, NonDurableServerForgetsAcrossRestart) {
+  // --no-durable restores the pre-recovery contract: a restart forgets.
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  ServerOptions Opts;
+  Opts.DurableJobs = false;
+  startServer(Opts);
+  {
+    Client C = connected();
+    StatusOr<uint64_t> Job = C.submit(Req);
+    ASSERT_TRUE(Job.ok());
+    while (true) {
+      StatusOr<JobStatusReply> S = C.status(*Job);
+      ASSERT_TRUE(S.ok());
+      if (S->State == JobState::Done)
+        break;
+      ::usleep(1000);
+    }
+  }
+  stopServer();
+  ServerOptions Opts2;
+  Opts2.DurableJobs = false;
+  startServer(Opts2);
+  EXPECT_EQ(Srv->counters().JobsRecovered, 0u);
+  EXPECT_EQ(Srv->counters().Checkpoints, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,528 @@
+//===- tests/test_serve_chaos.cpp - Socket chaos and crash-restart matrix -===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+// The hostile-transport and hostile-timing counterpart to test_serve.cpp,
+// in three suites:
+//
+//   ChaosScheduleTest      the ChaosProxy decision function itself: pure,
+//                          seeded, replayable (no I/O).
+//   ServeChaosTest         a live in-process server behind a ChaosProxy:
+//                          chopped frames (every partial-read path), delays,
+//                          and mid-frame disconnects — runCampaign() must
+//                          ride through all of it with digests identical to
+//                          local execution.
+//   ServeCrashRestartTest  the full crash matrix, following the
+//                          test_crash.cpp fork pattern: a real daemon
+//                          process SIGKILLed at hostile instants
+//                          (mid-submit, mid-cell, post-completion-pre-
+//                          fetch), restarted on the same socket and job
+//                          store, and the campaign asserted bit-identical
+//                          to an uninterrupted local run.
+//
+// Registered per-test under tier1 and as one whole-exe `chaos_matrix`
+// entry under the `chaos` ctest label (scripts/check.sh --chaos).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/CellRun.h"
+#include "serve/ChaosProxy.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "serve/WorkerPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace dmp;
+using namespace dmp::serve;
+
+namespace {
+
+harness::CellSpec smallSpec(const std::string &Benchmark = "mcf",
+                            const std::string &Algo = "all") {
+  harness::CellSpec Spec;
+  Spec.Benchmark = Benchmark;
+  Spec.Algo = Algo;
+  Spec.SimInstrs = 100'000;
+  Spec.ProfileInstrs = 400'000;
+  return Spec;
+}
+
+serialize::Digest localDigest(const harness::CellSpec &Spec) {
+  StatusOr<harness::CellResult> R = harness::runCellSpec(Spec, nullptr);
+  EXPECT_TRUE(R.ok()) << R.status().toString();
+  return harness::cellResultDigest(*R);
+}
+
+std::string freshSocketPath(const std::string &Tag) {
+  static std::atomic<unsigned> Counter{0};
+  return (std::filesystem::temp_directory_path() /
+          ("dmp-chaos-" + Tag + "-" + std::to_string(::getpid()) + "-" +
+           std::to_string(Counter++) + ".sock"))
+      .string();
+}
+
+/// A retry policy tuned for tests: fast, bounded, deterministic.
+RetryPolicy testRetry(uint64_t Seed) {
+  RetryPolicy Retry;
+  Retry.ConnectAttempts = 40;
+  Retry.BaseDelayMs = 2;
+  Retry.MaxDelayMs = 100;
+  Retry.MaxResubmits = 16;
+  Retry.Seed = Seed;
+  return Retry;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ChaosScheduleTest — the injection decision is a pure seeded function.
+//===----------------------------------------------------------------------===//
+
+TEST(ChaosScheduleTest, DecideIsPureAndReplayable) {
+  ChaosPlan Plan;
+  Plan.Seed = 1234;
+  for (uint64_t Site = 0; Site < 4; ++Site)
+    for (uint64_t Op = 0; Op < 256; ++Op)
+      EXPECT_EQ(ChaosProxy::decide(Plan, Site, Op, 0.5),
+                ChaosProxy::decide(Plan, Site, Op, 0.5))
+          << "site " << Site << " op " << Op
+          << ": the same (seed, site, op) must replay the same decision";
+}
+
+TEST(ChaosScheduleTest, DecideRespectsRateBoundsAndSeed) {
+  ChaosPlan Plan;
+  Plan.Seed = 7;
+  unsigned Hits = 0;
+  constexpr unsigned kOps = 4096;
+  for (uint64_t Op = 0; Op < kOps; ++Op) {
+    EXPECT_FALSE(ChaosProxy::decide(Plan, 0, Op, 0.0));
+    EXPECT_TRUE(ChaosProxy::decide(Plan, 0, Op, 1.0));
+    if (ChaosProxy::decide(Plan, 0, Op, 0.5))
+      ++Hits;
+  }
+  // A hash this far from fair would be a bug, not bad luck.
+  EXPECT_GT(Hits, kOps / 4);
+  EXPECT_LT(Hits, 3 * kOps / 4);
+  // A different seed explores a different schedule.
+  ChaosPlan Other = Plan;
+  Other.Seed = 8;
+  bool Differs = false;
+  for (uint64_t Op = 0; Op < 64 && !Differs; ++Op)
+    Differs = ChaosProxy::decide(Plan, 0, Op, 0.5) !=
+              ChaosProxy::decide(Other, 0, Op, 0.5);
+  EXPECT_TRUE(Differs);
+}
+
+//===----------------------------------------------------------------------===//
+// ServeChaosTest — live in-process server behind a chaos relay (no forks).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ServeChaosTest : public ::testing::Test {
+protected:
+  void startServer() {
+    PoolOpts.Workers = 0;
+    PoolOpts.UseCache = false;
+    Pool = std::make_unique<WorkerPool>(PoolOpts);
+    ServerOptions Opts;
+    Opts.SocketPath = Socket = freshSocketPath("upstream");
+    Opts.Quiet = true;
+    Srv = std::make_unique<Server>(std::move(Opts), *Pool, &Token);
+    ASSERT_TRUE(Srv->listen().ok());
+    Loop = std::thread([this] { RunResult = Srv->run(); });
+  }
+
+  void startProxy(const ChaosPlan &Plan) {
+    ProxyPath = freshSocketPath("proxy");
+    Proxy = std::make_unique<ChaosProxy>(ProxyPath, Socket, Plan);
+    ASSERT_TRUE(Proxy->start().ok());
+  }
+
+  void TearDown() override {
+    if (Proxy)
+      Proxy->stop();
+    if (Loop.joinable()) {
+      Srv->requestStop();
+      Loop.join();
+      EXPECT_TRUE(RunResult.ok()) << RunResult.toString();
+    }
+    std::error_code EC;
+    std::filesystem::remove(Socket, EC);
+    std::filesystem::remove(ProxyPath, EC);
+  }
+
+  WorkerPoolOptions PoolOpts;
+  std::unique_ptr<WorkerPool> Pool;
+  std::unique_ptr<Server> Srv;
+  std::unique_ptr<ChaosProxy> Proxy;
+  guard::CancelToken Token;
+  std::thread Loop;
+  std::string Socket;
+  std::string ProxyPath;
+  Status RunResult;
+};
+
+} // namespace
+
+TEST_F(ServeChaosTest, ChoppedTransportIsDigestIdentical) {
+  // Every chunk in both directions is forwarded in 1..3-byte pieces: the
+  // peers see partial reads of every frame header and payload.  Short
+  // writes must be invisible to the protocol.
+  startServer();
+  ChaosPlan Plan;
+  Plan.Seed = 11;
+  Plan.ChopRate = 1.0;
+  Plan.ChopBytesMax = 3;
+  startProxy(Plan);
+
+  Client C;
+  ASSERT_TRUE(C.connect(ProxyPath).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec("mcf", "all"));
+  Req.Cells.push_back(smallSpec("mcf", "every-br"));
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, testRetry(11));
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_EQ(Reply->Cells.size(), 2u);
+  for (size_t I = 0; I < 2; ++I) {
+    ASSERT_TRUE(Reply->Cells[I].ok()) << Reply->Cells[I].status().toString();
+    EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[I]).hex(),
+              localDigest(Req.Cells[I]).hex())
+        << "cell " << I << " diverged under chopped transport";
+  }
+  EXPECT_GT(Proxy->chunksForwarded(), 0u);
+  EXPECT_EQ(Proxy->drops(), 0u);
+}
+
+TEST_F(ServeChaosTest, DelayedTransportIsDigestIdentical) {
+  startServer();
+  ChaosPlan Plan;
+  Plan.Seed = 12;
+  Plan.ChopRate = 0.5;
+  Plan.DelayRate = 0.25;
+  Plan.DelayMs = 1;
+  startProxy(Plan);
+
+  Client C;
+  ASSERT_TRUE(C.connect(ProxyPath).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, testRetry(12));
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+}
+
+TEST_F(ServeChaosTest, MidFrameDisconnectsAreRiddenThrough) {
+  // The first two chunks each trigger a mid-frame cut: half the bytes are
+  // delivered, then both sides of the link die.  The client must treat the
+  // torn exchange as transport failure, reconnect, and resubmit — and the
+  // server-side dedup guarantees the retries never double-run the job.
+  startServer();
+  ChaosPlan Plan;
+  Plan.Seed = 13;
+  Plan.DropRate = 1.0;
+  Plan.MaxDrops = 2;
+  Plan.ChopRate = 0.25;
+  startProxy(Plan);
+
+  Client C;
+  ASSERT_TRUE(C.connect(ProxyPath).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, testRetry(13));
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok()) << Reply->Cells[0].status().toString();
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+  EXPECT_EQ(Proxy->drops(), 2u) << "both budgeted cuts should have fired";
+  // At most one job ran for all those (re)submits.
+  EXPECT_LE(Srv->counters().JobsAccepted, 1u + Srv->counters().JobsDeduped);
+  EXPECT_EQ(Srv->counters().CellsCompleted, 1u)
+      << "reconnect/resubmit must never double-run a cell";
+}
+
+//===----------------------------------------------------------------------===//
+// ServeCrashRestartTest — SIGKILL the daemon at hostile instants.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Forks a real (Workers=0, durable, quiet) daemon process on a shared
+/// socket and job store, kills it with SIGKILL at chosen instants, and
+/// restarts it — the process-level analogue of ServeDurableTest, where
+/// no destructor ever runs and only the checkpoints survive.
+class ServeCrashRestartTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    CacheDir = (std::filesystem::temp_directory_path() /
+                ("dmp-chaos-store-" + std::to_string(::getpid()) + "-" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+    std::filesystem::remove_all(CacheDir);
+    Socket = freshSocketPath("daemon");
+  }
+
+  void TearDown() override {
+    killDaemon();
+    std::error_code EC;
+    std::filesystem::remove(Socket, EC);
+    std::filesystem::remove_all(CacheDir, EC);
+  }
+
+  void spawnDaemon() {
+    DaemonPid = ::fork();
+    ASSERT_GE(DaemonPid, 0);
+    if (DaemonPid == 0) {
+      WorkerPoolOptions PO;
+      PO.Workers = 0;
+      PO.UseCache = true;
+      PO.CacheDir = CacheDir;
+      WorkerPool Pool(PO);
+      ServerOptions SO;
+      SO.SocketPath = Socket;
+      SO.Quiet = true;
+      Server Daemon(std::move(SO), Pool);
+      if (!Daemon.listen().ok())
+        ::_exit(1);
+      (void)Daemon.run();
+      ::_exit(0);
+    }
+    // Wait for the socket to answer before letting the test proceed.
+    for (int I = 0; I < 5000; ++I) {
+      Client Probe;
+      if (Probe.connect(Socket).ok())
+        return;
+      ::usleep(1000);
+    }
+    FAIL() << "daemon never became connectable on " << Socket;
+  }
+
+  void killDaemon() {
+    if (DaemonPid <= 0)
+      return;
+    ::kill(DaemonPid, SIGKILL);
+    ::waitpid(DaemonPid, nullptr, 0);
+    DaemonPid = -1;
+  }
+
+  /// Forks a client process that rides the campaign through whatever the
+  /// test does to the daemon and reports each cell digest over a pipe.
+  /// Returns the digests (empty on client failure).
+  std::vector<std::string> runCampaignInChild(const SubmitRequest &Req,
+                                              uint64_t Seed) {
+    int Pipe[2];
+    EXPECT_EQ(::pipe(Pipe), 0);
+    const pid_t Pid = ::fork();
+    EXPECT_GE(Pid, 0);
+    if (Pid == 0) {
+      ::close(Pipe[0]);
+      const RetryPolicy Retry = testRetry(Seed);
+      Client C;
+      if (!C.connectWithRetry(Socket, Retry).ok())
+        ::_exit(2);
+      StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, Retry);
+      if (!Reply.ok())
+        ::_exit(3);
+      for (const StatusOr<harness::CellResult> &Cell : Reply->Cells) {
+        if (!Cell.ok())
+          ::_exit(4);
+        const std::string Line = harness::cellResultDigest(*Cell).hex() + "\n";
+        if (::write(Pipe[1], Line.data(), Line.size()) !=
+            static_cast<ssize_t>(Line.size()))
+          ::_exit(5);
+      }
+      (void)C.ack(Reply->Job);
+      ::_exit(0);
+    }
+    ::close(Pipe[1]);
+    ClientPid = Pid;
+    ClientPipe = Pipe[0];
+    return {};
+  }
+
+  /// Waits for the campaign child, requiring exit 0, and returns the
+  /// digests it reported.
+  std::vector<std::string> joinCampaignChild() {
+    std::string Raw;
+    char Buf[256];
+    while (true) {
+      const ssize_t N = ::read(ClientPipe, Buf, sizeof(Buf));
+      if (N > 0) {
+        Raw.append(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      break;
+    }
+    ::close(ClientPipe);
+    ClientPipe = -1;
+    int WStatus = 0;
+    EXPECT_EQ(::waitpid(ClientPid, &WStatus, 0), ClientPid);
+    EXPECT_TRUE(WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 0)
+        << "campaign client exited "
+        << (WIFEXITED(WStatus) ? WEXITSTATUS(WStatus) : -1);
+    ClientPid = -1;
+    std::vector<std::string> Digests;
+    size_t Pos = 0;
+    while (Pos < Raw.size()) {
+      const size_t Eol = Raw.find('\n', Pos);
+      if (Eol == std::string::npos)
+        break;
+      Digests.push_back(Raw.substr(Pos, Eol - Pos));
+      Pos = Eol + 1;
+    }
+    return Digests;
+  }
+
+  void expectLocalParity(const SubmitRequest &Req,
+                         const std::vector<std::string> &Digests) {
+    ASSERT_EQ(Digests.size(), Req.Cells.size());
+    for (size_t I = 0; I < Req.Cells.size(); ++I)
+      EXPECT_EQ(Digests[I], localDigest(Req.Cells[I]).hex())
+          << "cell " << I << " diverged across the daemon crash";
+  }
+
+  pid_t DaemonPid = -1;
+  pid_t ClientPid = -1;
+  int ClientPipe = -1;
+  std::string Socket;
+  std::string CacheDir;
+};
+
+} // namespace
+
+TEST_F(ServeCrashRestartTest, KillDuringSubmitWindowThenRestart) {
+  // The most hostile instant: the daemon dies the moment the campaign
+  // starts — possibly mid-SUBMIT, possibly before the client connects at
+  // all.  The client's reconnect/resubmit loop must absorb every case.
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec("mcf", "all"));
+  Req.Cells.push_back(smallSpec("mcf", "every-br"));
+
+  spawnDaemon();
+  runCampaignInChild(Req, /*Seed=*/21);
+  killDaemon();
+  spawnDaemon();
+  expectLocalParity(Req, joinCampaignChild());
+}
+
+TEST_F(ServeCrashRestartTest, KillMidCellExecutionThenRestart) {
+  // Let the campaign make real progress, then SIGKILL mid-cell: the
+  // restarted daemon resumes from the last checkpoint and the surviving
+  // client (same process, same Client object) finishes the job.
+  SubmitRequest Req;
+  for (const char *Algo : {"all", "freq", "every-br", "short"})
+    Req.Cells.push_back(smallSpec("mcf", Algo));
+
+  spawnDaemon();
+  runCampaignInChild(Req, /*Seed=*/22);
+  // Give the daemon time to accept and run at least part of the job; the
+  // exact cut point may land between cells or mid-cell — both must work.
+  ::usleep(60'000);
+  killDaemon();
+  spawnDaemon();
+  expectLocalParity(Req, joinCampaignChild());
+}
+
+TEST_F(ServeCrashRestartTest, KillAfterCompletionBeforeFetchThenRestart) {
+  // The result-loss window the durable store exists for: the job finished,
+  // the daemon died, the client never fetched.  After restart the results
+  // must still be fetchable — without re-running a single cell.
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+
+  spawnDaemon();
+  {
+    Client C;
+    ASSERT_TRUE(C.connect(Socket).ok());
+    StatusOr<uint64_t> Job = C.submit(Req);
+    ASSERT_TRUE(Job.ok()) << Job.status().toString();
+    while (true) {
+      StatusOr<JobStatusReply> S = C.status(*Job);
+      ASSERT_TRUE(S.ok()) << S.status().toString();
+      if (S->State == JobState::Done)
+        break;
+      ::usleep(2000);
+    }
+  }
+  killDaemon();
+  spawnDaemon();
+  // A fresh client with only the request in hand recovers the results.
+  Client C;
+  ASSERT_TRUE(C.connect(Socket).ok());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, testRetry(23));
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex());
+  EXPECT_TRUE(C.ack(Reply->Job).ok());
+}
+
+TEST_F(ServeCrashRestartTest, KillUnderChoppyTransportThenRestart) {
+  // Compose both instruments: the campaign runs through a chopping proxy
+  // AND the daemon is SIGKILLed mid-flight.  The client sees torn frames,
+  // dead links, and a changed epoch — the digests must not care.
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec("mcf", "all"));
+  Req.Cells.push_back(smallSpec("mcf", "short"));
+
+  spawnDaemon();
+  ChaosPlan Plan;
+  Plan.Seed = 24;
+  Plan.ChopRate = 0.5;
+  Plan.ChopBytesMax = 3;
+  const std::string ProxyPath = freshSocketPath("proxy");
+  ChaosProxy Proxy(ProxyPath, Socket, Plan);
+  ASSERT_TRUE(Proxy.start().ok());
+
+  int Pipe[2];
+  ASSERT_EQ(::pipe(Pipe), 0);
+  const pid_t Pid = ::fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    ::close(Pipe[0]);
+    const RetryPolicy Retry = testRetry(24);
+    Client C;
+    if (!C.connectWithRetry(ProxyPath, Retry).ok())
+      ::_exit(2);
+    StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, Retry);
+    if (!Reply.ok())
+      ::_exit(3);
+    for (const StatusOr<harness::CellResult> &Cell : Reply->Cells) {
+      if (!Cell.ok())
+        ::_exit(4);
+      const std::string Line = harness::cellResultDigest(*Cell).hex() + "\n";
+      if (::write(Pipe[1], Line.data(), Line.size()) !=
+          static_cast<ssize_t>(Line.size()))
+        ::_exit(5);
+    }
+    ::_exit(0);
+  }
+  ::close(Pipe[1]);
+  ClientPid = Pid;
+  ClientPipe = Pipe[0];
+
+  ::usleep(40'000);
+  killDaemon();
+  spawnDaemon();
+  expectLocalParity(Req, joinCampaignChild());
+  Proxy.stop();
+}

@@ -22,6 +22,8 @@
 //   --max-cells=N        admission bound on cells per job (default 256)
 //   --cell-attempts=N    dispatch attempts per cell across worker crashes
 //                        (default 3)
+//   --no-durable         do not checkpoint jobs to the cache; a restart
+//                        forgets all in-flight work (pre-recovery behavior)
 //   --quiet              suppress the per-event log lines
 //
 // Shutdown: SIGINT and SIGTERM both drain gracefully — stop accepting,
@@ -55,6 +57,7 @@ struct DaemonOptions {
   unsigned MaxJobs = 64;
   unsigned MaxCells = 256;
   unsigned CellAttempts = 3;
+  bool Durable = true;
   bool Quiet = false;
 };
 
@@ -62,7 +65,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: dmp_served --socket=PATH [--workers=N] "
                "[--cache-dir=DIR] [--no-cache] [--max-jobs=N] "
-               "[--max-cells=N] [--cell-attempts=N] [--quiet]\n");
+               "[--max-cells=N] [--cell-attempts=N] [--no-durable] "
+               "[--quiet]\n");
 }
 
 bool parseU64(const char *V, uint64_t &Out) {
@@ -114,6 +118,8 @@ bool parseArgs(int Argc, char **Argv, DaemonOptions &Opts) {
         return false;
       }
       Opts.CellAttempts = static_cast<unsigned>(U);
+    } else if (Arg == "--no-durable") {
+      Opts.Durable = false;
     } else if (Arg == "--quiet") {
       Opts.Quiet = true;
     } else {
@@ -149,6 +155,7 @@ int main(int Argc, char **Argv) {
   ServerOpts.MaxActiveJobs = Opts.MaxJobs;
   ServerOpts.MaxCellsPerJob = Opts.MaxCells;
   ServerOpts.CellAttempts = Opts.CellAttempts;
+  ServerOpts.DurableJobs = Opts.Durable;
   ServerOpts.Quiet = Opts.Quiet;
   serve::Server Server(std::move(ServerOpts), Pool);
 
@@ -166,18 +173,23 @@ int main(int Argc, char **Argv) {
 
   const serve::Server::Counters C = Server.counters();
   std::fprintf(stderr,
-               "[serve] conns=%llu jobs=%llu rejected=%llu dispatched=%llu "
-               "completed=%llu failed=%llu retried=%llu crashes=%llu "
-               "protocol-errors=%llu\n",
+               "[serve] conns=%llu jobs=%llu rejected=%llu deduped=%llu "
+               "recovered=%llu dispatched=%llu completed=%llu failed=%llu "
+               "retried=%llu resumed=%llu crashes=%llu protocol-errors=%llu "
+               "checkpoints=%llu\n",
                static_cast<unsigned long long>(C.ConnectionsAccepted),
                static_cast<unsigned long long>(C.JobsAccepted),
                static_cast<unsigned long long>(C.JobsRejected),
+               static_cast<unsigned long long>(C.JobsDeduped),
+               static_cast<unsigned long long>(C.JobsRecovered),
                static_cast<unsigned long long>(C.CellsDispatched),
                static_cast<unsigned long long>(C.CellsCompleted),
                static_cast<unsigned long long>(C.CellsFailed),
                static_cast<unsigned long long>(C.CellsRetried),
+               static_cast<unsigned long long>(C.CellsResumed),
                static_cast<unsigned long long>(C.WorkerCrashes),
-               static_cast<unsigned long long>(C.ProtocolErrors));
+               static_cast<unsigned long long>(C.ProtocolErrors),
+               static_cast<unsigned long long>(C.Checkpoints));
 
   if (!Run.ok()) {
     std::fprintf(stderr, "error: %s\n", Run.toString().c_str());

@@ -273,11 +273,17 @@ int runRemote(const CliOptions &Opts) {
   }
   serve::SubmitRequest Req;
   Req.Cells.push_back(Spec);
+  // runCampaign rides through daemon blips and restarts: reconnect under
+  // deterministic backoff, epoch check, idempotent resubmit.
   StatusOr<serve::FetchReplyData> Reply = Client.runCampaign(Req);
   if (!Reply.ok()) {
     std::fprintf(stderr, "error: %s\n", Reply.status().toString().c_str());
     return guard::interrupted() ? exitcode::Interrupted : exitcode::Failure;
   }
+  // Results are in hand: release the job's durable record.  Best-effort —
+  // if the ack is lost the server GC (or the next identical submit's
+  // dedup) cleans up.
+  (void)Client.ack(Reply->Job);
   if (Reply->Cells.size() != 1) {
     std::fprintf(stderr, "error: server returned %zu cells for 1 submitted\n",
                  Reply->Cells.size());
