@@ -14,7 +14,11 @@
 //     percentiles for the protocol floor, and
 //   * restart recovery latency: how long a fresh daemon takes to come back
 //     up on the same socket and job store (recoverJobs included) and how
-//     long the rejoining client needs to land the interrupted campaign.
+//     long the rejoining client needs to land the interrupted campaign, and
+//   * a saturation probe: a deterministic HostileClient half-open flood
+//     several times past --max-conns while one well-behaved client keeps
+//     pinging, recording the shed rate (defensive drops per hostile
+//     connect) and the honest client's RTT tail under attack.
 //
 // Each campaign is acked before the next submit: the server dedups
 // identical in-flight requests by digest, so an unacked round would serve
@@ -33,6 +37,7 @@
 #include "harness/CellRun.h"
 #include "harness/Engine.h"
 #include "serve/Client.h"
+#include "serve/HostileClient.h"
 #include "serve/Server.h"
 #include "serve/WorkerPool.h"
 #include "support/ExitCodes.h"
@@ -57,6 +62,8 @@ namespace {
 constexpr unsigned kWarmCampaigns = 1;
 constexpr unsigned kMeasuredCampaigns = 24;
 constexpr unsigned kPings = 200;
+constexpr unsigned kSaturationPings = 100;
+constexpr unsigned kBenchMaxConns = 32;
 
 using Clock = std::chrono::steady_clock;
 
@@ -114,11 +121,18 @@ struct RestartMetrics {
   uint64_t CellsResumed = 0;
 };
 
+struct SaturationMetrics {
+  uint64_t HostileConnects = 0;
+  uint64_t Sheds = 0;
+  std::vector<double> PingMs;
+};
+
 bench::BenchJson buildJson(unsigned Workers, size_t Cells, unsigned Campaigns,
                            double CellsPerSec,
                            const std::vector<double> &CampaignMs,
                            const std::vector<double> &PingUs,
                            const RestartMetrics &Restart,
+                           const SaturationMetrics &Sat,
                            const std::string &Digest) {
   bench::BenchJson J("serve");
   J.integer("workers", Workers);
@@ -141,6 +155,22 @@ bench::BenchJson buildJson(unsigned Workers, size_t Cells, unsigned Campaigns,
   J.number("rejoin_campaign_ms", Restart.RejoinCampaignMs, 3);
   J.integer("jobs_recovered", Restart.JobsRecovered);
   J.integer("cells_resumed", Restart.CellsResumed);
+  J.endObject();
+  J.beginObject("saturation");
+  J.integer("max_conns", kBenchMaxConns);
+  J.integer("hostile_connects", Sat.HostileConnects);
+  J.integer("sheds", Sat.Sheds);
+  J.number("shed_rate",
+           Sat.HostileConnects != 0
+               ? static_cast<double>(Sat.Sheds) /
+                     static_cast<double>(Sat.HostileConnects)
+               : 0.0,
+           3);
+  J.beginObject("well_behaved_rtt_ms");
+  J.number("p50", percentile(Sat.PingMs, 50), 3);
+  J.number("p90", percentile(Sat.PingMs, 90), 3);
+  J.number("p99", percentile(Sat.PingMs, 99), 3);
+  J.endObject();
   J.endObject();
   J.string("campaign_digest", Digest);
   return J;
@@ -168,6 +198,10 @@ int main(int Argc, char **Argv) {
                                         .c_str(),
                                     static_cast<int>(::getpid()));
   SrvOpts.Quiet = true;
+  // A small accept cap so the saturation probe below can flood well past
+  // it without needing thousands of fds; the bench itself only ever holds
+  // a couple of connections.
+  SrvOpts.MaxConns = kBenchMaxConns;
   guard::CancelToken Drain;
   auto Srv = std::make_unique<Server>(SrvOpts, Pool, &Drain);
   if (Status S = Srv->listen(); !S.ok()) {
@@ -245,6 +279,72 @@ int main(int Argc, char **Argv) {
           ? static_cast<double>(Req.Cells.size()) * kMeasuredCampaigns /
                 TotalSec
           : 0.0;
+
+  // Saturation probe: a half-open flood several times past --max-conns
+  // while a well-behaved client keeps pinging.  The daemon must shed the
+  // dead weight (every drop counted) and keep serving the honest client;
+  // the probe records the shed rate and the honest RTT tail under attack.
+  // HalfOpen — not SubmitStorm — keeps the job store clean, so the
+  // restart metrics below measure recovery, not storm debris, and the
+  // pinned campaign digest stays untouched.
+  SaturationMetrics Sat;
+  {
+    const auto ShedTotal = [&Srv] {
+      const Server::Counters Ct = Srv->counters();
+      return Ct.ReadTimeouts + Ct.IdleDrops + Ct.SlowConsumerDrops +
+             Ct.ConnsShed + Ct.ConnsRefused;
+    };
+    const uint64_t Shed0 = ShedTotal();
+    HostilePlan Plan;
+    Plan.Seed = 2026;
+    Plan.Kind = HostileAttack::HalfOpen;
+    Plan.Connections = 4 * kBenchMaxConns;
+    Plan.OpsPerConn = 32;
+    Plan.PaceUs = 200;
+    HostileClient Flood(SrvOpts.SocketPath, Plan);
+    if (Status S = Flood.start(); !S.ok()) {
+      std::fprintf(stderr, "bench_serve: hostile flood: %s\n",
+                   S.toString().c_str());
+      return exitcode::Failure;
+    }
+    Client Honest;
+    (void)Honest.connect(SrvOpts.SocketPath);
+    for (unsigned I = 0; I < kSaturationPings; ++I) {
+      const auto T0 = Clock::now();
+      if (!Honest.ping().ok()) {
+        // The flood may shed this connection too while it sits idle; a
+        // well-behaved client just reconnects.  The reconnect round is
+        // not timed.
+        Honest.close();
+        (void)Honest.connect(SrvOpts.SocketPath);
+        ::usleep(1000);
+        continue;
+      }
+      Sat.PingMs.push_back(msSince(T0));
+      ::usleep(2000);
+    }
+    Flood.stop();
+    Honest.close();
+    Sat.HostileConnects = Flood.connects();
+    Sat.Sheds = ShedTotal() - Shed0;
+    if (Sat.PingMs.empty() || Sat.Sheds == 0 || Sat.HostileConnects == 0) {
+      std::fprintf(stderr,
+                   "bench_serve: saturation probe starved "
+                   "(pings=%zu sheds=%llu connects=%llu)\n",
+                   Sat.PingMs.size(),
+                   static_cast<unsigned long long>(Sat.Sheds),
+                   static_cast<unsigned long long>(Sat.HostileConnects));
+      return exitcode::Failure;
+    }
+    // The flood may have shed the idle campaign connection; rejoin before
+    // the restart phase below relies on it.
+    C.close();
+    if (Status S = C.connect(SrvOpts.SocketPath); !S.ok()) {
+      std::fprintf(stderr, "bench_serve: rejoin after flood: %s\n",
+                   S.toString().c_str());
+      return exitcode::Failure;
+    }
+  }
 
   // Restart recovery: leave a campaign in flight, stop the daemon, bring a
   // fresh one up on the same socket and job store, and measure (a) how
@@ -331,7 +431,7 @@ int main(int Argc, char **Argv) {
 
   bench::BenchJson J = buildJson(Pool.size(), Req.Cells.size(),
                                  kMeasuredCampaigns, CellsPerSec, CampaignMs,
-                                 PingUs, Restart, Digest);
+                                 PingUs, Restart, Sat, Digest);
   std::fputs(J.render().c_str(), stdout);
   if (!J.writeFile("BENCH_serve.json")) {
     std::fprintf(stderr, "bench_serve: cannot write BENCH_serve.json\n");

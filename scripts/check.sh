@@ -6,9 +6,11 @@
 # --crash to run only the fork-based crash-consistency matrix,
 # --serve to run the campaign-service suite (serve label) plus the
 # multi-client soak hammer (DMP_SERVE_SOAK=1),
-# --chaos to run the socket-chaos and daemon-crash-restart matrix (the
-# chaos label: ChaosProxy transport hostility plus SIGKILL-and-restart
-# digest-parity tests),
+# --chaos to run the socket-chaos, daemon-crash-restart, and
+# hostile-client liveness matrix (the chaos label: ChaosProxy transport
+# hostility, SIGKILL-and-restart digest-parity tests, and the
+# HostileClient attacks — half-open floods, slowloris drips, never-read
+# floods, submit storms, hung-worker watchdog),
 # --bench to run the perf-regression gate (a bench_throughput smoke
 # re-measurement against the committed BENCH_throughput.json, 3x
 # tolerance; the perf ctest label),
@@ -75,8 +77,9 @@ elif [[ "$SERVE" -eq 1 ]]; then
   # env gate is armed, which the serve_soak ctest entry does.
   ctest --preset "$PRESET" -L serve
 elif [[ "$CHAOS" -eq 1 ]]; then
-  # Torn transport (ChaosProxy) and SIGKILL-restart recovery, all pinned
-  # to digest parity with local execution.
+  # Torn transport (ChaosProxy), SIGKILL-restart recovery, and the
+  # HostileClient liveness matrix — all pinned to digest parity with
+  # local execution and to every defensive drop being counted.
   ctest --preset "$PRESET" -L chaos
 elif [[ "$BENCH" -eq 1 ]]; then
   # Throughput must stay within 3x of the committed snapshot and the

@@ -87,7 +87,8 @@ harness::selectByAlgo(BenchContext &Bench, const std::string &Algo,
 
 StatusOr<CellResult>
 harness::runCellSpec(const CellSpec &Spec,
-                     std::shared_ptr<serialize::ArtifactCache> Cache) {
+                     std::shared_ptr<serialize::ArtifactCache> Cache,
+                     std::function<void()> Progress) {
   if (Status S = Spec.validate(); !S.ok())
     return S;
 
@@ -105,6 +106,7 @@ harness::runCellSpec(const CellSpec &Spec,
   Options.Selection = Options.Selection.withMaxInstr(Spec.MaxInstr)
                           .withMinMergeProb(Spec.MinMergeProb);
   Options.Sim.MaxInstrs = Spec.SimInstrs;
+  Options.Sim.Progress = std::move(Progress);
   Options.Profile.MaxInstrs = Spec.ProfileInstrs;
   Options.Cache = std::move(Cache);
 

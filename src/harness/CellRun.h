@@ -30,6 +30,7 @@
 #include "support/Status.h"
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,10 +78,14 @@ StatusOr<core::DivergeMap> selectByAlgo(BenchContext &Bench,
 /// bit-identical with or without it.  All failures come back as Status
 /// (NotFound for an unknown benchmark/algorithm, Invariant for a malformed
 /// spec) — never an exit or a throw, because this runs inside long-lived
-/// worker processes.
+/// worker processes.  \p Progress (nullable) is the liveness beat hook:
+/// the simulation stages call it every sim::kCancelPollInstrs retired
+/// instructions (see SimConfig::Progress); it never affects the result or
+/// its digest.
 StatusOr<CellResult>
 runCellSpec(const CellSpec &Spec,
-            std::shared_ptr<serialize::ArtifactCache> Cache);
+            std::shared_ptr<serialize::ArtifactCache> Cache,
+            std::function<void()> Progress = {});
 
 /// Canonical little-endian encodings, shared by the wire protocol and the
 /// digest.  Specs/results embed in larger messages via the ByteWriter /

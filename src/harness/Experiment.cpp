@@ -45,9 +45,9 @@ void hashSimConfig(serialize::Hasher &H, const sim::SimConfig &C) {
         uint64_t(C.MaxDpredInstrs), uint64_t(C.MaxLoopDpredIters), C.MaxInstrs,
         uint64_t(C.InjectFault), C.WatchdogInstrBudget})
     H.updateU64(V);
-  // C.Cancel is deliberately NOT hashed: cancellation is an execution-time
-  // concern, not part of the simulated machine, and a token pointer would
-  // make keys unstable run to run.
+  // C.Cancel and C.Progress are deliberately NOT hashed: cancellation and
+  // liveness beats are execution-time concerns, not part of the simulated
+  // machine, and a token pointer would make keys unstable run to run.
 }
 
 void hashSelectionConfig(serialize::Hasher &H,

@@ -77,10 +77,18 @@ Status Client::connect(const std::string &SocketPath) {
   return Status();
 }
 
-unsigned Client::backoffDelayMs(const RetryPolicy &Retry, unsigned Attempt) {
+unsigned Client::backoffDelayMs(const RetryPolicy &Retry, unsigned Attempt,
+                                uint32_t RetryAfterHintMs) {
   const uint64_t Shift = std::min<unsigned>(Attempt, 20);
-  uint64_t Cap = std::min<uint64_t>(uint64_t(Retry.BaseDelayMs) << Shift,
-                                    Retry.MaxDelayMs);
+  const uint64_t Base =
+      RetryAfterHintMs ? RetryAfterHintMs : Retry.BaseDelayMs;
+  // A brownout hint overrides the policy base (the server knows its own
+  // backlog better than our default does) and also raises the cap floor:
+  // the ceiling is never allowed below the hint, even when the policy's
+  // MaxDelayMs is tighter.
+  const uint64_t Ceiling =
+      std::max<uint64_t>(Retry.MaxDelayMs, RetryAfterHintMs);
+  uint64_t Cap = std::min<uint64_t>(Base << Shift, Ceiling);
   if (Cap == 0)
     return 0;
   // splitmix64 over (Seed, Attempt): same seed, same schedule — the
@@ -119,6 +127,7 @@ StatusOr<Frame> Client::roundTrip(MsgType Type,
                                   const std::vector<uint8_t> &Payload) {
   if (Fd == -1)
     return Status::invariant("client is not connected", "serve::Client");
+  LastRetryAfterMs = 0;
   if (Status S = writeFrame(Fd, Type, Payload); !S.ok()) {
     close(); // transport failure: the stream is unusable
     return S;
@@ -130,10 +139,13 @@ StatusOr<Frame> Client::roundTrip(MsgType Type,
   }
   if (Reply->Type == MsgType::Error) {
     Status Carried;
-    if (Status S = decodeStatusPayload(Reply->Payload, Carried); !S.ok()) {
+    uint32_t Hint = 0;
+    if (Status S = decodeStatusPayload(Reply->Payload, Carried, &Hint);
+        !S.ok()) {
       close();
       return S;
     }
+    LastRetryAfterMs = Hint;
     return Carried;
   }
   return Reply;
@@ -162,6 +174,28 @@ StatusOr<uint64_t> Client::health() {
   if (Status S = decodePong(R->Payload, Epoch); !S.ok())
     return S;
   return Epoch;
+}
+
+StatusOr<PongLoad> Client::serverLoad(uint64_t *EpochOut) {
+  StatusOr<Frame> R = roundTrip(MsgType::Ping, {});
+  if (!R.ok())
+    return R.status();
+  if (R->Type != MsgType::Pong)
+    return Status::corrupt("expected PONG, got message type " +
+                               std::to_string(static_cast<unsigned>(R->Type)),
+                           "serve::Client");
+  uint64_t Epoch = 0;
+  PongLoad Load;
+  bool HasLoad = false;
+  if (Status S = decodePong(R->Payload, Epoch, &Load, &HasLoad); !S.ok())
+    return S;
+  if (EpochOut)
+    *EpochOut = Epoch;
+  if (!HasLoad)
+    return Status::notFound("server PONG carries no load snapshot "
+                            "(pre-load daemon)",
+                            "serve::Client");
+  return Load;
 }
 
 StatusOr<uint64_t> Client::submit(const SubmitRequest &Req) {
@@ -283,6 +317,16 @@ StatusOr<FetchReplyData> Client::runCampaign(const SubmitRequest &Req,
       if (!JobOr.ok()) {
         if (!connected())
           continue; // transport died mid-submit; reconnect and retry
+        if (JobOr.status().code() == ErrorCode::ResourceExhausted &&
+            lastRetryAfterMs() != 0) {
+          // Overload brownout: the shed carried a retry-after hint, so the
+          // saturation is transient — back off (hint-based, deterministic
+          // from the seed) and resubmit instead of giving up.  Bounded by
+          // MaxResubmits like every other resubmit.
+          ::usleep(backoffDelayMs(Retry, Resubmits, lastRetryAfterMs()) *
+                   1000u);
+          continue;
+        }
         return JobOr.status(); // the server answered: a real rejection
       }
       Job = *JobOr;

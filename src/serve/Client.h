@@ -74,8 +74,13 @@ public:
 
   /// The delay before retry \p Attempt (0-based): exponential, capped,
   /// with seeded jitter in [cap/2, cap].  Pure function, exposed for
-  /// tests.
-  static unsigned backoffDelayMs(const RetryPolicy &Retry, unsigned Attempt);
+  /// tests.  \p RetryAfterHintMs, when nonzero, is a server brownout hint
+  /// (the retry-after carried on a ResourceExhausted shed): it replaces
+  /// the policy's base delay — the backoff becomes hint-scaled
+  /// exponential, still jittered deterministically from the seed, with
+  /// the delay ceiling never clamped below the hint.
+  static unsigned backoffDelayMs(const RetryPolicy &Retry, unsigned Attempt,
+                                 uint32_t RetryAfterHintMs = 0);
 
   void close();
   bool connected() const { return Fd != -1; }
@@ -94,6 +99,15 @@ public:
   /// (0 from a pre-epoch server).  A changed epoch means the daemon
   /// restarted and in-memory job ids from before are dead.
   StatusOr<uint64_t> health();
+  /// PING decoded as a load probe: the daemon's jobs/cells in flight and
+  /// shed counters (PongLoad), plus the epoch via \p EpochOut.  NotFound
+  /// from a pre-load daemon whose PONG carries only the epoch.
+  StatusOr<PongLoad> serverLoad(uint64_t *EpochOut = nullptr);
+  /// The retry-after-ms hint carried by the most recent server Error reply
+  /// (0 when the last error had none, or the last reply succeeded).  The
+  /// brownout contract: nonzero marks a shed as transient saturation worth
+  /// riding out; zero marks it permanent.
+  uint32_t lastRetryAfterMs() const { return LastRetryAfterMs; }
   /// Returns the accepted job id.
   StatusOr<uint64_t> submit(const SubmitRequest &Req);
   StatusOr<JobStatusReply> status(uint64_t Job);
@@ -121,6 +135,8 @@ private:
   int Fd = -1;
   /// Remembered by connect() so runCampaign() can re-establish.
   std::string Path;
+  /// Brownout hint from the most recent Error reply (see lastRetryAfterMs).
+  uint32_t LastRetryAfterMs = 0;
 };
 
 } // namespace dmp::serve

@@ -24,7 +24,8 @@ bool validType(uint8_t T) {
   return (T >= static_cast<uint8_t>(MsgType::Submit) &&
           T <= static_cast<uint8_t>(MsgType::AckOk)) ||
          T == static_cast<uint8_t>(MsgType::RunCell) ||
-         T == static_cast<uint8_t>(MsgType::CellDone);
+         T == static_cast<uint8_t>(MsgType::CellDone) ||
+         T == static_cast<uint8_t>(MsgType::CellProgress);
 }
 
 uint32_t readU32At(const std::vector<uint8_t> &B, size_t At) {
@@ -287,20 +288,28 @@ Status serve::decodeStatusReply(const std::vector<uint8_t> &Payload,
   return Status();
 }
 
-std::vector<uint8_t> serve::encodeStatusPayload(const Status &S) {
+std::vector<uint8_t> serve::encodeStatusPayload(const Status &S,
+                                                uint32_t RetryAfterMs) {
   serialize::ByteWriter W;
   W.writeU8(static_cast<uint8_t>(S.code()));
   W.writeString(S.message());
   W.writeString(S.origin());
+  // The brownout hint trails the base encoding and is omitted when zero,
+  // so hint-free payloads are byte-identical to the pre-hint protocol.
+  if (RetryAfterMs != 0)
+    W.writeU32(RetryAfterMs);
   return W.take();
 }
 
 Status serve::decodeStatusPayload(const std::vector<uint8_t> &Payload,
-                                  Status &S) {
+                                  Status &S, uint32_t *RetryAfterMs) {
   serialize::ByteReader R(Payload);
   const uint8_t Code = R.readU8();
   std::string Message = R.readString();
   std::string Origin = R.readString();
+  uint32_t Hint = 0;
+  if (R.ok() && !R.atEnd())
+    Hint = R.readU32();
   if (Status E = finishDecode(R, "status"); !E.ok())
     return E;
   if (Code == 0 ||
@@ -308,6 +317,8 @@ Status serve::decodeStatusPayload(const std::vector<uint8_t> &Payload,
     return corrupt("status payload has an invalid error code");
   S = Status::make(static_cast<ErrorCode>(Code), std::move(Message),
                    std::move(Origin));
+  if (RetryAfterMs)
+    *RetryAfterMs = Hint;
   return Status();
 }
 
@@ -317,8 +328,23 @@ std::vector<uint8_t> serve::encodePong(uint64_t Epoch) {
   return W.take();
 }
 
+std::vector<uint8_t> serve::encodePong(uint64_t Epoch,
+                                       const PongLoad &Load) {
+  serialize::ByteWriter W;
+  W.writeU64(Epoch);
+  W.writeU64(Load.JobsActive);
+  W.writeU64(Load.CellsRunning);
+  W.writeU64(Load.JobsShed);
+  W.writeU64(Load.ConnsShed);
+  return W.take();
+}
+
 Status serve::decodePong(const std::vector<uint8_t> &Payload,
-                         uint64_t &Epoch) {
+                         uint64_t &Epoch, PongLoad *Load, bool *HasLoad) {
+  if (Load)
+    *Load = PongLoad();
+  if (HasLoad)
+    *HasLoad = false;
   if (Payload.empty()) {
     // A pre-epoch server answers PING with an empty PONG; treat that as
     // epoch 0 ("unknown") instead of a decode failure.
@@ -327,6 +353,22 @@ Status serve::decodePong(const std::vector<uint8_t> &Payload,
   }
   serialize::ByteReader R(Payload);
   Epoch = R.readU64();
+  if (R.ok() && !R.atEnd()) {
+    // The load snapshot rides behind the epoch; an epoch-only payload from
+    // a pre-load server decodes with HasLoad false.
+    PongLoad L;
+    L.JobsActive = R.readU64();
+    L.CellsRunning = R.readU64();
+    L.JobsShed = R.readU64();
+    L.ConnsShed = R.readU64();
+    if (Status S = finishDecode(R, "pong"); !S.ok())
+      return S;
+    if (Load)
+      *Load = L;
+    if (HasLoad)
+      *HasLoad = true;
+    return Status();
+  }
   return finishDecode(R, "pong");
 }
 
@@ -443,4 +485,17 @@ Status serve::decodeCellDone(const std::vector<uint8_t> &Payload,
   if (Status S = decodeCellOutcome(R, Outcome); !S.ok())
     return S;
   return finishDecode(R, "cell-done");
+}
+
+std::vector<uint8_t> serve::encodeCellProgress(uint64_t Ticket) {
+  serialize::ByteWriter W;
+  W.writeU64(Ticket);
+  return W.take();
+}
+
+Status serve::decodeCellProgress(const std::vector<uint8_t> &Payload,
+                                 uint64_t &Ticket) {
+  serialize::ByteReader R(Payload);
+  Ticket = R.readU64();
+  return finishDecode(R, "cell-progress");
 }

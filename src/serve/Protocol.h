@@ -82,8 +82,9 @@ enum class MsgType : uint8_t {
   AckReq = 14,     ///< client -> server: u64 job id (results consumed)
   AckOk = 15,      ///< server -> client: u64 job id (always, idempotent)
 
-  RunCell = 32,  ///< supervisor -> worker: u64 ticket + CellSpec
-  CellDone = 33, ///< worker -> supervisor: u64 ticket + Status/CellResult
+  RunCell = 32,      ///< supervisor -> worker: u64 ticket + CellSpec
+  CellDone = 33,     ///< worker -> supervisor: u64 ticket + Status/CellResult
+  CellProgress = 34, ///< worker -> supervisor: u64 ticket (liveness beat)
 };
 
 struct Frame {
@@ -190,16 +191,36 @@ std::vector<uint8_t> encodeFetchReply(const FetchReplyData &Reply);
 Status decodeFetchReply(const std::vector<uint8_t> &Payload,
                         FetchReplyData &Reply);
 
-/// Status travels as code + message + origin.
-std::vector<uint8_t> encodeStatusPayload(const Status &S);
-Status decodeStatusPayload(const std::vector<uint8_t> &Payload, Status &S);
+/// Status travels as code + message + origin, optionally followed by a
+/// trailing retry-after-ms u32 (the overload brownout hint; see DESIGN.md
+/// "Liveness & overload").  The hint is appended only when nonzero, and a
+/// decoder reading a hint-free payload reports 0 — both directions stay
+/// compatible with pre-hint peers.
+std::vector<uint8_t> encodeStatusPayload(const Status &S,
+                                         uint32_t RetryAfterMs = 0);
+Status decodeStatusPayload(const std::vector<uint8_t> &Payload, Status &S,
+                           uint32_t *RetryAfterMs = nullptr);
+
+/// Daemon load snapshot carried behind the PONG epoch: the minimal health
+/// probe a client (or the liveness tests) needs to see saturation without
+/// a privileged interface.
+struct PongLoad {
+  uint64_t JobsActive = 0;   ///< queued or running jobs
+  uint64_t CellsRunning = 0; ///< cells dispatched and in flight
+  uint64_t JobsShed = 0;     ///< submits rejected by admission control
+  uint64_t ConnsShed = 0;    ///< connections dropped by hygiene limits
+};
 
 /// PONG carries the server's per-boot epoch so a reconnecting client can
 /// tell a connection blip (same epoch: in-memory job ids still valid) from
 /// a daemon restart (new epoch: resubmit through the idempotency key).  An
-/// empty payload decodes as epoch 0 for pre-epoch peers.
+/// empty payload decodes as epoch 0 for pre-epoch peers; the load snapshot
+/// rides behind the epoch, and an epoch-only payload decodes with
+/// \p HasLoad false so pre-load peers stay compatible.
 std::vector<uint8_t> encodePong(uint64_t Epoch);
-Status decodePong(const std::vector<uint8_t> &Payload, uint64_t &Epoch);
+std::vector<uint8_t> encodePong(uint64_t Epoch, const PongLoad &Load);
+Status decodePong(const std::vector<uint8_t> &Payload, uint64_t &Epoch,
+                  PongLoad *Load = nullptr, bool *HasLoad = nullptr);
 
 /// One cell outcome (ok flag, then a length-prefixed CellResult or an
 /// inline Status).  Shared by CellDone, FetchReply and the durable job
@@ -219,6 +240,13 @@ encodeCellDone(uint64_t Ticket,
                const StatusOr<harness::CellResult> &Outcome);
 Status decodeCellDone(const std::vector<uint8_t> &Payload, uint64_t &Ticket,
                       StatusOr<harness::CellResult> &Outcome);
+
+/// CELL_PROGRESS: a worker's liveness beat while a RUN_CELL computes,
+/// emitted from the DmpCore cancel-poll cadence.  The supervisor's
+/// hung-worker watchdog (`--cell-wall-ms`) measures silence between beats.
+std::vector<uint8_t> encodeCellProgress(uint64_t Ticket);
+Status decodeCellProgress(const std::vector<uint8_t> &Payload,
+                          uint64_t &Ticket);
 
 } // namespace dmp::serve
 

@@ -67,6 +67,7 @@ Server::Server(ServerOptions Options, WorkerPool &Pool,
     : Opts(std::move(Options)), Pool(Pool),
       Drain(Drain ? Drain : &guard::processToken()) {
   WorkerIn.resize(Pool.size());
+  WorkerBeat.resize(Pool.size());
   // The per-boot epoch: any nonzero value that never repeats across
   // restarts (or across two Servers in one test process) does the job —
   // clients only ever compare epochs for equality.
@@ -197,6 +198,14 @@ Server::Counters Server::counters() const {
   C.WorkerCrashes = CtrCrashes.load(std::memory_order_relaxed);
   C.ProtocolErrors = CtrProtocolErrors.load(std::memory_order_relaxed);
   C.Checkpoints = CtrCheckpoints.load(std::memory_order_relaxed);
+  C.WorkersHung = CtrWorkersHung.load(std::memory_order_relaxed);
+  C.Heartbeats = CtrHeartbeats.load(std::memory_order_relaxed);
+  C.ReadTimeouts = CtrReadTimeouts.load(std::memory_order_relaxed);
+  C.IdleDrops = CtrIdleDrops.load(std::memory_order_relaxed);
+  C.SlowConsumerDrops = CtrSlowConsumerDrops.load(std::memory_order_relaxed);
+  C.ConnsShed = CtrConnsShed.load(std::memory_order_relaxed);
+  C.ConnsRefused = CtrConnsRefused.load(std::memory_order_relaxed);
+  C.AcceptErrors = CtrAcceptErrors.load(std::memory_order_relaxed);
   return C;
 }
 
@@ -343,6 +352,35 @@ uint64_t Server::activeJobs() const {
   return N;
 }
 
+uint64_t Server::pendingCells() const {
+  uint64_t N = 0;
+  for (const auto &[Id, J] : Jobs)
+    for (const CellState &C : J.Cells)
+      if (C.Phase != CellPhase::Done)
+        ++N;
+  return N;
+}
+
+uint32_t Server::retryAfterHintMs() const {
+  if (Opts.RetryAfterMs == 0)
+    return 0;
+  // Scale the base hint with saturation depth so a client's backoff grows
+  // as the backlog does; deterministic given the load, capped at 8x base.
+  const uint64_t Limit = Opts.MaxActiveJobs ? Opts.MaxActiveJobs : 1;
+  uint64_t Scale = 1 + (2 * activeJobs()) / Limit;
+  if (Scale > 8)
+    Scale = 8;
+  return static_cast<uint32_t>(Opts.RetryAfterMs * Scale);
+}
+
+uint64_t Server::connsShedTotal() const {
+  return CtrReadTimeouts.load(std::memory_order_relaxed) +
+         CtrIdleDrops.load(std::memory_order_relaxed) +
+         CtrSlowConsumerDrops.load(std::memory_order_relaxed) +
+         CtrConnsShed.load(std::memory_order_relaxed) +
+         CtrConnsRefused.load(std::memory_order_relaxed);
+}
+
 void Server::enqueueRR(Job &J, bool Front) {
   if (J.InQueue || Draining || !J.hasPending())
     return;
@@ -429,15 +467,31 @@ int Server::pollTimeoutMs() const {
     return 0; // pending inline work: service fds, then run the next cell
   long Best = -1;
   const auto Now = std::chrono::steady_clock::now();
-  for (const auto &[Id, J] : Jobs) {
-    if (!J.HasDeadline || J.finished())
-      continue;
+  const auto Consider = [&](std::chrono::steady_clock::time_point Deadline) {
     const long Ms = static_cast<long>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(J.Deadline - Now)
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
             .count());
     const long Clamped = Ms < 0 ? 0 : Ms + 1;
     if (Best < 0 || Clamped < Best)
       Best = Clamped;
+  };
+  for (const auto &[Id, J] : Jobs) {
+    if (!J.HasDeadline || J.finished())
+      continue;
+    Consider(J.Deadline);
+  }
+  // The liveness budgets are deadlines too: wake in time to trip them even
+  // when no fd ever becomes readable (the definition of a hang).
+  if (Opts.CellWallMs && !Pool.inProcess())
+    for (unsigned W = 0; W < Pool.size(); ++W)
+      if (Pool.fd(W) != -1 && Pool.busy(W))
+        Consider(WorkerBeat[W] + std::chrono::milliseconds(Opts.CellWallMs));
+  for (const auto &[Fd, C] : Conns) {
+    if (Opts.ReadDeadlineMs && C.MidRead)
+      Consider(C.ReadStart + std::chrono::milliseconds(Opts.ReadDeadlineMs));
+    if (Opts.IdleTimeoutMs)
+      Consider(C.LastActivity +
+               std::chrono::milliseconds(Opts.IdleTimeoutMs));
   }
   if (Best > 60'000)
     Best = 60'000; // bound the sleep so external token trips are noticed
@@ -541,6 +595,9 @@ void Server::dispatch() {
       continue;
     }
     CtrDispatched.fetch_add(1, std::memory_order_relaxed);
+    // The silence clock starts at dispatch; the worker's receipt beat and
+    // every simulation-loop beat refresh it.
+    WorkerBeat[static_cast<unsigned>(W)] = std::chrono::steady_clock::now();
     enqueueRR(*J);
   }
 }
@@ -577,6 +634,20 @@ void Server::readWorker(unsigned W) {
     const FrameDecoder::Outcome O = WorkerIn[W].next(F, Err);
     if (O == FrameDecoder::Outcome::NeedMore)
       break;
+    if (O == FrameDecoder::Outcome::Got &&
+        F.Type == MsgType::CellProgress) {
+      uint64_t Ticket = 0;
+      if (!decodeCellProgress(F.Payload, Ticket).ok()) {
+        handleWorkerCrash(W);
+        return;
+      }
+      // A heartbeat resets the watchdog's silence clock for this worker.
+      // Beats for a retired ticket (job cancelled while the cell ran) are
+      // harmless: the worker is demonstrably alive either way.
+      CtrHeartbeats.fetch_add(1, std::memory_order_relaxed);
+      WorkerBeat[W] = std::chrono::steady_clock::now();
+      continue;
+    }
     if (O != FrameDecoder::Outcome::Got || !onCellDone(W, F)) {
       // A worker speaking garbage is as dead as a crashed one.
       handleWorkerCrash(W);
@@ -645,6 +716,27 @@ void Server::handleWorkerCrash(unsigned W) {
                                   "serve::Server"));
 }
 
+void Server::checkWorkerLiveness() {
+  if (Opts.CellWallMs == 0 || Pool.inProcess())
+    return;
+  const auto Now = std::chrono::steady_clock::now();
+  const auto Budget = std::chrono::milliseconds(Opts.CellWallMs);
+  for (unsigned W = 0; W < Pool.size(); ++W) {
+    if (Pool.fd(W) == -1 || !Pool.busy(W))
+      continue;
+    if (Now - WorkerBeat[W] <= Budget)
+      continue;
+    // Silent past the wall budget: only SIGKILL can reclaim a livelocked
+    // worker.  The crash path reaps, respawns, and re-runs the ticket —
+    // cells are deterministic, so the recovered job is digest-identical.
+    CtrWorkersHung.fetch_add(1, std::memory_order_relaxed);
+    log("worker " + std::to_string(W) + " hung: no heartbeat in " +
+        std::to_string(Opts.CellWallMs) + " ms, killing it");
+    Pool.killWorker(W);
+    handleWorkerCrash(W);
+  }
+}
+
 // --- Client plane -------------------------------------------------------
 
 void Server::acceptClients() {
@@ -653,25 +745,86 @@ void Server::acceptClients() {
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
-      return; // EAGAIN or transient accept error: back to poll
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return; // backlog drained: back to poll
+      if (errno == EMFILE || errno == ENFILE) {
+        // Descriptor exhaustion is persistent, not transient: returning
+        // silently would spin the loop on a forever-readable listen fd.
+        // Count it, shed an idle connection to free a descriptor, and
+        // retry; with nothing sheddable, back off to poll.
+        CtrAcceptErrors.fetch_add(1, std::memory_order_relaxed);
+        log(std::string("accept(): ") + std::strerror(errno));
+        if (!shedIdleConn("fd pressure"))
+          return;
+        continue;
+      }
+      CtrAcceptErrors.fetch_add(1, std::memory_order_relaxed);
+      log(std::string("accept(): ") + std::strerror(errno));
+      return;
+    }
+    if (Opts.MaxConns && Conns.size() >= Opts.MaxConns &&
+        !shedIdleConn("accept cap")) {
+      // Over the cap with every connection mid-service: refuse the
+      // newcomer rather than evict a peer we owe replies to.
+      CtrConnsRefused.fetch_add(1, std::memory_order_relaxed);
+      ::close(Fd);
+      continue;
     }
     setNonBlocking(Fd);
     setCloexec(Fd);
     Conn C;
     C.Fd = Fd;
+    C.LastActivity = std::chrono::steady_clock::now();
     Conns.emplace(Fd, std::move(C));
     CtrConns.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
+bool Server::shedIdleConn(const char *Why) {
+  // Victim choice: any connection with no queued output (nothing is owed
+  // to it), oldest inbound activity first.  A mid-frame (slowloris) peer
+  // is deliberately a candidate — sending one byte must not buy
+  // protection from shedding.
+  int Victim = -1;
+  std::chrono::steady_clock::time_point Oldest;
+  for (const auto &[Fd, C] : Conns) {
+    if (C.OutPos < C.Out.size())
+      continue;
+    if (Victim == -1 || C.LastActivity < Oldest) {
+      Victim = Fd;
+      Oldest = C.LastActivity;
+    }
+  }
+  if (Victim == -1)
+    return false;
+  CtrConnsShed.fetch_add(1, std::memory_order_relaxed);
+  log(std::string("shedding oldest idle connection (") + Why + ")");
+  dropConn(Victim);
+  return true;
+}
+
 void Server::queueFrame(Conn &C, MsgType Type,
                         const std::vector<uint8_t> &Payload) {
+  if (C.CloseAfterFlush)
+    return; // already condemned: don't grow the corpse
   const std::vector<uint8_t> Bytes = encodeFrame(Type, Payload);
+  if (Opts.MaxConnOutBytes &&
+      (C.Out.size() - C.OutPos) + Bytes.size() > Opts.MaxConnOutBytes) {
+    // Slow consumer: it keeps sending requests but never reads replies.
+    // Disconnect instead of buffering unboundedly — the results it was
+    // owed stay fetchable on a fresh connection.
+    CtrSlowConsumerDrops.fetch_add(1, std::memory_order_relaxed);
+    log("disconnecting slow consumer (outbound budget exceeded)");
+    C.Out.clear();
+    C.OutPos = 0;
+    C.CloseAfterFlush = true;
+    return;
+  }
   C.Out.insert(C.Out.end(), Bytes.begin(), Bytes.end());
 }
 
-void Server::sendError(Conn &C, const Status &S) {
-  queueFrame(C, MsgType::Error, encodeStatusPayload(S));
+void Server::sendError(Conn &C, const Status &S, uint32_t RetryAfterMs) {
+  queueFrame(C, MsgType::Error, encodeStatusPayload(S, RetryAfterMs));
 }
 
 void Server::flushConn(Conn &C) {
@@ -681,6 +834,9 @@ void Server::flushConn(Conn &C) {
                              MSG_DONTWAIT | MSG_NOSIGNAL);
     if (N > 0) {
       C.OutPos += static_cast<size_t>(N);
+      // Outbound progress proves the peer is consuming: count it as
+      // activity so a slowly-draining bulk reply isn't idle-dropped.
+      C.LastActivity = std::chrono::steady_clock::now();
       continue;
     }
     if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -706,6 +862,39 @@ void Server::dropConn(int Fd) {
   Conns.erase(It);
 }
 
+void Server::expireConns() {
+  if (Conns.empty())
+    return;
+  const auto Now = std::chrono::steady_clock::now();
+  std::vector<int> Doomed;
+  for (auto &[Fd, C] : Conns) {
+    if (C.CloseAfterFlush && C.OutPos >= C.Out.size()) {
+      // A condemned connection with nothing left to flush may never see
+      // another poll event; reap it here.
+      Doomed.push_back(Fd);
+      continue;
+    }
+    if (Opts.ReadDeadlineMs && C.MidRead &&
+        Now - C.ReadStart > std::chrono::milliseconds(Opts.ReadDeadlineMs)) {
+      // Anti-slowloris: a frame must finish arriving within the read
+      // deadline of its first byte.
+      CtrReadTimeouts.fetch_add(1, std::memory_order_relaxed);
+      log("dropping connection: partial frame exceeded the read deadline");
+      Doomed.push_back(Fd);
+      continue;
+    }
+    if (Opts.IdleTimeoutMs && !C.MidRead &&
+        Now - C.LastActivity >
+            std::chrono::milliseconds(Opts.IdleTimeoutMs)) {
+      CtrIdleDrops.fetch_add(1, std::memory_order_relaxed);
+      log("dropping idle connection");
+      Doomed.push_back(Fd);
+    }
+  }
+  for (const int Fd : Doomed)
+    dropConn(Fd);
+}
+
 void Server::readConn(int Fd) {
   auto It = Conns.find(Fd);
   if (It == Conns.end())
@@ -714,10 +903,12 @@ void Server::readConn(int Fd) {
 
   uint8_t Buf[16384];
   bool PeerClosed = false;
+  bool ReadAny = false;
   while (true) {
     const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
     if (N > 0) {
       C.In.feed(Buf, static_cast<size_t>(N));
+      ReadAny = true;
       continue;
     }
     if (N == 0) {
@@ -731,6 +922,8 @@ void Server::readConn(int Fd) {
     PeerClosed = true;
     break;
   }
+  if (ReadAny)
+    C.LastActivity = std::chrono::steady_clock::now();
 
   Frame F;
   Status Err;
@@ -761,6 +954,17 @@ void Server::readConn(int Fd) {
     }
   }
 
+  // The anti-slowloris clock: starts when a partial frame begins
+  // buffering, clears the moment the stream is back at a frame boundary.
+  if (C.In.midFrame()) {
+    if (!C.MidRead) {
+      C.MidRead = true;
+      C.ReadStart = std::chrono::steady_clock::now();
+    }
+  } else {
+    C.MidRead = false;
+  }
+
   flushConn(C);
   if (C.CloseAfterFlush && C.OutPos >= C.Out.size()) {
     dropConn(Fd);
@@ -775,12 +979,20 @@ void Server::readConn(int Fd) {
 
 void Server::handleFrame(Conn &C, const Frame &F) {
   switch (F.Type) {
-  case MsgType::Ping:
+  case MsgType::Ping: {
     // The health reply: the epoch lets a reconnecting client distinguish
     // a connection blip (same epoch, its job ids are still live) from a
     // daemon restart (new epoch, resubmit through the idempotency key).
-    queueFrame(C, MsgType::Pong, encodePong(Epoch));
+    // The load snapshot behind it is the minimal saturation probe — how
+    // busy, and how much the liveness budgets have had to shed.
+    PongLoad Load;
+    Load.JobsActive = activeJobs();
+    Load.CellsRunning = Tickets.size();
+    Load.JobsShed = CtrJobsRejected.load(std::memory_order_relaxed);
+    Load.ConnsShed = connsShedTotal();
+    queueFrame(C, MsgType::Pong, encodePong(Epoch, Load));
     return;
+  }
 
   case MsgType::Submit: {
     if (Draining) {
@@ -820,13 +1032,31 @@ void Server::handleFrame(Conn &C, const Frame &F) {
                        "serve::Server"));
       return;
     }
+    // Transient saturation sheds carry the brownout retry-after hint: the
+    // condition clears by itself as cells finish, so a patient client
+    // should come back rather than give up (the per-job cell limit above
+    // is a misconfiguration and deliberately carries no hint).
     if (activeJobs() >= Opts.MaxActiveJobs) {
       CtrJobsRejected.fetch_add(1, std::memory_order_relaxed);
-      sendError(C, Status::resourceExhausted(
-                       "admission queue full: " +
-                           std::to_string(Opts.MaxActiveJobs) +
-                           " jobs already active",
-                       "serve::Server"));
+      sendError(C,
+                Status::resourceExhausted(
+                    "admission queue full: " +
+                        std::to_string(Opts.MaxActiveJobs) +
+                        " jobs already active",
+                    "serve::Server"),
+                retryAfterHintMs());
+      return;
+    }
+    if (Opts.MaxQueuedCells &&
+        pendingCells() + Req.Cells.size() > Opts.MaxQueuedCells) {
+      CtrJobsRejected.fetch_add(1, std::memory_order_relaxed);
+      sendError(C,
+                Status::resourceExhausted(
+                    "server cell queue full: " +
+                        std::to_string(pendingCells()) + " cells pending, " +
+                        "budget is " + std::to_string(Opts.MaxQueuedCells),
+                    "serve::Server"),
+                retryAfterHintMs());
       return;
     }
     const uint64_t Id = NextJob++;
@@ -1118,6 +1348,8 @@ Status Server::run() {
     }
 
     expireDeadlines();
+    expireConns();
+    checkWorkerLiveness();
     dispatch();
     gcFinishedJobs();
   }

@@ -73,6 +73,39 @@ struct ServerOptions {
   bool DurableJobs = true;
   /// When false, one-line operational logs go to stderr.
   bool Quiet = true;
+
+  // --- Liveness & overload budgets (DESIGN.md "Liveness & overload") ---
+
+  /// Hung-worker watchdog: a busy worker silent (no CELL_PROGRESS
+  /// heartbeat, no CellDone) for longer than this is SIGKILLed and its
+  /// cell retried on a respawned worker.  This is a *silence* budget, not
+  /// a total-runtime cap — a slow cell that keeps beating never trips it.
+  /// Must exceed the longest uninstrumented stage (profiling/selection run
+  /// between the receipt beat and the first simulation beat).  0 disables;
+  /// meaningless in in-process mode (Workers=0).
+  unsigned CellWallMs = 0;
+  /// Accept cap: at this many live connections a new accept sheds the
+  /// oldest idle connection (no queued output) to make room, or is refused
+  /// when every connection is mid-service.
+  unsigned MaxConns = 64;
+  /// Anti-slowloris: a connection holding an incomplete frame for longer
+  /// than this is dropped.  0 disables.
+  unsigned ReadDeadlineMs = 5000;
+  /// A connection with no inbound traffic for longer than this is
+  /// dropped (it can always reconnect).  0 disables.
+  unsigned IdleTimeoutMs = 120'000;
+  /// Outbound buffering bound per connection: a consumer that lets more
+  /// than this many bytes queue is disconnected instead of buffered
+  /// unboundedly.  0 disables.
+  size_t MaxConnOutBytes = 4u << 20;
+  /// Server-wide pending-cell budget: a SUBMIT that would push the total
+  /// count of not-yet-finished cells past this is shed with
+  /// ResourceExhausted + a retry-after hint.  0 disables.
+  unsigned MaxQueuedCells = 4096;
+  /// Base of the brownout retry-after-ms hint attached to transient
+  /// admission sheds (queue-full / cell-budget): the actual hint scales
+  /// with load.  0 sends no hint (clients then treat the shed as final).
+  unsigned RetryAfterMs = 100;
 };
 
 class Server {
@@ -119,6 +152,16 @@ public:
     uint64_t WorkerCrashes = 0;
     uint64_t ProtocolErrors = 0;
     uint64_t Checkpoints = 0;
+    // Liveness & overload accounting: every shed and every kill the
+    // budgets above cause is visible here (and in the drain log footer).
+    uint64_t WorkersHung = 0;       ///< watchdog SIGKILLs
+    uint64_t Heartbeats = 0;        ///< CELL_PROGRESS frames received
+    uint64_t ReadTimeouts = 0;      ///< conns dropped mid-frame (slowloris)
+    uint64_t IdleDrops = 0;         ///< conns dropped by the idle timeout
+    uint64_t SlowConsumerDrops = 0; ///< conns dropped over the out budget
+    uint64_t ConnsShed = 0;         ///< idle conns shed for accept room
+    uint64_t ConnsRefused = 0;      ///< accepts refused (no shed victim)
+    uint64_t AcceptErrors = 0;      ///< persistent accept() failures
   };
   Counters counters() const;
 
@@ -159,6 +202,13 @@ private:
     std::vector<uint8_t> Out;
     size_t OutPos = 0;
     bool CloseAfterFlush = false;
+    /// Last time bytes arrived from this peer (the idle-timeout clock and
+    /// the shed-victim ordering key).
+    std::chrono::steady_clock::time_point LastActivity;
+    /// Set while In holds an incomplete frame; ReadStart is when the
+    /// partial frame started (the anti-slowloris clock).
+    bool MidRead = false;
+    std::chrono::steady_clock::time_point ReadStart;
   };
 
   void beginDrain(const char *Why);
@@ -170,15 +220,34 @@ private:
   void handleFrame(Conn &C, const Frame &F);
   void queueFrame(Conn &C, MsgType Type,
                   const std::vector<uint8_t> &Payload);
-  void sendError(Conn &C, const Status &S);
+  /// \p RetryAfterMs attaches the brownout hint to the Error payload
+  /// (0 = no hint; see ServerOptions::RetryAfterMs).
+  void sendError(Conn &C, const Status &S, uint32_t RetryAfterMs = 0);
   void flushConn(Conn &C);
   void dropConn(int Fd);
+  /// Sweeps connection budgets: read deadline on partial frames, idle
+  /// timeout, and fully-flushed CloseAfterFlush corpses.
+  void expireConns();
+  /// Drops the oldest connection with no queued output to make accept
+  /// room; false when every connection is mid-service.  \p Why labels the
+  /// log line.
+  bool shedIdleConn(const char *Why);
+  /// Every hygiene-initiated disconnect, for the PONG load snapshot.
+  uint64_t connsShedTotal() const;
+  /// The load-scaled brownout hint for a transient admission shed.
+  uint32_t retryAfterHintMs() const;
+  /// Not-yet-finished cells across all jobs (the MaxQueuedCells ruler).
+  uint64_t pendingCells() const;
 
   void readWorker(unsigned W);
   /// Records a worker's CellDone; false means the frame was not a valid
-  /// CellDone (the caller treats the worker as crashed).
+  /// CellDone or CellProgress (the caller treats the worker as crashed).
   bool onCellDone(unsigned W, const Frame &F);
   void handleWorkerCrash(unsigned W);
+  /// The hung-worker watchdog: SIGKILLs any busy worker whose heartbeat
+  /// silence exceeds Opts.CellWallMs, then routes it through the crash
+  /// path (reap, respawn, digest-identical retry).
+  void checkWorkerLiveness();
   void recordOutcome(Job &J, size_t CellIdx,
                      StatusOr<harness::CellResult> Outcome);
 
@@ -216,6 +285,9 @@ private:
   /// Dispatch ticket -> (job, cell index).
   std::map<uint64_t, std::pair<uint64_t, size_t>> Tickets;
   std::vector<FrameDecoder> WorkerIn;
+  /// Per-worker last-heartbeat time: set at dispatch, refreshed by every
+  /// CELL_PROGRESS, read by checkWorkerLiveness().
+  std::vector<std::chrono::steady_clock::time_point> WorkerBeat;
   uint64_t NextJob = 1;
   uint64_t NextSeq = 0;
   uint64_t NextTicket = 0;
@@ -239,7 +311,10 @@ private:
   std::atomic<uint64_t> CtrConns{0}, CtrJobsAccepted{0}, CtrJobsRejected{0},
       CtrDeduped{0}, CtrRecovered{0}, CtrDispatched{0}, CtrCompleted{0},
       CtrFailed{0}, CtrRetried{0}, CtrResumed{0}, CtrCrashes{0},
-      CtrProtocolErrors{0}, CtrCheckpoints{0};
+      CtrProtocolErrors{0}, CtrCheckpoints{0}, CtrWorkersHung{0},
+      CtrHeartbeats{0}, CtrReadTimeouts{0}, CtrIdleDrops{0},
+      CtrSlowConsumerDrops{0}, CtrConnsShed{0}, CtrConnsRefused{0},
+      CtrAcceptErrors{0};
 };
 
 } // namespace dmp::serve

@@ -11,6 +11,7 @@
 #include "support/ExitCodes.h"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,12 @@ using namespace dmp;
 using namespace dmp::serve;
 
 namespace {
+
+/// Minimum wall time between two CELL_PROGRESS heartbeats.  The sim-plane
+/// Progress hook fires every sim::kCancelPollInstrs retired instructions —
+/// far more often than the supervisor needs — so the worker thins the beat
+/// stream down to this cadence to keep the socketpair traffic negligible.
+constexpr auto kHeartbeatInterval = std::chrono::milliseconds(50);
 
 /// Parses a crash-injection ticket from \p EnvVar; ~0ull means unarmed.
 uint64_t ticketFromEnv(const char *EnvVar) {
@@ -125,6 +132,12 @@ void WorkerPool::complete(unsigned W) {
   Slots[W].HasTicket = false;
 }
 
+void WorkerPool::killWorker(unsigned W) {
+  Slot &S = Slots[W];
+  if (S.Pid > 0)
+    ::kill(S.Pid, SIGKILL);
+}
+
 WorkerPool::CrashReport WorkerPool::onWorkerDeath(unsigned W, bool Respawn) {
   Slot &S = Slots[W];
   CrashReport Report;
@@ -162,6 +175,10 @@ void WorkerPool::workerMain(int Fd, const std::string &CacheDir,
   // recomputed).
   const uint64_t CrashTicket = ticketFromEnv("DMP_SERVE_CRASH_TICKET");
   const uint64_t ExitAfterTicket = ticketFromEnv("DMP_SERVE_EXIT_AFTER_TICKET");
+  // Liveness-injection hook for the watchdog tests: the worker that
+  // receives this ticket wedges forever — no heartbeats, no CellDone, no
+  // exit — exactly the failure mode EOF supervision cannot see.
+  const uint64_t HangTicket = ticketFromEnv("DMP_SERVE_HANG_ON_TICKET");
 
   // One cache handle for the worker's lifetime: the shared
   // content-addressed store is what makes the service's cache warm across
@@ -186,7 +203,24 @@ void WorkerPool::workerMain(int Fd, const std::string &CacheDir,
     } else {
       if (Ticket == CrashTicket)
         ::_exit(exitcode::CrashChild);
-      Outcome = harness::runCellSpec(Spec, Cache);
+      if (Ticket == HangTicket)
+        while (true)
+          ::pause();
+      // First beat at receipt: it starts the supervisor's silence clock at
+      // "the cell is in the worker's hands" and covers the profile/select
+      // stages that run before the instrumented simulation loop starts.
+      (void)writeFrame(Fd, MsgType::CellProgress, encodeCellProgress(Ticket));
+      auto LastBeat = std::chrono::steady_clock::now();
+      Outcome = harness::runCellSpec(Spec, Cache, [&] {
+        const auto Now = std::chrono::steady_clock::now();
+        if (Now - LastBeat < kHeartbeatInterval)
+          return;
+        LastBeat = Now;
+        // A dead supervisor makes this write fail; the loop's next read
+        // sees the EOF and exits, so the failure is deliberately ignored.
+        (void)writeFrame(Fd, MsgType::CellProgress,
+                         encodeCellProgress(Ticket));
+      });
     }
     if (Status S =
             writeFrame(Fd, MsgType::CellDone, encodeCellDone(Ticket, Outcome));

@@ -32,7 +32,10 @@
 /// $DMP_SERVE_KILL_ON_DISPATCH_TICKET makes the supervisor kill and reap
 /// the worker immediately before writing that ticket's RunCell — "worker
 /// died under the dispatch write" (the write fails with EPIPE and the
-/// pool never records the ticket).
+/// pool never records the ticket); $DMP_SERVE_HANG_ON_TICKET makes the
+/// worker that receives that ticket block forever without heartbeats or a
+/// CellDone — "worker livelocked mid-cell", the case only the hung-worker
+/// watchdog (ServerOptions::CellWallMs) can recover from.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -109,6 +112,12 @@ public:
     uint64_t Ticket = 0;
   };
   CrashReport onWorkerDeath(unsigned W, bool Respawn);
+
+  /// SIGKILLs worker \p W without reaping it (the hung-worker watchdog's
+  /// hammer).  The caller follows up with onWorkerDeath(), whose waitpid
+  /// completes promptly because the kill already landed.  No-op on a dead
+  /// or in-process slot.
+  void killWorker(unsigned W);
 
   /// First idle live worker, or -1 when all are busy/dead.
   int idleWorker() const;

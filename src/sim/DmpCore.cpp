@@ -486,6 +486,8 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
   const uint64_t MaxInstrs = Config.MaxInstrs;
   const uint64_t Watchdog = Config.WatchdogInstrBudget;
   const guard::CancelToken *const Cancel = Config.Cancel;
+  const std::function<void()> &Progress = Config.Progress;
+  const bool HaveProgress = static_cast<bool>(Progress);
 
   while (Emu.executedCount() < MaxInstrs &&
          (UseReference ? Emu.stepReference(D) : Emu.step(D))) {
@@ -499,10 +501,15 @@ SimStats DmpCore::run(const std::vector<int64_t> &MemoryImage,
           "simulation exceeded watchdog budget of " +
               std::to_string(Watchdog) + " instructions",
           "sim::DmpCore"));
-    if (Cancel && (Emu.executedCount() % kCancelPollInstrs) == 0) {
-      const Status S = Cancel->check("sim::DmpCore");
-      if (!S.ok())
-        throw StatusError(S);
+    if ((Cancel || HaveProgress) &&
+        (Emu.executedCount() % kCancelPollInstrs) == 0) {
+      if (Progress)
+        Progress();
+      if (Cancel) {
+        const Status S = Cancel->check("sim::DmpCore");
+        if (!S.ok())
+          throw StatusError(S);
+      }
     }
     // Retired-store probe: the store has executed, so the value written is
     // exactly what memory now holds at the effective address.  Only

@@ -30,6 +30,7 @@
 #include "uarch/Cache.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace dmp::sim {
@@ -99,6 +100,14 @@ struct SimConfig {
   /// machine, so excluded from cache-key hashing (hashSimConfig).  The
   /// token must outlive the run.
   const guard::CancelToken *Cancel = nullptr;
+
+  /// Liveness beat for the inner loop: when set, called every
+  /// kCancelPollInstrs retired instructions (the same cadence as Cancel).
+  /// The dmp::serve workers use it to emit CELL_PROGRESS heartbeats so the
+  /// supervisor's hung-worker watchdog can tell "slow" from "wedged".
+  /// Like Cancel, not part of the simulated machine and excluded from
+  /// cache-key hashing (hashSimConfig); must be cheap and must not throw.
+  std::function<void()> Progress;
 
   /// Deliberate retired-state corruption for differential-oracle canary
   /// tests (dmp::check): 0 = none, 1 = drop the first retired store from

@@ -22,6 +22,12 @@
 #   serve_cli_test.sh sun-path    DMP_SERVED DMPC
 #       A socket path beyond the AF_UNIX sun_path limit must be rejected
 #       cleanly (nonzero exit, "too long" diagnostic) by daemon and client.
+#
+#   serve_cli_test.sh hung-worker DMP_SERVED DMPC
+#       With DMP_SERVE_HANG_ON_TICKET=0 the worker handling the first
+#       dispatched cell wedges silently; the --cell-wall-ms watchdog must
+#       SIGKILL it and the retried campaign must finish with the local
+#       digest and an unchanged client exit code.
 set -eu
 
 MODE=$1
@@ -70,13 +76,20 @@ if [ "$MODE" = worker-kill ]; then
   export DMP_SERVE_CRASH_TICKET
 fi
 
+WALL=""
+if [ "$MODE" = hung-worker ]; then
+  DMP_SERVE_HANG_ON_TICKET=0
+  export DMP_SERVE_HANG_ON_TICKET
+  WALL=--cell-wall-ms=500
+fi
+
 # In restart mode the daemon gets its own store: the local digest run must
 # not pre-warm the daemon's cache, or the remote campaign would finish
 # before the kill ever lands mid-flight.
 CACHE="$DIR/cache"
 [ "$MODE" = restart ] && CACHE="$DIR/cache-daemon"
 
-"$SERVED" --socket="$SOCK" --workers=2 --cache-dir="$CACHE" \
+"$SERVED" --socket="$SOCK" --workers=2 --cache-dir="$CACHE" $WALL \
   >"$LOG" 2>&1 &
 PID=$!
 
@@ -145,6 +158,14 @@ fi
 if [ "$MODE" = worker-kill ]; then
   if ! grep -q "died holding ticket 0" "$LOG"; then
     echo "FAIL: the armed worker crash never happened"
+    cat "$LOG"
+    exit 1
+  fi
+fi
+
+if [ "$MODE" = hung-worker ]; then
+  if ! grep -q "hung: no heartbeat" "$LOG"; then
+    echo "FAIL: the watchdog never detected the wedged worker"
     cat "$LOG"
     exit 1
   fi

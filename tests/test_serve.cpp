@@ -75,6 +75,17 @@ std::string freshSocketPath(const std::string &Tag) {
 
 std::vector<uint8_t> encodedPing() { return encodeFrame(MsgType::Ping, {}); }
 
+/// Worker-plane read that skips CELL_PROGRESS liveness beats: the
+/// socketpair conformance tests assert the CellDone contract, not the
+/// heartbeat cadence (which is wall-clock-thinned and so not countable).
+StatusOr<Frame> readFrameSkippingBeats(int Fd) {
+  while (true) {
+    StatusOr<Frame> F = readFrame(Fd);
+    if (!F.ok() || F->Type != MsgType::CellProgress)
+      return F;
+  }
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -365,6 +376,78 @@ TEST(ServeProtocolTest, PongPayloadRoundTripsTheEpoch) {
   std::vector<uint8_t> Long = encodePong(Epoch);
   Long.push_back(0);
   EXPECT_FALSE(decodePong(Long, Decoded).ok());
+}
+
+TEST(ServeProtocolTest, PongLoadRidesBehindTheEpoch) {
+  const uint64_t Epoch = 0xFEEDFACEull;
+  PongLoad In;
+  In.JobsActive = 3;
+  In.CellsRunning = 17;
+  In.JobsShed = 5;
+  In.ConnsShed = 11;
+
+  uint64_t E = 0;
+  PongLoad Out;
+  bool HasLoad = false;
+  ASSERT_TRUE(decodePong(encodePong(Epoch, In), E, &Out, &HasLoad).ok());
+  EXPECT_EQ(E, Epoch);
+  EXPECT_TRUE(HasLoad);
+  EXPECT_EQ(Out.JobsActive, 3u);
+  EXPECT_EQ(Out.CellsRunning, 17u);
+  EXPECT_EQ(Out.JobsShed, 5u);
+  EXPECT_EQ(Out.ConnsShed, 11u);
+
+  // An epoch-only PONG (a pre-load daemon) decodes cleanly with HasLoad
+  // false; an empty PONG (pre-epoch daemon) likewise.  Neither is an
+  // error: the snapshot is additive, compatible in both directions.
+  HasLoad = true;
+  Out = PongLoad();
+  ASSERT_TRUE(decodePong(encodePong(Epoch), E, &Out, &HasLoad).ok());
+  EXPECT_EQ(E, Epoch);
+  EXPECT_FALSE(HasLoad);
+  HasLoad = true;
+  ASSERT_TRUE(decodePong({}, E, &Out, &HasLoad).ok());
+  EXPECT_EQ(E, 0u);
+  EXPECT_FALSE(HasLoad);
+  // A load-free decoder reading a load-carrying PONG also succeeds (it
+  // ignores what it did not ask for); trailing garbage is still rejected.
+  ASSERT_TRUE(decodePong(encodePong(Epoch, In), E).ok());
+  EXPECT_EQ(E, Epoch);
+  std::vector<uint8_t> Long = encodePong(Epoch, In);
+  Long.push_back(0);
+  EXPECT_FALSE(decodePong(Long, E, &Out, &HasLoad).ok());
+}
+
+TEST(ServeProtocolTest, CellProgressRoundTrip) {
+  uint64_t Ticket = 0;
+  ASSERT_TRUE(
+      decodeCellProgress(encodeCellProgress(0xDEADBEEFull), Ticket).ok());
+  EXPECT_EQ(Ticket, 0xDEADBEEFull);
+  std::vector<uint8_t> Long = encodeCellProgress(1);
+  Long.push_back(0);
+  EXPECT_FALSE(decodeCellProgress(Long, Ticket).ok());
+  EXPECT_FALSE(decodeCellProgress({1, 2, 3}, Ticket).ok());
+}
+
+TEST(ServeProtocolTest, StatusPayloadCarriesOptionalRetryAfter) {
+  const Status In = Status::resourceExhausted("brownout", "serve::Server");
+  // Hinted: the trailing u32 rides behind the Status and round-trips.
+  Status Out;
+  uint32_t Hint = 0;
+  ASSERT_TRUE(
+      decodeStatusPayload(encodeStatusPayload(In, 250), Out, &Hint).ok());
+  EXPECT_EQ(Out.code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(Hint, 250u);
+  // Hint-free: a pre-brownout payload decodes with hint 0.
+  Hint = 99;
+  ASSERT_TRUE(decodeStatusPayload(encodeStatusPayload(In), Out, &Hint).ok());
+  EXPECT_EQ(Hint, 0u);
+  // A hint-blind decoder (no out-param) still accepts a hinted payload.
+  ASSERT_TRUE(decodeStatusPayload(encodeStatusPayload(In, 250), Out).ok());
+  EXPECT_EQ(Out.message(), "brownout");
+  // Encoding with hint 0 is byte-identical to the pre-hint encoding, so
+  // old peers see exactly the bytes they always saw.
+  EXPECT_EQ(encodeStatusPayload(In, 0), encodeStatusPayload(In));
 }
 
 TEST(ServeProtocolTest, BackoffDelayIsDeterministicAndBounded) {
@@ -1084,7 +1167,15 @@ TEST_F(ServeWorkerTest, WorkerExecutesCellOverSocketpair) {
   const harness::CellSpec Spec = smallSpec();
   ASSERT_TRUE(
       writeFrame(Pair[0], MsgType::RunCell, encodeRunCell(5, Spec)).ok());
-  StatusOr<Frame> Done = readFrame(Pair[0]);
+  // The receipt heartbeat precedes any computation: the first frame back
+  // is a CELL_PROGRESS beat carrying the dispatched ticket.
+  StatusOr<Frame> Beat = readFrame(Pair[0]);
+  ASSERT_TRUE(Beat.ok()) << Beat.status().toString();
+  ASSERT_EQ(Beat->Type, MsgType::CellProgress);
+  uint64_t BeatTicket = 0;
+  ASSERT_TRUE(decodeCellProgress(Beat->Payload, BeatTicket).ok());
+  EXPECT_EQ(BeatTicket, 5u);
+  StatusOr<Frame> Done = readFrameSkippingBeats(Pair[0]);
   ASSERT_TRUE(Done.ok()) << Done.status().toString();
   ASSERT_EQ(Done->Type, MsgType::CellDone);
   uint64_t Ticket = 0;
@@ -1113,7 +1204,7 @@ TEST_F(ServeWorkerTest, WorkerRejectsMalformedSpecWithoutDying) {
   ::close(Pair[1]);
 
   ASSERT_TRUE(writeFrame(Pair[0], MsgType::RunCell, {1, 2, 3}).ok());
-  StatusOr<Frame> Done = readFrame(Pair[0]);
+  StatusOr<Frame> Done = readFrameSkippingBeats(Pair[0]);
   ASSERT_TRUE(Done.ok());
   uint64_t Ticket = 0;
   StatusOr<harness::CellResult> Outcome;
@@ -1123,7 +1214,7 @@ TEST_F(ServeWorkerTest, WorkerRejectsMalformedSpecWithoutDying) {
   ASSERT_TRUE(writeFrame(Pair[0], MsgType::RunCell,
                          encodeRunCell(6, smallSpec()))
                   .ok());
-  StatusOr<Frame> Second = readFrame(Pair[0]);
+  StatusOr<Frame> Second = readFrameSkippingBeats(Pair[0]);
   EXPECT_TRUE(Second.ok());
   ::close(Pair[0]);
   ::waitpid(Pid, nullptr, 0);

@@ -19,6 +19,17 @@
 //                          fetch), restarted on the same socket and job
 //                          store, and the campaign asserted bit-identical
 //                          to an uninterrupted local run.
+//   HostileScheduleTest    the HostileClient decision mix itself: pure,
+//                          seeded, replayable (no I/O).
+//   ServeLivenessTest      the hostile-client liveness matrix (DESIGN.md
+//                          "Liveness & overload"): a live server under
+//                          each HostileClient attack — half-open floods,
+//                          slowloris drips, never-read floods, submit
+//                          storms — plus the hung-worker watchdog.  Each
+//                          test pins that the daemon stays responsive,
+//                          that a well-behaved campaign's digests match
+//                          local execution, and that every defensive
+//                          drop lands in a counter.
 //
 // Registered per-test under tier1 and as one whole-exe `chaos_matrix`
 // entry under the `chaos` ctest label (scripts/check.sh --chaos).
@@ -27,6 +38,7 @@
 
 #include "harness/CellRun.h"
 #include "serve/ChaosProxy.h"
+#include "serve/HostileClient.h"
 #include "serve/Client.h"
 #include "serve/Protocol.h"
 #include "serve/Server.h"
@@ -36,6 +48,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <filesystem>
@@ -525,4 +538,327 @@ TEST_F(ServeCrashRestartTest, KillUnderChoppyTransportThenRestart) {
   spawnDaemon();
   expectLocalParity(Req, joinCampaignChild());
   Proxy.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// HostileScheduleTest — the attack schedule is a pure seeded function.
+//===----------------------------------------------------------------------===//
+
+TEST(HostileScheduleTest, MixIsPureAndSeedSensitive) {
+  HostilePlan Plan;
+  Plan.Seed = 99;
+  for (uint64_t Site = 0; Site < 4; ++Site)
+    for (uint64_t Op = 0; Op < 64; ++Op)
+      EXPECT_EQ(HostileClient::mix(Plan, Site, Op),
+                HostileClient::mix(Plan, Site, Op))
+          << "site " << Site << " op " << Op
+          << ": the same (seed, site, op) must replay the same schedule";
+  HostilePlan Other = Plan;
+  Other.Seed = 100;
+  bool Differs = false;
+  for (uint64_t Op = 0; Op < 64 && !Differs; ++Op)
+    Differs = HostileClient::mix(Plan, 0, Op) !=
+              HostileClient::mix(Other, 0, Op);
+  EXPECT_TRUE(Differs) << "a different seed must explore a different schedule";
+}
+
+//===----------------------------------------------------------------------===//
+// ServeLivenessTest — the daemon under attack stays alive and correct.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ServeLivenessTest : public ::testing::Test {
+protected:
+  /// Forks \p Workers worker processes FIRST (while the test is still
+  /// single-threaded), then runs the server loop on a background thread —
+  /// the only fork-safe order.  Workers=0 is the in-process mode the pure
+  /// connection-hygiene attacks use.
+  void start(unsigned Workers, ServerOptions Extra = {}) {
+    PoolOpts.Workers = Workers;
+    PoolOpts.UseCache = false;
+    Pool = std::make_unique<WorkerPool>(PoolOpts);
+    Extra.SocketPath = Socket = freshSocketPath("liveness");
+    Extra.Quiet = true;
+    Srv = std::make_unique<Server>(std::move(Extra), *Pool, &Token);
+    ASSERT_TRUE(Srv->listen().ok());
+    Loop = std::thread([this] { RunResult = Srv->run(); });
+  }
+
+  void TearDown() override {
+    ::unsetenv("DMP_SERVE_HANG_ON_TICKET");
+    if (Hostile)
+      Hostile->stop();
+    if (Loop.joinable()) {
+      Srv->requestStop();
+      Loop.join();
+      EXPECT_TRUE(RunResult.ok()) << RunResult.toString();
+    }
+    Srv.reset();
+    Pool.reset();
+    std::error_code EC;
+    std::filesystem::remove(Socket, EC);
+  }
+
+  void attack(HostilePlan Plan) {
+    Hostile = std::make_unique<HostileClient>(Socket, Plan);
+    ASSERT_TRUE(Hostile->start().ok());
+  }
+
+  /// Spin-waits (bounded) until \p Done returns true; false on timeout.
+  template <typename Pred> bool waitFor(Pred Done, unsigned BudgetMs = 5000) {
+    for (unsigned I = 0; I < BudgetMs; ++I) {
+      if (Done())
+        return true;
+      ::usleep(1000);
+    }
+    return Done();
+  }
+
+  /// The liveness probe: under every attack a well-behaved client must
+  /// still complete a PING round trip in bounded time.  Reconnects are
+  /// tolerated (the accept cap may shed us — that is the defense working,
+  /// not a liveness failure).
+  void expectResponsive() {
+    const RetryPolicy Retry = testRetry(77);
+    const auto T0 = std::chrono::steady_clock::now();
+    for (int Attempt = 0; Attempt < 50; ++Attempt) {
+      Client C;
+      if (C.connectWithRetry(Socket, Retry).ok() && C.ping().ok()) {
+        const auto RttMs =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+        EXPECT_LT(RttMs, 5000) << "PING under attack took " << RttMs << "ms";
+        return;
+      }
+      ::usleep(10'000);
+    }
+    FAIL() << "daemon unresponsive under attack: no PING completed";
+  }
+
+  WorkerPoolOptions PoolOpts;
+  std::unique_ptr<WorkerPool> Pool;
+  std::unique_ptr<Server> Srv;
+  std::unique_ptr<HostileClient> Hostile;
+  guard::CancelToken Token;
+  std::thread Loop;
+  std::string Socket;
+  Status RunResult;
+};
+
+} // namespace
+
+TEST_F(ServeLivenessTest, HungWorkerIsKilledAndJobCompletesIdentically) {
+  // Ticket 0 — the first dispatch — wedges its worker forever (no beats,
+  // no exit: the failure EOF supervision cannot see).  The watchdog must
+  // SIGKILL it and the digest-identical retry path must finish the job on
+  // the respawned worker, because the retried cell draws a fresh ticket.
+  ASSERT_EQ(::setenv("DMP_SERVE_HANG_ON_TICKET", "0", 1), 0);
+  ServerOptions Opts;
+  Opts.CellWallMs = 500;
+  start(/*Workers=*/2, Opts);
+
+  Client C;
+  ASSERT_TRUE(C.connect(Socket).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, testRetry(31));
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok()) << Reply->Cells[0].status().toString();
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex())
+      << "digest diverged across the hung-worker kill and retry";
+
+  const Server::Counters Ctr = Srv->counters();
+  EXPECT_GE(Ctr.WorkersHung, 1u) << "the watchdog never fired";
+  EXPECT_GE(Ctr.WorkerCrashes, 1u);
+  EXPECT_GE(Ctr.CellsRetried, 1u);
+  EXPECT_GE(Ctr.Heartbeats, 1u)
+      << "the healthy retry worker should have beaten at least once";
+}
+
+TEST_F(ServeLivenessTest, HalfOpenFloodIsShedAndDaemonStaysResponsive) {
+  // More half-open squatters than the accept cap: the daemon must shed
+  // idle connections (or refuse) to keep accept room, and a well-behaved
+  // campaign must still run to the local digest.
+  ServerOptions Opts;
+  Opts.MaxConns = 4;
+  start(/*Workers=*/0, Opts);
+  HostilePlan Plan;
+  Plan.Seed = 41;
+  Plan.Kind = HostileAttack::HalfOpen;
+  Plan.Connections = 8;
+  Plan.PaceUs = 1000;
+  attack(Plan);
+
+  EXPECT_TRUE(waitFor([&] {
+    const Server::Counters C = Srv->counters();
+    return C.ConnsShed + C.ConnsRefused >= 4;
+  })) << "the accept cap never shed or refused the squatters";
+  expectResponsive();
+
+  Client C;
+  const RetryPolicy Retry = testRetry(41);
+  ASSERT_TRUE(C.connectWithRetry(Socket, Retry).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, Retry);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex())
+      << "digest diverged under the half-open flood";
+  EXPECT_GT(Hostile->connects(), 0u);
+}
+
+TEST_F(ServeLivenessTest, DripFedFrameTripsReadDeadline) {
+  // Slowloris: one byte of a valid frame every 20ms against a 150ms
+  // partial-frame read deadline.  The daemon must drop the dripper —
+  // counted as a read timeout — and stay fully available.
+  ServerOptions Opts;
+  Opts.ReadDeadlineMs = 150;
+  start(/*Workers=*/0, Opts);
+  HostilePlan Plan;
+  Plan.Seed = 42;
+  Plan.Kind = HostileAttack::DripHeader;
+  Plan.Connections = 4;
+  Plan.OpsPerConn = 1000; // recycle on server drop, not voluntarily
+  Plan.PaceUs = 20'000;
+  attack(Plan);
+
+  EXPECT_TRUE(waitFor([&] { return Srv->counters().ReadTimeouts >= 2; }))
+      << "the read deadline never dropped a dripper";
+  expectResponsive();
+
+  Client C;
+  const RetryPolicy Retry = testRetry(42);
+  ASSERT_TRUE(C.connectWithRetry(Socket, Retry).ok());
+  SubmitRequest Req;
+  Req.Cells.push_back(smallSpec());
+  StatusOr<FetchReplyData> Reply = C.runCampaign(Req, 5, Retry);
+  ASSERT_TRUE(Reply.ok()) << Reply.status().toString();
+  ASSERT_TRUE(Reply->Cells[0].ok());
+  EXPECT_EQ(harness::cellResultDigest(*Reply->Cells[0]).hex(),
+            localDigest(Req.Cells[0]).hex())
+      << "digest diverged under the slowloris drip";
+}
+
+TEST_F(ServeLivenessTest, NeverReadFloodTripsWriteBudget) {
+  // PING floods from peers that never read a PONG: once the kernel buffer
+  // is full the server's per-connection outbound queue grows, and the
+  // write budget must disconnect the hoarder instead of buffering without
+  // bound.
+  ServerOptions Opts;
+  Opts.MaxConnOutBytes = 2048;
+  start(/*Workers=*/0, Opts);
+  HostilePlan Plan;
+  Plan.Seed = 43;
+  Plan.Kind = HostileAttack::NeverRead;
+  Plan.Connections = 8;
+  Plan.OpsPerConn = 1'000'000; // flood until dropped
+  Plan.PaceUs = 500;
+  attack(Plan);
+
+  EXPECT_TRUE(waitFor(
+      [&] { return Srv->counters().SlowConsumerDrops >= 1; }, 10'000))
+      << "the outbound budget never dropped a never-reading flooder";
+  expectResponsive();
+  EXPECT_GT(Hostile->ops(), 0u);
+}
+
+TEST_F(ServeLivenessTest, SubmitStormIsShedWithEveryShedAccounted) {
+  // Dedup-proof submit storms against a tiny admission bound: the daemon
+  // must shed with ResourceExhausted instead of queueing unboundedly, stay
+  // responsive, and expose exactly its shed counts in the PONG load
+  // snapshot — every shed accounted.
+  ServerOptions Opts;
+  Opts.MaxActiveJobs = 2;
+  start(/*Workers=*/0, Opts);
+  HostilePlan Plan;
+  Plan.Seed = 44;
+  Plan.Kind = HostileAttack::SubmitStorm;
+  Plan.Connections = 8;
+  Plan.OpsPerConn = 64;
+  Plan.PaceUs = 500;
+  attack(Plan);
+
+  EXPECT_TRUE(waitFor(
+      [&] { return Srv->counters().JobsRejected >= 1; }, 10'000))
+      << "the submit storm was never shed";
+  expectResponsive();
+  Hostile->stop();
+
+  // The public load snapshot must agree with the loop's own accounting.
+  Client C;
+  const RetryPolicy Retry = testRetry(44);
+  ASSERT_TRUE(C.connectWithRetry(Socket, Retry).ok());
+  StatusOr<PongLoad> Load = C.serverLoad();
+  ASSERT_TRUE(Load.ok()) << Load.status().toString();
+  const Server::Counters Ctr = Srv->counters();
+  EXPECT_EQ(Load->JobsShed, Ctr.JobsRejected);
+  EXPECT_EQ(Load->ConnsShed, Ctr.ReadTimeouts + Ctr.IdleDrops +
+                                 Ctr.SlowConsumerDrops + Ctr.ConnsShed +
+                                 Ctr.ConnsRefused);
+}
+
+TEST_F(ServeLivenessTest, BrownoutShedCarriesRetryAfterHint) {
+  // A transient saturation shed (pending-cell budget) must carry a
+  // retry-after hint; a permanent rejection (per-job cell limit) must
+  // not.  The client surfaces the distinction via lastRetryAfterMs().
+  ServerOptions Opts;
+  Opts.MaxQueuedCells = 4;
+  Opts.MaxCellsPerJob = 6;
+  Opts.RetryAfterMs = 10;
+  start(/*Workers=*/0, Opts);
+
+  Client C;
+  ASSERT_TRUE(C.connect(Socket).ok());
+
+  // One submit of 5 cells: within the per-job limit (6) but over the
+  // pending-cell budget (4) — a transient saturation shed, hinted, no
+  // timing dependence on how fast earlier cells drain.
+  SubmitRequest Saturating;
+  for (const char *Algo : {"all", "freq", "short", "ret", "every-br"})
+    Saturating.Cells.push_back(smallSpec("mcf", Algo));
+  StatusOr<uint64_t> A = C.submit(Saturating);
+  ASSERT_FALSE(A.ok()) << "5 pending cells must exceed MaxQueuedCells=4";
+  EXPECT_EQ(A.status().code(), ErrorCode::ResourceExhausted);
+  EXPECT_GT(C.lastRetryAfterMs(), 0u) << "saturation shed carried no hint";
+
+  // 7 cells > MaxCellsPerJob=6: a permanent rejection — retrying the
+  // same request can never succeed, so no hint.
+  SubmitRequest TooWide;
+  for (const char *Algo :
+       {"all", "freq", "short", "ret", "every-br", "exact", "immediate"})
+    TooWide.Cells.push_back(smallSpec("mcf", Algo));
+  StatusOr<uint64_t> R = C.submit(TooWide);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(C.lastRetryAfterMs(), 0u)
+      << "a permanent rejection must not invite a retry";
+}
+
+TEST_F(ServeLivenessTest, HintedBackoffIsDeterministicAndHintScaled) {
+  // Pure-function checks on the client's hint-aware backoff: replayable
+  // from the seed, bounded by [cap/2, cap], and the hint both replaces
+  // the base delay and raises the ceiling when it exceeds MaxDelayMs.
+  RetryPolicy Retry;
+  Retry.BaseDelayMs = 10;
+  Retry.MaxDelayMs = 100;
+  Retry.Seed = 7;
+  for (unsigned Attempt = 0; Attempt < 8; ++Attempt) {
+    const unsigned A = Client::backoffDelayMs(Retry, Attempt);
+    EXPECT_EQ(A, Client::backoffDelayMs(Retry, Attempt)) << "not replayable";
+    EXPECT_LE(A, Retry.MaxDelayMs);
+  }
+  // A hint above the policy ceiling governs: the delay lands in
+  // [hint/2, hint] at attempt 0 already.
+  const unsigned Hinted = Client::backoffDelayMs(Retry, 0, /*Hint=*/500);
+  EXPECT_GE(Hinted, 250u);
+  EXPECT_LE(Hinted, 500u);
+  // Without a hint the schedule is unchanged by the hint parameter's
+  // default — the pre-brownout behavior, byte for byte.
+  EXPECT_EQ(Client::backoffDelayMs(Retry, 3),
+            Client::backoffDelayMs(Retry, 3, 0));
 }

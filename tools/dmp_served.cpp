@@ -22,6 +22,11 @@
 //   --max-cells=N        admission bound on cells per job (default 256)
 //   --cell-attempts=N    dispatch attempts per cell across worker crashes
 //                        (default 3)
+//   --cell-wall-ms=N     hung-worker watchdog: a busy worker silent (no
+//                        CELL_PROGRESS heartbeat) for N ms is SIGKILLed
+//                        and its cell retried (default 0 = off)
+//   --max-conns=N        accept cap; at the limit new connects shed the
+//                        oldest idle connection or are refused (default 64)
 //   --no-durable         do not checkpoint jobs to the cache; a restart
 //                        forgets all in-flight work (pre-recovery behavior)
 //   --quiet              suppress the per-event log lines
@@ -57,6 +62,8 @@ struct DaemonOptions {
   unsigned MaxJobs = 64;
   unsigned MaxCells = 256;
   unsigned CellAttempts = 3;
+  unsigned CellWallMs = 0;
+  unsigned MaxConns = 64;
   bool Durable = true;
   bool Quiet = false;
 };
@@ -65,8 +72,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: dmp_served --socket=PATH [--workers=N] "
                "[--cache-dir=DIR] [--no-cache] [--max-jobs=N] "
-               "[--max-cells=N] [--cell-attempts=N] [--no-durable] "
-               "[--quiet]\n");
+               "[--max-cells=N] [--cell-attempts=N] [--cell-wall-ms=N] "
+               "[--max-conns=N] [--no-durable] [--quiet]\n");
 }
 
 bool parseU64(const char *V, uint64_t &Out) {
@@ -118,6 +125,20 @@ bool parseArgs(int Argc, char **Argv, DaemonOptions &Opts) {
         return false;
       }
       Opts.CellAttempts = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--cell-wall-ms=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 15, U) || U > 86'400'000) {
+        std::fprintf(stderr, "error: invalid --cell-wall-ms value '%s'\n",
+                     Arg.c_str() + 15);
+        return false;
+      }
+      Opts.CellWallMs = static_cast<unsigned>(U);
+    } else if (Arg.rfind("--max-conns=", 0) == 0) {
+      if (!parseU64(Arg.c_str() + 12, U) || U == 0 || U > 100'000) {
+        std::fprintf(stderr, "error: invalid --max-conns value '%s'\n",
+                     Arg.c_str() + 12);
+        return false;
+      }
+      Opts.MaxConns = static_cast<unsigned>(U);
     } else if (Arg == "--no-durable") {
       Opts.Durable = false;
     } else if (Arg == "--quiet") {
@@ -155,6 +176,8 @@ int main(int Argc, char **Argv) {
   ServerOpts.MaxActiveJobs = Opts.MaxJobs;
   ServerOpts.MaxCellsPerJob = Opts.MaxCells;
   ServerOpts.CellAttempts = Opts.CellAttempts;
+  ServerOpts.CellWallMs = Opts.CellWallMs;
+  ServerOpts.MaxConns = Opts.MaxConns;
   ServerOpts.DurableJobs = Opts.Durable;
   ServerOpts.Quiet = Opts.Quiet;
   serve::Server Server(std::move(ServerOpts), Pool);
@@ -176,7 +199,9 @@ int main(int Argc, char **Argv) {
                "[serve] conns=%llu jobs=%llu rejected=%llu deduped=%llu "
                "recovered=%llu dispatched=%llu completed=%llu failed=%llu "
                "retried=%llu resumed=%llu crashes=%llu protocol-errors=%llu "
-               "checkpoints=%llu\n",
+               "checkpoints=%llu hung=%llu heartbeats=%llu "
+               "read-timeouts=%llu idle-drops=%llu slow-drops=%llu "
+               "shed=%llu refused=%llu accept-errors=%llu\n",
                static_cast<unsigned long long>(C.ConnectionsAccepted),
                static_cast<unsigned long long>(C.JobsAccepted),
                static_cast<unsigned long long>(C.JobsRejected),
@@ -189,7 +214,15 @@ int main(int Argc, char **Argv) {
                static_cast<unsigned long long>(C.CellsResumed),
                static_cast<unsigned long long>(C.WorkerCrashes),
                static_cast<unsigned long long>(C.ProtocolErrors),
-               static_cast<unsigned long long>(C.Checkpoints));
+               static_cast<unsigned long long>(C.Checkpoints),
+               static_cast<unsigned long long>(C.WorkersHung),
+               static_cast<unsigned long long>(C.Heartbeats),
+               static_cast<unsigned long long>(C.ReadTimeouts),
+               static_cast<unsigned long long>(C.IdleDrops),
+               static_cast<unsigned long long>(C.SlowConsumerDrops),
+               static_cast<unsigned long long>(C.ConnsShed),
+               static_cast<unsigned long long>(C.ConnsRefused),
+               static_cast<unsigned long long>(C.AcceptErrors));
 
   if (!Run.ok()) {
     std::fprintf(stderr, "error: %s\n", Run.toString().c_str());

@@ -46,6 +46,11 @@
 //                                 instead of in-process (implies
 //                                 --simulate; the printed stats digest is
 //                                 bit-identical to a local run)
+//   --ping                        with --remote: health-probe the daemon
+//                                 and print its epoch, load snapshot
+//                                 (jobs/cells in flight, shed counters)
+//                                 and the round-trip time; no benchmark
+//                                 argument needed
 //   --list                        list available benchmarks and exit
 //
 // Unknown options and malformed numeric values are rejected with usage and
@@ -68,6 +73,7 @@
 #include "support/ExitCodes.h"
 #include "support/StringUtils.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,6 +103,7 @@ struct CliOptions {
   std::string CacheDir = harness::EngineOptions::defaultCacheDir();
   bool UseCache = true;
   std::string RemoteSocket; ///< non-empty: ship the cell to a dmp_served
+  bool Ping = false;        ///< --remote health probe, no cell shipped
 };
 
 void usage() {
@@ -107,7 +114,7 @@ void usage() {
                "[--no-lint] [--verify] "
                "[--inject-fault=0|1|2] [--sim-instrs=N] "
                "[--jobs=N] [--cache-dir=DIR] [--no-cache] "
-               "[--remote=SOCKET] | --list\n");
+               "[--remote=SOCKET [--ping]] | --list\n");
 }
 
 /// Strict numeric parsing: the whole value must be a number, or we fail
@@ -186,6 +193,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::fprintf(stderr, "error: empty --remote value\n");
         return false;
       }
+    } else if (Arg == "--ping") {
+      Opts.Ping = true;
     } else if (Arg == "--2d-filter") {
       Opts.TwoDFilter = true;
     } else if (Arg == "--emit-map") {
@@ -218,7 +227,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
-  return !Opts.Benchmark.empty();
+  // --ping is a daemon probe, not a cell run: no benchmark needed.
+  return !Opts.Benchmark.empty() || Opts.Ping;
 }
 
 /// Runs the requested selection algorithm via the shared per-cell entry
@@ -248,6 +258,40 @@ void printSimReport(const sim::SimStats &Base, const sim::SimStats &Dmp) {
               static_cast<unsigned long long>(Dmp.DpredSavedFlushes));
   std::printf("speedup : %s\n",
               formatPercent(harness::ipcImprovement(Base, Dmp)).c_str());
+}
+
+/// `dmpc --remote=SOCKET --ping`: one PING round trip, rendered as the
+/// daemon's epoch, its load snapshot (when the daemon is new enough to
+/// send one), and the measured RTT.
+int runPing(const CliOptions &Opts) {
+  serve::Client Client;
+  if (Status S = Client.connect(Opts.RemoteSocket); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return exitcode::Failure;
+  }
+  const auto T0 = std::chrono::steady_clock::now();
+  uint64_t Epoch = 0;
+  StatusOr<serve::PongLoad> Load = Client.serverLoad(&Epoch);
+  const double RttMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - T0)
+          .count();
+  if (!Load.ok() && Load.status().code() != ErrorCode::NotFound) {
+    std::fprintf(stderr, "error: %s\n", Load.status().toString().c_str());
+    return exitcode::Failure;
+  }
+  std::printf("pong: epoch=%llu rtt=%.3fms\n",
+              static_cast<unsigned long long>(Epoch), RttMs);
+  if (Load.ok())
+    std::printf("load: jobs-active=%llu cells-running=%llu "
+                "jobs-shed=%llu conns-shed=%llu\n",
+                static_cast<unsigned long long>(Load->JobsActive),
+                static_cast<unsigned long long>(Load->CellsRunning),
+                static_cast<unsigned long long>(Load->JobsShed),
+                static_cast<unsigned long long>(Load->ConnsShed));
+  else
+    std::printf("load: unavailable (daemon predates the load snapshot)\n");
+  return exitcode::Ok;
 }
 
 /// `dmpc --remote`: ship the cell to a dmp_served daemon and render the
@@ -316,6 +360,14 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts)) {
     usage();
     return exitcode::Usage;
+  }
+
+  if (Opts.Ping) {
+    if (Opts.RemoteSocket.empty()) {
+      std::fprintf(stderr, "error: --ping requires --remote=SOCKET\n");
+      return exitcode::Usage;
+    }
+    return runPing(Opts);
   }
 
   const workloads::BenchmarkSpec *Spec = nullptr;
