@@ -14,6 +14,9 @@
 # --bench to run the perf-regression gate (a bench_throughput smoke
 # re-measurement against the committed BENCH_throughput.json, 3x
 # tolerance; the perf ctest label),
+# --analysis to run the dataflow/meldability tier (the analysis label:
+# solver property tests, emulator-ground-truth soundness over the
+# 17-workload suite and fuzz recipes, and the meld-report golden gate),
 # --sanitize to build and test under ASan+UBSan (the sanitize preset),
 # --tsan to build and run the threaded-subsystem tests under TSan, and
 # --tidy to run clang-tidy over src/ and tools/ (skipped with a notice
@@ -29,6 +32,7 @@ CRASH=0
 SERVE=0
 CHAOS=0
 BENCH=0
+ANALYSIS=0
 TIDY=0
 PRESET=ci
 for arg in "$@"; do
@@ -38,11 +42,12 @@ for arg in "$@"; do
     --serve) SERVE=1 ;;
     --chaos) CHAOS=1 ;;
     --bench) BENCH=1 ;;
+    --analysis) ANALYSIS=1 ;;
     --sanitize) PRESET=sanitize ;;
     --tsan) PRESET=tsan ;;
     --tidy) TIDY=1 ;;
-    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--chaos] [--bench] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
-    *) echo "usage: $0 [--all] [--crash] [--serve] [--chaos] [--bench] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
+    -h|--help) echo "usage: $0 [--all] [--crash] [--serve] [--chaos] [--bench] [--analysis] [--sanitize] [--tsan] [--tidy]"; exit 0 ;;
+    *) echo "usage: $0 [--all] [--crash] [--serve] [--chaos] [--bench] [--analysis] [--sanitize] [--tsan] [--tidy]" >&2; exit 2 ;;
   esac
 done
 
@@ -85,6 +90,11 @@ elif [[ "$BENCH" -eq 1 ]]; then
   # Throughput must stay within 3x of the committed snapshot and the
   # campaign digest must match it bit for bit.
   ctest --preset perf
+elif [[ "$ANALYSIS" -eq 1 ]]; then
+  # The dataflow tier: solver vs brute-force property tests, the dynamic
+  # soundness differential (no retired instruction may contradict a
+  # definite-assignment or liveness claim), and the meld-report golden.
+  ctest --preset analysis
 elif [[ "$ALL" -eq 1 ]]; then
   ctest --preset "$PRESET"
 else
@@ -94,7 +104,7 @@ fi
 # CI path extras (the default tier1 gate): the static checker must report
 # zero error-severity diagnostics over every workload's selected
 # annotations, and tidy runs when available.
-if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 && "$CHAOS" -eq 0 && "$BENCH" -eq 0 ]]; then
+if [[ "$PRESET" == ci && "$CRASH" -eq 0 && "$SERVE" -eq 0 && "$CHAOS" -eq 0 && "$BENCH" -eq 0 && "$ANALYSIS" -eq 0 ]]; then
   ./build-ci/tools/dmp_lint --all --profile-instrs=800000
   run_tidy
 fi

@@ -19,6 +19,7 @@ AnalysisManager AnalysisManager::standardPipeline() {
   AM.addPass(createIRLintPass());
   AM.addPass(createAnnotationConsistencyPass());
   AM.addPass(createCfmLegalityPass());
+  AM.addPass(createPredicationSafetyPass());
   AM.addPass(createProfileSanityPass());
   return AM;
 }

@@ -24,6 +24,7 @@
 #include "analyze/Analyze.h"
 
 #include "cfg/PathEnumerator.h"
+#include "dataflow/Dataflow.h"
 #include "support/StringUtils.h"
 
 #include <queue>
@@ -167,6 +168,14 @@ private:
                                  core::divergeKindName(Ann.Kind), Cfm.Addr,
                                  CfmBlock->getName().c_str(), Cfm.MergeProb));
 
+      // Side-effect cross-check (DF01): an exact-CFM claim says both paths
+      // always rejoin at the merge point, so the region between branch and
+      // CFM cannot terminate execution (halt) or leave the function (ret)
+      // — the block-effect summaries prove it can't.
+      if (ExactKind && Cfm.MergeProb >= ExactMergeProb)
+        checkExactRegionEffects(FA, Taken, Fall, CfmBlock, Cfm.Addr, Loc,
+                                Sink);
+
       // Profile cross-check: a claimed merge the profile says essentially
       // never happens suggests a stale or mismatched annotation.
       if (Input.Profile != nullptr && Cfm.MergeProb >= ClaimedProbFloor &&
@@ -196,6 +205,42 @@ private:
     if (FirstCfmBlock != nullptr && FirstCfmBlock->getParent() == F)
       checkNestedConflicts(Input, BranchAddr, Taken, Fall, FirstCfmBlock,
                            TakenReach, FallReach, Loc, Sink);
+  }
+
+  /// DF01: the dataflow layer's per-block side-effect summaries applied to
+  /// the hammock region of one exact CFM point.  A halt or ret anywhere on
+  /// a branch-to-merge path means that path can end without reaching the
+  /// merge, contradicting the ~1.0 merge-probability claim.
+  void checkExactRegionEffects(const cfg::FunctionAnalysis &FA,
+                               const ir::BasicBlock *Taken,
+                               const ir::BasicBlock *Fall,
+                               const ir::BasicBlock *CfmBlock,
+                               uint32_t CfmAddr, const DiagLocation &Loc,
+                               DiagnosticSink &Sink) {
+    const std::vector<dataflow::BlockEffects> Effects =
+        dataflow::computeBlockEffects(FA.View);
+    std::unordered_set<const ir::BasicBlock *> Region{CfmBlock};
+    std::vector<const ir::BasicBlock *> Work;
+    for (const ir::BasicBlock *Side : {Taken, Fall})
+      if (Region.insert(Side).second)
+        Work.push_back(Side);
+    while (!Work.empty()) {
+      const ir::BasicBlock *B = Work.back();
+      Work.pop_back();
+      const dataflow::BlockEffects &E = Effects[B->getId()];
+      if (E.HasHalt || E.HasRet) {
+        Sink.report(DiagCode::DfExactCfmImpure, Loc,
+                    formatString("exact cfm point %u claims both paths "
+                                 "always merge, but block '%s' in the "
+                                 "hammock region ends execution with a %s",
+                                 CfmAddr, B->getName().c_str(),
+                                 E.HasHalt ? "halt" : "ret"));
+        return; // One finding per CFM point.
+      }
+      for (const ir::BasicBlock *Succ : B->successors())
+        if (Region.insert(Succ).second)
+          Work.push_back(Succ);
+    }
   }
 
   static bool functionHasRet(const ir::Function &F) {

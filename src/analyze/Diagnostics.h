@@ -95,6 +95,16 @@ enum class DiagCode : uint8_t {
   ProfBranchTotalsMismatch,   // PROF02
   ProfUnknownAddr,            // PROF03
   ProfAnnotatedNeverExecuted, // PROF04 (warning)
+
+  // Dataflow / predication safety (DF01-DF06): facts from dmp::dataflow
+  // cross-checked against the annotations (PredicationSafety pass, plus
+  // the CfmLegality side-effect cross-check for DF01).
+  DfExactCfmImpure,   // DF01
+  DfHammockCall,      // DF02 (warning)
+  DfHammockSideExit,  // DF03 (warning)
+  DfLoopCarried,      // DF04 (warning)
+  DfDeadWrite,        // DF05 (warning)
+  DfPredStores,       // DF06 (warning)
 };
 
 /// Stable printed code, e.g. "CFM01".

@@ -7,18 +7,22 @@
 /// \file
 /// IRLint (IR01-IR20): the structural checks of the legacy ir::Verifier
 /// rewritten onto the diagnostics framework, plus semantic extensions —
-/// per-function reachability, a maybe-undefined-read dataflow over main,
+/// per-function reachability, a whole-program maybe-undefined-read check
+/// (dataflow::ProgramDataflow's interprocedural definite assignment),
 /// register-range validation, and call-graph sanity (dead functions,
 /// recursion, calls to main).
 ///
-/// CFG-based checks (IR14/IR15) only run for functions with no structural
-/// errors: cfg::CFGView assumes well-formed blocks.
+/// CFG-based checks only run on structurally clean input: reachability
+/// (IR14) per clean function, the definite-assignment sweep (IR15) only
+/// when every function is clean — cfg::CFGView and the dataflow solver
+/// assume well-formed blocks, and call boundaries cross functions.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analyze/Analyze.h"
 
 #include "cfg/CFG.h"
+#include "dataflow/Dataflow.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -28,9 +32,7 @@
 namespace dmp::analyze {
 namespace {
 
-/// Bitset over the 32 architectural registers.
-using RegSet = uint32_t;
-constexpr RegSet AllRegs = ~static_cast<RegSet>(0);
+using dataflow::RegSet;
 
 class IRLintPass : public Pass {
 public:
@@ -64,7 +66,13 @@ public:
 
     for (const auto &F : P.functions())
       if (FnStructurallyOk[F->getId()])
-        checkCfg(P, *F, Sink);
+        checkReachability(*F, Sink);
+
+    // The definite-assignment sweep solves call boundaries across the whole
+    // program, so it needs every function well-formed, not just one.
+    if (std::all_of(FnStructurallyOk.begin(), FnStructurallyOk.end(),
+                    [](bool Ok) { return Ok; }))
+      checkMaybeUndefReads(P, Sink);
   }
 
 private:
@@ -250,78 +258,44 @@ private:
     Color[Id] = 2;
   }
 
-  void checkCfg(const ir::Program &P, const ir::Function &F,
-                DiagnosticSink &Sink) {
+  void checkReachability(const ir::Function &F, DiagnosticSink &Sink) {
     const cfg::CFGView View(F);
-
     for (const auto &B : F.blocks())
       if (!View.isReachable(B.get()))
         Sink.report(DiagCode::IrUnreachableBlock, locAt(F, *B),
                     "basic block is unreachable from the function entry");
+  }
 
-    // Maybe-undefined reads, main only: registers are implicitly zero at
-    // program start, so this is style-level (warning).  Callees inherit
-    // the caller's register file, so cross-function dataflow would need
-    // a calling convention the ISA doesn't have.
-    if (&F != P.getMain())
-      return;
-
-    const unsigned N = View.blockCount();
-    // In[b] = ∩ over preds Out[p]; Out[b] = In[b] ∪ defs(b).  Optimistic
-    // initialization (all-defined) + RPO iteration to fixpoint.
-    std::vector<RegSet> In(N, AllRegs), Out(N, AllRegs);
-    std::vector<RegSet> Defs(N, 0);
-    for (const ir::BasicBlock *B : View.reversePostorder()) {
-      RegSet D = 0;
-      for (const ir::Instruction &Inst : B->instructions())
-        if (Inst.writesReg() && Inst.Dst < ir::NumRegs)
-          D |= RegSet(1) << Inst.Dst;
-      Defs[B->getId()] = D;
-    }
-    const unsigned EntryId = F.getEntry()->getId();
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
+  /// Maybe-undefined reads (IR15), whole program: registers are implicitly
+  /// zero at program start, so this is style-level (warning).  Callees
+  /// inherit the caller's register file (the ISA has no calling
+  /// convention), which is exactly what ProgramDataflow's interprocedural
+  /// definite assignment models — a callee's entry facts are the meet over
+  /// its call sites, main's are {r0}.
+  void checkMaybeUndefReads(const ir::Program &P, DiagnosticSink &Sink) {
+    const dataflow::ProgramDataflow PD(P);
+    for (const auto &F : P.functions()) {
+      const cfg::CFGView View(*F);
+      RegSet Warned = 0; // One warning per register keeps the noise bounded.
       for (const ir::BasicBlock *B : View.reversePostorder()) {
-        const unsigned Id = B->getId();
-        RegSet NewIn = AllRegs;
-        if (Id == EntryId)
-          NewIn = RegSet(1) << ir::RegZero;
-        else
-          for (const ir::BasicBlock *Pred : View.predecessors(Id))
-            NewIn &= Out[Pred->getId()];
-        const RegSet NewOut = NewIn | Defs[Id];
-        if (NewIn != In[Id] || NewOut != Out[Id]) {
-          In[Id] = NewIn;
-          Out[Id] = NewOut;
-          Changed = true;
+        for (const ir::Instruction &Inst : B->instructions()) {
+          const RegSet Assigned = PD.assignedBefore(Inst.Addr);
+          const auto CheckRead = [&](ir::Reg R) {
+            const RegSet Bit = dataflow::regBit(R);
+            if ((Assigned & Bit) == 0 && (Warned & Bit) == 0) {
+              Warned |= Bit;
+              Sink.report(DiagCode::IrMaybeUndefRead, locAt(*F, *B, Inst.Addr),
+                          formatString("r%u may be read before any write "
+                                       "(relies on implicit zero "
+                                       "initialization)",
+                                       R));
+            }
+          };
+          if (ir::readsSrc1(Inst.Op))
+            CheckRead(Inst.Src1);
+          if (ir::readsSrc2(Inst.Op))
+            CheckRead(Inst.Src2);
         }
-      }
-    }
-
-    RegSet Warned = 0; // One warning per register keeps the noise bounded.
-    for (const ir::BasicBlock *B : View.reversePostorder()) {
-      RegSet Defined = In[B->getId()];
-      for (const ir::Instruction &Inst : B->instructions()) {
-        const auto CheckRead = [&](ir::Reg R) {
-          if (R >= ir::NumRegs)
-            return; // IR16's problem, not ours.
-          const RegSet Bit = RegSet(1) << R;
-          if ((Defined & Bit) == 0 && (Warned & Bit) == 0) {
-            Warned |= Bit;
-            Sink.report(DiagCode::IrMaybeUndefRead, locAt(F, *B, Inst.Addr),
-                        formatString("r%u may be read before any write "
-                                     "(relies on implicit zero "
-                                     "initialization)",
-                                     R));
-          }
-        };
-        if (ir::readsSrc1(Inst.Op))
-          CheckRead(Inst.Src1);
-        if (ir::readsSrc2(Inst.Op))
-          CheckRead(Inst.Src2);
-        if (Inst.writesReg() && Inst.Dst < ir::NumRegs)
-          Defined |= RegSet(1) << Inst.Dst;
       }
     }
   }

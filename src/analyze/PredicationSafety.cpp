@@ -1,0 +1,126 @@
+//===- analyze/PredicationSafety.cpp - Predication-safety diagnostics ----===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PredicationSafety (DF02-DF06): surfaces the dataflow layer's facts as
+/// diagnostics.  Two sweeps:
+///
+///   dead register writes (DF05)  a write whose value liveness proves can
+///                                never be read — one warning per
+///                                (function, register), like IR15.
+///   meldability (DF02-DF04, DF06) per annotated diverge branch, what the
+///                                hammock classifier found: calls in the
+///                                region, side exits / escape blocks,
+///                                loop-carried recurrences, and — for
+///                                regions that are otherwise meldable —
+///                                the predicated-store count a software
+///                                melder would have to emit.
+///
+/// Everything here is a warning: the facts describe what dmp::transform
+/// could or could not do, not whether the program/annotations are valid.
+/// The one error-severity dataflow code, DF01, lives in CfmLegality where
+/// the side-effect summary contradicts an exact-CFM claim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analyze/Analyze.h"
+
+#include "dataflow/Meldability.h"
+#include "support/StringUtils.h"
+
+namespace dmp::analyze {
+namespace {
+
+class PredicationSafetyPass : public Pass {
+public:
+  const char *name() const override { return "PredicationSafety"; }
+  bool needsAnalysis() const override { return true; }
+
+  void run(const AnalysisInput &Input, DiagnosticSink &Sink) override {
+    const ir::Program &P = *Input.P;
+    const dataflow::ProgramDataflow PD(P);
+
+    checkDeadWrites(P, PD, Sink);
+
+    if (Input.Annotations == nullptr)
+      return;
+    const dataflow::MeldReport Report =
+        dataflow::analyzeMeldability(P, *Input.PA, *Input.Annotations, PD);
+    for (const dataflow::HammockReport &H : Report.Hammocks)
+      reportHammock(P, H, Sink);
+  }
+
+private:
+  void checkDeadWrites(const ir::Program &P,
+                       const dataflow::ProgramDataflow &PD,
+                       DiagnosticSink &Sink) {
+    for (const auto &F : P.functions()) {
+      const cfg::CFGView View(*F);
+      dataflow::RegSet Warned = 0;
+      for (const ir::BasicBlock *B : View.reversePostorder())
+        for (const ir::Instruction &Inst : B->instructions()) {
+          const dataflow::RegSet Defs = dataflow::instrDefs(Inst);
+          if (Defs == 0 || (PD.liveAfter(Inst.Addr) & Defs) != 0 ||
+              (Warned & Defs) != 0)
+            continue;
+          Warned |= Defs;
+          Sink.report(
+              DiagCode::DfDeadWrite,
+              DiagLocation::inBlock(F->getName(), B->getName(), Inst.Addr),
+              formatString("write to r%u is dead: the value can never be "
+                           "read before the next write",
+                           Inst.Dst));
+        }
+    }
+  }
+
+  void reportHammock(const ir::Program &P, const dataflow::HammockReport &H,
+                     DiagnosticSink &Sink) {
+    if (H.BranchAddr >= P.instrCount())
+      return;
+    const ir::BasicBlock *BranchBlock = P.blockAt(H.BranchAddr);
+    const DiagLocation Loc =
+        DiagLocation::inBlock(BranchBlock->getParent()->getName(),
+                              BranchBlock->getName(), H.BranchAddr);
+
+    if (H.UnsafeCalls > 0)
+      Sink.report(DiagCode::DfHammockCall, Loc,
+                  formatString("hammock region contains %u call%s: melding "
+                               "would run irreversible side effects on the "
+                               "wrong path",
+                               H.UnsafeCalls, H.UnsafeCalls == 1 ? "" : "s"));
+    if (H.UnsafeSideExits > 0 || H.EscapeBlocks > 0)
+      Sink.report(DiagCode::DfHammockSideExit, Loc,
+                  formatString("hammock region has %u side exit%s and %u "
+                               "escape block%s: control can leave before "
+                               "the merge point",
+                               H.UnsafeSideExits,
+                               H.UnsafeSideExits == 1 ? "" : "s",
+                               H.EscapeBlocks,
+                               H.EscapeBlocks == 1 ? "" : "s"));
+    if (H.UnsafeLoopCarried > 0)
+      Sink.report(DiagCode::DfLoopCarried, Loc,
+                  formatString("loop region has %u loop-carried "
+                               "recurrence%s: predication needs "
+                               "per-iteration select-µops",
+                               H.UnsafeLoopCarried,
+                               H.UnsafeLoopCarried == 1 ? "" : "s"));
+    if (H.Meldable && H.PredStoreCount > 0)
+      Sink.report(DiagCode::DfPredStores, Loc,
+                  formatString("meldable hammock needs %u predicated "
+                               "store%s",
+                               H.PredStoreCount,
+                               H.PredStoreCount == 1 ? "" : "s"));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createPredicationSafetyPass() {
+  return std::make_unique<PredicationSafetyPass>();
+}
+
+} // namespace dmp::analyze

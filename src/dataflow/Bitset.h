@@ -1,0 +1,119 @@
+//===- dataflow/Bitset.h - Dense bitset for dataflow facts --------*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DynBitset: a fixed-size dense bitset with the value-semantics operators
+/// the generic dataflow solver (dataflow/Solver.h) needs — |, &, ~, ==.
+/// Register-indexed analyses use a raw uint32_t (32 architectural
+/// registers fit exactly); DynBitset exists for fact domains whose size is
+/// only known per function, e.g. one bit per reaching definition.
+///
+/// Complement masks the trailing partial word, so ~x never sets bits past
+/// size() and equality is plain word equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_DATAFLOW_BITSET_H
+#define DMP_DATAFLOW_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmp::dataflow {
+
+/// Fixed-size dense bitset.  All binary operators require both operands to
+/// have the same size (asserted).
+class DynBitset {
+public:
+  DynBitset() = default;
+  explicit DynBitset(unsigned Bits)
+      : Bits(Bits), Words((Bits + 63) / 64, 0) {}
+
+  unsigned size() const { return Bits; }
+
+  void set(unsigned I) {
+    assert(I < Bits && "bit out of range");
+    Words[I / 64] |= uint64_t(1) << (I % 64);
+  }
+  void reset(unsigned I) {
+    assert(I < Bits && "bit out of range");
+    Words[I / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+  bool test(unsigned I) const {
+    assert(I < Bits && "bit out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// Sets every bit.
+  void setAll() {
+    for (uint64_t &W : Words)
+      W = ~uint64_t(0);
+    maskTail();
+  }
+
+  bool none() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return false;
+    return true;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  DynBitset &operator|=(const DynBitset &O) {
+    assert(Bits == O.Bits && "bitset size mismatch");
+    for (std::size_t I = 0; I < Words.size(); ++I)
+      Words[I] |= O.Words[I];
+    return *this;
+  }
+  DynBitset &operator&=(const DynBitset &O) {
+    assert(Bits == O.Bits && "bitset size mismatch");
+    for (std::size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= O.Words[I];
+    return *this;
+  }
+
+  friend DynBitset operator|(DynBitset A, const DynBitset &B) {
+    A |= B;
+    return A;
+  }
+  friend DynBitset operator&(DynBitset A, const DynBitset &B) {
+    A &= B;
+    return A;
+  }
+  friend DynBitset operator~(DynBitset A) {
+    for (uint64_t &W : A.Words)
+      W = ~W;
+    A.maskTail();
+    return A;
+  }
+
+  bool operator==(const DynBitset &O) const {
+    return Bits == O.Bits && Words == O.Words;
+  }
+  bool operator!=(const DynBitset &O) const { return !(*this == O); }
+
+private:
+  void maskTail() {
+    const unsigned Tail = Bits % 64;
+    if (Tail != 0 && !Words.empty())
+      Words.back() &= (uint64_t(1) << Tail) - 1;
+  }
+
+  unsigned Bits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace dmp::dataflow
+
+#endif // DMP_DATAFLOW_BITSET_H

@@ -1,0 +1,366 @@
+//===- dataflow/Meldability.cpp - Predication-safety classification --------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Meldability.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace dmp::dataflow {
+
+const char *instrClassName(InstrClass C) {
+  switch (C) {
+  case InstrClass::Select:
+    return "select";
+  case InstrClass::PredStore:
+    return "pred-store";
+  case InstrClass::Unsafe:
+    return "unsafe";
+  }
+  return "?";
+}
+
+const char *unsafeReasonName(UnsafeReason R) {
+  switch (R) {
+  case UnsafeReason::None:
+    return "none";
+  case UnsafeReason::Call:
+    return "call";
+  case UnsafeReason::LoopCarried:
+    return "loop-carried";
+  case UnsafeReason::SideExit:
+    return "side-exit";
+  }
+  return "?";
+}
+
+namespace {
+
+using BlockSet = std::unordered_set<const ir::BasicBlock *>;
+
+/// Blocks reachable from \p Seeds without stepping through \p Stop (which
+/// may be null for an unbounded intra-function sweep).  Seeds equal to
+/// Stop are not entered.
+BlockSet reachAvoiding(std::initializer_list<const ir::BasicBlock *> Seeds,
+                       const ir::BasicBlock *Stop) {
+  BlockSet Seen;
+  std::vector<const ir::BasicBlock *> Work;
+  for (const ir::BasicBlock *S : Seeds)
+    if (S != Stop && Seen.insert(S).second)
+      Work.push_back(S);
+  while (!Work.empty()) {
+    const ir::BasicBlock *B = Work.back();
+    Work.pop_back();
+    for (const ir::BasicBlock *Succ : B->successors())
+      if (Succ != Stop && Seen.insert(Succ).second)
+        Work.push_back(Succ);
+  }
+  return Seen;
+}
+
+/// The subset of \p Region that can reach \p Targets through successor
+/// edges staying inside Region (the targets themselves act as one step
+/// outside): reverse BFS seeded by Region blocks with an edge into a
+/// target.
+BlockSet canReach(const BlockSet &Region, const BlockSet &Targets) {
+  BlockSet Core;
+  std::vector<const ir::BasicBlock *> Work;
+  for (const ir::BasicBlock *B : Region)
+    for (const ir::BasicBlock *Succ : B->successors())
+      if (Targets.count(Succ) != 0) {
+        if (Core.insert(B).second)
+          Work.push_back(B);
+        break;
+      }
+  // Predecessor edges are not indexed here; iterate to a fixed point over
+  // the (small) region instead.
+  bool Changed = !Work.empty();
+  while (Changed) {
+    Changed = false;
+    for (const ir::BasicBlock *B : Region) {
+      if (Core.count(B) != 0)
+        continue;
+      for (const ir::BasicBlock *Succ : B->successors())
+        if (Core.count(Succ) != 0) {
+          Core.insert(B);
+          Changed = true;
+          break;
+        }
+    }
+  }
+  return Core;
+}
+
+/// Deterministic iteration order for a block set: ascending start address.
+std::vector<const ir::BasicBlock *> sortedByAddr(const BlockSet &Blocks) {
+  std::vector<const ir::BasicBlock *> V(Blocks.begin(), Blocks.end());
+  std::sort(V.begin(), V.end(),
+            [](const ir::BasicBlock *A, const ir::BasicBlock *B) {
+              return A->getStartAddr() < B->getStartAddr();
+            });
+  return V;
+}
+
+void record(HammockReport &H, const ir::Instruction &I, InstrClass C,
+            UnsafeReason R) {
+  H.Instrs.push_back({I.Addr, C, R});
+  switch (C) {
+  case InstrClass::Select:
+    ++H.SelectCount;
+    break;
+  case InstrClass::PredStore:
+    ++H.PredStoreCount;
+    break;
+  case InstrClass::Unsafe:
+    switch (R) {
+    case UnsafeReason::Call:
+      ++H.UnsafeCalls;
+      break;
+    case UnsafeReason::LoopCarried:
+      ++H.UnsafeLoopCarried;
+      break;
+    default:
+      ++H.UnsafeSideExits;
+      break;
+    }
+    break;
+  }
+}
+
+/// Classifies one non-control instruction (everything but CondBr/Jmp/Ret/
+/// Halt, whose verdict depends on the region shape).
+void classifyStraightLine(HammockReport &H, const ir::Instruction &I,
+                          bool LoopRegion, RegSet LiveAtHeader) {
+  switch (I.Op) {
+  case ir::Opcode::Call:
+    record(H, I, InstrClass::Unsafe, UnsafeReason::Call);
+    return;
+  case ir::Opcode::Store:
+    record(H, I, InstrClass::PredStore, UnsafeReason::None);
+    return;
+  default:
+    break;
+  }
+  // A self-recurrence on a register live around the loop (r = f(r, ...))
+  // cannot be flattened into one select per region: the predicated loop
+  // needs a select-µop every iteration to keep the recurrence correct.
+  if (LoopRegion && instrDefs(I) != 0 && (instrUses(I) & instrDefs(I)) != 0 &&
+      (LiveAtHeader & instrDefs(I)) != 0) {
+    record(H, I, InstrClass::Unsafe, UnsafeReason::LoopCarried);
+    return;
+  }
+  record(H, I, InstrClass::Select, UnsafeReason::None);
+}
+
+void classifyLoopRegion(HammockReport &H, const cfg::Loop &L,
+                        uint32_t BranchAddr, RegSet LiveAtHeader) {
+  BlockSet LoopBlocks(L.blocks().begin(), L.blocks().end());
+  H.RegionBlocks = static_cast<unsigned>(LoopBlocks.size());
+  for (const ir::BasicBlock *B : sortedByAddr(LoopBlocks))
+    for (const ir::Instruction &I : B->instructions()) {
+      switch (I.Op) {
+      case ir::Opcode::CondBr: {
+        if (I.Addr == BranchAddr) {
+          // The annotated exit branch itself becomes the predicate def.
+          record(H, I, InstrClass::Select, UnsafeReason::None);
+          continue;
+        }
+        const bool TakenIn = I.Target != nullptr && L.contains(I.Target);
+        const ir::BasicBlock *Fall = B->getFallthrough();
+        const bool FallIn = Fall != nullptr && L.contains(Fall);
+        if (TakenIn && FallIn)
+          record(H, I, InstrClass::Select, UnsafeReason::None);
+        else
+          record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      }
+      case ir::Opcode::Jmp:
+        if (I.Target != nullptr && L.contains(I.Target))
+          record(H, I, InstrClass::Select, UnsafeReason::None);
+        else
+          record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      case ir::Opcode::Ret:
+      case ir::Opcode::Halt:
+        record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      default:
+        classifyStraightLine(H, I, /*LoopRegion=*/true, LiveAtHeader);
+      }
+    }
+}
+
+void classifyHammockRegion(HammockReport &H, const ir::BasicBlock *Taken,
+                           const ir::BasicBlock *Fall,
+                           const ir::BasicBlock *CfmBlock, bool ReturnCfm) {
+  // Region: everything both legs can touch before the CFM; the meldable
+  // core is the part that can come back to the merge.
+  const BlockSet Region = reachAvoiding({Taken, Fall}, CfmBlock);
+  BlockSet Targets;
+  if (ReturnCfm) {
+    for (const ir::BasicBlock *B : Region)
+      if (const ir::Instruction *Term = B->getTerminator();
+          Term && Term->Op == ir::Opcode::Ret)
+        Targets.insert(B);
+  } else if (CfmBlock != nullptr) {
+    Targets.insert(CfmBlock);
+  }
+
+  BlockSet Core = canReach(Region, Targets);
+  if (ReturnCfm) {
+    // Ret blocks are the merge itself, not one step before it.
+    for (const ir::BasicBlock *B : Targets)
+      Core.insert(B);
+  }
+
+  H.RegionBlocks = static_cast<unsigned>(Core.size());
+  H.EscapeBlocks = static_cast<unsigned>(Region.size() - Core.size());
+
+  for (const ir::BasicBlock *B : sortedByAddr(Core))
+    for (const ir::Instruction &I : B->instructions()) {
+      switch (I.Op) {
+      case ir::Opcode::CondBr: {
+        const ir::BasicBlock *FallSucc = B->getFallthrough();
+        const auto Inside = [&](const ir::BasicBlock *S) {
+          return S != nullptr &&
+                 (Core.count(S) != 0 || (!ReturnCfm && S == CfmBlock));
+        };
+        if (Inside(I.Target) && Inside(FallSucc))
+          record(H, I, InstrClass::Select, UnsafeReason::None);
+        else
+          record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      }
+      case ir::Opcode::Jmp:
+        if (I.Target != nullptr &&
+            (Core.count(I.Target) != 0 || (!ReturnCfm && I.Target == CfmBlock)))
+          record(H, I, InstrClass::Select, UnsafeReason::None);
+        else
+          record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      case ir::Opcode::Ret:
+        if (ReturnCfm)
+          record(H, I, InstrClass::Select, UnsafeReason::None);
+        else
+          record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      case ir::Opcode::Halt:
+        record(H, I, InstrClass::Unsafe, UnsafeReason::SideExit);
+        continue;
+      default:
+        classifyStraightLine(H, I, /*LoopRegion=*/false, 0);
+      }
+    }
+}
+
+} // namespace
+
+MeldReport analyzeMeldability(const ir::Program &P,
+                              const cfg::ProgramAnalysis &PA,
+                              const core::DivergeMap &Annotations,
+                              const ProgramDataflow &PD) {
+  MeldReport R;
+  for (uint32_t BranchAddr : Annotations.sortedAddrs()) {
+    // AnnotationConsistency territory; skip what it already faulted.
+    if (BranchAddr >= P.instrCount() || !P.instrAt(BranchAddr).isCondBr())
+      continue;
+    const core::DivergeAnnotation &Ann = *Annotations.find(BranchAddr);
+
+    HammockReport H;
+    H.BranchAddr = BranchAddr;
+    H.Kind = Ann.Kind;
+
+    const ir::BasicBlock *BranchBlock = P.blockAt(BranchAddr);
+    const ir::Function *F = BranchBlock->getParent();
+    const ir::Instruction &Branch = P.instrAt(BranchAddr);
+    const ir::BasicBlock *Taken = Branch.Target;
+    const ir::BasicBlock *Fall = BranchBlock->getFallthrough();
+
+    if (Ann.Kind == core::DivergeKind::NoCfm || Taken == nullptr ||
+        Fall == nullptr) {
+      // No merge point: pure dual-path execution, nothing to meld.
+      R.Hammocks.push_back(std::move(H));
+      continue;
+    }
+
+    if (Ann.Kind == core::DivergeKind::Loop) {
+      const cfg::FunctionAnalysis &FA = PA.forFunction(*F);
+      const cfg::Loop *L = nullptr;
+      if (Ann.LoopHeaderAddr < P.instrCount()) {
+        const ir::BasicBlock *Header = P.blockAt(Ann.LoopHeaderAddr);
+        if (Header->getStartAddr() == Ann.LoopHeaderAddr &&
+            Header->getParent() == F)
+          L = FA.LI.loopWithHeader(Header);
+      }
+      if (L != nullptr && L->contains(BranchBlock)) {
+        const RegSet LiveAtHeader =
+            PD.liveness(*F).LiveIn[L->getHeader()->getId()];
+        classifyLoopRegion(H, *L, BranchAddr, LiveAtHeader);
+      }
+      // else: CFM05's finding; an empty non-meldable row.
+    } else {
+      // First structurally valid CFM point delimits the region (highest
+      // merge probability first, mirroring CfmLegality).
+      const ir::BasicBlock *CfmBlock = nullptr;
+      bool ReturnCfm = false;
+      bool Found = false;
+      for (const core::CfmPoint &Cfm : Ann.Cfms) {
+        if (Cfm.PointKind == core::CfmPoint::Kind::Return) {
+          ReturnCfm = true;
+          Found = true;
+          break;
+        }
+        if (Cfm.Addr >= P.instrCount())
+          continue; // ANN03's finding.
+        const ir::BasicBlock *Candidate = P.blockAt(Cfm.Addr);
+        if (Candidate->getStartAddr() != Cfm.Addr ||
+            Candidate->getParent() != F)
+          continue; // ANN04 / CFM11.
+        CfmBlock = Candidate;
+        Found = true;
+        break;
+      }
+      if (Found)
+        classifyHammockRegion(H, Taken, Fall, CfmBlock, ReturnCfm);
+    }
+
+    H.Meldable = H.RegionBlocks > 0 && H.unsafeCount() == 0 &&
+                 H.EscapeBlocks == 0;
+    R.Hammocks.push_back(std::move(H));
+  }
+  return R;
+}
+
+std::string renderMeldReportTsv(const MeldReport &R,
+                                const std::vector<std::string> &PrefixHeader,
+                                const std::vector<std::string> &PrefixValues) {
+  std::string Out;
+  for (const std::string &H : PrefixHeader) {
+    Out += H;
+    Out += '\t';
+  }
+  Out += "branch\tkind\tblocks\tescapes\tselect\tpred_store\tunsafe_call\t"
+         "unsafe_loop\tunsafe_exit\tmeldable\n";
+  for (const HammockReport &H : R.Hammocks) {
+    std::string Row;
+    for (const std::string &V : PrefixValues) {
+      Row += V;
+      Row += '\t';
+    }
+    Row += formatString("%u\t%s\t%u\t%u\t%u\t%u\t%u\t%u\t%u\t%s", H.BranchAddr,
+                        core::divergeKindName(H.Kind), H.RegionBlocks,
+                        H.EscapeBlocks, H.SelectCount, H.PredStoreCount,
+                        H.UnsafeCalls, H.UnsafeLoopCarried, H.UnsafeSideExits,
+                        H.Meldable ? "yes" : "no");
+    Out += Row;
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace dmp::dataflow

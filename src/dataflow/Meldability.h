@@ -1,0 +1,113 @@
+//===- dataflow/Meldability.h - Predication-safety classification -*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The meldability analysis: for every annotated diverge branch, delimit
+/// the hammock region between the branch and its first CFM point and
+/// classify each instruction inside by what software melding / predication
+/// (the ROADMAP's dmp::transform item, after DARM-style control-flow
+/// melding) would have to do with it:
+///
+///   Select     a register write predication can turn into a select — the
+///              dpred hardware's select-µop case (paper Section 3.2).
+///   PredStore  a store that must execute under a predicate (cannot be
+///              select-converted because memory has no shadow copy).
+///   Unsafe     predication would change semantics: a call (irreversible
+///              side effects on the wrong path), a side exit (control
+///              leaves the region before the CFM: ret/halt/branch out),
+///              or a loop-carried self-dependence in a loop-kind region
+///              (the recurrence needs per-iteration select-µops).
+///
+/// The region walk mirrors CfmLegality's hammock reasoning: BFS from both
+/// branch legs refusing to step through the CFM block; blocks that cannot
+/// come back to the CFM are escape blocks (their instructions are not
+/// classified — the terminator that left the meldable core already is).
+/// Loop-kind annotations use the natural loop's blocks instead, with every
+/// non-annotated exit branch a side exit.
+///
+/// The result feeds three consumers: the PredicationSafety analyze-pass
+/// (DF02-DF06 diagnostics), dmp_lint --meld-report (the TSV below, one row
+/// per annotated branch, committed as goldens), and the CfmLegality
+/// side-effect cross-check (DF01).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_DATAFLOW_MELDABILITY_H
+#define DMP_DATAFLOW_MELDABILITY_H
+
+#include "cfg/Analysis.h"
+#include "core/DivergeInfo.h"
+#include "dataflow/Dataflow.h"
+
+#include <string>
+#include <vector>
+
+namespace dmp::dataflow {
+
+enum class InstrClass : uint8_t { Select, PredStore, Unsafe };
+enum class UnsafeReason : uint8_t { None, Call, LoopCarried, SideExit };
+
+const char *instrClassName(InstrClass C);
+const char *unsafeReasonName(UnsafeReason R);
+
+/// One classified instruction inside a hammock region.
+struct InstrVerdict {
+  uint32_t Addr = 0;
+  InstrClass Class = InstrClass::Select;
+  UnsafeReason Reason = UnsafeReason::None;
+};
+
+/// Meldability verdict for one annotated diverge branch.
+struct HammockReport {
+  uint32_t BranchAddr = 0;
+  core::DivergeKind Kind = core::DivergeKind::NoCfm;
+  /// Blocks in the meldable core (reach the CFM without leaving).
+  unsigned RegionBlocks = 0;
+  /// Region blocks that cannot come back to the CFM (side-exit shadow).
+  unsigned EscapeBlocks = 0;
+  unsigned SelectCount = 0;
+  unsigned PredStoreCount = 0;
+  unsigned UnsafeCalls = 0;
+  unsigned UnsafeLoopCarried = 0;
+  unsigned UnsafeSideExits = 0;
+  /// True when every classified instruction is Select or PredStore and no
+  /// escape blocks exist: the region can be melded as-is.
+  bool Meldable = false;
+  /// Classified instructions in address order (meldable core only).
+  std::vector<InstrVerdict> Instrs;
+
+  unsigned unsafeCount() const {
+    return UnsafeCalls + UnsafeLoopCarried + UnsafeSideExits;
+  }
+};
+
+/// Whole-program meldability report: one entry per annotated branch, in
+/// ascending branch-address order (deterministic; golden files key on it).
+struct MeldReport {
+  std::vector<HammockReport> Hammocks;
+};
+
+/// Classifies every annotated diverge branch of \p Annotations.  Entries
+/// whose branch address is invalid (AnnotationConsistency territory) are
+/// skipped; NoCfm entries get an empty, non-meldable row.
+MeldReport analyzeMeldability(const ir::Program &P,
+                              const cfg::ProgramAnalysis &PA,
+                              const core::DivergeMap &Annotations,
+                              const ProgramDataflow &PD);
+
+/// Renders \p R as TSV: a `branch kind blocks escapes select pred_store
+/// unsafe_call unsafe_loop unsafe_exit meldable` header line (prefixed
+/// with optional leading columns, see below) and one row per hammock.
+/// \p Prefix values (e.g. workload and selector name) are prepended to the
+/// header as given and to every row, enabling concatenated multi-workload
+/// goldens.
+std::string renderMeldReportTsv(const MeldReport &R,
+                                const std::vector<std::string> &PrefixHeader,
+                                const std::vector<std::string> &PrefixValues);
+
+} // namespace dmp::dataflow
+
+#endif // DMP_DATAFLOW_MELDABILITY_H

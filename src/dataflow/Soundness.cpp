@@ -1,0 +1,121 @@
+//===- dataflow/Soundness.cpp - Dynamic soundness of static facts ----------===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/Soundness.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+namespace dmp::dataflow {
+
+namespace {
+
+/// Per-address claim tables derived from a ProgramDataflow, with the
+/// call-site substitution: after a Call retires the callee body runs, so
+/// the dead-after claim there is the callee's dynamic continuation.
+std::vector<RegSet> dynamicLiveAfter(const ir::Program &P,
+                                     const ProgramDataflow &PD) {
+  std::vector<RegSet> L(P.instrCount());
+  for (uint32_t Addr = 0; Addr < P.instrCount(); ++Addr) {
+    const ir::Instruction &I = P.instrAt(Addr);
+    if (I.Op == ir::Opcode::Call && I.Callee != nullptr) {
+      const auto &S = PD.summary(*I.Callee);
+      L[Addr] = S.LiveInEntry | (PD.liveAfter(Addr) & ~S.MustDef);
+    } else {
+      L[Addr] = PD.liveAfter(Addr);
+    }
+  }
+  return L;
+}
+
+std::vector<RegSet> assignedBeforeTable(const ir::Program &P,
+                                        const ProgramDataflow &PD) {
+  std::vector<RegSet> A(P.instrCount());
+  for (uint32_t Addr = 0; Addr < P.instrCount(); ++Addr)
+    A[Addr] = PD.assignedBefore(Addr);
+  return A;
+}
+
+} // namespace
+
+SoundnessChecker::SoundnessChecker(const ir::Program &P,
+                                   const ProgramDataflow &PD)
+    : SoundnessChecker(P, assignedBeforeTable(P, PD), dynamicLiveAfter(P, PD)) {
+}
+
+SoundnessChecker::SoundnessChecker(const ir::Program &P,
+                                   std::vector<RegSet> AssignedBeforeClaims,
+                                   std::vector<RegSet> LiveAfterClaims)
+    : P(P), AssignedClaims(std::move(AssignedBeforeClaims)),
+      LiveClaims(std::move(LiveAfterClaims)) {
+  assert(AssignedClaims.size() == P.instrCount() && "claim table size");
+  assert(LiveClaims.size() == P.instrCount() && "claim table size");
+}
+
+bool SoundnessChecker::retire(const profile::DynInstr &D) {
+  const ir::Instruction &I = *D.I;
+  const uint32_t Addr = D.Addr;
+  ++Result.Retired;
+
+  // Definite-assignment claims: every register claimed assigned here must
+  // actually have been written on the executed path.  Checked for all
+  // registers, not just the ones this instruction reads — the claim
+  // quantifies over the program point, so the stronger check is free.
+  Result.ClaimsChecked += ir::NumRegs;
+  if (const RegSet Unwritten = AssignedClaims[Addr] & ~WrittenEver) {
+    for (unsigned R = 0; R < ir::NumRegs; ++R)
+      if (Unwritten & regBit(static_cast<ir::Reg>(R))) {
+        ++Result.Violations;
+        if (Result.FirstViolation.empty())
+          Result.FirstViolation = formatString(
+              "definite-assignment: r%u claimed assigned before addr %u "
+              "(retired #%llu) but never written on the executed path",
+              R, Addr, static_cast<unsigned long long>(Result.Retired));
+      }
+  }
+
+  // Liveness claims: a read of a register a prior instruction claimed dead
+  // (with no intervening write) contradicts that claim.
+  if (const RegSet DeadReads = instrUses(I) & DeadClaimed) {
+    for (unsigned R = 0; R < ir::NumRegs; ++R)
+      if (DeadReads & regBit(static_cast<ir::Reg>(R))) {
+        ++Result.Violations;
+        if (Result.FirstViolation.empty())
+          Result.FirstViolation = formatString(
+              "liveness: r%u claimed dead after addr %u but read at addr %u "
+              "(retired #%llu) before any write",
+              R, DeadClaimOrigin[R], Addr,
+              static_cast<unsigned long long>(Result.Retired));
+      }
+  }
+
+  const RegSet Defs = instrDefs(I);
+  WrittenEver |= Defs;
+  DeadClaimed &= ~Defs;
+
+  const RegSet NewDead = ~LiveClaims[Addr] & ~ZeroRegBit & ~DeadClaimed;
+  if (NewDead != 0)
+    for (unsigned R = 0; R < ir::NumRegs; ++R)
+      if (NewDead & regBit(static_cast<ir::Reg>(R)))
+        DeadClaimOrigin[R] = Addr;
+  DeadClaimed |= ~LiveClaims[Addr] & ~ZeroRegBit;
+
+  return Result.Violations == 0;
+}
+
+SoundnessResult checkSoundness(const ir::Program &P, const ProgramDataflow &PD,
+                               const std::vector<int64_t> &Image,
+                               uint64_t MaxInstrs) {
+  SoundnessChecker Checker(P, PD);
+  profile::Emulator Emu(P, Image);
+  profile::DynInstr D;
+  while (Emu.executedCount() < MaxInstrs && Emu.step(D))
+    Checker.retire(D);
+  return Checker.result();
+}
+
+} // namespace dmp::dataflow

@@ -1,0 +1,97 @@
+//===- dataflow/Soundness.h - Dynamic soundness of static facts ---*- C++ -*-===//
+//
+// Part of the dmp-dpred project (CGO 2007 DMP compiler reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential validation of the dataflow facts against execution ground
+/// truth: feed the reference emulator's retired-instruction stream through
+/// a checker holding the per-address claims of a ProgramDataflow and
+/// assert neither claim family is ever contradicted:
+///
+///   definite assignment  if assignedBefore(addr) contains r, then some
+///                        retired instruction has already written r when
+///                        the instruction at addr retires (the executed
+///                        path is one of the "every path"s the claim
+///                        quantifies over).
+///   liveness             if r is claimed dead after addr (not in the
+///                        dynamic live-after set), no later retired
+///                        instruction reads r before one writes it.  The
+///                        claim is sticky per register until the next
+///                        write clears it.
+///
+/// Call boundary: the static liveAfter() of a Call is the caller-side fact
+/// after the callee *returns*, but dynamically the callee body retires
+/// next, so the checker's per-address claim table substitutes the callee's
+/// dynamic continuation (LiveInEntry ∪ (liveAfter ∖ MustDef)) at call
+/// sites.  Ret claims use the union over call sites (RetLive), a superset
+/// of any specific caller's demand — so still sound to assert.
+///
+/// The checker also accepts explicit claim tables, so tests can corrupt a
+/// single bit and prove the harness catches fabricated facts (the canary
+/// tests — without them a trivially-empty claim table would pass).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMP_DATAFLOW_SOUNDNESS_H
+#define DMP_DATAFLOW_SOUNDNESS_H
+
+#include "dataflow/Dataflow.h"
+#include "profile/Emulator.h"
+
+#include <string>
+#include <vector>
+
+namespace dmp::dataflow {
+
+/// Outcome of one soundness run.
+struct SoundnessResult {
+  uint64_t Retired = 0;       ///< Instructions fed through the checker.
+  uint64_t ClaimsChecked = 0; ///< Per-register claim evaluations.
+  uint64_t Violations = 0;
+  std::string FirstViolation; ///< Empty when sound.
+
+  bool sound() const { return Violations == 0; }
+};
+
+/// Streaming checker over retired instructions.
+class SoundnessChecker {
+public:
+  /// Claims come straight from \p PD (with the call-site live-after
+  /// substitution described in the file comment).
+  SoundnessChecker(const ir::Program &P, const ProgramDataflow &PD);
+
+  /// Explicit claim tables, both of size P.instrCount(): used by the
+  /// canary tests to inject deliberately unsound facts.
+  SoundnessChecker(const ir::Program &P,
+                   std::vector<RegSet> AssignedBeforeClaims,
+                   std::vector<RegSet> LiveAfterClaims);
+
+  /// Feeds one retired instruction.  Returns false on the first recorded
+  /// violation (callers may stop early; feeding more stays valid).
+  bool retire(const profile::DynInstr &D);
+
+  const SoundnessResult &result() const { return Result; }
+
+private:
+  const ir::Program &P;
+  std::vector<RegSet> AssignedClaims; ///< Per address.
+  std::vector<RegSet> LiveClaims;     ///< Per address (dynamic continuation).
+  RegSet WrittenEver = ZeroRegBit;
+  RegSet DeadClaimed = 0; ///< Sticky dead claims awaiting a write.
+  /// Claim address that asserted each pending dead claim (diagnostics).
+  uint32_t DeadClaimOrigin[ir::NumRegs] = {};
+  SoundnessResult Result;
+};
+
+/// Runs the program on \p Image under the emulator's fast path, checking
+/// every retired instruction against \p PD, for at most \p MaxInstrs
+/// instructions.
+SoundnessResult checkSoundness(const ir::Program &P, const ProgramDataflow &PD,
+                               const std::vector<int64_t> &Image,
+                               uint64_t MaxInstrs);
+
+} // namespace dmp::dataflow
+
+#endif // DMP_DATAFLOW_SOUNDNESS_H

@@ -31,15 +31,24 @@
 //   --max-instr=<n>              selection MAX_INSTR threshold (default 50)
 //   --min-merge-prob=<p>         selection MIN_MERGE_PROB (default 0.01)
 //   --werror                     exit non-zero on warnings too
+//   --meld-report                print the dataflow meldability TSV (one
+//                                row per annotated branch, a leading
+//                                workload column) instead of linting
+//   --json                       print one machine-readable JSON snapshot
+//                                of all diagnostics to stdout (round-trips
+//                                through dmp::json)
+//   --help                       full option and exit-code documentation
 //
 // Exit codes (support/ExitCodes.h): 0 clean, 1 diagnostics at gating
-// severity, 2 usage error.
+// severity, 2 usage error.  --help prints the same contract.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analyze/Analyze.h"
+#include "bench/BenchJson.h"
 #include "core/AnnotationIO.h"
 #include "core/SimpleSelectors.h"
+#include "dataflow/Meldability.h"
 #include "harness/Experiment.h"
 #include "support/ExitCodes.h"
 
@@ -47,6 +56,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -66,6 +76,9 @@ struct CliOptions {
   unsigned MaxInstr = 50;
   double MinMergeProb = 0.01;
   bool WarningsAsErrors = false;
+  bool MeldReport = false;
+  bool Json = false;
+  bool Help = false;
 };
 
 void usage() {
@@ -73,7 +86,54 @@ void usage() {
                "usage: dmp_lint [benchmark...] [--all] [--algo=...] "
                "[--profile-input=run|train] [--map=FILE] "
                "[--format=text|machine] [--profile-instrs=N] "
-               "[--max-instr=N] [--min-merge-prob=P] [--werror]\n");
+               "[--max-instr=N] [--min-merge-prob=P] [--werror] "
+               "[--meld-report] [--json] [--help]\n");
+}
+
+void help() {
+  std::printf(
+      "usage: dmp_lint [benchmark...] [options]\n"
+      "\n"
+      "Build the named synthetic workloads (all of them with --all, the\n"
+      "default), profile them, run diverge-branch selection, and lint the\n"
+      "program + profile + annotations through the standard analyze pass\n"
+      "pipeline (IRLint, AnnotationConsistency, CfmLegality,\n"
+      "PredicationSafety, ProfileSanity).\n"
+      "\n"
+      "Options:\n"
+      "  --all                        lint every benchmark of the suite\n"
+      "  --algo=<name>                selection algorithm (dmpc's names;\n"
+      "                               default all)\n"
+      "  --profile-input=<run|train>  profiling input set (default run)\n"
+      "  --map=FILE                   lint FILE as the annotation set for\n"
+      "                               the (single) named benchmark\n"
+      "  --format=<text|machine>      stderr diagnostic rendering (default\n"
+      "                               text; machine is one tab-separated\n"
+      "                               line per diagnostic)\n"
+      "  --profile-instrs=<n>         profiler instruction budget (default\n"
+      "                               4000000)\n"
+      "  --max-instr=<n>              selection MAX_INSTR (default 50)\n"
+      "  --min-merge-prob=<p>         selection MIN_MERGE_PROB (default\n"
+      "                               0.01)\n"
+      "  --werror                     warnings gate the exit code too\n"
+      "  --meld-report                print the meldability TSV (one row\n"
+      "                               per annotated branch, leading\n"
+      "                               workload column) to stdout instead\n"
+      "                               of linting; always exits 0 unless a\n"
+      "                               usage error occurs\n"
+      "  --json                       print one JSON snapshot of every\n"
+      "                               diagnostic to stdout (schema\n"
+      "                               dmp-bench/1, bench \"lint\"); replaces\n"
+      "                               the text summary, exit codes are\n"
+      "                               unchanged\n"
+      "  --help                       this text\n"
+      "\n"
+      "Exit codes:\n"
+      "  0  clean: no error diagnostics (and no warnings under --werror)\n"
+      "  1  gating diagnostics: at least one error-severity finding, or\n"
+      "     any warning when --werror is set\n"
+      "  2  usage error: unknown option/benchmark/algorithm, invalid\n"
+      "     option value, or unreadable --map file\n");
 }
 
 bool parseU64(const char *V, uint64_t &Out) {
@@ -138,6 +198,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.MinMergeProb = P;
     } else if (Arg == "--werror") {
       Opts.WarningsAsErrors = true;
+    } else if (Arg == "--meld-report") {
+      Opts.MeldReport = true;
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      Opts.Help = true;
+      return true;
     } else if (Arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
       return false;
@@ -150,6 +217,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   if (!Opts.MapFile.empty() && (Opts.All || Opts.Benchmarks.size() != 1)) {
     std::fprintf(stderr,
                  "error: --map requires exactly one named benchmark\n");
+    return false;
+  }
+  if (Opts.MeldReport && Opts.Json) {
+    std::fprintf(stderr,
+                 "error: --meld-report and --json both claim stdout; "
+                 "pick one\n");
     return false;
   }
   return true;
@@ -195,10 +268,39 @@ core::DivergeMap runSelection(harness::BenchContext &Bench,
   return core::DivergeMap();
 }
 
+/// Appends one diagnostics element to the --json snapshot's per-workload
+/// array (caller opened the array).
+void appendJsonWorkload(bench::BenchJson &Json,
+                        const workloads::BenchmarkSpec &Spec,
+                        const core::DivergeMap &Map,
+                        const analyze::DiagnosticSink &Sink) {
+  Json.beginElement();
+  Json.string("name", Spec.Name);
+  Json.integer("annotations", Map.size());
+  Json.integer("errors", Sink.errorCount());
+  Json.integer("warnings", Sink.warningCount());
+  Json.beginArray("diagnostics");
+  for (const analyze::Diagnostic &D : Sink.diagnostics()) {
+    Json.beginElement();
+    Json.string("code", analyze::diagCodeName(D.Code));
+    Json.string("severity", analyze::severityName(D.Sev));
+    Json.string("function", D.Loc.Function);
+    Json.string("block", D.Loc.Block);
+    if (D.Loc.Addr != ir::InvalidAddr)
+      Json.integer("addr", D.Loc.Addr);
+    Json.string("message", D.Message);
+    Json.endElement();
+  }
+  Json.endArray();
+  Json.endElement();
+}
+
 /// Lints one benchmark; returns false when diagnostics gate (errors, or
-/// warnings under --werror).
+/// warnings under --werror).  With \p Json the snapshot element replaces
+/// the stdout/stderr report; \p First gates the --meld-report header line.
 bool lintBenchmark(const workloads::BenchmarkSpec &Spec,
-                   const CliOptions &Opts, bool &UsageError) {
+                   const CliOptions &Opts, bool &UsageError,
+                   bench::BenchJson *Json, bool First) {
   harness::ExperimentOptions Options;
   Options.Profile.MaxInstrs = Opts.ProfileInstrs;
   Options.Selection = Options.Selection.withMaxInstr(Opts.MaxInstr)
@@ -236,6 +338,19 @@ bool lintBenchmark(const workloads::BenchmarkSpec &Spec,
     }
   }
 
+  if (Opts.MeldReport) {
+    const ir::Program &P = *Bench.workload().Prog;
+    const dataflow::ProgramDataflow PD(P);
+    const dataflow::MeldReport Report =
+        dataflow::analyzeMeldability(P, Bench.analysis(), Map, PD);
+    std::string Tsv =
+        dataflow::renderMeldReportTsv(Report, {"workload"}, {Spec.Name});
+    if (!First)
+      Tsv.erase(0, Tsv.find('\n') + 1);
+    std::fputs(Tsv.c_str(), stdout);
+    return true;
+  }
+
   analyze::AnalysisInput Input;
   Input.P = Bench.workload().Prog.get();
   Input.PA = &Bench.analysis();
@@ -243,12 +358,16 @@ bool lintBenchmark(const workloads::BenchmarkSpec &Spec,
   Input.Annotations = &Map;
   analyze::lintAll(Input, &Sink);
 
-  if (!Sink.empty())
-    std::fprintf(stderr, "%s",
-                 Opts.MachineFormat ? Sink.renderMachine().c_str()
-                                    : Sink.renderText().c_str());
-  std::printf("%-10s %zu annotations: %s\n", Spec.Name, Map.size(),
-              Sink.summaryLine().c_str());
+  if (Json != nullptr) {
+    appendJsonWorkload(*Json, Spec, Map, Sink);
+  } else {
+    if (!Sink.empty())
+      std::fprintf(stderr, "%s",
+                   Opts.MachineFormat ? Sink.renderMachine().c_str()
+                                      : Sink.renderText().c_str());
+    std::printf("%-10s %zu annotations: %s\n", Spec.Name, Map.size(),
+                Sink.summaryLine().c_str());
+  }
   if (Sink.errorCount() > 0)
     return false;
   if (Opts.WarningsAsErrors && Sink.warningCount() > 0)
@@ -263,6 +382,10 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts)) {
     usage();
     return exitcode::Usage;
+  }
+  if (Opts.Help) {
+    help();
+    return exitcode::Ok;
   }
 
   std::vector<const workloads::BenchmarkSpec *> Specs;
@@ -283,14 +406,33 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  std::unique_ptr<bench::BenchJson> Json;
+  if (Opts.Json) {
+    Json = std::make_unique<bench::BenchJson>("lint");
+    Json->string("algo", Opts.Algo);
+    Json->string("profile_input",
+                 Opts.ProfileInput == workloads::InputSetKind::Train ? "train"
+                                                                     : "run");
+    Json->boolean("werror", Opts.WarningsAsErrors);
+    Json->beginArray("workloads");
+  }
+
   bool AllClean = true;
+  bool First = true;
   for (const workloads::BenchmarkSpec *Spec : Specs) {
     bool UsageError = false;
-    if (!lintBenchmark(*Spec, Opts, UsageError)) {
+    if (!lintBenchmark(*Spec, Opts, UsageError, Json.get(), First)) {
       if (UsageError)
         return exitcode::Usage;
       AllClean = false;
     }
+    First = false;
+  }
+
+  if (Json != nullptr) {
+    Json->endArray();
+    Json->boolean("clean", AllClean);
+    Json->writeFile("/dev/stdout");
   }
   return AllClean ? exitcode::Ok : exitcode::Failure;
 }
